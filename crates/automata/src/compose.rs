@@ -1,0 +1,783 @@
+//! Synchronous parallel composition (Definition 3 of the paper).
+//!
+//! `M ∥ M′` executes all components in lockstep: one transition of every
+//! component per time unit, with synchronous communication — a signal output
+//! by one component and input by another must be sent and received in the
+//! same step. Formally, for each pair of components the matching condition
+//! `A ∩ O′ = B′ ∩ I` and `A′ ∩ O = B ∩ I′` must hold (Definition 3 states
+//! this for closed two-party composition as `(A ∩ O′) = B′`; the
+//! intersection with the receiver's inputs generalizes it soundly to open
+//! systems where a component may also emit signals nobody in the composition
+//! consumes).
+//!
+//! The composition is computed on the fly over *reachable* product states
+//! only, and solves symbolic [`Guard`](crate::Guard) families per signal, so
+//! that composing a concrete context with a chaotic closure never expands
+//! the closure's exponential `*` transitions beyond what the context admits.
+
+use std::collections::HashMap;
+
+use crate::automaton::{Automaton, StateData, StateId, Transition};
+use crate::error::{AutomataError, Result};
+use crate::label::{Guard, Label, LabelFamily};
+use crate::run::{Run, RunKind};
+use crate::signal::{SignalId, SignalSet};
+
+/// Options controlling composition.
+#[derive(Debug, Clone)]
+pub struct ComposeOptions {
+    /// Maximum number of free signals expanded concretely per transition
+    /// combination (`2^expand_cap` labels). Internal channel signals left
+    /// free by *both* endpoints, and free signals of components carrying
+    /// exclusion lists, must be expanded; exceeding the cap is an error.
+    pub expand_cap: usize,
+    /// Maximum number of reachable product states before aborting.
+    pub max_states: usize,
+}
+
+impl Default for ComposeOptions {
+    fn default() -> Self {
+        ComposeOptions {
+            expand_cap: 16,
+            max_states: 4_000_000,
+        }
+    }
+}
+
+/// The result of a parallel composition: the product automaton plus the
+/// provenance needed to project runs back onto components.
+#[derive(Debug, Clone)]
+pub struct Composition {
+    /// The product automaton (trimmed to reachable states).
+    pub automaton: Automaton,
+    /// Names of the composed components, in order.
+    pub component_names: Vec<String>,
+    /// `(inputs, outputs)` of each component, in order.
+    pub interfaces: Vec<(SignalSet, SignalSet)>,
+    /// For each product state, the underlying component states, in order.
+    pub origin: Vec<Vec<StateId>>,
+}
+
+impl Composition {
+    /// The component state of product state `s` for component `idx`.
+    pub fn component_state(&self, s: StateId, idx: usize) -> StateId {
+        self.origin[s.index()][idx]
+    }
+
+    /// Index of a component by name.
+    pub fn component_index(&self, name: &str) -> Option<usize> {
+        self.component_names.iter().position(|n| n == name)
+    }
+
+    /// Projects a run of the product automaton onto component `idx`
+    /// (Section 4.1: "the counterexample restricted to `M_a^i`").
+    ///
+    /// Labels are restricted to the component's interface and product states
+    /// are mapped to component states. The run kind is preserved.
+    pub fn project_run(&self, run: &Run, idx: usize) -> Run {
+        let (ins, outs) = self.interfaces[idx];
+        let states = run
+            .states
+            .iter()
+            .map(|&s| self.component_state(s, idx))
+            .collect();
+        let labels = run.labels.iter().map(|l| l.restrict(ins, outs)).collect();
+        Run {
+            states,
+            labels,
+            kind: run.kind,
+        }
+    }
+
+    /// Renders a product state in the style of the paper's listings:
+    /// `shuttle1.noConvoy, shuttle2.s_all`.
+    pub fn show_state(&self, s: StateId, components: &[&Automaton]) -> String {
+        let parts: Vec<String> = self.origin[s.index()]
+            .iter()
+            .zip(components)
+            .map(|(&cs, c)| format!("{}.{}", c.name(), c.state_name(cs)))
+            .collect();
+        parts.join(", ")
+    }
+}
+
+/// Who sends / receives a signal within a composition.
+#[derive(Debug, Clone, Copy, Default)]
+struct SignalRole {
+    sender: Option<usize>,
+    receiver: Option<usize>,
+}
+
+/// Per-signal assignment derived from the guards of one transition
+/// combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Assign {
+    True,
+    False,
+    Free,
+}
+
+impl Assign {
+    fn meet(self, other: Assign) -> Option<Assign> {
+        use Assign::*;
+        match (self, other) {
+            (Free, x) | (x, Free) => Some(x),
+            (True, True) => Some(True),
+            (False, False) => Some(False),
+            _ => None,
+        }
+    }
+}
+
+/// Composes two automata with default options. See [`compose`].
+///
+/// # Errors
+///
+/// Same as [`compose`].
+pub fn compose2(a: &Automaton, b: &Automaton) -> Result<Composition> {
+    compose(&[a, b], &ComposeOptions::default())
+}
+
+/// Composes `parts` synchronously (n-way generalization of Definition 3).
+///
+/// # Errors
+///
+/// * [`AutomataError::UniverseMismatch`] if the parts disagree on the universe.
+/// * [`AutomataError::NotComposable`] if two parts share an input or output
+///   signal.
+/// * [`AutomataError::FreeSignalOverflow`] if a transition combination needs
+///   more concrete expansion than `opts.expand_cap` allows.
+/// * [`AutomataError::Limit`] if the reachable product exceeds
+///   `opts.max_states`.
+pub fn compose(parts: &[&Automaton], opts: &ComposeOptions) -> Result<Composition> {
+    assert!(!parts.is_empty(), "compose requires at least one automaton");
+    let universe = parts[0].universe().clone();
+    for p in parts {
+        if !p.universe().same_as(&universe) {
+            return Err(AutomataError::UniverseMismatch);
+        }
+    }
+    // Pairwise composability (Section 2): distinct inputs and outputs.
+    for (i, a) in parts.iter().enumerate() {
+        for b in &parts[i + 1..] {
+            if !a.composable_with(b) {
+                return Err(AutomataError::NotComposable {
+                    detail: format!(
+                        "`{}` and `{}` share inputs {} / outputs {}",
+                        a.name(),
+                        b.name(),
+                        universe.show_signals(a.inputs().intersection(b.inputs())),
+                        universe.show_signals(a.outputs().intersection(b.outputs())),
+                    ),
+                });
+            }
+        }
+    }
+
+    let n = parts.len();
+    let all_inputs = parts
+        .iter()
+        .fold(SignalSet::EMPTY, |acc, p| acc.union(p.inputs()));
+    let all_outputs = parts
+        .iter()
+        .fold(SignalSet::EMPTY, |acc, p| acc.union(p.outputs()));
+
+    // Signal roles: each signal has at most one sender and one receiver.
+    let mut roles: HashMap<SignalId, SignalRole> = HashMap::new();
+    for (i, p) in parts.iter().enumerate() {
+        for s in p.inputs().iter() {
+            roles.entry(s).or_default().receiver = Some(i);
+        }
+        for s in p.outputs().iter() {
+            roles.entry(s).or_default().sender = Some(i);
+        }
+    }
+
+    // Product exploration.
+    let mut index: HashMap<Vec<StateId>, StateId> = HashMap::new();
+    let mut origin: Vec<Vec<StateId>> = Vec::new();
+    let mut states: Vec<StateData> = Vec::new();
+    let mut adj: Vec<Vec<Transition>> = Vec::new();
+    let mut worklist: Vec<StateId> = Vec::new();
+
+    let intern = |tuple: Vec<StateId>,
+                      index: &mut HashMap<Vec<StateId>, StateId>,
+                      origin: &mut Vec<Vec<StateId>>,
+                      states: &mut Vec<StateData>,
+                      adj: &mut Vec<Vec<Transition>>,
+                      worklist: &mut Vec<StateId>|
+     -> StateId {
+        if let Some(&id) = index.get(&tuple) {
+            return id;
+        }
+        let id = StateId(states.len() as u32);
+        let name = tuple
+            .iter()
+            .zip(parts)
+            .map(|(&s, p)| p.state_name(s).to_owned())
+            .collect::<Vec<_>>()
+            .join("||");
+        let props = tuple
+            .iter()
+            .zip(parts)
+            .fold(crate::PropSet::EMPTY, |acc, (&s, p)| acc.union(p.props_of(s)));
+        states.push(StateData { name, props });
+        adj.push(Vec::new());
+        origin.push(tuple.clone());
+        index.insert(tuple, id);
+        worklist.push(id);
+        id
+    };
+
+    // Initial product states: Q'' = Q₁ × … × Qₙ.
+    let mut initial_tuples = vec![Vec::new()];
+    for p in parts {
+        let mut next = Vec::new();
+        for tuple in &initial_tuples {
+            for &q in p.initial_states() {
+                let mut t: Vec<StateId> = tuple.clone();
+                t.push(q);
+                next.push(t);
+            }
+        }
+        initial_tuples = next;
+    }
+    let mut initial = Vec::new();
+    for t in initial_tuples {
+        initial.push(intern(
+            t,
+            &mut index,
+            &mut origin,
+            &mut states,
+            &mut adj,
+            &mut worklist,
+        ));
+    }
+
+    while let Some(ps) = worklist.pop() {
+        if states.len() > opts.max_states {
+            return Err(AutomataError::Limit {
+                what: "composed state space".into(),
+                max: opts.max_states,
+            });
+        }
+        let tuple = origin[ps.index()].clone();
+        // Iterate over all transition combinations (one per component).
+        let per_comp: Vec<&[Transition]> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.transitions_from(tuple[i]))
+            .collect();
+        if per_comp.iter().any(|ts| ts.is_empty()) {
+            continue; // some component blocks everything → product deadlock
+        }
+        let mut combo = vec![0usize; n];
+        'combos: loop {
+            let chosen: Vec<&Transition> = combo
+                .iter()
+                .enumerate()
+                .map(|(i, &j)| &per_comp[i][j])
+                .collect();
+            solve_combo(
+                parts,
+                &chosen,
+                &roles,
+                all_inputs,
+                all_outputs,
+                opts,
+                |guard| {
+                    let target: Vec<StateId> = chosen.iter().map(|t| t.to).collect();
+                    let tgt = intern(
+                        target,
+                        &mut index,
+                        &mut origin,
+                        &mut states,
+                        &mut adj,
+                        &mut worklist,
+                    );
+                    let tr = Transition { guard, to: tgt };
+                    if !adj[ps.index()].contains(&tr) {
+                        adj[ps.index()].push(tr);
+                    }
+                },
+            )?;
+            // advance combination counter
+            for i in 0..n {
+                combo[i] += 1;
+                if combo[i] < per_comp[i].len() {
+                    continue 'combos;
+                }
+                combo[i] = 0;
+            }
+            break;
+        }
+    }
+
+    let name = parts
+        .iter()
+        .map(|p| p.name().to_owned())
+        .collect::<Vec<_>>()
+        .join("||");
+    let automaton = Automaton {
+        universe,
+        name,
+        inputs: all_inputs,
+        outputs: all_outputs,
+        states,
+        adj,
+        initial,
+    };
+    automaton.validate()?;
+    Ok(Composition {
+        automaton,
+        component_names: parts.iter().map(|p| p.name().to_owned()).collect(),
+        interfaces: parts.iter().map(|p| (p.inputs(), p.outputs())).collect(),
+        origin,
+    })
+}
+
+/// Solves the per-signal constraint system for one transition combination
+/// and emits zero or more composed guards via `emit`.
+fn solve_combo(
+    parts: &[&Automaton],
+    chosen: &[&Transition],
+    roles: &HashMap<SignalId, SignalRole>,
+    all_inputs: SignalSet,
+    all_outputs: SignalSet,
+    opts: &ComposeOptions,
+    mut emit: impl FnMut(Guard),
+) -> Result<()> {
+    let fams: Vec<LabelFamily> = chosen.iter().map(|t| t.guard.to_family()).collect();
+
+    // Per-signal assignment after propagating guard domains + handshake.
+    let mut in_must = SignalSet::EMPTY; // composed A'' forced members
+    let mut out_must = SignalSet::EMPTY; // composed B'' forced members
+    let mut free_in_only = SignalSet::EMPTY; // free, input side only
+    let mut free_out_only = SignalSet::EMPTY; // free, output side only
+    let mut free_both = SignalSet::EMPTY; // free internal signals (coupled)
+
+    for (&sig, role) in roles {
+        let recv_dom = role.receiver.map(|k| {
+            let f = &fams[k];
+            if f.in_must.contains(sig) {
+                Assign::True
+            } else if f.in_free.contains(sig) {
+                Assign::Free
+            } else {
+                Assign::False
+            }
+        });
+        let send_dom = role.sender.map(|j| {
+            let f = &fams[j];
+            if f.out_must.contains(sig) {
+                Assign::True
+            } else if f.out_free.contains(sig) {
+                Assign::Free
+            } else {
+                Assign::False
+            }
+        });
+        let joint = match (recv_dom, send_dom) {
+            (Some(r), Some(s)) => match r.meet(s) {
+                Some(j) => j,
+                None => return Ok(()), // handshake conflict → combo infeasible
+            },
+            (Some(r), None) => r,
+            (None, Some(s)) => s,
+            (None, None) => unreachable!("signal without any role"),
+        };
+        let is_input = role.receiver.is_some();
+        let is_output = role.sender.is_some();
+        match joint {
+            Assign::True => {
+                if is_input {
+                    in_must.insert(sig);
+                }
+                if is_output {
+                    out_must.insert(sig);
+                }
+            }
+            Assign::False => {}
+            Assign::Free => match (is_input, is_output) {
+                (true, true) => free_both.insert(sig),
+                (true, false) => free_in_only.insert(sig),
+                (false, true) => free_out_only.insert(sig),
+                (false, false) => unreachable!(),
+            },
+        }
+    }
+
+    // Components with exclusion lists need their own labels concrete, so any
+    // free signal touching their interface must be enumerated as well.
+    let mut enumerate = free_both;
+    for (i, f) in fams.iter().enumerate() {
+        if !f.excluded.is_empty() {
+            let support = parts[i].inputs().union(parts[i].outputs());
+            enumerate = enumerate
+                .union(free_in_only.intersection(support))
+                .union(free_out_only.intersection(support));
+        }
+    }
+    let sym_in = free_in_only.difference(enumerate);
+    let sym_out = free_out_only.difference(enumerate);
+
+    if enumerate.len() > opts.expand_cap {
+        return Err(AutomataError::FreeSignalOverflow {
+            free: enumerate.len(),
+            cap: opts.expand_cap,
+        });
+    }
+
+    for chosen_free in enumerate.subsets() {
+        let a_must = in_must.union(chosen_free.intersection(all_inputs));
+        let b_must = out_must.union(chosen_free.intersection(all_outputs));
+        // Filter component exclusions: each component's own label must not be
+        // in its exclusion list. (Only checkable when concrete — guaranteed
+        // by the `enumerate` construction above.)
+        let mut excluded = false;
+        for (i, f) in fams.iter().enumerate() {
+            if f.excluded.is_empty() {
+                continue;
+            }
+            let own = Label::new(
+                a_must.intersection(parts[i].inputs()),
+                b_must.intersection(parts[i].outputs()),
+            );
+            if f.excluded.contains(&own) {
+                excluded = true;
+                break;
+            }
+        }
+        if excluded {
+            continue;
+        }
+        let guard = if sym_in.is_empty() && sym_out.is_empty() {
+            Guard::Exact(Label::new(a_must, b_must))
+        } else {
+            Guard::Family(LabelFamily {
+                in_must: a_must,
+                in_free: sym_in,
+                out_must: b_must,
+                out_free: sym_out,
+                excluded: Vec::new(),
+            })
+        };
+        emit(guard);
+    }
+    Ok(())
+}
+
+/// Restricts a run of a composition to one component and drops the leading
+/// product context — convenience wrapper used by the synthesis loop.
+pub fn project_to_component(comp: &Composition, run: &Run, component: &str) -> Option<Run> {
+    let idx = comp.component_index(component)?;
+    let mut r = comp.project_run(run, idx);
+    // A projected deadlock run keeps its kind; a projected regular run may
+    // legitimately end anywhere.
+    if r.kind == RunKind::Deadlock && r.labels.len() == r.states.len() + 1 {
+        // cannot happen by construction, but keep the invariant explicit
+        r.labels.pop();
+    }
+    Some(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AutomatonBuilder;
+    use crate::universe::Universe;
+
+    /// A simple request/response pair: `client` sends `req` and waits for
+    /// `rsp`; `server` consumes `req` and replies `rsp`.
+    fn client(u: &Universe) -> Automaton {
+        AutomatonBuilder::new(u, "client")
+            .output("req")
+            .input("rsp")
+            .state("idle")
+            .initial("idle")
+            .state("waiting")
+            .transition("idle", [], ["req"], "waiting")
+            .transition("waiting", ["rsp"], [], "idle")
+            .build()
+            .unwrap()
+    }
+
+    fn server(u: &Universe) -> Automaton {
+        AutomatonBuilder::new(u, "server")
+            .input("req")
+            .output("rsp")
+            .state("ready")
+            .initial("ready")
+            .state("busy")
+            .transition("ready", ["req"], [], "busy")
+            .transition("busy", [], ["rsp"], "ready")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn closed_handshake_composes() {
+        let u = Universe::new();
+        let c = client(&u);
+        let s = server(&u);
+        let comp = compose2(&c, &s).unwrap();
+        let m = &comp.automaton;
+        // lockstep: (idle,ready) --req--> (waiting,busy) --rsp--> (idle,ready)
+        assert_eq!(m.state_count(), 2);
+        assert_eq!(m.transition_count(), 2);
+        assert!(m.is_deterministic());
+        let req = u.signal("req");
+        let rsp = u.signal("rsp");
+        let init = m.initial_states()[0];
+        let l = Label::new(SignalSet::singleton(req), SignalSet::singleton(req));
+        assert!(m.enables(init, l));
+        let next = m.successors(init, l)[0];
+        let l2 = Label::new(SignalSet::singleton(rsp), SignalSet::singleton(rsp));
+        assert!(m.enables(next, l2));
+    }
+
+    #[test]
+    fn mismatched_handshake_deadlocks() {
+        let u = Universe::new();
+        let c = client(&u);
+        // server that never answers
+        let s = AutomatonBuilder::new(&u, "server")
+            .input("req")
+            .output("rsp")
+            .state("ready")
+            .initial("ready")
+            .state("stuck")
+            .transition("ready", ["req"], [], "stuck")
+            .build()
+            .unwrap();
+        let comp = compose2(&c, &s).unwrap();
+        let m = &comp.automaton;
+        assert_eq!(m.state_count(), 2);
+        // (waiting, stuck): client needs rsp, server produces nothing → no
+        // joint transition.
+        let dead = m
+            .state_ids()
+            .find(|&st| m.transitions_from(st).is_empty())
+            .expect("deadlock state exists");
+        assert!(m.is_deadlock(dead));
+    }
+
+    #[test]
+    fn shared_outputs_are_rejected() {
+        let u = Universe::new();
+        let a = AutomatonBuilder::new(&u, "a")
+            .output("x")
+            .state("s")
+            .initial("s")
+            .build()
+            .unwrap();
+        let b = AutomatonBuilder::new(&u, "b")
+            .output("x")
+            .state("s")
+            .initial("s")
+            .build()
+            .unwrap();
+        assert!(matches!(
+            compose2(&a, &b),
+            Err(AutomataError::NotComposable { .. })
+        ));
+    }
+
+    #[test]
+    fn universe_mismatch_is_rejected() {
+        let u1 = Universe::new();
+        let u2 = Universe::new();
+        let a = AutomatonBuilder::new(&u1, "a")
+            .state("s")
+            .initial("s")
+            .build()
+            .unwrap();
+        let b = AutomatonBuilder::new(&u2, "b")
+            .state("s")
+            .initial("s")
+            .build()
+            .unwrap();
+        assert_eq!(compose2(&a, &b).unwrap_err(), AutomataError::UniverseMismatch);
+    }
+
+    #[test]
+    fn family_guard_is_pinned_by_concrete_partner() {
+        let u = Universe::new();
+        let c = client(&u);
+        // A chaotic-ish partner that accepts any subset of {req} and outputs
+        // any subset of {rsp}.
+        let req = u.signal("req");
+        let rsp = u.signal("rsp");
+        let fam = Guard::Family(LabelFamily::all(
+            SignalSet::singleton(req),
+            SignalSet::singleton(rsp),
+        ));
+        let s = AutomatonBuilder::new(&u, "anyserver")
+            .input("req")
+            .output("rsp")
+            .state("s")
+            .initial("s")
+            .transition_guard("s", fam, "s")
+            .build()
+            .unwrap();
+        let comp = compose2(&c, &s).unwrap();
+        let m = &comp.automaton;
+        // From (idle,s): client forces A_client = {}, B_client = {req}.
+        // Partner must receive req; partner's rsp output is free, but the
+        // client at `idle` does not accept rsp, so rsp is pinned false.
+        let init = m.initial_states()[0];
+        let ts = m.transitions_from(init);
+        assert_eq!(ts.len(), 1);
+        let l = ts[0].guard.as_exact().expect("concrete after pinning");
+        assert!(l.outputs.contains(req));
+        assert!(!l.outputs.contains(rsp));
+        assert!(m.is_concrete());
+    }
+
+    #[test]
+    fn open_input_stays_symbolic() {
+        let u = Universe::new();
+        // Component with an environment input `env` nobody drives.
+        let a = AutomatonBuilder::new(&u, "a")
+            .input("env")
+            .output("out")
+            .state("s")
+            .initial("s")
+            .transition_guard(
+                "s",
+                Guard::Family(LabelFamily::all(
+                    SignalSet::singleton(u.signal("env")),
+                    SignalSet::EMPTY,
+                )),
+                "s",
+            )
+            .build()
+            .unwrap();
+        let b = AutomatonBuilder::new(&u, "b")
+            .input("out")
+            .state("t")
+            .initial("t")
+            .transition("t", [], [], "t")
+            .build()
+            .unwrap();
+        let comp = compose2(&a, &b).unwrap();
+        let m = &comp.automaton;
+        let init = m.initial_states()[0];
+        let ts = m.transitions_from(init);
+        assert_eq!(ts.len(), 1);
+        // env stays a free input in the composed guard
+        match &ts[0].guard {
+            Guard::Family(f) => {
+                assert!(f.in_free.contains(u.signal("env")));
+            }
+            Guard::Exact(_) => panic!("expected symbolic guard"),
+        }
+    }
+
+    #[test]
+    fn projection_recovers_component_run() {
+        let u = Universe::new();
+        let c = client(&u);
+        let s = server(&u);
+        let comp = compose2(&c, &s).unwrap();
+        let m = &comp.automaton;
+        let init = m.initial_states()[0];
+        let l = m.transitions_from(init)[0].guard.as_exact().unwrap();
+        let next = m.successors(init, l)[0];
+        let run = Run::regular(vec![init, next], vec![l]);
+        let cr = comp.project_run(&run, comp.component_index("client").unwrap());
+        assert!(cr.validate_in(&c));
+        let sr = comp.project_run(&run, comp.component_index("server").unwrap());
+        assert!(sr.validate_in(&s));
+    }
+
+    #[test]
+    fn three_way_composition() {
+        let u = Universe::new();
+        // a → b → c pipeline: a emits x, b turns x into y, c consumes y.
+        let a = AutomatonBuilder::new(&u, "a")
+            .output("x")
+            .state("s")
+            .initial("s")
+            .transition("s", [], ["x"], "s")
+            .build()
+            .unwrap();
+        let b = AutomatonBuilder::new(&u, "b")
+            .input("x")
+            .output("y")
+            .state("s")
+            .initial("s")
+            .transition("s", ["x"], ["y"], "s")
+            .build()
+            .unwrap();
+        let c = AutomatonBuilder::new(&u, "c")
+            .input("y")
+            .state("s")
+            .initial("s")
+            .transition("s", ["y"], [], "s")
+            .build()
+            .unwrap();
+        let comp = compose(&[&a, &b, &c], &ComposeOptions::default()).unwrap();
+        let m = &comp.automaton;
+        assert_eq!(m.state_count(), 1);
+        assert_eq!(m.transition_count(), 1);
+        let l = m.transitions_from(m.initial_states()[0])[0]
+            .guard
+            .as_exact()
+            .unwrap();
+        assert_eq!(l.inputs.len(), 2); // x received by b, y received by c
+        assert_eq!(l.outputs.len(), 2); // x sent by a, y sent by b
+    }
+
+    #[test]
+    fn labels_union_in_product() {
+        let u = Universe::new();
+        let a = AutomatonBuilder::new(&u, "a")
+            .state("s")
+            .initial("s")
+            .prop("s", "pa")
+            .transition("s", [], [], "s")
+            .build()
+            .unwrap();
+        let b = AutomatonBuilder::new(&u, "b")
+            .state("t")
+            .initial("t")
+            .prop("t", "pb")
+            .transition("t", [], [], "t")
+            .build()
+            .unwrap();
+        let comp = compose2(&a, &b).unwrap();
+        let m = &comp.automaton;
+        let st = m.initial_states()[0];
+        assert!(m.props_of(st).contains(u.prop("pa")));
+        assert!(m.props_of(st).contains(u.prop("pb")));
+    }
+
+    #[test]
+    fn exclusions_remove_specific_combo() {
+        let u = Universe::new();
+        let req = u.signal("req");
+        // Partner admits any subset of {req} as input except exactly {req}.
+        let mut fam = LabelFamily::all(SignalSet::singleton(req), SignalSet::EMPTY);
+        fam.excluded.push(Label::new(SignalSet::singleton(req), SignalSet::EMPTY));
+        let s = AutomatonBuilder::new(&u, "srv")
+            .input("req")
+            .state("s")
+            .initial("s")
+            .transition_guard("s", Guard::Family(fam), "s")
+            .build()
+            .unwrap();
+        // Client that insists on sending req.
+        let c = AutomatonBuilder::new(&u, "cli")
+            .output("req")
+            .state("t")
+            .initial("t")
+            .transition("t", [], ["req"], "t")
+            .build()
+            .unwrap();
+        let comp = compose2(&c, &s).unwrap();
+        // The only possible joint step is excluded → initial state deadlocks.
+        let m = &comp.automaton;
+        assert!(m.transitions_from(m.initial_states()[0]).is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Error types for the automata kernel.
+
+use std::fmt;
+
+/// Errors reported by the automata kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AutomataError {
+    /// Two operands were built against different [`Universe`](crate::Universe)s.
+    UniverseMismatch,
+    /// A state name was referenced that does not exist in the automaton.
+    UnknownState(String),
+    /// A transition used a signal outside the automaton's declared interface.
+    UndeclaredSignal {
+        /// The automaton in which the violation occurred.
+        automaton: String,
+        /// Human-readable description of the offending signal and position.
+        detail: String,
+    },
+    /// The automaton has no initial state.
+    NoInitialState(String),
+    /// Two automata were composed whose input (or output) sets overlap, so
+    /// they are not composable in the sense of Section 2 of the paper.
+    NotComposable {
+        /// Description of the overlapping signals.
+        detail: String,
+    },
+    /// Composition or enumeration would require expanding more free signals
+    /// than the configured cap allows (the result would be exponentially
+    /// large). Raise the cap or close the system over those signals.
+    FreeSignalOverflow {
+        /// Number of free signals that would have to be enumerated.
+        free: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// An operation required a deterministic automaton but the operand was
+    /// nondeterministic.
+    Nondeterministic {
+        /// The automaton that failed the determinism requirement.
+        automaton: String,
+        /// The state at which nondeterminism was detected.
+        state: String,
+    },
+    /// An operation required an automaton with only exact transition guards
+    /// (no symbolic families), e.g. the left-hand side of a refinement check.
+    SymbolicUnsupported {
+        /// Description of where the symbolic guard was encountered.
+        detail: String,
+    },
+    /// An incomplete automaton's `T` and `T̄` overlap (Definition 6 requires
+    /// them to be consistent).
+    InconsistentIncomplete {
+        /// The state at which the same interaction is both allowed and refused.
+        state: String,
+    },
+    /// A size limit was exceeded (state-space explosion guard).
+    Limit {
+        /// What limit was exceeded.
+        what: String,
+        /// The configured maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for AutomataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomataError::UniverseMismatch => {
+                write!(f, "operands were built against different universes")
+            }
+            AutomataError::UnknownState(s) => write!(f, "unknown state `{s}`"),
+            AutomataError::UndeclaredSignal { automaton, detail } => {
+                write!(f, "automaton `{automaton}` uses undeclared signal: {detail}")
+            }
+            AutomataError::NoInitialState(a) => {
+                write!(f, "automaton `{a}` has no initial state")
+            }
+            AutomataError::NotComposable { detail } => {
+                write!(f, "automata are not composable: {detail}")
+            }
+            AutomataError::FreeSignalOverflow { free, cap } => {
+                write!(
+                    f,
+                    "expansion would enumerate 2^{free} labels, exceeding the cap of 2^{cap}"
+                )
+            }
+            AutomataError::Nondeterministic { automaton, state } => {
+                write!(f, "automaton `{automaton}` is nondeterministic at state `{state}`")
+            }
+            AutomataError::SymbolicUnsupported { detail } => {
+                write!(f, "symbolic transition guards are not supported here: {detail}")
+            }
+            AutomataError::InconsistentIncomplete { state } => {
+                write!(
+                    f,
+                    "incomplete automaton allows and refuses the same interaction at state `{state}`"
+                )
+            }
+            AutomataError::Limit { what, max } => {
+                write!(f, "limit exceeded: {what} (max {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AutomataError {}
+
+/// Convenient result alias for kernel operations.
+pub type Result<T> = std::result::Result<T, AutomataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AutomataError::UnknownState("noConvoy".into());
+        assert!(e.to_string().contains("noConvoy"));
+        let e = AutomataError::FreeSignalOverflow { free: 40, cap: 20 };
+        assert!(e.to_string().contains("2^40"));
+        let e = AutomataError::Nondeterministic {
+            automaton: "shuttle".into(),
+            state: "s1".into(),
+        };
+        assert!(e.to_string().contains("shuttle"));
+        assert!(e.to_string().contains("s1"));
+    }
+}

@@ -1,0 +1,543 @@
+//! Incomplete automata (Definitions 6–7) and learning (Definitions 11–12).
+//!
+//! An incomplete automaton `M = (S, I, O, T, T̄, Q)` records the behaviour
+//! *known so far* of a partially observed component: `T` holds observed
+//! transitions, `T̄` holds interactions observed to be *refused* (blocked).
+//! Unknown interactions are neither — the chaotic closure
+//! ([`crate::chaotic_closure`]) later accounts for them pessimistically.
+//!
+//! Learning a regular run adds its states and transitions (Definition 11);
+//! learning a deadlock run adds the blocked interaction to `T̄`
+//! (Definition 12). Both preserve observation conformance (Lemma 7).
+
+use std::collections::HashMap;
+
+use crate::automaton::{Automaton, StateId};
+use crate::error::{AutomataError, Result};
+use crate::label::Label;
+use crate::prop::PropSet;
+use crate::signal::SignalSet;
+use crate::universe::Universe;
+
+/// A run observed on the real component, with monitored state *names*
+/// (obtained via deterministic replay instrumentation) instead of state ids.
+///
+/// * regular observation: `states.len() == labels.len() + 1`
+/// * blocked observation: `states.len() == labels.len()`; the last label was
+///   attempted in the last state and refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    /// Monitored state names, starting with the initial state.
+    pub states: Vec<String>,
+    /// Observed interactions.
+    pub labels: Vec<Label>,
+    /// Whether the final interaction was blocked.
+    pub blocked: bool,
+}
+
+impl Observation {
+    /// A regular (non-blocked) observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != labels.len() + 1`.
+    pub fn regular(states: Vec<String>, labels: Vec<Label>) -> Self {
+        assert_eq!(states.len(), labels.len() + 1, "regular observation shape");
+        Observation {
+            states,
+            labels,
+            blocked: false,
+        }
+    }
+
+    /// An observation whose final interaction was refused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != labels.len()`.
+    pub fn blocked(states: Vec<String>, labels: Vec<Label>) -> Self {
+        assert_eq!(states.len(), labels.len(), "blocked observation shape");
+        Observation {
+            states,
+            labels,
+            blocked: true,
+        }
+    }
+}
+
+/// An incomplete automaton (Definition 6).
+///
+/// States carry names (matching the monitoring instrumentation of the legacy
+/// component) and propositions. All transitions are concrete labels — only
+/// actually observed behaviour is recorded.
+#[derive(Debug, Clone)]
+pub struct IncompleteAutomaton {
+    universe: Universe,
+    name: String,
+    inputs: SignalSet,
+    outputs: SignalSet,
+    state_names: Vec<String>,
+    state_props: Vec<PropSet>,
+    /// `T`: observed transitions, per state.
+    transitions: Vec<Vec<(Label, StateId)>>,
+    /// `T̄`: observed refusals, per state.
+    refused: Vec<Vec<Label>>,
+    initial: Vec<StateId>,
+    index: HashMap<String, StateId>,
+}
+
+impl IncompleteAutomaton {
+    /// Creates the *trivial* incomplete automaton of Lemma 4:
+    /// `M_l^0 = ({s₀}, I, O, ∅, ∅, {s₀})` capturing only the known initial
+    /// state of the legacy component.
+    pub fn trivial(
+        u: &Universe,
+        name: &str,
+        inputs: SignalSet,
+        outputs: SignalSet,
+        initial_state: &str,
+    ) -> Self {
+        let mut m = IncompleteAutomaton {
+            universe: u.clone(),
+            name: name.to_owned(),
+            inputs,
+            outputs,
+            state_names: Vec::new(),
+            state_props: Vec::new(),
+            transitions: Vec::new(),
+            refused: Vec::new(),
+            initial: Vec::new(),
+            index: HashMap::new(),
+        };
+        let s0 = m.intern_state(initial_state);
+        m.initial.push(s0);
+        m
+    }
+
+    fn intern_state(&mut self, name: &str) -> StateId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = StateId(self.state_names.len() as u32);
+        self.state_names.push(name.to_owned());
+        self.state_props.push(PropSet::EMPTY);
+        self.transitions.push(Vec::new());
+        self.refused.push(Vec::new());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// The universe this automaton was built against.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The automaton name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input signals `I`.
+    pub fn inputs(&self) -> SignalSet {
+        self.inputs
+    }
+
+    /// Output signals `O`.
+    pub fn outputs(&self) -> SignalSet {
+        self.outputs
+    }
+
+    /// Number of states learned so far.
+    pub fn state_count(&self) -> usize {
+        self.state_names.len()
+    }
+
+    /// Number of observed transitions `|T|`.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.iter().map(Vec::len).sum()
+    }
+
+    /// Number of recorded refusals `|T̄|`.
+    pub fn refusal_count(&self) -> usize {
+        self.refused.iter().map(Vec::len).sum()
+    }
+
+    /// Looks up a state by name.
+    pub fn find_state(&self, name: &str) -> Option<StateId> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of state `s`.
+    pub fn state_name(&self, s: StateId) -> &str {
+        &self.state_names[s.index()]
+    }
+
+    /// Observed transitions leaving `s`.
+    pub fn transitions_from(&self, s: StateId) -> &[(Label, StateId)] {
+        &self.transitions[s.index()]
+    }
+
+    /// Recorded refusals at `s`.
+    pub fn refusals_at(&self, s: StateId) -> &[Label] {
+        &self.refused[s.index()]
+    }
+
+    /// Initial states `Q`.
+    pub fn initial_states(&self) -> &[StateId] {
+        &self.initial
+    }
+
+    /// Attaches a proposition to a state by name (used to carry the pattern
+    /// constraint's atomic propositions onto monitored legacy states).
+    pub fn set_prop(&mut self, state: &str, prop: crate::PropId) {
+        let id = self.intern_state(state);
+        self.state_props[id.index()].insert(prop);
+    }
+
+    /// The propositions of state `s`.
+    pub fn props_of(&self, s: StateId) -> PropSet {
+        self.state_props[s.index()]
+    }
+
+    /// Whether the incomplete automaton is deterministic (Section 2.6): at
+    /// most one entry in `T ∪ T̄` per `(s, A, B)`.
+    pub fn is_deterministic(&self) -> bool {
+        for (s, ts) in self.transitions.iter().enumerate() {
+            for (i, (l, _)) in ts.iter().enumerate() {
+                if ts[i + 1..].iter().any(|(l2, _)| l2 == l) {
+                    return false;
+                }
+                if self.refused[s].contains(l) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the automaton is *complete* (Section 2.6): every interaction
+    /// at every state is either in `T` or in `T̄`.
+    pub fn is_complete(&self) -> bool {
+        let total = 1u128
+            .checked_shl((self.inputs.len() + self.outputs.len()) as u32)
+            .unwrap_or(u128::MAX);
+        for s in 0..self.state_names.len() {
+            let covered = self.transitions[s].len() as u128 + self.refused[s].len() as u128;
+            if covered < total {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Learns an observation (Definition 11 for regular runs, Definition 12
+    /// for blocked runs). New states and transitions are added to `T`, a
+    /// blocked final interaction to `T̄`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::InconsistentIncomplete`] if the observation
+    /// contradicts recorded knowledge (an interaction both refused and
+    /// observed) — with a deterministic component this indicates a broken
+    /// monitoring setup.
+    pub fn learn(&mut self, obs: &Observation) -> Result<()> {
+        let steps = if obs.blocked {
+            obs.labels.len().saturating_sub(1)
+        } else {
+            obs.labels.len()
+        };
+        // First pass: consistency.
+        for i in 0..steps {
+            if let Some(&from) = self.index.get(&obs.states[i]) {
+                if self.refused[from.index()].contains(&obs.labels[i]) {
+                    return Err(AutomataError::InconsistentIncomplete {
+                        state: obs.states[i].clone(),
+                    });
+                }
+            }
+        }
+        if obs.blocked {
+            let last_name = obs.states.last().expect("observations are nonempty");
+            let blocked_label = *obs.labels.last().expect("blocked observations have a label");
+            if let Some(&s) = self.index.get(last_name) {
+                if self.transitions[s.index()]
+                    .iter()
+                    .any(|(l, _)| *l == blocked_label)
+                {
+                    return Err(AutomataError::InconsistentIncomplete {
+                        state: last_name.clone(),
+                    });
+                }
+            }
+        }
+        // Second pass: merge.
+        let first = self.intern_state(&obs.states[0]);
+        if !self.initial.contains(&first) {
+            self.initial.push(first);
+        }
+        for i in 0..steps {
+            let from = self.intern_state(&obs.states[i]);
+            let to = self.intern_state(&obs.states[i + 1]);
+            let entry = (obs.labels[i], to);
+            if !self.transitions[from.index()].contains(&entry) {
+                self.transitions[from.index()].push(entry);
+            }
+        }
+        if obs.blocked {
+            let last = self.intern_state(obs.states.last().expect("nonempty"));
+            let blocked_label = *obs.labels.last().expect("blocked observations have a label");
+            if !self.refused[last.index()].contains(&blocked_label) {
+                self.refused[last.index()].push(blocked_label);
+            }
+        }
+        Ok(())
+    }
+
+    /// Observation conformance (Definition 10): every run of this incomplete
+    /// automaton — including its state names — is a run of `reference`.
+    ///
+    /// States are matched by name. Used to validate Theorem 1 in tests.
+    pub fn observation_conforming(&self, reference: &Automaton) -> bool {
+        // Initial states must be initial in the reference.
+        for &q in &self.initial {
+            match reference.find_state(&self.state_names[q.index()]) {
+                Some(r) if reference.initial_states().contains(&r) => {}
+                _ => return false,
+            }
+        }
+        for (s, ts) in self.transitions.iter().enumerate() {
+            let rs = match reference.find_state(&self.state_names[s]) {
+                Some(r) => r,
+                None => return false,
+            };
+            for (l, to) in ts {
+                let rto = match reference.find_state(&self.state_names[to.index()]) {
+                    Some(r) => r,
+                    None => return false,
+                };
+                if !reference
+                    .transitions_from(rs)
+                    .iter()
+                    .any(|t| t.guard.admits(*l) && t.to == rto)
+                {
+                    return false;
+                }
+            }
+            // Refusals: the reference must also block the interaction.
+            for l in &self.refused[s] {
+                if reference.enables(rs, *l) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Converts the *known* part (T only) into a plain [`Automaton`].
+    ///
+    /// Deadlock runs from `T̄` are not representable in a plain automaton;
+    /// use [`crate::chaotic_closure`] for the safe abstraction.
+    pub fn known_automaton(&self) -> Automaton {
+        let states = self
+            .state_names
+            .iter()
+            .zip(&self.state_props)
+            .map(|(n, &p)| crate::automaton::StateData {
+                name: n.clone(),
+                props: p,
+            })
+            .collect();
+        let adj = self
+            .transitions
+            .iter()
+            .map(|ts| {
+                ts.iter()
+                    .map(|(l, to)| crate::automaton::Transition {
+                        guard: crate::label::Guard::Exact(*l),
+                        to: *to,
+                    })
+                    .collect()
+            })
+            .collect();
+        Automaton {
+            universe: self.universe.clone(),
+            name: self.name.clone(),
+            inputs: self.inputs,
+            outputs: self.outputs,
+            states,
+            adj,
+            initial: self.initial.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn label(u: &Universe, ins: &[&str], outs: &[&str]) -> Label {
+        Label::new(
+            ins.iter().map(|n| u.signal(n)).collect(),
+            outs.iter().map(|n| u.signal(n)).collect(),
+        )
+    }
+
+    fn setup() -> (Universe, IncompleteAutomaton) {
+        let u = Universe::new();
+        let inputs = u.signals(["start", "reject"]);
+        let outputs = u.signals(["propose"]);
+        let m = IncompleteAutomaton::trivial(&u, "legacy", inputs, outputs, "noConvoy");
+        (u, m)
+    }
+
+    #[test]
+    fn trivial_has_one_state_no_transitions() {
+        let (_, m) = setup();
+        assert_eq!(m.state_count(), 1);
+        assert_eq!(m.transition_count(), 0);
+        assert_eq!(m.refusal_count(), 0);
+        assert_eq!(m.initial_states().len(), 1);
+        assert_eq!(m.state_name(StateId(0)), "noConvoy");
+        assert!(m.is_deterministic());
+        assert!(!m.is_complete());
+    }
+
+    #[test]
+    fn learn_regular_run_adds_states_and_transitions() {
+        let (u, mut m) = setup();
+        let obs = Observation::regular(
+            vec!["noConvoy".into(), "wait".into(), "convoy".into()],
+            vec![label(&u, &[], &["propose"]), label(&u, &["start"], &[])],
+        );
+        m.learn(&obs).unwrap();
+        assert_eq!(m.state_count(), 3);
+        assert_eq!(m.transition_count(), 2);
+        let s = m.find_state("noConvoy").unwrap();
+        assert_eq!(m.transitions_from(s).len(), 1);
+        // learning the same run again is idempotent
+        m.learn(&obs).unwrap();
+        assert_eq!(m.state_count(), 3);
+        assert_eq!(m.transition_count(), 2);
+    }
+
+    #[test]
+    fn learn_blocked_run_adds_refusal() {
+        let (u, mut m) = setup();
+        let obs = Observation::blocked(
+            vec!["noConvoy".into()],
+            vec![label(&u, &["reject"], &[])],
+        );
+        m.learn(&obs).unwrap();
+        assert_eq!(m.refusal_count(), 1);
+        let s = m.find_state("noConvoy").unwrap();
+        assert_eq!(m.refusals_at(s), &[label(&u, &["reject"], &[])]);
+        assert!(m.is_deterministic());
+    }
+
+    #[test]
+    fn inconsistent_observation_is_rejected() {
+        let (u, mut m) = setup();
+        let l = label(&u, &["reject"], &[]);
+        m.learn(&Observation::blocked(vec!["noConvoy".into()], vec![l]))
+            .unwrap();
+        // Now observing that same interaction succeed contradicts T̄.
+        let err = m
+            .learn(&Observation::regular(
+                vec!["noConvoy".into(), "x".into()],
+                vec![l],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, AutomataError::InconsistentIncomplete { .. }));
+    }
+
+    #[test]
+    fn inconsistent_refusal_is_rejected() {
+        let (u, mut m) = setup();
+        let l = label(&u, &[], &["propose"]);
+        m.learn(&Observation::regular(
+            vec!["noConvoy".into(), "wait".into()],
+            vec![l],
+        ))
+        .unwrap();
+        let err = m
+            .learn(&Observation::blocked(vec!["noConvoy".into()], vec![l]))
+            .unwrap_err();
+        assert!(matches!(err, AutomataError::InconsistentIncomplete { .. }));
+    }
+
+    #[test]
+    fn conformance_against_reference() {
+        let (u, mut m) = setup();
+        let reference = crate::AutomatonBuilder::new(&u, "real")
+            .inputs(["start", "reject"])
+            .output("propose")
+            .state("noConvoy")
+            .initial("noConvoy")
+            .state("wait")
+            .transition("noConvoy", [], ["propose"], "wait")
+            .transition("wait", ["start"], [], "noConvoy")
+            .build()
+            .unwrap();
+        assert!(m.observation_conforming(&reference));
+        m.learn(&Observation::regular(
+            vec!["noConvoy".into(), "wait".into()],
+            vec![label(&u, &[], &["propose"])],
+        ))
+        .unwrap();
+        assert!(m.observation_conforming(&reference));
+        // A refusal the reference does not share breaks conformance.
+        let mut m2 = m.clone();
+        m2.learn(&Observation::blocked(
+            vec!["noConvoy".into()],
+            vec![label(&u, &[], &["propose"])],
+        ))
+        .unwrap_err(); // also inconsistent with own T — use a fresh label
+        let mut m3 = m.clone();
+        m3.learn(&Observation::blocked(
+            vec!["wait".into()],
+            vec![label(&u, &["start"], &[])],
+        ))
+        .unwrap();
+        assert!(!m3.observation_conforming(&reference));
+    }
+
+    #[test]
+    fn known_automaton_reflects_t_only() {
+        let (u, mut m) = setup();
+        m.learn(&Observation::regular(
+            vec!["noConvoy".into(), "wait".into()],
+            vec![label(&u, &[], &["propose"])],
+        ))
+        .unwrap();
+        m.learn(&Observation::blocked(
+            vec!["wait".into()],
+            vec![label(&u, &["reject"], &[])],
+        ))
+        .unwrap();
+        let a = m.known_automaton();
+        assert_eq!(a.state_count(), 2);
+        assert_eq!(a.transition_count(), 1);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn completeness_of_tiny_interface() {
+        let u = Universe::new();
+        let i = u.signals(["a"]);
+        let mut m =
+            IncompleteAutomaton::trivial(&u, "t", i, SignalSet::EMPTY, "s");
+        assert!(!m.is_complete());
+        // interface has 2 interactions: {}/{} and {a}/{}
+        m.learn(&Observation::regular(
+            vec!["s".into(), "s".into()],
+            vec![Label::EMPTY],
+        ))
+        .unwrap();
+        m.learn(&Observation::blocked(
+            vec!["s".into()],
+            vec![label(&u, &["a"], &[])],
+        ))
+        .unwrap();
+        assert!(m.is_complete());
+    }
+}

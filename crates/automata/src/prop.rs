@@ -1,0 +1,200 @@
+//! Atomic propositions and proposition sets.
+//!
+//! Properties (Section 2.1 of the paper) are CCTL formulas over a shared set
+//! of atomic propositions `P`. Every automaton state is annotated with the
+//! subset of `P` it fulfils via a labelling function `L : S → ℘(P)`.
+//! Propositions are interned in the same [`Universe`](crate::Universe) as
+//! signals (separate namespace) and proposition sets are `u128` bitsets.
+
+use std::fmt;
+
+/// Maximum number of distinct propositions in a [`Universe`](crate::Universe).
+pub const MAX_PROPS: usize = 128;
+
+/// An interned atomic-proposition identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PropId(pub(crate) u32);
+
+impl PropId {
+    /// The raw index of this proposition inside its universe.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A set of atomic propositions (a state labelling `L(s)`).
+///
+/// # Examples
+///
+/// ```
+/// use muml_automata::{Universe, PropSet};
+/// let u = Universe::new();
+/// let convoy = u.prop("convoy");
+/// let front = u.prop("front");
+/// let l = PropSet::singleton(convoy).with(front);
+/// assert!(l.contains(convoy));
+/// assert_eq!(l.len(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PropSet(pub(crate) u128);
+
+impl PropSet {
+    /// The empty proposition set.
+    pub const EMPTY: PropSet = PropSet(0);
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        PropSet(0)
+    }
+
+    /// Creates a set containing a single proposition.
+    pub fn singleton(id: PropId) -> Self {
+        PropSet(1u128 << id.0)
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of propositions in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if `id` is a member.
+    pub fn contains(self, id: PropId) -> bool {
+        self.0 & (1u128 << id.0) != 0
+    }
+
+    /// Inserts a proposition, returning the updated set.
+    #[must_use]
+    pub fn with(self, id: PropId) -> Self {
+        PropSet(self.0 | (1u128 << id.0))
+    }
+
+    /// Inserts a proposition in place.
+    pub fn insert(&mut self, id: PropId) {
+        self.0 |= 1u128 << id.0;
+    }
+
+    /// Removes a proposition in place.
+    pub fn remove(&mut self, id: PropId) {
+        self.0 &= !(1u128 << id.0);
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: PropSet) -> PropSet {
+        PropSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: PropSet) -> PropSet {
+        PropSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[must_use]
+    pub fn difference(self, other: PropSet) -> PropSet {
+        PropSet(self.0 & !other.0)
+    }
+
+    /// Returns `true` if `self ⊆ other`.
+    pub fn is_subset(self, other: PropSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Returns `true` if the sets share no proposition.
+    pub fn is_disjoint(self, other: PropSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterates over the member [`PropId`]s in ascending order.
+    pub fn iter(self) -> PropSetIter {
+        PropSetIter(self.0)
+    }
+}
+
+impl FromIterator<PropId> for PropSet {
+    fn from_iter<T: IntoIterator<Item = PropId>>(iter: T) -> Self {
+        let mut s = PropSet::new();
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for PropSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PropSet{{")?;
+        let mut first = true;
+        for id in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", id.0)?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the members of a [`PropSet`].
+#[derive(Debug, Clone)]
+pub struct PropSetIter(u128);
+
+impl Iterator for PropSetIter {
+    type Item = PropId;
+
+    fn next(&mut self) -> Option<PropId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let tz = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(PropId(tz))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> PropId {
+        PropId(i)
+    }
+
+    #[test]
+    fn basic_membership() {
+        let mut s = PropSet::new();
+        assert!(s.is_empty());
+        s.insert(pid(7));
+        assert!(s.contains(pid(7)));
+        assert!(!s.contains(pid(8)));
+        s.remove(pid(7));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn algebra_and_subset() {
+        let a = PropSet::from_iter([pid(1), pid(2)]);
+        let b = PropSet::from_iter([pid(2), pid(3)]);
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b), PropSet::singleton(pid(2)));
+        assert_eq!(a.difference(b), PropSet::singleton(pid(1)));
+        assert!(PropSet::EMPTY.is_subset(a));
+        assert!(a.intersection(b).is_subset(b));
+        assert!(a.difference(b).is_disjoint(b));
+    }
+
+    #[test]
+    fn iter_order() {
+        let s = PropSet::from_iter([pid(40), pid(3)]);
+        let v: Vec<u32> = s.iter().map(|p| p.0).collect();
+        assert_eq!(v, vec![3, 40]);
+    }
+}

@@ -1,0 +1,301 @@
+//! Signals and signal sets.
+//!
+//! The automata of the paper (Definition 1) exchange *signals*: a transition
+//! is labelled with a set of input signals `A ⊆ I` and a set of output
+//! signals `B ⊆ O`. Signals are interned in a [`Universe`](crate::Universe)
+//! and represented as small integer ids; signal *sets* are `u128` bitsets so
+//! that the set algebra used pervasively by composition and refinement is
+//! branch-free and allocation-free.
+
+use std::fmt;
+
+/// Maximum number of distinct signals in a [`Universe`](crate::Universe).
+pub const MAX_SIGNALS: usize = 128;
+
+/// An interned signal identifier.
+///
+/// Obtained from [`Universe::signal`](crate::Universe::signal). Only
+/// meaningful relative to the universe that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// The raw index of this signal inside its universe.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A set of signals, represented as a 128-bit bitset.
+///
+/// All operations are O(1). The set is only meaningful relative to the
+/// [`Universe`](crate::Universe) whose [`SignalId`]s were inserted.
+///
+/// # Examples
+///
+/// ```
+/// use muml_automata::{Universe, SignalSet};
+/// let u = Universe::new();
+/// let a = u.signal("convoyProposal");
+/// let b = u.signal("startConvoy");
+/// let set = SignalSet::from_iter([a, b]);
+/// assert!(set.contains(a));
+/// assert_eq!(set.len(), 2);
+/// assert!(set.intersection(SignalSet::singleton(a)) == SignalSet::singleton(a));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SignalSet(pub(crate) u128);
+
+impl SignalSet {
+    /// The empty signal set.
+    pub const EMPTY: SignalSet = SignalSet(0);
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        SignalSet(0)
+    }
+
+    /// Creates a set containing a single signal.
+    pub fn singleton(id: SignalId) -> Self {
+        SignalSet(1u128 << id.0)
+    }
+
+    /// Returns `true` if the set contains no signals.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of signals in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if `id` is a member.
+    pub fn contains(self, id: SignalId) -> bool {
+        self.0 & (1u128 << id.0) != 0
+    }
+
+    /// Inserts a signal, returning the updated set.
+    #[must_use]
+    pub fn with(self, id: SignalId) -> Self {
+        SignalSet(self.0 | (1u128 << id.0))
+    }
+
+    /// Removes a signal, returning the updated set.
+    #[must_use]
+    pub fn without(self, id: SignalId) -> Self {
+        SignalSet(self.0 & !(1u128 << id.0))
+    }
+
+    /// Inserts a signal in place.
+    pub fn insert(&mut self, id: SignalId) {
+        self.0 |= 1u128 << id.0;
+    }
+
+    /// Removes a signal in place.
+    pub fn remove(&mut self, id: SignalId) {
+        self.0 &= !(1u128 << id.0);
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: SignalSet) -> SignalSet {
+        SignalSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: SignalSet) -> SignalSet {
+        SignalSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[must_use]
+    pub fn difference(self, other: SignalSet) -> SignalSet {
+        SignalSet(self.0 & !other.0)
+    }
+
+    /// Returns `true` if `self ⊆ other`.
+    pub fn is_subset(self, other: SignalSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Returns `true` if the sets share no signal.
+    pub fn is_disjoint(self, other: SignalSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterates over the member [`SignalId`]s in ascending order.
+    pub fn iter(self) -> SignalSetIter {
+        SignalSetIter(self.0)
+    }
+
+    /// Enumerates every subset of this set.
+    ///
+    /// The number of subsets is `2^len()`; callers must bound `len()` before
+    /// calling (see [`crate::compose`], which caps free-signal enumeration).
+    pub fn subsets(self) -> Subsets {
+        Subsets {
+            mask: self.0,
+            current: 0,
+            done: false,
+        }
+    }
+
+    /// The raw bit representation (stable within one universe).
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+}
+
+impl FromIterator<SignalId> for SignalSet {
+    fn from_iter<T: IntoIterator<Item = SignalId>>(iter: T) -> Self {
+        let mut s = SignalSet::new();
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for SignalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SignalSet{{")?;
+        let mut first = true;
+        for id in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", id.0)?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the members of a [`SignalSet`].
+#[derive(Debug, Clone)]
+pub struct SignalSetIter(u128);
+
+impl Iterator for SignalSetIter {
+    type Item = SignalId;
+
+    fn next(&mut self) -> Option<SignalId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let tz = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(SignalId(tz))
+        }
+    }
+}
+
+/// Iterator over all subsets of a [`SignalSet`] (including the empty set and
+/// the full set). Produced by [`SignalSet::subsets`].
+#[derive(Debug, Clone)]
+pub struct Subsets {
+    mask: u128,
+    current: u128,
+    done: bool,
+}
+
+impl Iterator for Subsets {
+    type Item = SignalSet;
+
+    fn next(&mut self) -> Option<SignalSet> {
+        if self.done {
+            return None;
+        }
+        let out = SignalSet(self.current);
+        if self.current == self.mask {
+            self.done = true;
+        } else {
+            // Standard subset enumeration trick: step through the subsets of
+            // `mask` in increasing numeric order.
+            self.current = (self.current.wrapping_sub(self.mask)) & self.mask;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(i: u32) -> SignalId {
+        SignalId(i)
+    }
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let s = SignalSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(sid(0)));
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_and_remove_roundtrip() {
+        let mut s = SignalSet::new();
+        s.insert(sid(3));
+        s.insert(sid(100));
+        assert!(s.contains(sid(3)));
+        assert!(s.contains(sid(100)));
+        assert_eq!(s.len(), 2);
+        s.remove(sid(3));
+        assert!(!s.contains(sid(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = SignalSet::from_iter([sid(0), sid(1), sid(2)]);
+        let b = SignalSet::from_iter([sid(1), sid(2), sid(3)]);
+        assert_eq!(a.union(b), SignalSet::from_iter([sid(0), sid(1), sid(2), sid(3)]));
+        assert_eq!(a.intersection(b), SignalSet::from_iter([sid(1), sid(2)]));
+        assert_eq!(a.difference(b), SignalSet::singleton(sid(0)));
+        assert!(a.intersection(b).is_subset(a));
+        assert!(!a.is_subset(b));
+        assert!(a.difference(b).is_disjoint(b));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s = SignalSet::from_iter([sid(9), sid(1), sid(64)]);
+        let ids: Vec<u32> = s.iter().map(|i| i.0).collect();
+        assert_eq!(ids, vec![1, 9, 64]);
+    }
+
+    #[test]
+    fn subsets_enumerates_powerset() {
+        let s = SignalSet::from_iter([sid(0), sid(2), sid(5)]);
+        let subs: Vec<SignalSet> = s.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        // All distinct, all subsets.
+        for (i, a) in subs.iter().enumerate() {
+            assert!(a.is_subset(s));
+            for b in &subs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Empty and full set included.
+        assert!(subs.contains(&SignalSet::EMPTY));
+        assert!(subs.contains(&s));
+    }
+
+    #[test]
+    fn subsets_of_empty_is_just_empty() {
+        let subs: Vec<SignalSet> = SignalSet::EMPTY.subsets().collect();
+        assert_eq!(subs, vec![SignalSet::EMPTY]);
+    }
+
+    #[test]
+    fn bit_128_boundary() {
+        let s = SignalSet::singleton(sid(127));
+        assert!(s.contains(sid(127)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().next(), Some(sid(127)));
+    }
+}

@@ -1,0 +1,221 @@
+//! The shared name universe for signals and propositions.
+//!
+//! All automata that are composed, compared, or checked together must share a
+//! single [`Universe`]: it interns signal and proposition names to the small
+//! integer ids that [`SignalSet`](crate::SignalSet) and
+//! [`PropSet`](crate::PropSet) bitsets are built from.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::prop::{PropId, MAX_PROPS};
+use crate::signal::{SignalId, SignalSet, MAX_SIGNALS};
+use crate::PropSet;
+
+#[derive(Default)]
+struct UniverseInner {
+    signals: Vec<String>,
+    props: Vec<String>,
+}
+
+/// An append-only interner mapping signal and proposition names to ids.
+///
+/// Cloning a `Universe` is cheap (it is internally reference-counted); all
+/// clones observe the same name table. Automata hold a clone of the universe
+/// they were built against, and the kernel operations verify at the
+/// boundaries that their operands share one universe.
+///
+/// # Panics
+///
+/// [`Universe::signal`] panics after [`MAX_SIGNALS`] distinct signals and
+/// [`Universe::prop`] after [`MAX_PROPS`] distinct propositions; the bitset
+/// representation caps the universe size. Both limits are generous for the
+/// component alphabets this library targets.
+///
+/// # Examples
+///
+/// ```
+/// use muml_automata::Universe;
+/// let u = Universe::new();
+/// let a = u.signal("convoyProposal");
+/// assert_eq!(u.signal("convoyProposal"), a); // interned
+/// assert_eq!(u.signal_name(a), "convoyProposal");
+/// ```
+#[derive(Clone, Default)]
+pub struct Universe {
+    inner: Arc<Mutex<UniverseInner>>,
+}
+
+impl Universe {
+    /// Creates a fresh, empty universe.
+    pub fn new() -> Self {
+        Universe::default()
+    }
+
+    /// Interns a signal name, returning its id.
+    ///
+    /// Repeated calls with the same name return the same id.
+    pub fn signal(&self, name: &str) -> SignalId {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(pos) = inner.signals.iter().position(|s| s == name) {
+            return SignalId(pos as u32);
+        }
+        assert!(
+            inner.signals.len() < MAX_SIGNALS,
+            "universe supports at most {MAX_SIGNALS} signals"
+        );
+        inner.signals.push(name.to_owned());
+        SignalId((inner.signals.len() - 1) as u32)
+    }
+
+    /// Interns several signal names at once, returning them as a set.
+    pub fn signals<'a, I: IntoIterator<Item = &'a str>>(&self, names: I) -> SignalSet {
+        names.into_iter().map(|n| self.signal(n)).collect()
+    }
+
+    /// Interns a proposition name, returning its id.
+    pub fn prop(&self, name: &str) -> PropId {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(pos) = inner.props.iter().position(|p| p == name) {
+            return PropId(pos as u32);
+        }
+        assert!(
+            inner.props.len() < MAX_PROPS,
+            "universe supports at most {MAX_PROPS} propositions"
+        );
+        inner.props.push(name.to_owned());
+        PropId((inner.props.len() - 1) as u32)
+    }
+
+    /// Interns several proposition names at once, returning them as a set.
+    pub fn props<'a, I: IntoIterator<Item = &'a str>>(&self, names: I) -> PropSet {
+        names.into_iter().map(|n| self.prop(n)).collect()
+    }
+
+    /// Looks up a signal id by name without interning.
+    pub fn find_signal(&self, name: &str) -> Option<SignalId> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .signals
+            .iter()
+            .position(|s| s == name)
+            .map(|p| SignalId(p as u32))
+    }
+
+    /// Looks up a proposition id by name without interning.
+    pub fn find_prop(&self, name: &str) -> Option<PropId> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .props
+            .iter()
+            .position(|p| p == name)
+            .map(|p| PropId(p as u32))
+    }
+
+    /// The name of an interned signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this universe.
+    pub fn signal_name(&self, id: SignalId) -> String {
+        self.inner.lock().unwrap().signals[id.0 as usize].clone()
+    }
+
+    /// The name of an interned proposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this universe.
+    pub fn prop_name(&self, id: PropId) -> String {
+        self.inner.lock().unwrap().props[id.0 as usize].clone()
+    }
+
+    /// Number of interned signals.
+    pub fn signal_count(&self) -> usize {
+        self.inner.lock().unwrap().signals.len()
+    }
+
+    /// Number of interned propositions.
+    pub fn prop_count(&self) -> usize {
+        self.inner.lock().unwrap().props.len()
+    }
+
+    /// Renders a signal set as `{a,b,c}` using this universe's names.
+    pub fn show_signals(&self, set: SignalSet) -> String {
+        let names: Vec<String> = set.iter().map(|s| self.signal_name(s)).collect();
+        format!("{{{}}}", names.join(","))
+    }
+
+    /// Renders a proposition set as `{p,q}` using this universe's names.
+    pub fn show_props(&self, set: PropSet) -> String {
+        let names: Vec<String> = set.iter().map(|p| self.prop_name(p)).collect();
+        format!("{{{}}}", names.join(","))
+    }
+
+    /// Returns `true` if `other` is the same universe (same interner).
+    pub fn same_as(&self, other: &Universe) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for Universe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("Universe")
+            .field("signals", &inner.signals.len())
+            .field("props", &inner.props.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let u = Universe::new();
+        let a = u.signal("x");
+        let b = u.signal("y");
+        assert_ne!(a, b);
+        assert_eq!(u.signal("x"), a);
+        assert_eq!(u.signal_count(), 2);
+    }
+
+    #[test]
+    fn props_and_signals_are_separate_namespaces() {
+        let u = Universe::new();
+        let s = u.signal("convoy");
+        let p = u.prop("convoy");
+        assert_eq!(s.index(), 0);
+        assert_eq!(p.index(), 0);
+        assert_eq!(u.signal_name(s), "convoy");
+        assert_eq!(u.prop_name(p), "convoy");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let u = Universe::new();
+        let v = u.clone();
+        let a = u.signal("a");
+        assert_eq!(v.find_signal("a"), Some(a));
+        assert!(u.same_as(&v));
+        assert!(!u.same_as(&Universe::new()));
+    }
+
+    #[test]
+    fn batch_interning() {
+        let u = Universe::new();
+        let set = u.signals(["a", "b", "c"]);
+        assert_eq!(set.len(), 3);
+        assert_eq!(u.show_signals(set), "{a,b,c}");
+    }
+
+    #[test]
+    fn find_does_not_intern() {
+        let u = Universe::new();
+        assert_eq!(u.find_signal("missing"), None);
+        assert_eq!(u.signal_count(), 0);
+        assert_eq!(u.find_prop("missing"), None);
+    }
+}

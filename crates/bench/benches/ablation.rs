@@ -1,0 +1,41 @@
+//! Ablation: the Section-7 "multiple counterexamples per check"
+//! improvement — batched vs single counterexample derivation on the
+//! counter protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use muml_bench::workload::counter_workload;
+use muml_core::{verify_integration, IntegrationConfig, LegacyUnit};
+use muml_legacy::PortMap;
+
+fn run(batch: usize) -> usize {
+    let w = counter_workload(8, 5);
+    let mut c = w.component.clone();
+    let mut units = [LegacyUnit::new(&mut c, PortMap::with_default("p"))];
+    let report = verify_integration(
+        &w.universe,
+        &w.context,
+        &[],
+        &mut units,
+        &IntegrationConfig {
+            batch_counterexamples: batch,
+            ..IntegrationConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(report.verdict.proven());
+    report.stats.iterations
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_batch_cex");
+    group.sample_size(10);
+    for batch in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &n| {
+            b.iter(|| run(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

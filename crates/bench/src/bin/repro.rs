@@ -1,0 +1,269 @@
+//! `repro` — regenerates every figure, listing, and experiment table of the
+//! paper (DESIGN.md §3 maps each artefact to its command).
+//!
+//! ```text
+//! repro fig1|fig2|fig3|fig4|fig5|fig6|fig7
+//! repro listing1_1|listing1_2|listing1_3|listing1_4|listing1_5
+//! repro table_a|table_b|table_c|table_d|table_e
+//! repro all
+//! ```
+
+use std::time::Instant;
+
+use muml_automata::{chaotic_closure, compose2, to_dot, Universe};
+use muml_bench::experiments::{render_rows, table_a, table_b, table_c, table_e};
+use muml_bench::workload::counter_workload;
+use muml_core::{default_mapper, initial_knowledge, render_report, IntegrationVerdict};
+use muml_logic::{Checker, Formula};
+use muml_railcab::scenario;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let known = [
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "listing1_1", "listing1_2",
+        "listing1_3", "listing1_4", "listing1_5", "table_a", "table_b", "table_c", "table_d",
+        "table_e", "table_f",
+    ];
+    if what == "all" {
+        for k in known {
+            run(k);
+        }
+    } else if known.contains(&what) {
+        run(what);
+    } else {
+        eprintln!("unknown artefact `{what}`; known: {known:?} or `all`");
+        std::process::exit(2);
+    }
+}
+
+fn heading(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn run(what: &str) {
+    let u = Universe::new();
+    match what {
+        "fig1" => {
+            heading("Figure 1 — the DistanceCoordination pattern");
+            let p = muml_railcab::distance_coordination(&u);
+            println!("pattern: {}", p.name);
+            println!(
+                "constraint: {}",
+                p.constraint.as_ref().map(|c| c.show(&u)).unwrap_or_default()
+            );
+            for r in &p.roles {
+                println!(
+                    "role {} ({} states), invariant: {}",
+                    r.name,
+                    r.behavior.state_count(),
+                    r.invariant.as_ref().map(|i| i.show(&u)).unwrap_or_default()
+                );
+            }
+            println!(
+                "connector `{}`: {} message kinds, delay {}",
+                p.connector.name,
+                p.connector.kinds.len(),
+                p.connector.delay
+            );
+            let report = muml_arch::verify_pattern(&p).expect("pattern checkable");
+            println!(
+                "pattern verification: {} ({} composed states)",
+                if report.ok() { "OK" } else { "VIOLATED" },
+                report.state_count
+            );
+        }
+        "fig2" => {
+            heading("Figure 2 — the iterative process (correct shuttle)");
+            let (report, _) = scenario::integrate_correct(&u);
+            print!("{}", render_report(&report));
+        }
+        "fig3" => {
+            heading("Figure 3 — the chaotic automaton");
+            print!("{}", scenario::fig3_chaotic_automaton(&u));
+        }
+        "fig4" => {
+            heading("Figure 4 — trivial initial automaton and its chaotic closure");
+            let (m0, a0) = scenario::fig4_initial(&u);
+            println!(
+                "(4a) M_l^0: {} state, {} transitions, {} refusals",
+                m0.state_count(),
+                m0.transition_count(),
+                m0.refusal_count()
+            );
+            print!("{}", to_dot(&m0.known_automaton()));
+            println!("(4b) M_a^0 = chaos(M_l^0): {} states", a0.state_count());
+            print!("{}", to_dot(&a0));
+        }
+        "fig5" => {
+            heading("Figure 5 — known behaviour of the context (front role)");
+            print!("{}", scenario::fig5_context(&u));
+        }
+        "fig6" => {
+            heading("Figure 6 — synthesized behaviour of the faulty shuttle (conflict)");
+            let (report, dot) = scenario::integrate_faulty(&u);
+            print!("{dot}");
+            if let IntegrationVerdict::RealFault { property, .. } = &report.verdict {
+                println!("conflict with environment: {property}");
+            }
+        }
+        "fig7" => {
+            heading("Figure 7 — correct synthesized behaviour w.r.t. context");
+            let (report, dot) = scenario::integrate_correct(&u);
+            print!("{dot}");
+            println!(
+                "verdict: {}",
+                if report.verdict.proven() {
+                    "PROVEN (integration correct)"
+                } else {
+                    "unexpected"
+                }
+            );
+        }
+        "listing1_1" => {
+            heading("Listing 1.1 — counterexample of an early verification step");
+            print!("{}", scenario::listing_1_1(&u));
+        }
+        "listing1_2" => {
+            heading("Listing 1.2 — monitored relevant events for deterministic replay");
+            let (minimal, _) = scenario::listings_1_2_and_1_3(&u);
+            print!("{minimal}");
+        }
+        "listing1_3" => {
+            heading("Listing 1.3 — monitoring all relevant events (replay)");
+            let (_, full) = scenario::listings_1_2_and_1_3(&u);
+            print!("{full}");
+        }
+        "listing1_4" => {
+            heading("Listing 1.4 — counterexample with conflict in synthesized behaviour");
+            let (report, _) = scenario::integrate_faulty(&u);
+            if let IntegrationVerdict::RealFault {
+                property, rendered, ..
+            } = &report.verdict
+            {
+                print!("{rendered}");
+                println!("violated: {property}");
+                println!(
+                    "found after {} iterations — fast conflict detection",
+                    report.stats.iterations
+                );
+            }
+        }
+        "listing1_5" => {
+            heading("Listing 1.5 — successful learning step (all relevant events)");
+            print!("{}", scenario::listing_1_5(&u));
+        }
+        "table_a" => {
+            heading("Table T-A — ours vs L*+check vs black-box checking, growing component");
+            let t = table_a(&[4, 6, 8, 10]);
+            print!(
+                "{}",
+                render_rows("counter protocol, k = n/2 pushes", "n", &t)
+            );
+        }
+        "table_b" => {
+            heading("Table T-B — context restrictiveness sweep (n = 10)");
+            let t = table_b(10, &[1, 2, 4, 6, 8]);
+            println!(
+                "{:>6} {:>14} {:>14} {:>12} {:>12}",
+                "k", "ours states", "lstar states", "ours steps", "lstar steps"
+            );
+            for (k, ours, lstar) in t {
+                println!(
+                    "{k:>6} {:>14} {:>14} {:>12} {:>12}",
+                    ours.learned_states, lstar.learned_states, ours.steps, lstar.steps
+                );
+            }
+        }
+        "table_c" => {
+            heading("Table T-C — fault detection at seeded depth (n = 8, k = 6)");
+            let t = table_c(8, &[1, 2, 3, 4, 5]);
+            print!("{}", render_rows("all outcomes must be `fault`", "d", &t));
+        }
+        "table_d" => {
+            heading("Table T-D — kernel scalability (closure, composition, checking)");
+            println!(
+                "{:>6} {:>14} {:>14} {:>14} {:>10}",
+                "n", "closure states", "composed", "checker iters", "time ms"
+            );
+            for n in [8usize, 16, 32, 64] {
+                let w = counter_workload(n, n / 2);
+                let start = Instant::now();
+                let mapper = default_mapper("counter");
+                let mut inc = initial_knowledge(&w.universe, &w.component, &mapper);
+                // pre-learn the context-reachable prefix so the closure is
+                // representative of a late iteration
+                let up = w.universe.signals(["up"]);
+                let mut states = vec!["c0".to_owned()];
+                let mut labels = Vec::new();
+                for i in 1..=(n / 2) {
+                    states.push(format!("c{i}"));
+                    labels.push(muml_automata::Label::new(
+                        up,
+                        muml_automata::SignalSet::EMPTY,
+                    ));
+                }
+                inc.learn(&muml_automata::Observation::regular(states, labels))
+                    .expect("consistent");
+                let chaos = w.universe.prop("__chaos__");
+                let closure = chaotic_closure(&inc, Some(chaos));
+                let comp = compose2(&w.context, &closure).expect("composes");
+                let mut checker = Checker::new(&comp.automaton);
+                let _ = checker.satisfies(&Formula::deadlock_free());
+                println!(
+                    "{n:>6} {:>14} {:>14} {:>14} {:>10}",
+                    closure.state_count(),
+                    comp.automaton.state_count(),
+                    checker.iterations,
+                    start.elapsed().as_millis()
+                );
+            }
+        }
+        "table_e" => {
+            heading("Table T-E — multi-legacy parallel learning (n = 4, k = 2)");
+            let (single, twin) = table_e(4, 2);
+            println!(
+                "single: outcome {}, {} resets, {} steps, {} learned states, {} iterations",
+                single.outcome, single.resets, single.steps, single.learned_states, single.rounds
+            );
+            println!(
+                "twin:   outcome {}, {} resets, {} steps, {} learned states, {} iterations",
+                twin.outcome, twin.resets, twin.steps, twin.learned_states, twin.rounds
+            );
+        }
+        "table_f" => {
+            heading("Table T-F — ablation: batched counterexamples (§7 improvement)");
+            println!(
+                "{:>6} {:>12} {:>8} {:>8}",
+                "batch", "iterations", "resets", "steps"
+            );
+            for batch in [1usize, 4, 16] {
+                let w = counter_workload(8, 5);
+                let mut c = w.component.clone();
+                let report = {
+                    let mut units =
+                        [muml_core::LegacyUnit::new(&mut c, muml_legacy::PortMap::with_default("p"))];
+                    muml_core::verify_integration(
+                        &w.universe,
+                        &w.context,
+                        &[],
+                        &mut units,
+                        &muml_core::IntegrationConfig {
+                            batch_counterexamples: batch,
+                            ..muml_core::IntegrationConfig::default()
+                        },
+                    )
+                    .expect("terminates")
+                };
+                assert!(report.verdict.proven());
+                println!(
+                    "{batch:>6} {:>12} {:>8} {:>8}",
+                    report.stats.iterations,
+                    c.resets(),
+                    c.total_steps()
+                );
+            }
+        }
+        _ => unreachable!("validated in main"),
+    }
+}

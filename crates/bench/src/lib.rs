@@ -1,0 +1,8 @@
+//! Benchmark harness: workload generators and experiment runners that
+//! regenerate every figure, listing, and experiment table of the paper
+//! (see DESIGN.md §3 and the `repro` binary).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod workload;

@@ -1,0 +1,469 @@
+//! The iterative behaviour synthesis loop (Section 4, Figure 2).
+//!
+//! ```text
+//!          ┌─────────────────────────────────────────────┐
+//!          │ 1. synthesize initial behaviour M_a^0       │
+//!          └─────────────────────────────────────────────┘
+//!                             │
+//!          ┌──────────────────▼──────────────────────────┐
+//!   ┌──────│ 2. model check  M_a^c ∥ M_a^i ⊨ φ ∧ ¬δ      │──── holds ──▶ PROVEN
+//!   │      └─────────────────────────────────────────────┘               (Lemma 5)
+//!   │  counterexample π
+//!   │      ┌─────────────────────────────────────────────┐
+//!   │      │ 3. test legacy component along π|legacy     │── confirmed ─▶ REAL FAULT
+//!   │      │    (record + deterministic replay)          │               (Lemma 6)
+//!   │      └─────────────────────────────────────────────┘
+//!   │  diverged (observation π′, refusal)
+//!   │      ┌─────────────────────────────────────────────┐
+//!   └──────│ 4. learn π′ into M_l, M_a^{i+1}=chaos(M_l)  │  (Lemma 7)
+//!          └─────────────────────────────────────────────┘
+//! ```
+//!
+//! One refinement over the paper's prose is needed for *deadlock*
+//! counterexamples: a trace ending in the chaotic `s_δ` can be fully
+//! realizable by the component without any real deadlock existing (the
+//! deadlock is an artefact of the closure). After a confirmed deadlock
+//! trace the driver therefore **probes the frontier**: for every input the
+//! context can offer in its final state, it drives the component one step
+//! further and checks whether the context accepts the observed response.
+//! Either some probe succeeds (fresh knowledge, the loop continues) or
+//! every context offer is genuinely refused (a real deadlock, reported as a
+//! fault). This preserves Theorem 2's termination argument: every
+//! non-terminal iteration strictly grows `|T| + |T̄|`.
+//!
+//! Multiple legacy components (the extension sketched in Section 7) are
+//! supported: each component gets its own incomplete automaton, all
+//! closures are composed with the context, counterexamples are projected
+//! onto and tested against each component, and frontier probing checks each
+//! component against the sub-composition of everything else.
+
+use muml_automata::{
+    chaotic_closure, compose, Automaton, ComposeOptions, IncompleteAutomaton, Label, Universe,
+};
+use muml_legacy::{execute_expected_trace, PortMap, StateObservable};
+use muml_logic::{check_all, Formula, Verdict};
+
+use crate::error::CoreError;
+use crate::initial::{apply_props, initial_knowledge};
+use crate::probe::{probe_frontier, FrontierResult};
+use crate::report::render_listing;
+
+/// One legacy component under integration, with its monitoring
+/// configuration.
+pub struct LegacyUnit<'a> {
+    /// The black-box component (with replay-only state probes).
+    pub component: &'a mut dyn StateObservable,
+    /// Signal → port mapping for the `[Message]` monitor records.
+    pub ports: PortMap,
+    /// Maps monitored state names to the atomic propositions they fulfil.
+    pub prop_mapper: Box<dyn Fn(&str) -> Vec<String> + 'a>,
+}
+
+impl<'a> LegacyUnit<'a> {
+    /// Creates a unit with the default proposition mapper (state `s` of
+    /// component `c` fulfils `c.s`).
+    pub fn new(component: &'a mut dyn StateObservable, ports: PortMap) -> Self {
+        let name = component.name().to_owned();
+        LegacyUnit {
+            component,
+            ports,
+            prop_mapper: Box::new(move |state: &str| {
+                let mut props = vec![format!("{name}.{state}")];
+                if let Some((outer, _)) = state.split_once("::") {
+                    props.push(format!("{name}.{outer}"));
+                }
+                props
+            }),
+        }
+    }
+
+    /// Replaces the proposition mapper.
+    #[must_use]
+    pub fn with_mapper(mut self, mapper: impl Fn(&str) -> Vec<String> + 'a) -> Self {
+        self.prop_mapper = Box::new(mapper);
+        self
+    }
+}
+
+/// Configuration of the synthesis loop.
+#[derive(Debug, Clone)]
+pub struct IntegrationConfig {
+    /// Safety cap on iterations (Theorem 2 guarantees termination for
+    /// finite deterministic components; the cap guards misuse).
+    pub max_iterations: usize,
+    /// Composition options.
+    pub compose: ComposeOptions,
+    /// Name of the fresh chaos proposition `p′` (Section 2.7).
+    pub chaos_prop: String,
+    /// How many distinct deadlock counterexamples to derive (and test) per
+    /// verification run. `1` reproduces the paper's base scheme; larger
+    /// values implement the Section-7 improvement of learning from several
+    /// counterexamples per check.
+    pub batch_counterexamples: usize,
+}
+
+impl Default for IntegrationConfig {
+    fn default() -> Self {
+        IntegrationConfig {
+            max_iterations: 10_000,
+            compose: ComposeOptions::default(),
+            chaos_prop: "__chaos__".to_owned(),
+            batch_counterexamples: 1,
+        }
+    }
+}
+
+/// How one iteration ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IterationOutcome {
+    /// The check succeeded — integration proven correct.
+    Proven,
+    /// The counterexample was refuted by testing; the named component
+    /// diverged and its model was refined.
+    Refuted {
+        /// The component that diverged.
+        component: String,
+        /// The step index of the divergence.
+        divergence: usize,
+    },
+    /// A confirmed deadlock trace was probed at the frontier and new
+    /// behaviour was learned (the deadlock was an artefact).
+    FrontierLearned {
+        /// The component that was probed.
+        component: String,
+        /// Number of probe executions.
+        probes: usize,
+    },
+    /// The counterexample (or probed deadlock) is real — a genuine
+    /// integration fault.
+    Fault,
+}
+
+/// Statistics of one iteration.
+#[derive(Debug, Clone)]
+pub struct IterationRecord {
+    /// Iteration index (0-based).
+    pub index: usize,
+    /// Per-component `(states, transitions, refusals)` of the learned
+    /// models at the *start* of the iteration.
+    pub knowledge: Vec<(usize, usize, usize)>,
+    /// Reachable states of `M_a^c ∥ M_a^i`.
+    pub composed_states: usize,
+    /// The property the model checker reported violated, if any.
+    pub violated: Option<String>,
+    /// The counterexample of this iteration, rendered in the paper's
+    /// listing style (None when the check held).
+    pub counterexample: Option<String>,
+    /// How the iteration ended.
+    pub outcome: IterationOutcome,
+}
+
+/// Final verdict of the integration check.
+#[derive(Debug, Clone)]
+pub enum IntegrationVerdict {
+    /// `M_r^c ∥ M_r ⊨ φ ∧ ¬δ` — proven via Lemma 5 without executing the
+    /// component along every behaviour.
+    Proven,
+    /// A real integration fault, witnessed by an executed trace (Lemma 6).
+    RealFault {
+        /// The violated property (rendered).
+        property: String,
+        /// The confirmed counterexample trace (composed labels).
+        trace: Vec<Label>,
+        /// Listing-1.1-style rendering of the counterexample.
+        rendered: String,
+    },
+}
+
+impl IntegrationVerdict {
+    /// `true` for [`IntegrationVerdict::Proven`].
+    pub fn proven(&self) -> bool {
+        matches!(self, IntegrationVerdict::Proven)
+    }
+}
+
+/// Aggregate statistics of a run.
+#[derive(Debug, Clone, Default)]
+pub struct IntegrationStats {
+    /// Number of verification iterations performed.
+    pub iterations: usize,
+    /// Largest composed state space encountered.
+    pub peak_composed_states: usize,
+    /// Number of test executions (component resets driven by the harness).
+    pub tests_executed: usize,
+    /// Total component steps driven.
+    pub test_steps: usize,
+}
+
+/// The full result of [`verify_integration`].
+#[derive(Debug)]
+pub struct IntegrationReport {
+    /// The verdict.
+    pub verdict: IntegrationVerdict,
+    /// Per-iteration records (the Figure-2 narrative).
+    pub iterations: Vec<IterationRecord>,
+    /// The final learned models, one per component.
+    pub learned: Vec<IncompleteAutomaton>,
+    /// Aggregate statistics.
+    pub stats: IntegrationStats,
+}
+
+impl IntegrationReport {
+    /// Fraction of each component's knowledge that was required:
+    /// `(learned states, learned transitions)` per component. The headline
+    /// claim C4 — correctness provable *without* learning the whole
+    /// component — is measured against the component's true size by the
+    /// benchmarks.
+    pub fn learned_sizes(&self) -> Vec<(usize, usize)> {
+        self.learned
+            .iter()
+            .map(|m| (m.state_count(), m.transition_count()))
+            .collect()
+    }
+}
+
+/// Runs the combined verification/testing loop of Section 4.
+///
+/// `context` is the abstract context `M_a^c` (e.g. from
+/// `muml_arch::CoordinationPattern::context_for`), `properties` the
+/// required timed-ACTL constraints (deadlock freedom `¬δ` is always checked
+/// in addition).
+///
+/// # Errors
+///
+/// * [`CoreError::NotCompositional`] for properties outside the fragment.
+/// * [`CoreError::Replay`] if a component violates determinism.
+/// * [`CoreError::IterationLimit`] if the cap is hit (should not happen for
+///   finite deterministic components).
+/// * Kernel/model-checking failures.
+pub fn verify_integration(
+    u: &Universe,
+    context: &Automaton,
+    properties: &[Formula],
+    units: &mut [LegacyUnit<'_>],
+    config: &IntegrationConfig,
+) -> Result<IntegrationReport, CoreError> {
+    assert!(!units.is_empty(), "at least one legacy component required");
+    for f in properties {
+        if !f.is_compositional() {
+            return Err(CoreError::NotCompositional {
+                formula: f.show(u),
+            });
+        }
+    }
+    let chaos = u.prop(&config.chaos_prop);
+    let deadlock_free = Formula::deadlock_free();
+    // Property ordering matters for soundness of the "confirmed ⇒ real
+    // fault" step (Lemma 6):
+    //  1. state-local invariants — a realized trace to a violating state is
+    //     conclusive on its own, so checking them first gives the paper's
+    //     fast conflict detection;
+    //  2. deadlock freedom — its counterexamples drive the learning;
+    //  3. path-dependent properties (deadlines, nested temporal operators) —
+    //     their violations also depend on behaviour *after* the witness
+    //     trace, which is only faithful once no deadlock (and hence no
+    //     chaos state and no unlearned stutter) is reachable; checking them
+    //     after ¬δ guarantees every abstract path is a real path.
+    let mut checked: Vec<Formula> = Vec::with_capacity(properties.len() + 1);
+    for f in properties.iter().filter(|f| f.is_state_local_invariant()) {
+        checked.push(f.weaken_for_chaos(chaos));
+    }
+    checked.push(deadlock_free.clone());
+    for f in properties.iter().filter(|f| !f.is_state_local_invariant()) {
+        checked.push(f.weaken_for_chaos(chaos));
+    }
+
+    let mut learned: Vec<IncompleteAutomaton> = units
+        .iter()
+        .map(|unit| {
+            let mut m = initial_knowledge(u, unit.component, &unit.prop_mapper);
+            apply_props(u, &mut m, &unit.prop_mapper);
+            m
+        })
+        .collect();
+
+    let mut iterations = Vec::new();
+    let mut stats = IntegrationStats::default();
+
+    for index in 0..config.max_iterations {
+        stats.iterations = index + 1;
+        let knowledge: Vec<(usize, usize, usize)> = learned
+            .iter()
+            .map(|m| (m.state_count(), m.transition_count(), m.refusal_count()))
+            .collect();
+
+        // Compose M_a^c ∥ chaos(M_l^i)…
+        let closures: Vec<Automaton> = learned
+            .iter()
+            .map(|m| chaotic_closure(m, Some(chaos)))
+            .collect();
+        let mut parts: Vec<&Automaton> = vec![context];
+        parts.extend(closures.iter());
+        let comp = compose(&parts, &config.compose)?;
+        stats.peak_composed_states = stats
+            .peak_composed_states
+            .max(comp.automaton.state_count());
+
+        // …and check φ ∧ ¬δ.
+        let verdict = check_all(&comp.automaton, &checked)?;
+        let cex = match verdict {
+            Verdict::Holds => {
+                iterations.push(IterationRecord {
+                    index,
+                    knowledge,
+                    composed_states: comp.automaton.state_count(),
+                    violated: None,
+                    counterexample: None,
+                    outcome: IterationOutcome::Proven,
+                });
+                return Ok(IntegrationReport {
+                    verdict: IntegrationVerdict::Proven,
+                    iterations,
+                    learned,
+                    stats,
+                });
+            }
+            Verdict::Violated(c) => c,
+        };
+
+        // Section-7 improvement: for deadlock violations, derive a *batch*
+        // of distinct counterexamples (one per reachable deadlock state) so
+        // a single verification run feeds several tests.
+        let batch = config.batch_counterexamples.max(1);
+        let cexs: Vec<muml_logic::Counterexample> =
+            if batch > 1 && cex.violated == deadlock_free {
+                let v = muml_logic::deadlock_counterexamples(&comp.automaton, batch);
+                if v.is_empty() {
+                    vec![cex]
+                } else {
+                    v
+                }
+            } else {
+                vec![cex]
+            };
+
+        let mut record_outcome: Option<IterationOutcome> = None;
+        let mut record_head: Option<(String, String)> = None; // (violated, listing)
+
+        for cx in &cexs {
+            let violated_str = cx.violated.show(u);
+            let cex_listing = render_listing(&comp, &cx.run, u);
+            if record_head.is_none() {
+                record_head = Some((violated_str.clone(), cex_listing.clone()));
+            }
+
+            // Test every component along its projection of the
+            // counterexample.
+            let mut diverged: Option<(String, usize)> = None;
+            let mut projections: Vec<Vec<Label>> = Vec::new();
+            for (i, unit) in units.iter_mut().enumerate() {
+                let idx = i + 1; // component 0 is the context
+                let proj = comp.project_run(&cx.run, idx);
+                let expected = proj.labels.clone();
+                let outcome =
+                    execute_expected_trace(unit.component, &expected, u, &unit.ports)?;
+                stats.tests_executed += 1;
+                stats.test_steps += outcome.observation.labels.len();
+                learned[i]
+                    .learn(&outcome.observation)
+                    .map_err(CoreError::Learning)?;
+                if let Some(refusal) = &outcome.refusal {
+                    learned[i].learn(refusal).map_err(CoreError::Learning)?;
+                }
+                apply_props(u, &mut learned[i], &unit.prop_mapper);
+                if let Some(t) = outcome.divergence {
+                    diverged.get_or_insert((unit.component.name().to_owned(), t));
+                }
+                projections.push(expected);
+            }
+
+            if let Some((component, divergence)) = diverged {
+                record_outcome.get_or_insert(IterationOutcome::Refuted {
+                    component,
+                    divergence,
+                });
+                continue; // next counterexample of the batch
+            }
+
+            // The counterexample is fully realized by every component.
+            if cx.violated != deadlock_free {
+                // A property violation inside the synthesized/concrete part —
+                // chaos states satisfy the weakened property, so the
+                // violating state is concrete: a real fault (Lemma 6).
+                iterations.push(IterationRecord {
+                    index,
+                    knowledge,
+                    composed_states: comp.automaton.state_count(),
+                    violated: Some(violated_str.clone()),
+                    counterexample: Some(cex_listing.clone()),
+                    outcome: IterationOutcome::Fault,
+                });
+                return Ok(IntegrationReport {
+                    verdict: IntegrationVerdict::RealFault {
+                        property: violated_str,
+                        trace: cx.run.labels.clone(),
+                        rendered: cex_listing,
+                    },
+                    iterations,
+                    learned,
+                    stats,
+                });
+            }
+
+            // Confirmed *deadlock* trace: probe the frontier.
+            match probe_frontier(
+                u,
+                context,
+                &closures,
+                &comp,
+                &cx.run,
+                &projections,
+                units,
+                &mut learned,
+                &mut stats,
+                config,
+            )? {
+                FrontierResult::Progress { component, probes } => {
+                    record_outcome
+                        .get_or_insert(IterationOutcome::FrontierLearned { component, probes });
+                }
+                FrontierResult::RealDeadlock => {
+                    iterations.push(IterationRecord {
+                        index,
+                        knowledge,
+                        composed_states: comp.automaton.state_count(),
+                        violated: Some(violated_str.clone()),
+                        counterexample: Some(cex_listing.clone()),
+                        outcome: IterationOutcome::Fault,
+                    });
+                    return Ok(IntegrationReport {
+                        verdict: IntegrationVerdict::RealFault {
+                            property: violated_str,
+                            trace: cx.run.labels.clone(),
+                            rendered: cex_listing,
+                        },
+                        iterations,
+                        learned,
+                        stats,
+                    });
+                }
+            }
+        }
+
+        // All counterexamples of the batch were processed without a fault;
+        // record the iteration and continue with the refined models.
+        let (violated, listing) = record_head.expect("at least one counterexample");
+        iterations.push(IterationRecord {
+            index,
+            knowledge,
+            composed_states: comp.automaton.state_count(),
+            violated: Some(violated),
+            counterexample: Some(listing),
+            outcome: record_outcome.unwrap_or(IterationOutcome::FrontierLearned {
+                component: "?".to_owned(),
+                probes: 0,
+            }),
+        });
+    }
+    Err(CoreError::IterationLimit(config.max_iterations))
+}

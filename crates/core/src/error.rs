@@ -1,0 +1,95 @@
+//! Error type for the synthesis driver.
+
+use std::fmt;
+
+/// Errors reported by the iterative behaviour synthesis.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A property handed to the verifier is outside the compositional
+    /// timed-ACTL fragment; Lemma 5 would not transfer a successful check
+    /// to the real system, so this is rejected upfront.
+    NotCompositional {
+        /// Rendering of the offending formula.
+        formula: String,
+    },
+    /// The iteration cap was reached before a verdict. Theorem 2 guarantees
+    /// termination for finite, deterministic components; hitting the cap
+    /// indicates a misconfigured cap or a non-conforming component.
+    IterationLimit(usize),
+    /// The legacy component violated the determinism assumption during
+    /// replay.
+    Replay(muml_legacy::ReplayError),
+    /// Learning produced an inconsistency (observation contradicts recorded
+    /// knowledge) — possible with a nondeterministic component or broken
+    /// monitoring.
+    Learning(muml_automata::AutomataError),
+    /// Kernel failure (composition, closure, …).
+    Automata(muml_automata::AutomataError),
+    /// Model-checking failure (counterexample outside the safety fragment).
+    Logic(muml_logic::LogicError),
+    /// The legacy component's interface does not match what the context
+    /// expects.
+    InterfaceMismatch {
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotCompositional { formula } => write!(
+                f,
+                "property `{formula}` is outside the compositional timed-ACTL fragment"
+            ),
+            CoreError::IterationLimit(n) => {
+                write!(f, "no verdict after {n} iterations (cap reached)")
+            }
+            CoreError::Replay(e) => write!(f, "replay failed: {e}"),
+            CoreError::Learning(e) => write!(f, "learning failed: {e}"),
+            CoreError::Automata(e) => write!(f, "automata error: {e}"),
+            CoreError::Logic(e) => write!(f, "model checking error: {e}"),
+            CoreError::InterfaceMismatch { detail } => {
+                write!(f, "interface mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<muml_legacy::ReplayError> for CoreError {
+    fn from(e: muml_legacy::ReplayError) -> Self {
+        CoreError::Replay(e)
+    }
+}
+
+impl From<muml_automata::AutomataError> for CoreError {
+    fn from(e: muml_automata::AutomataError) -> Self {
+        CoreError::Automata(e)
+    }
+}
+
+impl From<muml_logic::LogicError> for CoreError {
+    fn from(e: muml_logic::LogicError) -> Self {
+        CoreError::Logic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::IterationLimit(7).to_string().contains("7"));
+        assert!(CoreError::NotCompositional {
+            formula: "EF x".into()
+        }
+        .to_string()
+        .contains("EF x"));
+        let e: CoreError = muml_automata::AutomataError::UniverseMismatch.into();
+        assert!(e.to_string().contains("universes"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Iterative behaviour synthesis: combined formal verification and
+//! counterexample-guided testing for correct legacy component integration
+//! in Mechatronic UML.
+//!
+//! This crate is the primary contribution of *Giese, Henkler, Hirsch:
+//! Combining Formal Verification and Testing for Correct Legacy Component
+//! Integration in Mechatronic UML* (LNCS 5135, 2008), built on the
+//! substrates of this workspace:
+//!
+//! 1. **Initial behaviour synthesis** (Section 3, [`initial_abstraction`]):
+//!    from the component's structural interface and its known initial
+//!    state, build the trivial incomplete automaton `M_l^0` and the first
+//!    safe abstraction `M_a^0 = chaos(M_l^0)` (`M_r ⊑ M_a^0`, Lemma 4).
+//! 2. **Verification step** (Section 4.1): model check
+//!    `M_a^c ∥ M_a^i ⊨ φ ∧ ¬δ`. Success transfers to the real system by
+//!    Lemma 5 — *without ever learning the whole component*, because only
+//!    behaviour relevant under the given context is explored.
+//! 3. **Testing step** (Section 4.2): execute the counterexample against
+//!    the real component with record + deterministic replay. A confirmed
+//!    trace is a real fault — no false negatives (Lemma 6).
+//! 4. **Learning step** (Section 4.3): merge the observed divergence into
+//!    `M_l^{i+1}` (Definitions 11/12); refinement is preserved (Lemma 7)
+//!    and the loop terminates for finite deterministic components
+//!    (Theorem 2).
+//!
+//! The driver [`verify_integration`] also implements the Section-7
+//! extension to multiple legacy components (parallel learning of several
+//! incomplete automata under one context).
+//!
+//! # Example
+//!
+//! ```
+//! use muml_automata::{AutomatonBuilder, Universe};
+//! use muml_core::{verify_integration, IntegrationConfig, LegacyUnit};
+//! use muml_legacy::{MealyBuilder, PortMap};
+//!
+//! let u = Universe::new();
+//! // A context that sends `go` and then expects `done` (forever).
+//! let context = AutomatonBuilder::new(&u, "ctx")
+//!     .output("go").input("done")
+//!     .state("send").initial("send")
+//!     .state("wait")
+//!     .transition("send", [], ["go"], "wait")
+//!     .transition("wait", ["done"], [], "send")
+//!     .build().unwrap();
+//! // A legacy component that behaves accordingly (it answers one period
+//! // after receiving `go` — composition is synchronous and lock-stepped).
+//! let mut legacy = MealyBuilder::new(&u, "legacy")
+//!     .input("go").output("done")
+//!     .state("idle").initial("idle")
+//!     .state("got")
+//!     .rule("idle", ["go"], [], "got")
+//!     .rule("got", [], ["done"], "idle")
+//!     .build().unwrap();
+//! let mut units = [LegacyUnit::new(&mut legacy, PortMap::with_default("port"))];
+//! let report = verify_integration(
+//!     &u, &context, &[], &mut units, &IntegrationConfig::default(),
+//! ).unwrap();
+//! assert!(report.verdict.proven());
+//! ```
+
+#![warn(missing_docs)]
+
+mod driver;
+mod error;
+mod probe;
+mod initial;
+mod report;
+
+pub use driver::{
+    verify_integration, IntegrationConfig, IntegrationReport, IntegrationStats,
+    IntegrationVerdict, IterationOutcome, IterationRecord, LegacyUnit,
+};
+pub use error::CoreError;
+pub use initial::{
+    apply_props, default_mapper, initial_abstraction, initial_knowledge, interface_matches,
+    StatePropMapper,
+};
+pub use report::{render_listing, render_report};

@@ -1,0 +1,264 @@
+//! Frontier probing for confirmed deadlock counterexamples.
+//!
+//! A deadlock trace that the components fully realize does not by itself
+//! prove a real deadlock: the trace may merely have run into the chaotic
+//! `s_δ`, or into a pessimistic `(s,0)` copy that blocks *unknown*
+//! interactions. The probe resolves the ambiguity by experiment:
+//!
+//! 1. For every legacy component `i`, compose the *rest* of the system
+//!    (context + the other components' closures) and move the other
+//!    closures to their **optimistic** siblings (`(s,1)` instead of
+//!    `(s,0)`, `s_∀` instead of `s_δ`) — an over-approximation of what the
+//!    environment of `i` could offer.
+//! 2. Collect the input sets that environment can offer to `i` in the
+//!    deadlocked configuration, drive `i` one step beyond the confirmed
+//!    prefix with each, and learn the observed response (Definitions
+//!    11/12).
+//! 3. If probing produced new knowledge, the loop simply continues with the
+//!    refined models. If **nothing new** was learned, every component's
+//!    response to every possibly-offered input at its frontier state is
+//!    already known — so the question "does a joint step exist at this
+//!    configuration?" is decidable **exactly** from the known behaviour:
+//!    a one-step composition of the context (at its deadlock state) with
+//!    each component's *known* transitions (at its real frontier state,
+//!    read back via replay) either yields a step (the deadlock was an
+//!    artefact — possibly resolved by learning earlier in the same batched
+//!    iteration) or provably cannot (a **real** deadlock, reported as a
+//!    fault).
+//!
+//! The new-knowledge criterion keeps Theorem 2's termination argument
+//! intact; the known-only joint-step check keeps verdicts exact even for
+//! stale counterexamples (`IntegrationConfig::batch_counterexamples`) and
+//! for multi-legacy configurations where a chaotic sibling could otherwise
+//! fake acceptance.
+
+use muml_automata::{
+    compose, Automaton, Composition, Guard, IncompleteAutomaton, Label, Run, SignalSet, StateId,
+    Universe, S_ALL, S_DELTA,
+};
+use muml_legacy::execute_expected_trace;
+
+use crate::driver::{IntegrationConfig, IntegrationStats, LegacyUnit};
+use crate::error::CoreError;
+use crate::initial::apply_props;
+
+/// Result of a probe round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum FrontierResult {
+    /// New knowledge was learned; the deadlock may be an artefact.
+    Progress {
+        /// The first component that contributed new knowledge.
+        component: String,
+        /// Total probe executions across all components.
+        probes: usize,
+    },
+    /// No probe learned anything new — the deadlock is real.
+    RealDeadlock,
+}
+
+/// Maps a closure state to its optimistic sibling: `name#0 → name#1`,
+/// `s_δ → s_∀`; already-optimistic states map to themselves.
+fn optimistic_sibling(closure: &Automaton, s: StateId) -> StateId {
+    let name = closure.state_name(s);
+    if name == S_DELTA {
+        return closure.find_state(S_ALL).unwrap_or(s);
+    }
+    if let Some(base) = name.strip_suffix("#0") {
+        return closure
+            .find_state(&format!("{base}#1"))
+            .unwrap_or(s);
+    }
+    s
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn probe_frontier(
+    u: &Universe,
+    context: &Automaton,
+    closures: &[Automaton],
+    comp: &Composition,
+    dead_run: &Run,
+    projections: &[Vec<Label>],
+    units: &mut [LegacyUnit<'_>],
+    learned: &mut [IncompleteAutomaton],
+    stats: &mut IntegrationStats,
+    config: &IntegrationConfig,
+) -> Result<FrontierResult, CoreError> {
+    let dead = dead_run.last_state();
+    let dead_tuple = &comp.origin[dead.index()];
+    let knowledge_before: usize = learned
+        .iter()
+        .map(|m| m.transition_count() + m.refusal_count() + m.state_count())
+        .sum();
+    let mut first_learner: Option<String> = None;
+    let mut total_probes = 0usize;
+
+    for (i, unit) in units.iter_mut().enumerate() {
+        let (own_in, _own_out) = unit.component.interface();
+        // Sub-composition of everything except component i, with the other
+        // closures moved to their optimistic states.
+        let mut parts: Vec<&Automaton> = vec![context];
+        let mut proj_tuple: Vec<StateId> = vec![dead_tuple[0]];
+        for (j, c) in closures.iter().enumerate() {
+            if j != i {
+                parts.push(c);
+                proj_tuple.push(optimistic_sibling(c, dead_tuple[j + 1]));
+            }
+        }
+        let others = compose(&parts, &config.compose)?;
+        let os = match others.origin.iter().position(|t| t == &proj_tuple) {
+            Some(p) => StateId(p as u32),
+            None => continue, // optimistic configuration unreachable: skip
+        };
+
+        // Offered inputs to component i, deduplicated.
+        let mut offers: Vec<SignalSet> = Vec::new();
+        for t in others.automaton.transitions_from(os) {
+            let offered = match &t.guard {
+                Guard::Exact(l) => l.outputs.intersection(own_in),
+                Guard::Family(f) => f.out_must.intersection(own_in),
+            };
+            if !offers.contains(&offered) {
+                offers.push(offered);
+            }
+        }
+
+        for offered in offers {
+            // Drive the confirmed prefix plus one step with the offered
+            // input; the expected output ∅ is a guess — the observation
+            // reveals the real response either way.
+            let mut expected = projections[i].clone();
+            expected.push(Label::new(offered, SignalSet::EMPTY));
+            let before = learned[i].transition_count()
+                + learned[i].refusal_count()
+                + learned[i].state_count();
+            let outcome = execute_expected_trace(unit.component, &expected, u, &unit.ports)?;
+            stats.tests_executed += 1;
+            stats.test_steps += outcome.observation.labels.len();
+            total_probes += 1;
+            let real_response = outcome
+                .observation
+                .labels
+                .last()
+                .map(|l| l.outputs)
+                .unwrap_or(SignalSet::EMPTY);
+            learned[i]
+                .learn(&outcome.observation)
+                .map_err(CoreError::Learning)?;
+            if let Some(refusal) = &outcome.refusal {
+                learned[i].learn(refusal).map_err(CoreError::Learning)?;
+            }
+            apply_props(u, &mut learned[i], &unit.prop_mapper);
+            let after = learned[i].transition_count()
+                + learned[i].refusal_count()
+                + learned[i].state_count();
+            if after > before && first_learner.is_none() {
+                first_learner = Some(unit.component.name().to_owned());
+            }
+            let _ = real_response; // response is recorded via learning above
+        }
+    }
+
+    let knowledge_after: usize = learned
+        .iter()
+        .map(|m| m.transition_count() + m.refusal_count() + m.state_count())
+        .sum();
+    if knowledge_after > knowledge_before {
+        return Ok(FrontierResult::Progress {
+            component: first_learner.unwrap_or_else(|| "?".to_owned()),
+            probes: total_probes,
+        });
+    }
+    // Nothing new learned: every relevant response is known, so decide the
+    // joint-step question exactly from the known behaviour.
+    let mut frontier_states: Vec<String> = Vec::with_capacity(units.len());
+    for (i, unit) in units.iter_mut().enumerate() {
+        unit.component.reset();
+        for l in &projections[i] {
+            unit.component.step(l.inputs);
+        }
+        frontier_states.push(unit.component.observable_state());
+    }
+    if joint_step_exists(u, context, dead_tuple[0], learned, &frontier_states, config)? {
+        Ok(FrontierResult::Progress {
+            component: "resolved by earlier learning".to_owned(),
+            probes: total_probes,
+        })
+    } else {
+        Ok(FrontierResult::RealDeadlock)
+    }
+}
+
+/// Decides whether a joint step exists at the configuration
+/// `(ctx_state, frontier_states…)` using only the components' *known*
+/// transitions. Builds one-step automata (the configuration state with its
+/// outgoing transitions, all retargeted to a sink) and composes them: the
+/// composed initial state has an outgoing transition iff a joint step
+/// exists.
+fn joint_step_exists(
+    u: &Universe,
+    context: &Automaton,
+    ctx_state: StateId,
+    learned: &[IncompleteAutomaton],
+    frontier_states: &[String],
+    config: &IntegrationConfig,
+) -> Result<bool, CoreError> {
+    use muml_automata::{AutomatonBuilder, Transition};
+
+    // Context slice: its deadlock-configuration state with real transitions
+    // retargeted to an absorbing sink.
+    let mut slice_parts: Vec<Automaton> = Vec::with_capacity(learned.len() + 1);
+    {
+        let mut b = AutomatonBuilder::new(u, "ctx@dead");
+        for sig in context.inputs().iter() {
+            b = b.input(&u.signal_name(sig));
+        }
+        for sig in context.outputs().iter() {
+            b = b.output(&u.signal_name(sig));
+        }
+        b = b.state("here").initial("here").state("sink");
+        let mut ctx_slice = b.build().map_err(CoreError::Automata)?;
+        let sink = ctx_slice.find_state("sink").expect("just added");
+        let here = ctx_slice.find_state("here").expect("just added");
+        let retargeted: Vec<Transition> = context
+            .transitions_from(ctx_state)
+            .iter()
+            .map(|t| Transition {
+                guard: t.guard.clone(),
+                to: sink,
+            })
+            .collect();
+        ctx_slice.replace_transitions(here, retargeted);
+        slice_parts.push(ctx_slice);
+    }
+    for (m, state_name) in learned.iter().zip(frontier_states) {
+        let mut b = AutomatonBuilder::new(u, &format!("{}@dead", m.name()));
+        for sig in m.inputs().iter() {
+            b = b.input(&u.signal_name(sig));
+        }
+        for sig in m.outputs().iter() {
+            b = b.output(&u.signal_name(sig));
+        }
+        b = b.state("here").initial("here").state("sink");
+        let mut slice = b.build().map_err(CoreError::Automata)?;
+        let sink = slice.find_state("sink").expect("just added");
+        let here = slice.find_state("here").expect("just added");
+        let transitions: Vec<Transition> = match m.find_state(state_name) {
+            Some(s) => m
+                .transitions_from(s)
+                .iter()
+                .map(|&(l, _)| Transition {
+                    guard: muml_automata::Guard::Exact(l),
+                    to: sink,
+                })
+                .collect(),
+            None => Vec::new(), // frontier state never observed: no known step
+        };
+        slice.replace_transitions(here, transitions);
+        slice_parts.push(slice);
+    }
+    let refs: Vec<&Automaton> = slice_parts.iter().collect();
+    let comp = compose(&refs, &config.compose)?;
+    let init = comp.automaton.initial_states()[0];
+    Ok(!comp.automaton.transitions_from(init).is_empty())
+}

@@ -1,0 +1,451 @@
+//! Angluin's `L*` for Mealy machines (the baseline of Section 6).
+//!
+//! The *Learner* maintains an observation table: rows are access prefixes
+//! `S ∪ S·Σ`, columns are distinguishing suffixes `E` (initialized with the
+//! single letters), entries are the output suffixes `T(u, e)` obtained by
+//! membership queries. When the table is *closed* and *consistent* the
+//! learner conjectures a hypothesis and asks the *Oracle* an equivalence
+//! query; returned counterexamples are processed by adding all their
+//! prefixes to `S` (Angluin's original strategy).
+//!
+//! Complexity (Section 6): at most `n` equivalence queries and
+//! `O(|Σ| · n² · m)` membership queries for an `n`-state target and
+//! counterexamples of length `≤ m`.
+
+use muml_automata::SignalSet;
+
+use crate::mealy::MealyMachine;
+use crate::oracle::ComponentOracle;
+
+/// An equivalence oracle: confirms a hypothesis or supplies a
+/// counterexample word on which target and hypothesis disagree.
+pub trait EquivalenceOracle {
+    /// Searches for a counterexample; `None` means "equivalent" (possibly
+    /// up to the oracle's bound).
+    fn find_counterexample(
+        &mut self,
+        oracle: &mut ComponentOracle<'_>,
+        hypothesis: &MealyMachine,
+    ) -> Option<Vec<SignalSet>>;
+}
+
+/// How counterexamples returned by the equivalence oracle are folded back
+/// into the observation table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CexProcessing {
+    /// Angluin's original strategy: add every prefix of the counterexample
+    /// to the access set `S`. Simple, but grows the table quadratically in
+    /// the counterexample length.
+    #[default]
+    AddAllPrefixes,
+    /// Rivest–Schapire: locate the single distinguishing suffix by scanning
+    /// the hybrid queries `access(q_i) · w[i..]` and add only that suffix to
+    /// `E` — the optimization family the paper's Section 6 cites for
+    /// domain-specific automata learning (Hungar/Niese/Steffen, LearnLib).
+    RivestSchapire,
+}
+
+/// Limits for a learning run.
+#[derive(Debug, Clone, Default)]
+pub struct LstarLimits {
+    /// Cap on equivalence queries (rounds); 0 means the default of 1000.
+    pub max_rounds: usize,
+    /// Counterexample processing strategy.
+    pub cex_processing: CexProcessing,
+}
+
+impl LstarLimits {
+    fn rounds(&self) -> usize {
+        if self.max_rounds == 0 {
+            1000
+        } else {
+            self.max_rounds
+        }
+    }
+}
+
+/// The observation table.
+struct ObservationTable {
+    alphabet: Vec<SignalSet>,
+    /// Access prefixes (prefix-closed, starts with ε).
+    s: Vec<Vec<SignalSet>>,
+    /// Distinguishing suffixes (nonempty).
+    e: Vec<Vec<SignalSet>>,
+}
+
+impl ObservationTable {
+    fn new(alphabet: Vec<SignalSet>) -> Self {
+        let e = alphabet.iter().map(|&a| vec![a]).collect();
+        ObservationTable {
+            alphabet,
+            s: vec![Vec::new()],
+            e,
+        }
+    }
+
+    /// The row of prefix `u`: the concatenated entries `T(u, e)` for all
+    /// `e ∈ E`.
+    fn row(&self, oracle: &mut ComponentOracle<'_>, u: &[SignalSet]) -> Vec<Vec<SignalSet>> {
+        self.e
+            .iter()
+            .map(|e| {
+                let mut word = u.to_vec();
+                word.extend_from_slice(e);
+                oracle.query_suffix(&word, e.len())
+            })
+            .collect()
+    }
+
+    /// Ensures closedness: every `u·a` row equals some `S` row. Returns
+    /// `true` if the table changed.
+    fn close(&mut self, oracle: &mut ComponentOracle<'_>) -> bool {
+        let s_rows: Vec<Vec<Vec<SignalSet>>> =
+            self.s.iter().map(|u| self.row(oracle, u)).collect();
+        for u in self.s.clone() {
+            for &a in &self.alphabet.clone() {
+                let mut ua = u.clone();
+                ua.push(a);
+                let r = self.row(oracle, &ua);
+                if !s_rows.contains(&r) && !self.s.contains(&ua) {
+                    self.s.push(ua);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Ensures consistency: equal `S` rows must stay equal under every
+    /// letter extension; a violation adds the separating suffix to `E`.
+    /// Returns `true` if the table changed.
+    fn make_consistent(&mut self, oracle: &mut ComponentOracle<'_>) -> bool {
+        let rows: Vec<Vec<Vec<SignalSet>>> =
+            self.s.iter().map(|u| self.row(oracle, u)).collect();
+        for i in 0..self.s.len() {
+            for j in (i + 1)..self.s.len() {
+                if rows[i] != rows[j] {
+                    continue;
+                }
+                for (li, &a) in self.alphabet.clone().iter().enumerate() {
+                    let mut ua = self.s[i].clone();
+                    ua.push(a);
+                    let mut va = self.s[j].clone();
+                    va.push(a);
+                    let ra = self.row(oracle, &ua);
+                    let rb = self.row(oracle, &va);
+                    if ra != rb {
+                        // find the separating suffix e and add a·e
+                        let k = ra
+                            .iter()
+                            .zip(&rb)
+                            .position(|(x, y)| x != y)
+                            .expect("rows differ");
+                        let mut new_e = vec![self.alphabet[li]];
+                        new_e.extend_from_slice(&self.e[k]);
+                        if !self.e.contains(&new_e) {
+                            self.e.push(new_e);
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Builds the hypothesis from a closed, consistent table.
+    fn hypothesis(&self, oracle: &mut ComponentOracle<'_>) -> MealyMachine {
+        // distinct rows = states; state of a prefix = index of its row
+        let mut reps: Vec<(Vec<Vec<SignalSet>>, Vec<SignalSet>)> = Vec::new();
+        for u in &self.s {
+            let r = self.row(oracle, u);
+            if !reps.iter().any(|(row, _)| row == &r) {
+                reps.push((r, u.clone()));
+            }
+        }
+        // ensure the initial state (row of ε) is state 0
+        let eps_row = self.row(oracle, &[]);
+        let eps_pos = reps
+            .iter()
+            .position(|(r, _)| r == &eps_row)
+            .expect("ε has a row");
+        reps.swap(0, eps_pos);
+
+        let mut trans = Vec::with_capacity(reps.len());
+        for (_, access) in reps.clone() {
+            let mut row_trans = Vec::with_capacity(self.alphabet.len());
+            for &a in &self.alphabet {
+                let mut ua = access.clone();
+                ua.push(a);
+                let out = *oracle
+                    .query(&ua)
+                    .last()
+                    .expect("nonempty word has output");
+                let r = self.row(oracle, &ua);
+                let next = reps
+                    .iter()
+                    .position(|(row, _)| row == &r)
+                    .expect("closed table");
+                row_trans.push((out, next));
+            }
+            trans.push(row_trans);
+        }
+        MealyMachine {
+            alphabet: self.alphabet.clone(),
+            state_count: reps.len(),
+            trans,
+        }
+    }
+}
+
+/// Outcome of [`learn`].
+#[derive(Debug, Clone)]
+pub struct LstarResult {
+    /// The final hypothesis.
+    pub hypothesis: MealyMachine,
+    /// Number of refinement rounds (equivalence queries issued).
+    pub rounds: usize,
+    /// Whether the equivalence oracle accepted the final hypothesis.
+    pub converged: bool,
+}
+
+/// Runs `L*` against the component behind `oracle`, using `equivalence` to
+/// validate hypotheses.
+pub fn learn(
+    oracle: &mut ComponentOracle<'_>,
+    alphabet: Vec<SignalSet>,
+    equivalence: &mut dyn EquivalenceOracle,
+    limits: &LstarLimits,
+) -> LstarResult {
+    assert!(!alphabet.is_empty(), "alphabet must be nonempty");
+    let mut table = ObservationTable::new(alphabet);
+    let mut rounds = 0;
+    loop {
+        loop {
+            let closed_changed = table.close(oracle);
+            let cons_changed = table.make_consistent(oracle);
+            if !closed_changed && !cons_changed {
+                break;
+            }
+        }
+        let hyp = table.hypothesis(oracle);
+        rounds += 1;
+        oracle.stats.equivalence_queries += 1;
+        match equivalence.find_counterexample(oracle, &hyp) {
+            None => {
+                return LstarResult {
+                    hypothesis: hyp,
+                    rounds,
+                    converged: true,
+                }
+            }
+            Some(cex) => match limits.cex_processing {
+                CexProcessing::AddAllPrefixes => {
+                    for k in 1..=cex.len() {
+                        let prefix = cex[..k].to_vec();
+                        if !table.s.contains(&prefix) {
+                            table.s.push(prefix);
+                        }
+                    }
+                }
+                CexProcessing::RivestSchapire => {
+                    process_rivest_schapire(oracle, &mut table, &hyp, &cex);
+                }
+            },
+        }
+        if rounds >= limits.rounds() {
+            let hypothesis = table.hypothesis(oracle);
+            return LstarResult {
+                hypothesis,
+                rounds,
+                converged: false,
+            };
+        }
+    }
+}
+
+/// Rivest–Schapire counterexample processing: find the switch index `i`
+/// where the hybrid word `access(q_i) · w[i..]` stops disagreeing with the
+/// hypothesis and add the distinguishing suffix `w[i+1..]` to `E` (plus the
+/// prefix `w[..=i]` to `S` so the new column separates actual rows).
+fn process_rivest_schapire(
+    oracle: &mut ComponentOracle<'_>,
+    table: &mut ObservationTable,
+    hyp: &MealyMachine,
+    cex: &[SignalSet],
+) {
+    let access = hyp.access_words();
+    let disagrees = |oracle: &mut ComponentOracle<'_>, i: usize| -> bool {
+        // hybrid: drive the *target* along access(q_i) then the suffix, and
+        // compare the suffix outputs with the hypothesis' prediction.
+        let q = hyp.state_after(&cex[..i]);
+        let mut word = access[q].clone();
+        word.extend_from_slice(&cex[i..]);
+        let suffix_len = cex.len() - i;
+        if suffix_len == 0 {
+            return false; // empty suffix trivially agrees
+        }
+        let target = oracle.query_suffix(&word, suffix_len);
+        let predicted = hyp.run(&word)[word.len() - suffix_len..].to_vec();
+        target != predicted
+    };
+    debug_assert!(disagrees(oracle, 0), "a counterexample must disagree at i = 0");
+    // Scan for the switch point: disagrees(i) ∧ ¬disagrees(i+1).
+    for i in 0..cex.len() {
+        if disagrees(oracle, i) && !disagrees(oracle, i + 1) {
+            let suffix = cex[i + 1..].to_vec();
+            if !suffix.is_empty() && !table.e.contains(&suffix) {
+                table.e.push(suffix);
+            }
+            // Ensure the separated access word is present so closing the
+            // table materializes the new state.
+            let q = hyp.state_after(&cex[..i]);
+            let mut sep = access[q].clone();
+            sep.push(cex[i]);
+            if !table.s.contains(&sep) {
+                table.s.push(sep);
+            }
+            return;
+        }
+    }
+    // Defensive fallback (should be unreachable): Angluin processing.
+    for k in 1..=cex.len() {
+        let prefix = cex[..k].to_vec();
+        if !table.s.contains(&prefix) {
+            table.s.push(prefix);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wmethod::WMethodOracle;
+    use muml_automata::Universe;
+    use muml_legacy::MealyBuilder;
+
+    #[test]
+    fn learns_a_toggle_exactly() {
+        let u = Universe::new();
+        let mut c = MealyBuilder::new(&u, "c")
+            .input("a")
+            .output("x")
+            .state("s0")
+            .initial("s0")
+            .state("s1")
+            .rule("s0", ["a"], ["x"], "s1")
+            .rule("s1", ["a"], [], "s0")
+            .build()
+            .unwrap();
+        let a = u.signals(["a"]);
+        let x = u.signals(["x"]);
+        let mut oracle = ComponentOracle::new(&mut c);
+        let mut eq = WMethodOracle::new(4);
+        let res = learn(&mut oracle, vec![a], &mut eq, &LstarLimits::default());
+        assert!(res.converged);
+        assert_eq!(res.hypothesis.state_count, 2);
+        assert_eq!(res.hypothesis.run(&[a, a, a]), vec![x, SignalSet::EMPTY, x]);
+    }
+
+    #[test]
+    fn learns_three_state_machine_with_two_letters() {
+        let u = Universe::new();
+        let mut c = MealyBuilder::new(&u, "c")
+            .input("a")
+            .input("b")
+            .output("x")
+            .output("y")
+            .state("s0")
+            .initial("s0")
+            .state("s1")
+            .state("s2")
+            .rule("s0", ["a"], ["x"], "s1")
+            .rule("s0", ["b"], [], "s0")
+            .rule("s1", ["a"], [], "s2")
+            .rule("s1", ["b"], ["y"], "s0")
+            .rule("s2", ["a"], ["x", "y"], "s2")
+            .rule("s2", ["b"], [], "s0")
+            .build()
+            .unwrap();
+        let a = u.signals(["a"]);
+        let b = u.signals(["b"]);
+        let mut oracle = ComponentOracle::new(&mut c);
+        let mut eq = WMethodOracle::new(3);
+        let res = learn(&mut oracle, vec![a, b], &mut eq, &LstarLimits::default());
+        assert!(res.converged);
+        assert_eq!(res.hypothesis.state_count, 3);
+        // spot-check behaviour
+        assert_eq!(
+            res.hypothesis.run(&[a, a, a]),
+            vec![u.signals(["x"]), SignalSet::EMPTY, u.signals(["x", "y"])]
+        );
+        assert_eq!(res.hypothesis.run(&[a, b]), vec![u.signals(["x"]), u.signals(["y"])]);
+        assert!(oracle.stats.membership_queries > 0);
+        assert!(oracle.stats.equivalence_queries >= 1);
+    }
+
+    #[test]
+    fn rivest_schapire_learns_the_same_machine_with_fewer_queries() {
+        let u = Universe::new();
+        let build = || {
+            MealyBuilder::new(&u, "c")
+                .input("a")
+                .output("x")
+                .state("s0")
+                .initial("s0")
+                .state("s1")
+                .state("s2")
+                .state("s3")
+                .rule("s0", ["a"], [], "s1")
+                .rule("s1", ["a"], [], "s2")
+                .rule("s2", ["a"], [], "s3")
+                .rule("s3", ["a"], ["x"], "s0")
+                .build()
+                .unwrap()
+        };
+        let a = u.signals(["a"]);
+        let run = |strategy: CexProcessing| {
+            let mut c = build();
+            let mut oracle = ComponentOracle::new(&mut c);
+            let mut eq = WMethodOracle::new(4);
+            let res = learn(
+                &mut oracle,
+                vec![a],
+                &mut eq,
+                &LstarLimits {
+                    cex_processing: strategy,
+                    ..LstarLimits::default()
+                },
+            );
+            assert!(res.converged);
+            assert_eq!(res.hypothesis.state_count, 4);
+            oracle.stats
+        };
+        let angluin = run(CexProcessing::AddAllPrefixes);
+        let rs = run(CexProcessing::RivestSchapire);
+        // Same machine learned; RS needs no more membership queries.
+        assert!(
+            rs.membership_queries <= angluin.membership_queries,
+            "rs {} vs angluin {}",
+            rs.membership_queries,
+            angluin.membership_queries
+        );
+    }
+
+    #[test]
+    fn learns_quiescent_component_as_single_state() {
+        let u = Universe::new();
+        let mut c = MealyBuilder::new(&u, "c")
+            .input("a")
+            .state("s")
+            .initial("s")
+            .build()
+            .unwrap();
+        let a = u.signals(["a"]);
+        let mut oracle = ComponentOracle::new(&mut c);
+        let mut eq = WMethodOracle::new(2);
+        let res = learn(&mut oracle, vec![a], &mut eq, &LstarLimits::default());
+        assert!(res.converged);
+        assert_eq!(res.hypothesis.state_count, 1);
+    }
+}

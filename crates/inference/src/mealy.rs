@@ -1,0 +1,247 @@
+//! Explicit Mealy machines — the hypothesis representation of the regular
+//! inference baselines (Section 6 of the paper).
+
+use muml_automata::{Automaton, AutomatonBuilder, Guard, Label, SignalSet, Universe};
+
+/// A total deterministic Mealy machine over an input alphabet of signal
+/// sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MealyMachine {
+    /// The input alphabet (each letter is a set of input signals).
+    pub alphabet: Vec<SignalSet>,
+    /// Number of states; state 0 is initial.
+    pub state_count: usize,
+    /// `trans[state][letter] = (outputs, next state)`.
+    pub trans: Vec<Vec<(SignalSet, usize)>>,
+}
+
+impl MealyMachine {
+    /// Runs the machine on `word`, returning the output sequence.
+    pub fn run(&self, word: &[SignalSet]) -> Vec<SignalSet> {
+        let mut state = 0usize;
+        let mut out = Vec::with_capacity(word.len());
+        for a in word {
+            let letter = self
+                .alphabet
+                .iter()
+                .position(|x| x == a)
+                .expect("letter in alphabet");
+            let (b, next) = self.trans[state][letter];
+            out.push(b);
+            state = next;
+        }
+        out
+    }
+
+    /// The state reached on `word` from the initial state.
+    pub fn state_after(&self, word: &[SignalSet]) -> usize {
+        let mut state = 0usize;
+        for a in word {
+            let letter = self
+                .alphabet
+                .iter()
+                .position(|x| x == a)
+                .expect("letter in alphabet");
+            state = self.trans[state][letter].1;
+        }
+        state
+    }
+
+    /// Converts the machine into a discrete-time [`Automaton`] (each letter
+    /// step = one transition), for composition with a context and model
+    /// checking. States are named `h0, h1, …` — a learned hypothesis has no
+    /// access to the black box's real state names.
+    ///
+    /// `interface` is the component's *declared* `(inputs, outputs)`; it is
+    /// unioned with the signals actually observed. Passing the declared
+    /// interface matters: a component that never produced some output must
+    /// still *own* that signal, otherwise the composition would treat it as
+    /// an open environment input.
+    pub fn to_automaton(
+        &self,
+        u: &Universe,
+        name: &str,
+        interface: (SignalSet, SignalSet),
+    ) -> Automaton {
+        let inputs = self
+            .alphabet
+            .iter()
+            .fold(interface.0, |acc, a| acc.union(*a));
+        let outputs = self
+            .trans
+            .iter()
+            .flatten()
+            .fold(interface.1, |acc, (b, _)| acc.union(*b));
+        let mut b = AutomatonBuilder::new(u, name);
+        for s in inputs.iter() {
+            b = b.input(&u.signal_name(s));
+        }
+        for s in outputs.iter() {
+            b = b.output(&u.signal_name(s));
+        }
+        for s in 0..self.state_count {
+            b = b.state(&format!("h{s}"));
+        }
+        b = b.initial("h0");
+        for s in 0..self.state_count {
+            for (letter, &(out, next)) in self.alphabet.iter().zip(&self.trans[s]) {
+                b = b.transition_guard(
+                    &format!("h{s}"),
+                    Guard::Exact(Label::new(*letter, out)),
+                    &format!("h{next}"),
+                );
+            }
+        }
+        b.build().expect("hypothesis automaton is well-formed")
+    }
+
+    /// A characterizing set `W`: suffixes distinguishing every pair of
+    /// distinct states (used by the W-method). Computed by pairwise BFS
+    /// over the product of the machine with itself.
+    pub fn characterizing_set(&self) -> Vec<Vec<SignalSet>> {
+        let mut w: Vec<Vec<SignalSet>> = Vec::new();
+        for p in 0..self.state_count {
+            for q in (p + 1)..self.state_count {
+                if let Some(suffix) = self.distinguish(p, q) {
+                    if !w.contains(&suffix) {
+                        w.push(suffix);
+                    }
+                }
+            }
+        }
+        if w.is_empty() && !self.alphabet.is_empty() {
+            // single-state machines: any letter works as a probe
+            w.push(vec![self.alphabet[0]]);
+        }
+        w
+    }
+
+    /// Shortest word on which states `p` and `q` produce different outputs,
+    /// or `None` if they are equivalent.
+    pub fn distinguish(&self, p: usize, q: usize) -> Option<Vec<SignalSet>> {
+        use std::collections::{HashMap, VecDeque};
+        let mut parent: HashMap<(usize, usize), ((usize, usize), usize)> = HashMap::new();
+        let mut queue = VecDeque::new();
+        let start = (p, q);
+        queue.push_back(start);
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(start);
+        while let Some((a, b)) = queue.pop_front() {
+            for (li, _) in self.alphabet.iter().enumerate() {
+                let (oa, na) = self.trans[a][li];
+                let (ob, nb) = self.trans[b][li];
+                if oa != ob {
+                    // reconstruct path + this letter
+                    let mut word = vec![self.alphabet[li]];
+                    let mut cur = (a, b);
+                    while cur != start {
+                        let (prev, letter) = parent[&cur];
+                        word.push(self.alphabet[letter]);
+                        cur = prev;
+                    }
+                    word.reverse();
+                    return Some(word);
+                }
+                let next = (na, nb);
+                if seen.insert(next) {
+                    parent.insert(next, ((a, b), li));
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Access words: for every state, a shortest word reaching it.
+    pub fn access_words(&self) -> Vec<Vec<SignalSet>> {
+        use std::collections::VecDeque;
+        let mut words: Vec<Option<Vec<SignalSet>>> = vec![None; self.state_count];
+        words[0] = Some(Vec::new());
+        let mut queue = VecDeque::new();
+        queue.push_back(0usize);
+        while let Some(s) = queue.pop_front() {
+            for (li, _) in self.alphabet.iter().enumerate() {
+                let next = self.trans[s][li].1;
+                if words[next].is_none() {
+                    let mut w = words[s].clone().expect("visited");
+                    w.push(self.alphabet[li]);
+                    words[next] = Some(w);
+                    queue.push_back(next);
+                }
+            }
+        }
+        words.into_iter().map(|w| w.unwrap_or_default()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-state toggle: on input `a` outputs alternate between `x` and ∅.
+    fn toggle(u: &Universe) -> MealyMachine {
+        let a = u.signals(["a"]);
+        let x = u.signals(["x"]);
+        MealyMachine {
+            alphabet: vec![a],
+            state_count: 2,
+            trans: vec![vec![(x, 1)], vec![(SignalSet::EMPTY, 0)]],
+        }
+    }
+
+    #[test]
+    fn run_and_state_after() {
+        let u = Universe::new();
+        let m = toggle(&u);
+        let a = u.signals(["a"]);
+        let x = u.signals(["x"]);
+        assert_eq!(m.run(&[a, a, a]), vec![x, SignalSet::EMPTY, x]);
+        assert_eq!(m.state_after(&[a]), 1);
+        assert_eq!(m.state_after(&[a, a]), 0);
+    }
+
+    #[test]
+    fn to_automaton_roundtrip() {
+        let u = Universe::new();
+        let m = toggle(&u);
+        let auto = m.to_automaton(&u, "hyp", (SignalSet::EMPTY, SignalSet::EMPTY));
+        assert_eq!(auto.state_count(), 2);
+        assert!(auto.is_deterministic());
+        let a = u.signals(["a"]);
+        let x = u.signals(["x"]);
+        let h0 = auto.find_state("h0").unwrap();
+        assert!(auto.enables(h0, Label::new(a, x)));
+    }
+
+    #[test]
+    fn distinguish_and_characterizing_set() {
+        let u = Universe::new();
+        let m = toggle(&u);
+        let a = u.signals(["a"]);
+        assert_eq!(m.distinguish(0, 1), Some(vec![a]));
+        let w = m.characterizing_set();
+        assert_eq!(w, vec![vec![a]]);
+    }
+
+    #[test]
+    fn access_words_reach_all_states() {
+        let u = Universe::new();
+        let m = toggle(&u);
+        let words = m.access_words();
+        assert_eq!(words[0], Vec::<SignalSet>::new());
+        assert_eq!(m.state_after(&words[1]), 1);
+    }
+
+    #[test]
+    fn equivalent_states_not_distinguished() {
+        let u = Universe::new();
+        let a = u.signals(["a"]);
+        // both states behave identically
+        let m = MealyMachine {
+            alphabet: vec![a],
+            state_count: 2,
+            trans: vec![vec![(SignalSet::EMPTY, 1)], vec![(SignalSet::EMPTY, 0)]],
+        };
+        assert_eq!(m.distinguish(0, 1), None);
+    }
+}

@@ -1,0 +1,224 @@
+//! The W-method conformance-testing equivalence oracle
+//! (Vasilevskii/Chow, the standard instantiation of the equivalence query —
+//! Section 6 of the paper).
+//!
+//! Given an upper bound `N` on the number of target states and an `m`-state
+//! hypothesis, the test suite is `P · Σ^{≤ N−m} · W`, where `P` is a
+//! transition cover of the hypothesis and `W` a characterizing set. Its
+//! total length is exponential in `N − m` — the cost the paper's approach
+//! avoids by never needing an equivalence check at all.
+
+use muml_automata::SignalSet;
+
+use crate::lstar::EquivalenceOracle;
+use crate::mealy::MealyMachine;
+use crate::oracle::ComponentOracle;
+
+/// A W-method equivalence oracle with a target-state bound.
+#[derive(Debug, Clone)]
+pub struct WMethodOracle {
+    /// Assumed upper bound on the number of target states (a common
+    /// assumption is that the target has at most as many states as known
+    /// a priori).
+    pub max_states: usize,
+}
+
+impl WMethodOracle {
+    /// Creates an oracle assuming the target has at most `max_states`
+    /// states.
+    pub fn new(max_states: usize) -> Self {
+        WMethodOracle { max_states }
+    }
+}
+
+impl EquivalenceOracle for WMethodOracle {
+    fn find_counterexample(
+        &mut self,
+        oracle: &mut ComponentOracle<'_>,
+        hyp: &MealyMachine,
+    ) -> Option<Vec<SignalSet>> {
+        let depth = self.max_states.saturating_sub(hyp.state_count);
+        let w = hyp.characterizing_set();
+        // Transition cover: every access word, plus every access word
+        // extended by every letter.
+        let mut p: Vec<Vec<SignalSet>> = hyp.access_words();
+        for access in hyp.access_words() {
+            for &a in &hyp.alphabet {
+                let mut t = access.clone();
+                t.push(a);
+                p.push(t);
+            }
+        }
+        // Middles: Σ^{≤ depth}.
+        let mut middles: Vec<Vec<SignalSet>> = vec![Vec::new()];
+        let mut layer: Vec<Vec<SignalSet>> = vec![Vec::new()];
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for m in &layer {
+                for &a in &hyp.alphabet {
+                    let mut t = m.clone();
+                    t.push(a);
+                    next.push(t);
+                }
+            }
+            middles.extend(next.iter().cloned());
+            layer = next;
+        }
+        for prefix in &p {
+            for middle in &middles {
+                for suffix in &w {
+                    let mut word = prefix.clone();
+                    word.extend_from_slice(middle);
+                    word.extend_from_slice(suffix);
+                    if word.is_empty() {
+                        continue;
+                    }
+                    let real = oracle.query(&word);
+                    let predicted = hyp.run(&word);
+                    if real != predicted {
+                        // trim to the shortest disagreeing prefix
+                        let k = real
+                            .iter()
+                            .zip(&predicted)
+                            .position(|(a, b)| a != b)
+                            .expect("outputs differ");
+                        return Some(word[..=k].to_vec());
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A random-walk equivalence oracle: cheaper but incomplete; used to show
+/// the precision/cost trade-off in the benchmarks.
+#[derive(Debug, Clone)]
+pub struct RandomWalkOracle {
+    /// Number of random words to try per equivalence query.
+    pub walks: usize,
+    /// Length of each random word.
+    pub walk_len: usize,
+    seed: u64,
+}
+
+impl RandomWalkOracle {
+    /// Creates an oracle performing `walks` walks of `walk_len` symbols.
+    pub fn new(walks: usize, walk_len: usize, seed: u64) -> Self {
+        RandomWalkOracle {
+            walks,
+            walk_len,
+            seed,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64* — deterministic, dependency-free
+        let mut x = self.seed.wrapping_add(0x9E3779B97F4A7C15);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.seed = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+impl EquivalenceOracle for RandomWalkOracle {
+    fn find_counterexample(
+        &mut self,
+        oracle: &mut ComponentOracle<'_>,
+        hyp: &MealyMachine,
+    ) -> Option<Vec<SignalSet>> {
+        for _ in 0..self.walks {
+            let word: Vec<SignalSet> = (0..self.walk_len)
+                .map(|_| hyp.alphabet[(self.next() as usize) % hyp.alphabet.len()])
+                .collect();
+            let real = oracle.query(&word);
+            let predicted = hyp.run(&word);
+            if real != predicted {
+                let k = real
+                    .iter()
+                    .zip(&predicted)
+                    .position(|(a, b)| a != b)
+                    .expect("outputs differ");
+                return Some(word[..=k].to_vec());
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muml_automata::Universe;
+    use muml_legacy::MealyBuilder;
+
+    fn component(u: &Universe) -> muml_legacy::HiddenMealy {
+        MealyBuilder::new(u, "c")
+            .input("a")
+            .output("x")
+            .state("s0")
+            .initial("s0")
+            .state("s1")
+            .state("s2")
+            .rule("s0", ["a"], [], "s1")
+            .rule("s1", ["a"], [], "s2")
+            .rule("s2", ["a"], ["x"], "s0")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn wmethod_finds_deep_difference() {
+        let u = Universe::new();
+        let mut c = component(&u);
+        let a = u.signals(["a"]);
+        // 1-state hypothesis: always quiet.
+        let hyp = MealyMachine {
+            alphabet: vec![a],
+            state_count: 1,
+            trans: vec![vec![(SignalSet::EMPTY, 0)]],
+        };
+        let mut w = WMethodOracle::new(3);
+        let mut oracle = ComponentOracle::new(&mut c);
+        let cex = w.find_counterexample(&mut oracle, &hyp).unwrap();
+        // The difference appears at the third symbol.
+        assert_eq!(cex.len(), 3);
+    }
+
+    #[test]
+    fn wmethod_accepts_correct_hypothesis() {
+        let u = Universe::new();
+        let mut c = component(&u);
+        let a = u.signals(["a"]);
+        let x = u.signals(["x"]);
+        let hyp = MealyMachine {
+            alphabet: vec![a],
+            state_count: 3,
+            trans: vec![
+                vec![(SignalSet::EMPTY, 1)],
+                vec![(SignalSet::EMPTY, 2)],
+                vec![(x, 0)],
+            ],
+        };
+        let mut w = WMethodOracle::new(3);
+        let mut oracle = ComponentOracle::new(&mut c);
+        assert_eq!(w.find_counterexample(&mut oracle, &hyp), None);
+    }
+
+    #[test]
+    fn random_walk_finds_shallow_difference() {
+        let u = Universe::new();
+        let mut c = component(&u);
+        let a = u.signals(["a"]);
+        let hyp = MealyMachine {
+            alphabet: vec![a],
+            state_count: 1,
+            trans: vec![vec![(SignalSet::EMPTY, 0)]],
+        };
+        let mut r = RandomWalkOracle::new(50, 6, 42);
+        let mut oracle = ComponentOracle::new(&mut c);
+        assert!(r.find_counterexample(&mut oracle, &hyp).is_some());
+    }
+}

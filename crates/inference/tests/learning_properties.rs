@@ -1,0 +1,160 @@
+//! Property-based tests of the regular-inference baselines: `L*` with an
+//! exact-bound W-method oracle must learn *any* deterministic Mealy machine
+//! exactly, with either counterexample-processing strategy.
+
+use muml_automata::{SignalSet, Universe};
+use muml_inference::{learn, CexProcessing, ComponentOracle, LstarLimits, WMethodOracle};
+use muml_legacy::{HiddenMealy, LegacyComponent, MealyBuilder};
+use proptest::prelude::*;
+
+/// Random total deterministic Mealy machine over inputs {a,b}, outputs
+/// {x}: per state and letter, (emit, next).
+#[derive(Debug, Clone)]
+struct Spec {
+    n: usize,
+    rules: Vec<[(bool, usize); 2]>,
+}
+
+fn spec_strategy(max_states: usize) -> impl Strategy<Value = Spec> {
+    (1..=max_states).prop_flat_map(move |n| {
+        proptest::collection::vec(((any::<bool>(), 0..n), (any::<bool>(), 0..n)), n).prop_map(
+            move |v| Spec {
+                n,
+                rules: v.into_iter().map(|(p, q)| [p, q]).collect(),
+            },
+        )
+    })
+}
+
+fn build(u: &Universe, spec: &Spec) -> HiddenMealy {
+    let mut b = MealyBuilder::new(u, "target")
+        .input("a")
+        .input("b")
+        .output("x");
+    for s in 0..spec.n {
+        b = b.state(&format!("q{s}"));
+    }
+    b = b.initial("q0");
+    for (s, rules) in spec.rules.iter().enumerate() {
+        for (letter, &(emit, next)) in rules.iter().enumerate() {
+            let ins: Vec<&str> = if letter == 0 { vec!["a"] } else { vec!["b"] };
+            let outs: Vec<&str> = if emit { vec!["x"] } else { vec![] };
+            b = b.rule(&format!("q{s}"), ins, outs, &format!("q{next}"));
+        }
+    }
+    b.build().expect("spec builds")
+}
+
+/// Exhaustively compares target and hypothesis on every word up to `len`.
+fn agree_up_to(
+    u: &Universe,
+    spec: &Spec,
+    hyp: &muml_inference::MealyMachine,
+    len: usize,
+) -> bool {
+    let a = u.signals(["a"]);
+    let b = u.signals(["b"]);
+    let letters = [a, b];
+    let mut words: Vec<Vec<SignalSet>> = vec![Vec::new()];
+    for _ in 0..len {
+        let mut next = Vec::new();
+        for w in &words {
+            for &l in &letters {
+                let mut w2 = w.clone();
+                w2.push(l);
+                next.push(w2);
+            }
+        }
+        for w in &next {
+            let mut target = build(u, spec);
+            target.reset();
+            let real: Vec<SignalSet> = w.iter().map(|&x| target.step(x)).collect();
+            if real != hyp.run(w) {
+                return false;
+            }
+        }
+        words = next;
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// With an exact state bound, `L*` + W-method converges to a machine
+    /// agreeing with the target on every word (checked exhaustively up to
+    /// n+2 symbols), with at most n hypothesis states — for both
+    /// counterexample-processing strategies.
+    #[test]
+    fn lstar_learns_random_machines_exactly(
+        spec in spec_strategy(5),
+        rs in any::<bool>(),
+    ) {
+        let u = Universe::new();
+        let mut target = build(&u, &spec);
+        let a = u.signals(["a"]);
+        let b = u.signals(["b"]);
+        let mut oracle = ComponentOracle::new(&mut target);
+        let mut eq = WMethodOracle::new(spec.n);
+        let res = learn(
+            &mut oracle,
+            vec![a, b],
+            &mut eq,
+            &LstarLimits {
+                cex_processing: if rs {
+                    CexProcessing::RivestSchapire
+                } else {
+                    CexProcessing::AddAllPrefixes
+                },
+                ..LstarLimits::default()
+            },
+        );
+        prop_assert!(res.converged);
+        prop_assert!(res.hypothesis.state_count <= spec.n);
+        prop_assert!(agree_up_to(&u, &spec, &res.hypothesis, spec.n.min(4) + 2));
+    }
+
+    /// Both strategies learn behaviourally identical hypotheses (same size,
+    /// same outputs on all short words).
+    #[test]
+    fn strategies_agree(spec in spec_strategy(4)) {
+        let u = Universe::new();
+        let a = u.signals(["a"]);
+        let b = u.signals(["b"]);
+        let run = |strategy: CexProcessing| {
+            let mut target = build(&u, &spec);
+            let mut oracle = ComponentOracle::new(&mut target);
+            let mut eq = WMethodOracle::new(spec.n);
+            learn(
+                &mut oracle,
+                vec![a, b],
+                &mut eq,
+                &LstarLimits {
+                    cex_processing: strategy,
+                    ..LstarLimits::default()
+                },
+            )
+        };
+        let plain = run(CexProcessing::AddAllPrefixes);
+        let rs = run(CexProcessing::RivestSchapire);
+        prop_assert!(plain.converged && rs.converged);
+        prop_assert_eq!(plain.hypothesis.state_count, rs.hypothesis.state_count);
+        // spot-check agreement on all words of length ≤ 4
+        let letters = [a, b];
+        let mut words: Vec<Vec<SignalSet>> = vec![Vec::new()];
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for w in &words {
+                for &l in &letters {
+                    let mut w2 = w.clone();
+                    w2.push(l);
+                    next.push(w2);
+                }
+            }
+            for w in &next {
+                prop_assert_eq!(plain.hypothesis.run(w), rs.hypothesis.run(w));
+            }
+            words = next;
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Fault injection for legacy components.
+//!
+//! Used by the examples, tests, and the fault-detection benchmark (T-C in
+//! DESIGN.md) to derive *faulty* variants of a correct component — e.g. the
+//! paper's conflicting shuttle that enters `convoy` mode even though the
+//! proposal was rejected (Figure 6 / Listing 1.4).
+
+use muml_automata::{AutomataError, SignalSet, Universe};
+
+use crate::interpreter::HiddenMealy;
+
+/// A seeded fault in a hidden Mealy machine.
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// Redirect the rule `(state, inputs)` to a different target state.
+    RedirectTarget {
+        /// The state whose rule is tampered with.
+        state: String,
+        /// The rule's input set (signal names).
+        inputs: Vec<String>,
+        /// The new target state.
+        new_target: String,
+    },
+    /// Change the outputs of the rule `(state, inputs)`.
+    ChangeOutput {
+        /// The state whose rule is tampered with.
+        state: String,
+        /// The rule's input set (signal names).
+        inputs: Vec<String>,
+        /// The new outputs (signal names).
+        new_outputs: Vec<String>,
+    },
+    /// Remove the rule `(state, inputs)` entirely (the component falls back
+    /// to its default behaviour for that interaction).
+    DropRule {
+        /// The state whose rule is removed.
+        state: String,
+        /// The rule's input set (signal names).
+        inputs: Vec<String>,
+    },
+}
+
+/// Injects `fault` into `m`.
+///
+/// # Errors
+///
+/// [`AutomataError::UnknownState`] if the fault references a missing state
+/// or a non-existent rule.
+pub fn inject(m: &mut HiddenMealy, u: &Universe, fault: &Fault) -> Result<(), AutomataError> {
+    let sigset = |names: &[String]| -> SignalSet {
+        names.iter().map(|n| u.signal(n)).collect()
+    };
+    match fault {
+        Fault::RedirectTarget {
+            state,
+            inputs,
+            new_target,
+        } => {
+            let s = m
+                .state_index(state)
+                .ok_or_else(|| AutomataError::UnknownState(state.clone()))?;
+            let t = m
+                .state_index(new_target)
+                .ok_or_else(|| AutomataError::UnknownState(new_target.clone()))?;
+            let key = (s, sigset(inputs));
+            match m.rules_mut().get_mut(&key) {
+                Some(v) => {
+                    v.1 = t;
+                    Ok(())
+                }
+                None => Err(AutomataError::UnknownState(format!(
+                    "no rule at `{state}` for those inputs"
+                ))),
+            }
+        }
+        Fault::ChangeOutput {
+            state,
+            inputs,
+            new_outputs,
+        } => {
+            let s = m
+                .state_index(state)
+                .ok_or_else(|| AutomataError::UnknownState(state.clone()))?;
+            let key = (s, sigset(inputs));
+            let out = sigset(new_outputs);
+            match m.rules_mut().get_mut(&key) {
+                Some(v) => {
+                    v.0 = out;
+                    Ok(())
+                }
+                None => Err(AutomataError::UnknownState(format!(
+                    "no rule at `{state}` for those inputs"
+                ))),
+            }
+        }
+        Fault::DropRule { state, inputs } => {
+            let s = m
+                .state_index(state)
+                .ok_or_else(|| AutomataError::UnknownState(state.clone()))?;
+            let key = (s, sigset(inputs));
+            if m.rules_mut().remove(&key).is_none() {
+                return Err(AutomataError::UnknownState(format!(
+                    "no rule at `{state}` for those inputs"
+                )));
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{LegacyComponent, StateObservable};
+    use crate::interpreter::MealyBuilder;
+
+    fn machine(u: &Universe) -> HiddenMealy {
+        MealyBuilder::new(u, "m")
+            .input("go")
+            .output("ack")
+            .state("idle")
+            .initial("idle")
+            .state("run")
+            .rule("idle", ["go"], ["ack"], "run")
+            .rule("run", [], [], "run")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn redirect_target() {
+        let u = Universe::new();
+        let mut m = machine(&u);
+        inject(
+            &mut m,
+            &u,
+            &Fault::RedirectTarget {
+                state: "idle".into(),
+                inputs: vec!["go".into()],
+                new_target: "idle".into(),
+            },
+        )
+        .unwrap();
+        m.step(u.signals(["go"]));
+        assert_eq!(m.observable_state(), "idle");
+    }
+
+    #[test]
+    fn change_output() {
+        let u = Universe::new();
+        let mut m = machine(&u);
+        inject(
+            &mut m,
+            &u,
+            &Fault::ChangeOutput {
+                state: "idle".into(),
+                inputs: vec!["go".into()],
+                new_outputs: vec![],
+            },
+        )
+        .unwrap();
+        assert_eq!(m.step(u.signals(["go"])), SignalSet::EMPTY);
+    }
+
+    #[test]
+    fn drop_rule_falls_back_to_default() {
+        let u = Universe::new();
+        let mut m = machine(&u);
+        inject(
+            &mut m,
+            &u,
+            &Fault::DropRule {
+                state: "idle".into(),
+                inputs: vec!["go".into()],
+            },
+        )
+        .unwrap();
+        assert_eq!(m.step(u.signals(["go"])), SignalSet::EMPTY);
+        assert_eq!(m.observable_state(), "idle");
+    }
+
+    #[test]
+    fn unknown_targets_are_errors() {
+        let u = Universe::new();
+        let mut m = machine(&u);
+        assert!(inject(
+            &mut m,
+            &u,
+            &Fault::DropRule {
+                state: "ghost".into(),
+                inputs: vec![],
+            },
+        )
+        .is_err());
+        assert!(inject(
+            &mut m,
+            &u,
+            &Fault::RedirectTarget {
+                state: "idle".into(),
+                inputs: vec![], // no such rule
+                new_target: "run".into(),
+            },
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! Legacy component runtime: black-box execution, monitoring probes,
+//! deterministic replay, and counterexample-driven test execution.
+//!
+//! This crate is the testing half of the paper's method (Sections 4.2 and
+//! 5): the verification step produces counterexample traces, and this crate
+//! executes them against the real (here: simulated) legacy component,
+//! producing the observations the learning step consumes.
+//!
+//! * [`LegacyComponent`] / [`StateObservable`] — the strict black-box
+//!   interface plus the replay-only state probe.
+//! * [`HiddenMealy`] / [`MealyBuilder`] — a deterministic hidden-state
+//!   interpreter standing in for real legacy code (see DESIGN.md §5 for the
+//!   substitution argument).
+//! * [`record_live`] / [`replay`] — the two-phase, probe-effect-free
+//!   monitoring workflow of [22]: record messages + periods with minimal
+//!   probes, then replay deterministically with full state/timing
+//!   instrumentation (Listings 1.2 and 1.3).
+//! * [`execute_expected_trace`] — drive the component along a
+//!   counterexample; either *confirm* it (a real fault, Lemma 6) or return
+//!   the observed divergence as learning input (Definitions 11/12).
+//! * [`Fault`] / [`inject`] — seeded faults for deriving broken variants.
+
+#![warn(missing_docs)]
+
+mod component;
+mod executor;
+mod faults;
+mod interpreter;
+mod monitor;
+mod probe;
+mod replay;
+
+pub use component::{LegacyComponent, StateObservable};
+pub use executor::{execute_expected_trace, TestOutcome};
+pub use faults::{inject, Fault};
+pub use interpreter::{DefaultBehavior, HiddenMealy, MealyBuilder};
+pub use monitor::{Direction, MonitorEvent, MonitorTrace, PortMap};
+pub use probe::{InstrumentedComponent, ProbeMode, NO_STATE_PROBE};
+pub use replay::{record_live, replay, RecordedStep, Recording, ReplayError, ReplayReport};

@@ -1,0 +1,232 @@
+//! Monitoring events and trace rendering.
+//!
+//! The paper's Listings 1.2, 1.3, and 1.5 show two probe configurations:
+//!
+//! * **minimal** (Listing 1.2): only incoming/outgoing messages with their
+//!   port — the data recorded during live execution for deterministic
+//!   replay;
+//! * **full** (Listings 1.3/1.5): additionally the current state and the
+//!   period (`[Timing] count=n`) — enabled only during replay, where extra
+//!   instrumentation cannot perturb the execution.
+//!
+//! [`MonitorTrace`]'s `Display` implementation reproduces the listing
+//! format verbatim.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use muml_automata::{SignalId, SignalSet, Universe};
+
+/// Message direction relative to the monitored component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// The component received the message.
+    Incoming,
+    /// The component sent the message.
+    Outgoing,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Incoming => write!(f, "incoming"),
+            Direction::Outgoing => write!(f, "outgoing"),
+        }
+    }
+}
+
+/// One monitored event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorEvent {
+    /// `[CurrentState] name="…"` — only with full instrumentation.
+    CurrentState {
+        /// The observed state name.
+        name: String,
+    },
+    /// `[Message] name="…", portName="…", type=…`
+    Message {
+        /// The message (signal) name.
+        name: String,
+        /// The port the message crossed.
+        port: String,
+        /// Incoming or outgoing.
+        direction: Direction,
+    },
+    /// `[Timing] count=n` — the period number, only with full
+    /// instrumentation.
+    Timing {
+        /// The period count.
+        count: u64,
+    },
+}
+
+impl fmt::Display for MonitorEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorEvent::CurrentState { name } => {
+                write!(f, "[CurrentState] name=\"{name}\"")
+            }
+            MonitorEvent::Message {
+                name,
+                port,
+                direction,
+            } => write!(
+                f,
+                "[Message] name=\"{name}\", portName=\"{port}\", type=\"{direction}\""
+            ),
+            MonitorEvent::Timing { count } => write!(f, "[Timing] count={count}"),
+        }
+    }
+}
+
+/// A sequence of monitored events, rendered in the paper's listing format.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MonitorTrace {
+    /// The events in order of occurrence.
+    pub events: Vec<MonitorEvent>,
+}
+
+impl MonitorTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        MonitorTrace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, e: MonitorEvent) {
+        self.events.push(e);
+    }
+
+    /// Only the message events (what minimal probes record).
+    pub fn messages(&self) -> Vec<&MonitorEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, MonitorEvent::Message { .. }))
+            .collect()
+    }
+
+    /// The observed state names in order (full instrumentation only).
+    pub fn state_names(&self) -> Vec<&str> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::CurrentState { name } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for MonitorTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Maps signals to the port names used in `[Message]` records.
+///
+/// The RailCab example reports e.g. `portName="rearRole"` for both the
+/// outgoing `convoyProposal` and the incoming `convoyProposalRejected`.
+#[derive(Debug, Clone, Default)]
+pub struct PortMap {
+    map: HashMap<SignalId, String>,
+    default_port: String,
+}
+
+impl PortMap {
+    /// Creates a port map with a default port name for unmapped signals.
+    pub fn with_default(default_port: &str) -> Self {
+        PortMap {
+            map: HashMap::new(),
+            default_port: default_port.to_owned(),
+        }
+    }
+
+    /// Assigns every signal in `signals` to `port`.
+    pub fn assign(&mut self, signals: SignalSet, port: &str) {
+        for s in signals.iter() {
+            self.map.insert(s, port.to_owned());
+        }
+    }
+
+    /// The port of `signal`.
+    pub fn port_of(&self, signal: SignalId) -> &str {
+        self.map
+            .get(&signal)
+            .map(String::as_str)
+            .unwrap_or(&self.default_port)
+    }
+
+    /// Emits `[Message]` events for a set of signals.
+    pub fn message_events(
+        &self,
+        u: &Universe,
+        signals: SignalSet,
+        direction: Direction,
+    ) -> Vec<MonitorEvent> {
+        signals
+            .iter()
+            .map(|s| MonitorEvent::Message {
+                name: u.signal_name(s),
+                port: self.port_of(s).to_owned(),
+                direction,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing_format_matches_paper() {
+        let mut t = MonitorTrace::new();
+        t.push(MonitorEvent::CurrentState {
+            name: "noConvoy".into(),
+        });
+        t.push(MonitorEvent::Message {
+            name: "convoyProposal".into(),
+            port: "rearRole".into(),
+            direction: Direction::Outgoing,
+        });
+        t.push(MonitorEvent::Timing { count: 1 });
+        let s = t.to_string();
+        assert!(s.contains("[CurrentState] name=\"noConvoy\""));
+        assert!(s.contains(
+            "[Message] name=\"convoyProposal\", portName=\"rearRole\", type=\"outgoing\""
+        ));
+        assert!(s.contains("[Timing] count=1"));
+    }
+
+    #[test]
+    fn messages_and_states_filters() {
+        let mut t = MonitorTrace::new();
+        t.push(MonitorEvent::CurrentState { name: "a".into() });
+        t.push(MonitorEvent::Message {
+            name: "m".into(),
+            port: "p".into(),
+            direction: Direction::Incoming,
+        });
+        t.push(MonitorEvent::Timing { count: 3 });
+        t.push(MonitorEvent::CurrentState { name: "b".into() });
+        assert_eq!(t.messages().len(), 1);
+        assert_eq!(t.state_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn port_map_assignment() {
+        let u = Universe::new();
+        let sigs = u.signals(["x", "y"]);
+        let mut pm = PortMap::with_default("misc");
+        pm.assign(sigs, "rearRole");
+        assert_eq!(pm.port_of(u.signal("x")), "rearRole");
+        assert_eq!(pm.port_of(u.signal("z")), "misc");
+        let evs = pm.message_events(&u, u.signals(["x"]), Direction::Outgoing);
+        assert_eq!(evs.len(), 1);
+        assert!(evs[0].to_string().contains("rearRole"));
+    }
+}

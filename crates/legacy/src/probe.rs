@@ -1,0 +1,233 @@
+//! Probe configurations and the *probe effect* (Section 5 of the paper).
+//!
+//! "In the case of software monitoring, instrumentation of the source code
+//! is needed to observe the relevant events. […] These different probes can
+//! then result in different operation times and timing and thus in
+//! different behavior. This effect is called the probe effect."
+//!
+//! [`InstrumentedComponent`] wraps a legacy component with a probe
+//! configuration:
+//!
+//! * [`ProbeMode::MinimalLive`] — only the message/period probes needed for
+//!   deterministic replay are compiled in. No perturbation, but the state
+//!   probe is unavailable.
+//! * [`ProbeMode::FullLive`] — state and timing probes attached to the
+//!   *live* system. The added instrumentation overhead periodically delays
+//!   the component's outputs by one period — observable behaviour changes
+//!   (the probe effect, simulated).
+//! * [`ProbeMode::FullReplay`] — full instrumentation during *deterministic
+//!   replay*: the execution is driven from recorded data, so the extra
+//!   probes "have no effects on the execution".
+//!
+//! The two-phase record/replay workflow of [`crate::record_live`] +
+//! [`crate::replay`] exists precisely to get `FullReplay`-quality
+//! observations at `MinimalLive` cost; the tests below demonstrate why the
+//! naive alternative (full probes live) is wrong.
+
+use muml_automata::SignalSet;
+
+use crate::component::{LegacyComponent, StateObservable};
+
+/// Placeholder state name reported when no state probe is attached.
+pub const NO_STATE_PROBE: &str = "<no state probe>";
+
+/// The probe configuration of an [`InstrumentedComponent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeMode {
+    /// Minimal probes (messages + periods), live execution; no state
+    /// observation, no perturbation.
+    MinimalLive,
+    /// Full probes attached to the live system; every `perturb_every`-th
+    /// period the instrumentation overhead delays the outputs by one
+    /// period (the simulated probe effect).
+    FullLive {
+        /// Perturbation period (≥ 1).
+        perturb_every: u64,
+    },
+    /// Full probes during deterministic replay; no perturbation.
+    FullReplay,
+}
+
+/// A legacy component wrapped with a probe configuration.
+#[derive(Debug, Clone)]
+pub struct InstrumentedComponent<C> {
+    inner: C,
+    mode: ProbeMode,
+    /// Outputs held back by a perturbation, delivered one period late.
+    delayed: SignalSet,
+}
+
+impl<C: StateObservable> InstrumentedComponent<C> {
+    /// Wraps `inner` with the given probe mode.
+    pub fn new(inner: C, mode: ProbeMode) -> Self {
+        if let ProbeMode::FullLive { perturb_every } = mode {
+            assert!(perturb_every >= 1, "perturbation period must be ≥ 1");
+        }
+        InstrumentedComponent {
+            inner,
+            mode,
+            delayed: SignalSet::EMPTY,
+        }
+    }
+
+    /// The current probe mode.
+    pub fn mode(&self) -> ProbeMode {
+        self.mode
+    }
+
+    /// Switches the probe configuration (allowed only at reset points in a
+    /// real deployment; the wrapper resets the component).
+    pub fn set_mode(&mut self, mode: ProbeMode) {
+        self.mode = mode;
+        self.reset();
+    }
+
+    /// Unwraps the inner component.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: StateObservable> LegacyComponent for InstrumentedComponent<C> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn interface(&self) -> (SignalSet, SignalSet) {
+        self.inner.interface()
+    }
+
+    fn reset(&mut self) {
+        self.delayed = SignalSet::EMPTY;
+        self.inner.reset();
+    }
+
+    fn step(&mut self, inputs: SignalSet) -> SignalSet {
+        let out = self.inner.step(inputs);
+        match self.mode {
+            ProbeMode::MinimalLive | ProbeMode::FullReplay => out,
+            ProbeMode::FullLive { perturb_every } => {
+                let held = self.delayed;
+                self.delayed = SignalSet::EMPTY;
+                if self.inner.period() % perturb_every == 0 {
+                    // Instrumentation overhead: this period's outputs slip
+                    // into the next period.
+                    self.delayed = out;
+                    held
+                } else {
+                    held.union(out)
+                }
+            }
+        }
+    }
+
+    fn period(&self) -> u64 {
+        self.inner.period()
+    }
+}
+
+impl<C: StateObservable> StateObservable for InstrumentedComponent<C> {
+    fn observable_state(&self) -> String {
+        match self.mode {
+            ProbeMode::MinimalLive => NO_STATE_PROBE.to_owned(),
+            _ => self.inner.observable_state(),
+        }
+    }
+
+    fn initial_state_name(&self) -> String {
+        self.inner.initial_state_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpreter::MealyBuilder;
+    use crate::replay::{record_live, replay};
+    use crate::monitor::PortMap;
+    use muml_automata::Universe;
+
+    fn component(u: &Universe) -> crate::interpreter::HiddenMealy {
+        MealyBuilder::new(u, "c")
+            .input("a")
+            .output("x")
+            .state("s0")
+            .initial("s0")
+            .state("s1")
+            .rule("s0", ["a"], ["x"], "s1")
+            .rule("s1", ["a"], [], "s0")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn minimal_live_does_not_perturb_but_hides_state() {
+        let u = Universe::new();
+        let mut c = InstrumentedComponent::new(component(&u), ProbeMode::MinimalLive);
+        let a = u.signals(["a"]);
+        assert_eq!(c.step(a), u.signals(["x"]));
+        assert_eq!(c.observable_state(), NO_STATE_PROBE);
+    }
+
+    #[test]
+    fn full_live_exhibits_the_probe_effect() {
+        let u = Universe::new();
+        let a = u.signals(["a"]);
+        let x = u.signals(["x"]);
+        // Unperturbed behaviour: x, ∅, x, ∅ …
+        let mut minimal = InstrumentedComponent::new(component(&u), ProbeMode::MinimalLive);
+        let clean: Vec<_> = (0..4).map(|_| minimal.step(a)).collect();
+        assert_eq!(clean, vec![x, SignalSet::EMPTY, x, SignalSet::EMPTY]);
+        // Full probes live, perturbing every period: outputs slip by one.
+        let mut heavy =
+            InstrumentedComponent::new(component(&u), ProbeMode::FullLive { perturb_every: 1 });
+        let perturbed: Vec<_> = (0..4).map(|_| heavy.step(a)).collect();
+        assert_ne!(perturbed, clean, "the probe effect must be observable");
+        assert_eq!(perturbed, vec![SignalSet::EMPTY, x, SignalSet::EMPTY, x]);
+    }
+
+    #[test]
+    fn record_minimal_then_replay_full_avoids_the_probe_effect() {
+        let u = Universe::new();
+        let a = u.signals(["a"]);
+        // Phase 1: record with minimal probes (clean behaviour).
+        let mut live = InstrumentedComponent::new(component(&u), ProbeMode::MinimalLive);
+        let recording = record_live(&mut live, &[a, a, a]);
+        // Phase 2: replay deterministically with full instrumentation — the
+        // replayed outputs match the clean recording *and* states appear.
+        let mut replayed = InstrumentedComponent::new(component(&u), ProbeMode::FullReplay);
+        let ports = PortMap::with_default("p");
+        let report = replay(&mut replayed, &recording, &u, &ports).unwrap();
+        assert_eq!(report.observation.states[0], "s0");
+        assert_eq!(report.observation.states[1], "s1");
+        assert!(!report.observation.blocked);
+    }
+
+    #[test]
+    fn full_live_recording_diverges_from_clean_replay() {
+        // The anti-pattern: record with full probes live. The recording is
+        // perturbed, so a clean deterministic replay rejects it — the
+        // harness *detects* the probe effect rather than silently learning
+        // wrong behaviour.
+        let u = Universe::new();
+        let a = u.signals(["a"]);
+        let mut heavy =
+            InstrumentedComponent::new(component(&u), ProbeMode::FullLive { perturb_every: 1 });
+        let recording = record_live(&mut heavy, &[a, a]);
+        let mut clean = InstrumentedComponent::new(component(&u), ProbeMode::FullReplay);
+        let ports = PortMap::with_default("p");
+        assert!(replay(&mut clean, &recording, &u, &ports).is_err());
+    }
+
+    #[test]
+    fn mode_switch_resets() {
+        let u = Universe::new();
+        let a = u.signals(["a"]);
+        let mut c = InstrumentedComponent::new(component(&u), ProbeMode::MinimalLive);
+        c.step(a);
+        assert_eq!(c.period(), 1);
+        c.set_mode(ProbeMode::FullReplay);
+        assert_eq!(c.period(), 0);
+        assert_eq!(c.observable_state(), "s0");
+    }
+}

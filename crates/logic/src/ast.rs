@@ -1,0 +1,507 @@
+//! Clocked CTL (CCTL) formulas.
+//!
+//! Properties of Section 2.1 of the paper: CCTL constraints `φ` and
+//! invariants `ψ` over a shared set of atomic propositions, plus the special
+//! symbol `δ` denoting reachability of a deadlock. Timed bounds `[a,b]`
+//! count transitions (one transition = one time unit).
+
+use std::fmt;
+
+use muml_automata::{PropId, PropSet, Universe};
+
+/// A time window `[lo, hi]` in discrete steps, attached to `F`, `G`, or `U`
+/// operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Bound {
+    /// Inclusive lower bound (in time units).
+    pub lo: u32,
+    /// Inclusive upper bound (in time units).
+    pub hi: u32,
+}
+
+impl Bound {
+    /// Creates a bound; panics if `lo > hi`.
+    pub fn new(lo: u32, hi: u32) -> Bound {
+        assert!(lo <= hi, "bound lower end exceeds upper end");
+        Bound { lo, hi }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{}]", self.lo, self.hi)
+    }
+}
+
+/// A CCTL formula.
+///
+/// Construct with the associated functions ([`Formula::prop`],
+/// [`Formula::ag`], …) or parse from text with
+/// [`parse`](crate::parse).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+    /// An atomic proposition.
+    Prop(PropId),
+    /// The deadlock predicate: holds in states without any outgoing
+    /// transition. The paper's `M ⊨ ¬δ` (no deadlock reachable) is
+    /// expressed as `AG ¬deadlock` — see [`Formula::deadlock_free`];
+    /// `EF deadlock` expresses `δ` (a deadlock is reachable).
+    Deadlock,
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Implication (sugar for `¬a ∨ b`, kept structural for display).
+    Implies(Box<Formula>, Box<Formula>),
+    /// `AX φ` — on all paths, φ at the next step.
+    Ax(Box<Formula>),
+    /// `EX φ` — on some path, φ at the next step.
+    Ex(Box<Formula>),
+    /// `AG φ` / `AG[a,b] φ` — on all paths, φ globally (within the window).
+    Ag(Option<Bound>, Box<Formula>),
+    /// `EG φ` / `EG[a,b] φ`.
+    Eg(Option<Bound>, Box<Formula>),
+    /// `AF φ` / `AF[a,b] φ` — on all paths, φ eventually (within the window).
+    Af(Option<Bound>, Box<Formula>),
+    /// `EF φ` / `EF[a,b] φ`.
+    Ef(Option<Bound>, Box<Formula>),
+    /// `A[φ U ψ]` / `A[φ U[a,b] ψ]`.
+    Au(Option<Bound>, Box<Formula>, Box<Formula>),
+    /// `E[φ U ψ]` / `E[φ U[a,b] ψ]`.
+    Eu(Option<Bound>, Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// Atomic proposition by name, interned in `u`.
+    pub fn prop_named(u: &Universe, name: &str) -> Formula {
+        Formula::Prop(u.prop(name))
+    }
+
+    /// Atomic proposition.
+    pub fn prop(p: PropId) -> Formula {
+        Formula::Prop(p)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Implication.
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// `AG self`.
+    pub fn ag(self) -> Formula {
+        Formula::Ag(None, Box::new(self))
+    }
+
+    /// `AG[lo,hi] self`.
+    pub fn ag_within(self, lo: u32, hi: u32) -> Formula {
+        Formula::Ag(Some(Bound::new(lo, hi)), Box::new(self))
+    }
+
+    /// `AF self`.
+    pub fn af(self) -> Formula {
+        Formula::Af(None, Box::new(self))
+    }
+
+    /// `AF[lo,hi] self` — the paper's maximal-delay pattern is
+    /// `AG(¬p₁ ∨ AF[1,d] p₂)`.
+    pub fn af_within(self, lo: u32, hi: u32) -> Formula {
+        Formula::Af(Some(Bound::new(lo, hi)), Box::new(self))
+    }
+
+    /// `EF self`.
+    pub fn ef(self) -> Formula {
+        Formula::Ef(None, Box::new(self))
+    }
+
+    /// `EG self`.
+    pub fn eg(self) -> Formula {
+        Formula::Eg(None, Box::new(self))
+    }
+
+    /// `AX self`.
+    pub fn ax(self) -> Formula {
+        Formula::Ax(Box::new(self))
+    }
+
+    /// `EX self`.
+    pub fn ex(self) -> Formula {
+        Formula::Ex(Box::new(self))
+    }
+
+    /// Deadlock freedom `¬δ`: `AG ¬deadlock`.
+    pub fn deadlock_free() -> Formula {
+        Formula::Ag(None, Box::new(Formula::Not(Box::new(Formula::Deadlock))))
+    }
+
+    /// The proposition support `𝓛(φ)`: all atomic propositions occurring in
+    /// the formula (Section 2.1).
+    pub fn prop_support(&self) -> PropSet {
+        match self {
+            Formula::True | Formula::False | Formula::Deadlock => PropSet::EMPTY,
+            Formula::Prop(p) => PropSet::singleton(*p),
+            Formula::Not(f) | Formula::Ax(f) | Formula::Ex(f) => f.prop_support(),
+            Formula::Ag(_, f) | Formula::Eg(_, f) | Formula::Af(_, f) | Formula::Ef(_, f) => {
+                f.prop_support()
+            }
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+                a.prop_support().union(b.prop_support())
+            }
+            Formula::Au(_, a, b) | Formula::Eu(_, a, b) => {
+                a.prop_support().union(b.prop_support())
+            }
+        }
+    }
+
+    /// Converts to negation normal form: negations pushed to atoms,
+    /// implications eliminated. `¬δ` is kept as-is (deadlock freedom is
+    /// primitive); bounded operators dualize with the same window.
+    pub fn to_nnf(&self) -> Formula {
+        self.nnf(false)
+    }
+
+    fn nnf(&self, neg: bool) -> Formula {
+        use Formula::*;
+        match self {
+            True => {
+                if neg {
+                    False
+                } else {
+                    True
+                }
+            }
+            False => {
+                if neg {
+                    True
+                } else {
+                    False
+                }
+            }
+            Prop(p) => {
+                if neg {
+                    Not(Box::new(Prop(*p)))
+                } else {
+                    Prop(*p)
+                }
+            }
+            Deadlock => {
+                if neg {
+                    Not(Box::new(Deadlock))
+                } else {
+                    Deadlock
+                }
+            }
+            Not(f) => f.nnf(!neg),
+            And(a, b) => {
+                if neg {
+                    Or(Box::new(a.nnf(true)), Box::new(b.nnf(true)))
+                } else {
+                    And(Box::new(a.nnf(false)), Box::new(b.nnf(false)))
+                }
+            }
+            Or(a, b) => {
+                if neg {
+                    And(Box::new(a.nnf(true)), Box::new(b.nnf(true)))
+                } else {
+                    Or(Box::new(a.nnf(false)), Box::new(b.nnf(false)))
+                }
+            }
+            Implies(a, b) => {
+                // a → b ≡ ¬a ∨ b
+                if neg {
+                    And(Box::new(a.nnf(false)), Box::new(b.nnf(true)))
+                } else {
+                    Or(Box::new(a.nnf(true)), Box::new(b.nnf(false)))
+                }
+            }
+            Ax(f) => {
+                if neg {
+                    Ex(Box::new(f.nnf(true)))
+                } else {
+                    Ax(Box::new(f.nnf(false)))
+                }
+            }
+            Ex(f) => {
+                if neg {
+                    Ax(Box::new(f.nnf(true)))
+                } else {
+                    Ex(Box::new(f.nnf(false)))
+                }
+            }
+            Ag(b, f) => {
+                if neg {
+                    Ef(*b, Box::new(f.nnf(true)))
+                } else {
+                    Ag(*b, Box::new(f.nnf(false)))
+                }
+            }
+            Eg(b, f) => {
+                if neg {
+                    Af(*b, Box::new(f.nnf(true)))
+                } else {
+                    Eg(*b, Box::new(f.nnf(false)))
+                }
+            }
+            Af(b, f) => {
+                if neg {
+                    Eg(*b, Box::new(f.nnf(true)))
+                } else {
+                    Af(*b, Box::new(f.nnf(false)))
+                }
+            }
+            Ef(b, f) => {
+                if neg {
+                    Ag(*b, Box::new(f.nnf(true)))
+                } else {
+                    Ef(*b, Box::new(f.nnf(false)))
+                }
+            }
+            Au(..) | Eu(..) if neg => {
+                // ¬A[φ U ψ] has no direct dual in our fragment; fall back to
+                // an explicit negation of the NNF body.
+                Not(Box::new(self.nnf(false)))
+            }
+            Au(b, l, r) => Au(*b, Box::new(l.nnf(false)), Box::new(r.nnf(false))),
+            Eu(b, l, r) => Eu(*b, Box::new(l.nnf(false)), Box::new(r.nnf(false))),
+        }
+    }
+
+    /// Whether the formula lies in the *timed ACTL* fragment preserved by
+    /// refinement and disjoint composition (Section 2.4): in NNF, only
+    /// universal path quantifiers (`AX`, `AG`, `AF`, `AU`) and `¬δ`.
+    pub fn is_compositional(&self) -> bool {
+        fn actl(f: &Formula) -> bool {
+            use Formula::*;
+            match f {
+                True | False | Prop(_) => true,
+                Deadlock => false, // `δ` itself is existential; only ¬δ is fine
+                Not(inner) => matches!(**inner, Prop(_) | Deadlock),
+                And(a, b) | Or(a, b) => actl(a) && actl(b),
+                Implies(..) => false, // eliminated by NNF
+                Ax(f) | Ag(_, f) | Af(_, f) => actl(f),
+                Au(_, a, b) => actl(a) && actl(b),
+                Ex(_) | Eg(..) | Ef(..) | Eu(..) => false,
+            }
+        }
+        actl(&self.to_nnf())
+    }
+
+    /// Whether the formula is a *state-local invariant*: an unbounded `AG ψ`
+    /// (or a bare `ψ`) whose body is purely propositional — no temporal
+    /// operators and no deadlock predicate. Violations of such formulas are
+    /// witnessed by a single reachable state, so a counterexample trace that
+    /// the real component realizes confirms the violation outright. Other
+    /// (path-dependent) properties — deadlines `AF[a,b]`, nested temporal
+    /// operators — additionally depend on the behaviour *after* the trace
+    /// and are only conclusive once the abstraction has no artefact paths
+    /// left (see `muml-core`'s property ordering).
+    pub fn is_state_local_invariant(&self) -> bool {
+        fn local(f: &Formula) -> bool {
+            match f {
+                Formula::True | Formula::False | Formula::Prop(_) => true,
+                Formula::Deadlock => false,
+                Formula::Not(g) => local(g),
+                Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+                    local(a) && local(b)
+                }
+                _ => false,
+            }
+        }
+        match self {
+            Formula::Ag(None, inner) => local(inner),
+            other => local(other),
+        }
+    }
+
+    /// The Section 2.7 weakening for chaotic closures: every positive atom
+    /// `p` becomes `p ∨ p′` and every negated atom `¬p` becomes `¬p ∨ p′`,
+    /// where `p′` is the proposition carried by the chaos states. Applied to
+    /// the NNF of the formula.
+    pub fn weaken_for_chaos(&self, chaos: PropId) -> Formula {
+        fn go(f: &Formula, c: PropId) -> Formula {
+            use Formula::*;
+            match f {
+                Prop(p) => Or(Box::new(Prop(*p)), Box::new(Prop(c))),
+                Not(inner) if matches!(**inner, Prop(_)) => {
+                    Or(Box::new(f.clone()), Box::new(Prop(c)))
+                }
+                True | False | Deadlock => f.clone(),
+                Not(inner) => Not(Box::new(go(inner, c))),
+                And(a, b) => And(Box::new(go(a, c)), Box::new(go(b, c))),
+                Or(a, b) => Or(Box::new(go(a, c)), Box::new(go(b, c))),
+                Implies(a, b) => Implies(Box::new(go(a, c)), Box::new(go(b, c))),
+                Ax(f) => Ax(Box::new(go(f, c))),
+                Ex(f) => Ex(Box::new(go(f, c))),
+                Ag(b, f) => Ag(*b, Box::new(go(f, c))),
+                Eg(b, f) => Eg(*b, Box::new(go(f, c))),
+                Af(b, f) => Af(*b, Box::new(go(f, c))),
+                Ef(b, f) => Ef(*b, Box::new(go(f, c))),
+                Au(b, l, r) => Au(*b, Box::new(go(l, c)), Box::new(go(r, c))),
+                Eu(b, l, r) => Eu(*b, Box::new(go(l, c)), Box::new(go(r, c))),
+            }
+        }
+        go(&self.to_nnf(), chaos)
+    }
+
+    /// Renders the formula with proposition names from `u`.
+    pub fn show(&self, u: &Universe) -> String {
+        use Formula::*;
+        fn bnd(b: &Option<Bound>) -> String {
+            b.map(|b| b.to_string()).unwrap_or_default()
+        }
+        match self {
+            True => "true".into(),
+            False => "false".into(),
+            Prop(p) => u.prop_name(*p),
+            Deadlock => "deadlock".into(),
+            Not(f) => format!("!({})", f.show(u)),
+            And(a, b) => format!("({} & {})", a.show(u), b.show(u)),
+            Or(a, b) => format!("({} | {})", a.show(u), b.show(u)),
+            Implies(a, b) => format!("({} -> {})", a.show(u), b.show(u)),
+            Ax(f) => format!("AX ({})", f.show(u)),
+            Ex(f) => format!("EX ({})", f.show(u)),
+            Ag(b, f) => format!("AG{} ({})", bnd(b), f.show(u)),
+            Eg(b, f) => format!("EG{} ({})", bnd(b), f.show(u)),
+            Af(b, f) => format!("AF{} ({})", bnd(b), f.show(u)),
+            Ef(b, f) => format!("EF{} ({})", bnd(b), f.show(u)),
+            Au(b, l, r) => format!("A[{} U{} {}]", l.show(u), bnd(b), r.show(u)),
+            Eu(b, l, r) => format!("E[{} U{} {}]", l.show(u), bnd(b), r.show(u)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_display() {
+        let u = Universe::new();
+        let p = Formula::prop_named(&u, "p");
+        let q = Formula::prop_named(&u, "q");
+        let f = p.clone().and(q.clone().not()).ag();
+        assert_eq!(f.show(&u), "AG ((p & !(q)))");
+        let g = p.clone().implies(q.clone().af_within(1, 5)).ag();
+        assert_eq!(g.show(&u), "AG ((p -> AF[1,5] (q)))");
+    }
+
+    #[test]
+    fn prop_support_collects_atoms() {
+        let u = Universe::new();
+        let p = u.prop("p");
+        let q = u.prop("q");
+        let f = Formula::prop(p).and(Formula::prop(q).not()).ag();
+        let s = f.prop_support();
+        assert!(s.contains(p) && s.contains(q));
+        assert_eq!(s.len(), 2);
+        assert_eq!(Formula::deadlock_free().prop_support(), PropSet::EMPTY);
+    }
+
+    #[test]
+    fn nnf_pushes_negations() {
+        let u = Universe::new();
+        let p = Formula::prop_named(&u, "p");
+        let q = Formula::prop_named(&u, "q");
+        // ¬AG(p → q) = EF(p ∧ ¬q)
+        let f = p.clone().implies(q.clone()).ag().not();
+        let nnf = f.to_nnf();
+        assert_eq!(nnf.show(&u), "EF ((p & !(q)))");
+        // ¬AF[1,3] p = EG[1,3] ¬p
+        let g = p.clone().af_within(1, 3).not().to_nnf();
+        assert_eq!(g.show(&u), "EG[1,3] (!(p))");
+    }
+
+    #[test]
+    fn nnf_double_negation() {
+        let u = Universe::new();
+        let p = Formula::prop_named(&u, "p");
+        assert_eq!(p.clone().not().not().to_nnf(), p);
+    }
+
+    #[test]
+    fn compositional_fragment() {
+        let u = Universe::new();
+        let p = Formula::prop_named(&u, "p");
+        let q = Formula::prop_named(&u, "q");
+        // pattern constraint: AG ¬(p ∧ q)
+        assert!(p.clone().and(q.clone()).not().ag().is_compositional());
+        // deadlock freedom
+        assert!(Formula::deadlock_free().is_compositional());
+        // maximal delay AG(¬p ∨ AF[1,d] q)
+        assert!(p
+            .clone()
+            .not()
+            .or(q.clone().af_within(1, 4))
+            .ag()
+            .is_compositional());
+        // existential reachability is not compositional
+        assert!(!p.clone().ef().is_compositional());
+        // δ alone (deadlock reachable) is not
+        assert!(!Formula::Deadlock.is_compositional());
+        // ¬AG p = EF ¬p is not
+        assert!(!p.clone().ag().not().is_compositional());
+    }
+
+    #[test]
+    fn state_local_invariant_classification() {
+        let u = Universe::new();
+        let p = Formula::prop_named(&u, "p");
+        let q = Formula::prop_named(&u, "q");
+        // invariants
+        assert!(p.clone().and(q.clone()).not().ag().is_state_local_invariant());
+        assert!(p.clone().is_state_local_invariant());
+        assert!(p.clone().implies(q.clone()).ag().is_state_local_invariant());
+        // path-dependent
+        assert!(!p
+            .clone()
+            .not()
+            .or(q.clone().af_within(1, 3))
+            .ag()
+            .is_state_local_invariant());
+        assert!(!Formula::deadlock_free().is_state_local_invariant());
+        assert!(!p.clone().ag_within(0, 3).is_state_local_invariant());
+        assert!(!p.clone().ag().ag().is_state_local_invariant());
+        assert!(!p.clone().ef().is_state_local_invariant());
+    }
+
+    #[test]
+    fn chaos_weakening() {
+        let u = Universe::new();
+        let p = Formula::prop_named(&u, "p");
+        let q = Formula::prop_named(&u, "q");
+        let c = u.prop("chaos");
+        let f = p.clone().and(q.clone().not()).ag();
+        let w = f.weaken_for_chaos(c);
+        assert_eq!(
+            w.show(&u),
+            "AG (((p | chaos) & (!(q) | chaos)))"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bound lower end")]
+    fn invalid_bound_panics() {
+        let _ = Bound::new(5, 1);
+    }
+}

@@ -1,0 +1,539 @@
+//! The CCTL satisfaction-set checker.
+//!
+//! A global, bottom-up labelling algorithm in the style of Clarke/Grumberg/
+//! Peled: for every subformula the set of states satisfying it is computed
+//! as a bit vector; unbounded operators by fixpoint iteration, bounded
+//! (clocked) operators by backward induction over the time window.
+//!
+//! **Path semantics with deadlocks.** The discrete-time model allows states
+//! without outgoing transitions (the composition of a context with `s_δ`,
+//! for example). For path quantification such states *stutter*: they are
+//! given an implicit self-loop, and the atomic predicate
+//! [`Formula::Deadlock`] marks them so that deadlock freedom is expressible
+//! as `AG ¬deadlock`. This keeps the CTL semantics total without hiding
+//! deadlocks.
+
+use std::collections::HashMap;
+
+use muml_automata::{Automaton, StateId};
+
+use crate::ast::{Bound, Formula};
+
+/// A satisfaction-set evaluator over one automaton.
+///
+/// Construct once per automaton and query repeatedly; satisfaction sets are
+/// memoized per subformula.
+///
+/// # Examples
+///
+/// ```
+/// use muml_automata::{Universe, AutomatonBuilder};
+/// use muml_logic::{Checker, parse};
+/// let u = Universe::new();
+/// let m = AutomatonBuilder::new(&u, "m")
+///     .input("a")
+///     .state("s0").initial("s0").prop("s0", "idle")
+///     .state("s1")
+///     .transition("s0", ["a"], [], "s1")
+///     .transition("s1", [], [], "s0")
+///     .build().unwrap();
+/// let mut c = Checker::new(&m);
+/// assert!(c.satisfies(&parse(&u, "AG !deadlock").unwrap()));
+/// assert!(c.satisfies(&parse(&u, "AG (idle -> AF[1,2] idle)").unwrap()));
+/// ```
+pub struct Checker<'a> {
+    m: &'a Automaton,
+    /// Successor lists with stutter loops at deadlock states.
+    succs: Vec<Vec<usize>>,
+    /// `true` for states with no real outgoing transition.
+    deadlocked: Vec<bool>,
+    cache: HashMap<Formula, Vec<bool>>,
+    /// Number of fixpoint/backward-induction iterations performed (a cheap
+    /// work measure for the benchmarks).
+    pub iterations: u64,
+}
+
+impl<'a> Checker<'a> {
+    /// Creates a checker for `m`.
+    pub fn new(m: &'a Automaton) -> Self {
+        let n = m.state_count();
+        let mut succs = vec![Vec::new(); n];
+        let mut deadlocked = vec![false; n];
+        for s in m.state_ids() {
+            let mut out: Vec<usize> = Vec::new();
+            for t in m.transitions_from(s) {
+                let live = match &t.guard {
+                    muml_automata::Guard::Exact(_) => true,
+                    muml_automata::Guard::Family(f) => !f.is_empty(),
+                };
+                if live && !out.contains(&t.to.index()) {
+                    out.push(t.to.index());
+                }
+            }
+            if out.is_empty() {
+                deadlocked[s.index()] = true;
+                out.push(s.index()); // stutter
+            }
+            succs[s.index()] = out;
+        }
+        Checker {
+            m,
+            succs,
+            deadlocked,
+            cache: HashMap::new(),
+            iterations: 0,
+        }
+    }
+
+    /// The underlying automaton.
+    pub fn automaton(&self) -> &Automaton {
+        self.m
+    }
+
+    /// Whether state `s` is a (real) deadlock state.
+    pub fn is_deadlocked(&self, s: StateId) -> bool {
+        self.deadlocked[s.index()]
+    }
+
+    /// Returns `true` iff **all** initial states satisfy `f` — the automaton
+    /// level judgement `M ⊨ φ`.
+    pub fn satisfies(&mut self, f: &Formula) -> bool {
+        let sat = self.sat(f);
+        self.m
+            .initial_states()
+            .iter()
+            .all(|s| sat[s.index()])
+    }
+
+    /// An initial state violating `f`, if any.
+    pub fn violating_initial(&mut self, f: &Formula) -> Option<StateId> {
+        let sat = self.sat(f);
+        self.m
+            .initial_states()
+            .iter()
+            .copied()
+            .find(|s| !sat[s.index()])
+    }
+
+    /// The satisfaction set of `f` (indexed by state).
+    pub fn sat(&mut self, f: &Formula) -> Vec<bool> {
+        if let Some(v) = self.cache.get(f) {
+            return v.clone();
+        }
+        let v = self.compute(f);
+        self.cache.insert(f.clone(), v.clone());
+        v
+    }
+
+    fn all(&self, val: bool) -> Vec<bool> {
+        vec![val; self.m.state_count()]
+    }
+
+    fn compute(&mut self, f: &Formula) -> Vec<bool> {
+        use Formula::*;
+        match f {
+            True => self.all(true),
+            False => self.all(false),
+            Prop(p) => self
+                .m
+                .state_ids()
+                .map(|s| self.m.props_of(s).contains(*p))
+                .collect(),
+            Deadlock => self.deadlocked.clone(),
+            Not(g) => self.sat(g).iter().map(|b| !b).collect(),
+            And(a, b) => {
+                let (x, y) = (self.sat(a), self.sat(b));
+                x.iter().zip(&y).map(|(a, b)| *a && *b).collect()
+            }
+            Or(a, b) => {
+                let (x, y) = (self.sat(a), self.sat(b));
+                x.iter().zip(&y).map(|(a, b)| *a || *b).collect()
+            }
+            Implies(a, b) => {
+                let (x, y) = (self.sat(a), self.sat(b));
+                x.iter().zip(&y).map(|(a, b)| !*a || *b).collect()
+            }
+            Ax(g) => {
+                let sg = self.sat(g);
+                self.pre_all(&sg)
+            }
+            Ex(g) => {
+                let sg = self.sat(g);
+                self.pre_some(&sg)
+            }
+            Af(None, g) => {
+                let sg = self.sat(g);
+                self.lfp(sg.clone(), |me, y| {
+                    let ax = me.pre_all(y);
+                    or(&sg, &ax)
+                })
+            }
+            Ef(None, g) => {
+                let sg = self.sat(g);
+                self.lfp(sg.clone(), |me, y| {
+                    let ex = me.pre_some(y);
+                    or(&sg, &ex)
+                })
+            }
+            Ag(None, g) => {
+                let sg = self.sat(g);
+                self.gfp(sg.clone(), |me, y| {
+                    let ax = me.pre_all(y);
+                    and(&sg, &ax)
+                })
+            }
+            Eg(None, g) => {
+                let sg = self.sat(g);
+                self.gfp(sg.clone(), |me, y| {
+                    let ex = me.pre_some(y);
+                    and(&sg, &ex)
+                })
+            }
+            Au(None, l, r) => {
+                let (sl, sr) = (self.sat(l), self.sat(r));
+                self.lfp(sr.clone(), |me, y| {
+                    let ax = me.pre_all(y);
+                    or(&sr, &and(&sl, &ax))
+                })
+            }
+            Eu(None, l, r) => {
+                let (sl, sr) = (self.sat(l), self.sat(r));
+                self.lfp(sr.clone(), |me, y| {
+                    let ex = me.pre_some(y);
+                    or(&sr, &and(&sl, &ex))
+                })
+            }
+            Af(Some(b), g) => self.bounded(*b, g, None, Mode::AllEventually),
+            Ef(Some(b), g) => self.bounded(*b, g, None, Mode::SomeEventually),
+            Ag(Some(b), g) => self.bounded(*b, g, None, Mode::AllGlobally),
+            Eg(Some(b), g) => self.bounded(*b, g, None, Mode::SomeGlobally),
+            Au(Some(b), l, r) => self.bounded(*b, r, Some(l), Mode::AllEventually),
+            Eu(Some(b), l, r) => self.bounded(*b, r, Some(l), Mode::SomeEventually),
+        }
+    }
+
+    fn pre_all(&mut self, y: &[bool]) -> Vec<bool> {
+        self.iterations += 1;
+        (0..y.len())
+            .map(|s| self.succs[s].iter().all(|&t| y[t]))
+            .collect()
+    }
+
+    fn pre_some(&mut self, y: &[bool]) -> Vec<bool> {
+        self.iterations += 1;
+        (0..y.len())
+            .map(|s| self.succs[s].iter().any(|&t| y[t]))
+            .collect()
+    }
+
+    fn lfp(
+        &mut self,
+        init: Vec<bool>,
+        mut step: impl FnMut(&mut Self, &Vec<bool>) -> Vec<bool>,
+    ) -> Vec<bool> {
+        let mut y = init;
+        loop {
+            let next = step(self, &y);
+            if next == y {
+                return y;
+            }
+            y = next;
+        }
+    }
+
+    fn gfp(
+        &mut self,
+        init: Vec<bool>,
+        mut step: impl FnMut(&mut Self, &Vec<bool>) -> Vec<bool>,
+    ) -> Vec<bool> {
+        // Our step functions are monotone shrinking when started from the
+        // operand set; iterate to stability exactly like lfp.
+        let mut y = init;
+        loop {
+            let next = step(self, &y);
+            if next == y {
+                return y;
+            }
+            y = next;
+        }
+    }
+
+    /// Backward induction for bounded operators. `goal` is the eventuality /
+    /// invariant operand; `hold` (for until) must hold before the goal.
+    pub(crate) fn bounded(
+        &mut self,
+        b: Bound,
+        goal: &Formula,
+        hold: Option<&Formula>,
+        mode: Mode,
+    ) -> Vec<bool> {
+        let layers = self.bounded_layers(b, goal, hold, mode);
+        layers.into_iter().next().expect("layer 0 exists")
+    }
+
+    /// All layers `Y_0 … Y_hi` of the backward induction (used by
+    /// counterexample extraction to steer window witnesses).
+    pub(crate) fn bounded_layers(
+        &mut self,
+        b: Bound,
+        goal: &Formula,
+        hold: Option<&Formula>,
+        mode: Mode,
+    ) -> Vec<Vec<bool>> {
+        let sg = self.sat(goal);
+        let sh = hold.map(|h| self.sat(h));
+        let n = self.m.state_count();
+        let hi = b.hi as usize;
+        let lo = b.lo as usize;
+        let mut layers: Vec<Vec<bool>> = vec![Vec::new(); hi + 1];
+        for t in (0..=hi).rev() {
+            let in_window = t >= lo;
+            let next = if t < hi { Some(&layers[t + 1]) } else { None };
+            let mut layer = Vec::with_capacity(n);
+            for s in 0..n {
+                let cont = match (next, mode.universal()) {
+                    (Some(y), true) => self.succs[s].iter().all(|&x| y[x]),
+                    (Some(y), false) => self.succs[s].iter().any(|&x| y[x]),
+                    (None, _) => false,
+                };
+                let v = match mode {
+                    Mode::AllEventually | Mode::SomeEventually => {
+                        let now = in_window && sg[s];
+                        let held = sh.as_ref().map(|h| h[s]).unwrap_or(true);
+                        now || (t < hi && held && cont)
+                    }
+                    Mode::AllGlobally | Mode::SomeGlobally => {
+                        let now_ok = !in_window || sg[s];
+                        now_ok && (t >= hi || cont)
+                    }
+                };
+                layer.push(v);
+            }
+            self.iterations += 1;
+            layers[t] = layer;
+        }
+        layers
+    }
+
+}
+
+/// Evaluation mode for bounded operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    AllEventually,
+    SomeEventually,
+    AllGlobally,
+    SomeGlobally,
+}
+
+impl Mode {
+    fn universal(self) -> bool {
+        matches!(self, Mode::AllEventually | Mode::AllGlobally)
+    }
+}
+
+fn and(a: &[bool], b: &[bool]) -> Vec<bool> {
+    a.iter().zip(b).map(|(x, y)| *x && *y).collect()
+}
+
+fn or(a: &[bool], b: &[bool]) -> Vec<bool> {
+    a.iter().zip(b).map(|(x, y)| *x || *y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use muml_automata::{AutomatonBuilder, Universe};
+
+    /// s0(p) → s1 → s2(q); s2 loops; s1 also branches to dead (deadlock).
+    fn diamond(u: &Universe) -> Automaton {
+        AutomatonBuilder::new(u, "m")
+            .inputs(["a", "b"])
+            .state("s0")
+            .initial("s0")
+            .prop("s0", "p")
+            .state("s1")
+            .state("s2")
+            .prop("s2", "q")
+            .state("dead")
+            .transition("s0", ["a"], [], "s1")
+            .transition("s1", ["a"], [], "s2")
+            .transition("s1", ["b"], [], "dead")
+            .transition("s2", [], [], "s2")
+            .build()
+            .unwrap()
+    }
+
+    fn holds(m: &Automaton, u: &Universe, f: &str) -> bool {
+        Checker::new(m).satisfies(&parse(u, f).unwrap())
+    }
+
+    #[test]
+    fn propositional_and_boolean() {
+        let u = Universe::new();
+        let m = diamond(&u);
+        assert!(holds(&m, &u, "p"));
+        assert!(!holds(&m, &u, "q"));
+        assert!(holds(&m, &u, "p & !q"));
+        assert!(holds(&m, &u, "q -> false"));
+        assert!(holds(&m, &u, "true"));
+        assert!(!holds(&m, &u, "false"));
+    }
+
+    #[test]
+    fn next_operators() {
+        let u = Universe::new();
+        let m = diamond(&u);
+        assert!(holds(&m, &u, "AX !p")); // only successor is s1
+        assert!(holds(&m, &u, "EX !p"));
+        assert!(!holds(&m, &u, "AX q"));
+        assert!(holds(&m, &u, "AX (AX (q | deadlock))"));
+    }
+
+    #[test]
+    fn reachability_and_invariants() {
+        let u = Universe::new();
+        let m = diamond(&u);
+        assert!(holds(&m, &u, "EF q"));
+        assert!(holds(&m, &u, "EF deadlock"));
+        assert!(!holds(&m, &u, "AG !deadlock"));
+        assert!(!holds(&m, &u, "AF q")); // the dead branch never reaches q
+        assert!(holds(&m, &u, "AG (q -> AG q)")); // q is absorbing
+        assert!(holds(&m, &u, "E[!q U q]"));
+        assert!(holds(&m, &u, "A[!q U (q | deadlock)]"));
+    }
+
+    #[test]
+    fn deadlock_free_on_total_system() {
+        let u = Universe::new();
+        let m = AutomatonBuilder::new(&u, "m")
+            .state("s")
+            .initial("s")
+            .transition("s", [], [], "s")
+            .build()
+            .unwrap();
+        assert!(holds(&m, &u, "AG !deadlock"));
+        assert!(!holds(&m, &u, "EF deadlock"));
+    }
+
+    #[test]
+    fn bounded_eventually() {
+        let u = Universe::new();
+        let m = diamond(&u);
+        // q reachable in exactly 2 steps on the a-branch
+        assert!(holds(&m, &u, "EF[2,2] q"));
+        assert!(!holds(&m, &u, "EF[0,1] q"));
+        assert!(!holds(&m, &u, "AF[0,2] q")); // dead branch
+        // On the chain without branching, AF bound works:
+        let chain = AutomatonBuilder::new(&u, "chain")
+            .state("c0")
+            .initial("c0")
+            .state("c1")
+            .state("c2")
+            .prop("c2", "r")
+            .transition("c0", [], [], "c1")
+            .transition("c1", [], [], "c2")
+            .transition("c2", [], [], "c2")
+            .build()
+            .unwrap();
+        assert!(holds(&chain, &u, "AF[1,2] r"));
+        assert!(holds(&chain, &u, "AF[2,2] r"));
+        assert!(!holds(&chain, &u, "AF[1,1] r"));
+        assert!(holds(&chain, &u, "AF[2,5] r"));
+    }
+
+    #[test]
+    fn bounded_globally() {
+        let u = Universe::new();
+        let m = AutomatonBuilder::new(&u, "m")
+            .state("g0")
+            .initial("g0")
+            .prop("g0", "ok")
+            .state("g1")
+            .prop("g1", "ok")
+            .state("g2")
+            .transition("g0", [], [], "g1")
+            .transition("g1", [], [], "g2")
+            .transition("g2", [], [], "g2")
+            .build()
+            .unwrap();
+        assert!(holds(&m, &u, "AG[0,1] ok"));
+        assert!(!holds(&m, &u, "AG[0,2] ok"));
+        assert!(holds(&m, &u, "EG[0,1] ok"));
+        // window entirely past the ok prefix
+        assert!(!holds(&m, &u, "AG[2,3] ok"));
+    }
+
+    #[test]
+    fn bounded_until() {
+        let u = Universe::new();
+        let m = AutomatonBuilder::new(&u, "m")
+            .state("u0")
+            .initial("u0")
+            .prop("u0", "w")
+            .state("u1")
+            .prop("u1", "w")
+            .state("u2")
+            .prop("u2", "done")
+            .transition("u0", [], [], "u1")
+            .transition("u1", [], [], "u2")
+            .transition("u2", [], [], "u2")
+            .build()
+            .unwrap();
+        assert!(holds(&m, &u, "A[w U[1,2] done]"));
+        assert!(!holds(&m, &u, "A[w U[1,1] done]"));
+        assert!(holds(&m, &u, "E[w U[2,2] done]"));
+        // Violating the hold part: require !w along the way.
+        assert!(!holds(&m, &u, "A[!w U[1,2] done]"));
+    }
+
+    #[test]
+    fn maximal_delay_pattern() {
+        // The paper's CCTL pattern for a maximal delay d:
+        // AG(¬p1 ∨ AF[1,d] p2).
+        let u = Universe::new();
+        let m = AutomatonBuilder::new(&u, "m")
+            .state("idle")
+            .initial("idle")
+            .state("trig")
+            .prop("trig", "p1")
+            .state("w1")
+            .state("rsp")
+            .prop("rsp", "p2")
+            .transition("idle", [], [], "trig")
+            .transition("trig", [], [], "w1")
+            .transition("w1", [], [], "rsp")
+            .transition("rsp", [], [], "idle")
+            .build()
+            .unwrap();
+        assert!(holds(&m, &u, "AG (!p1 | AF[1,2] p2)"));
+        assert!(!holds(&m, &u, "AG (!p1 | AF[1,1] p2)"));
+    }
+
+    #[test]
+    fn deadlock_stutter_semantics() {
+        let u = Universe::new();
+        // dead state with prop x: under stutter, AG x holds *at* that state.
+        let m = AutomatonBuilder::new(&u, "m")
+            .state("s")
+            .initial("s")
+            .prop("s", "x")
+            .build()
+            .unwrap();
+        assert!(holds(&m, &u, "AG x"));
+        assert!(holds(&m, &u, "AG deadlock"));
+        assert!(holds(&m, &u, "AF[3,5] x"));
+    }
+
+    #[test]
+    fn violating_initial_found() {
+        let u = Universe::new();
+        let m = diamond(&u);
+        let mut c = Checker::new(&m);
+        let f = parse(&u, "AG !deadlock").unwrap();
+        assert_eq!(c.violating_initial(&f), Some(m.initial_states()[0]));
+        let g = parse(&u, "p").unwrap();
+        assert_eq!(c.violating_initial(&g), None);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the logic crate.
+
+use std::fmt;
+
+use muml_automata::AutomataError;
+
+/// Errors reported by the model checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// The property is violated, but its shape is outside the fragment for
+    /// which finite counterexample paths can be extracted (Section 2.4's
+    /// compositional safety fragment: invariants, `AG`, deadlock freedom,
+    /// bounded `AF` deadlines, and conjunctions/disjunctions thereof).
+    UnsupportedCounterexample {
+        /// Rendering of the offending (sub)formula.
+        formula: String,
+    },
+    /// An underlying automata-kernel error.
+    Automata(AutomataError),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::UnsupportedCounterexample { formula } => write!(
+                f,
+                "cannot extract a finite counterexample for `{formula}` (outside the safety fragment)"
+            ),
+            LogicError::Automata(e) => write!(f, "automata error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogicError::Automata(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AutomataError> for LogicError {
+    fn from(e: AutomataError) -> Self {
+        LogicError::Automata(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = LogicError::UnsupportedCounterexample {
+            formula: "EG p".into(),
+        };
+        assert!(e.to_string().contains("EG p"));
+        let e: LogicError = AutomataError::UniverseMismatch.into();
+        assert!(e.to_string().contains("universes"));
+    }
+}

@@ -1,0 +1,380 @@
+//! Text syntax for CCTL formulas.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! formula  := implies
+//! implies  := or ( "->" implies )?
+//! or       := and ( ("|" | "or") and )*
+//! and      := unary ( ("&" | "and") unary )*
+//! unary    := ("!" | "not") unary
+//!           | "AX" unary | "EX" unary
+//!           | "AG" bound? unary | "EG" bound? unary
+//!           | "AF" bound? unary | "EF" bound? unary
+//!           | "A[" formula "U" bound? formula "]"
+//!           | "E[" formula "U" bound? formula "]"
+//!           | "(" formula ")"
+//!           | "true" | "false" | "deadlock" | ident
+//! bound    := "[" int "," int "]"
+//! ident    := [A-Za-z_][A-Za-z0-9_.:]*       (interned as a proposition)
+//! ```
+//!
+//! This matches the notation used in the paper's examples, e.g.
+//! `A[] not (rearRole.convoy and frontRole.noConvoy)` is written
+//! `AG !(rearRole.convoy & frontRole.noConvoy)`.
+
+use std::fmt;
+
+use muml_automata::Universe;
+
+use crate::ast::{Bound, Formula};
+
+/// Error produced by [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte position of the error in the input.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a CCTL formula, interning proposition names in `u`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error.
+///
+/// # Examples
+///
+/// ```
+/// use muml_automata::Universe;
+/// use muml_logic::parse;
+/// let u = Universe::new();
+/// let f = parse(&u, "AG !(rearRole.convoy & frontRole.noConvoy)").unwrap();
+/// assert!(f.is_compositional());
+/// let g = parse(&u, "AG (p -> AF[1,5] q)").unwrap();
+/// assert!(g.is_compositional());
+/// ```
+pub fn parse(u: &Universe, input: &str) -> Result<Formula, ParseError> {
+    let mut p = Parser {
+        u,
+        src: input.as_bytes(),
+        pos: 0,
+    };
+    let f = p.formula()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(f)
+}
+
+struct Parser<'a> {
+    u: &'a Universe,
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: msg.to_owned(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, lit: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes a keyword only if it is not a prefix of a longer identifier.
+    fn eat_word(&mut self, word: &str) -> bool {
+        self.skip_ws();
+        if !self.src[self.pos..].starts_with(word.as_bytes()) {
+            return false;
+        }
+        let after = self.pos + word.len();
+        if let Some(&c) = self.src.get(after) {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' || c == b':' {
+                return false;
+            }
+        }
+        self.pos = after;
+        true
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.or_expr()?;
+        if self.eat("->") {
+            let rhs = self.formula()?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.and_expr()?;
+        loop {
+            if self.eat("|") || self.eat_word("or") {
+                let rhs = self.and_expr()?;
+                f = f.or(rhs);
+            } else {
+                return Ok(f);
+            }
+        }
+    }
+
+    fn and_expr(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.unary()?;
+        loop {
+            if self.eat("&") || self.eat_word("and") {
+                let rhs = self.unary()?;
+                f = f.and(rhs);
+            } else {
+                return Ok(f);
+            }
+        }
+    }
+
+    fn bound(&mut self) -> Result<Option<Bound>, ParseError> {
+        self.skip_ws();
+        if self.src.get(self.pos) != Some(&b'[') {
+            return Ok(None);
+        }
+        self.pos += 1;
+        let lo = self.int()?;
+        if !self.eat(",") {
+            return Err(self.err("expected `,` in bound"));
+        }
+        let hi = self.int()?;
+        if !self.eat("]") {
+            return Err(self.err("expected `]` closing bound"));
+        }
+        if lo > hi {
+            return Err(self.err("bound lower end exceeds upper end"));
+        }
+        Ok(Some(Bound::new(lo, hi)))
+    }
+
+    fn int(&mut self) -> Result<u32, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected integer"));
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("digits are utf8")
+            .parse()
+            .map_err(|_| self.err("integer too large"))
+    }
+
+    fn until(&mut self, universal: bool) -> Result<Formula, ParseError> {
+        // caller consumed "A[" or "E["
+        let lhs = self.formula()?;
+        if !self.eat_word("U") {
+            return Err(self.err("expected `U` in until"));
+        }
+        let b = self.bound()?;
+        let rhs = self.formula()?;
+        if !self.eat("]") {
+            return Err(self.err("expected `]` closing until"));
+        }
+        Ok(if universal {
+            Formula::Au(b, Box::new(lhs), Box::new(rhs))
+        } else {
+            Formula::Eu(b, Box::new(lhs), Box::new(rhs))
+        })
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        if self.eat("!") || self.eat_word("not") {
+            return Ok(self.unary()?.not());
+        }
+        // Temporal operators. Order matters: check `A[`/`E[` before `AX` etc.
+        self.skip_ws();
+        if self.eat("A[") {
+            return self.until(true);
+        }
+        if self.eat("E[") {
+            return self.until(false);
+        }
+        for (kw, kind) in [
+            ("AX", 'x'),
+            ("EX", 'y'),
+            ("AG", 'g'),
+            ("EG", 'h'),
+            ("AF", 'f'),
+            ("EF", 'e'),
+        ] {
+            if self.eat_word(kw) || {
+                // allow `AG[1,2]` (keyword directly followed by bound)
+                self.skip_ws();
+                self.src[self.pos..].starts_with(kw.as_bytes())
+                    && self.src.get(self.pos + 2) == Some(&b'[')
+                    && {
+                        self.pos += 2;
+                        true
+                    }
+            } {
+                let b = if kind == 'x' || kind == 'y' {
+                    None
+                } else {
+                    self.bound()?
+                };
+                let f = Box::new(self.unary()?);
+                return Ok(match kind {
+                    'x' => Formula::Ax(f),
+                    'y' => Formula::Ex(f),
+                    'g' => Formula::Ag(b, f),
+                    'h' => Formula::Eg(b, f),
+                    'f' => Formula::Af(b, f),
+                    'e' => Formula::Ef(b, f),
+                    _ => unreachable!(),
+                });
+            }
+        }
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let f = self.formula()?;
+                if !self.eat(")") {
+                    return Err(self.err("expected `)`"));
+                }
+                Ok(f)
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self.pos < self.src.len() {
+                    let c = self.src[self.pos];
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' || c == b':' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let name = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ascii identifier");
+                Ok(match name {
+                    "true" => Formula::True,
+                    "false" => Formula::False,
+                    "deadlock" => Formula::Deadlock,
+                    _ => Formula::prop_named(self.u, name),
+                })
+            }
+            _ => Err(self.err("expected formula")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_constraint() {
+        let u = Universe::new();
+        let f = parse(&u, "AG !(rearRole.convoy & frontRole.noConvoy)").unwrap();
+        assert_eq!(
+            f.show(&u),
+            "AG (!((rearRole.convoy & frontRole.noConvoy)))"
+        );
+    }
+
+    #[test]
+    fn parses_maximal_delay_pattern() {
+        let u = Universe::new();
+        let f = parse(&u, "AG (!p1 | AF[1,7] p2)").unwrap();
+        assert_eq!(f.show(&u), "AG ((!(p1) | AF[1,7] (p2)))");
+        assert!(f.is_compositional());
+    }
+
+    #[test]
+    fn parses_bounds_without_space() {
+        let u = Universe::new();
+        let f = parse(&u, "AF[2,4] x").unwrap();
+        assert_eq!(f.show(&u), "AF[2,4] (x)");
+        let g = parse(&u, "EG[0,3] x").unwrap();
+        assert_eq!(g.show(&u), "EG[0,3] (x)");
+    }
+
+    #[test]
+    fn parses_until() {
+        let u = Universe::new();
+        let f = parse(&u, "A[p U[1,3] q]").unwrap();
+        assert_eq!(f.show(&u), "A[p U[1,3] q]");
+        let g = parse(&u, "E[p U q]").unwrap();
+        assert_eq!(g.show(&u), "E[p U q]");
+    }
+
+    #[test]
+    fn parses_keywords_and_sugar() {
+        let u = Universe::new();
+        let f = parse(&u, "AG !deadlock").unwrap();
+        assert_eq!(f, Formula::deadlock_free());
+        let g = parse(&u, "p and q or r -> true").unwrap();
+        assert_eq!(g.show(&u), "(((p & q) | r) -> true)");
+    }
+
+    #[test]
+    fn identifiers_may_contain_dots_and_colons() {
+        let u = Universe::new();
+        let f = parse(&u, "shuttle.noConvoy::default").unwrap();
+        assert_eq!(f.show(&u), "shuttle.noConvoy::default");
+    }
+
+    #[test]
+    fn keyword_prefix_of_identifier_is_a_prop() {
+        let u = Universe::new();
+        // `AGx` is an identifier, not `AG x`.
+        let f = parse(&u, "AGx").unwrap();
+        assert_eq!(f, Formula::Prop(u.prop("AGx")));
+        let g = parse(&u, "orbit").unwrap();
+        assert_eq!(g, Formula::Prop(u.prop("orbit")));
+    }
+
+    #[test]
+    fn errors_report_position() {
+        let u = Universe::new();
+        let e = parse(&u, "AG (p &").unwrap_err();
+        assert!(e.position >= 7);
+        assert!(parse(&u, "AF[5,1] p").is_err());
+        assert!(parse(&u, "p q").is_err());
+        assert!(parse(&u, "").is_err());
+    }
+
+    #[test]
+    fn nested_parentheses() {
+        let u = Universe::new();
+        let f = parse(&u, "AG ((p | (q & !r)))").unwrap();
+        assert_eq!(f.show(&u), "AG ((p | (q & !(r))))");
+    }
+}

@@ -1,0 +1,253 @@
+//! Property-based tests of the CCTL checker: semantic laws that must hold
+//! for every formula on every model — NNF preservation, negation duality,
+//! bounded/unbounded operator coherence, and chaos-weakening neutrality on
+//! chaos-free models.
+
+use muml_automata::{Automaton, AutomatonBuilder, Universe};
+use muml_logic::{Bound, Checker, Formula};
+use proptest::prelude::*;
+
+/// Pure-data model description: up to `n` states, transitions as (from,
+/// to) pairs (labels are irrelevant to CTL), two propositions p/q assigned
+/// per state.
+#[derive(Debug, Clone)]
+struct ModelSpec {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    p: Vec<bool>,
+    q: Vec<bool>,
+}
+
+fn model_strategy(max_states: usize, max_edges: usize) -> impl Strategy<Value = ModelSpec> {
+    (1..=max_states).prop_flat_map(move |n| {
+        (
+            proptest::collection::vec((0..n, 0..n), 0..=max_edges),
+            proptest::collection::vec(any::<bool>(), n),
+            proptest::collection::vec(any::<bool>(), n),
+        )
+            .prop_map(move |(edges, p, q)| ModelSpec { n, edges, p, q })
+    })
+}
+
+fn build(u: &Universe, spec: &ModelSpec) -> Automaton {
+    let mut b = AutomatonBuilder::new(u, "m");
+    for s in 0..spec.n {
+        let name = format!("s{s}");
+        b = b.state(&name);
+        if spec.p[s] {
+            b = b.prop(&name, "p");
+        }
+        if spec.q[s] {
+            b = b.prop(&name, "q");
+        }
+    }
+    b = b.initial("s0");
+    for &(f, t) in &spec.edges {
+        b = b.transition(&format!("s{f}"), [], [], &format!("s{t}"));
+    }
+    b.build().expect("model builds")
+}
+
+/// Recursive random CCTL formula over props p/q.
+fn formula_strategy(depth: u32) -> impl Strategy<Value = FormulaSpec> {
+    let leaf = prop_oneof![
+        Just(FormulaSpec::P),
+        Just(FormulaSpec::Q),
+        Just(FormulaSpec::True),
+        Just(FormulaSpec::Deadlock),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| FormulaSpec::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| FormulaSpec::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| FormulaSpec::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|f| FormulaSpec::Ax(Box::new(f))),
+            inner.clone().prop_map(|f| FormulaSpec::Ef(Box::new(f))),
+            inner.clone().prop_map(|f| FormulaSpec::Ag(Box::new(f))),
+            inner.clone().prop_map(|f| FormulaSpec::Af(Box::new(f))),
+            (inner.clone(), 0u32..3, 0u32..4)
+                .prop_map(|(f, lo, d)| FormulaSpec::AfB(Box::new(f), lo, lo + d)),
+            (inner, 0u32..3, 0u32..4)
+                .prop_map(|(f, lo, d)| FormulaSpec::EgB(Box::new(f), lo, lo + d)),
+        ]
+    })
+}
+
+#[derive(Debug, Clone)]
+enum FormulaSpec {
+    P,
+    Q,
+    True,
+    Deadlock,
+    Not(Box<FormulaSpec>),
+    And(Box<FormulaSpec>, Box<FormulaSpec>),
+    Or(Box<FormulaSpec>, Box<FormulaSpec>),
+    Ax(Box<FormulaSpec>),
+    Ef(Box<FormulaSpec>),
+    Ag(Box<FormulaSpec>),
+    Af(Box<FormulaSpec>),
+    AfB(Box<FormulaSpec>, u32, u32),
+    EgB(Box<FormulaSpec>, u32, u32),
+}
+
+fn to_formula(u: &Universe, s: &FormulaSpec) -> Formula {
+    match s {
+        FormulaSpec::P => Formula::prop_named(u, "p"),
+        FormulaSpec::Q => Formula::prop_named(u, "q"),
+        FormulaSpec::True => Formula::True,
+        FormulaSpec::Deadlock => Formula::Deadlock,
+        FormulaSpec::Not(f) => to_formula(u, f).not(),
+        FormulaSpec::And(a, b) => to_formula(u, a).and(to_formula(u, b)),
+        FormulaSpec::Or(a, b) => to_formula(u, a).or(to_formula(u, b)),
+        FormulaSpec::Ax(f) => to_formula(u, f).ax(),
+        FormulaSpec::Ef(f) => to_formula(u, f).ef(),
+        FormulaSpec::Ag(f) => to_formula(u, f).ag(),
+        FormulaSpec::Af(f) => to_formula(u, f).af(),
+        FormulaSpec::AfB(f, lo, hi) => to_formula(u, f).af_within(*lo, *hi),
+        FormulaSpec::EgB(f, lo, hi) => Formula::Eg(
+            Some(Bound::new(*lo, *hi)),
+            Box::new(to_formula(u, f)),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// NNF conversion preserves the satisfaction set.
+    #[test]
+    fn nnf_preserves_semantics(
+        spec in model_strategy(5, 10),
+        fspec in formula_strategy(3),
+    ) {
+        let u = Universe::new();
+        let m = build(&u, &spec);
+        let f = to_formula(&u, &fspec);
+        let mut c = Checker::new(&m);
+        prop_assert_eq!(c.sat(&f), c.sat(&f.to_nnf()));
+    }
+
+    /// Negation is complementation: sat(¬f) = ¬sat(f), pointwise.
+    #[test]
+    fn negation_complements(
+        spec in model_strategy(5, 10),
+        fspec in formula_strategy(3),
+    ) {
+        let u = Universe::new();
+        let m = build(&u, &spec);
+        let f = to_formula(&u, &fspec);
+        let mut c = Checker::new(&m);
+        let pos = c.sat(&f);
+        let neg = c.sat(&f.clone().not());
+        for (a, b) in pos.iter().zip(&neg) {
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    /// Bounded eventually implies unbounded: AF[lo,hi] f ⊆ AF f.
+    #[test]
+    fn bounded_af_implies_unbounded(
+        spec in model_strategy(5, 10),
+        fspec in formula_strategy(2),
+        lo in 0u32..3,
+        d in 0u32..4,
+    ) {
+        let u = Universe::new();
+        let m = build(&u, &spec);
+        let f = to_formula(&u, &fspec);
+        let mut c = Checker::new(&m);
+        let bounded = c.sat(&f.clone().af_within(lo, lo + d));
+        let unbounded = c.sat(&f.af());
+        for (b, ub) in bounded.iter().zip(&unbounded) {
+            prop_assert!(!b || *ub, "AF[{lo},{}] must imply AF", lo + d);
+        }
+    }
+
+    /// Widening the window is monotone: AF[lo,hi] f ⊆ AF[lo,hi+1] f.
+    #[test]
+    fn widening_window_is_monotone(
+        spec in model_strategy(5, 10),
+        fspec in formula_strategy(2),
+        lo in 0u32..3,
+        d in 0u32..3,
+    ) {
+        let u = Universe::new();
+        let m = build(&u, &spec);
+        let f = to_formula(&u, &fspec);
+        let mut c = Checker::new(&m);
+        let narrow = c.sat(&f.clone().af_within(lo, lo + d));
+        let wide = c.sat(&f.af_within(lo, lo + d + 1));
+        for (n, w) in narrow.iter().zip(&wide) {
+            prop_assert!(!n || *w);
+        }
+    }
+
+    /// AG f ∧ state satisfies f: AG f ⊆ f (G includes "now").
+    #[test]
+    fn ag_implies_now(
+        spec in model_strategy(5, 10),
+        fspec in formula_strategy(2),
+    ) {
+        let u = Universe::new();
+        let m = build(&u, &spec);
+        let f = to_formula(&u, &fspec);
+        let mut c = Checker::new(&m);
+        let ag = c.sat(&f.clone().ag());
+        let now = c.sat(&f);
+        for (a, n) in ag.iter().zip(&now) {
+            prop_assert!(!a || *n);
+        }
+    }
+
+    /// De Morgan over path quantifiers: ¬EF f ≡ AG ¬f.
+    #[test]
+    fn ef_ag_duality(
+        spec in model_strategy(5, 10),
+        fspec in formula_strategy(2),
+    ) {
+        let u = Universe::new();
+        let m = build(&u, &spec);
+        let f = to_formula(&u, &fspec);
+        let mut c = Checker::new(&m);
+        let not_ef = c.sat(&f.clone().ef().not());
+        let ag_not = c.sat(&f.not().ag());
+        prop_assert_eq!(not_ef, ag_not);
+    }
+
+    /// Chaos weakening is the identity on models that never carry the
+    /// chaos proposition.
+    #[test]
+    fn weakening_neutral_without_chaos_states(
+        spec in model_strategy(5, 10),
+        fspec in formula_strategy(3),
+    ) {
+        let u = Universe::new();
+        let m = build(&u, &spec);
+        let chaos = u.prop("__chaos__");
+        let f = to_formula(&u, &fspec);
+        let mut c = Checker::new(&m);
+        prop_assert_eq!(c.sat(&f), c.sat(&f.weaken_for_chaos(chaos)));
+    }
+
+    /// `witness(EF p)` agrees with satisfiability and returns a valid run
+    /// ending in a p-state.
+    #[test]
+    fn ef_witness_agrees_with_sat(spec in model_strategy(5, 10)) {
+        let u = Universe::new();
+        let m = build(&u, &spec);
+        let p = Formula::prop_named(&u, "p");
+        let f = p.clone().ef();
+        let mut c = Checker::new(&m);
+        let holds = m.initial_states().iter().any(|s| c.sat(&f)[s.index()]);
+        match muml_logic::witness(&m, &f).unwrap() {
+            Some(run) => {
+                prop_assert!(holds);
+                prop_assert!(run.validate_in(&m));
+                prop_assert!(m.props_of(run.last_state()).contains(u.prop("p")));
+            }
+            None => prop_assert!(!holds),
+        }
+    }
+}

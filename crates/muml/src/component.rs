@@ -1,0 +1,286 @@
+//! Components, ports, and role refinement.
+//!
+//! "Components are designed by coordinating and refining each role RTSC of
+//! the involved patterns. The refinement has to respect the role RTSC (i.e.
+//! not add additional behavior or block guaranteed behavior) […]. We further
+//! refer to the refined roles as component ports." (Section "Modeling".)
+//!
+//! A [`Component`] implements one or more pattern roles; the port discipline
+//! is checked with the kernel's refinement `⊑` (Definition 4) after
+//! restricting the component to the port's interface (the substitution
+//! conditions of Lemma 3).
+
+use muml_automata::{
+    refines_with, restrict_interface, Automaton, PropSet, RefineOptions, RefinementFailure,
+};
+use muml_rtsc::{flatten, Rtsc};
+
+use crate::error::ArchError;
+use crate::pattern::CoordinationPattern;
+
+/// A binding of a component to one pattern role.
+#[derive(Debug, Clone)]
+pub struct PortBinding {
+    /// The pattern name (diagnostic only).
+    pub pattern: String,
+    /// The role this port refines.
+    pub role: String,
+}
+
+/// A concrete component implementing one or more pattern roles.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Component name.
+    pub name: String,
+    /// The component behaviour (the coordinated refinement of all its
+    /// ports, including any internal synchronization statechart).
+    pub behavior: Rtsc,
+    /// The roles this component is bound to.
+    pub ports: Vec<PortBinding>,
+}
+
+impl Component {
+    /// Creates a component bound to the given `(pattern, role)` pairs.
+    pub fn new(name: &str, behavior: Rtsc, ports: &[(&str, &str)]) -> Self {
+        Component {
+            name: name.to_owned(),
+            behavior,
+            ports: ports
+                .iter()
+                .map(|(p, r)| PortBinding {
+                    pattern: (*p).to_owned(),
+                    role: (*r).to_owned(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Flattens the component behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flattening failures.
+    pub fn automaton(&self) -> Result<Automaton, ArchError> {
+        Ok(flatten(&self.behavior)?)
+    }
+}
+
+/// Outcome of a port-refinement check.
+#[derive(Debug, Clone)]
+pub enum PortCheck {
+    /// The component (restricted to the port interface) refines the role.
+    Refines,
+    /// Refinement fails; the witness explains why (an added trace, an
+    /// unmatched refusal, or a labelling mismatch).
+    Violation(RefinementFailure),
+}
+
+impl PortCheck {
+    /// Returns `true` if the port discipline holds.
+    pub fn ok(&self) -> bool {
+        matches!(self, PortCheck::Refines)
+    }
+}
+
+/// Checks that `component` correctly refines `role` of `pattern`
+/// (Definition 4 via the restriction of Lemma 3): the component, restricted
+/// to the role's interface and labelling, must not add behaviour and must
+/// not block guaranteed behaviour.
+///
+/// # Errors
+///
+/// [`ArchError::UnknownRole`] or kernel failures.
+pub fn check_port_refinement(
+    pattern: &CoordinationPattern,
+    role: &str,
+    component: &Component,
+) -> Result<PortCheck, ArchError> {
+    let comp_auto = flatten(&component.behavior)?;
+    check_port_refinement_automaton(pattern, role, &comp_auto)
+}
+
+/// Like [`check_port_refinement`], for a component given directly as an
+/// automaton — e.g. the *product* of several port behaviours. The paper's
+/// shuttle "has to operate as both a rearRole and a frontRole"; its
+/// composed behaviour must refine each role after restriction to that
+/// port's interface (Lemma 3).
+///
+/// # Errors
+///
+/// [`ArchError::UnknownRole`] or kernel failures.
+pub fn check_port_refinement_automaton(
+    pattern: &CoordinationPattern,
+    role: &str,
+    component: &Automaton,
+) -> Result<PortCheck, ArchError> {
+    let role_def = pattern.role(role)?;
+    let role_auto = flatten(&role_def.behavior)?;
+    // Lemma 3 side conditions: restrict the component to the role interface
+    // and to the propositions the role automaton knows about.
+    let role_props = role_auto.prop_support();
+    let restricted = restrict_interface(
+        component,
+        role_auto.inputs(),
+        role_auto.outputs(),
+        role_props,
+    )?;
+    let opts = RefineOptions {
+        wildcard_props: PropSet::EMPTY,
+        ..RefineOptions::default()
+    };
+    match refines_with(&restricted, &role_auto, &opts)? {
+        None => Ok(PortCheck::Refines),
+        Some(failure) => Ok(PortCheck::Violation(failure)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternBuilder;
+    use muml_automata::Universe;
+    use muml_rtsc::{ChannelSpec, RtscBuilder};
+
+    fn simple_pattern(u: &Universe) -> CoordinationPattern {
+        // role `server`: may receive req and must answer rsp; may also idle.
+        let server = RtscBuilder::new(u, "server")
+            .input("srv.req")
+            .output("srv.rsp")
+            .state("ready")
+            .initial("ready")
+            .state("busy")
+            .deny_stay("busy")
+            .transition("ready", "busy", ["srv.req"], [])
+            .transition("busy", "ready", [], ["srv.rsp"])
+            .build()
+            .unwrap();
+        let client = RtscBuilder::new(u, "client")
+            .output("cli.req")
+            .input("cli.rsp")
+            .state("idle")
+            .initial("idle")
+            .state("wait")
+            .transition("idle", "wait", [], ["cli.req"])
+            .transition("wait", "idle", ["cli.rsp"], [])
+            .build()
+            .unwrap();
+        PatternBuilder::new(u, "ReqRsp")
+            .role("server", server)
+            .role("client", client)
+            .connector(ChannelSpec::reliable(
+                "link",
+                &[("cli.req", "srv.req"), ("srv.rsp", "cli.rsp")],
+                1,
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn conforming_component_refines_role() {
+        let u = Universe::new();
+        let p = simple_pattern(&u);
+        // a component implementing the server role exactly
+        let beh = RtscBuilder::new(&u, "impl")
+            .input("srv.req")
+            .output("srv.rsp")
+            .state("r")
+            .initial("r")
+            .state("b")
+            .deny_stay("b")
+            .transition("r", "b", ["srv.req"], [])
+            .transition("b", "r", [], ["srv.rsp"])
+            .build()
+            .unwrap();
+        let c = Component::new("serverImpl", beh, &[("ReqRsp", "server")]);
+        assert!(check_port_refinement(&p, "server", &c).unwrap().ok());
+    }
+
+    #[test]
+    fn component_adding_behaviour_fails() {
+        let u = Universe::new();
+        let p = simple_pattern(&u);
+        // implements the role faithfully, but may additionally answer
+        // spontaneously without a request — adds a trace
+        let beh = RtscBuilder::new(&u, "impl")
+            .input("srv.req")
+            .output("srv.rsp")
+            .state("r")
+            .initial("r")
+            .state("b")
+            .deny_stay("b")
+            .transition("r", "b", ["srv.req"], [])
+            .transition("b", "r", [], ["srv.rsp"])
+            .transition("r", "r", [], ["srv.rsp"])
+            .build()
+            .unwrap();
+        let c = Component::new("chatty", beh, &[("ReqRsp", "server")]);
+        match check_port_refinement(&p, "server", &c).unwrap() {
+            PortCheck::Violation(RefinementFailure::TraceNotIncluded { trace }) => {
+                assert_eq!(trace.len(), 1);
+            }
+            other => panic!("expected TraceNotIncluded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn component_blocking_guaranteed_behaviour_fails() {
+        let u = Universe::new();
+        let p = simple_pattern(&u);
+        // receives req but never answers: blocks the guaranteed rsp. The
+        // role's `busy` state is urgent (must answer), this component idles.
+        let beh = RtscBuilder::new(&u, "impl")
+            .input("srv.req")
+            .output("srv.rsp")
+            .state("r")
+            .initial("r")
+            .state("stuck")
+            .transition("r", "stuck", ["srv.req"], [])
+            .build()
+            .unwrap();
+        let c = Component::new("mute", beh, &[("ReqRsp", "server")]);
+        match check_port_refinement(&p, "server", &c).unwrap() {
+            PortCheck::Violation(RefinementFailure::RefusalNotMatched { label, .. }) => {
+                // after req, the role guarantees rsp; the component refuses it
+                assert!(label.outputs.contains(u.signal("srv.rsp")) || label.outputs.is_empty());
+            }
+            other => panic!("expected RefusalNotMatched, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extra_private_signals_are_allowed() {
+        let u = Universe::new();
+        let p = simple_pattern(&u);
+        // The component has an extra internal debug output; restriction to
+        // the port interface removes it (Lemma 3 substitution).
+        let beh = RtscBuilder::new(&u, "impl")
+            .input("srv.req")
+            .output("srv.rsp")
+            .output("impl.debug")
+            .state("r")
+            .initial("r")
+            .state("b")
+            .deny_stay("b")
+            .transition("r", "b", ["srv.req"], ["impl.debug"])
+            .transition("b", "r", [], ["srv.rsp"])
+            .build()
+            .unwrap();
+        let c = Component::new("debuggable", beh, &[("ReqRsp", "server")]);
+        assert!(check_port_refinement(&p, "server", &c).unwrap().ok());
+    }
+
+    #[test]
+    fn component_accessors() {
+        let u = Universe::new();
+        let beh = RtscBuilder::new(&u, "x")
+            .state("s")
+            .initial("s")
+            .build()
+            .unwrap();
+        let c = Component::new("c", beh, &[("P", "r")]);
+        assert_eq!(c.name, "c");
+        assert_eq!(c.ports.len(), 1);
+        assert!(c.automaton().is_ok());
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for the architectural layer.
+
+use std::fmt;
+
+/// Errors reported while assembling or verifying patterns and components.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// A referenced role does not exist in the pattern.
+    UnknownRole(String),
+    /// Statechart flattening failed.
+    Flatten(String),
+    /// Channel construction failed.
+    Channel(String),
+    /// Automata-kernel failure (composition, refinement, …).
+    Automata(muml_automata::AutomataError),
+    /// Model checking failure (counterexample extraction out of fragment).
+    Logic(muml_logic::LogicError),
+    /// A property attached to the pattern is not in the compositional
+    /// fragment (Section 2.4) — verification results would not transfer to
+    /// refinements, so this is rejected early.
+    NotCompositional {
+        /// Rendering of the offending formula.
+        formula: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::UnknownRole(r) => write!(f, "unknown role `{r}`"),
+            ArchError::Flatten(e) => write!(f, "statechart flattening failed: {e}"),
+            ArchError::Channel(e) => write!(f, "connector construction failed: {e}"),
+            ArchError::Automata(e) => write!(f, "automata error: {e}"),
+            ArchError::Logic(e) => write!(f, "model checking error: {e}"),
+            ArchError::NotCompositional { formula } => write!(
+                f,
+                "property `{formula}` is outside the compositional timed-ACTL fragment"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+impl From<muml_automata::AutomataError> for ArchError {
+    fn from(e: muml_automata::AutomataError) -> Self {
+        ArchError::Automata(e)
+    }
+}
+
+impl From<muml_logic::LogicError> for ArchError {
+    fn from(e: muml_logic::LogicError) -> Self {
+        ArchError::Logic(e)
+    }
+}
+
+impl From<muml_rtsc::FlattenError> for ArchError {
+    fn from(e: muml_rtsc::FlattenError) -> Self {
+        ArchError::Flatten(e.to_string())
+    }
+}
+
+impl From<muml_rtsc::ChannelError> for ArchError {
+    fn from(e: muml_rtsc::ChannelError) -> Self {
+        ArchError::Channel(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ArchError::UnknownRole("x".into()).to_string().contains("x"));
+        let e: ArchError = muml_automata::AutomataError::UniverseMismatch.into();
+        assert!(e.to_string().contains("universes"));
+        assert!(ArchError::NotCompositional {
+            formula: "EF p".into()
+        }
+        .to_string()
+        .contains("EF p"));
+    }
+}

@@ -1,0 +1,34 @@
+//! The Mechatronic UML architectural layer: coordination patterns, roles,
+//! connectors, components, and ports.
+//!
+//! Implements the modeling level of *Giese, Henkler, Hirsch: Combining
+//! Formal Verification and Testing for Correct Legacy Component Integration
+//! in Mechatronic UML*:
+//!
+//! * [`CoordinationPattern`] — reusable real-time coordination patterns:
+//!   roles with RTSC protocols and invariants, an explicit connector
+//!   (event-queue automaton with delay/reliability QoS), and a pattern
+//!   constraint in timed ACTL.
+//! * [`verify_pattern`] — compositional pattern verification (constraint +
+//!   role invariants + deadlock freedom on the closed pattern).
+//! * [`Component`] / [`check_port_refinement`] — components refine the role
+//!   protocols they are bound to; the check is Definition 4's refinement
+//!   after the interface restriction of Lemma 3.
+//! * [`CoordinationPattern::context_for`] — extraction of the abstract
+//!   context `M_a^c` for a *legacy* component embedded at one role: the
+//!   composition of all other roles and the connector. This is the context
+//!   information the iterative synthesis of `muml-core` exploits.
+
+#![warn(missing_docs)]
+
+mod component;
+mod error;
+mod pattern;
+mod verify;
+
+pub use component::{
+    check_port_refinement, check_port_refinement_automaton, Component, PortBinding, PortCheck,
+};
+pub use error::ArchError;
+pub use pattern::{CoordinationPattern, PatternBuilder, PatternContext, Role};
+pub use verify::{verify_pattern, PatternReport};

@@ -1,0 +1,353 @@
+//! Coordination patterns: roles, connectors, constraints, and context
+//! extraction.
+//!
+//! "A pattern describes communication and therefore consists of multiple
+//! communication partners, called *roles*. Roles interact through ports
+//! which are linked by a connector. The communication behavior of a role is
+//! specified by a real-time statechart and is restricted by an invariant.
+//! The behavior of the connector is described by another real-time
+//! statechart […]. The overall behavior of a pattern is restricted by a
+//! pattern constraint." (Section "Modeling" of the paper.)
+//!
+//! The constraints, invariants, and known communication partners together
+//! form the *context information* the synthesis loop exploits: for a legacy
+//! component embedded at one role, [`CoordinationPattern::context_for`]
+//! builds the abstract context automaton `M_a^c` from the other roles and
+//! the connector.
+
+use muml_automata::{compose, Automaton, ComposeOptions, Composition, SignalSet, Universe};
+use muml_logic::Formula;
+use muml_rtsc::{channel_automaton, flatten, ChannelSpec, Rtsc};
+
+use crate::error::ArchError;
+
+/// A role of a coordination pattern.
+#[derive(Debug, Clone)]
+pub struct Role {
+    /// Role name, e.g. `frontRole`.
+    pub name: String,
+    /// The role protocol as a real-time statechart.
+    pub behavior: Rtsc,
+    /// The role invariant (a timed-ACTL formula), if any. For the
+    /// DistanceCoordination pattern: "the front shuttle must not brake with
+    /// full power while in convoy mode".
+    pub invariant: Option<Formula>,
+}
+
+/// A coordination pattern.
+#[derive(Debug, Clone)]
+pub struct CoordinationPattern {
+    /// Pattern name, e.g. `DistanceCoordination`.
+    pub name: String,
+    /// The universe all parts share.
+    pub universe: Universe,
+    /// The pattern's roles.
+    pub roles: Vec<Role>,
+    /// The connector linking the roles (one queue automaton; kinds cover
+    /// both directions).
+    pub connector: ChannelSpec,
+    /// The pattern constraint, if any. For DistanceCoordination:
+    /// `AG ¬(rearRole.convoy ∧ frontRole.noConvoy)`.
+    pub constraint: Option<Formula>,
+}
+
+/// The extracted context for one embedded (legacy) role: everything in the
+/// pattern *except* that role.
+#[derive(Debug, Clone)]
+pub struct PatternContext {
+    /// The composed context automaton `M_a^c` (other roles ∥ connector).
+    pub automaton: Automaton,
+    /// Input signals the embedded component must consume (the connector
+    /// delivers these to it).
+    pub component_inputs: SignalSet,
+    /// Output signals the embedded component must produce.
+    pub component_outputs: SignalSet,
+    /// Name of the role the component is embedded at.
+    pub role: String,
+}
+
+impl CoordinationPattern {
+    /// Looks up a role by name.
+    pub fn role(&self, name: &str) -> Result<&Role, ArchError> {
+        self.roles
+            .iter()
+            .find(|r| r.name == name)
+            .ok_or_else(|| ArchError::UnknownRole(name.to_owned()))
+    }
+
+    /// All properties the pattern demands: the pattern constraint plus every
+    /// role invariant.
+    pub fn properties(&self) -> Vec<Formula> {
+        let mut out = Vec::new();
+        if let Some(c) = &self.constraint {
+            out.push(c.clone());
+        }
+        for r in &self.roles {
+            if let Some(i) = &r.invariant {
+                out.push(i.clone());
+            }
+        }
+        out
+    }
+
+    /// Flattens every role and the connector and composes them into the
+    /// closed pattern system (used for pattern verification).
+    ///
+    /// # Errors
+    ///
+    /// Flattening, channel, or composition failures.
+    pub fn compose_closed(&self) -> Result<Composition, ArchError> {
+        let mut autos: Vec<Automaton> = Vec::new();
+        for r in &self.roles {
+            autos.push(flatten(&r.behavior)?);
+        }
+        autos.push(channel_automaton(&self.universe, &self.connector)?);
+        let refs: Vec<&Automaton> = autos.iter().collect();
+        Ok(compose(&refs, &ComposeOptions::default())?)
+    }
+
+    /// Builds the abstract context `M_a^c` for a component embedded at
+    /// `legacy_role`: the composition of all *other* roles with the
+    /// connector. The embedded component's required interface is derived
+    /// from the legacy role's statechart.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::UnknownRole`] plus flattening/composition failures.
+    pub fn context_for(&self, legacy_role: &str) -> Result<PatternContext, ArchError> {
+        let legacy = self.role(legacy_role)?;
+        let mut autos: Vec<Automaton> = Vec::new();
+        for r in &self.roles {
+            if r.name != legacy_role {
+                autos.push(flatten(&r.behavior)?);
+            }
+        }
+        autos.push(channel_automaton(&self.universe, &self.connector)?);
+        let refs: Vec<&Automaton> = autos.iter().collect();
+        let comp = compose(&refs, &ComposeOptions::default())?;
+        Ok(PatternContext {
+            automaton: comp.automaton,
+            component_inputs: legacy.behavior.inputs(),
+            component_outputs: legacy.behavior.outputs(),
+            role: legacy_role.to_owned(),
+        })
+    }
+}
+
+/// Builder for [`CoordinationPattern`].
+#[derive(Debug, Clone)]
+pub struct PatternBuilder {
+    universe: Universe,
+    name: String,
+    roles: Vec<Role>,
+    connector: Option<ChannelSpec>,
+    constraint: Option<Formula>,
+}
+
+impl PatternBuilder {
+    /// Starts a pattern named `name`.
+    pub fn new(u: &Universe, name: &str) -> Self {
+        PatternBuilder {
+            universe: u.clone(),
+            name: name.to_owned(),
+            roles: Vec::new(),
+            connector: None,
+            constraint: None,
+        }
+    }
+
+    /// Adds a role without invariant.
+    #[must_use]
+    pub fn role(self, name: &str, behavior: Rtsc) -> Self {
+        self.role_with_invariant(name, behavior, None)
+    }
+
+    /// Adds a role with an optional invariant.
+    #[must_use]
+    pub fn role_with_invariant(
+        mut self,
+        name: &str,
+        behavior: Rtsc,
+        invariant: Option<Formula>,
+    ) -> Self {
+        self.roles.push(Role {
+            name: name.to_owned(),
+            behavior,
+            invariant,
+        });
+        self
+    }
+
+    /// Sets the connector.
+    #[must_use]
+    pub fn connector(mut self, spec: ChannelSpec) -> Self {
+        self.connector = Some(spec);
+        self
+    }
+
+    /// Sets the pattern constraint.
+    #[must_use]
+    pub fn constraint(mut self, f: Formula) -> Self {
+        self.constraint = Some(f);
+        self
+    }
+
+    /// Finalizes the pattern.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArchError::Channel`] if no connector was set.
+    /// * [`ArchError::NotCompositional`] if the constraint or a role
+    ///   invariant is outside the timed-ACTL fragment (results would not
+    ///   transfer through refinement — Lemma 5 would not apply).
+    pub fn build(self) -> Result<CoordinationPattern, ArchError> {
+        let connector = self
+            .connector
+            .ok_or_else(|| ArchError::Channel("pattern has no connector".into()))?;
+        for f in self
+            .constraint
+            .iter()
+            .chain(self.roles.iter().filter_map(|r| r.invariant.as_ref()))
+        {
+            if !f.is_compositional() {
+                return Err(ArchError::NotCompositional {
+                    formula: f.show(&self.universe),
+                });
+            }
+        }
+        Ok(CoordinationPattern {
+            name: self.name,
+            universe: self.universe,
+            roles: self.roles,
+            connector,
+            constraint: self.constraint,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muml_logic::parse;
+    use muml_rtsc::RtscBuilder;
+
+    /// A minimal ping/pong pattern: `caller` sends ping, `callee` pongs.
+    fn ping_pong(u: &Universe) -> CoordinationPattern {
+        let caller = RtscBuilder::new(u, "caller")
+            .output("caller.ping")
+            .input("caller.pong")
+            .state("idle")
+            .initial("idle")
+            .prop("idle", "caller.idle")
+            .state("waiting")
+            .transition("idle", "waiting", [], ["caller.ping"])
+            .transition("waiting", "idle", ["caller.pong"], [])
+            .build()
+            .unwrap();
+        let callee = RtscBuilder::new(u, "callee")
+            .input("callee.ping")
+            .output("callee.pong")
+            .state("ready")
+            .initial("ready")
+            .state("serving")
+            .transition("ready", "serving", ["callee.ping"], [])
+            .transition("serving", "ready", [], ["callee.pong"])
+            .build()
+            .unwrap();
+        PatternBuilder::new(u, "PingPong")
+            .role("caller", caller)
+            .role("callee", callee)
+            .connector(ChannelSpec::reliable(
+                "link",
+                &[
+                    ("caller.ping", "callee.ping"),
+                    ("callee.pong", "caller.pong"),
+                ],
+                1,
+            ))
+            .constraint(parse(u, "AG !deadlock").unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pattern_composes_closed() {
+        let u = Universe::new();
+        let p = ping_pong(&u);
+        let comp = p.compose_closed().unwrap();
+        assert!(comp.automaton.state_count() > 0);
+        // fully closed: every input has a sender and vice versa, and the
+        // composition is concrete.
+        assert!(comp.automaton.is_concrete());
+    }
+
+    #[test]
+    fn context_excludes_legacy_role() {
+        let u = Universe::new();
+        let p = ping_pong(&u);
+        let ctx = p.context_for("callee").unwrap();
+        assert_eq!(ctx.role, "callee");
+        // The context consists of caller ∥ link; its open signals are the
+        // callee-side ones.
+        assert_eq!(ctx.component_inputs, u.signals(["callee.ping"]));
+        assert_eq!(ctx.component_outputs, u.signals(["callee.pong"]));
+        // callee's signals are open in the context automaton
+        assert!(ctx
+            .automaton
+            .outputs()
+            .contains(u.signal("callee.ping")));
+        assert!(ctx.automaton.inputs().contains(u.signal("callee.pong")));
+    }
+
+    #[test]
+    fn unknown_role_is_error() {
+        let u = Universe::new();
+        let p = ping_pong(&u);
+        assert!(matches!(
+            p.context_for("ghost"),
+            Err(ArchError::UnknownRole(_))
+        ));
+    }
+
+    #[test]
+    fn non_compositional_constraint_rejected() {
+        let u = Universe::new();
+        let caller = RtscBuilder::new(&u, "c")
+            .state("s")
+            .initial("s")
+            .build()
+            .unwrap();
+        let err = PatternBuilder::new(&u, "Bad")
+            .role("caller", caller)
+            .connector(ChannelSpec::reliable("l", &[], 1))
+            .constraint(parse(&u, "EF p").unwrap())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ArchError::NotCompositional { .. }));
+    }
+
+    #[test]
+    fn missing_connector_rejected() {
+        let u = Universe::new();
+        let err = PatternBuilder::new(&u, "Bad").build().unwrap_err();
+        assert!(matches!(err, ArchError::Channel(_)));
+    }
+
+    #[test]
+    fn properties_collects_constraint_and_invariants() {
+        let u = Universe::new();
+        let r = RtscBuilder::new(&u, "r")
+            .state("s")
+            .initial("s")
+            .build()
+            .unwrap();
+        let p = PatternBuilder::new(&u, "P")
+            .role_with_invariant("a", r.clone(), Some(parse(&u, "AG x").unwrap()))
+            .role("b", r)
+            .connector(ChannelSpec::reliable("l", &[], 1))
+            .constraint(parse(&u, "AG !deadlock").unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(p.properties().len(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Pattern-level verification.
+//!
+//! "We prove that the given constraints hold for the system by using a model
+//! checker." This module checks a closed pattern (all roles composed with
+//! the connector) against its pattern constraint, all role invariants, and
+//! deadlock freedom — the compositional verification step Mechatronic UML
+//! performs *before* components are implemented. Components then only need
+//! to refine their roles (checked by
+//! [`check_port_refinement`](crate::check_port_refinement)) for the results
+//! to carry over (Lemmas 3 and 5).
+
+use muml_logic::{check_all, Counterexample, Formula, Verdict};
+
+use crate::error::ArchError;
+use crate::pattern::CoordinationPattern;
+
+/// The result of verifying a pattern.
+#[derive(Debug, Clone)]
+pub struct PatternReport {
+    /// The properties that were checked, in order: pattern constraint, role
+    /// invariants, deadlock freedom.
+    pub properties: Vec<Formula>,
+    /// `None` if everything holds; otherwise the first counterexample.
+    pub violation: Option<Counterexample>,
+    /// Size of the composed pattern state space.
+    pub state_count: usize,
+}
+
+impl PatternReport {
+    /// Whether the pattern satisfies all its properties.
+    pub fn ok(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Verifies the closed pattern against constraint, invariants, and deadlock
+/// freedom.
+///
+/// # Errors
+///
+/// Composition/flattening failures, or counterexample extraction outside
+/// the safety fragment.
+pub fn verify_pattern(pattern: &CoordinationPattern) -> Result<PatternReport, ArchError> {
+    let comp = pattern.compose_closed()?;
+    let mut properties = pattern.properties();
+    properties.push(Formula::deadlock_free());
+    let violation = match check_all(&comp.automaton, &properties)? {
+        Verdict::Holds => None,
+        Verdict::Violated(c) => Some(c),
+    };
+    Ok(PatternReport {
+        properties,
+        violation,
+        state_count: comp.automaton.state_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternBuilder;
+    use muml_automata::Universe;
+    use muml_logic::parse;
+    use muml_rtsc::{ChannelSpec, RtscBuilder};
+
+    #[test]
+    fn correct_pattern_verifies() {
+        let u = Universe::new();
+        let a = RtscBuilder::new(&u, "a")
+            .output("a.msg")
+            .input("a.ack")
+            .state("idle")
+            .initial("idle")
+            .prop("idle", "a.idle")
+            .state("wait")
+            .transition("idle", "wait", [], ["a.msg"])
+            .transition("wait", "idle", ["a.ack"], [])
+            .build()
+            .unwrap();
+        let b = RtscBuilder::new(&u, "b")
+            .input("b.msg")
+            .output("b.ack")
+            .state("idle")
+            .initial("idle")
+            .state("got")
+            .deny_stay("got")
+            .transition("idle", "got", ["b.msg"], [])
+            .transition("got", "idle", [], ["b.ack"])
+            .build()
+            .unwrap();
+        let p = PatternBuilder::new(&u, "MsgAck")
+            .role("sender", a)
+            .role("receiver", b)
+            .connector(ChannelSpec::reliable(
+                "link",
+                &[("a.msg", "b.msg"), ("b.ack", "a.ack")],
+                1,
+            ))
+            .constraint(parse(&u, "AG !(a.idle & deadlock)").unwrap())
+            .build()
+            .unwrap();
+        let report = verify_pattern(&p).unwrap();
+        assert!(report.ok(), "violation: {:?}", report.violation);
+        assert!(report.state_count > 0);
+        assert_eq!(report.properties.len(), 2); // constraint + ¬δ
+    }
+
+    #[test]
+    fn deadlocking_pattern_yields_counterexample() {
+        let u = Universe::new();
+        // The receiver ignores messages forever and the sender insists on an
+        // ack that never comes → deadlock once the message is lost in the
+        // mismatch.
+        let a = RtscBuilder::new(&u, "a")
+            .output("a.msg")
+            .input("a.ack")
+            .state("idle")
+            .initial("idle")
+            .deny_stay("idle")
+            .state("wait")
+            .deny_stay("wait")
+            .transition("idle", "wait", [], ["a.msg"])
+            .transition("wait", "idle", ["a.ack"], [])
+            .build()
+            .unwrap();
+        let b = RtscBuilder::new(&u, "b")
+            .input("b.msg")
+            .output("b.ack")
+            .state("deaf")
+            .initial("deaf")
+            .deny_stay("deaf")
+            .build()
+            .unwrap();
+        let p = PatternBuilder::new(&u, "Broken")
+            .role("sender", a)
+            .role("receiver", b)
+            .connector(ChannelSpec::reliable(
+                "link",
+                &[("a.msg", "b.msg"), ("b.ack", "a.ack")],
+                1,
+            ))
+            .build()
+            .unwrap();
+        let report = verify_pattern(&p).unwrap();
+        assert!(!report.ok());
+        let cex = report.violation.unwrap();
+        assert!(cex.description.contains("deadlock"));
+    }
+}

@@ -1,0 +1,106 @@
+//! The front role — the known context `M_a^c` of the legacy rear shuttle
+//! (Figure 5 of the paper).
+//!
+//! "The automaton starts in the noConvoy state. The automaton remains in
+//! the state until the frontRole receives the convoyProposal message.
+//! Thereafter the automaton switches to the answer state. In this state,
+//! the automaton non-deterministically decides to reject the convoy
+//! (convoyProposalRejected) or to start the convoy (startConvoy). In the
+//! latter case the automaton switches to the convoy state and remains there
+//! until a breakConvoyProposal message is received. The automaton decides
+//! to reject or accept this message."
+//!
+//! `answer` is a substate of the `noConvoy` composite (the shuttle is not
+//! yet in a convoy while negotiating), matching the paper's Listing 1.4
+//! where the constraint is already violated at `shuttle1.answer`.
+
+use muml_automata::Automaton;
+use muml_rtsc::{flatten, Rtsc, RtscBuilder};
+
+use crate::messages::*;
+
+/// The front role as a Real-Time Statechart.
+pub fn front_role_rtsc(u: &muml_automata::Universe) -> Rtsc {
+    RtscBuilder::new(u, "shuttle1")
+        .input(CONVOY_PROPOSAL)
+        .input(BREAK_CONVOY_PROPOSAL)
+        .output(CONVOY_PROPOSAL_REJECTED)
+        .output(START_CONVOY)
+        .output(BREAK_CONVOY_REJECTED)
+        .output(BREAK_CONVOY_ACCEPTED)
+        .state("noConvoy")
+        .prop("noConvoy", "front.noConvoy")
+        .substate("noConvoy", "default")
+        .substate("noConvoy", "answer")
+        .deny_stay("noConvoy::answer")
+        .initial("noConvoy")
+        .state("convoy")
+        .prop("convoy", "front.convoy")
+        .prop("convoy", "front.reducedBraking")
+        .state("break")
+        .deny_stay("break")
+        .prop("break", "front.convoy")
+        .transition("noConvoy::default", "noConvoy::answer", [CONVOY_PROPOSAL], [])
+        .transition(
+            "noConvoy::answer",
+            "noConvoy::default",
+            [],
+            [CONVOY_PROPOSAL_REJECTED],
+        )
+        .transition("noConvoy::answer", "convoy", [], [START_CONVOY])
+        .transition("convoy", "break", [BREAK_CONVOY_PROPOSAL], [])
+        .transition("break", "convoy", [], [BREAK_CONVOY_REJECTED])
+        .transition("break", "noConvoy", [], [BREAK_CONVOY_ACCEPTED])
+        .build()
+        .expect("front role statechart is well-formed")
+}
+
+/// The flattened front-role automaton — the abstract context for the
+/// embedded legacy rear shuttle.
+pub fn front_context(u: &muml_automata::Universe) -> Automaton {
+    flatten(&front_role_rtsc(u)).expect("front role flattens")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muml_automata::{Label, SignalSet};
+
+    #[test]
+    fn figure5_structure() {
+        let u = muml_automata::Universe::new();
+        let m = front_context(&u);
+        // noConvoy::default, noConvoy::answer, convoy, break
+        assert_eq!(m.state_count(), 4);
+        let d = m.find_state("noConvoy::default").unwrap();
+        assert_eq!(m.initial_states(), &[d]);
+        // composite prop applies to both substates
+        assert!(m.props_of(d).contains(u.prop("front.noConvoy")));
+        let a = m.find_state("noConvoy::answer").unwrap();
+        assert!(m.props_of(a).contains(u.prop("front.noConvoy")));
+    }
+
+    #[test]
+    fn negotiation_paths() {
+        let u = muml_automata::Universe::new();
+        let m = front_context(&u);
+        let d = m.find_state("noConvoy::default").unwrap();
+        let a = m.find_state("noConvoy::answer").unwrap();
+        let c = m.find_state("convoy").unwrap();
+        let receive = Label::new(u.signals([CONVOY_PROPOSAL]), SignalSet::EMPTY);
+        assert_eq!(m.successors(d, receive), vec![a]);
+        // answer is urgent and nondeterministically rejects or starts
+        let reject = Label::new(SignalSet::EMPTY, u.signals([CONVOY_PROPOSAL_REJECTED]));
+        let start = Label::new(SignalSet::EMPTY, u.signals([START_CONVOY]));
+        assert_eq!(m.successors(a, reject), vec![d]);
+        assert_eq!(m.successors(a, start), vec![c]);
+        assert!(!m.enables(a, Label::EMPTY)); // no idling while answering
+        // convoy waits, then handles break proposals
+        assert!(m.enables(c, Label::EMPTY));
+        let brk = Label::new(u.signals([BREAK_CONVOY_PROPOSAL]), SignalSet::EMPTY);
+        let b = m.find_state("break").unwrap();
+        assert_eq!(m.successors(c, brk), vec![b]);
+        let acc = Label::new(SignalSet::EMPTY, u.signals([BREAK_CONVOY_ACCEPTED]));
+        assert_eq!(m.successors(b, acc), vec![d]); // back to noConvoy::default
+    }
+}

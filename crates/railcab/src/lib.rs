@@ -1,0 +1,36 @@
+//! The RailCab shuttle-convoy case study — the paper's running example.
+//!
+//! Autonomous shuttles reduce air-resistance energy losses by forming
+//! convoys with small inter-shuttle distances. Convoy formation is
+//! safety-critical: the rear shuttle may only reduce its distance (convoy
+//! mode) if the front shuttle has agreed to brake with reduced force. The
+//! DistanceCoordination pattern ([`distance_coordination`], Figure 1)
+//! guarantees `AG ¬(rearRole.convoy ∧ frontRole.noConvoy)`.
+//!
+//! The rear shuttle's software is a *legacy component*
+//! ([`correct_shuttle`], [`full_shuttle`], [`faulty_shuttle`]); the
+//! [`scenario`] module walks through the paper's Sections 3–5: initial
+//! synthesis (Figure 4), verification against the front-role context
+//! (Figure 5, Listing 1.1), counterexample-based testing with deterministic
+//! replay (Listings 1.2/1.3), and iterative learning until either the
+//! faulty shuttle's conflict is confirmed (Figure 6, Listing 1.4) or the
+//! correct shuttle's integration is proven (Figure 7, Listing 1.5).
+
+#![warn(missing_docs)]
+
+mod front;
+mod messages;
+mod pattern;
+mod rear;
+pub mod scenario;
+
+pub use front::{front_context, front_role_rtsc};
+pub use messages::{
+    rear_inputs, rear_outputs, BREAK_CONVOY_ACCEPTED, BREAK_CONVOY_PROPOSAL,
+    BREAK_CONVOY_REJECTED, CONVOY_PROPOSAL, CONVOY_PROPOSAL_REJECTED, START_CONVOY,
+};
+pub use pattern::{
+    distance_coordination, distance_coordination_lossy, front_role_pattern_rtsc,
+    rear_role_rtsc, rear_role_with_timeout,
+};
+pub use rear::{correct_shuttle, faulty_shuttle, full_shuttle};

@@ -1,0 +1,55 @@
+//! Message vocabulary of the DistanceCoordination pattern.
+//!
+//! The paper's example exchanges five messages between the rear shuttle
+//! (which wants to form or break a convoy) and the front shuttle:
+//!
+//! * `convoyProposal` (rear → front): request to form a convoy;
+//! * `convoyProposalRejected` (front → rear): refusal;
+//! * `startConvoy` (front → rear): acceptance — both enter convoy mode;
+//! * `breakConvoyProposal` (rear → front): request to dissolve the convoy;
+//! * `breakConvoyRejected` / `breakConvoyAccepted` (front → rear): the
+//!   front's decision.
+
+use muml_automata::{SignalSet, Universe};
+
+/// `convoyProposal` (rear → front).
+pub const CONVOY_PROPOSAL: &str = "convoyProposal";
+/// `convoyProposalRejected` (front → rear).
+pub const CONVOY_PROPOSAL_REJECTED: &str = "convoyProposalRejected";
+/// `startConvoy` (front → rear).
+pub const START_CONVOY: &str = "startConvoy";
+/// `breakConvoyProposal` (rear → front).
+pub const BREAK_CONVOY_PROPOSAL: &str = "breakConvoyProposal";
+/// `breakConvoyRejected` (front → rear).
+pub const BREAK_CONVOY_REJECTED: &str = "breakConvoyRejected";
+/// `breakConvoyAccepted` (front → rear).
+pub const BREAK_CONVOY_ACCEPTED: &str = "breakConvoyAccepted";
+
+/// The messages sent by the rear shuttle (outputs of the legacy component).
+pub fn rear_outputs(u: &Universe) -> SignalSet {
+    u.signals([CONVOY_PROPOSAL, BREAK_CONVOY_PROPOSAL])
+}
+
+/// The messages received by the rear shuttle (inputs of the legacy
+/// component).
+pub fn rear_inputs(u: &Universe) -> SignalSet {
+    u.signals([
+        CONVOY_PROPOSAL_REJECTED,
+        START_CONVOY,
+        BREAK_CONVOY_REJECTED,
+        BREAK_CONVOY_ACCEPTED,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interfaces_are_disjoint() {
+        let u = Universe::new();
+        assert!(rear_outputs(&u).is_disjoint(rear_inputs(&u)));
+        assert_eq!(rear_outputs(&u).len(), 2);
+        assert_eq!(rear_inputs(&u).len(), 4);
+    }
+}

@@ -1,0 +1,377 @@
+//! The DistanceCoordination pattern (Figure 1 of the paper).
+//!
+//! Two roles — `rearRole` and `frontRole` — coordinate two successive
+//! shuttles over a wireless connector so that convoys are only formed (and
+//! the inter-shuttle distance only reduced) with the front shuttle's
+//! consent:
+//!
+//! * **pattern constraint**: `AG ¬(rearRole.convoy ∧ frontRole.noConvoy)` —
+//!   never may the rear shuttle tailgate while the front one would brake
+//!   with full force;
+//! * **frontRole invariant**: in convoy mode the front shuttle brakes with
+//!   reduced force only (`AG (frontRole.convoy → frontRole.reducedBraking)`);
+//! * **rearRole invariant**: outside a convoy the rear shuttle keeps full
+//!   braking distance (`AG (rearRole.noConvoy → rearRole.fullBraking)`).
+//!
+//! Here the role protocols use role-qualified signal names and an explicit
+//! delay-1 connector (the wireless link); the *integration* walkthrough of
+//! [`crate::scenario`] instead embeds the legacy component directly against
+//! the front role (a delay-0 link), matching the paper's listings.
+
+use muml_arch::{CoordinationPattern, PatternBuilder};
+use muml_automata::Universe;
+use muml_logic::parse;
+use muml_rtsc::{ChannelSpec, Rtsc, RtscBuilder};
+
+/// The rear role protocol (role-qualified signals).
+pub fn rear_role_rtsc(u: &Universe) -> Rtsc {
+    RtscBuilder::new(u, "rearRole")
+        .output("rearRole.convoyProposal")
+        .output("rearRole.breakConvoyProposal")
+        .input("rearRole.convoyProposalRejected")
+        .input("rearRole.startConvoy")
+        .input("rearRole.breakConvoyRejected")
+        .input("rearRole.breakConvoyAccepted")
+        .state("noConvoy")
+        .prop("noConvoy", "rearRole.noConvoy")
+        .prop("noConvoy", "rearRole.fullBraking")
+        .substate("noConvoy", "default")
+        .substate("noConvoy", "wait")
+        .prop("noConvoy::wait", "rearRole.waiting")
+        .initial("noConvoy")
+        .state("convoy")
+        .prop("convoy", "rearRole.convoy")
+        .state("breaking")
+        .prop("breaking", "rearRole.fullBraking")
+        .transition(
+            "noConvoy::default",
+            "noConvoy::wait",
+            [],
+            ["rearRole.convoyProposal"],
+        )
+        .transition(
+            "noConvoy::wait",
+            "noConvoy::default",
+            ["rearRole.convoyProposalRejected"],
+            [],
+        )
+        .transition("noConvoy::wait", "convoy", ["rearRole.startConvoy"], [])
+        // the rear shuttle falls back to full distance *before* proposing
+        // to dissolve the convoy
+        .transition("convoy", "breaking", [], ["rearRole.breakConvoyProposal"])
+        .transition("breaking", "convoy", ["rearRole.breakConvoyRejected"], [])
+        .transition(
+            "breaking",
+            "noConvoy",
+            ["rearRole.breakConvoyAccepted"],
+            [],
+        )
+        .build()
+        .expect("rear role statechart is well-formed")
+}
+
+/// The front role protocol (role-qualified signals).
+pub fn front_role_pattern_rtsc(u: &Universe) -> Rtsc {
+    RtscBuilder::new(u, "frontRole")
+        .input("frontRole.convoyProposal")
+        .input("frontRole.breakConvoyProposal")
+        .output("frontRole.convoyProposalRejected")
+        .output("frontRole.startConvoy")
+        .output("frontRole.breakConvoyRejected")
+        .output("frontRole.breakConvoyAccepted")
+        .state("noConvoy")
+        .prop("noConvoy", "frontRole.noConvoy")
+        .substate("noConvoy", "default")
+        .substate("noConvoy", "answer")
+        .deny_stay("noConvoy::answer")
+        .initial("noConvoy")
+        .state("convoy")
+        .prop("convoy", "frontRole.convoy")
+        .prop("convoy", "frontRole.reducedBraking")
+        .state("break")
+        .deny_stay("break")
+        .prop("break", "frontRole.convoy")
+        .prop("break", "frontRole.reducedBraking")
+        .transition(
+            "noConvoy::default",
+            "noConvoy::answer",
+            ["frontRole.convoyProposal"],
+            [],
+        )
+        .transition(
+            "noConvoy::answer",
+            "noConvoy::default",
+            [],
+            ["frontRole.convoyProposalRejected"],
+        )
+        .transition("noConvoy::answer", "convoy", [], ["frontRole.startConvoy"])
+        .transition("convoy", "break", ["frontRole.breakConvoyProposal"], [])
+        .transition("break", "convoy", [], ["frontRole.breakConvoyRejected"])
+        .transition("break", "noConvoy", [], ["frontRole.breakConvoyAccepted"])
+        .build()
+        .expect("front role statechart is well-formed")
+}
+
+/// The complete DistanceCoordination pattern of Figure 1: both roles, the
+/// wireless connector (reliable, delay 1), the pattern constraint, and the
+/// role invariants.
+pub fn distance_coordination(u: &Universe) -> CoordinationPattern {
+    let connector = ChannelSpec::reliable(
+        "wireless",
+        &[
+            ("rearRole.convoyProposal", "frontRole.convoyProposal"),
+            (
+                "rearRole.breakConvoyProposal",
+                "frontRole.breakConvoyProposal",
+            ),
+            (
+                "frontRole.convoyProposalRejected",
+                "rearRole.convoyProposalRejected",
+            ),
+            ("frontRole.startConvoy", "rearRole.startConvoy"),
+            (
+                "frontRole.breakConvoyRejected",
+                "rearRole.breakConvoyRejected",
+            ),
+            (
+                "frontRole.breakConvoyAccepted",
+                "rearRole.breakConvoyAccepted",
+            ),
+        ],
+        1,
+    );
+    PatternBuilder::new(u, "DistanceCoordination")
+        .role_with_invariant(
+            "rearRole",
+            rear_role_rtsc(u),
+            Some(parse(u, "AG (rearRole.noConvoy -> rearRole.fullBraking)").unwrap()),
+        )
+        .role_with_invariant(
+            "frontRole",
+            front_role_pattern_rtsc(u),
+            Some(parse(u, "AG (frontRole.convoy -> frontRole.reducedBraking)").unwrap()),
+        )
+        .connector(connector)
+        .constraint(parse(u, "AG !(rearRole.convoy & frontRole.noConvoy)").unwrap())
+        .build()
+        .expect("DistanceCoordination pattern is well-formed")
+}
+
+/// A rear role with a *timeout* (Real-Time Statechart clock): if no answer
+/// arrives within `timeout` time units, the shuttle gives up waiting and
+/// re-proposes. Over a reliable delay-1 link the answer always arrives
+/// within 3 ticks, so the timeout never fires; over a lossy link it is the
+/// recovery mechanism that keeps the shuttle from being stuck forever.
+pub fn rear_role_with_timeout(u: &Universe, timeout: u32) -> Rtsc {
+    use muml_rtsc::CmpOp;
+    RtscBuilder::new(u, "rearRole")
+        .output("rearRole.convoyProposal")
+        .output("rearRole.breakConvoyProposal")
+        .input("rearRole.convoyProposalRejected")
+        .input("rearRole.startConvoy")
+        .input("rearRole.breakConvoyRejected")
+        .input("rearRole.breakConvoyAccepted")
+        .clock("c")
+        .state("noConvoy")
+        .prop("noConvoy", "rearRole.noConvoy")
+        .prop("noConvoy", "rearRole.fullBraking")
+        .substate("noConvoy", "default")
+        .substate("noConvoy", "wait")
+        .prop("noConvoy::wait", "rearRole.waiting")
+        .invariant("noConvoy::wait", "c", CmpOp::Le, timeout)
+        .initial("noConvoy")
+        .state("convoy")
+        .prop("convoy", "rearRole.convoy")
+        .state("breaking")
+        .prop("breaking", "rearRole.fullBraking")
+        .transition_timed(
+            "noConvoy::default",
+            "noConvoy::wait",
+            [],
+            ["rearRole.convoyProposal"],
+            [],
+            ["c"],
+        )
+        .transition(
+            "noConvoy::wait",
+            "noConvoy::default",
+            ["rearRole.convoyProposalRejected"],
+            [],
+        )
+        .transition("noConvoy::wait", "convoy", ["rearRole.startConvoy"], [])
+        // timeout: give up waiting and re-propose
+        .transition_timed(
+            "noConvoy::wait",
+            "noConvoy::default",
+            [],
+            [],
+            [("c", CmpOp::Ge, timeout)],
+            [],
+        )
+        .transition("convoy", "breaking", [], ["rearRole.breakConvoyProposal"])
+        .transition("breaking", "convoy", ["rearRole.breakConvoyRejected"], [])
+        .transition(
+            "breaking",
+            "noConvoy",
+            ["rearRole.breakConvoyAccepted"],
+            [],
+        )
+        .build()
+        .expect("timed rear role is well-formed")
+}
+
+/// The DistanceCoordination pattern over a **lossy** wireless link — the
+/// QoS variant the paper motivates ("channel delay and reliability, which
+/// are of crucial importance for real-time systems"). The protocol has no
+/// retransmission, so message loss breaks its bounded-liveness: a dropped
+/// proposal leaves the rear shuttle waiting forever.
+pub fn distance_coordination_lossy(u: &Universe) -> CoordinationPattern {
+    let reliable = distance_coordination(u);
+    let kinds: Vec<(&str, &str)> = reliable
+        .connector
+        .kinds
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
+    let connector = ChannelSpec::lossy("wireless", &kinds, 1);
+    PatternBuilder::new(u, "DistanceCoordinationLossy")
+        .role("rearRole", rear_role_rtsc(u))
+        .role("frontRole", front_role_pattern_rtsc(u))
+        .connector(connector)
+        .constraint(parse(u, "AG !(rearRole.convoy & frontRole.noConvoy)").unwrap())
+        .build()
+        .expect("lossy pattern is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muml_arch::verify_pattern;
+
+    #[test]
+    fn figure1_pattern_structure() {
+        let u = Universe::new();
+        let p = distance_coordination(&u);
+        assert_eq!(p.name, "DistanceCoordination");
+        assert_eq!(p.roles.len(), 2);
+        assert_eq!(p.connector.kinds.len(), 6);
+        assert_eq!(p.properties().len(), 3); // constraint + 2 invariants
+    }
+
+    #[test]
+    fn pattern_verifies() {
+        let u = Universe::new();
+        let p = distance_coordination(&u);
+        let report = verify_pattern(&p).unwrap();
+        assert!(
+            report.ok(),
+            "pattern violated: {:?}",
+            report.violation.map(|c| c.description)
+        );
+        assert!(report.state_count > 5, "composed {} states", report.state_count);
+    }
+
+    #[test]
+    fn connector_reliability_decides_bounded_liveness() {
+        // The paper singles out channel delay *and reliability* as crucial.
+        // Bounded liveness — "a waiting rear shuttle gets its answer within
+        // 8 time units" — holds over the reliable link and fails over the
+        // lossy one (a dropped proposal leaves the shuttle waiting forever;
+        // the safety constraint is untouched either way).
+        use muml_logic::{check_all, Verdict};
+        let u = Universe::new();
+        let liveness =
+            parse(&u, "AG (rearRole.waiting -> AF[1,8] !rearRole.waiting)").unwrap();
+
+        let reliable = distance_coordination(&u).compose_closed().unwrap();
+        match check_all(&reliable.automaton, &[liveness.clone()]).unwrap() {
+            Verdict::Holds => {}
+            Verdict::Violated(c) => panic!("reliable link must meet the deadline: {}", c.description),
+        }
+
+        let lossy = distance_coordination_lossy(&u).compose_closed().unwrap();
+        match check_all(&lossy.automaton, &[liveness]).unwrap() {
+            Verdict::Violated(_) => {}
+            Verdict::Holds => panic!("lossy link must break the deadline"),
+        }
+        // …while the safety constraint survives loss:
+        let safety = parse(&u, "AG !(rearRole.convoy & frontRole.noConvoy)").unwrap();
+        match check_all(&lossy.automaton, &[safety]).unwrap() {
+            Verdict::Holds => {}
+            Verdict::Violated(c) => panic!("loss must not break safety: {}", c.description),
+        }
+    }
+
+    #[test]
+    fn timeout_restores_escape_from_waiting_under_loss() {
+        // Under a lossy link, *bounded* liveness is impossible (every
+        // retransmission may be lost too), but a timeout restores the
+        // weaker escape property AG(waiting → EF ¬waiting): the shuttle is
+        // never irrecoverably stuck. Without the timeout the property fails
+        // (a lost proposal leaves `wait` with no exit at all).
+        //
+        // Loss is modelled on the *uplink only* (the proposal kinds): if
+        // downlink answers could vanish too, a lost `startConvoy`
+        // desynchronizes the shuttles — the front believes the convoy
+        // exists, the rear re-proposes, and the front (in convoy mode)
+        // cannot even receive the proposal: the timeout alone cannot repair
+        // that, which this test suite demonstrated before the protocol was
+        // narrowed. QoS assumptions are part of the pattern's contract.
+        use muml_logic::Checker;
+        let u = Universe::new();
+        let escape = parse(&u, "AG (rearRole.waiting -> EF !rearRole.waiting)").unwrap();
+
+        // lossy uplink + timeout: escape holds
+        let kinds_owned = distance_coordination(&u).connector.kinds;
+        let kinds: Vec<(&str, &str)> = kinds_owned
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
+        let with_timeout = PatternBuilder::new(&u, "LossyWithTimeout")
+            .role("rearRole", rear_role_with_timeout(&u, 6))
+            .role("frontRole", front_role_pattern_rtsc(&u))
+            .connector(ChannelSpec::lossy_for(
+                "wireless",
+                &kinds,
+                1,
+                &["rearRole.convoyProposal"],
+            ))
+            .build()
+            .unwrap()
+            .compose_closed()
+            .unwrap();
+        assert!(
+            Checker::new(&with_timeout.automaton).satisfies(&escape),
+            "timeout must guarantee an escape from waiting"
+        );
+
+        // lossy without timeout: escape fails
+        let without = distance_coordination_lossy(&u).compose_closed().unwrap();
+        assert!(
+            !Checker::new(&without.automaton).satisfies(&escape),
+            "without a timeout a lost proposal strands the shuttle"
+        );
+
+        // reliable + timeout: the timeout never fires spuriously — the
+        // pattern still verifies end to end (safety + deadlock freedom).
+        let reliable_timed = PatternBuilder::new(&u, "ReliableWithTimeout")
+            .role("rearRole", rear_role_with_timeout(&u, 6))
+            .role("frontRole", front_role_pattern_rtsc(&u))
+            .connector(ChannelSpec::reliable("wireless", &kinds, 1))
+            .constraint(parse(&u, "AG !(rearRole.convoy & frontRole.noConvoy)").unwrap())
+            .build()
+            .unwrap();
+        let report = verify_pattern(&reliable_timed).unwrap();
+        assert!(report.ok(), "{:?}", report.violation.map(|c| c.description));
+    }
+
+    #[test]
+    fn context_extraction_for_rear_role() {
+        let u = Universe::new();
+        let p = distance_coordination(&u);
+        let ctx = p.context_for("rearRole").unwrap();
+        assert_eq!(ctx.role, "rearRole");
+        assert_eq!(ctx.component_outputs.len(), 2);
+        assert_eq!(ctx.component_inputs.len(), 4);
+    }
+}

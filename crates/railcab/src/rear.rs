@@ -1,0 +1,173 @@
+//! Legacy rear-shuttle implementations.
+//!
+//! Three hidden-state components simulate the legacy shuttle software (see
+//! DESIGN.md §5):
+//!
+//! * [`correct_shuttle`] — the behaviour of the paper's Figure 7: proposes
+//!   a convoy, retries after rejection, enters convoy mode on
+//!   `startConvoy`, and stays there quietly. It never exercises the
+//!   break-convoy machinery, which lets the verifier prove correctness
+//!   *without* learning that part (claim C4).
+//! * [`full_shuttle`] — additionally dissolves convoys via
+//!   `breakConvoyProposal`, cycling through the complete protocol.
+//! * [`faulty_shuttle`] — the paper's Figure 6 conflict: after sending
+//!   `convoyProposal` it enters convoy mode *immediately*, without waiting
+//!   for `startConvoy`; a rejection leaves it in convoy while the front
+//!   shuttle is in noConvoy — violating the pattern constraint.
+
+use muml_automata::Universe;
+use muml_legacy::{HiddenMealy, MealyBuilder};
+
+use crate::messages::*;
+
+fn base_builder(u: &Universe) -> MealyBuilder {
+    MealyBuilder::new(u, "shuttle2")
+        .input(CONVOY_PROPOSAL_REJECTED)
+        .input(START_CONVOY)
+        .input(BREAK_CONVOY_REJECTED)
+        .input(BREAK_CONVOY_ACCEPTED)
+        .output(CONVOY_PROPOSAL)
+        .output(BREAK_CONVOY_PROPOSAL)
+}
+
+/// The correct, conservative rear shuttle (Figure 7): proposes, retries on
+/// rejection, follows in convoy mode indefinitely.
+pub fn correct_shuttle(u: &Universe) -> HiddenMealy {
+    base_builder(u)
+        .state("noConvoy::default")
+        .initial("noConvoy::default")
+        .state("noConvoy::wait")
+        .state("convoy")
+        .rule("noConvoy::default", [], [CONVOY_PROPOSAL], "noConvoy::wait")
+        .rule(
+            "noConvoy::wait",
+            [CONVOY_PROPOSAL_REJECTED],
+            [],
+            "noConvoy::default",
+        )
+        .rule("noConvoy::wait", [START_CONVOY], [], "convoy")
+        .rule("convoy", [], [], "convoy")
+        .build()
+        .expect("correct shuttle is well-formed")
+}
+
+/// A correct rear shuttle exercising the *whole* protocol: it rides in
+/// convoy for a few periods, then proposes to break; on rejection it keeps
+/// riding, on acceptance it returns to noConvoy and starts over.
+pub fn full_shuttle(u: &Universe) -> HiddenMealy {
+    base_builder(u)
+        .state("noConvoy::default")
+        .initial("noConvoy::default")
+        .state("noConvoy::wait")
+        .state("convoy")
+        .state("convoy::riding")
+        .state("convoy::breaking")
+        .rule("noConvoy::default", [], [CONVOY_PROPOSAL], "noConvoy::wait")
+        .rule(
+            "noConvoy::wait",
+            [CONVOY_PROPOSAL_REJECTED],
+            [],
+            "noConvoy::default",
+        )
+        .rule("noConvoy::wait", [START_CONVOY], [], "convoy")
+        // one quiet period in convoy, then a break proposal
+        .rule("convoy", [], [], "convoy::riding")
+        .rule(
+            "convoy::riding",
+            [],
+            [BREAK_CONVOY_PROPOSAL],
+            "convoy::breaking",
+        )
+        .rule("convoy::breaking", [BREAK_CONVOY_REJECTED], [], "convoy")
+        .rule(
+            "convoy::breaking",
+            [BREAK_CONVOY_ACCEPTED],
+            [],
+            "noConvoy::default",
+        )
+        .build()
+        .expect("full shuttle is well-formed")
+}
+
+/// The faulty rear shuttle of Figure 6: enters `convoy` immediately after
+/// *proposing*, ignoring the front shuttle's decision. Together with a
+/// rejecting front this violates the DistanceCoordination constraint
+/// `AG ¬(rear.convoy ∧ front.noConvoy)` — the safety-critical situation the
+/// pattern exists to prevent (the front would brake with full force while
+/// the rear tailgates).
+pub fn faulty_shuttle(u: &Universe) -> HiddenMealy {
+    base_builder(u)
+        .state("noConvoy")
+        .initial("noConvoy")
+        .state("convoy")
+        .rule("noConvoy", [], [CONVOY_PROPOSAL], "convoy")
+        .rule("convoy", [CONVOY_PROPOSAL_REJECTED], [], "convoy") // ignores the rejection!
+        .rule("convoy", [START_CONVOY], [], "convoy")
+        .rule("convoy", [], [], "convoy")
+        .build()
+        .expect("faulty shuttle is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muml_automata::SignalSet;
+    use muml_legacy::{LegacyComponent, StateObservable};
+
+    #[test]
+    fn correct_shuttle_negotiates() {
+        let u = Universe::new();
+        let mut s = correct_shuttle(&u);
+        assert_eq!(s.step(SignalSet::EMPTY), u.signals([CONVOY_PROPOSAL]));
+        assert_eq!(s.observable_state(), "noConvoy::wait");
+        assert_eq!(
+            s.step(u.signals([CONVOY_PROPOSAL_REJECTED])),
+            SignalSet::EMPTY
+        );
+        assert_eq!(s.observable_state(), "noConvoy::default");
+        s.step(SignalSet::EMPTY);
+        assert_eq!(s.step(u.signals([START_CONVOY])), SignalSet::EMPTY);
+        assert_eq!(s.observable_state(), "convoy");
+        // stays in convoy quietly
+        assert_eq!(s.step(SignalSet::EMPTY), SignalSet::EMPTY);
+        assert_eq!(s.observable_state(), "convoy");
+    }
+
+    #[test]
+    fn faulty_shuttle_enters_convoy_without_permission() {
+        let u = Universe::new();
+        let mut s = faulty_shuttle(&u);
+        assert_eq!(s.step(SignalSet::EMPTY), u.signals([CONVOY_PROPOSAL]));
+        // Figure 6: already in convoy, before any answer arrived.
+        assert_eq!(s.observable_state(), "convoy");
+        // and a rejection does not dislodge it
+        s.step(u.signals([CONVOY_PROPOSAL_REJECTED]));
+        assert_eq!(s.observable_state(), "convoy");
+    }
+
+    #[test]
+    fn full_shuttle_breaks_convoys() {
+        let u = Universe::new();
+        let mut s = full_shuttle(&u);
+        s.step(SignalSet::EMPTY); // propose
+        s.step(u.signals([START_CONVOY])); // accepted
+        assert_eq!(s.observable_state(), "convoy");
+        s.step(SignalSet::EMPTY); // riding
+        let out = s.step(SignalSet::EMPTY);
+        assert_eq!(out, u.signals([BREAK_CONVOY_PROPOSAL]));
+        assert_eq!(s.observable_state(), "convoy::breaking");
+        s.step(u.signals([BREAK_CONVOY_ACCEPTED]));
+        assert_eq!(s.observable_state(), "noConvoy::default");
+    }
+
+    #[test]
+    fn all_shuttles_are_deterministic_components() {
+        let u = Universe::new();
+        for mut s in [correct_shuttle(&u), full_shuttle(&u), faulty_shuttle(&u)] {
+            let a = s.step(SignalSet::EMPTY);
+            s.reset();
+            let b = s.step(SignalSet::EMPTY);
+            assert_eq!(a, b);
+        }
+    }
+}

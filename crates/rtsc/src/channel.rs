@@ -1,0 +1,335 @@
+//! Connector (channel) automata.
+//!
+//! In Mechatronic UML the behaviour of a pattern's connector is described by
+//! its own real-time statechart modelling channel delay and reliability
+//! ("which are of crucial importance for real-time systems", Section 1).
+//! Because the composition of Definition 3 is synchronous, the asynchronous
+//! event semantics of statecharts is modelled "by explicitly defined event
+//! queues (channels) given in the form of additional automata" (Section
+//! 2.2). This module generates those queue automata directly.
+//!
+//! A channel transports a set of message *kinds*; each kind renames a
+//! sender-side signal to a receiver-side signal (signals must be globally
+//! unique, so `rear.convoyProposal` sent by the rear role arrives as
+//! `front.convoyProposal` at the front role). A message sent at tick `t` is
+//! delivered at tick `t + delay`. A *lossy* channel may nondeterministically
+//! drop messages on reception.
+
+use muml_automata::{Automaton, AutomatonBuilder, Label, SignalSet, Universe};
+
+/// Specification of a channel.
+#[derive(Debug, Clone)]
+pub struct ChannelSpec {
+    /// Automaton name.
+    pub name: String,
+    /// Message kinds as `(input signal, output signal)` name pairs: the
+    /// channel consumes the input signal and later produces the output
+    /// signal.
+    pub kinds: Vec<(String, String)>,
+    /// Delivery delay in time units. `0` forwards within the same tick.
+    pub delay: usize,
+    /// Input-signal names of the message kinds that may be dropped on
+    /// reception (empty = fully reliable; all kinds = fully lossy).
+    pub lossy_kinds: Vec<String>,
+}
+
+impl ChannelSpec {
+    /// A reliable channel with the given delay.
+    pub fn reliable(name: &str, kinds: &[(&str, &str)], delay: usize) -> Self {
+        ChannelSpec {
+            name: name.to_owned(),
+            kinds: kinds
+                .iter()
+                .map(|(a, b)| ((*a).to_owned(), (*b).to_owned()))
+                .collect(),
+            delay,
+            lossy_kinds: Vec::new(),
+        }
+    }
+
+    /// A fully lossy channel: every kind may be dropped.
+    pub fn lossy(name: &str, kinds: &[(&str, &str)], delay: usize) -> Self {
+        ChannelSpec {
+            lossy_kinds: kinds.iter().map(|(a, _)| (*a).to_owned()).collect(),
+            ..ChannelSpec::reliable(name, kinds, delay)
+        }
+    }
+
+    /// A channel that may drop only the named kinds (by input-signal name) —
+    /// e.g. an asymmetric radio link whose uplink is unreliable.
+    pub fn lossy_for(
+        name: &str,
+        kinds: &[(&str, &str)],
+        delay: usize,
+        lossy_kinds: &[&str],
+    ) -> Self {
+        ChannelSpec {
+            lossy_kinds: lossy_kinds.iter().map(|s| (*s).to_owned()).collect(),
+            ..ChannelSpec::reliable(name, kinds, delay)
+        }
+    }
+}
+
+/// Error from [`channel_automaton`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// Too many message kinds (the state space is `(2^k)^delay`).
+    TooManyKinds(usize),
+    /// Kernel error while assembling the automaton.
+    Build(String),
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::TooManyKinds(k) => {
+                write!(f, "channel supports at most 8 message kinds, got {k}")
+            }
+            ChannelError::Build(e) => write!(f, "channel construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Builds the queue automaton for `spec`.
+///
+/// State encoding: one slot per delay unit, each holding the set of kinds in
+/// transit at that age; every tick the channel simultaneously receives any
+/// subset of kinds, delivers the oldest slot, and shifts. Deterministic for
+/// reliable channels; lossy channels add a drop choice per reception.
+///
+/// # Errors
+///
+/// [`ChannelError::TooManyKinds`] for more than 8 kinds.
+pub fn channel_automaton(u: &Universe, spec: &ChannelSpec) -> Result<Automaton, ChannelError> {
+    let k = spec.kinds.len();
+    if k > 8 {
+        return Err(ChannelError::TooManyKinds(k));
+    }
+    let in_sigs: Vec<_> = spec.kinds.iter().map(|(a, _)| u.signal(a)).collect();
+    let out_sigs: Vec<_> = spec.kinds.iter().map(|(_, b)| u.signal(b)).collect();
+
+    // A slot content is a bitmask over kinds.
+    let masks: u32 = 1 << k;
+    let slot_name = |slots: &[u32]| -> String {
+        if slots.iter().all(|&m| m == 0) {
+            "empty".to_owned()
+        } else {
+            slots
+                .iter()
+                .map(|m| format!("{m:0width$b}", width = k))
+                .collect::<Vec<_>>()
+                .join("|")
+        }
+    };
+    let to_in_set = |mask: u32| -> SignalSet {
+        (0..k)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| in_sigs[i])
+            .collect()
+    };
+    let to_out_set = |mask: u32| -> SignalSet {
+        (0..k)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| out_sigs[i])
+            .collect()
+    };
+
+    let mut b = AutomatonBuilder::new(u, &spec.name);
+    for &s in &in_sigs {
+        b = b.input(&u.signal_name(s));
+    }
+    for &s in &out_sigs {
+        b = b.output(&u.signal_name(s));
+    }
+
+    // Enumerate reachable slot vectors via BFS.
+    use std::collections::HashMap;
+    let init = vec![0u32; spec.delay];
+    let mut seen: HashMap<Vec<u32>, String> = HashMap::new();
+    let mut work = vec![init.clone()];
+    seen.insert(init.clone(), slot_name(&init));
+    b = b.state(&slot_name(&init)).initial(&slot_name(&init));
+    let mut edges: Vec<(String, Label, String)> = Vec::new();
+
+    // Bitmask of kinds that may be dropped.
+    let lossy_mask: u32 = spec
+        .kinds
+        .iter()
+        .enumerate()
+        .filter(|(_, (a, _))| spec.lossy_kinds.iter().any(|l| l == a))
+        .fold(0, |acc, (i, _)| acc | (1 << i));
+
+    while let Some(slots) = work.pop() {
+        let from = seen[&slots].clone();
+        for recv in 0..masks {
+            // stored set: the full reception minus any subset of the lossy
+            // kinds among it
+            let stored_options: Vec<u32> = if lossy_mask != 0 {
+                (0..masks)
+                    .filter(|s| s & !recv == 0 && (recv & !s) & !lossy_mask == 0)
+                    .collect()
+            } else {
+                vec![recv]
+            };
+            for stored in stored_options {
+                let (deliver, next) = if spec.delay == 0 {
+                    (stored, Vec::new())
+                } else {
+                    let mut next = slots.clone();
+                    let deliver = next.remove(spec.delay - 1); // oldest slot
+                    next.insert(0, stored);
+                    (deliver, next)
+                };
+                let label = Label::new(to_in_set(recv), to_out_set(deliver));
+                let tname = match seen.get(&next) {
+                    Some(n) => n.clone(),
+                    None => {
+                        let n = slot_name(&next);
+                        seen.insert(next.clone(), n.clone());
+                        b = b.state(&n);
+                        work.push(next.clone());
+                        n
+                    }
+                };
+                edges.push((from.clone(), label, tname));
+            }
+        }
+    }
+    for (f, l, t) in edges {
+        b = b.transition_guard(&f, muml_automata::Guard::Exact(l), &t);
+    }
+    b.build().map_err(|e| ChannelError::Build(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_one_buffers_one_tick() {
+        let u = Universe::new();
+        let spec = ChannelSpec::reliable("ch", &[("a_in", "a_out")], 1);
+        let m = channel_automaton(&u, &spec).unwrap();
+        assert_eq!(m.state_count(), 2); // empty, loaded
+        assert!(m.is_deterministic());
+        let a_in = u.signal("a_in");
+        let a_out = u.signal("a_out");
+        let empty = m.find_state("empty").unwrap();
+        // receive without delivery
+        let l = Label::new(SignalSet::singleton(a_in), SignalSet::EMPTY);
+        assert!(m.enables(empty, l));
+        let loaded = m.successors(empty, l)[0];
+        // deliver while not receiving
+        let d = Label::new(SignalSet::EMPTY, SignalSet::singleton(a_out));
+        assert!(m.enables(loaded, d));
+        assert_eq!(m.successors(loaded, d), vec![empty]);
+        // simultaneous receive + deliver loops on loaded
+        let rd = Label::new(SignalSet::singleton(a_in), SignalSet::singleton(a_out));
+        assert_eq!(m.successors(loaded, rd), vec![loaded]);
+    }
+
+    #[test]
+    fn delay_zero_forwards_immediately() {
+        let u = Universe::new();
+        let spec = ChannelSpec::reliable("ch0", &[("x_in", "x_out")], 0);
+        let m = channel_automaton(&u, &spec).unwrap();
+        assert_eq!(m.state_count(), 1);
+        let s = m.find_state("empty").unwrap();
+        let fwd = Label::new(u.signals(["x_in"]), u.signals(["x_out"]));
+        assert!(m.enables(s, fwd));
+        assert!(m.enables(s, Label::EMPTY));
+        // it cannot deliver without reception
+        let bad = Label::new(SignalSet::EMPTY, u.signals(["x_out"]));
+        assert!(!m.enables(s, bad));
+    }
+
+    #[test]
+    fn delay_two_pipeline() {
+        let u = Universe::new();
+        let spec = ChannelSpec::reliable("ch2", &[("m_in", "m_out")], 2);
+        let m = channel_automaton(&u, &spec).unwrap();
+        assert_eq!(m.state_count(), 4);
+        assert!(m.is_deterministic());
+        // send at t0: deliver exactly at t2
+        let s0 = m.find_state("empty").unwrap();
+        let send = Label::new(u.signals(["m_in"]), SignalSet::EMPTY);
+        let s1 = m.successors(s0, send)[0];
+        // t1: nothing delivered yet
+        let idle = Label::EMPTY;
+        let deliver = Label::new(SignalSet::EMPTY, u.signals(["m_out"]));
+        assert!(!m.enables(s1, deliver));
+        let s2 = m.successors(s1, idle)[0];
+        // t2: delivery
+        assert!(m.enables(s2, deliver));
+        assert_eq!(m.successors(s2, deliver), vec![s0]);
+    }
+
+    #[test]
+    fn two_kinds_in_parallel() {
+        let u = Universe::new();
+        let spec = ChannelSpec::reliable("ch", &[("p_in", "p_out"), ("q_in", "q_out")], 1);
+        let m = channel_automaton(&u, &spec).unwrap();
+        assert_eq!(m.state_count(), 4);
+        let empty = m.find_state("empty").unwrap();
+        let both = Label::new(u.signals(["p_in", "q_in"]), SignalSet::EMPTY);
+        let loaded = m.successors(empty, both)[0];
+        let deliver_both = Label::new(SignalSet::EMPTY, u.signals(["p_out", "q_out"]));
+        assert!(m.enables(loaded, deliver_both));
+    }
+
+    #[test]
+    fn lossy_channel_may_drop() {
+        let u = Universe::new();
+        let spec = ChannelSpec::lossy("lch", &[("a_in", "a_out")], 1);
+        let m = channel_automaton(&u, &spec).unwrap();
+        assert!(!m.is_deterministic());
+        let empty = m.find_state("empty").unwrap();
+        let recv = Label::new(u.signals(["a_in"]), SignalSet::EMPTY);
+        // the reception may be stored or dropped
+        let succ = m.successors(empty, recv);
+        assert_eq!(succ.len(), 2);
+        assert!(succ.contains(&empty));
+    }
+
+    #[test]
+    fn partially_lossy_channel() {
+        let u = Universe::new();
+        let spec = ChannelSpec::lossy_for(
+            "asym",
+            &[("up_in", "up_out"), ("down_in", "down_out")],
+            1,
+            &["up_in"],
+        );
+        let m = channel_automaton(&u, &spec).unwrap();
+        let empty = m.find_state("empty").unwrap();
+        // the lossy kind may be dropped…
+        let up = Label::new(u.signals(["up_in"]), SignalSet::EMPTY);
+        assert_eq!(m.successors(empty, up).len(), 2);
+        // …the reliable kind may not.
+        let down = Label::new(u.signals(["down_in"]), SignalSet::EMPTY);
+        assert_eq!(m.successors(empty, down).len(), 1);
+        // receiving both: only the lossy one can vanish → 2 options.
+        let both = Label::new(u.signals(["up_in", "down_in"]), SignalSet::EMPTY);
+        assert_eq!(m.successors(empty, both).len(), 2);
+    }
+
+    #[test]
+    fn too_many_kinds_rejected() {
+        let u = Universe::new();
+        let kinds: Vec<(String, String)> = (0..9)
+            .map(|i| (format!("i{i}"), format!("o{i}")))
+            .collect();
+        let spec = ChannelSpec {
+            name: "big".into(),
+            kinds,
+            delay: 1,
+            lossy_kinds: Vec::new(),
+        };
+        assert_eq!(
+            channel_automaton(&u, &spec).unwrap_err(),
+            ChannelError::TooManyKinds(9)
+        );
+    }
+}

@@ -1,0 +1,371 @@
+//! Flattening RTSC to discrete-time I/O automata.
+//!
+//! This performs the mapping the paper assumes in Section 2: every RTSC
+//! transition (and every implicit idle step) becomes one automaton
+//! transition taking exactly one time unit. Clocks are unrolled: a flattened
+//! state is a pair `(leaf state, clock valuation)`, with each clock clamped
+//! at one above its largest compared constant (valuations beyond are
+//! indistinguishable).
+//!
+//! *Urgency.* A state invariant restricts which valuations may occupy the
+//! state. If at some reachable valuation neither a transition is enabled
+//! (with its target invariant satisfied) nor staying is allowed, the
+//! flattened state has no outgoing transitions — a time-stopping deadlock
+//! that the model checker will surface via the `deadlock` predicate.
+
+use muml_automata::{Automaton, AutomatonBuilder, Guard, Label};
+
+use crate::model::{ClockConstraint, Rtsc};
+
+/// Options for [`flatten`].
+#[derive(Debug, Clone)]
+pub struct FlattenOptions {
+    /// Maximum number of flattened states.
+    pub max_states: usize,
+}
+
+impl Default for FlattenOptions {
+    fn default() -> Self {
+        FlattenOptions { max_states: 500_000 }
+    }
+}
+
+/// Error from [`flatten`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlattenError {
+    /// The unrolled state space exceeded [`FlattenOptions::max_states`].
+    TooManyStates(usize),
+    /// Building the result automaton failed (propagated kernel error).
+    Build(String),
+}
+
+impl std::fmt::Display for FlattenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlattenError::TooManyStates(n) => {
+                write!(f, "clock unrolling exceeded {n} states")
+            }
+            FlattenError::Build(e) => write!(f, "flattening failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlattenError {}
+
+fn sat(constraints: &[&ClockConstraint], v: &[u32]) -> bool {
+    constraints.iter().all(|c| c.op.eval(v[c.clock], c.bound))
+}
+
+/// Flattens `sc` with default options.
+///
+/// # Errors
+///
+/// See [`flatten_with`].
+pub fn flatten(sc: &Rtsc) -> Result<Automaton, FlattenError> {
+    flatten_with(sc, &FlattenOptions::default())
+}
+
+/// Flattens `sc` into a discrete-time automaton.
+///
+/// State naming: the qualified leaf name, suffixed with `@c₀=…,c₁=…` only
+/// when the statechart has clocks and the valuation is not all-zero (so
+/// clock-free models keep the paper's plain state names).
+///
+/// # Errors
+///
+/// [`FlattenError::TooManyStates`] when clock unrolling explodes beyond the
+/// option cap.
+pub fn flatten_with(sc: &Rtsc, opts: &FlattenOptions) -> Result<Automaton, FlattenError> {
+    use std::collections::HashMap;
+
+    let nclocks = sc.clock_count();
+    let clamp: Vec<u32> = (0..nclocks).map(|c| sc.max_constant(c) + 1).collect();
+
+    let name_of = |leaf: usize, v: &[u32]| -> String {
+        let base = sc.qualified_name(leaf);
+        if nclocks == 0 || v.iter().all(|&x| x == 0) {
+            base
+        } else {
+            let parts: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+            format!("{}@{}", base, parts.join(","))
+        }
+    };
+
+    let advance = |v: &[u32], resets: &[usize]| -> Vec<u32> {
+        (0..nclocks)
+            .map(|c| {
+                if resets.contains(&c) {
+                    0
+                } else {
+                    (v[c] + 1).min(clamp[c])
+                }
+            })
+            .collect()
+    };
+
+    let init_leaf = sc.entry_leaf(sc.initial_index());
+    let init_v = vec![0u32; nclocks];
+
+    // First pass: explore reachable (leaf, valuation) pairs into plain data.
+    let mut index: HashMap<(usize, Vec<u32>), String> = HashMap::new();
+    let mut state_order: Vec<(String, usize)> = Vec::new(); // (name, leaf)
+    let mut worklist = vec![(init_leaf, init_v.clone())];
+    let init_name = name_of(init_leaf, &init_v);
+    index.insert((init_leaf, init_v), init_name.clone());
+    state_order.push((init_name.clone(), init_leaf));
+    let mut edges: Vec<(String, Label, String)> = Vec::new();
+
+    while let Some((leaf, v)) = worklist.pop() {
+        if index.len() > opts.max_states {
+            return Err(FlattenError::TooManyStates(opts.max_states));
+        }
+        let from_name = index[&(leaf, v.clone())].clone();
+
+        let push_target = |worklist: &mut Vec<(usize, Vec<u32>)>,
+                               index: &mut HashMap<(usize, Vec<u32>), String>,
+                               state_order: &mut Vec<(String, usize)>,
+                               leaf: usize,
+                               v: Vec<u32>|
+         -> String {
+            if let Some(n) = index.get(&(leaf, v.clone())) {
+                return n.clone();
+            }
+            let n = name_of(leaf, &v);
+            index.insert((leaf, v.clone()), n.clone());
+            state_order.push((n.clone(), leaf));
+            worklist.push((leaf, v));
+            n
+        };
+
+        // Explicit transitions: from this leaf or any ancestor composite.
+        let mut sources = vec![leaf];
+        {
+            let mut cur = sc.state_parent(leaf);
+            while let Some(p) = cur {
+                sources.push(p);
+                cur = sc.state_parent(p);
+            }
+        }
+        for t in sc.transitions() {
+            if !sources.contains(&t.from) {
+                continue;
+            }
+            let guards: Vec<&ClockConstraint> = t.guards.iter().collect();
+            if !sat(&guards, &v) {
+                continue;
+            }
+            let target_leaf = sc.entry_leaf(t.to);
+            let nv = advance(&v, &t.resets);
+            let tgt_inv = sc.effective_invariants(target_leaf);
+            if !sat(&tgt_inv, &nv) {
+                continue; // entering would violate the target invariant
+            }
+            let tname = push_target(&mut worklist, &mut index, &mut state_order, target_leaf, nv);
+            edges.push((from_name.clone(), Label::new(t.receives, t.sends), tname));
+        }
+
+        // Implicit stay step.
+        if !sc.stay_denied(leaf) {
+            let nv = advance(&v, &[]);
+            let inv = sc.effective_invariants(leaf);
+            if sat(&inv, &nv) {
+                let tname = push_target(&mut worklist, &mut index, &mut state_order, leaf, nv);
+                edges.push((from_name.clone(), Label::EMPTY, tname));
+            }
+        }
+    }
+
+    // Second pass: build the automaton.
+    let mut b = AutomatonBuilder::new(sc.universe(), sc.name());
+    for s in sc.inputs().iter() {
+        b = b.input(&sc.universe().signal_name(s));
+    }
+    for s in sc.outputs().iter() {
+        b = b.output(&sc.universe().signal_name(s));
+    }
+    for (name, leaf) in &state_order {
+        b = b.state(name);
+        for p in sc.effective_props(*leaf) {
+            b = b.prop(name, p);
+        }
+    }
+    b = b.initial(&init_name);
+    for (from, l, to) in edges {
+        b = b.transition_guard(&from, Guard::Exact(l), &to);
+    }
+    b.build().map_err(|e| FlattenError::Build(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CmpOp, RtscBuilder};
+    use muml_automata::Universe;
+
+    #[test]
+    fn clock_free_statechart_keeps_names() {
+        let u = Universe::new();
+        let sc = RtscBuilder::new(&u, "front")
+            .input("proposal")
+            .output("reject")
+            .state("noConvoy")
+            .initial("noConvoy")
+            .state("answer")
+            .deny_stay("answer")
+            .transition("noConvoy", "answer", ["proposal"], [])
+            .transition("answer", "noConvoy", [], ["reject"])
+            .build()
+            .unwrap();
+        let m = flatten(&sc).unwrap();
+        assert!(m.find_state("noConvoy").is_some());
+        assert!(m.find_state("answer").is_some());
+        assert_eq!(m.state_count(), 2);
+        // noConvoy: stay + receive = 2 transitions; answer: only the send.
+        let nc = m.find_state("noConvoy").unwrap();
+        assert_eq!(m.transitions_from(nc).len(), 2);
+        let an = m.find_state("answer").unwrap();
+        assert_eq!(m.transitions_from(an).len(), 1);
+    }
+
+    #[test]
+    fn composite_entry_goes_to_default() {
+        let u = Universe::new();
+        let sc = RtscBuilder::new(&u, "m")
+            .input("go")
+            .state("noConvoy")
+            .substate("noConvoy", "default")
+            .substate("noConvoy", "wait")
+            .initial("noConvoy")
+            .state("convoy")
+            .transition("noConvoy::default", "noConvoy::wait", ["go"], [])
+            .transition("noConvoy", "convoy", [], []) // from the composite
+            .build()
+            .unwrap();
+        let m = flatten(&sc).unwrap();
+        assert!(m.find_state("noConvoy::default").is_some());
+        let d = m.find_state("noConvoy::default").unwrap();
+        assert!(m
+            .initial_states()
+            .contains(&d));
+        // The composite-level transition is available from both substates.
+        let w = m.find_state("noConvoy::wait").unwrap();
+        let conv = m.find_state("convoy").unwrap();
+        assert!(m.successors(w, Label::EMPTY).contains(&conv));
+        assert!(m.successors(d, Label::EMPTY).contains(&conv));
+    }
+
+    #[test]
+    fn clock_guard_delays_transition() {
+        let u = Universe::new();
+        // s --(c≥2)--> t: reachable only after idling 2 ticks.
+        let sc = RtscBuilder::new(&u, "m")
+            .output("fire")
+            .clock("c")
+            .state("s")
+            .initial("s")
+            .state("t")
+            .transition_timed("s", "t", [], ["fire"], [("c", CmpOp::Ge, 2)], [])
+            .build()
+            .unwrap();
+        let m = flatten(&sc).unwrap();
+        // s@0 --stay--> s@1 --stay--> s@2 --fire--> t
+        let s0 = m.find_state("s").unwrap();
+        assert_eq!(m.transitions_from(s0).len(), 1); // only stay
+        let fire = Label::new(muml_automata::SignalSet::EMPTY, u.signals(["fire"]));
+        let s2 = m.find_state("s@2").unwrap();
+        assert!(m.enables(s2, fire));
+        // t is entered with the clock at its clamp value (3 = max const + 1)
+        assert!(m.find_state("t@3").is_some());
+    }
+
+    #[test]
+    fn invariant_forces_urgency() {
+        let u = Universe::new();
+        // invariant c ≤ 1: staying beyond violates it → after one stay, only
+        // the transition remains.
+        let sc = RtscBuilder::new(&u, "m")
+            .output("out")
+            .clock("c")
+            .state("s")
+            .initial("s")
+            .invariant("s", "c", CmpOp::Le, 1)
+            .state("done")
+            .transition_timed("s", "done", [], ["out"], [], [])
+            .build()
+            .unwrap();
+        let m = flatten(&sc).unwrap();
+        let s1 = m.find_state("s@1").unwrap();
+        // at s@1, staying would make c=2 > 1: only the explicit transition.
+        assert_eq!(m.transitions_from(s1).len(), 1);
+        let out = Label::new(muml_automata::SignalSet::EMPTY, u.signals(["out"]));
+        assert!(m.enables(s1, out));
+    }
+
+    #[test]
+    fn time_stopping_deadlock_is_exposed() {
+        let u = Universe::new();
+        // invariant c ≤ 0 and no transitions: immediate time stop.
+        let sc = RtscBuilder::new(&u, "m")
+            .clock("c")
+            .state("s")
+            .initial("s")
+            .invariant("s", "c", CmpOp::Le, 0)
+            .build()
+            .unwrap();
+        let m = flatten(&sc).unwrap();
+        let s = m.find_state("s").unwrap();
+        assert!(m.is_deadlock(s));
+    }
+
+    #[test]
+    fn clock_reset_on_transition() {
+        let u = Universe::new();
+        let sc = RtscBuilder::new(&u, "m")
+            .clock("c")
+            .output("tick")
+            .state("s")
+            .initial("s")
+            .transition_timed("s", "s", [], ["tick"], [("c", CmpOp::Ge, 1)], ["c"])
+            .build()
+            .unwrap();
+        let m = flatten(&sc).unwrap();
+        // cycle: s@0 → s@1 → (tick, reset) → s@0
+        let s0 = m.find_state("s").unwrap();
+        let s1 = m.find_state("s@1").unwrap();
+        let tick = Label::new(muml_automata::SignalSet::EMPTY, u.signals(["tick"]));
+        assert!(m.enables(s1, tick));
+        assert_eq!(m.successors(s1, tick), vec![s0]);
+        // clamping keeps the space finite
+        assert!(m.state_count() <= 3);
+    }
+
+    #[test]
+    fn entering_state_with_violated_invariant_is_blocked() {
+        let u = Universe::new();
+        // t requires c ≤ 0, but the transition advances c to 1 without reset
+        // → transition can never be taken; with a reset it can.
+        let blocked = RtscBuilder::new(&u, "m")
+            .clock("c")
+            .state("s")
+            .initial("s")
+            .state("t")
+            .invariant("t", "c", CmpOp::Le, 0)
+            .transition_timed("s", "t", [], [], [], [])
+            .build()
+            .unwrap();
+        let m = flatten(&blocked).unwrap();
+        assert!(m.find_state("t").is_none());
+
+        let allowed = RtscBuilder::new(&u, "m2")
+            .clock("c")
+            .state("s")
+            .initial("s")
+            .state("t")
+            .invariant("t", "c", CmpOp::Le, 0)
+            .transition_timed("s", "t", [], [], [], ["c"])
+            .build()
+            .unwrap();
+        let m2 = flatten(&allowed).unwrap();
+        assert!(m2.find_state("t").is_some());
+    }
+}

@@ -1,0 +1,32 @@
+//! Real-Time Statecharts (RTSC) for Mechatronic UML, with flattening to the
+//! discrete-time I/O automata of [`muml_automata`].
+//!
+//! Mechatronic UML models role, connector, and component behaviour as
+//! Real-Time Statecharts. The paper's formal treatment (Section 2) maps
+//! RTSC to a finite state transition system where discrete time is mapped
+//! to single states and transitions; this crate provides:
+//!
+//! * [`RtscBuilder`] / [`Rtsc`] — statecharts with one-level composite
+//!   states, discrete clocks, time guards, resets, urgent states, and state
+//!   invariants;
+//! * [`flatten`] — the mapping to [`muml_automata::Automaton`] by clock
+//!   unrolling (one transition = one time unit, matching Definition 1's
+//!   time semantics);
+//! * [`channel_automaton`] — explicit event-queue automata for pattern
+//!   connectors, with configurable delay and reliability (Section 2.2
+//!   models the asynchronous event semantics of statecharts by such queue
+//!   automata).
+
+#![warn(missing_docs)]
+
+mod channel;
+mod flatten;
+mod model;
+mod validate;
+
+pub use channel::{channel_automaton, ChannelError, ChannelSpec};
+pub use flatten::{flatten, flatten_with, FlattenError, FlattenOptions};
+pub use model::{
+    ClockConstraint, CmpOp, Rtsc, RtscBuildError, RtscBuilder, RtscState, RtscTransition,
+};
+pub use validate::{validate, Diagnostic};

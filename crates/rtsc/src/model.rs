@@ -1,0 +1,685 @@
+//! Real-Time Statechart (RTSC) model and builder.
+//!
+//! Mechatronic UML specifies role and component behaviour as Real-Time
+//! Statecharts: statecharts with clocks, time guards, state invariants and
+//! deadlines. The paper maps RTSC to discrete-time I/O automata where every
+//! transition takes exactly one time unit (Section 2); this module provides
+//! the RTSC surface syntax and [`crate::flatten`] performs that mapping.
+//!
+//! Supported features:
+//!
+//! * flat and one-level composite states (`noConvoy` with substates
+//!   `default`, `wait` → flattened names `noConvoy::default`), with an
+//!   initial substate per composite;
+//! * discrete clocks with guards (`c ⋈ n`), resets, and per-state
+//!   invariants (`c ≤ n`) that *force* progress (urgency): a state may not
+//!   be occupied at a clock valuation violating its invariant;
+//! * transitions that receive a set of input signals and send a set of
+//!   output signals in the same time unit;
+//! * implicit *stay* steps: unless `deny_stay` is set, a state may idle one
+//!   time unit with the empty interaction (clocks still advance).
+
+use muml_automata::{SignalSet, Universe};
+
+/// Comparison operator of a clock constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `clock < bound`
+    Lt,
+    /// `clock ≤ bound`
+    Le,
+    /// `clock = bound`
+    Eq,
+    /// `clock ≥ bound`
+    Ge,
+    /// `clock > bound`
+    Gt,
+}
+
+impl CmpOp {
+    /// Evaluates `value ⋈ bound`.
+    pub fn eval(self, value: u32, bound: u32) -> bool {
+        match self {
+            CmpOp::Lt => value < bound,
+            CmpOp::Le => value <= bound,
+            CmpOp::Eq => value == bound,
+            CmpOp::Ge => value >= bound,
+            CmpOp::Gt => value > bound,
+        }
+    }
+}
+
+/// A constraint `clock ⋈ bound` used as a transition guard or state
+/// invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockConstraint {
+    /// Index of the clock in the statechart's clock list.
+    pub clock: usize,
+    /// The comparison.
+    pub op: CmpOp,
+    /// The constant bound (time units).
+    pub bound: u32,
+}
+
+/// A state of the statechart (a leaf, or a composite containing substates).
+#[derive(Debug, Clone)]
+pub struct RtscState {
+    /// Simple name (composites produce `parent::child` leaf names).
+    pub name: String,
+    /// Index of the parent composite, if any.
+    pub parent: Option<usize>,
+    /// For composites: the initial substate index.
+    pub initial_child: Option<usize>,
+    /// Invariants that must hold whenever the state is occupied.
+    pub invariants: Vec<ClockConstraint>,
+    /// Atomic propositions attached to the state (propagated to flattened
+    /// leaf states; a composite's props apply to all its leaves).
+    pub props: Vec<String>,
+    /// If `true`, the implicit idle step is not available in this state.
+    pub deny_stay: bool,
+}
+
+/// A transition of the statechart.
+#[derive(Debug, Clone)]
+pub struct RtscTransition {
+    /// Source state index (leaf or composite — composite means "from every
+    /// leaf below").
+    pub from: usize,
+    /// Target state index (a composite target enters its initial substate).
+    pub to: usize,
+    /// Input signals consumed.
+    pub receives: SignalSet,
+    /// Output signals produced.
+    pub sends: SignalSet,
+    /// Clock guards, all of which must hold at the pre-state valuation.
+    pub guards: Vec<ClockConstraint>,
+    /// Clocks reset (to 0) by the transition.
+    pub resets: Vec<usize>,
+}
+
+/// A Real-Time Statechart.
+///
+/// Build with [`RtscBuilder`]; flatten to an
+/// [`Automaton`](muml_automata::Automaton) with
+/// [`flatten`](crate::flatten).
+#[derive(Debug, Clone)]
+pub struct Rtsc {
+    pub(crate) universe: Universe,
+    pub(crate) name: String,
+    pub(crate) inputs: SignalSet,
+    pub(crate) outputs: SignalSet,
+    pub(crate) clocks: Vec<String>,
+    pub(crate) states: Vec<RtscState>,
+    pub(crate) transitions: Vec<RtscTransition>,
+    pub(crate) initial: usize,
+}
+
+impl Rtsc {
+    /// The statechart name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared input signals.
+    pub fn inputs(&self) -> SignalSet {
+        self.inputs
+    }
+
+    /// Declared output signals.
+    pub fn outputs(&self) -> SignalSet {
+        self.outputs
+    }
+
+    /// Number of (leaf and composite) states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of clocks.
+    pub fn clock_count(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// The universe the statechart was built against.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The fully qualified (leaf) name of state `i`: `parent::child` for
+    /// substates.
+    pub fn qualified_name(&self, i: usize) -> String {
+        match self.states[i].parent {
+            Some(p) => format!("{}::{}", self.states[p].name, self.states[i].name),
+            None => self.states[i].name.clone(),
+        }
+    }
+
+    /// Whether state `i` is a leaf (has no substates).
+    pub fn is_leaf(&self, i: usize) -> bool {
+        self.states[i].initial_child.is_none()
+    }
+
+    /// Finds a state index by (qualified) name, e.g. `noConvoy::wait`.
+    pub fn find_leaf(&self, path: &str) -> Option<usize> {
+        (0..self.states.len()).find(|&i| self.qualified_name(i) == path)
+    }
+
+    /// The parent composite of state `i`, if any.
+    pub fn state_parent(&self, i: usize) -> Option<usize> {
+        self.states[i].parent
+    }
+
+    /// All transitions of the statechart.
+    pub fn transitions(&self) -> &[RtscTransition] {
+        &self.transitions
+    }
+
+    /// Index of the declared initial state.
+    pub fn initial_index(&self) -> usize {
+        self.initial
+    }
+
+    /// The leaf a transition entering state `i` actually lands in (the
+    /// initial substate chain of composites).
+    pub fn entry_leaf(&self, mut i: usize) -> usize {
+        while let Some(c) = self.states[i].initial_child {
+            i = c;
+        }
+        i
+    }
+
+    /// All leaf indices below state `i` (or `i` itself if a leaf).
+    pub fn leaves_below(&self, i: usize) -> Vec<usize> {
+        if self.is_leaf(i) {
+            return vec![i];
+        }
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.parent == Some(i))
+            .flat_map(|(j, _)| self.leaves_below(j))
+            .collect()
+    }
+
+    /// The invariants effective at leaf `i` (its own plus its ancestors').
+    pub fn effective_invariants(&self, i: usize) -> Vec<&ClockConstraint> {
+        let mut out: Vec<&ClockConstraint> = self.states[i].invariants.iter().collect();
+        let mut cur = self.states[i].parent;
+        while let Some(p) = cur {
+            out.extend(self.states[p].invariants.iter());
+            cur = self.states[p].parent;
+        }
+        out
+    }
+
+    /// The props effective at leaf `i` (its own plus its ancestors').
+    pub fn effective_props(&self, i: usize) -> Vec<&str> {
+        let mut out: Vec<&str> = self.states[i].props.iter().map(|s| s.as_str()).collect();
+        let mut cur = self.states[i].parent;
+        while let Some(p) = cur {
+            out.extend(self.states[p].props.iter().map(|s| s.as_str()));
+            cur = self.states[p].parent;
+        }
+        out
+    }
+
+    /// Whether staying is denied at leaf `i` (directly or by an ancestor).
+    pub fn stay_denied(&self, i: usize) -> bool {
+        if self.states[i].deny_stay {
+            return true;
+        }
+        let mut cur = self.states[i].parent;
+        while let Some(p) = cur {
+            if self.states[p].deny_stay {
+                return true;
+            }
+            cur = self.states[p].parent;
+        }
+        false
+    }
+
+    /// Largest constant any constraint compares clock `c` against (used by
+    /// the flattener to clamp clock values).
+    pub fn max_constant(&self, c: usize) -> u32 {
+        let mut m = 0;
+        for s in &self.states {
+            for inv in &s.invariants {
+                if inv.clock == c {
+                    m = m.max(inv.bound);
+                }
+            }
+        }
+        for t in &self.transitions {
+            for g in &t.guards {
+                if g.clock == c {
+                    m = m.max(g.bound);
+                }
+            }
+        }
+        m
+    }
+}
+
+/// Error produced by [`RtscBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtscBuildError(pub String);
+
+impl std::fmt::Display for RtscBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "statechart build error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RtscBuildError {}
+
+/// Fluent builder for [`Rtsc`].
+///
+/// # Examples
+///
+/// ```
+/// use muml_rtsc::RtscBuilder;
+/// use muml_automata::Universe;
+/// let u = Universe::new();
+/// let sc = RtscBuilder::new(&u, "front")
+///     .input("convoyProposal")
+///     .output("startConvoy")
+///     .state("noConvoy")
+///     .initial("noConvoy")
+///     .state("answer")
+///     .transition("noConvoy", "answer", ["convoyProposal"], [])
+///     .transition("answer", "noConvoy", [], ["startConvoy"])
+///     .build()
+///     .unwrap();
+/// assert_eq!(sc.state_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RtscBuilder {
+    universe: Universe,
+    name: String,
+    inputs: SignalSet,
+    outputs: SignalSet,
+    clocks: Vec<String>,
+    states: Vec<RtscState>,
+    transitions: Vec<RtscTransition>,
+    initial: Option<String>,
+    errors: Vec<String>,
+}
+
+impl RtscBuilder {
+    /// Starts a statechart named `name` in universe `u`.
+    pub fn new(u: &Universe, name: &str) -> Self {
+        RtscBuilder {
+            universe: u.clone(),
+            name: name.to_owned(),
+            inputs: SignalSet::EMPTY,
+            outputs: SignalSet::EMPTY,
+            clocks: Vec::new(),
+            states: Vec::new(),
+            transitions: Vec::new(),
+            initial: None,
+            errors: Vec::new(),
+        }
+    }
+
+    /// Declares an input signal.
+    #[must_use]
+    pub fn input(mut self, name: &str) -> Self {
+        self.inputs.insert(self.universe.signal(name));
+        self
+    }
+
+    /// Declares an output signal.
+    #[must_use]
+    pub fn output(mut self, name: &str) -> Self {
+        self.outputs.insert(self.universe.signal(name));
+        self
+    }
+
+    /// Declares a clock. Clocks start at 0 and advance by one per time unit.
+    #[must_use]
+    pub fn clock(mut self, name: &str) -> Self {
+        if !self.clocks.iter().any(|c| c == name) {
+            self.clocks.push(name.to_owned());
+        }
+        self
+    }
+
+    fn find_state(&self, path: &str) -> Option<usize> {
+        if let Some((parent, child)) = path.split_once("::") {
+            let p = self
+                .states
+                .iter()
+                .position(|s| s.name == parent && s.parent.is_none())?;
+            self.states
+                .iter()
+                .position(|s| s.name == child && s.parent == Some(p))
+        } else {
+            self.states
+                .iter()
+                .position(|s| s.name == path && s.parent.is_none())
+        }
+    }
+
+    /// Adds a top-level state.
+    #[must_use]
+    pub fn state(mut self, name: &str) -> Self {
+        if self.find_state(name).is_none() {
+            self.states.push(RtscState {
+                name: name.to_owned(),
+                parent: None,
+                initial_child: None,
+                invariants: Vec::new(),
+                props: Vec::new(),
+                deny_stay: false,
+            });
+        }
+        self
+    }
+
+    /// Adds a substate `parent::name`; the first substate added becomes the
+    /// composite's initial substate.
+    #[must_use]
+    pub fn substate(mut self, parent: &str, name: &str) -> Self {
+        let p = match self.find_state(parent) {
+            Some(p) => p,
+            None => {
+                self = self.state(parent);
+                self.find_state(parent).expect("just added")
+            }
+        };
+        let qualified = format!("{parent}::{name}");
+        if self.find_state(&qualified).is_none() {
+            self.states.push(RtscState {
+                name: name.to_owned(),
+                parent: Some(p),
+                initial_child: None,
+                invariants: Vec::new(),
+                props: Vec::new(),
+                deny_stay: false,
+            });
+            let idx = self.states.len() - 1;
+            if self.states[p].initial_child.is_none() {
+                self.states[p].initial_child = Some(idx);
+            }
+        }
+        self
+    }
+
+    /// Marks the initial state (leaf or composite).
+    #[must_use]
+    pub fn initial(mut self, name: &str) -> Self {
+        self.initial = Some(name.to_owned());
+        self
+    }
+
+    /// Attaches a proposition to a state (applies to all leaves below it).
+    #[must_use]
+    pub fn prop(mut self, state: &str, prop: &str) -> Self {
+        match self.find_state(state) {
+            Some(i) => self.states[i].props.push(prop.to_owned()),
+            None => self.errors.push(format!("prop on unknown state `{state}`")),
+        }
+        self
+    }
+
+    /// Adds an invariant `clock op bound` to a state.
+    #[must_use]
+    pub fn invariant(mut self, state: &str, clock: &str, op: CmpOp, bound: u32) -> Self {
+        let c = self.clocks.iter().position(|x| x == clock);
+        match (self.find_state(state), c) {
+            (Some(i), Some(c)) => self.states[i].invariants.push(ClockConstraint {
+                clock: c,
+                op,
+                bound,
+            }),
+            (None, _) => self
+                .errors
+                .push(format!("invariant on unknown state `{state}`")),
+            (_, None) => self
+                .errors
+                .push(format!("invariant uses unknown clock `{clock}`")),
+        }
+        self
+    }
+
+    /// Forbids the implicit idle step in a state (urgent state).
+    #[must_use]
+    pub fn deny_stay(mut self, state: &str) -> Self {
+        match self.find_state(state) {
+            Some(i) => self.states[i].deny_stay = true,
+            None => self
+                .errors
+                .push(format!("deny_stay on unknown state `{state}`")),
+        }
+        self
+    }
+
+    /// Adds a transition receiving `receives` and sending `sends`.
+    #[must_use]
+    pub fn transition<'a, A, B>(self, from: &str, to: &str, receives: A, sends: B) -> Self
+    where
+        A: IntoIterator<Item = &'a str>,
+        B: IntoIterator<Item = &'a str>,
+    {
+        self.transition_timed(from, to, receives, sends, [], [])
+    }
+
+    /// Adds a transition with clock guards and resets. Guards are
+    /// `(clock, op, bound)` triples; resets are clock names.
+    #[must_use]
+    pub fn transition_timed<'a, A, B, G, R>(
+        mut self,
+        from: &str,
+        to: &str,
+        receives: A,
+        sends: B,
+        guards: G,
+        resets: R,
+    ) -> Self
+    where
+        A: IntoIterator<Item = &'a str>,
+        B: IntoIterator<Item = &'a str>,
+        G: IntoIterator<Item = (&'a str, CmpOp, u32)>,
+        R: IntoIterator<Item = &'a str>,
+    {
+        let rec: SignalSet = receives
+            .into_iter()
+            .map(|n| self.universe.signal(n))
+            .collect();
+        let snd: SignalSet = sends.into_iter().map(|n| self.universe.signal(n)).collect();
+        if !rec.is_subset(self.inputs) {
+            self.errors.push(format!(
+                "transition {from}→{to} receives undeclared signals"
+            ));
+        }
+        if !snd.is_subset(self.outputs) {
+            self.errors
+                .push(format!("transition {from}→{to} sends undeclared signals"));
+        }
+        let f = self.find_state(from);
+        let t = self.find_state(to);
+        let mut gs = Vec::new();
+        for (cn, op, bound) in guards {
+            match self.clocks.iter().position(|x| x == cn) {
+                Some(c) => gs.push(ClockConstraint { clock: c, op, bound }),
+                None => self
+                    .errors
+                    .push(format!("guard uses unknown clock `{cn}`")),
+            }
+        }
+        let mut rs = Vec::new();
+        for cn in resets {
+            match self.clocks.iter().position(|x| x == cn) {
+                Some(c) => rs.push(c),
+                None => self
+                    .errors
+                    .push(format!("reset uses unknown clock `{cn}`")),
+            }
+        }
+        match (f, t) {
+            (Some(f), Some(t)) => self.transitions.push(RtscTransition {
+                from: f,
+                to: t,
+                receives: rec,
+                sends: snd,
+                guards: gs,
+                resets: rs,
+            }),
+            (None, _) => self
+                .errors
+                .push(format!("transition from unknown state `{from}`")),
+            (_, None) => self
+                .errors
+                .push(format!("transition to unknown state `{to}`")),
+        }
+        self
+    }
+
+    /// Finalizes the statechart.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first recorded construction error (unknown states or
+    /// clocks, undeclared signals, missing initial state).
+    pub fn build(self) -> Result<Rtsc, RtscBuildError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(RtscBuildError(e));
+        }
+        let initial_name = self
+            .initial
+            .ok_or_else(|| RtscBuildError("no initial state".into()))?;
+        let initial = self
+            .states
+            .iter()
+            .position(|s| s.name == initial_name && s.parent.is_none())
+            .ok_or_else(|| RtscBuildError(format!("unknown initial state `{initial_name}`")))?;
+        if self.states.is_empty() {
+            return Err(RtscBuildError("statechart has no states".into()));
+        }
+        Ok(Rtsc {
+            universe: self.universe,
+            name: self.name,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            clocks: self.clocks,
+            states: self.states,
+            transitions: self.transitions,
+            initial,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_flat_statechart() {
+        let u = Universe::new();
+        let sc = RtscBuilder::new(&u, "m")
+            .input("a")
+            .output("b")
+            .state("s0")
+            .initial("s0")
+            .state("s1")
+            .transition("s0", "s1", ["a"], ["b"])
+            .build()
+            .unwrap();
+        assert_eq!(sc.state_count(), 2);
+        assert_eq!(sc.qualified_name(0), "s0");
+        assert!(sc.is_leaf(0));
+    }
+
+    #[test]
+    fn composite_states_and_entry() {
+        let u = Universe::new();
+        let sc = RtscBuilder::new(&u, "m")
+            .state("noConvoy")
+            .substate("noConvoy", "default")
+            .substate("noConvoy", "wait")
+            .initial("noConvoy")
+            .state("convoy")
+            .transition("noConvoy::wait", "convoy", [], [])
+            .build()
+            .unwrap();
+        let nc = 0;
+        assert!(!sc.is_leaf(nc));
+        let entry = sc.entry_leaf(nc);
+        assert_eq!(sc.qualified_name(entry), "noConvoy::default");
+        let leaves = sc.leaves_below(nc);
+        assert_eq!(leaves.len(), 2);
+    }
+
+    #[test]
+    fn effective_invariants_and_props_inherit() {
+        let u = Universe::new();
+        let sc = RtscBuilder::new(&u, "m")
+            .clock("c")
+            .state("outer")
+            .prop("outer", "inOuter")
+            .invariant("outer", "c", CmpOp::Le, 5)
+            .substate("outer", "inner")
+            .prop("outer::inner", "inInner")
+            .initial("outer")
+            .build()
+            .unwrap();
+        let inner = sc.find_leaf("outer::inner").unwrap();
+        assert_eq!(sc.effective_invariants(inner).len(), 1);
+        let props = sc.effective_props(inner);
+        assert!(props.contains(&"inInner") && props.contains(&"inOuter"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let u = Universe::new();
+        assert!(RtscBuilder::new(&u, "m").build().is_err());
+        assert!(RtscBuilder::new(&u, "m")
+            .state("s")
+            .initial("ghost")
+            .build()
+            .is_err());
+        assert!(RtscBuilder::new(&u, "m")
+            .state("s")
+            .initial("s")
+            .transition("s", "t", [], [])
+            .build()
+            .is_err());
+        assert!(RtscBuilder::new(&u, "m")
+            .state("s")
+            .initial("s")
+            .transition("s", "s", ["undeclared"], [])
+            .build()
+            .is_err());
+        assert!(RtscBuilder::new(&u, "m")
+            .state("s")
+            .initial("s")
+            .invariant("s", "noclock", CmpOp::Le, 1)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn max_constant_scans_guards_and_invariants() {
+        let u = Universe::new();
+        let sc = RtscBuilder::new(&u, "m")
+            .clock("c")
+            .state("s")
+            .initial("s")
+            .invariant("s", "c", CmpOp::Le, 3)
+            .transition_timed("s", "s", [], [], [("c", CmpOp::Ge, 7)], ["c"])
+            .build()
+            .unwrap();
+        assert_eq!(sc.max_constant(0), 7);
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(!CmpOp::Lt.eval(2, 2));
+        assert!(CmpOp::Le.eval(2, 2));
+        assert!(CmpOp::Eq.eval(2, 2));
+        assert!(CmpOp::Ge.eval(2, 2));
+        assert!(!CmpOp::Gt.eval(2, 2));
+        assert!(CmpOp::Gt.eval(3, 2));
+    }
+}

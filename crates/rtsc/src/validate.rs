@@ -1,0 +1,274 @@
+//! Static analysis of Real-Time Statecharts.
+//!
+//! Catches modelling mistakes before flattening: unreachable states,
+//! guards that can never fire, urgent states without outgoing transitions
+//! (guaranteed time-stopping deadlocks), and invariants that forbid even
+//! entering a state. The checks are heuristic-free — every diagnostic is a
+//! definite problem or definite dead code.
+
+use crate::model::{CmpOp, Rtsc};
+
+/// A diagnostic produced by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Diagnostic {
+    /// The state can never be reached from the initial state (ignoring
+    /// clock constraints — unreachable even in the untimed abstraction).
+    UnreachableState {
+        /// Qualified state name.
+        state: String,
+    },
+    /// The transition's guards are contradictory (e.g. `c < 2 ∧ c ≥ 5`) —
+    /// it can never fire.
+    UnsatisfiableGuard {
+        /// Qualified source state name.
+        from: String,
+        /// Qualified target state name.
+        to: String,
+    },
+    /// The state denies staying but has no outgoing transitions: entering
+    /// it stops time (a guaranteed deadlock).
+    UrgentSink {
+        /// Qualified state name.
+        state: String,
+    },
+    /// The state's invariant excludes every clock valuation that any
+    /// incoming transition could enter with clock value 0 or later — with
+    /// a bound below zero this is vacuous; practically: `c < 0`-style
+    /// invariants that nothing can satisfy.
+    UnsatisfiableInvariant {
+        /// Qualified state name.
+        state: String,
+    },
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Diagnostic::UnreachableState { state } => {
+                write!(f, "state `{state}` is unreachable")
+            }
+            Diagnostic::UnsatisfiableGuard { from, to } => {
+                write!(f, "transition `{from}` → `{to}` has an unsatisfiable guard")
+            }
+            Diagnostic::UrgentSink { state } => write!(
+                f,
+                "state `{state}` denies staying but has no outgoing transitions (time stop)"
+            ),
+            Diagnostic::UnsatisfiableInvariant { state } => {
+                write!(f, "state `{state}` has an unsatisfiable invariant")
+            }
+        }
+    }
+}
+
+/// Whether a set of constraints on a single clock admits some value in
+/// `0..=horizon`.
+fn satisfiable(constraints: &[(CmpOp, u32)], horizon: u32) -> bool {
+    (0..=horizon).any(|v| constraints.iter().all(|(op, b)| op.eval(v, *b)))
+}
+
+/// Runs all static checks on `sc`.
+pub fn validate(sc: &Rtsc) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let horizon = (0..sc.clock_count())
+        .map(|c| sc.max_constant(c) + 1)
+        .max()
+        .unwrap_or(0);
+
+    // Reachability in the untimed abstraction: leaves reachable via
+    // transitions (transitions from composites apply to all their leaves;
+    // targets enter their default leaf).
+    let init = sc.entry_leaf(sc.initial_index());
+    let mut reachable = vec![false; sc.state_count()];
+    let mut stack = vec![init];
+    reachable[init] = true;
+    while let Some(leaf) = stack.pop() {
+        let mut sources = vec![leaf];
+        let mut cur = sc.state_parent(leaf);
+        while let Some(p) = cur {
+            sources.push(p);
+            cur = sc.state_parent(p);
+        }
+        for t in sc.transitions() {
+            if !sources.contains(&t.from) {
+                continue;
+            }
+            let target = sc.entry_leaf(t.to);
+            if !reachable[target] {
+                reachable[target] = true;
+                stack.push(target);
+            }
+        }
+    }
+    for i in 0..sc.state_count() {
+        if sc.is_leaf(i) && !reachable[i] {
+            out.push(Diagnostic::UnreachableState {
+                state: sc.qualified_name(i),
+            });
+        }
+    }
+
+    // Guard satisfiability (per clock; guards on distinct clocks are
+    // independent).
+    for t in sc.transitions() {
+        let mut per_clock: std::collections::HashMap<usize, Vec<(CmpOp, u32)>> =
+            std::collections::HashMap::new();
+        for g in &t.guards {
+            per_clock.entry(g.clock).or_default().push((g.op, g.bound));
+        }
+        if per_clock
+            .values()
+            .any(|cs| !satisfiable(cs, horizon))
+        {
+            out.push(Diagnostic::UnsatisfiableGuard {
+                from: sc.qualified_name(t.from),
+                to: sc.qualified_name(t.to),
+            });
+        }
+    }
+
+    // Urgent sinks and unsatisfiable invariants (reachable leaves only —
+    // unreachable ones are already reported).
+    for i in 0..sc.state_count() {
+        if !sc.is_leaf(i) || !reachable[i] {
+            continue;
+        }
+        let has_outgoing = {
+            let mut sources = vec![i];
+            let mut cur = sc.state_parent(i);
+            while let Some(p) = cur {
+                sources.push(p);
+                cur = sc.state_parent(p);
+            }
+            sc.transitions().iter().any(|t| sources.contains(&t.from))
+        };
+        if sc.stay_denied(i) && !has_outgoing {
+            out.push(Diagnostic::UrgentSink {
+                state: sc.qualified_name(i),
+            });
+        }
+        let mut per_clock: std::collections::HashMap<usize, Vec<(CmpOp, u32)>> =
+            std::collections::HashMap::new();
+        for inv in sc.effective_invariants(i) {
+            per_clock
+                .entry(inv.clock)
+                .or_default()
+                .push((inv.op, inv.bound));
+        }
+        if per_clock.values().any(|cs| !satisfiable(cs, horizon)) {
+            out.push(Diagnostic::UnsatisfiableInvariant {
+                state: sc.qualified_name(i),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RtscBuilder;
+    use muml_automata::Universe;
+
+    #[test]
+    fn clean_statechart_has_no_diagnostics() {
+        let u = Universe::new();
+        let sc = RtscBuilder::new(&u, "m")
+            .input("a")
+            .state("s0")
+            .initial("s0")
+            .state("s1")
+            .transition("s0", "s1", ["a"], [])
+            .transition("s1", "s0", [], [])
+            .build()
+            .unwrap();
+        assert!(validate(&sc).is_empty());
+    }
+
+    #[test]
+    fn unreachable_state_reported() {
+        let u = Universe::new();
+        let sc = RtscBuilder::new(&u, "m")
+            .state("s0")
+            .initial("s0")
+            .state("island")
+            .build()
+            .unwrap();
+        let diags = validate(&sc);
+        assert!(diags
+            .iter()
+            .any(|d| matches!(d, Diagnostic::UnreachableState { state } if state == "island")));
+    }
+
+    #[test]
+    fn contradictory_guard_reported() {
+        let u = Universe::new();
+        let sc = RtscBuilder::new(&u, "m")
+            .clock("c")
+            .state("s0")
+            .initial("s0")
+            .state("s1")
+            .transition_timed(
+                "s0",
+                "s1",
+                [],
+                [],
+                [("c", CmpOp::Lt, 2), ("c", CmpOp::Ge, 5)],
+                [],
+            )
+            .build()
+            .unwrap();
+        let diags = validate(&sc);
+        assert!(diags
+            .iter()
+            .any(|d| matches!(d, Diagnostic::UnsatisfiableGuard { .. })));
+        // NB: reachability is checked on the *untimed* abstraction, so s1
+        // is not additionally flagged as unreachable.
+        assert!(!diags
+            .iter()
+            .any(|d| matches!(d, Diagnostic::UnreachableState { .. })));
+    }
+
+    #[test]
+    fn urgent_sink_reported() {
+        let u = Universe::new();
+        let sc = RtscBuilder::new(&u, "m")
+            .state("s0")
+            .initial("s0")
+            .state("trap")
+            .deny_stay("trap")
+            .transition("s0", "trap", [], [])
+            .build()
+            .unwrap();
+        let diags = validate(&sc);
+        assert!(diags
+            .iter()
+            .any(|d| matches!(d, Diagnostic::UrgentSink { state } if state == "trap")));
+    }
+
+    #[test]
+    fn unsatisfiable_invariant_reported() {
+        let u = Universe::new();
+        let sc = RtscBuilder::new(&u, "m")
+            .clock("c")
+            .state("s0")
+            .initial("s0")
+            .invariant("s0", "c", CmpOp::Lt, 0)
+            .build()
+            .unwrap();
+        let diags = validate(&sc);
+        assert!(diags
+            .iter()
+            .any(|d| matches!(d, Diagnostic::UnsatisfiableInvariant { state } if state == "s0")));
+    }
+
+    #[test]
+    fn diagnostics_display() {
+        let d = Diagnostic::UnreachableState {
+            state: "x::y".into(),
+        };
+        assert!(d.to_string().contains("x::y"));
+        let d = Diagnostic::UrgentSink { state: "s".into() };
+        assert!(d.to_string().contains("time stop"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Compare the paper's approach against the regular-inference baselines of
+//! Section 6 on the counter protocol.
+//!
+//! Claims under test:
+//!
+//! * **C4** — the paper's approach proves correctness after learning only
+//!   the context-relevant fraction of the component; `L*` + conformance
+//!   testing must learn (and distinguish) *all* states.
+//! * **C3** — a reachable fault is confirmed quickly and is never a false
+//!   negative.
+//!
+//! Run with `cargo run --release --example baseline_comparison`.
+
+use muml_bench::experiments::{run_bbc, run_lstar_then_check, run_ours};
+use muml_bench::workload::{counter_workload, seed_fault};
+
+fn main() {
+    println!("== correct component: n-state counter, context pushes k = n/2 ==");
+    println!(
+        "{:>4} {:<14} {:<10} {:>8} {:>10} {:>14}",
+        "n", "method", "outcome", "resets", "steps", "learned states"
+    );
+    for n in [4usize, 6, 8, 10] {
+        let w = counter_workload(n, n / 2);
+        for cost in [run_ours(&w), run_lstar_then_check(&w), run_bbc(&w)] {
+            println!(
+                "{:>4} {:<14} {:<10} {:>8} {:>10} {:>14}",
+                n, cost.method, cost.outcome, cost.resets, cost.steps, cost.learned_states
+            );
+        }
+    }
+
+    println!("\n== faulty component: early `top` announcement at depth 2 ==");
+    let mut w = counter_workload(8, 6);
+    seed_fault(&mut w, 2);
+    for cost in [run_ours(&w), run_lstar_then_check(&w), run_bbc(&w)] {
+        assert_eq!(cost.outcome, "fault", "no false negatives allowed");
+        println!(
+            "{:<14} confirmed the fault after {:>6} steps ({} resets)",
+            cost.method, cost.steps, cost.resets
+        );
+    }
+
+    println!(
+        "\nTakeaway: the over-approximating closure needs no equivalence\n\
+         oracle — its cost tracks the context, not the component size."
+    );
+}

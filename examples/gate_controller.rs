@@ -1,0 +1,121 @@
+//! A second domain scenario: a level-crossing gate with a hard deadline.
+//!
+//! The context is a crossing controller (specified as a Real-Time
+//! Statechart and flattened); the legacy component is the gate drive
+//! software. The safety requirement is a *maximal delay* in the paper's
+//! CCTL pattern `AG(¬p₁ ∨ AF[1,d] p₂)`: whenever the controller commands
+//! the gate to close, the gate must report `down` within `d` time units.
+//!
+//! A slow legacy gate violates the deadline — and because the
+//! counterexample is executed on the real component, the report is a
+//! confirmed fault, not a model artefact.
+//!
+//! Run with `cargo run --example gate_controller`.
+
+use muml_integration::prelude::*;
+
+/// The crossing controller: close the gate, hold while a (virtual) train
+/// passes, then open it again.
+fn controller(u: &Universe) -> Automaton {
+    let sc = RtscBuilder::new(u, "crossing")
+        .output("close")
+        .output("open")
+        .input("closed")
+        .input("opened")
+        .state("idle")
+        .initial("idle")
+        .state("closing")
+        .prop("closing", "crossing.closing")
+        .state("safe")
+        .prop("safe", "crossing.safe")
+        .state("opening")
+        .transition("idle", "closing", [], ["close"])
+        .transition("closing", "safe", ["closed"], [])
+        .transition("safe", "opening", [], ["open"])
+        .transition("opening", "idle", ["opened"], [])
+        .build()
+        .expect("controller statechart is well-formed");
+    flatten(&sc).expect("controller flattens")
+}
+
+/// A gate that needs `ticks` periods of motor movement before confirming.
+fn gate(u: &Universe, name: &str, ticks: usize) -> HiddenMealy {
+    let mut b = MealyBuilder::new(u, name)
+        .input("close")
+        .input("open")
+        .output("closed")
+        .output("opened")
+        .state("up")
+        .initial("up")
+        .state("down");
+    for i in 0..ticks {
+        b = b.state(&format!("lowering{i}"));
+        b = b.state(&format!("raising{i}"));
+    }
+    // close: up → lowering0 → … → lowering(ticks-1) → down (confirm)
+    b = b.rule("up", ["close"], [], "lowering0");
+    for i in 0..ticks - 1 {
+        b = b.rule(&format!("lowering{i}"), [], [], &format!("lowering{}", i + 1));
+    }
+    b = b.rule(&format!("lowering{}", ticks - 1), [], ["closed"], "down");
+    // open: down → raising0 → … → up (confirm)
+    b = b.rule("down", ["open"], [], "raising0");
+    for i in 0..ticks - 1 {
+        b = b.rule(&format!("raising{i}"), [], [], &format!("raising{}", i + 1));
+    }
+    b = b.rule(&format!("raising{}", ticks - 1), [], ["opened"], "up");
+    b.build().expect("gate is well-formed")
+}
+
+fn main() {
+    let u = Universe::new();
+    let context = controller(&u);
+    // Deadline: the gate must confirm `down` within 3 periods of the close
+    // command (the paper's maximal-delay CCTL pattern).
+    let deadline = parse(&u, "AG (!crossing.closing | AF[1,3] gate.down)").unwrap();
+    assert!(deadline.is_compositional());
+
+    println!("== fast gate (2 motor periods) ==");
+    let mut fast = gate(&u, "gate", 2);
+    let report = {
+        let mut units = [LegacyUnit::new(&mut fast, PortMap::with_default("gatePort"))];
+        verify_integration(
+            &u,
+            &context,
+            &[deadline.clone()],
+            &mut units,
+            &IntegrationConfig::default(),
+        )
+        .expect("loop terminates")
+    };
+    assert!(report.verdict.proven(), "{:?}", report.verdict);
+    println!(
+        "deadline PROVEN in {} iterations ({} learned states)\n",
+        report.stats.iterations,
+        report.learned_sizes()[0].0
+    );
+
+    println!("== slow gate (5 motor periods) ==");
+    let mut slow = gate(&u, "gate", 5);
+    let report = {
+        let mut units = [LegacyUnit::new(&mut slow, PortMap::with_default("gatePort"))];
+        verify_integration(
+            &u,
+            &context,
+            &[deadline],
+            &mut units,
+            &IntegrationConfig::default(),
+        )
+        .expect("loop terminates")
+    };
+    match &report.verdict {
+        IntegrationVerdict::RealFault {
+            property, rendered, ..
+        } => {
+            println!("deadline VIOLATED (confirmed on the real gate):");
+            print!("{rendered}");
+            println!("violated: {property}");
+        }
+        v => panic!("expected a deadline fault, got {v:?}"),
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: integrate a black-box legacy component against a known
+//! context, prove correctness, then break the component and watch the
+//! method find the real fault.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use muml_integration::prelude::*;
+
+fn main() {
+    let u = Universe::new();
+
+    // The known context of the legacy component: a controller that sends a
+    // command and expects an acknowledgement one period later, forever.
+    let context = AutomatonBuilder::new(&u, "controller")
+        .output("cmd")
+        .input("ack")
+        .state("send")
+        .initial("send")
+        .state("wait")
+        .transition("send", [], ["cmd"], "wait")
+        .transition("wait", ["ack"], [], "send")
+        .build()
+        .expect("context is well-formed");
+
+    // The legacy component. In a real deployment this would be compiled
+    // legacy code behind the `LegacyComponent` trait; here a hidden Mealy
+    // machine simulates it.
+    let mut legacy = MealyBuilder::new(&u, "legacy")
+        .input("cmd")
+        .output("ack")
+        .state("idle")
+        .initial("idle")
+        .state("busy")
+        .rule("idle", ["cmd"], [], "busy")
+        .rule("busy", [], ["ack"], "idle")
+        .build()
+        .expect("component is well-formed");
+
+    // Run the combined verification/testing loop.
+    let report = {
+        let mut units = [LegacyUnit::new(&mut legacy, PortMap::with_default("port"))];
+        verify_integration(&u, &context, &[], &mut units, &IntegrationConfig::default())
+            .expect("loop terminates")
+    };
+    println!("--- correct component ---");
+    print!("{}", muml_integration::core::render_report(&report));
+    assert!(report.verdict.proven());
+    println!(
+        "proven with {} learned states after {} test executions\n",
+        report.learned_sizes()[0].0,
+        report.stats.tests_executed
+    );
+
+    // Now a component that swallows the command without ever acknowledging:
+    let mut broken = MealyBuilder::new(&u, "legacy")
+        .input("cmd")
+        .output("ack")
+        .state("idle")
+        .initial("idle")
+        .state("stuck")
+        .rule("idle", ["cmd"], [], "stuck")
+        .build()
+        .expect("component is well-formed");
+    let report = {
+        let mut units = [LegacyUnit::new(&mut broken, PortMap::with_default("port"))];
+        verify_integration(&u, &context, &[], &mut units, &IntegrationConfig::default())
+            .expect("loop terminates")
+    };
+    println!("--- broken component ---");
+    match &report.verdict {
+        IntegrationVerdict::RealFault {
+            property, rendered, ..
+        } => {
+            println!("real integration fault: {property}");
+            println!("witness (executed on the real component — no false negative):");
+            print!("{rendered}");
+        }
+        v => panic!("expected a fault, got {v:?}"),
+    }
+}

@@ -1,0 +1,287 @@
+//! Cross-validation of the synthesis driver against ground truth: the
+//! driver never sees the component's internals, but the test harness does —
+//! so we can model check the *true* composition directly and require that
+//! the driver's verdict coincides (soundness and completeness on the
+//! workload family), including under randomly seeded faults.
+
+use muml_bench::workload::{counter_workload, seed_fault};
+use muml_integration::prelude::*;
+use proptest::prelude::*;
+
+/// The true automaton of the (possibly faulted) counter: mirrors the
+/// hidden Mealy machine rule for rule by exhaustively querying a clone.
+fn true_counter_automaton(w: &muml_bench::workload::CounterWorkload) -> Automaton {
+    let u = &w.universe;
+    let up = u.signals(["up"]);
+    let letters = [SignalSet::EMPTY, up];
+    let mut b = AutomatonBuilder::new(u, "true")
+        .input("up")
+        .output("top");
+    // Discover states by BFS over the clone.
+    let mut seen: Vec<String> = Vec::new();
+    let mut work: Vec<Vec<SignalSet>> = vec![Vec::new()]; // access words
+    let mut edges: Vec<(String, Label, String)> = Vec::new();
+    while let Some(access) = work.pop() {
+        let mut probe = w.component.clone();
+        probe.reset();
+        for &a in &access {
+            probe.step(a);
+        }
+        let here = probe.observable_state();
+        if seen.contains(&here) {
+            continue;
+        }
+        seen.push(here.clone());
+        b = b.state(&here);
+        for &a in &letters {
+            let mut probe = w.component.clone();
+            probe.reset();
+            for &x in &access {
+                probe.step(x);
+            }
+            let out = probe.step(a);
+            let next = probe.observable_state();
+            edges.push((here.clone(), Label::new(a, out), next));
+            let mut ext = access.clone();
+            ext.push(a);
+            work.push(ext);
+        }
+    }
+    for (f, l, t) in edges {
+        b = b.state(&t);
+        b = b.transition_guard(&f, muml_integration::automata::Guard::Exact(l), &t);
+    }
+    b.initial("c0").build().expect("true model is well-formed")
+}
+
+fn driver_verdict(w: &muml_bench::workload::CounterWorkload) -> bool {
+    let mut component = w.component.clone();
+    let mut units = [LegacyUnit::new(&mut component, PortMap::with_default("p"))];
+    let report = verify_integration(
+        &w.universe,
+        &w.context,
+        &[],
+        &mut units,
+        &IntegrationConfig::default(),
+    )
+    .expect("terminates");
+    report.verdict.proven()
+}
+
+fn ground_truth(w: &muml_bench::workload::CounterWorkload) -> bool {
+    let truth = true_counter_automaton(w);
+    let comp = compose2(&w.context, &truth).expect("composes");
+    let mut checker = Checker::new(&comp.automaton);
+    checker.satisfies(&Formula::deadlock_free())
+}
+
+#[test]
+fn verdicts_match_ground_truth_fault_free() {
+    for (n, k) in [(4, 2), (6, 3), (8, 5), (10, 4)] {
+        let w = counter_workload(n, k);
+        assert!(ground_truth(&w), "workload n={n} k={k} should be clean");
+        assert!(driver_verdict(&w), "driver must prove n={n} k={k}");
+    }
+}
+
+#[test]
+fn verdicts_match_ground_truth_with_reachable_fault() {
+    for d in 1..5 {
+        let mut w = counter_workload(8, 6);
+        seed_fault(&mut w, d);
+        assert!(!ground_truth(&w), "fault at depth {d} must break the truth");
+        assert!(!driver_verdict(&w), "driver must catch the fault at {d}");
+    }
+}
+
+#[test]
+fn unreachable_fault_does_not_matter() {
+    // fault beyond the context's reach: the *integration* is still correct
+    let mut w = counter_workload(8, 2);
+    seed_fault(&mut w, 5);
+    assert!(ground_truth(&w));
+    assert!(driver_verdict(&w));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary sizes, context depths, and fault placements, the
+    /// driver's verdict equals direct model checking of the real
+    /// composition — soundness (no false positives) *and* no false
+    /// negatives, executably.
+    #[test]
+    fn driver_agrees_with_ground_truth(
+        n in 3usize..9,
+        k_frac in 0.1f64..0.9,
+        fault in proptest::option::of(0usize..7),
+    ) {
+        let k = ((n as f64 - 2.0) * k_frac).max(1.0) as usize;
+        let mut w = counter_workload(n, k.min(n - 2));
+        if let Some(d) = fault {
+            let d = d % (n - 1);
+            seed_fault(&mut w, d);
+        }
+        prop_assert_eq!(driver_verdict(&w), ground_truth(&w));
+    }
+}
+
+/// Fully randomized cross-validation: arbitrary deterministic components
+/// against arbitrary (possibly nondeterministic) contexts, driver verdict
+/// vs. direct model checking of the true composition.
+mod randomized {
+    use super::*;
+
+    /// Component spec: a total deterministic Mealy machine over inputs
+    /// {go}, outputs {rsp}. Per state and input-letter (∅ or {go}):
+    /// (emit_rsp, next_state).
+    #[derive(Debug, Clone)]
+    struct CompSpec {
+        states: usize,
+        /// `rules[s][letter] = (emit, next)`; letter 0 = ∅, letter 1 = {go}
+        rules: Vec<[(bool, usize); 2]>,
+    }
+
+    fn comp_strategy(max_states: usize) -> impl Strategy<Value = CompSpec> {
+        (1..=max_states).prop_flat_map(move |n| {
+            proptest::collection::vec(
+                ((any::<bool>(), 0..n), (any::<bool>(), 0..n)),
+                n,
+            )
+            .prop_map(move |v| CompSpec {
+                states: n,
+                rules: v.into_iter().map(|(a, b)| [a, b]).collect(),
+            })
+        })
+    }
+
+    /// Context spec over outputs {go}, inputs {rsp}: a nondeterministic
+    /// automaton; transition = (from, sends_go, expects_rsp, to).
+    #[derive(Debug, Clone)]
+    struct CtxSpec {
+        states: usize,
+        trans: Vec<(usize, bool, bool, usize)>,
+    }
+
+    fn ctx_strategy(max_states: usize, max_trans: usize) -> impl Strategy<Value = CtxSpec> {
+        (1..=max_states).prop_flat_map(move |n| {
+            proptest::collection::vec(
+                (0..n, any::<bool>(), any::<bool>(), 0..n),
+                1..=max_trans,
+            )
+            .prop_map(move |trans| CtxSpec { states: n, trans })
+        })
+    }
+
+    fn build_component(u: &Universe, spec: &CompSpec) -> HiddenMealy {
+        let mut b = MealyBuilder::new(u, "rand").input("go").output("rsp");
+        for s in 0..spec.states {
+            b = b.state(&format!("q{s}"));
+        }
+        b = b.initial("q0");
+        for (s, rules) in spec.rules.iter().enumerate() {
+            for (letter, &(emit, next)) in rules.iter().enumerate() {
+                let ins: Vec<&str> = if letter == 1 { vec!["go"] } else { vec![] };
+                let outs: Vec<&str> = if emit { vec!["rsp"] } else { vec![] };
+                b = b.rule(&format!("q{s}"), ins, outs, &format!("q{next}"));
+            }
+        }
+        b.build().expect("component spec builds")
+    }
+
+    fn build_component_automaton(u: &Universe, spec: &CompSpec) -> Automaton {
+        let mut b = AutomatonBuilder::new(u, "true").input("go").output("rsp");
+        for s in 0..spec.states {
+            b = b.state(&format!("q{s}"));
+        }
+        b = b.initial("q0");
+        for (s, rules) in spec.rules.iter().enumerate() {
+            for (letter, &(emit, next)) in rules.iter().enumerate() {
+                let ins: Vec<&str> = if letter == 1 { vec!["go"] } else { vec![] };
+                let outs: Vec<&str> = if emit { vec!["rsp"] } else { vec![] };
+                b = b.transition(&format!("q{s}"), ins, outs, &format!("q{next}"));
+            }
+        }
+        b.build().expect("component automaton builds")
+    }
+
+    fn build_context(u: &Universe, spec: &CtxSpec) -> Automaton {
+        let mut b = AutomatonBuilder::new(u, "rctx").output("go").input("rsp");
+        for s in 0..spec.states {
+            b = b.state(&format!("d{s}"));
+        }
+        b = b.initial("d0");
+        for &(f, go, rsp, t) in &spec.trans {
+            let outs: Vec<&str> = if go { vec!["go"] } else { vec![] };
+            let ins: Vec<&str> = if rsp { vec!["rsp"] } else { vec![] };
+            b = b.transition(&format!("d{f}"), ins, outs, &format!("d{t}"));
+        }
+        b.build().expect("context spec builds")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The driver's verdict always equals direct model checking of the
+        /// real composition — over arbitrary deterministic components and
+        /// arbitrary contexts.
+        #[test]
+        fn driver_matches_truth_on_random_systems(
+            comp in comp_strategy(4),
+            ctx in ctx_strategy(3, 6),
+        ) {
+            let u = Universe::new();
+            let mut component = build_component(&u, &comp);
+            let context = build_context(&u, &ctx);
+            let truth_auto = build_component_automaton(&u, &comp);
+            let truth_comp = compose2(&context, &truth_auto).unwrap();
+            let mut checker = Checker::new(&truth_comp.automaton);
+            let truth = checker.satisfies(&Formula::deadlock_free());
+
+            let mut units = [LegacyUnit::new(&mut component, PortMap::with_default("p"))];
+            let report = verify_integration(
+                &u,
+                &context,
+                &[],
+                &mut units,
+                &IntegrationConfig::default(),
+            )
+            .expect("driver terminates");
+            prop_assert_eq!(
+                report.verdict.proven(),
+                truth,
+                "driver disagreed with ground truth"
+            );
+        }
+
+        /// Same, with batched counterexamples — the optimization must never
+        /// change a verdict.
+        #[test]
+        fn batched_driver_matches_truth_on_random_systems(
+            comp in comp_strategy(4),
+            ctx in ctx_strategy(3, 6),
+        ) {
+            let u = Universe::new();
+            let mut component = build_component(&u, &comp);
+            let context = build_context(&u, &ctx);
+            let truth_auto = build_component_automaton(&u, &comp);
+            let truth_comp = compose2(&context, &truth_auto).unwrap();
+            let mut checker = Checker::new(&truth_comp.automaton);
+            let truth = checker.satisfies(&Formula::deadlock_free());
+
+            let mut units = [LegacyUnit::new(&mut component, PortMap::with_default("p"))];
+            let report = verify_integration(
+                &u,
+                &context,
+                &[],
+                &mut units,
+                &IntegrationConfig {
+                    batch_counterexamples: 8,
+                    ..IntegrationConfig::default()
+                },
+            )
+            .expect("driver terminates");
+            prop_assert_eq!(report.verdict.proven(), truth);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Integration through the full architectural stack: a pattern with a
+//! delay-1 wireless connector, context extraction for the legacy role
+//! (`CoordinationPattern::context_for`), and the synthesis loop against a
+//! legacy component speaking the role-qualified signals.
+
+use muml_integration::prelude::*;
+use muml_integration::railcab::distance_coordination;
+
+/// A deterministic legacy implementation of the rear role over the
+/// role-qualified signals (it tolerates the connector's delay by waiting
+/// quietly between messages).
+fn rear_legacy(u: &Universe) -> HiddenMealy {
+    MealyBuilder::new(u, "shuttle2")
+        .input("rearRole.convoyProposalRejected")
+        .input("rearRole.startConvoy")
+        .input("rearRole.breakConvoyRejected")
+        .input("rearRole.breakConvoyAccepted")
+        .output("rearRole.convoyProposal")
+        .output("rearRole.breakConvoyProposal")
+        .state("noConvoy::default")
+        .initial("noConvoy::default")
+        .state("noConvoy::wait")
+        .state("convoy")
+        .rule(
+            "noConvoy::default",
+            [],
+            ["rearRole.convoyProposal"],
+            "noConvoy::wait",
+        )
+        .rule(
+            "noConvoy::wait",
+            ["rearRole.convoyProposalRejected"],
+            [],
+            "noConvoy::default",
+        )
+        .rule("noConvoy::wait", ["rearRole.startConvoy"], [], "convoy")
+        .rule("convoy", [], [], "convoy")
+        .build()
+        .unwrap()
+}
+
+/// Like [`rear_legacy`] but entering convoy mode immediately after
+/// proposing — the Figure-6 conflict, now across the real connector.
+fn rear_legacy_faulty(u: &Universe) -> HiddenMealy {
+    MealyBuilder::new(u, "shuttle2")
+        .input("rearRole.convoyProposalRejected")
+        .input("rearRole.startConvoy")
+        .input("rearRole.breakConvoyRejected")
+        .input("rearRole.breakConvoyAccepted")
+        .output("rearRole.convoyProposal")
+        .output("rearRole.breakConvoyProposal")
+        .state("noConvoy")
+        .initial("noConvoy")
+        .state("convoy")
+        .rule("noConvoy", [], ["rearRole.convoyProposal"], "convoy")
+        .rule("convoy", ["rearRole.convoyProposalRejected"], [], "convoy")
+        .rule("convoy", ["rearRole.startConvoy"], [], "convoy")
+        .rule("convoy", [], [], "convoy")
+        .build()
+        .unwrap()
+}
+
+fn integrate(
+    u: &Universe,
+    shuttle: &mut HiddenMealy,
+) -> muml_integration::core::IntegrationReport {
+    let pattern = distance_coordination(u);
+    let ctx = pattern.context_for("rearRole").expect("role exists");
+    // The constraint, phrased over the legacy component's monitored states
+    // (via the default prop mapper: state `convoy` of `shuttle2` fulfils
+    // `shuttle2.convoy`).
+    let constraint = parse(u, "AG !(shuttle2.convoy & frontRole.noConvoy)").unwrap();
+    let mut ports = PortMap::with_default("rearRole");
+    ports.assign(
+        ctx.component_inputs.union(ctx.component_outputs),
+        "rearRole",
+    );
+    let mut units = [LegacyUnit::new(shuttle, ports)];
+    verify_integration(
+        u,
+        &ctx.automaton,
+        &[constraint],
+        &mut units,
+        &IntegrationConfig::default(),
+    )
+    .expect("loop terminates")
+}
+
+#[test]
+fn context_interface_matches_component() {
+    let u = Universe::new();
+    let pattern = distance_coordination(&u);
+    let ctx = pattern.context_for("rearRole").unwrap();
+    let shuttle = rear_legacy(&u);
+    assert!(muml_integration::core::interface_matches(
+        &shuttle,
+        ctx.component_inputs,
+        ctx.component_outputs
+    ));
+}
+
+#[test]
+fn correct_rear_shuttle_is_proven_across_the_connector() {
+    let u = Universe::new();
+    let mut shuttle = rear_legacy(&u);
+    let report = integrate(&u, &mut shuttle);
+    assert!(report.verdict.proven(), "{:?}", report.verdict);
+    // The negotiation states were learned; the connector's delay shows up
+    // as quiet waiting steps, not as extra component states.
+    let (states, _) = report.learned_sizes()[0];
+    assert_eq!(states, 3);
+}
+
+#[test]
+fn faulty_rear_shuttle_is_caught_across_the_connector() {
+    let u = Universe::new();
+    let mut shuttle = rear_legacy_faulty(&u);
+    let report = integrate(&u, &mut shuttle);
+    match &report.verdict {
+        IntegrationVerdict::RealFault { property, .. } => {
+            assert!(property.contains("shuttle2.convoy"));
+            assert!(property.contains("frontRole.noConvoy"));
+        }
+        v => panic!("expected the conflict, got {v:?}"),
+    }
+}
+
+#[test]
+fn port_refinement_of_a_component_statechart() {
+    // A component whose RTSC implements the full rear role protocol
+    // refines it (here: the role statechart itself as the implementation).
+    let u = Universe::new();
+    let pattern = distance_coordination(&u);
+    let full = Component::new(
+        "shuttleImpl",
+        muml_integration::railcab::rear_role_rtsc(&u),
+        &[("DistanceCoordination", "rearRole")],
+    );
+    let check = check_port_refinement(&pattern, "rearRole", &full).unwrap();
+    assert!(check.ok(), "{check:?}");
+
+    // Dropping the break-convoy branch *blocks guaranteed behaviour* (the
+    // role's convoy state can always propose to break): Definition 4's
+    // refusal condition rejects it.
+    let reduced = RtscBuilder::new(&u, "reducedImpl")
+        .input("rearRole.convoyProposalRejected")
+        .input("rearRole.startConvoy")
+        .input("rearRole.breakConvoyRejected")
+        .input("rearRole.breakConvoyAccepted")
+        .output("rearRole.convoyProposal")
+        .output("rearRole.breakConvoyProposal")
+        .state("noConvoy")
+        .prop("noConvoy", "rearRole.noConvoy")
+        .prop("noConvoy", "rearRole.fullBraking")
+        .substate("noConvoy", "default")
+        .substate("noConvoy", "wait")
+        .prop("noConvoy::wait", "rearRole.waiting")
+        .initial("noConvoy")
+        .state("convoy")
+        .prop("convoy", "rearRole.convoy")
+        .transition(
+            "noConvoy::default",
+            "noConvoy::wait",
+            [],
+            ["rearRole.convoyProposal"],
+        )
+        .transition(
+            "noConvoy::wait",
+            "noConvoy::default",
+            ["rearRole.convoyProposalRejected"],
+            [],
+        )
+        .transition("noConvoy::wait", "convoy", ["rearRole.startConvoy"], [])
+        .build()
+        .unwrap();
+    let reduced = Component::new("reducedImpl", reduced, &[("DistanceCoordination", "rearRole")]);
+    let check = check_port_refinement(&pattern, "rearRole", &reduced).unwrap();
+    assert!(
+        matches!(
+            check,
+            muml_integration::arch::PortCheck::Violation(
+                muml_integration::automata::RefinementFailure::RefusalNotMatched { .. }
+            )
+        ),
+        "{check:?}"
+    );
+}
+
+#[test]
+fn shuttle_component_operates_as_both_roles() {
+    // "The shuttle component must conform to the DistanceCoordination
+    // pattern and has to operate as both a rearRole and a frontRole": the
+    // component behaviour is the *product* of a rear-port implementation
+    // and a front-port implementation; each projection must refine its role
+    // (Lemma 3 restriction + Definition 4).
+    use muml_integration::arch::check_port_refinement_automaton;
+    use muml_integration::railcab::{front_role_pattern_rtsc, rear_role_rtsc};
+    use muml_integration::rtsc::flatten;
+
+    let u = Universe::new();
+    let pattern = distance_coordination(&u);
+    // Port implementations: the role protocols themselves (maximally
+    // permissive correct implementations).
+    let rear_port = flatten(&rear_role_rtsc(&u)).unwrap();
+    let front_port = flatten(&front_role_pattern_rtsc(&u)).unwrap();
+    // The shuttle's overall behaviour: both ports running in parallel
+    // (orthogonal interfaces — the kernel's composition).
+    let shuttle = compose2(&rear_port, &front_port).unwrap().automaton;
+    assert!(rear_port.orthogonal_to(&front_port));
+    for role in ["rearRole", "frontRole"] {
+        let check = check_port_refinement_automaton(&pattern, role, &shuttle).unwrap();
+        assert!(check.ok(), "{role}: {check:?}");
+    }
+}
+
+#[test]
+fn timed_retry_shuttle_is_proven_over_a_lossy_uplink() {
+    // The full stack under degraded QoS: the context is the front role
+    // composed with an *uplink-lossy* connector (a nondeterministic
+    // context), and the legacy shuttle implements the timeout-retry
+    // behaviour as a counting chain of quiet wait states (legacy binaries
+    // have no declarative clocks — they count periods).
+    let u = Universe::new();
+    let pattern = distance_coordination(&u);
+    let kinds_owned = pattern.connector.kinds.clone();
+    let kinds: Vec<(&str, &str)> = kinds_owned
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
+    let lossy_up = PatternBuilder::new(&u, "LossyUplink")
+        .role("rearRole", muml_integration::railcab::rear_role_with_timeout(&u, 6))
+        .role(
+            "frontRole",
+            muml_integration::railcab::front_role_pattern_rtsc(&u),
+        )
+        .connector(ChannelSpec::lossy_for(
+            "wireless",
+            &kinds,
+            1,
+            &["rearRole.convoyProposal"],
+        ))
+        .constraint(parse(&u, "AG !(shuttle2.convoy & frontRole.noConvoy)").unwrap())
+        .build()
+        .unwrap();
+    let ctx = lossy_up.context_for("rearRole").unwrap();
+
+    // Timeout-retry shuttle: propose, count 6 quiet periods, re-propose.
+    let mut b = MealyBuilder::new(&u, "shuttle2")
+        .input("rearRole.convoyProposalRejected")
+        .input("rearRole.startConvoy")
+        .input("rearRole.breakConvoyRejected")
+        .input("rearRole.breakConvoyAccepted")
+        .output("rearRole.convoyProposal")
+        .output("rearRole.breakConvoyProposal")
+        .state("noConvoy")
+        .initial("noConvoy")
+        .state("convoy")
+        .rule("noConvoy", [], ["rearRole.convoyProposal"], "wait0");
+    for i in 0..6 {
+        let here = format!("wait{i}");
+        b = b.state(&here);
+        b = b.rule(&here, ["rearRole.convoyProposalRejected"], [], "noConvoy");
+        b = b.rule(&here, ["rearRole.startConvoy"], [], "convoy");
+        if i < 5 {
+            b = b.rule(&here, [], [], &format!("wait{}", i + 1));
+        } else {
+            // timeout: give up and re-propose next period
+            b = b.rule(&here, [], [], "noConvoy");
+        }
+    }
+    b = b.rule("convoy", [], [], "convoy");
+    let mut shuttle = b.build().unwrap();
+
+    let mut ports = PortMap::with_default("rearRole");
+    ports.assign(
+        ctx.component_inputs.union(ctx.component_outputs),
+        "rearRole",
+    );
+    let mut units = [LegacyUnit::new(&mut shuttle, ports)];
+    let report = verify_integration(
+        &u,
+        &ctx.automaton,
+        &[parse(&u, "AG !(shuttle2.convoy & frontRole.noConvoy)").unwrap()],
+        &mut units,
+        &IntegrationConfig::default(),
+    )
+    .expect("loop terminates");
+    assert!(report.verdict.proven(), "{:?}", report.verdict);
+    // The retry chain was learned.
+    assert!(report.learned[0].find_state("wait5").is_some());
+}
