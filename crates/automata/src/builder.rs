@@ -162,15 +162,19 @@ impl AutomatonBuilder {
                 ),
             });
         }
-        self.transitions
-            .push((from.to_owned(), Guard::Exact(Label::new(a, b)), to.to_owned()));
+        self.transitions.push((
+            from.to_owned(),
+            Guard::Exact(Label::new(a, b)),
+            to.to_owned(),
+        ));
         self
     }
 
     /// Adds a transition with an explicit [`Guard`] (exact or symbolic).
     #[must_use]
     pub fn transition_guard(mut self, from: &str, guard: Guard, to: &str) -> Self {
-        self.transitions.push((from.to_owned(), guard, to.to_owned()));
+        self.transitions
+            .push((from.to_owned(), guard, to.to_owned()));
         self
     }
 
@@ -235,7 +239,10 @@ mod tests {
     #[test]
     fn missing_initial_is_error() {
         let u = Universe::new();
-        let err = AutomatonBuilder::new(&u, "m").state("s").build().unwrap_err();
+        let err = AutomatonBuilder::new(&u, "m")
+            .state("s")
+            .build()
+            .unwrap_err();
         assert_eq!(err, AutomataError::NoInitialState("m".into()));
     }
 

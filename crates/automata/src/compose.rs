@@ -44,6 +44,21 @@ impl Default for ComposeOptions {
     }
 }
 
+/// Work counters from one composition run — how much the on-the-fly
+/// product exploration actually did, independent of wall-clock time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComposeStats {
+    /// Transition combinations solved (one per tuple of component
+    /// transitions at each explored product state).
+    pub combos: u64,
+    /// Concrete labels emitted while expanding free-signal subsets (the
+    /// symbolic-family expansions the context forced).
+    pub expanded_labels: u64,
+    /// Symbolic family guards emitted un-expanded (free signals the
+    /// context did not pin down).
+    pub family_guards: u64,
+}
+
 /// The result of a parallel composition: the product automaton plus the
 /// provenance needed to project runs back onto components.
 #[derive(Debug, Clone)]
@@ -56,6 +71,8 @@ pub struct Composition {
     pub interfaces: Vec<(SignalSet, SignalSet)>,
     /// For each product state, the underlying component states, in order.
     pub origin: Vec<Vec<StateId>>,
+    /// Work counters of the exploration that built this product.
+    pub stats: ComposeStats,
 }
 
 impl Composition {
@@ -199,13 +216,14 @@ pub fn compose(parts: &[&Automaton], opts: &ComposeOptions) -> Result<Compositio
     let mut states: Vec<StateData> = Vec::new();
     let mut adj: Vec<Vec<Transition>> = Vec::new();
     let mut worklist: Vec<StateId> = Vec::new();
+    let mut stats = ComposeStats::default();
 
     let intern = |tuple: Vec<StateId>,
-                      index: &mut HashMap<Vec<StateId>, StateId>,
-                      origin: &mut Vec<Vec<StateId>>,
-                      states: &mut Vec<StateData>,
-                      adj: &mut Vec<Vec<Transition>>,
-                      worklist: &mut Vec<StateId>|
+                  index: &mut HashMap<Vec<StateId>, StateId>,
+                  origin: &mut Vec<Vec<StateId>>,
+                  states: &mut Vec<StateData>,
+                  adj: &mut Vec<Vec<Transition>>,
+                  worklist: &mut Vec<StateId>|
      -> StateId {
         if let Some(&id) = index.get(&tuple) {
             return id;
@@ -220,7 +238,9 @@ pub fn compose(parts: &[&Automaton], opts: &ComposeOptions) -> Result<Compositio
         let props = tuple
             .iter()
             .zip(parts)
-            .fold(crate::PropSet::EMPTY, |acc, (&s, p)| acc.union(p.props_of(s)));
+            .fold(crate::PropSet::EMPTY, |acc, (&s, p)| {
+                acc.union(p.props_of(s))
+            });
         states.push(StateData { name, props });
         adj.push(Vec::new());
         origin.push(tuple.clone());
@@ -278,6 +298,7 @@ pub fn compose(parts: &[&Automaton], opts: &ComposeOptions) -> Result<Compositio
                 .enumerate()
                 .map(|(i, &j)| &per_comp[i][j])
                 .collect();
+            stats.combos += 1;
             solve_combo(
                 parts,
                 &chosen,
@@ -285,6 +306,7 @@ pub fn compose(parts: &[&Automaton], opts: &ComposeOptions) -> Result<Compositio
                 all_inputs,
                 all_outputs,
                 opts,
+                &mut stats,
                 |guard| {
                     let target: Vec<StateId> = chosen.iter().map(|t| t.to).collect();
                     let tgt = intern(
@@ -333,11 +355,13 @@ pub fn compose(parts: &[&Automaton], opts: &ComposeOptions) -> Result<Compositio
         component_names: parts.iter().map(|p| p.name().to_owned()).collect(),
         interfaces: parts.iter().map(|p| (p.inputs(), p.outputs())).collect(),
         origin,
+        stats,
     })
 }
 
 /// Solves the per-signal constraint system for one transition combination
 /// and emits zero or more composed guards via `emit`.
+#[allow(clippy::too_many_arguments)]
 fn solve_combo(
     parts: &[&Automaton],
     chosen: &[&Transition],
@@ -345,6 +369,7 @@ fn solve_combo(
     all_inputs: SignalSet,
     all_outputs: SignalSet,
     opts: &ComposeOptions,
+    stats: &mut ComposeStats,
     mut emit: impl FnMut(Guard),
 ) -> Result<()> {
     let fams: Vec<LabelFamily> = chosen.iter().map(|t| t.guard.to_family()).collect();
@@ -452,8 +477,10 @@ fn solve_combo(
             continue;
         }
         let guard = if sym_in.is_empty() && sym_out.is_empty() {
+            stats.expanded_labels += 1;
             Guard::Exact(Label::new(a_must, b_must))
         } else {
+            stats.family_guards += 1;
             Guard::Family(LabelFamily {
                 in_must: a_must,
                 in_free: sym_in,
@@ -597,7 +624,10 @@ mod tests {
             .initial("s")
             .build()
             .unwrap();
-        assert_eq!(compose2(&a, &b).unwrap_err(), AutomataError::UniverseMismatch);
+        assert_eq!(
+            compose2(&a, &b).unwrap_err(),
+            AutomataError::UniverseMismatch
+        );
     }
 
     #[test]
@@ -759,7 +789,8 @@ mod tests {
         let req = u.signal("req");
         // Partner admits any subset of {req} as input except exactly {req}.
         let mut fam = LabelFamily::all(SignalSet::singleton(req), SignalSet::EMPTY);
-        fam.excluded.push(Label::new(SignalSet::singleton(req), SignalSet::EMPTY));
+        fam.excluded
+            .push(Label::new(SignalSet::singleton(req), SignalSet::EMPTY));
         let s = AutomatonBuilder::new(&u, "srv")
             .input("req")
             .state("s")

@@ -79,11 +79,11 @@ pub fn determinize_with(m: &Automaton, opts: &DeterminizeOptions) -> Result<Auto
     let mut work: Vec<StateId> = Vec::new();
 
     let intern = |set: Vec<StateId>,
-                      subset_index: &mut HashMap<Vec<StateId>, StateId>,
-                      states: &mut Vec<StateData>,
-                      members: &mut Vec<Vec<StateId>>,
-                      adj: &mut Vec<Vec<Transition>>,
-                      work: &mut Vec<StateId>|
+                  subset_index: &mut HashMap<Vec<StateId>, StateId>,
+                  states: &mut Vec<StateData>,
+                  members: &mut Vec<Vec<StateId>>,
+                  adj: &mut Vec<Vec<Transition>>,
+                  work: &mut Vec<StateId>|
      -> StateId {
         if let Some(&id) = subset_index.get(&set) {
             return id;
@@ -215,7 +215,10 @@ mod tests {
         assert!(d.is_deterministic());
         // {s1, s2} is one subset state offering both continuations.
         let merged = d.find_state("s1|s2").unwrap();
-        assert!(d.enables(merged, Label::new(u.signals(["b"]), crate::SignalSet::EMPTY)));
+        assert!(d.enables(
+            merged,
+            Label::new(u.signals(["b"]), crate::SignalSet::EMPTY)
+        ));
         assert!(d.enables(merged, Label::EMPTY));
     }
 
@@ -244,10 +247,7 @@ mod tests {
         for run in crate::run::enumerate_runs(&d, 3) {
             let mut cur: Vec<StateId> = m.initial_states().to_vec();
             for &l in run.trace() {
-                cur = cur
-                    .iter()
-                    .flat_map(|&s| m.successors(s, l))
-                    .collect();
+                cur = cur.iter().flat_map(|&s| m.successors(s, l)).collect();
                 assert!(!cur.is_empty(), "determinization invented a trace");
             }
         }

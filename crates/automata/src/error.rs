@@ -71,7 +71,10 @@ impl fmt::Display for AutomataError {
             }
             AutomataError::UnknownState(s) => write!(f, "unknown state `{s}`"),
             AutomataError::UndeclaredSignal { automaton, detail } => {
-                write!(f, "automaton `{automaton}` uses undeclared signal: {detail}")
+                write!(
+                    f,
+                    "automaton `{automaton}` uses undeclared signal: {detail}"
+                )
             }
             AutomataError::NoInitialState(a) => {
                 write!(f, "automaton `{a}` has no initial state")
@@ -86,10 +89,16 @@ impl fmt::Display for AutomataError {
                 )
             }
             AutomataError::Nondeterministic { automaton, state } => {
-                write!(f, "automaton `{automaton}` is nondeterministic at state `{state}`")
+                write!(
+                    f,
+                    "automaton `{automaton}` is nondeterministic at state `{state}`"
+                )
             }
             AutomataError::SymbolicUnsupported { detail } => {
-                write!(f, "symbolic transition guards are not supported here: {detail}")
+                write!(
+                    f,
+                    "symbolic transition guards are not supported here: {detail}"
+                )
             }
             AutomataError::InconsistentIncomplete { state } => {
                 write!(

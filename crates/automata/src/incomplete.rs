@@ -258,7 +258,10 @@ impl IncompleteAutomaton {
         }
         if obs.blocked {
             let last_name = obs.states.last().expect("observations are nonempty");
-            let blocked_label = *obs.labels.last().expect("blocked observations have a label");
+            let blocked_label = *obs
+                .labels
+                .last()
+                .expect("blocked observations have a label");
             if let Some(&s) = self.index.get(last_name) {
                 if self.transitions[s.index()]
                     .iter()
@@ -285,7 +288,10 @@ impl IncompleteAutomaton {
         }
         if obs.blocked {
             let last = self.intern_state(obs.states.last().expect("nonempty"));
-            let blocked_label = *obs.labels.last().expect("blocked observations have a label");
+            let blocked_label = *obs
+                .labels
+                .last()
+                .expect("blocked observations have a label");
             if !self.refused[last.index()].contains(&blocked_label) {
                 self.refused[last.index()].push(blocked_label);
             }
@@ -423,10 +429,7 @@ mod tests {
     #[test]
     fn learn_blocked_run_adds_refusal() {
         let (u, mut m) = setup();
-        let obs = Observation::blocked(
-            vec!["noConvoy".into()],
-            vec![label(&u, &["reject"], &[])],
-        );
+        let obs = Observation::blocked(vec!["noConvoy".into()], vec![label(&u, &["reject"], &[])]);
         m.learn(&obs).unwrap();
         assert_eq!(m.refusal_count(), 1);
         let s = m.find_state("noConvoy").unwrap();
@@ -524,8 +527,7 @@ mod tests {
     fn completeness_of_tiny_interface() {
         let u = Universe::new();
         let i = u.signals(["a"]);
-        let mut m =
-            IncompleteAutomaton::trivial(&u, "t", i, SignalSet::EMPTY, "s");
+        let mut m = IncompleteAutomaton::trivial(&u, "t", i, SignalSet::EMPTY, "s");
         assert!(!m.is_complete());
         // interface has 2 interactions: {}/{} and {a}/{}
         m.learn(&Observation::regular(

@@ -50,7 +50,11 @@ impl Label {
 
     /// Renders the label as `{a}/{b}` using universe names.
     pub fn show(&self, u: &Universe) -> String {
-        format!("{}/{}", u.show_signals(self.inputs), u.show_signals(self.outputs))
+        format!(
+            "{}/{}",
+            u.show_signals(self.inputs),
+            u.show_signals(self.outputs)
+        )
     }
 
     /// Restricts the label to the given input/output signal sets.
@@ -438,6 +442,9 @@ mod tests {
             out_free: SignalSet::EMPTY,
             excluded: vec![],
         });
-        assert_eq!(fam.as_exact(), Some(Label::new(set(&[0]), SignalSet::EMPTY)));
+        assert_eq!(
+            fam.as_exact(),
+            Some(Label::new(set(&[0]), SignalSet::EMPTY))
+        );
     }
 }

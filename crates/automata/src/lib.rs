@@ -67,7 +67,9 @@ mod universe;
 pub use automaton::{Automaton, StateData, StateId, Transition};
 pub use builder::AutomatonBuilder;
 pub use chaos::{chaotic_automaton, chaotic_closure, S_ALL, S_DELTA};
-pub use compose::{compose, compose2, project_to_component, ComposeOptions, Composition};
+pub use compose::{
+    compose, compose2, project_to_component, ComposeOptions, ComposeStats, Composition,
+};
 pub use determinize::{determinize, determinize_with, DeterminizeOptions};
 pub use dot::to_dot;
 pub use error::{AutomataError, Result};

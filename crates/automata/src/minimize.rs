@@ -54,9 +54,10 @@ pub fn minimize(m: &Automaton) -> Result<Automaton> {
     {
         let mut index: HashMap<u128, usize> = HashMap::new();
         for s in m.state_ids() {
-            let key = m.props_of(s).iter().fold(0u128, |acc, p| {
-                acc | (1u128 << p.index())
-            });
+            let key = m
+                .props_of(s)
+                .iter()
+                .fold(0u128, |acc, p| acc | (1u128 << p.index()));
             let next = index.len();
             let b = *index.entry(key).or_insert(next);
             block.push(b);

@@ -532,6 +532,9 @@ mod tests {
             .initial("s")
             .build()
             .unwrap();
-        assert_eq!(refines(&a, &b).unwrap_err(), AutomataError::UniverseMismatch);
+        assert_eq!(
+            refines(&a, &b).unwrap_err(),
+            AutomataError::UniverseMismatch
+        );
     }
 }

@@ -158,11 +158,7 @@ impl Run {
         }
         if self.kind == RunKind::Regular {
             if let Some(&last) = self.states.last() {
-                if self.labels.is_empty() {
-                    out.push_str(m.state_name(last));
-                } else {
-                    out.push_str(m.state_name(last));
-                }
+                out.push_str(m.state_name(last));
             }
         }
         out

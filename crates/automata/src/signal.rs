@@ -253,7 +253,10 @@ mod tests {
     fn set_algebra() {
         let a = SignalSet::from_iter([sid(0), sid(1), sid(2)]);
         let b = SignalSet::from_iter([sid(1), sid(2), sid(3)]);
-        assert_eq!(a.union(b), SignalSet::from_iter([sid(0), sid(1), sid(2), sid(3)]));
+        assert_eq!(
+            a.union(b),
+            SignalSet::from_iter([sid(0), sid(1), sid(2), sid(3)])
+        );
         assert_eq!(a.intersection(b), SignalSet::from_iter([sid(1), sid(2)]));
         assert_eq!(a.difference(b), SignalSet::singleton(sid(0)));
         assert!(a.intersection(b).is_subset(a));

@@ -2,7 +2,7 @@
 //! improvement — batched vs single counterexample derivation on the
 //! counter protocol.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use muml_bench::harness::Group;
 use muml_bench::workload::counter_workload;
 use muml_core::{verify_integration, IntegrationConfig, LegacyUnit};
 use muml_legacy::PortMap;
@@ -16,26 +16,18 @@ fn run(batch: usize) -> usize {
         &w.context,
         &[],
         &mut units,
-        &IntegrationConfig {
-            batch_counterexamples: batch,
-            ..IntegrationConfig::default()
-        },
+        &IntegrationConfig::default().with_batch_counterexamples(batch),
     )
     .unwrap();
     assert!(report.verdict.proven());
     report.stats.iterations
 }
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_batch_cex");
+fn main() {
+    let mut group = Group::new("ablation_batch_cex");
     group.sample_size(10);
     for batch in [1usize, 4, 16] {
-        group.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &n| {
-            b.iter(|| run(n))
-        });
+        group.bench(&format!("batch/{batch}"), || run(batch));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

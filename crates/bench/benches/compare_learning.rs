@@ -1,19 +1,16 @@
 //! T-A: the paper's approach vs `L*`+check vs black-box checking on the
 //! counter protocol (n = 6, k = 3).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use muml_bench::experiments::{run_bbc, run_lstar_then_check, run_ours};
+use muml_bench::harness::Group;
 use muml_bench::workload::counter_workload;
 
-fn bench_methods(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compare_learning");
+fn main() {
+    let mut group = Group::new("compare_learning");
     group.sample_size(10);
     let w = counter_workload(6, 3);
-    group.bench_function("ours", |b| b.iter(|| run_ours(&w)));
-    group.bench_function("lstar_then_check", |b| b.iter(|| run_lstar_then_check(&w)));
-    group.bench_function("black_box_checking", |b| b.iter(|| run_bbc(&w)));
+    group.bench("ours", || run_ours(&w));
+    group.bench("lstar_then_check", || run_lstar_then_check(&w));
+    group.bench("black_box_checking", || run_bbc(&w));
     group.finish();
 }
-
-criterion_group!(benches, bench_methods);
-criterion_main!(benches);

@@ -2,21 +2,16 @@
 //! restrictiveness (k pushes into a 10-state counter). Claim C4: cost
 //! tracks the context-relevant fraction, not the component size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use muml_bench::experiments::run_ours;
+use muml_bench::harness::Group;
 use muml_bench::workload::counter_workload;
 
-fn bench_restriction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("context_restriction");
+fn main() {
+    let mut group = Group::new("context_restriction");
     group.sample_size(10);
     for k in [1usize, 4, 8] {
         let w = counter_workload(10, k);
-        group.bench_with_input(BenchmarkId::new("ours", k), &k, |b, _| {
-            b.iter(|| run_ours(&w))
-        });
+        group.bench(&format!("ours/{k}"), || run_ours(&w));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_restriction);
-criterion_main!(benches);

@@ -1,33 +1,26 @@
 //! T-C: time to confirm a seeded fault at varying depth (claim C3 — fast
 //! conflict detection without false negatives).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use muml_bench::experiments::{run_bbc, run_ours};
+use muml_bench::harness::Group;
 use muml_bench::workload::{counter_workload, seed_fault};
 
-fn bench_faults(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fault_detection");
+fn main() {
+    let mut group = Group::new("fault_detection");
     group.sample_size(10);
     for d in [1usize, 4] {
         let mut w = counter_workload(8, 6);
         seed_fault(&mut w, d);
-        group.bench_with_input(BenchmarkId::new("ours", d), &d, |b, _| {
-            b.iter(|| {
-                let cost = run_ours(&w);
-                assert_eq!(cost.outcome, "fault");
-                cost
-            })
+        group.bench(&format!("ours/{d}"), || {
+            let cost = run_ours(&w);
+            assert_eq!(cost.outcome, "fault");
+            cost
         });
-        group.bench_with_input(BenchmarkId::new("bbc", d), &d, |b, _| {
-            b.iter(|| {
-                let cost = run_bbc(&w);
-                assert_eq!(cost.outcome, "fault");
-                cost
-            })
+        group.bench(&format!("bbc/{d}"), || {
+            let cost = run_bbc(&w);
+            assert_eq!(cost.outcome, "fault");
+            cost
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_faults);
-criterion_main!(benches);

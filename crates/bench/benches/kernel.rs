@@ -1,15 +1,23 @@
 //! T-D: kernel scalability — chaotic closure, composition, refinement, and
 //! model checking on counter workloads of growing size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use muml_automata::{chaotic_closure, compose2, refines_with, Label, Observation, PropSet, RefineOptions, SignalSet};
+use muml_automata::{
+    chaotic_closure, compose2, refines_with, Label, Observation, PropSet, RefineOptions, SignalSet,
+};
+use muml_bench::harness::Group;
 use muml_bench::workload::counter_workload;
 use muml_core::{default_mapper, initial_knowledge};
 use muml_logic::{Checker, Formula};
 
 /// Pre-learns the context-reachable prefix of the counter so the closure is
 /// representative of a late iteration.
-fn learned_counter(n: usize) -> (muml_automata::Universe, muml_automata::Automaton, muml_automata::IncompleteAutomaton) {
+fn learned_counter(
+    n: usize,
+) -> (
+    muml_automata::Universe,
+    muml_automata::Automaton,
+    muml_automata::IncompleteAutomaton,
+) {
     let w = counter_workload(n, n / 2);
     let mapper = default_mapper("counter");
     let mut inc = initial_knowledge(&w.universe, &w.component, &mapper);
@@ -24,25 +32,23 @@ fn learned_counter(n: usize) -> (muml_automata::Universe, muml_automata::Automat
     (w.universe, w.context, inc)
 }
 
-fn bench_kernel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel");
+fn main() {
+    let mut group = Group::new("kernel");
     group.sample_size(20);
     for n in [8usize, 32] {
         let (u, ctx, inc) = learned_counter(n);
         let chaos = u.prop("__chaos__");
-        group.bench_with_input(BenchmarkId::new("chaotic_closure", n), &n, |b, _| {
-            b.iter(|| chaotic_closure(&inc, Some(chaos)))
+        group.bench(&format!("chaotic_closure/{n}"), || {
+            chaotic_closure(&inc, Some(chaos))
         });
         let closure = chaotic_closure(&inc, Some(chaos));
-        group.bench_with_input(BenchmarkId::new("compose", n), &n, |b, _| {
-            b.iter(|| compose2(&ctx, &closure).unwrap())
+        group.bench(&format!("compose/{n}"), || {
+            compose2(&ctx, &closure).unwrap()
         });
         let comp = compose2(&ctx, &closure).unwrap();
-        group.bench_with_input(BenchmarkId::new("check_deadlock_free", n), &n, |b, _| {
-            b.iter(|| {
-                let mut checker = Checker::new(&comp.automaton);
-                checker.satisfies(&Formula::deadlock_free())
-            })
+        group.bench(&format!("check_deadlock_free/{n}"), || {
+            let mut checker = Checker::new(&comp.automaton);
+            checker.satisfies(&Formula::deadlock_free())
         });
         // Refinement: the known part refines its own closure (Theorem 1).
         let known = inc.known_automaton();
@@ -50,12 +56,9 @@ fn bench_kernel(c: &mut Criterion) {
             wildcard_props: PropSet::singleton(chaos),
             ..RefineOptions::default()
         };
-        group.bench_with_input(BenchmarkId::new("refines_closure", n), &n, |b, _| {
-            b.iter(|| refines_with(&known, &closure, &opts).unwrap())
+        group.bench(&format!("refines_closure/{n}"), || {
+            refines_with(&known, &closure, &opts).unwrap()
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_kernel);
-criterion_main!(benches);

@@ -1,19 +1,15 @@
 //! T-E: parallel learning of two legacy components (the Section-7
 //! extension) vs the single-component case.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use muml_bench::experiments::table_e;
+use muml_bench::experiments::{run_ours, table_e};
+use muml_bench::harness::Group;
 use muml_bench::workload::counter_workload;
-use muml_bench::experiments::run_ours;
 
-fn bench_multi(c: &mut Criterion) {
-    let mut group = c.benchmark_group("multi_legacy");
+fn main() {
+    let mut group = Group::new("multi_legacy");
     group.sample_size(10);
     let single = counter_workload(4, 2);
-    group.bench_function("single", |b| b.iter(|| run_ours(&single)));
-    group.bench_function("twin", |b| b.iter(|| table_e(4, 2)));
+    group.bench("single", || run_ours(&single));
+    group.bench("twin", || table_e(4, 2));
     group.finish();
 }
-
-criterion_group!(benches, bench_multi);
-criterion_main!(benches);

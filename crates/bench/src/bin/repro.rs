@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! repro fig1|fig2|fig3|fig4|fig5|fig6|fig7
+//! repro fig2 --json          # also writes BENCH_loop.json (loop telemetry)
 //! repro listing1_1|listing1_2|listing1_3|listing1_4|listing1_5
 //! repro table_a|table_b|table_c|table_d|table_e
 //! repro all
@@ -15,26 +16,262 @@ use muml_bench::experiments::{render_rows, table_a, table_b, table_c, table_e};
 use muml_bench::workload::counter_workload;
 use muml_core::{default_mapper, initial_knowledge, render_report, IntegrationVerdict};
 use muml_logic::{Checker, Formula};
+use muml_obs::json::Json;
+use muml_obs::{Collector, LoopEvent};
 use muml_railcab::scenario;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
+    let json = args.iter().any(|a| a == "--json");
+    let what = args
+        .iter()
+        .map(String::as_str)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or("all");
     let known = [
-        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "listing1_1", "listing1_2",
-        "listing1_3", "listing1_4", "listing1_5", "table_a", "table_b", "table_c", "table_d",
-        "table_e", "table_f",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "listing1_1",
+        "listing1_2",
+        "listing1_3",
+        "listing1_4",
+        "listing1_5",
+        "table_a",
+        "table_b",
+        "table_c",
+        "table_d",
+        "table_e",
+        "table_f",
     ];
+    if json && what != "fig2" {
+        eprintln!("--json is only supported for `fig2` (the instrumented walkthrough)");
+        std::process::exit(2);
+    }
     if what == "all" {
         for k in known {
             run(k);
         }
     } else if known.contains(&what) {
-        run(what);
+        if json {
+            run_fig2_json();
+        } else {
+            run(what);
+        }
     } else {
         eprintln!("unknown artefact `{what}`; known: {known:?} or `all`");
         std::process::exit(2);
     }
+}
+
+/// `repro fig2 --json`: run the Figure-2 walkthrough (correct shuttle) with
+/// an event sink and write `BENCH_loop.json` — one per-iteration record per
+/// loop round (phase timings, composed size, checker work, counterexample
+/// length, replay steps, learning deltas) plus run-level totals.
+fn run_fig2_json() {
+    let u = Universe::new();
+    let mut shuttle = muml_railcab::correct_shuttle(&u);
+    let mut sink = Collector::new();
+    let report = scenario::integrate_with(&u, &mut shuttle, &mut sink);
+
+    let mut iterations: Vec<Json> = Vec::new();
+    for index in 0.. {
+        let events = sink.iteration(index);
+        if events.is_empty() {
+            break;
+        }
+        iterations.push(iteration_record(index, &events));
+    }
+    let stats = &report.stats;
+    let doc = Json::Object(vec![
+        ("artefact".into(), Json::Str("fig2".into())),
+        (
+            "outcome".into(),
+            Json::Str(
+                if report.verdict.proven() {
+                    "proven"
+                } else {
+                    "real_fault"
+                }
+                .into(),
+            ),
+        ),
+        ("iterations".into(), Json::Array(iterations)),
+        (
+            "totals".into(),
+            Json::Object(vec![
+                ("iterations".into(), Json::from_usize(stats.iterations)),
+                (
+                    "peak_composed_states".into(),
+                    Json::from_usize(stats.peak_composed_states),
+                ),
+                (
+                    "tests_executed".into(),
+                    Json::from_usize(stats.tests_executed),
+                ),
+                ("test_steps".into(), Json::from_usize(stats.test_steps)),
+                ("driven_steps".into(), Json::from_usize(stats.driven_steps)),
+                (
+                    "checker_fixpoint_iterations".into(),
+                    Json::from_u64(stats.checker_fixpoint_iterations),
+                ),
+                (
+                    "checker_labeled_states".into(),
+                    Json::from_u64(stats.checker_labeled_states),
+                ),
+                (
+                    "expanded_labels".into(),
+                    Json::from_u64(stats.expanded_labels),
+                ),
+                ("family_guards".into(), Json::from_u64(stats.family_guards)),
+                (
+                    "compose_ns".into(),
+                    Json::from_u64(stats.timings.compose_ns),
+                ),
+                ("check_ns".into(), Json::from_u64(stats.timings.check_ns)),
+                ("test_ns".into(), Json::from_u64(stats.timings.test_ns)),
+                ("learn_ns".into(), Json::from_u64(stats.timings.learn_ns)),
+                ("probe_ns".into(), Json::from_u64(stats.timings.probe_ns)),
+            ]),
+        ),
+        (
+            "events".into(),
+            Json::Array(sink.events.iter().map(LoopEvent::to_json).collect()),
+        ),
+    ]);
+    std::fs::write("BENCH_loop.json", doc.encode() + "\n").expect("write BENCH_loop.json");
+    println!(
+        "wrote BENCH_loop.json: {} iterations, {} events, outcome {}",
+        report.stats.iterations,
+        sink.events.len(),
+        if report.verdict.proven() {
+            "proven"
+        } else {
+            "real_fault"
+        }
+    );
+}
+
+/// Folds one iteration's events into a flat record.
+fn iteration_record(index: usize, events: &[&LoopEvent]) -> Json {
+    let mut product_states = 0usize;
+    let mut composed_transitions = 0usize;
+    let mut expanded_labels = 0u64;
+    let mut family_guards = 0u64;
+    let mut compose_ns = 0u64;
+    let mut holds = false;
+    let mut fixpoint_iterations = 0u64;
+    let mut labeled_states = 0u64;
+    let mut check_ns = 0u64;
+    let mut counterexample_length: Option<usize> = None;
+    let mut replay_steps = 0usize;
+    let mut driven_steps = 0usize;
+    let mut test_ns = 0u64;
+    let mut delta_states = 0usize;
+    let mut delta_transitions = 0usize;
+    let mut delta_refusals = 0usize;
+    let mut probes = 0usize;
+    let mut probe_ns = 0u64;
+    for e in events {
+        match e {
+            LoopEvent::Composed {
+                product_states: ps,
+                transitions,
+                expanded_labels: el,
+                family_guards: fg,
+                nanos,
+                ..
+            } => {
+                product_states = *ps;
+                composed_transitions = *transitions;
+                expanded_labels += el;
+                family_guards += fg;
+                compose_ns += nanos;
+            }
+            LoopEvent::ModelChecked {
+                holds: h,
+                fixpoint_iterations: fi,
+                labeled_states: ls,
+                nanos,
+                ..
+            } => {
+                holds = *h;
+                fixpoint_iterations += fi;
+                labeled_states += ls;
+                check_ns += nanos;
+            }
+            LoopEvent::CounterexampleExtracted { length, .. } => {
+                counterexample_length.get_or_insert(*length);
+            }
+            LoopEvent::ReplayExecuted {
+                steps,
+                driven_steps: ds,
+                nanos,
+                ..
+            } => {
+                replay_steps += steps;
+                driven_steps += ds;
+                test_ns += nanos;
+            }
+            LoopEvent::LearnStep {
+                delta_states: dq,
+                delta_transitions: dt,
+                delta_refusals: dr,
+                ..
+            } => {
+                delta_states += dq;
+                delta_transitions += dt;
+                delta_refusals += dr;
+            }
+            LoopEvent::FrontierProbed {
+                probes: p, nanos, ..
+            } => {
+                probes += p;
+                probe_ns += nanos;
+            }
+            _ => {}
+        }
+    }
+    Json::Object(vec![
+        ("iteration".into(), Json::from_usize(index)),
+        ("product_states".into(), Json::from_usize(product_states)),
+        (
+            "composed_transitions".into(),
+            Json::from_usize(composed_transitions),
+        ),
+        ("expanded_labels".into(), Json::from_u64(expanded_labels)),
+        ("family_guards".into(), Json::from_u64(family_guards)),
+        ("holds".into(), Json::Bool(holds)),
+        (
+            "fixpoint_iterations".into(),
+            Json::from_u64(fixpoint_iterations),
+        ),
+        ("labeled_states".into(), Json::from_u64(labeled_states)),
+        (
+            "counterexample_length".into(),
+            match counterexample_length {
+                Some(n) => Json::from_usize(n),
+                None => Json::Null,
+            },
+        ),
+        ("replay_steps".into(), Json::from_usize(replay_steps)),
+        ("driven_steps".into(), Json::from_usize(driven_steps)),
+        ("delta_states".into(), Json::from_usize(delta_states)),
+        (
+            "delta_transitions".into(),
+            Json::from_usize(delta_transitions),
+        ),
+        ("delta_refusals".into(), Json::from_usize(delta_refusals)),
+        ("probes".into(), Json::from_usize(probes)),
+        ("compose_ns".into(), Json::from_u64(compose_ns)),
+        ("check_ns".into(), Json::from_u64(check_ns)),
+        ("test_ns".into(), Json::from_u64(test_ns)),
+        ("probe_ns".into(), Json::from_u64(probe_ns)),
+    ])
 }
 
 fn heading(title: &str) {
@@ -50,7 +287,10 @@ fn run(what: &str) {
             println!("pattern: {}", p.name);
             println!(
                 "constraint: {}",
-                p.constraint.as_ref().map(|c| c.show(&u)).unwrap_or_default()
+                p.constraint
+                    .as_ref()
+                    .map(|c| c.show(&u))
+                    .unwrap_or_default()
             );
             for r in &p.roles {
                 println!(
@@ -241,17 +481,16 @@ fn run(what: &str) {
                 let w = counter_workload(8, 5);
                 let mut c = w.component.clone();
                 let report = {
-                    let mut units =
-                        [muml_core::LegacyUnit::new(&mut c, muml_legacy::PortMap::with_default("p"))];
+                    let mut units = [muml_core::LegacyUnit::new(
+                        &mut c,
+                        muml_legacy::PortMap::with_default("p"),
+                    )];
                     muml_core::verify_integration(
                         &w.universe,
                         &w.context,
                         &[],
                         &mut units,
-                        &muml_core::IntegrationConfig {
-                            batch_counterexamples: batch,
-                            ..muml_core::IntegrationConfig::default()
-                        },
+                        &muml_core::IntegrationConfig::default().with_batch_counterexamples(batch),
                     )
                     .expect("terminates")
                 };

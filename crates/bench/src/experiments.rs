@@ -19,7 +19,9 @@ use muml_inference::{
 use muml_legacy::{LegacyComponent, PortMap};
 use muml_logic::{check_all, Formula, Verdict};
 
-use crate::workload::{counter_alphabet, counter_workload, seed_fault, twin_workload, CounterWorkload};
+use crate::workload::{
+    counter_alphabet, counter_workload, seed_fault, twin_workload, CounterWorkload,
+};
 
 /// The cost of one method on one workload.
 #[derive(Debug, Clone)]
@@ -45,8 +47,14 @@ pub fn run_ours(w: &CounterWorkload) -> MethodCost {
     let ports = PortMap::with_default("port");
     let report = {
         let mut units = [LegacyUnit::new(&mut component, ports)];
-        verify_integration(u, &w.context, &[], &mut units, &IntegrationConfig::default())
-            .expect("integration terminates")
+        verify_integration(
+            u,
+            &w.context,
+            &[],
+            &mut units,
+            &IntegrationConfig::default(),
+        )
+        .expect("integration terminates")
     };
     let outcome = match &report.verdict {
         IntegrationVerdict::Proven => "proven".to_owned(),
@@ -207,8 +215,14 @@ pub fn table_e(n: usize, k: usize) -> (MethodCost, MethodCost) {
             LegacyUnit::new(&mut left, PortMap::with_default("p1")),
             LegacyUnit::new(&mut right, PortMap::with_default("p2")),
         ];
-        verify_integration(u, &w.context, &[], &mut units, &IntegrationConfig::default())
-            .expect("twin integration terminates")
+        verify_integration(
+            u,
+            &w.context,
+            &[],
+            &mut units,
+            &IntegrationConfig::default(),
+        )
+        .expect("twin integration terminates")
     };
     let twin = MethodCost {
         method: "ours-twin",
@@ -273,7 +287,12 @@ mod tests {
         let rs = run_lstar_rs_then_check(&w);
         assert_eq!(plain.outcome, rs.outcome);
         assert_eq!(plain.learned_states, rs.learned_states);
-        assert!(rs.steps <= plain.steps, "rs {} vs plain {}", rs.steps, plain.steps);
+        assert!(
+            rs.steps <= plain.steps,
+            "rs {} vs plain {}",
+            rs.steps,
+            plain.steps
+        );
     }
 
     #[test]
@@ -286,7 +305,7 @@ mod tests {
     }
 
     #[test]
-    fn ours_is_cheaper_under_restrictive_context(){
+    fn ours_is_cheaper_under_restrictive_context() {
         // claim C4, quantified: with k ≪ n the paper's approach drives far
         // fewer symbols than full learning.
         let w = counter_workload(10, 2);

@@ -1,0 +1,94 @@
+//! A minimal micro-benchmark harness for the `[[bench]]` targets.
+//!
+//! The workspace builds hermetically without a crate registry, so
+//! `criterion` is not available; this module provides the small subset the
+//! benches need: named groups, per-benchmark sample counts, and a
+//! min/median/mean report on stderr-free stdout. Timings use
+//! [`std::time::Instant`] and results pass through [`std::hint::black_box`]
+//! so the optimizer cannot elide the measured work.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark group: a named collection of measurements that prints a
+/// table row per benchmark as it runs.
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+impl Group {
+    /// Creates a group; `samples` defaults to 20.
+    pub fn new(name: &str) -> Self {
+        println!("group {name}");
+        Group {
+            name: name.to_owned(),
+            samples: 20,
+        }
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample_size(0)");
+        self.samples = samples;
+        self
+    }
+
+    /// Runs `f` once untimed (warm-up) and then `samples` timed times,
+    /// reporting min/median/mean wall-clock per call.
+    pub fn bench<T>(&mut self, id: &str, mut f: impl FnMut() -> T) {
+        black_box(f());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "  {}/{id}: min {} median {} mean {} ({} samples)",
+            self.name,
+            fmt(min),
+            fmt(median),
+            fmt(mean),
+            self.samples
+        );
+    }
+
+    /// Ends the group (purely cosmetic; mirrors the criterion API shape).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1.0e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1.0e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1.0e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_warmup_plus_samples() {
+        let mut calls = 0usize;
+        let mut g = Group::new("test");
+        g.sample_size(5).bench("count", || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 6); // 1 warm-up + 5 samples
+    }
+}

@@ -129,11 +129,21 @@ pub fn twin_workload(n: usize, k: usize) -> TwinWorkload {
         }
         b = b.initial("c0");
         for i in 0..n - 1 {
-            b = b.rule(&format!("c{i}"), [format!("up{tag}").as_str()], [], &format!("c{}", i + 1));
+            b = b.rule(
+                &format!("c{i}"),
+                [format!("up{tag}").as_str()],
+                [],
+                &format!("c{}", i + 1),
+            );
             b = b.rule(&format!("c{i}"), [], [], &format!("c{i}"));
         }
         let top = format!("c{}", n - 1);
-        b = b.rule(&top, [format!("up{tag}").as_str()], [format!("top{tag}").as_str()], &top);
+        b = b.rule(
+            &top,
+            [format!("up{tag}").as_str()],
+            [format!("top{tag}").as_str()],
+            &top,
+        );
         b = b.rule(&top, [], [], &top);
         b.build().expect("twin counter is well-formed")
     };

@@ -36,15 +36,22 @@
 //! closures are composed with the context, counterexamples are projected
 //! onto and tested against each component, and frontier probing checks each
 //! component against the sub-composition of everything else.
+//!
+//! Every phase of the loop reports a [`muml_obs::LoopEvent`] to an
+//! [`muml_obs::EventSink`] — see [`crate::IntegrationSession`] for the
+//! instrumented entry point; [`verify_integration`] runs with a null sink.
+
+use std::time::Instant;
 
 use muml_automata::{
     chaotic_closure, compose, Automaton, ComposeOptions, IncompleteAutomaton, Label, Universe,
 };
 use muml_legacy::{execute_expected_trace, PortMap, StateObservable};
-use muml_logic::{check_all, Formula, Verdict};
+use muml_logic::{check_all_with, Checker, Formula, Verdict};
+use muml_obs::{EventSink, LoopEvent, NullSink, Phase, PhaseTimer, PhaseTimings, RunOutcome};
 
 use crate::error::CoreError;
-use crate::initial::{apply_props, initial_knowledge};
+use crate::initial::{apply_props, initial_knowledge, StatePropMapper};
 use crate::probe::{probe_frontier, FrontierResult};
 use crate::report::render_listing;
 
@@ -56,7 +63,7 @@ pub struct LegacyUnit<'a> {
     /// Signal → port mapping for the `[Message]` monitor records.
     pub ports: PortMap,
     /// Maps monitored state names to the atomic propositions they fulfil.
-    pub prop_mapper: Box<dyn Fn(&str) -> Vec<String> + 'a>,
+    pub prop_mapper: Box<StatePropMapper<'a>>,
 }
 
 impl<'a> LegacyUnit<'a> {
@@ -86,7 +93,20 @@ impl<'a> LegacyUnit<'a> {
 }
 
 /// Configuration of the synthesis loop.
+///
+/// The struct is `#[non_exhaustive]`; construct it with
+/// [`IntegrationConfig::default`] and refine via the chainable `with_*`
+/// setters:
+///
+/// ```
+/// use muml_core::IntegrationConfig;
+/// let config = IntegrationConfig::default()
+///     .with_max_iterations(500)
+///     .with_batch_counterexamples(4);
+/// assert_eq!(config.max_iterations, 500);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct IntegrationConfig {
     /// Safety cap on iterations (Theorem 2 guarantees termination for
     /// finite deterministic components; the cap guards misuse).
@@ -110,6 +130,36 @@ impl Default for IntegrationConfig {
             chaos_prop: "__chaos__".to_owned(),
             batch_counterexamples: 1,
         }
+    }
+}
+
+impl IntegrationConfig {
+    /// Sets the iteration cap.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the composition options.
+    #[must_use]
+    pub fn with_compose(mut self, compose: ComposeOptions) -> Self {
+        self.compose = compose;
+        self
+    }
+
+    /// Sets the name of the fresh chaos proposition `p′`.
+    #[must_use]
+    pub fn with_chaos_prop(mut self, chaos_prop: impl Into<String>) -> Self {
+        self.chaos_prop = chaos_prop.into();
+        self
+    }
+
+    /// Sets how many deadlock counterexamples to derive per check.
+    #[must_use]
+    pub fn with_batch_counterexamples(mut self, batch: usize) -> Self {
+        self.batch_counterexamples = batch;
+        self
     }
 }
 
@@ -193,6 +243,23 @@ pub struct IntegrationStats {
     pub tests_executed: usize,
     /// Total component steps driven.
     pub test_steps: usize,
+    /// Raw component steps across all test phases (live + re-record +
+    /// instrumented replay) — the true harness cost.
+    pub driven_steps: usize,
+    /// Fixpoint / backward-induction iterations of the model checker,
+    /// summed over all verification runs.
+    pub checker_fixpoint_iterations: u64,
+    /// `(state, subformula)` labelings computed by the model checker,
+    /// summed over all verification runs.
+    pub checker_labeled_states: u64,
+    /// Concrete labels enumerated during composition (free-signal subset
+    /// expansion), summed over all compositions.
+    pub expanded_labels: u64,
+    /// Symbolic guard families emitted un-expanded during composition,
+    /// summed over all compositions.
+    pub family_guards: u64,
+    /// Wall-clock time per loop phase.
+    pub timings: PhaseTimings,
 }
 
 /// The full result of [`verify_integration`].
@@ -229,6 +296,10 @@ impl IntegrationReport {
 /// required timed-ACTL constraints (deadlock freedom `¬δ` is always checked
 /// in addition).
 ///
+/// This is the un-instrumented entry point (events are discarded). To
+/// observe the loop — or to use the builder-style API — go through
+/// [`crate::IntegrationSession`].
+///
 /// # Errors
 ///
 /// * [`CoreError::NotCompositional`] for properties outside the fragment.
@@ -236,6 +307,7 @@ impl IntegrationReport {
 /// * [`CoreError::IterationLimit`] if the cap is hit (should not happen for
 ///   finite deterministic components).
 /// * Kernel/model-checking failures.
+#[doc(alias = "IntegrationSession")]
 pub fn verify_integration(
     u: &Universe,
     context: &Automaton,
@@ -243,14 +315,34 @@ pub fn verify_integration(
     units: &mut [LegacyUnit<'_>],
     config: &IntegrationConfig,
 ) -> Result<IntegrationReport, CoreError> {
+    let mut sink = NullSink;
+    run_loop(u, context, properties, units, config, &mut sink)
+}
+
+/// The instrumented loop body shared by [`verify_integration`] and
+/// [`crate::IntegrationSession`].
+pub(crate) fn run_loop(
+    u: &Universe,
+    context: &Automaton,
+    properties: &[Formula],
+    units: &mut [LegacyUnit<'_>],
+    config: &IntegrationConfig,
+    sink: &mut dyn EventSink,
+) -> Result<IntegrationReport, CoreError> {
     assert!(!units.is_empty(), "at least one legacy component required");
     for f in properties {
         if !f.is_compositional() {
-            return Err(CoreError::NotCompositional {
-                formula: f.show(u),
-            });
+            return Err(CoreError::NotCompositional { formula: f.show(u) });
         }
     }
+    let run_start = Instant::now();
+    sink.emit(&LoopEvent::RunStarted {
+        components: units
+            .iter()
+            .map(|unit| unit.component.name().to_owned())
+            .collect(),
+        properties: properties.len(),
+    });
     let chaos = u.prop(&config.chaos_prop);
     let deadlock_free = Formula::deadlock_free();
     // Property ordering matters for soundness of the "confirmed ⇒ real
@@ -281,18 +373,28 @@ pub fn verify_integration(
             m
         })
         .collect();
+    for (unit, m) in units.iter().zip(&learned) {
+        sink.emit(&LoopEvent::InitialAbstraction {
+            component: unit.component.name().to_owned(),
+            states: m.state_count(),
+            transitions: m.transition_count(),
+            refusals: m.refusal_count(),
+        });
+    }
 
     let mut iterations = Vec::new();
     let mut stats = IntegrationStats::default();
 
     for index in 0..config.max_iterations {
         stats.iterations = index + 1;
+        sink.emit(&LoopEvent::IterationStarted { iteration: index });
         let knowledge: Vec<(usize, usize, usize)> = learned
             .iter()
             .map(|m| (m.state_count(), m.transition_count(), m.refusal_count()))
             .collect();
 
         // Compose M_a^c ∥ chaos(M_l^i)…
+        let compose_timer = PhaseTimer::start(Phase::Compose);
         let closures: Vec<Automaton> = learned
             .iter()
             .map(|m| chaotic_closure(m, Some(chaos)))
@@ -300,12 +402,38 @@ pub fn verify_integration(
         let mut parts: Vec<&Automaton> = vec![context];
         parts.extend(closures.iter());
         let comp = compose(&parts, &config.compose)?;
-        stats.peak_composed_states = stats
-            .peak_composed_states
-            .max(comp.automaton.state_count());
+        let compose_ns = compose_timer.stop(&mut stats.timings);
+        stats.peak_composed_states = stats.peak_composed_states.max(comp.automaton.state_count());
+        stats.expanded_labels += comp.stats.expanded_labels;
+        stats.family_guards += comp.stats.family_guards;
+        sink.emit(&LoopEvent::Composed {
+            iteration: index,
+            product_states: comp.automaton.state_count(),
+            transitions: comp.automaton.transition_count(),
+            expanded_labels: comp.stats.expanded_labels,
+            family_guards: comp.stats.family_guards,
+            nanos: compose_ns,
+        });
 
         // …and check φ ∧ ¬δ.
-        let verdict = check_all(&comp.automaton, &checked)?;
+        let check_timer = PhaseTimer::start(Phase::Check);
+        let mut checker = Checker::new(&comp.automaton);
+        let verdict = check_all_with(&mut checker, &checked)?;
+        let check_ns = check_timer.stop(&mut stats.timings);
+        let (fixpoint_iterations, labeled_states) = (checker.iterations, checker.labeled_states);
+        stats.checker_fixpoint_iterations += fixpoint_iterations;
+        stats.checker_labeled_states += labeled_states;
+        sink.emit(&LoopEvent::ModelChecked {
+            iteration: index,
+            holds: matches!(verdict, Verdict::Holds),
+            violated: match &verdict {
+                Verdict::Holds => None,
+                Verdict::Violated(c) => Some(c.violated.show(u)),
+            },
+            fixpoint_iterations,
+            labeled_states,
+            nanos: check_ns,
+        });
         let cex = match verdict {
             Verdict::Holds => {
                 iterations.push(IterationRecord {
@@ -315,6 +443,11 @@ pub fn verify_integration(
                     violated: None,
                     counterexample: None,
                     outcome: IterationOutcome::Proven,
+                });
+                sink.emit(&LoopEvent::RunFinished {
+                    iterations: stats.iterations,
+                    outcome: RunOutcome::Proven,
+                    nanos: run_start.elapsed().as_nanos() as u64,
                 });
                 return Ok(IntegrationReport {
                     verdict: IntegrationVerdict::Proven,
@@ -330,17 +463,16 @@ pub fn verify_integration(
         // of distinct counterexamples (one per reachable deadlock state) so
         // a single verification run feeds several tests.
         let batch = config.batch_counterexamples.max(1);
-        let cexs: Vec<muml_logic::Counterexample> =
-            if batch > 1 && cex.violated == deadlock_free {
-                let v = muml_logic::deadlock_counterexamples(&comp.automaton, batch);
-                if v.is_empty() {
-                    vec![cex]
-                } else {
-                    v
-                }
-            } else {
+        let cexs: Vec<muml_logic::Counterexample> = if batch > 1 && cex.violated == deadlock_free {
+            let v = muml_logic::deadlock_counterexamples(&comp.automaton, batch);
+            if v.is_empty() {
                 vec![cex]
-            };
+            } else {
+                v
+            }
+        } else {
+            vec![cex]
+        };
 
         let mut record_outcome: Option<IterationOutcome> = None;
         let mut record_head: Option<(String, String)> = None; // (violated, listing)
@@ -351,19 +483,42 @@ pub fn verify_integration(
             if record_head.is_none() {
                 record_head = Some((violated_str.clone(), cex_listing.clone()));
             }
+            sink.emit(&LoopEvent::CounterexampleExtracted {
+                iteration: index,
+                property: violated_str.clone(),
+                length: cx.run.labels.len(),
+                deadlock: cx.violated == deadlock_free,
+            });
 
             // Test every component along its projection of the
             // counterexample.
             let mut diverged: Option<(String, usize)> = None;
             let mut projections: Vec<Vec<Label>> = Vec::new();
             for (i, unit) in units.iter_mut().enumerate() {
+                let name = unit.component.name().to_owned();
                 let idx = i + 1; // component 0 is the context
                 let proj = comp.project_run(&cx.run, idx);
                 let expected = proj.labels.clone();
-                let outcome =
-                    execute_expected_trace(unit.component, &expected, u, &unit.ports)?;
+                let test_timer = PhaseTimer::start(Phase::Test);
+                let outcome = execute_expected_trace(unit.component, &expected, u, &unit.ports)?;
+                let test_ns = test_timer.stop(&mut stats.timings);
                 stats.tests_executed += 1;
                 stats.test_steps += outcome.observation.labels.len();
+                stats.driven_steps += outcome.driven_steps;
+                sink.emit(&LoopEvent::ReplayExecuted {
+                    iteration: index,
+                    component: name.clone(),
+                    steps: outcome.observation.labels.len(),
+                    driven_steps: outcome.driven_steps,
+                    divergence: outcome.divergence,
+                    nanos: test_ns,
+                });
+                let learn_timer = PhaseTimer::start(Phase::Learn);
+                let before = (
+                    learned[i].state_count(),
+                    learned[i].transition_count(),
+                    learned[i].refusal_count(),
+                );
                 learned[i]
                     .learn(&outcome.observation)
                     .map_err(CoreError::Learning)?;
@@ -371,8 +526,16 @@ pub fn verify_integration(
                     learned[i].learn(refusal).map_err(CoreError::Learning)?;
                 }
                 apply_props(u, &mut learned[i], &unit.prop_mapper);
+                learn_timer.stop(&mut stats.timings);
+                sink.emit(&LoopEvent::LearnStep {
+                    iteration: index,
+                    component: name.clone(),
+                    delta_states: learned[i].state_count() - before.0,
+                    delta_transitions: learned[i].transition_count() - before.1,
+                    delta_refusals: learned[i].refusal_count() - before.2,
+                });
                 if let Some(t) = outcome.divergence {
-                    diverged.get_or_insert((unit.component.name().to_owned(), t));
+                    diverged.get_or_insert((name, t));
                 }
                 projections.push(expected);
             }
@@ -398,6 +561,11 @@ pub fn verify_integration(
                     counterexample: Some(cex_listing.clone()),
                     outcome: IterationOutcome::Fault,
                 });
+                sink.emit(&LoopEvent::RunFinished {
+                    iterations: stats.iterations,
+                    outcome: RunOutcome::RealFault,
+                    nanos: run_start.elapsed().as_nanos() as u64,
+                });
                 return Ok(IntegrationReport {
                     verdict: IntegrationVerdict::RealFault {
                         property: violated_str,
@@ -411,7 +579,8 @@ pub fn verify_integration(
             }
 
             // Confirmed *deadlock* trace: probe the frontier.
-            match probe_frontier(
+            let probe_timer = PhaseTimer::start(Phase::Probe);
+            let frontier = probe_frontier(
                 u,
                 context,
                 &closures,
@@ -422,12 +591,28 @@ pub fn verify_integration(
                 &mut learned,
                 &mut stats,
                 config,
-            )? {
+            )?;
+            let probe_ns = probe_timer.stop(&mut stats.timings);
+            match frontier {
                 FrontierResult::Progress { component, probes } => {
+                    sink.emit(&LoopEvent::FrontierProbed {
+                        iteration: index,
+                        component: component.clone(),
+                        probes,
+                        learned: true,
+                        nanos: probe_ns,
+                    });
                     record_outcome
                         .get_or_insert(IterationOutcome::FrontierLearned { component, probes });
                 }
-                FrontierResult::RealDeadlock => {
+                FrontierResult::RealDeadlock { probes } => {
+                    sink.emit(&LoopEvent::FrontierProbed {
+                        iteration: index,
+                        component: "-".to_owned(),
+                        probes,
+                        learned: false,
+                        nanos: probe_ns,
+                    });
                     iterations.push(IterationRecord {
                         index,
                         knowledge,
@@ -435,6 +620,11 @@ pub fn verify_integration(
                         violated: Some(violated_str.clone()),
                         counterexample: Some(cex_listing.clone()),
                         outcome: IterationOutcome::Fault,
+                    });
+                    sink.emit(&LoopEvent::RunFinished {
+                        iterations: stats.iterations,
+                        outcome: RunOutcome::RealFault,
+                        nanos: run_start.elapsed().as_nanos() as u64,
                     });
                     return Ok(IntegrationReport {
                         verdict: IntegrationVerdict::RealFault {
@@ -465,5 +655,27 @@ pub fn verify_integration(
             }),
         });
     }
+    sink.emit(&LoopEvent::RunFinished {
+        iterations: config.max_iterations,
+        outcome: RunOutcome::IterationLimit,
+        nanos: run_start.elapsed().as_nanos() as u64,
+    });
     Err(CoreError::IterationLimit(config.max_iterations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_setters_chain() {
+        let c = IntegrationConfig::default()
+            .with_max_iterations(7)
+            .with_batch_counterexamples(3)
+            .with_chaos_prop("p_prime")
+            .with_compose(ComposeOptions::default());
+        assert_eq!(c.max_iterations, 7);
+        assert_eq!(c.batch_counterexamples, 3);
+        assert_eq!(c.chaos_prop, "p_prime");
+    }
 }

@@ -6,9 +6,7 @@
 //! the chaotic closure `M_a^0 = chaos(M_l^0)` — the first safe abstraction
 //! of the series (`M_r ⊑ M_a^0`).
 
-use muml_automata::{
-    chaotic_closure, Automaton, IncompleteAutomaton, PropId, SignalSet, Universe,
-};
+use muml_automata::{chaotic_closure, Automaton, IncompleteAutomaton, PropId, SignalSet, Universe};
 use muml_legacy::StateObservable;
 
 /// Assigns atomic propositions to monitored legacy state names.

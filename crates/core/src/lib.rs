@@ -27,11 +27,17 @@
 //! extension to multiple legacy components (parallel learning of several
 //! incomplete automata under one context).
 //!
+//! Every phase of the loop emits a structured [`obs::LoopEvent`]; attach a
+//! sink through the builder-style [`IntegrationSession`] to observe the
+//! run (the example below collects the events in memory — use
+//! [`obs::Renderer`] for the paper-listing rendering or
+//! [`obs::JsonWriter`] for JSON lines).
+//!
 //! # Example
 //!
 //! ```
 //! use muml_automata::{AutomatonBuilder, Universe};
-//! use muml_core::{verify_integration, IntegrationConfig, LegacyUnit};
+//! use muml_core::{obs::Collector, IntegrationSession, LegacyUnit};
 //! use muml_legacy::{MealyBuilder, PortMap};
 //!
 //! let u = Universe::new();
@@ -52,24 +58,32 @@
 //!     .rule("idle", ["go"], [], "got")
 //!     .rule("got", [], ["done"], "idle")
 //!     .build().unwrap();
-//! let mut units = [LegacyUnit::new(&mut legacy, PortMap::with_default("port"))];
-//! let report = verify_integration(
-//!     &u, &context, &[], &mut units, &IntegrationConfig::default(),
-//! ).unwrap();
+//! let mut sink = Collector::new();
+//! let report = IntegrationSession::new(&u, &context)
+//!     .unit(LegacyUnit::new(&mut legacy, PortMap::with_default("port")))
+//!     .sink(&mut sink)
+//!     .run()
+//!     .unwrap();
 //! assert!(report.verdict.proven());
+//! // One composed/model-checked iteration, reported as structured events:
+//! assert!(sink.kinds().contains(&"model_checked"));
+//! assert!(report.stats.timings.total_ns() > 0);
 //! ```
 
 #![warn(missing_docs)]
 
 mod driver;
 mod error;
-mod probe;
 mod initial;
+mod probe;
 mod report;
+mod session;
+
+pub use muml_obs as obs;
 
 pub use driver::{
-    verify_integration, IntegrationConfig, IntegrationReport, IntegrationStats,
-    IntegrationVerdict, IterationOutcome, IterationRecord, LegacyUnit,
+    verify_integration, IntegrationConfig, IntegrationReport, IntegrationStats, IntegrationVerdict,
+    IterationOutcome, IterationRecord, LegacyUnit,
 };
 pub use error::CoreError;
 pub use initial::{
@@ -77,3 +91,4 @@ pub use initial::{
     StatePropMapper,
 };
 pub use report::{render_listing, render_report};
+pub use session::IntegrationSession;

@@ -53,7 +53,10 @@ pub(crate) enum FrontierResult {
         probes: usize,
     },
     /// No probe learned anything new — the deadlock is real.
-    RealDeadlock,
+    RealDeadlock {
+        /// Total probe executions across all components.
+        probes: usize,
+    },
 }
 
 /// Maps a closure state to its optimistic sibling: `name#0 → name#1`,
@@ -64,9 +67,7 @@ fn optimistic_sibling(closure: &Automaton, s: StateId) -> StateId {
         return closure.find_state(S_ALL).unwrap_or(s);
     }
     if let Some(base) = name.strip_suffix("#0") {
-        return closure
-            .find_state(&format!("{base}#1"))
-            .unwrap_or(s);
+        return closure.find_state(&format!("{base}#1")).unwrap_or(s);
     }
     s
 }
@@ -135,6 +136,7 @@ pub(crate) fn probe_frontier(
             let outcome = execute_expected_trace(unit.component, &expected, u, &unit.ports)?;
             stats.tests_executed += 1;
             stats.test_steps += outcome.observation.labels.len();
+            stats.driven_steps += outcome.driven_steps;
             total_probes += 1;
             let real_response = outcome
                 .observation
@@ -185,7 +187,9 @@ pub(crate) fn probe_frontier(
             probes: total_probes,
         })
     } else {
-        Ok(FrontierResult::RealDeadlock)
+        Ok(FrontierResult::RealDeadlock {
+            probes: total_probes,
+        })
     }
 }
 

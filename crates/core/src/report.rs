@@ -31,7 +31,10 @@ pub fn render_listing(comp: &Composition, run: &Run, u: &Universe) -> String {
             .map(|(st, comp_name)| {
                 // Chaotic-closure copies `name#0` / `name#1` render as the
                 // plain state name, as in the paper's listings.
-                let st = st.strip_suffix("#0").or(st.strip_suffix("#1")).unwrap_or(st);
+                let st = st
+                    .strip_suffix("#0")
+                    .or(st.strip_suffix("#1"))
+                    .unwrap_or(st);
                 format!("{comp_name}.{st}")
             })
             .collect::<Vec<_>>()
@@ -47,7 +50,11 @@ pub fn render_listing(comp: &Composition, run: &Run, u: &Universe) -> String {
                 .enumerate()
                 .find(|(_, (_, outs))| outs.contains(sig))
             {
-                msgs.push(format!("{}.{}!", comp.component_names[k], u.signal_name(sig)));
+                msgs.push(format!(
+                    "{}.{}!",
+                    comp.component_names[k],
+                    u.signal_name(sig)
+                ));
             }
         }
         for sig in label.inputs.iter() {
@@ -57,7 +64,11 @@ pub fn render_listing(comp: &Composition, run: &Run, u: &Universe) -> String {
                 .enumerate()
                 .find(|(_, (ins, _))| ins.contains(sig))
             {
-                msgs.push(format!("{}.{}?", comp.component_names[k], u.signal_name(sig)));
+                msgs.push(format!(
+                    "{}.{}?",
+                    comp.component_names[k],
+                    u.signal_name(sig)
+                ));
             }
         }
         if !msgs.is_empty() {

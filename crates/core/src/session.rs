@@ -1,0 +1,137 @@
+//! Builder-style entry point for the synthesis loop.
+//!
+//! [`IntegrationSession`] assembles the ingredients of an integration run
+//! — context, properties, legacy units, configuration, and an optional
+//! [`EventSink`] — and executes the instrumented loop. It is the
+//! structured-telemetry counterpart of [`crate::verify_integration`]:
+//!
+//! ```
+//! use muml_automata::{AutomatonBuilder, Universe};
+//! use muml_core::{IntegrationSession, LegacyUnit};
+//! use muml_legacy::{MealyBuilder, PortMap};
+//! use muml_obs::Collector;
+//!
+//! let u = Universe::new();
+//! let context = AutomatonBuilder::new(&u, "ctx")
+//!     .output("go").input("done")
+//!     .state("send").initial("send")
+//!     .state("wait")
+//!     .transition("send", [], ["go"], "wait")
+//!     .transition("wait", ["done"], [], "send")
+//!     .build().unwrap();
+//! let mut legacy = MealyBuilder::new(&u, "legacy")
+//!     .input("go").output("done")
+//!     .state("idle").initial("idle")
+//!     .state("got")
+//!     .rule("idle", ["go"], [], "got")
+//!     .rule("got", [], ["done"], "idle")
+//!     .build().unwrap();
+//!
+//! let mut sink = Collector::new();
+//! let report = IntegrationSession::new(&u, &context)
+//!     .unit(LegacyUnit::new(&mut legacy, PortMap::with_default("port")))
+//!     .sink(&mut sink)
+//!     .run()
+//!     .unwrap();
+//! assert!(report.verdict.proven());
+//! assert_eq!(sink.events.first().unwrap().kind(), "run_started");
+//! assert_eq!(sink.events.last().unwrap().kind(), "run_finished");
+//! ```
+
+use muml_automata::{Automaton, Universe};
+use muml_logic::Formula;
+use muml_obs::{EventSink, NullSink};
+
+use crate::driver::{run_loop, IntegrationConfig, IntegrationReport, LegacyUnit};
+use crate::error::CoreError;
+
+/// A configured-but-not-yet-run integration check.
+///
+/// Built with [`IntegrationSession::new`], refined with the chainable
+/// methods, and executed with [`IntegrationSession::run`]. All parts share
+/// one lifetime `'a`: the universe, context, component borrows, and sink
+/// must outlive the session (in practice: declare them before the builder
+/// chain).
+#[must_use = "a session does nothing until `.run()` is called"]
+pub struct IntegrationSession<'a> {
+    u: &'a Universe,
+    context: &'a Automaton,
+    properties: Vec<Formula>,
+    units: Vec<LegacyUnit<'a>>,
+    config: IntegrationConfig,
+    sink: Option<&'a mut dyn EventSink>,
+}
+
+impl<'a> IntegrationSession<'a> {
+    /// Starts a session for the given universe and abstract context
+    /// `M_a^c`, with no properties beyond the always-checked deadlock
+    /// freedom, no legacy units yet, the default configuration, and no
+    /// sink.
+    pub fn new(u: &'a Universe, context: &'a Automaton) -> Self {
+        IntegrationSession {
+            u,
+            context,
+            properties: Vec::new(),
+            units: Vec::new(),
+            config: IntegrationConfig::default(),
+            sink: None,
+        }
+    }
+
+    /// Adds one required timed-ACTL property.
+    pub fn formula(mut self, f: Formula) -> Self {
+        self.properties.push(f);
+        self
+    }
+
+    /// Adds several required properties at once.
+    pub fn formulas(mut self, fs: impl IntoIterator<Item = Formula>) -> Self {
+        self.properties.extend(fs);
+        self
+    }
+
+    /// Adds one legacy component under integration.
+    pub fn unit(mut self, unit: LegacyUnit<'a>) -> Self {
+        self.units.push(unit);
+        self
+    }
+
+    /// Replaces the loop configuration.
+    pub fn config(mut self, config: IntegrationConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches an event sink; every [`muml_obs::LoopEvent`] of the run is
+    /// reported to it. Without a sink, events are discarded.
+    pub fn sink(mut self, sink: &'a mut dyn EventSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Runs the combined verification/testing loop of Section 4.
+    ///
+    /// # Panics
+    ///
+    /// If no [`unit`](IntegrationSession::unit) was added.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::verify_integration`].
+    pub fn run(self) -> Result<IntegrationReport, CoreError> {
+        let IntegrationSession {
+            u,
+            context,
+            properties,
+            mut units,
+            config,
+            sink,
+        } = self;
+        let mut null = NullSink;
+        let sink: &mut dyn EventSink = match sink {
+            Some(s) => s,
+            None => &mut null,
+        };
+        run_loop(u, context, &properties, &mut units, &config, sink)
+    }
+}

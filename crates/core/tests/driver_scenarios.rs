@@ -122,14 +122,8 @@ fn deadlocking_component_yields_real_deadlock() {
         .build()
         .unwrap();
     let mut units = [LegacyUnit::new(&mut c, PortMap::with_default("port"))];
-    let report = verify_integration(
-        &u,
-        &ctx,
-        &[],
-        &mut units,
-        &IntegrationConfig::default(),
-    )
-    .unwrap();
+    let report =
+        verify_integration(&u, &ctx, &[], &mut units, &IntegrationConfig::default()).unwrap();
     match &report.verdict {
         IntegrationVerdict::RealFault { property, .. } => {
             assert!(property.contains("deadlock"));
@@ -156,21 +150,18 @@ fn proof_without_learning_the_whole_component() {
         // double-cmd enters a 10-state tail the context cannot trigger
         .rule("got", ["cmd"], [], "tail0");
     for i in 0..10 {
-        b = b
-            .state(&format!("tail{i}"))
-            .rule(&format!("tail{i}"), [], [], &format!("tail{}", (i + 1) % 10));
+        b = b.state(&format!("tail{i}")).rule(
+            &format!("tail{i}"),
+            [],
+            [],
+            &format!("tail{}", (i + 1) % 10),
+        );
     }
     let mut c = b.build().unwrap();
     let total_states = c.state_count();
     let mut units = [LegacyUnit::new(&mut c, PortMap::with_default("port"))];
-    let report = verify_integration(
-        &u,
-        &ctx,
-        &[],
-        &mut units,
-        &IntegrationConfig::default(),
-    )
-    .unwrap();
+    let report =
+        verify_integration(&u, &ctx, &[], &mut units, &IntegrationConfig::default()).unwrap();
     assert!(report.verdict.proven(), "{:?}", report.verdict);
     let (learned_states, _) = report.learned_sizes()[0];
     assert!(
@@ -216,14 +207,8 @@ fn two_legacy_components_in_parallel() {
         LegacyUnit::new(&mut c1, PortMap::with_default("p1")),
         LegacyUnit::new(&mut c2, PortMap::with_default("p2")),
     ];
-    let report = verify_integration(
-        &u,
-        &ctx,
-        &[],
-        &mut units,
-        &IntegrationConfig::default(),
-    )
-    .unwrap();
+    let report =
+        verify_integration(&u, &ctx, &[], &mut units, &IntegrationConfig::default()).unwrap();
     assert!(report.verdict.proven(), "{:?}", report.verdict);
     assert_eq!(report.learned.len(), 2);
     // Both components contributed learned behaviour.
@@ -269,14 +254,8 @@ fn multi_legacy_fault_in_second_component() {
         LegacyUnit::new(&mut c1, PortMap::with_default("p1")),
         LegacyUnit::new(&mut c2, PortMap::with_default("p2")),
     ];
-    let report = verify_integration(
-        &u,
-        &ctx,
-        &[],
-        &mut units,
-        &IntegrationConfig::default(),
-    )
-    .unwrap();
+    let report =
+        verify_integration(&u, &ctx, &[], &mut units, &IntegrationConfig::default()).unwrap();
     match &report.verdict {
         IntegrationVerdict::RealFault { property, .. } => {
             assert!(property.contains("deadlock"));
@@ -397,10 +376,7 @@ fn iteration_cap_is_reported() {
         &ctx,
         &[],
         &mut units,
-        &IntegrationConfig {
-            max_iterations: 1,
-            ..IntegrationConfig::default()
-        },
+        &IntegrationConfig::default().with_max_iterations(1),
     )
     .unwrap_err();
     assert!(matches!(err, CoreError::IterationLimit(1)));
@@ -412,14 +388,8 @@ fn iteration_records_tell_the_figure2_story() {
     let ctx = controller(&u);
     let mut c = good_component(&u);
     let mut units = [LegacyUnit::new(&mut c, PortMap::with_default("port"))];
-    let report = verify_integration(
-        &u,
-        &ctx,
-        &[],
-        &mut units,
-        &IntegrationConfig::default(),
-    )
-    .unwrap();
+    let report =
+        verify_integration(&u, &ctx, &[], &mut units, &IntegrationConfig::default()).unwrap();
     // Knowledge grows monotonically across iterations.
     let sizes: Vec<usize> = report
         .iterations
@@ -466,10 +436,7 @@ fn batched_counterexamples_agree_and_save_iterations() {
             &ctx,
             &[],
             &mut units,
-            &IntegrationConfig {
-                batch_counterexamples: batch,
-                ..IntegrationConfig::default()
-            },
+            &IntegrationConfig::default().with_batch_counterexamples(batch),
         )
         .unwrap()
     };
@@ -505,14 +472,8 @@ fn extra_component_outputs_nobody_listens_to_are_harmless() {
         .build()
         .unwrap();
     let mut units = [LegacyUnit::new(&mut c, PortMap::with_default("port"))];
-    let report = verify_integration(
-        &u,
-        &ctx,
-        &[],
-        &mut units,
-        &IntegrationConfig::default(),
-    )
-    .unwrap();
+    let report =
+        verify_integration(&u, &ctx, &[], &mut units, &IntegrationConfig::default()).unwrap();
     assert!(report.verdict.proven(), "{:?}", report.verdict);
     // The learned transitions record the real outputs, telemetry included.
     let learned = report.learned[0].known_automaton();
@@ -568,18 +529,15 @@ fn iteration_records_carry_listing_counterexamples() {
     let ctx = controller(&u);
     let mut c = good_component(&u);
     let mut units = [LegacyUnit::new(&mut c, PortMap::with_default("port"))];
-    let report = verify_integration(
-        &u,
-        &ctx,
-        &[],
-        &mut units,
-        &IntegrationConfig::default(),
-    )
-    .unwrap();
+    let report =
+        verify_integration(&u, &ctx, &[], &mut units, &IntegrationConfig::default()).unwrap();
     // Every non-final iteration has a rendered counterexample mentioning
     // both component names; the proof iteration has none.
     for rec in &report.iterations[..report.iterations.len() - 1] {
-        let cex = rec.counterexample.as_deref().expect("violated iterations have a cex");
+        let cex = rec
+            .counterexample
+            .as_deref()
+            .expect("violated iterations have a cex");
         assert!(cex.contains("ctx."), "{cex}");
         assert!(cex.contains("legacy."), "{cex}");
     }

@@ -99,8 +99,7 @@ impl ObservationTable {
     /// Ensures closedness: every `u·a` row equals some `S` row. Returns
     /// `true` if the table changed.
     fn close(&mut self, oracle: &mut ComponentOracle<'_>) -> bool {
-        let s_rows: Vec<Vec<Vec<SignalSet>>> =
-            self.s.iter().map(|u| self.row(oracle, u)).collect();
+        let s_rows: Vec<Vec<Vec<SignalSet>>> = self.s.iter().map(|u| self.row(oracle, u)).collect();
         for u in self.s.clone() {
             for &a in &self.alphabet.clone() {
                 let mut ua = u.clone();
@@ -119,8 +118,7 @@ impl ObservationTable {
     /// letter extension; a violation adds the separating suffix to `E`.
     /// Returns `true` if the table changed.
     fn make_consistent(&mut self, oracle: &mut ComponentOracle<'_>) -> bool {
-        let rows: Vec<Vec<Vec<SignalSet>>> =
-            self.s.iter().map(|u| self.row(oracle, u)).collect();
+        let rows: Vec<Vec<Vec<SignalSet>>> = self.s.iter().map(|u| self.row(oracle, u)).collect();
         for i in 0..self.s.len() {
             for j in (i + 1)..self.s.len() {
                 if rows[i] != rows[j] {
@@ -177,10 +175,7 @@ impl ObservationTable {
             for &a in &self.alphabet {
                 let mut ua = access.clone();
                 ua.push(a);
-                let out = *oracle
-                    .query(&ua)
-                    .last()
-                    .expect("nonempty word has output");
+                let out = *oracle.query(&ua).last().expect("nonempty word has output");
                 let r = self.row(oracle, &ua);
                 let next = reps
                     .iter()
@@ -289,7 +284,10 @@ fn process_rivest_schapire(
         let predicted = hyp.run(&word)[word.len() - suffix_len..].to_vec();
         target != predicted
     };
-    debug_assert!(disagrees(oracle, 0), "a counterexample must disagree at i = 0");
+    debug_assert!(
+        disagrees(oracle, 0),
+        "a counterexample must disagree at i = 0"
+    );
     // Scan for the switch point: disagrees(i) ∧ ¬disagrees(i+1).
     for i in 0..cex.len() {
         if disagrees(oracle, i) && !disagrees(oracle, i + 1) {
@@ -379,7 +377,10 @@ mod tests {
             res.hypothesis.run(&[a, a, a]),
             vec![u.signals(["x"]), SignalSet::EMPTY, u.signals(["x", "y"])]
         );
-        assert_eq!(res.hypothesis.run(&[a, b]), vec![u.signals(["x"]), u.signals(["y"])]);
+        assert_eq!(
+            res.hypothesis.run(&[a, b]),
+            vec![u.signals(["x"]), u.signals(["y"])]
+        );
         assert!(oracle.stats.membership_queries > 0);
         assert!(oracle.stats.equivalence_queries >= 1);
     }

@@ -1,11 +1,13 @@
 //! Property-based tests of the regular-inference baselines: `L*` with an
 //! exact-bound W-method oracle must learn *any* deterministic Mealy machine
 //! exactly, with either counterexample-processing strategy.
+//!
+//! Random inputs come from `muml-testkit` (deterministic splitmix64 cases).
 
 use muml_automata::{SignalSet, Universe};
 use muml_inference::{learn, CexProcessing, ComponentOracle, LstarLimits, WMethodOracle};
 use muml_legacy::{HiddenMealy, LegacyComponent, MealyBuilder};
-use proptest::prelude::*;
+use muml_testkit::{cases, Rng};
 
 /// Random total deterministic Mealy machine over inputs {a,b}, outputs
 /// {x}: per state and letter, (emit, next).
@@ -15,15 +17,10 @@ struct Spec {
     rules: Vec<[(bool, usize); 2]>,
 }
 
-fn spec_strategy(max_states: usize) -> impl Strategy<Value = Spec> {
-    (1..=max_states).prop_flat_map(move |n| {
-        proptest::collection::vec(((any::<bool>(), 0..n), (any::<bool>(), 0..n)), n).prop_map(
-            move |v| Spec {
-                n,
-                rules: v.into_iter().map(|(p, q)| [p, q]).collect(),
-            },
-        )
-    })
+fn gen_spec(rng: &mut Rng, max_states: usize) -> Spec {
+    let n = rng.range(1..=max_states);
+    let rules = rng.vec(n, |r| [(r.bool(), r.below(n)), (r.bool(), r.below(n))]);
+    Spec { n, rules }
 }
 
 fn build(u: &Universe, spec: &Spec) -> HiddenMealy {
@@ -46,12 +43,7 @@ fn build(u: &Universe, spec: &Spec) -> HiddenMealy {
 }
 
 /// Exhaustively compares target and hypothesis on every word up to `len`.
-fn agree_up_to(
-    u: &Universe,
-    spec: &Spec,
-    hyp: &muml_inference::MealyMachine,
-    len: usize,
-) -> bool {
+fn agree_up_to(u: &Universe, spec: &Spec, hyp: &muml_inference::MealyMachine, len: usize) -> bool {
     let a = u.signals(["a"]);
     let b = u.signals(["b"]);
     let letters = [a, b];
@@ -78,18 +70,15 @@ fn agree_up_to(
     true
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// With an exact state bound, `L*` + W-method converges to a machine
-    /// agreeing with the target on every word (checked exhaustively up to
-    /// n+2 symbols), with at most n hypothesis states — for both
-    /// counterexample-processing strategies.
-    #[test]
-    fn lstar_learns_random_machines_exactly(
-        spec in spec_strategy(5),
-        rs in any::<bool>(),
-    ) {
+/// With an exact state bound, `L*` + W-method converges to a machine
+/// agreeing with the target on every word (checked exhaustively up to
+/// n+2 symbols), with at most n hypothesis states — for both
+/// counterexample-processing strategies.
+#[test]
+fn lstar_learns_random_machines_exactly() {
+    cases(32, |rng| {
+        let spec = gen_spec(rng, 5);
+        let rs = rng.bool();
         let u = Universe::new();
         let mut target = build(&u, &spec);
         let a = u.signals(["a"]);
@@ -109,15 +98,18 @@ proptest! {
                 ..LstarLimits::default()
             },
         );
-        prop_assert!(res.converged);
-        prop_assert!(res.hypothesis.state_count <= spec.n);
-        prop_assert!(agree_up_to(&u, &spec, &res.hypothesis, spec.n.min(4) + 2));
-    }
+        assert!(res.converged);
+        assert!(res.hypothesis.state_count <= spec.n);
+        assert!(agree_up_to(&u, &spec, &res.hypothesis, spec.n.min(4) + 2));
+    });
+}
 
-    /// Both strategies learn behaviourally identical hypotheses (same size,
-    /// same outputs on all short words).
-    #[test]
-    fn strategies_agree(spec in spec_strategy(4)) {
+/// Both strategies learn behaviourally identical hypotheses (same size,
+/// same outputs on all short words).
+#[test]
+fn strategies_agree() {
+    cases(32, |rng| {
+        let spec = gen_spec(rng, 4);
         let u = Universe::new();
         let a = u.signals(["a"]);
         let b = u.signals(["b"]);
@@ -137,8 +129,8 @@ proptest! {
         };
         let plain = run(CexProcessing::AddAllPrefixes);
         let rs = run(CexProcessing::RivestSchapire);
-        prop_assert!(plain.converged && rs.converged);
-        prop_assert_eq!(plain.hypothesis.state_count, rs.hypothesis.state_count);
+        assert!(plain.converged && rs.converged);
+        assert_eq!(plain.hypothesis.state_count, rs.hypothesis.state_count);
         // spot-check agreement on all words of length ≤ 4
         let letters = [a, b];
         let mut words: Vec<Vec<SignalSet>> = vec![Vec::new()];
@@ -152,9 +144,9 @@ proptest! {
                 }
             }
             for w in &next {
-                prop_assert_eq!(plain.hypothesis.run(w), rs.hypothesis.run(w));
+                assert_eq!(plain.hypothesis.run(w), rs.hypothesis.run(w));
             }
             words = next;
         }
-    }
+    });
 }

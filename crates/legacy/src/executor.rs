@@ -39,6 +39,10 @@ pub struct TestOutcome {
     pub recording: Recording,
     /// The full-instrumentation replay trace (Listing 1.3 artefact).
     pub monitor: MonitorTrace,
+    /// Raw component steps driven by the harness across all three phases
+    /// (live execution, clean re-record, and instrumented replay) — the
+    /// true test cost, as opposed to the observation's length.
+    pub driven_steps: usize,
 }
 
 /// Drives `component` with the inputs of `expected` and analyses the
@@ -79,6 +83,10 @@ pub fn execute_expected_trace(
         Observation::blocked(states, labels)
     });
 
+    // Each executed input is driven three times: live, during the clean
+    // re-record, and under the instrumented replay.
+    let driven_steps = executed_inputs.len() * 3;
+
     Ok(TestOutcome {
         confirmed: divergence.is_none() && executed_inputs.len() == expected.len(),
         divergence,
@@ -86,6 +94,7 @@ pub fn execute_expected_trace(
         refusal,
         recording,
         monitor: report.monitor,
+        driven_steps,
     })
 }
 
@@ -166,7 +175,7 @@ mod tests {
         // step 0 matches; step 1 expects quiescence but the component obeys
         // `start` silently (matches), step 1 with wrong outputs instead:
         let expected = vec![
-            l(&u, &[], &["propose"]),   // matches
+            l(&u, &[], &["propose"]),        // matches
             l(&u, &["start"], &["propose"]), // component answers {} → diverges
         ];
         let out = execute_expected_trace(&mut c, &expected, &u, &ports).unwrap();

@@ -47,9 +47,7 @@ pub enum Fault {
 /// [`AutomataError::UnknownState`] if the fault references a missing state
 /// or a non-existent rule.
 pub fn inject(m: &mut HiddenMealy, u: &Universe, fault: &Fault) -> Result<(), AutomataError> {
-    let sigset = |names: &[String]| -> SignalSet {
-        names.iter().map(|n| u.signal(n)).collect()
-    };
+    let sigset = |names: &[String]| -> SignalSet { names.iter().map(|n| u.signal(n)).collect() };
     match fault {
         Fault::RedirectTarget {
             state,

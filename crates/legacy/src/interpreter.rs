@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use muml_automata::{Automaton, AutomataError, SignalSet, Universe};
+use muml_automata::{AutomataError, Automaton, SignalSet, Universe};
 
 use crate::component::{LegacyComponent, StateObservable};
 
@@ -62,9 +62,12 @@ impl HiddenMealy {
     pub fn from_automaton(m: &Automaton, default: DefaultBehavior) -> Result<Self, AutomataError> {
         let mut rules = HashMap::new();
         for (s, t) in m.transitions() {
-            let l = t.guard.as_exact().ok_or(AutomataError::SymbolicUnsupported {
-                detail: format!("legacy interpreter for `{}`", m.name()),
-            })?;
+            let l = t
+                .guard
+                .as_exact()
+                .ok_or(AutomataError::SymbolicUnsupported {
+                    detail: format!("legacy interpreter for `{}`", m.name()),
+                })?;
             let key = (s.index(), l.inputs);
             let val = (l.outputs, t.to.index());
             if let Some(prev) = rules.insert(key, val) {
@@ -123,9 +126,7 @@ impl HiddenMealy {
     }
 
     /// Direct access for fault injection (see [`crate::faults`]).
-    pub(crate) fn rules_mut(
-        &mut self,
-    ) -> &mut HashMap<(usize, SignalSet), (SignalSet, usize)> {
+    pub(crate) fn rules_mut(&mut self) -> &mut HashMap<(usize, SignalSet), (SignalSet, usize)> {
         &mut self.rules
     }
 
@@ -274,8 +275,7 @@ impl MealyBuilder {
     {
         let a: SignalSet = ins.into_iter().map(|n| self.universe.signal(n)).collect();
         let b: SignalSet = outs.into_iter().map(|n| self.universe.signal(n)).collect();
-        self.rules
-            .push((from.to_owned(), a, b, to.to_owned()));
+        self.rules.push((from.to_owned(), a, b, to.to_owned()));
         self
     }
 

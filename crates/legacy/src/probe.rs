@@ -109,7 +109,7 @@ impl<C: StateObservable> LegacyComponent for InstrumentedComponent<C> {
             ProbeMode::FullLive { perturb_every } => {
                 let held = self.delayed;
                 self.delayed = SignalSet::EMPTY;
-                if self.inner.period() % perturb_every == 0 {
+                if self.inner.period().is_multiple_of(perturb_every) {
                     // Instrumentation overhead: this period's outputs slip
                     // into the next period.
                     self.delayed = out;
@@ -143,8 +143,8 @@ impl<C: StateObservable> StateObservable for InstrumentedComponent<C> {
 mod tests {
     use super::*;
     use crate::interpreter::MealyBuilder;
-    use crate::replay::{record_live, replay};
     use crate::monitor::PortMap;
+    use crate::replay::{record_live, replay};
     use muml_automata::Universe;
 
     fn component(u: &Universe) -> crate::interpreter::HiddenMealy {

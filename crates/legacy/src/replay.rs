@@ -153,9 +153,7 @@ pub fn replay(
         for e in ports.message_events(u, step.inputs, Direction::Incoming) {
             monitor.push(e);
         }
-        monitor.push(MonitorEvent::Timing {
-            count: step.period,
-        });
+        monitor.push(MonitorEvent::Timing { count: step.period });
         labels.push(Label::new(step.inputs, out));
         states.push(component.observable_state());
     }
@@ -236,7 +234,10 @@ mod tests {
         };
         let ports = PortMap::with_default("p");
         let err = replay(&mut c, &rec, &u, &ports).unwrap_err();
-        assert!(matches!(err, ReplayError::Nondeterministic { period: 1, .. }));
+        assert!(matches!(
+            err,
+            ReplayError::Nondeterministic { period: 1, .. }
+        ));
         assert!(err.to_string().contains("determinism"));
     }
 

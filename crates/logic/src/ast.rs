@@ -168,9 +168,7 @@ impl Formula {
             Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
                 a.prop_support().union(b.prop_support())
             }
-            Formula::Au(_, a, b) | Formula::Eu(_, a, b) => {
-                a.prop_support().union(b.prop_support())
-            }
+            Formula::Au(_, a, b) | Formula::Eu(_, a, b) => a.prop_support().union(b.prop_support()),
         }
     }
 
@@ -469,7 +467,12 @@ mod tests {
         let p = Formula::prop_named(&u, "p");
         let q = Formula::prop_named(&u, "q");
         // invariants
-        assert!(p.clone().and(q.clone()).not().ag().is_state_local_invariant());
+        assert!(p
+            .clone()
+            .and(q.clone())
+            .not()
+            .ag()
+            .is_state_local_invariant());
         assert!(p.clone().is_state_local_invariant());
         assert!(p.clone().implies(q.clone()).ag().is_state_local_invariant());
         // path-dependent
@@ -493,10 +496,7 @@ mod tests {
         let c = u.prop("chaos");
         let f = p.clone().and(q.clone().not()).ag();
         let w = f.weaken_for_chaos(c);
-        assert_eq!(
-            w.show(&u),
-            "AG (((p | chaos) & (!(q) | chaos)))"
-        );
+        assert_eq!(w.show(&u), "AG (((p | chaos) & (!(q) | chaos)))");
     }
 
     #[test]

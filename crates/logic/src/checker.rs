@@ -51,6 +51,9 @@ pub struct Checker<'a> {
     /// Number of fixpoint/backward-induction iterations performed (a cheap
     /// work measure for the benchmarks).
     pub iterations: u64,
+    /// Number of `(state, subformula)` labelings computed — state count
+    /// summed over every non-memoized subformula evaluation.
+    pub labeled_states: u64,
 }
 
 impl<'a> Checker<'a> {
@@ -82,6 +85,7 @@ impl<'a> Checker<'a> {
             deadlocked,
             cache: HashMap::new(),
             iterations: 0,
+            labeled_states: 0,
         }
     }
 
@@ -99,10 +103,7 @@ impl<'a> Checker<'a> {
     /// level judgement `M ⊨ φ`.
     pub fn satisfies(&mut self, f: &Formula) -> bool {
         let sat = self.sat(f);
-        self.m
-            .initial_states()
-            .iter()
-            .all(|s| sat[s.index()])
+        self.m.initial_states().iter().all(|s| sat[s.index()])
     }
 
     /// An initial state violating `f`, if any.
@@ -121,6 +122,7 @@ impl<'a> Checker<'a> {
             return v.clone();
         }
         let v = self.compute(f);
+        self.labeled_states += v.len() as u64;
         self.cache.insert(f.clone(), v.clone());
         v
     }
@@ -314,7 +316,6 @@ impl<'a> Checker<'a> {
         }
         layers
     }
-
 }
 
 /// Evaluation mode for bounded operators.
@@ -425,7 +426,7 @@ mod tests {
         assert!(holds(&m, &u, "EF[2,2] q"));
         assert!(!holds(&m, &u, "EF[0,1] q"));
         assert!(!holds(&m, &u, "AF[0,2] q")); // dead branch
-        // On the chain without branching, AF bound works:
+                                              // On the chain without branching, AF bound works:
         let chain = AutomatonBuilder::new(&u, "chain")
             .state("c0")
             .initial("c0")

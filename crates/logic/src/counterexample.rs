@@ -114,8 +114,19 @@ pub fn check_with(checker: &mut Checker<'_>, f: &Formula) -> Result<Verdict, Log
 /// See [`check`].
 pub fn check_all(m: &Automaton, fs: &[Formula]) -> Result<Verdict, LogicError> {
     let mut checker = Checker::new(m);
+    check_all_with(&mut checker, fs)
+}
+
+/// Like [`check_all`], reusing an existing [`Checker`] — callers that need
+/// the checker's work counters (`iterations`, `labeled_states`) afterwards
+/// construct the checker themselves and pass it in.
+///
+/// # Errors
+///
+/// See [`check`].
+pub fn check_all_with(checker: &mut Checker<'_>, fs: &[Formula]) -> Result<Verdict, LogicError> {
     for f in fs {
-        match check_with(&mut checker, f)? {
+        match check_with(checker, f)? {
             Verdict::Holds => continue,
             v => return Ok(v),
         }
@@ -176,11 +187,7 @@ pub fn deadlock_counterexamples(m: &Automaton, max: usize) -> Vec<Counterexample
             Counterexample {
                 run: Run::regular(states, labels),
                 violated: Formula::deadlock_free(),
-                description: format!(
-                    "deadlock at `{}` in {}",
-                    m.state_name(dead),
-                    m.name()
-                ),
+                description: format!("deadlock at `{}` in {}", m.state_name(dead), m.name()),
             }
         })
         .collect()
@@ -290,11 +297,7 @@ fn is_state_local(f: &Formula) -> bool {
 
 /// Shortest path (over real transitions) from `from` to any state in
 /// `targets`, as `(states, labels)` with `states[0] == from`.
-fn bfs_path(
-    m: &Automaton,
-    from: StateId,
-    targets: &[bool],
-) -> Option<(Vec<StateId>, Vec<Label>)> {
+fn bfs_path(m: &Automaton, from: StateId, targets: &[bool]) -> Option<(Vec<StateId>, Vec<Label>)> {
     use std::collections::VecDeque;
     let n = m.state_count();
     let mut parent: Vec<Option<(StateId, Label)>> = vec![None; n];

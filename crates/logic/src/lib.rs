@@ -32,7 +32,7 @@ mod witness;
 pub use ast::{Bound, Formula};
 pub use checker::Checker;
 pub use counterexample::{
-    check, check_all, check_with, deadlock_counterexamples, Counterexample, Verdict,
+    check, check_all, check_all_with, check_with, deadlock_counterexamples, Counterexample, Verdict,
 };
 pub use error::LogicError;
 pub use parser::{parse, ParseError};

@@ -281,8 +281,8 @@ impl<'a> Parser<'a> {
                         break;
                     }
                 }
-                let name = std::str::from_utf8(&self.src[start..self.pos])
-                    .expect("ascii identifier");
+                let name =
+                    std::str::from_utf8(&self.src[start..self.pos]).expect("ascii identifier");
                 Ok(match name {
                     "true" => Formula::True,
                     "false" => Formula::False,
@@ -303,10 +303,7 @@ mod tests {
     fn parses_paper_constraint() {
         let u = Universe::new();
         let f = parse(&u, "AG !(rearRole.convoy & frontRole.noConvoy)").unwrap();
-        assert_eq!(
-            f.show(&u),
-            "AG (!((rearRole.convoy & frontRole.noConvoy)))"
-        );
+        assert_eq!(f.show(&u), "AG (!((rearRole.convoy & frontRole.noConvoy)))");
     }
 
     #[test]

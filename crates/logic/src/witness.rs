@@ -83,11 +83,9 @@ fn extend(
         Formula::Ef(None, inner) => {
             // BFS to the nearest state satisfying the continuation.
             let sat_inner = checker.sat(inner);
-            let (path_states, path_labels) =
-                bfs_to(checker.automaton(), here, &sat_inner).ok_or_else(|| {
-                    LogicError::UnsupportedCounterexample {
-                        formula: f.show(checker.automaton().universe()),
-                    }
+            let (path_states, path_labels) = bfs_to(checker.automaton(), here, &sat_inner)
+                .ok_or_else(|| LogicError::UnsupportedCounterexample {
+                    formula: f.show(checker.automaton().universe()),
                 })?;
             states.extend(path_states.into_iter().skip(1));
             labels.extend(path_labels);
@@ -171,11 +169,7 @@ fn extend(
     }
 }
 
-fn bfs_to(
-    m: &Automaton,
-    from: StateId,
-    targets: &[bool],
-) -> Option<(Vec<StateId>, Vec<Label>)> {
+fn bfs_to(m: &Automaton, from: StateId, targets: &[bool]) -> Option<(Vec<StateId>, Vec<Label>)> {
     use std::collections::VecDeque;
     let n = m.state_count();
     let mut parent: Vec<Option<(StateId, Label)>> = vec![None; n];

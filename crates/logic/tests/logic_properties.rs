@@ -2,10 +2,12 @@
 //! for every formula on every model — NNF preservation, negation duality,
 //! bounded/unbounded operator coherence, and chaos-weakening neutrality on
 //! chaos-free models.
+//!
+//! Random inputs come from `muml-testkit` (deterministic splitmix64 cases).
 
 use muml_automata::{Automaton, AutomatonBuilder, Universe};
 use muml_logic::{Bound, Checker, Formula};
-use proptest::prelude::*;
+use muml_testkit::{cases, Rng};
 
 /// Pure-data model description: up to `n` states, transitions as (from,
 /// to) pairs (labels are irrelevant to CTL), two propositions p/q assigned
@@ -18,15 +20,13 @@ struct ModelSpec {
     q: Vec<bool>,
 }
 
-fn model_strategy(max_states: usize, max_edges: usize) -> impl Strategy<Value = ModelSpec> {
-    (1..=max_states).prop_flat_map(move |n| {
-        (
-            proptest::collection::vec((0..n, 0..n), 0..=max_edges),
-            proptest::collection::vec(any::<bool>(), n),
-            proptest::collection::vec(any::<bool>(), n),
-        )
-            .prop_map(move |(edges, p, q)| ModelSpec { n, edges, p, q })
-    })
+fn gen_model(rng: &mut Rng, max_states: usize, max_edges: usize) -> ModelSpec {
+    let n = rng.range(1..=max_states);
+    let n_edges = rng.range(0..=max_edges);
+    let edges = rng.vec(n_edges, |r| (r.below(n), r.below(n)));
+    let p = rng.vec(n, |r| r.bool());
+    let q = rng.vec(n, |r| r.bool());
+    ModelSpec { n, edges, p, q }
 }
 
 fn build(u: &Universe, spec: &ModelSpec) -> Automaton {
@@ -48,33 +48,6 @@ fn build(u: &Universe, spec: &ModelSpec) -> Automaton {
     b.build().expect("model builds")
 }
 
-/// Recursive random CCTL formula over props p/q.
-fn formula_strategy(depth: u32) -> impl Strategy<Value = FormulaSpec> {
-    let leaf = prop_oneof![
-        Just(FormulaSpec::P),
-        Just(FormulaSpec::Q),
-        Just(FormulaSpec::True),
-        Just(FormulaSpec::Deadlock),
-    ];
-    leaf.prop_recursive(depth, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| FormulaSpec::Not(Box::new(f))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| FormulaSpec::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| FormulaSpec::Or(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|f| FormulaSpec::Ax(Box::new(f))),
-            inner.clone().prop_map(|f| FormulaSpec::Ef(Box::new(f))),
-            inner.clone().prop_map(|f| FormulaSpec::Ag(Box::new(f))),
-            inner.clone().prop_map(|f| FormulaSpec::Af(Box::new(f))),
-            (inner.clone(), 0u32..3, 0u32..4)
-                .prop_map(|(f, lo, d)| FormulaSpec::AfB(Box::new(f), lo, lo + d)),
-            (inner, 0u32..3, 0u32..4)
-                .prop_map(|(f, lo, d)| FormulaSpec::EgB(Box::new(f), lo, lo + d)),
-        ]
-    })
-}
-
 #[derive(Debug, Clone)]
 enum FormulaSpec {
     P,
@@ -92,6 +65,47 @@ enum FormulaSpec {
     EgB(Box<FormulaSpec>, u32, u32),
 }
 
+/// Recursive random CCTL formula over props p/q, at most `depth` operator
+/// layers deep.
+fn gen_formula(rng: &mut Rng, depth: u32) -> FormulaSpec {
+    let leaf = |rng: &mut Rng| match rng.below(4) {
+        0 => FormulaSpec::P,
+        1 => FormulaSpec::Q,
+        2 => FormulaSpec::True,
+        _ => FormulaSpec::Deadlock,
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.below(12) {
+        // Keep a share of leaves at every depth so sizes vary.
+        0..=2 => leaf(rng),
+        3 => FormulaSpec::Not(Box::new(gen_formula(rng, depth - 1))),
+        4 => FormulaSpec::And(
+            Box::new(gen_formula(rng, depth - 1)),
+            Box::new(gen_formula(rng, depth - 1)),
+        ),
+        5 => FormulaSpec::Or(
+            Box::new(gen_formula(rng, depth - 1)),
+            Box::new(gen_formula(rng, depth - 1)),
+        ),
+        6 => FormulaSpec::Ax(Box::new(gen_formula(rng, depth - 1))),
+        7 => FormulaSpec::Ef(Box::new(gen_formula(rng, depth - 1))),
+        8 => FormulaSpec::Ag(Box::new(gen_formula(rng, depth - 1))),
+        9 => FormulaSpec::Af(Box::new(gen_formula(rng, depth - 1))),
+        10 => {
+            let lo = rng.below(3) as u32;
+            let d = rng.below(4) as u32;
+            FormulaSpec::AfB(Box::new(gen_formula(rng, depth - 1)), lo, lo + d)
+        }
+        _ => {
+            let lo = rng.below(3) as u32;
+            let d = rng.below(4) as u32;
+            FormulaSpec::EgB(Box::new(gen_formula(rng, depth - 1)), lo, lo + d)
+        }
+    }
+}
+
 fn to_formula(u: &Universe, s: &FormulaSpec) -> Formula {
     match s {
         FormulaSpec::P => Formula::prop_named(u, "p"),
@@ -106,35 +120,32 @@ fn to_formula(u: &Universe, s: &FormulaSpec) -> Formula {
         FormulaSpec::Ag(f) => to_formula(u, f).ag(),
         FormulaSpec::Af(f) => to_formula(u, f).af(),
         FormulaSpec::AfB(f, lo, hi) => to_formula(u, f).af_within(*lo, *hi),
-        FormulaSpec::EgB(f, lo, hi) => Formula::Eg(
-            Some(Bound::new(*lo, *hi)),
-            Box::new(to_formula(u, f)),
-        ),
+        FormulaSpec::EgB(f, lo, hi) => {
+            Formula::Eg(Some(Bound::new(*lo, *hi)), Box::new(to_formula(u, f)))
+        }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// NNF conversion preserves the satisfaction set.
-    #[test]
-    fn nnf_preserves_semantics(
-        spec in model_strategy(5, 10),
-        fspec in formula_strategy(3),
-    ) {
+/// NNF conversion preserves the satisfaction set.
+#[test]
+fn nnf_preserves_semantics() {
+    cases(96, |rng| {
+        let spec = gen_model(rng, 5, 10);
+        let fspec = gen_formula(rng, 3);
         let u = Universe::new();
         let m = build(&u, &spec);
         let f = to_formula(&u, &fspec);
         let mut c = Checker::new(&m);
-        prop_assert_eq!(c.sat(&f), c.sat(&f.to_nnf()));
-    }
+        assert_eq!(c.sat(&f), c.sat(&f.to_nnf()));
+    });
+}
 
-    /// Negation is complementation: sat(¬f) = ¬sat(f), pointwise.
-    #[test]
-    fn negation_complements(
-        spec in model_strategy(5, 10),
-        fspec in formula_strategy(3),
-    ) {
+/// Negation is complementation: sat(¬f) = ¬sat(f), pointwise.
+#[test]
+fn negation_complements() {
+    cases(96, |rng| {
+        let spec = gen_model(rng, 5, 10);
+        let fspec = gen_formula(rng, 3);
         let u = Universe::new();
         let m = build(&u, &spec);
         let f = to_formula(&u, &fspec);
@@ -142,18 +153,19 @@ proptest! {
         let pos = c.sat(&f);
         let neg = c.sat(&f.clone().not());
         for (a, b) in pos.iter().zip(&neg) {
-            prop_assert_ne!(a, b);
+            assert_ne!(a, b);
         }
-    }
+    });
+}
 
-    /// Bounded eventually implies unbounded: AF[lo,hi] f ⊆ AF f.
-    #[test]
-    fn bounded_af_implies_unbounded(
-        spec in model_strategy(5, 10),
-        fspec in formula_strategy(2),
-        lo in 0u32..3,
-        d in 0u32..4,
-    ) {
+/// Bounded eventually implies unbounded: AF[lo,hi] f ⊆ AF f.
+#[test]
+fn bounded_af_implies_unbounded() {
+    cases(96, |rng| {
+        let spec = gen_model(rng, 5, 10);
+        let fspec = gen_formula(rng, 2);
+        let lo = rng.below(3) as u32;
+        let d = rng.below(4) as u32;
         let u = Universe::new();
         let m = build(&u, &spec);
         let f = to_formula(&u, &fspec);
@@ -161,18 +173,19 @@ proptest! {
         let bounded = c.sat(&f.clone().af_within(lo, lo + d));
         let unbounded = c.sat(&f.af());
         for (b, ub) in bounded.iter().zip(&unbounded) {
-            prop_assert!(!b || *ub, "AF[{lo},{}] must imply AF", lo + d);
+            assert!(!b || *ub, "AF[{lo},{}] must imply AF", lo + d);
         }
-    }
+    });
+}
 
-    /// Widening the window is monotone: AF[lo,hi] f ⊆ AF[lo,hi+1] f.
-    #[test]
-    fn widening_window_is_monotone(
-        spec in model_strategy(5, 10),
-        fspec in formula_strategy(2),
-        lo in 0u32..3,
-        d in 0u32..3,
-    ) {
+/// Widening the window is monotone: AF[lo,hi] f ⊆ AF[lo,hi+1] f.
+#[test]
+fn widening_window_is_monotone() {
+    cases(96, |rng| {
+        let spec = gen_model(rng, 5, 10);
+        let fspec = gen_formula(rng, 2);
+        let lo = rng.below(3) as u32;
+        let d = rng.below(3) as u32;
         let u = Universe::new();
         let m = build(&u, &spec);
         let f = to_formula(&u, &fspec);
@@ -180,16 +193,17 @@ proptest! {
         let narrow = c.sat(&f.clone().af_within(lo, lo + d));
         let wide = c.sat(&f.af_within(lo, lo + d + 1));
         for (n, w) in narrow.iter().zip(&wide) {
-            prop_assert!(!n || *w);
+            assert!(!n || *w);
         }
-    }
+    });
+}
 
-    /// AG f ∧ state satisfies f: AG f ⊆ f (G includes "now").
-    #[test]
-    fn ag_implies_now(
-        spec in model_strategy(5, 10),
-        fspec in formula_strategy(2),
-    ) {
+/// AG f ∧ state satisfies f: AG f ⊆ f (G includes "now").
+#[test]
+fn ag_implies_now() {
+    cases(96, |rng| {
+        let spec = gen_model(rng, 5, 10);
+        let fspec = gen_formula(rng, 2);
         let u = Universe::new();
         let m = build(&u, &spec);
         let f = to_formula(&u, &fspec);
@@ -197,44 +211,49 @@ proptest! {
         let ag = c.sat(&f.clone().ag());
         let now = c.sat(&f);
         for (a, n) in ag.iter().zip(&now) {
-            prop_assert!(!a || *n);
+            assert!(!a || *n);
         }
-    }
+    });
+}
 
-    /// De Morgan over path quantifiers: ¬EF f ≡ AG ¬f.
-    #[test]
-    fn ef_ag_duality(
-        spec in model_strategy(5, 10),
-        fspec in formula_strategy(2),
-    ) {
+/// De Morgan over path quantifiers: ¬EF f ≡ AG ¬f.
+#[test]
+fn ef_ag_duality() {
+    cases(96, |rng| {
+        let spec = gen_model(rng, 5, 10);
+        let fspec = gen_formula(rng, 2);
         let u = Universe::new();
         let m = build(&u, &spec);
         let f = to_formula(&u, &fspec);
         let mut c = Checker::new(&m);
         let not_ef = c.sat(&f.clone().ef().not());
         let ag_not = c.sat(&f.not().ag());
-        prop_assert_eq!(not_ef, ag_not);
-    }
+        assert_eq!(not_ef, ag_not);
+    });
+}
 
-    /// Chaos weakening is the identity on models that never carry the
-    /// chaos proposition.
-    #[test]
-    fn weakening_neutral_without_chaos_states(
-        spec in model_strategy(5, 10),
-        fspec in formula_strategy(3),
-    ) {
+/// Chaos weakening is the identity on models that never carry the
+/// chaos proposition.
+#[test]
+fn weakening_neutral_without_chaos_states() {
+    cases(96, |rng| {
+        let spec = gen_model(rng, 5, 10);
+        let fspec = gen_formula(rng, 3);
         let u = Universe::new();
         let m = build(&u, &spec);
         let chaos = u.prop("__chaos__");
         let f = to_formula(&u, &fspec);
         let mut c = Checker::new(&m);
-        prop_assert_eq!(c.sat(&f), c.sat(&f.weaken_for_chaos(chaos)));
-    }
+        assert_eq!(c.sat(&f), c.sat(&f.weaken_for_chaos(chaos)));
+    });
+}
 
-    /// `witness(EF p)` agrees with satisfiability and returns a valid run
-    /// ending in a p-state.
-    #[test]
-    fn ef_witness_agrees_with_sat(spec in model_strategy(5, 10)) {
+/// `witness(EF p)` agrees with satisfiability and returns a valid run
+/// ending in a p-state.
+#[test]
+fn ef_witness_agrees_with_sat() {
+    cases(96, |rng| {
+        let spec = gen_model(rng, 5, 10);
         let u = Universe::new();
         let m = build(&u, &spec);
         let p = Formula::prop_named(&u, "p");
@@ -243,11 +262,11 @@ proptest! {
         let holds = m.initial_states().iter().any(|s| c.sat(&f)[s.index()]);
         match muml_logic::witness(&m, &f).unwrap() {
             Some(run) => {
-                prop_assert!(holds);
-                prop_assert!(run.validate_in(&m));
-                prop_assert!(m.props_of(run.last_state()).contains(u.prop("p")));
+                assert!(holds);
+                assert!(run.validate_in(&m));
+                assert!(m.props_of(run.last_state()).contains(u.prop("p")));
             }
-            None => prop_assert!(!holds),
+            None => assert!(!holds),
         }
-    }
+    });
 }

@@ -292,10 +292,7 @@ mod tests {
         assert_eq!(ctx.component_inputs, u.signals(["callee.ping"]));
         assert_eq!(ctx.component_outputs, u.signals(["callee.pong"]));
         // callee's signals are open in the context automaton
-        assert!(ctx
-            .automaton
-            .outputs()
-            .contains(u.signal("callee.ping")));
+        assert!(ctx.automaton.outputs().contains(u.signal("callee.ping")));
         assert!(ctx.automaton.inputs().contains(u.signal("callee.pong")));
     }
 

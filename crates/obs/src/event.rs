@@ -1,0 +1,337 @@
+//! The event vocabulary of the synthesis loop.
+
+use crate::json::Json;
+
+/// Final outcome of a synthesis-loop run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// `M_r^c ∥ M_r ⊨ φ ∧ ¬δ` — the integration is proven correct.
+    Proven,
+    /// A confirmed counterexample — a real integration fault.
+    RealFault,
+    /// The iteration cap was hit (should not happen for finite
+    /// deterministic components).
+    IterationLimit,
+}
+
+impl RunOutcome {
+    /// Stable lower-case name (used by the JSON encoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            RunOutcome::Proven => "proven",
+            RunOutcome::RealFault => "real_fault",
+            RunOutcome::IterationLimit => "iteration_limit",
+        }
+    }
+}
+
+/// One observable step of the verify → test → learn loop (Figure 2).
+///
+/// Every variant that belongs to an iteration carries its 0-based
+/// `iteration` index; durations are monotonic nanoseconds. The mapping to
+/// the paper's artefacts is documented per variant (and summarized in
+/// DESIGN.md §Observability).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopEvent {
+    /// The loop started: which components are being integrated against how
+    /// many properties (besides the always-checked deadlock freedom).
+    RunStarted {
+        /// Names of the legacy components under integration.
+        components: Vec<String>,
+        /// Number of user-supplied properties.
+        properties: usize,
+    },
+    /// Initial behaviour synthesis (Section 3): the trivial incomplete
+    /// automaton `M_l^0` was built for a component.
+    InitialAbstraction {
+        /// The component.
+        component: String,
+        /// `|Q|` of `M_l^0` (1 for the trivial automaton).
+        states: usize,
+        /// `|T|` — known transitions.
+        transitions: usize,
+        /// `|T̄|` — known refusals.
+        refusals: usize,
+    },
+    /// A verification iteration began.
+    IterationStarted {
+        /// 0-based iteration index.
+        iteration: usize,
+    },
+    /// `M_a^c ∥ chaos(M_l^i)` was computed (Definition 3).
+    Composed {
+        /// Iteration index.
+        iteration: usize,
+        /// Reachable product states.
+        product_states: usize,
+        /// Transitions of the product.
+        transitions: usize,
+        /// Concrete labels enumerated while expanding free-signal subsets.
+        expanded_labels: u64,
+        /// Symbolic guard families emitted un-expanded (the closure's `*`
+        /// transitions the context did not pin down).
+        family_guards: u64,
+        /// Wall-clock nanoseconds spent composing.
+        nanos: u64,
+    },
+    /// The model checker ran on the composition (Section 4.1).
+    ModelChecked {
+        /// Iteration index.
+        iteration: usize,
+        /// `true` iff all properties hold — the run ends `Proven`.
+        holds: bool,
+        /// The violated property (rendered), if any.
+        violated: Option<String>,
+        /// Fixpoint / backward-induction iterations performed.
+        fixpoint_iterations: u64,
+        /// `(state, subformula)` labelings computed.
+        labeled_states: u64,
+        /// Wall-clock nanoseconds spent checking.
+        nanos: u64,
+    },
+    /// A counterexample was extracted (the test input of Section 4.2;
+    /// Listings 1.1/1.4 are renderings of these).
+    CounterexampleExtracted {
+        /// Iteration index.
+        iteration: usize,
+        /// The violated property (rendered).
+        property: String,
+        /// Steps in the counterexample run.
+        length: usize,
+        /// `true` for deadlock (¬δ) counterexamples — these drive learning.
+        deadlock: bool,
+    },
+    /// The counterexample projection was executed against a real component
+    /// with record + deterministic replay (Listings 1.2/1.3).
+    ReplayExecuted {
+        /// Iteration index.
+        iteration: usize,
+        /// The component driven.
+        component: String,
+        /// Steps of the resulting observation.
+        steps: usize,
+        /// Raw component steps driven by the harness (live + re-record +
+        /// replay).
+        driven_steps: usize,
+        /// Step index of the first output divergence, if the component
+        /// refuted the counterexample.
+        divergence: Option<usize>,
+        /// Wall-clock nanoseconds spent executing.
+        nanos: u64,
+    },
+    /// Observations were merged into `M_l^{i+1}` (Definitions 11/12,
+    /// Listing 1.5). Deltas are against the start of the learn step; every
+    /// non-terminal iteration strictly grows `|T| + |T̄|` (Theorem 2).
+    LearnStep {
+        /// Iteration index.
+        iteration: usize,
+        /// The component whose model was refined.
+        component: String,
+        /// Δ|Q| — newly discovered states.
+        delta_states: usize,
+        /// Δ|T| — newly learned transitions.
+        delta_transitions: usize,
+        /// Δ|T̄| — newly learned refusals.
+        delta_refusals: usize,
+    },
+    /// A confirmed deadlock trace was probed at the frontier (the driver's
+    /// refinement of the paper's prose; see `muml_core::probe`).
+    FrontierProbed {
+        /// Iteration index.
+        iteration: usize,
+        /// The component probed.
+        component: String,
+        /// Probe executions against this component.
+        probes: usize,
+        /// Whether probing this component produced new knowledge.
+        learned: bool,
+        /// Wall-clock nanoseconds spent probing.
+        nanos: u64,
+    },
+    /// The loop finished.
+    RunFinished {
+        /// Total verification iterations.
+        iterations: usize,
+        /// The verdict.
+        outcome: RunOutcome,
+        /// Wall-clock nanoseconds for the whole run.
+        nanos: u64,
+    },
+}
+
+impl LoopEvent {
+    /// Stable snake_case tag of the variant (the `event` field of the JSON
+    /// encoding).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LoopEvent::RunStarted { .. } => "run_started",
+            LoopEvent::InitialAbstraction { .. } => "initial_abstraction",
+            LoopEvent::IterationStarted { .. } => "iteration_started",
+            LoopEvent::Composed { .. } => "composed",
+            LoopEvent::ModelChecked { .. } => "model_checked",
+            LoopEvent::CounterexampleExtracted { .. } => "counterexample_extracted",
+            LoopEvent::ReplayExecuted { .. } => "replay_executed",
+            LoopEvent::LearnStep { .. } => "learn_step",
+            LoopEvent::FrontierProbed { .. } => "frontier_probed",
+            LoopEvent::RunFinished { .. } => "run_finished",
+        }
+    }
+
+    /// The iteration this event belongs to, if any.
+    pub fn iteration(&self) -> Option<usize> {
+        match self {
+            LoopEvent::IterationStarted { iteration }
+            | LoopEvent::Composed { iteration, .. }
+            | LoopEvent::ModelChecked { iteration, .. }
+            | LoopEvent::CounterexampleExtracted { iteration, .. }
+            | LoopEvent::ReplayExecuted { iteration, .. }
+            | LoopEvent::LearnStep { iteration, .. }
+            | LoopEvent::FrontierProbed { iteration, .. } => Some(*iteration),
+            LoopEvent::RunStarted { .. }
+            | LoopEvent::InitialAbstraction { .. }
+            | LoopEvent::RunFinished { .. } => None,
+        }
+    }
+
+    /// The JSON object encoding of the event (field `event` carries
+    /// [`LoopEvent::kind`]; remaining fields mirror the variant's).
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![("event".to_owned(), Json::Str(self.kind().to_owned()))];
+        match self {
+            LoopEvent::RunStarted {
+                components,
+                properties,
+            } => {
+                obj.push((
+                    "components".into(),
+                    Json::Array(components.iter().map(|c| Json::Str(c.clone())).collect()),
+                ));
+                obj.push(("properties".into(), Json::from_usize(*properties)));
+            }
+            LoopEvent::InitialAbstraction {
+                component,
+                states,
+                transitions,
+                refusals,
+            } => {
+                obj.push(("component".into(), Json::Str(component.clone())));
+                obj.push(("states".into(), Json::from_usize(*states)));
+                obj.push(("transitions".into(), Json::from_usize(*transitions)));
+                obj.push(("refusals".into(), Json::from_usize(*refusals)));
+            }
+            LoopEvent::IterationStarted { iteration } => {
+                obj.push(("iteration".into(), Json::from_usize(*iteration)));
+            }
+            LoopEvent::Composed {
+                iteration,
+                product_states,
+                transitions,
+                expanded_labels,
+                family_guards,
+                nanos,
+            } => {
+                obj.push(("iteration".into(), Json::from_usize(*iteration)));
+                obj.push(("product_states".into(), Json::from_usize(*product_states)));
+                obj.push(("transitions".into(), Json::from_usize(*transitions)));
+                obj.push(("expanded_labels".into(), Json::from_u64(*expanded_labels)));
+                obj.push(("family_guards".into(), Json::from_u64(*family_guards)));
+                obj.push(("nanos".into(), Json::from_u64(*nanos)));
+            }
+            LoopEvent::ModelChecked {
+                iteration,
+                holds,
+                violated,
+                fixpoint_iterations,
+                labeled_states,
+                nanos,
+            } => {
+                obj.push(("iteration".into(), Json::from_usize(*iteration)));
+                obj.push(("holds".into(), Json::Bool(*holds)));
+                obj.push((
+                    "violated".into(),
+                    match violated {
+                        Some(v) => Json::Str(v.clone()),
+                        None => Json::Null,
+                    },
+                ));
+                obj.push((
+                    "fixpoint_iterations".into(),
+                    Json::from_u64(*fixpoint_iterations),
+                ));
+                obj.push(("labeled_states".into(), Json::from_u64(*labeled_states)));
+                obj.push(("nanos".into(), Json::from_u64(*nanos)));
+            }
+            LoopEvent::CounterexampleExtracted {
+                iteration,
+                property,
+                length,
+                deadlock,
+            } => {
+                obj.push(("iteration".into(), Json::from_usize(*iteration)));
+                obj.push(("property".into(), Json::Str(property.clone())));
+                obj.push(("length".into(), Json::from_usize(*length)));
+                obj.push(("deadlock".into(), Json::Bool(*deadlock)));
+            }
+            LoopEvent::ReplayExecuted {
+                iteration,
+                component,
+                steps,
+                driven_steps,
+                divergence,
+                nanos,
+            } => {
+                obj.push(("iteration".into(), Json::from_usize(*iteration)));
+                obj.push(("component".into(), Json::Str(component.clone())));
+                obj.push(("steps".into(), Json::from_usize(*steps)));
+                obj.push(("driven_steps".into(), Json::from_usize(*driven_steps)));
+                obj.push((
+                    "divergence".into(),
+                    match divergence {
+                        Some(d) => Json::from_usize(*d),
+                        None => Json::Null,
+                    },
+                ));
+                obj.push(("nanos".into(), Json::from_u64(*nanos)));
+            }
+            LoopEvent::LearnStep {
+                iteration,
+                component,
+                delta_states,
+                delta_transitions,
+                delta_refusals,
+            } => {
+                obj.push(("iteration".into(), Json::from_usize(*iteration)));
+                obj.push(("component".into(), Json::Str(component.clone())));
+                obj.push(("delta_states".into(), Json::from_usize(*delta_states)));
+                obj.push((
+                    "delta_transitions".into(),
+                    Json::from_usize(*delta_transitions),
+                ));
+                obj.push(("delta_refusals".into(), Json::from_usize(*delta_refusals)));
+            }
+            LoopEvent::FrontierProbed {
+                iteration,
+                component,
+                probes,
+                learned,
+                nanos,
+            } => {
+                obj.push(("iteration".into(), Json::from_usize(*iteration)));
+                obj.push(("component".into(), Json::Str(component.clone())));
+                obj.push(("probes".into(), Json::from_usize(*probes)));
+                obj.push(("learned".into(), Json::Bool(*learned)));
+                obj.push(("nanos".into(), Json::from_u64(*nanos)));
+            }
+            LoopEvent::RunFinished {
+                iterations,
+                outcome,
+                nanos,
+            } => {
+                obj.push(("iterations".into(), Json::from_usize(*iterations)));
+                obj.push(("outcome".into(), Json::Str(outcome.name().to_owned())));
+                obj.push(("nanos".into(), Json::from_u64(*nanos)));
+            }
+        }
+        Json::Object(obj)
+    }
+}

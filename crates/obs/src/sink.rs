@@ -1,0 +1,260 @@
+//! Event consumers.
+
+use std::io;
+
+use crate::event::LoopEvent;
+use crate::render::render_event;
+
+/// A consumer of [`LoopEvent`]s.
+///
+/// The driver emits every loop phase through one `&mut dyn EventSink`;
+/// sinks must therefore be cheap for events they ignore. Emission order is
+/// the loop's execution order and is deterministic for a deterministic
+/// workload (only the `nanos` payloads vary between runs).
+pub trait EventSink {
+    /// Handles one event.
+    fn emit(&mut self, event: &LoopEvent);
+}
+
+/// Discards every event. The sink behind the plain
+/// `verify_integration` entry point.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _event: &LoopEvent) {}
+}
+
+/// Collects events in memory, in emission order.
+#[derive(Debug, Default, Clone)]
+pub struct Collector {
+    /// The events received so far.
+    pub events: Vec<LoopEvent>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// Events belonging to iteration `i` (see [`LoopEvent::iteration`]).
+    pub fn iteration(&self, i: usize) -> Vec<&LoopEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.iteration() == Some(i))
+            .collect()
+    }
+
+    /// The variant tags of all events, in order — a timing-free
+    /// fingerprint of the run's shape.
+    pub fn kinds(&self) -> Vec<&'static str> {
+        self.events.iter().map(|e| e.kind()).collect()
+    }
+}
+
+impl EventSink for Collector {
+    fn emit(&mut self, event: &LoopEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Writes one JSON object per event, newline-delimited (JSON Lines), to
+/// any [`io::Write`]. Each line parses back with [`crate::json::parse`]
+/// and carries the variant tag under the `"event"` key.
+#[derive(Debug)]
+pub struct JsonWriter<W: io::Write> {
+    writer: W,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> JsonWriter<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonWriter {
+            writer,
+            error: None,
+        }
+    }
+
+    /// Flushes and returns the underlying writer, or the first write error
+    /// encountered while emitting.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: io::Write> EventSink for JsonWriter<W> {
+    fn emit(&mut self, event: &LoopEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event.to_json().encode();
+        line.push('\n');
+        if let Err(e) = self.writer.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Renders events human-readably (see [`render_event`]) to any
+/// [`io::Write`]; write errors are silently dropped, matching the
+/// best-effort nature of progress output.
+#[derive(Debug)]
+pub struct Renderer<W: io::Write> {
+    writer: W,
+}
+
+impl<W: io::Write> Renderer<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        Renderer { writer }
+    }
+
+    /// Returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: io::Write> EventSink for Renderer<W> {
+    fn emit(&mut self, event: &LoopEvent) {
+        let _ = writeln!(self.writer, "{}", render_event(event));
+    }
+}
+
+/// Fans one event stream out to two sinks (nest for more).
+#[derive(Debug)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: EventSink, B: EventSink> EventSink for Tee<A, B> {
+    fn emit(&mut self, event: &LoopEvent) {
+        self.0.emit(event);
+        self.1.emit(event);
+    }
+}
+
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    fn emit(&mut self, event: &LoopEvent) {
+        (**self).emit(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RunOutcome;
+    use crate::json::{parse, Json};
+
+    fn sample_events() -> Vec<LoopEvent> {
+        vec![
+            LoopEvent::RunStarted {
+                components: vec!["front".into()],
+                properties: 1,
+            },
+            LoopEvent::InitialAbstraction {
+                component: "front".into(),
+                states: 1,
+                transitions: 0,
+                refusals: 0,
+            },
+            LoopEvent::IterationStarted { iteration: 0 },
+            LoopEvent::Composed {
+                iteration: 0,
+                product_states: 12,
+                transitions: 30,
+                expanded_labels: 64,
+                family_guards: 2,
+                nanos: 1234,
+            },
+            LoopEvent::ModelChecked {
+                iteration: 0,
+                holds: false,
+                violated: Some("¬δ".into()),
+                fixpoint_iterations: 9,
+                labeled_states: 120,
+                nanos: 999,
+            },
+            LoopEvent::CounterexampleExtracted {
+                iteration: 0,
+                property: "¬δ".into(),
+                length: 4,
+                deadlock: true,
+            },
+            LoopEvent::ReplayExecuted {
+                iteration: 0,
+                component: "front".into(),
+                steps: 4,
+                driven_steps: 12,
+                divergence: Some(2),
+                nanos: 555,
+            },
+            LoopEvent::LearnStep {
+                iteration: 0,
+                component: "front".into(),
+                delta_states: 2,
+                delta_transitions: 3,
+                delta_refusals: 1,
+            },
+            LoopEvent::FrontierProbed {
+                iteration: 0,
+                component: "front".into(),
+                probes: 5,
+                learned: true,
+                nanos: 321,
+            },
+            LoopEvent::RunFinished {
+                iterations: 1,
+                outcome: RunOutcome::Proven,
+                nanos: 4321,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_writer_round_trips_every_variant() {
+        let mut writer = JsonWriter::new(Vec::new());
+        let events = sample_events();
+        for event in &events {
+            writer.emit(event);
+        }
+        let bytes = writer.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), events.len());
+        for (line, event) in lines.iter().zip(&events) {
+            let parsed = parse(line).unwrap();
+            // The line parses back to exactly the object the event encodes.
+            assert_eq!(parsed, event.to_json());
+            assert_eq!(
+                parsed.get("event").and_then(Json::as_str),
+                Some(event.kind())
+            );
+        }
+    }
+
+    #[test]
+    fn collector_indexes_by_iteration() {
+        let mut collector = Collector::new();
+        for event in &sample_events() {
+            collector.emit(event);
+        }
+        assert_eq!(collector.events.len(), 10);
+        assert_eq!(collector.iteration(0).len(), 7);
+        assert_eq!(collector.kinds()[0], "run_started");
+        assert_eq!(*collector.kinds().last().unwrap(), "run_finished");
+    }
+
+    #[test]
+    fn tee_duplicates_the_stream() {
+        let mut tee = Tee(Collector::new(), Collector::new());
+        for event in &sample_events() {
+            tee.emit(event);
+        }
+        assert_eq!(tee.0.events, tee.1.events);
+    }
+}

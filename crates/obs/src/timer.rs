@@ -1,0 +1,149 @@
+//! Monotonic per-phase timers for the synthesis loop.
+
+use std::time::Instant;
+
+/// The instrumented phases of one verification iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Parallel composition `M_a^c ∥ chaos(M_l^i)`.
+    Compose,
+    /// Model checking `φ ∧ ¬δ`.
+    Check,
+    /// Counterexample execution against the real components.
+    Test,
+    /// Merging observations into the incomplete automata.
+    Learn,
+    /// Frontier probing of confirmed deadlock traces.
+    Probe,
+}
+
+impl Phase {
+    /// All phases, in loop order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Compose,
+        Phase::Check,
+        Phase::Test,
+        Phase::Learn,
+        Phase::Probe,
+    ];
+
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Compose => "compose",
+            Phase::Check => "check",
+            Phase::Test => "test",
+            Phase::Learn => "learn",
+            Phase::Probe => "probe",
+        }
+    }
+}
+
+/// Cumulative wall-clock nanoseconds per [`Phase`], aggregated over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Nanoseconds spent composing.
+    pub compose_ns: u64,
+    /// Nanoseconds spent model checking.
+    pub check_ns: u64,
+    /// Nanoseconds spent executing tests.
+    pub test_ns: u64,
+    /// Nanoseconds spent learning.
+    pub learn_ns: u64,
+    /// Nanoseconds spent frontier probing.
+    pub probe_ns: u64,
+}
+
+impl PhaseTimings {
+    /// Adds `nanos` to the accumulator for `phase`.
+    pub fn add(&mut self, phase: Phase, nanos: u64) {
+        let slot = match phase {
+            Phase::Compose => &mut self.compose_ns,
+            Phase::Check => &mut self.check_ns,
+            Phase::Test => &mut self.test_ns,
+            Phase::Learn => &mut self.learn_ns,
+            Phase::Probe => &mut self.probe_ns,
+        };
+        *slot = slot.saturating_add(nanos);
+    }
+
+    /// The accumulator for `phase`.
+    pub fn get(&self, phase: Phase) -> u64 {
+        match phase {
+            Phase::Compose => self.compose_ns,
+            Phase::Check => self.check_ns,
+            Phase::Test => self.test_ns,
+            Phase::Learn => self.learn_ns,
+            Phase::Probe => self.probe_ns,
+        }
+    }
+
+    /// Total nanoseconds across all phases.
+    pub fn total_ns(&self) -> u64 {
+        Phase::ALL.iter().map(|&p| self.get(p)).sum()
+    }
+}
+
+/// A running stopwatch for one phase occurrence.
+///
+/// ```
+/// use muml_obs::{Phase, PhaseTimer, PhaseTimings};
+/// let mut timings = PhaseTimings::default();
+/// let timer = PhaseTimer::start(Phase::Compose);
+/// // ... work ...
+/// let nanos = timer.stop(&mut timings);
+/// assert_eq!(timings.compose_ns, nanos);
+/// ```
+#[derive(Debug)]
+pub struct PhaseTimer {
+    phase: Phase,
+    started: Instant,
+}
+
+impl PhaseTimer {
+    /// Starts timing `phase` now.
+    pub fn start(phase: Phase) -> Self {
+        PhaseTimer {
+            phase,
+            started: Instant::now(),
+        }
+    }
+
+    /// The phase being timed.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Stops the stopwatch, folds the elapsed time into `timings`, and
+    /// returns the elapsed nanoseconds.
+    pub fn stop(self, timings: &mut PhaseTimings) -> u64 {
+        let nanos = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        timings.add(self.phase, nanos);
+        nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_accumulate_per_phase() {
+        let mut t = PhaseTimings::default();
+        t.add(Phase::Compose, 10);
+        t.add(Phase::Compose, 5);
+        t.add(Phase::Check, 7);
+        assert_eq!(t.compose_ns, 15);
+        assert_eq!(t.check_ns, 7);
+        assert_eq!(t.total_ns(), 22);
+    }
+
+    #[test]
+    fn timer_records_elapsed_time() {
+        let mut t = PhaseTimings::default();
+        let timer = PhaseTimer::start(Phase::Test);
+        let nanos = timer.stop(&mut t);
+        assert_eq!(t.test_ns, nanos);
+        assert_eq!(t.get(Phase::Test), nanos);
+    }
+}

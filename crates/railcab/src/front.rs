@@ -40,7 +40,12 @@ pub fn front_role_rtsc(u: &muml_automata::Universe) -> Rtsc {
         .state("break")
         .deny_stay("break")
         .prop("break", "front.convoy")
-        .transition("noConvoy::default", "noConvoy::answer", [CONVOY_PROPOSAL], [])
+        .transition(
+            "noConvoy::default",
+            "noConvoy::answer",
+            [CONVOY_PROPOSAL],
+            [],
+        )
         .transition(
             "noConvoy::answer",
             "noConvoy::default",
@@ -95,7 +100,7 @@ mod tests {
         assert_eq!(m.successors(a, reject), vec![d]);
         assert_eq!(m.successors(a, start), vec![c]);
         assert!(!m.enables(a, Label::EMPTY)); // no idling while answering
-        // convoy waits, then handles break proposals
+                                              // convoy waits, then handles break proposals
         assert!(m.enables(c, Label::EMPTY));
         let brk = Label::new(u.signals([BREAK_CONVOY_PROPOSAL]), SignalSet::EMPTY);
         let b = m.find_state("break").unwrap();

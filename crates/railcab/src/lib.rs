@@ -26,11 +26,11 @@ pub mod scenario;
 
 pub use front::{front_context, front_role_rtsc};
 pub use messages::{
-    rear_inputs, rear_outputs, BREAK_CONVOY_ACCEPTED, BREAK_CONVOY_PROPOSAL,
-    BREAK_CONVOY_REJECTED, CONVOY_PROPOSAL, CONVOY_PROPOSAL_REJECTED, START_CONVOY,
+    rear_inputs, rear_outputs, BREAK_CONVOY_ACCEPTED, BREAK_CONVOY_PROPOSAL, BREAK_CONVOY_REJECTED,
+    CONVOY_PROPOSAL, CONVOY_PROPOSAL_REJECTED, START_CONVOY,
 };
 pub use pattern::{
-    distance_coordination, distance_coordination_lossy, front_role_pattern_rtsc,
-    rear_role_rtsc, rear_role_with_timeout,
+    distance_coordination, distance_coordination_lossy, front_role_pattern_rtsc, rear_role_rtsc,
+    rear_role_with_timeout,
 };
 pub use rear::{correct_shuttle, faulty_shuttle, full_shuttle};

@@ -60,12 +60,7 @@ pub fn rear_role_rtsc(u: &Universe) -> Rtsc {
         // to dissolve the convoy
         .transition("convoy", "breaking", [], ["rearRole.breakConvoyProposal"])
         .transition("breaking", "convoy", ["rearRole.breakConvoyRejected"], [])
-        .transition(
-            "breaking",
-            "noConvoy",
-            ["rearRole.breakConvoyAccepted"],
-            [],
-        )
+        .transition("breaking", "noConvoy", ["rearRole.breakConvoyAccepted"], [])
         .build()
         .expect("rear role statechart is well-formed")
 }
@@ -210,12 +205,7 @@ pub fn rear_role_with_timeout(u: &Universe, timeout: u32) -> Rtsc {
         )
         .transition("convoy", "breaking", [], ["rearRole.breakConvoyProposal"])
         .transition("breaking", "convoy", ["rearRole.breakConvoyRejected"], [])
-        .transition(
-            "breaking",
-            "noConvoy",
-            ["rearRole.breakConvoyAccepted"],
-            [],
-        )
+        .transition("breaking", "noConvoy", ["rearRole.breakConvoyAccepted"], [])
         .build()
         .expect("timed rear role is well-formed")
 }
@@ -268,7 +258,11 @@ mod tests {
             "pattern violated: {:?}",
             report.violation.map(|c| c.description)
         );
-        assert!(report.state_count > 5, "composed {} states", report.state_count);
+        assert!(
+            report.state_count > 5,
+            "composed {} states",
+            report.state_count
+        );
     }
 
     #[test]
@@ -280,13 +274,14 @@ mod tests {
         // the safety constraint is untouched either way).
         use muml_logic::{check_all, Verdict};
         let u = Universe::new();
-        let liveness =
-            parse(&u, "AG (rearRole.waiting -> AF[1,8] !rearRole.waiting)").unwrap();
+        let liveness = parse(&u, "AG (rearRole.waiting -> AF[1,8] !rearRole.waiting)").unwrap();
 
         let reliable = distance_coordination(&u).compose_closed().unwrap();
-        match check_all(&reliable.automaton, &[liveness.clone()]).unwrap() {
+        match check_all(&reliable.automaton, std::slice::from_ref(&liveness)).unwrap() {
             Verdict::Holds => {}
-            Verdict::Violated(c) => panic!("reliable link must meet the deadline: {}", c.description),
+            Verdict::Violated(c) => {
+                panic!("reliable link must meet the deadline: {}", c.description)
+            }
         }
 
         let lossy = distance_coordination_lossy(&u).compose_closed().unwrap();

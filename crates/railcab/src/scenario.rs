@@ -13,10 +13,9 @@
 //! verdicts, listing formats, and learned models), not byte-for-byte.
 
 use muml_automata::{chaotic_automaton, to_dot, Automaton, IncompleteAutomaton, Universe};
-use muml_core::{
-    default_mapper, initial_abstraction, verify_integration, IntegrationConfig,
-    IntegrationReport, LegacyUnit,
-};
+use muml_core::obs::EventSink;
+use muml_core::{default_mapper, initial_abstraction};
+use muml_core::{IntegrationReport, IntegrationSession, LegacyUnit};
 use muml_legacy::{execute_expected_trace, HiddenMealy, PortMap};
 use muml_logic::{parse, Formula};
 
@@ -106,11 +105,25 @@ pub fn listings_1_2_and_1_3(u: &Universe) -> (String, String) {
 
 /// Runs the full integration loop for a given shuttle.
 pub fn integrate(u: &Universe, shuttle: &mut HiddenMealy) -> IntegrationReport {
+    let mut sink = muml_core::obs::NullSink;
+    integrate_with(u, shuttle, &mut sink)
+}
+
+/// Runs the full integration loop for a given shuttle, reporting every
+/// [`muml_core::obs::LoopEvent`] of the run to `sink` — the instrumented
+/// walkthrough behind `repro fig2 --json` and the golden-event test.
+pub fn integrate_with(
+    u: &Universe,
+    shuttle: &mut HiddenMealy,
+    sink: &mut dyn EventSink,
+) -> IntegrationReport {
     let ctx = front_context(u);
-    let props = vec![pattern_constraint(u)];
     let ports = rear_port_map(u);
-    let mut units = [LegacyUnit::new(shuttle, ports)];
-    verify_integration(u, &ctx, &props, &mut units, &IntegrationConfig::default())
+    IntegrationSession::new(u, &ctx)
+        .formula(pattern_constraint(u))
+        .unit(LegacyUnit::new(shuttle, ports))
+        .sink(sink)
+        .run()
         .expect("integration loop runs to a verdict")
 }
 
@@ -230,14 +243,11 @@ mod tests {
         assert!(dot.contains("noConvoy::wait"));
         // The conservative shuttle never breaks convoys, so nothing about
         // the break machinery was learned (claim C4: partial learning).
-        assert!(learned
-            .known_automaton()
-            .transitions()
-            .all(|(_, t)| {
-                !t.guard
-                    .input_support()
-                    .contains(u.signal("breakConvoyRejected"))
-            }));
+        assert!(learned.known_automaton().transitions().all(|(_, t)| {
+            !t.guard
+                .input_support()
+                .contains(u.signal("breakConvoyRejected"))
+        }));
     }
 
     #[test]
@@ -258,9 +268,8 @@ mod tests {
         assert!(text.contains(
             "[Message] name=\"convoyProposal\", portName=\"rearRole\", type=\"outgoing\""
         ));
-        assert!(text.contains(
-            "[Message] name=\"startConvoy\", portName=\"rearRole\", type=\"incoming\""
-        ));
+        assert!(text
+            .contains("[Message] name=\"startConvoy\", portName=\"rearRole\", type=\"incoming\""));
         assert!(text.contains("[Timing] count=4"));
         assert!(text.contains("[CurrentState] name=\"convoy\""));
     }

@@ -318,9 +318,8 @@ mod tests {
     #[test]
     fn too_many_kinds_rejected() {
         let u = Universe::new();
-        let kinds: Vec<(String, String)> = (0..9)
-            .map(|i| (format!("i{i}"), format!("o{i}")))
-            .collect();
+        let kinds: Vec<(String, String)> =
+            (0..9).map(|i| (format!("i{i}"), format!("o{i}"))).collect();
         let spec = ChannelSpec {
             name: "big".into(),
             kinds,

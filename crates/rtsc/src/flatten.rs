@@ -26,7 +26,9 @@ pub struct FlattenOptions {
 
 impl Default for FlattenOptions {
     fn default() -> Self {
-        FlattenOptions { max_states: 500_000 }
+        FlattenOptions {
+            max_states: 500_000,
+        }
     }
 }
 
@@ -122,10 +124,10 @@ pub fn flatten_with(sc: &Rtsc, opts: &FlattenOptions) -> Result<Automaton, Flatt
         let from_name = index[&(leaf, v.clone())].clone();
 
         let push_target = |worklist: &mut Vec<(usize, Vec<u32>)>,
-                               index: &mut HashMap<(usize, Vec<u32>), String>,
-                               state_order: &mut Vec<(String, usize)>,
-                               leaf: usize,
-                               v: Vec<u32>|
+                           index: &mut HashMap<(usize, Vec<u32>), String>,
+                           state_order: &mut Vec<(String, usize)>,
+                           leaf: usize,
+                           v: Vec<u32>|
          -> String {
             if let Some(n) = index.get(&(leaf, v.clone())) {
                 return n.clone();
@@ -244,9 +246,7 @@ mod tests {
         let m = flatten(&sc).unwrap();
         assert!(m.find_state("noConvoy::default").is_some());
         let d = m.find_state("noConvoy::default").unwrap();
-        assert!(m
-            .initial_states()
-            .contains(&d));
+        assert!(m.initial_states().contains(&d));
         // The composite-level transition is available from both substates.
         let w = m.find_state("noConvoy::wait").unwrap();
         let conv = m.find_state("convoy").unwrap();

@@ -501,19 +501,19 @@ impl RtscBuilder {
         let mut gs = Vec::new();
         for (cn, op, bound) in guards {
             match self.clocks.iter().position(|x| x == cn) {
-                Some(c) => gs.push(ClockConstraint { clock: c, op, bound }),
-                None => self
-                    .errors
-                    .push(format!("guard uses unknown clock `{cn}`")),
+                Some(c) => gs.push(ClockConstraint {
+                    clock: c,
+                    op,
+                    bound,
+                }),
+                None => self.errors.push(format!("guard uses unknown clock `{cn}`")),
             }
         }
         let mut rs = Vec::new();
         for cn in resets {
             match self.clocks.iter().position(|x| x == cn) {
                 Some(c) => rs.push(c),
-                None => self
-                    .errors
-                    .push(format!("reset uses unknown clock `{cn}`")),
+                None => self.errors.push(format!("reset uses unknown clock `{cn}`")),
             }
         }
         match (f, t) {

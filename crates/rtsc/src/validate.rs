@@ -100,8 +100,8 @@ pub fn validate(sc: &Rtsc) -> Vec<Diagnostic> {
             }
         }
     }
-    for i in 0..sc.state_count() {
-        if sc.is_leaf(i) && !reachable[i] {
+    for (i, &r) in reachable.iter().enumerate() {
+        if sc.is_leaf(i) && !r {
             out.push(Diagnostic::UnreachableState {
                 state: sc.qualified_name(i),
             });
@@ -116,10 +116,7 @@ pub fn validate(sc: &Rtsc) -> Vec<Diagnostic> {
         for g in &t.guards {
             per_clock.entry(g.clock).or_default().push((g.op, g.bound));
         }
-        if per_clock
-            .values()
-            .any(|cs| !satisfiable(cs, horizon))
-        {
+        if per_clock.values().any(|cs| !satisfiable(cs, horizon)) {
             out.push(Diagnostic::UnsatisfiableGuard {
                 from: sc.qualified_name(t.from),
                 to: sc.qualified_name(t.to),
@@ -129,8 +126,8 @@ pub fn validate(sc: &Rtsc) -> Vec<Diagnostic> {
 
     // Urgent sinks and unsatisfiable invariants (reachable leaves only —
     // unreachable ones are already reported).
-    for i in 0..sc.state_count() {
-        if !sc.is_leaf(i) || !reachable[i] {
+    for (i, &r) in reachable.iter().enumerate() {
+        if !sc.is_leaf(i) || !r {
             continue;
         }
         let has_outgoing = {

@@ -55,7 +55,12 @@ fn gate(u: &Universe, name: &str, ticks: usize) -> HiddenMealy {
     // close: up → lowering0 → … → lowering(ticks-1) → down (confirm)
     b = b.rule("up", ["close"], [], "lowering0");
     for i in 0..ticks - 1 {
-        b = b.rule(&format!("lowering{i}"), [], [], &format!("lowering{}", i + 1));
+        b = b.rule(
+            &format!("lowering{i}"),
+            [],
+            [],
+            &format!("lowering{}", i + 1),
+        );
     }
     b = b.rule(&format!("lowering{}", ticks - 1), [], ["closed"], "down");
     // open: down → raising0 → … → up (confirm)
@@ -78,11 +83,14 @@ fn main() {
     println!("== fast gate (2 motor periods) ==");
     let mut fast = gate(&u, "gate", 2);
     let report = {
-        let mut units = [LegacyUnit::new(&mut fast, PortMap::with_default("gatePort"))];
+        let mut units = [LegacyUnit::new(
+            &mut fast,
+            PortMap::with_default("gatePort"),
+        )];
         verify_integration(
             &u,
             &context,
-            &[deadline.clone()],
+            std::slice::from_ref(&deadline),
             &mut units,
             &IntegrationConfig::default(),
         )
@@ -98,7 +106,10 @@ fn main() {
     println!("== slow gate (5 motor periods) ==");
     let mut slow = gate(&u, "gate", 5);
     let report = {
-        let mut units = [LegacyUnit::new(&mut slow, PortMap::with_default("gatePort"))];
+        let mut units = [LegacyUnit::new(
+            &mut slow,
+            PortMap::with_default("gatePort"),
+        )];
         verify_integration(
             &u,
             &context,

@@ -1,6 +1,8 @@
 //! Quickstart: integrate a black-box legacy component against a known
 //! context, prove correctness, then break the component and watch the
-//! method find the real fault.
+//! method find the real fault. The first run is narrated live by a
+//! [`Renderer`] sink — one line per phase of the verify → test → learn
+//! loop.
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -36,19 +38,21 @@ fn main() {
         .build()
         .expect("component is well-formed");
 
-    // Run the combined verification/testing loop.
-    let report = {
-        let mut units = [LegacyUnit::new(&mut legacy, PortMap::with_default("port"))];
-        verify_integration(&u, &context, &[], &mut units, &IntegrationConfig::default())
-            .expect("loop terminates")
-    };
-    println!("--- correct component ---");
-    print!("{}", muml_integration::core::render_report(&report));
+    // Run the combined verification/testing loop, narrating every phase.
+    println!("--- correct component (live telemetry) ---");
+    let mut sink = Renderer::new(std::io::stdout());
+    let report = IntegrationSession::new(&u, &context)
+        .unit(LegacyUnit::new(&mut legacy, PortMap::with_default("port")))
+        .sink(&mut sink)
+        .run()
+        .expect("loop terminates");
     assert!(report.verdict.proven());
     println!(
-        "proven with {} learned states after {} test executions\n",
+        "proven with {} learned states after {} test executions \
+         ({} raw component steps)\n",
         report.learned_sizes()[0].0,
-        report.stats.tests_executed
+        report.stats.tests_executed,
+        report.stats.driven_steps
     );
 
     // Now a component that swallows the command without ever acknowledging:

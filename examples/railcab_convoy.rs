@@ -28,7 +28,11 @@ fn main() {
     let pattern_report = verify_pattern(&pattern).expect("pattern checkable");
     println!(
         "pattern verification (both roles + wireless connector): {}\n",
-        if pattern_report.ok() { "OK" } else { "VIOLATED" }
+        if pattern_report.ok() {
+            "OK"
+        } else {
+            "VIOLATED"
+        }
     );
 
     println!("== Figure 4: initial behaviour synthesis ==");

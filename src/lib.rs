@@ -38,6 +38,7 @@
 //! | [`arch`] | `muml-arch` | coordination patterns, roles, components, ports |
 //! | [`legacy`] | `muml-legacy` | black-box runtime, monitoring, deterministic replay |
 //! | [`core`] | `muml-core` | **the paper's contribution**: the iterative synthesis loop |
+//! | [`obs`] | `muml-obs` | structured loop telemetry: events, sinks, phase timers |
 //! | [`inference`] | `muml-inference` | baselines: `L*`, W-method, black-box checking |
 //! | [`railcab`] | `muml-railcab` | the RailCab shuttle-convoy case study |
 //!
@@ -63,11 +64,17 @@
 //!     .rule("idle", ["go"], [], "busy")
 //!     .rule("busy", [], ["done"], "idle")
 //!     .build().unwrap();
-//! let mut units = [LegacyUnit::new(&mut legacy, PortMap::with_default("port"))];
-//! let report = verify_integration(
-//!     &u, &context, &[], &mut units, &IntegrationConfig::default(),
-//! ).unwrap();
+//! // Run the loop through the session builder, collecting every phase of
+//! // the verify → test → learn cycle as structured events.
+//! let mut sink = Collector::new();
+//! let report = IntegrationSession::new(&u, &context)
+//!     .unit(LegacyUnit::new(&mut legacy, PortMap::with_default("port")))
+//!     .config(IntegrationConfig::default().with_batch_counterexamples(4))
+//!     .sink(&mut sink)
+//!     .run()
+//!     .unwrap();
 //! assert!(report.verdict.proven());
+//! assert!(sink.kinds().contains(&"model_checked"));
 //! ```
 
 #![warn(missing_docs)]
@@ -78,6 +85,7 @@ pub use muml_core as core;
 pub use muml_inference as inference;
 pub use muml_legacy as legacy;
 pub use muml_logic as logic;
+pub use muml_obs as obs;
 pub use muml_railcab as railcab;
 pub use muml_rtsc as rtsc;
 
@@ -91,13 +99,15 @@ pub mod prelude {
         AutomatonBuilder, IncompleteAutomaton, Label, Observation, SignalSet, Universe,
     };
     pub use muml_core::{
-        verify_integration, IntegrationConfig, IntegrationReport, IntegrationVerdict, LegacyUnit,
+        verify_integration, IntegrationConfig, IntegrationReport, IntegrationSession,
+        IntegrationVerdict, LegacyUnit,
     };
     pub use muml_legacy::{
         execute_expected_trace, record_live, replay, HiddenMealy, LegacyComponent, MealyBuilder,
         PortMap, StateObservable,
     };
     pub use muml_logic::{check, check_all, parse, Checker, Formula, Verdict};
+    pub use muml_obs::{Collector, EventSink, JsonWriter, LoopEvent, Renderer, RunOutcome};
     pub use muml_rtsc::{channel_automaton, flatten, ChannelSpec, CmpOp, RtscBuilder};
 }
 

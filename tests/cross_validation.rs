@@ -3,10 +3,12 @@
 //! so we can model check the *true* composition directly and require that
 //! the driver's verdict coincides (soundness and completeness on the
 //! workload family), including under randomly seeded faults.
+//!
+//! Random inputs come from `muml-testkit` (deterministic splitmix64 cases).
 
 use muml_bench::workload::{counter_workload, seed_fault};
 use muml_integration::prelude::*;
-use proptest::prelude::*;
+use muml_testkit::{cases, Rng};
 
 /// The true automaton of the (possibly faulted) counter: mirrors the
 /// hidden Mealy machine rule for rule by exhaustively querying a clone.
@@ -14,9 +16,7 @@ fn true_counter_automaton(w: &muml_bench::workload::CounterWorkload) -> Automato
     let u = &w.universe;
     let up = u.signals(["up"]);
     let letters = [SignalSet::EMPTY, up];
-    let mut b = AutomatonBuilder::new(u, "true")
-        .input("up")
-        .output("top");
+    let mut b = AutomatonBuilder::new(u, "true").input("up").output("top");
     // Discover states by BFS over the clone.
     let mut seen: Vec<String> = Vec::new();
     let mut work: Vec<Vec<SignalSet>> = vec![Vec::new()]; // access words
@@ -103,27 +103,24 @@ fn unreachable_fault_does_not_matter() {
     assert!(driver_verdict(&w));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// For arbitrary sizes, context depths, and fault placements, the
-    /// driver's verdict equals direct model checking of the real
-    /// composition — soundness (no false positives) *and* no false
-    /// negatives, executably.
-    #[test]
-    fn driver_agrees_with_ground_truth(
-        n in 3usize..9,
-        k_frac in 0.1f64..0.9,
-        fault in proptest::option::of(0usize..7),
-    ) {
+/// For arbitrary sizes, context depths, and fault placements, the
+/// driver's verdict equals direct model checking of the real
+/// composition — soundness (no false positives) *and* no false
+/// negatives, executably.
+#[test]
+fn driver_agrees_with_ground_truth() {
+    cases(24, |rng| {
+        let n = rng.range(3..=8);
+        let k_frac = 0.1 + rng.f64() * 0.8;
+        let fault = if rng.bool() { Some(rng.below(7)) } else { None };
         let k = ((n as f64 - 2.0) * k_frac).max(1.0) as usize;
         let mut w = counter_workload(n, k.min(n - 2));
         if let Some(d) = fault {
             let d = d % (n - 1);
             seed_fault(&mut w, d);
         }
-        prop_assert_eq!(driver_verdict(&w), ground_truth(&w));
-    }
+        assert_eq!(driver_verdict(&w), ground_truth(&w));
+    });
 }
 
 /// Fully randomized cross-validation: arbitrary deterministic components
@@ -142,17 +139,10 @@ mod randomized {
         rules: Vec<[(bool, usize); 2]>,
     }
 
-    fn comp_strategy(max_states: usize) -> impl Strategy<Value = CompSpec> {
-        (1..=max_states).prop_flat_map(move |n| {
-            proptest::collection::vec(
-                ((any::<bool>(), 0..n), (any::<bool>(), 0..n)),
-                n,
-            )
-            .prop_map(move |v| CompSpec {
-                states: n,
-                rules: v.into_iter().map(|(a, b)| [a, b]).collect(),
-            })
-        })
+    fn gen_comp(rng: &mut Rng, max_states: usize) -> CompSpec {
+        let n = rng.range(1..=max_states);
+        let rules = rng.vec(n, |r| [(r.bool(), r.below(n)), (r.bool(), r.below(n))]);
+        CompSpec { states: n, rules }
     }
 
     /// Context spec over outputs {go}, inputs {rsp}: a nondeterministic
@@ -163,14 +153,11 @@ mod randomized {
         trans: Vec<(usize, bool, bool, usize)>,
     }
 
-    fn ctx_strategy(max_states: usize, max_trans: usize) -> impl Strategy<Value = CtxSpec> {
-        (1..=max_states).prop_flat_map(move |n| {
-            proptest::collection::vec(
-                (0..n, any::<bool>(), any::<bool>(), 0..n),
-                1..=max_trans,
-            )
-            .prop_map(move |trans| CtxSpec { states: n, trans })
-        })
+    fn gen_ctx(rng: &mut Rng, max_states: usize, max_trans: usize) -> CtxSpec {
+        let n = rng.range(1..=max_states);
+        let n_trans = rng.range(1..=max_trans);
+        let trans = rng.vec(n_trans, |r| (r.below(n), r.bool(), r.bool(), r.below(n)));
+        CtxSpec { states: n, trans }
     }
 
     fn build_component(u: &Universe, spec: &CompSpec) -> HiddenMealy {
@@ -219,17 +206,14 @@ mod randomized {
         b.build().expect("context spec builds")
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// The driver's verdict always equals direct model checking of the
-        /// real composition — over arbitrary deterministic components and
-        /// arbitrary contexts.
-        #[test]
-        fn driver_matches_truth_on_random_systems(
-            comp in comp_strategy(4),
-            ctx in ctx_strategy(3, 6),
-        ) {
+    /// The driver's verdict always equals direct model checking of the
+    /// real composition — over arbitrary deterministic components and
+    /// arbitrary contexts.
+    #[test]
+    fn driver_matches_truth_on_random_systems() {
+        cases(48, |rng| {
+            let comp = gen_comp(rng, 4);
+            let ctx = gen_ctx(rng, 3, 6);
             let u = Universe::new();
             let mut component = build_component(&u, &comp);
             let context = build_context(&u, &ctx);
@@ -239,28 +223,24 @@ mod randomized {
             let truth = checker.satisfies(&Formula::deadlock_free());
 
             let mut units = [LegacyUnit::new(&mut component, PortMap::with_default("p"))];
-            let report = verify_integration(
-                &u,
-                &context,
-                &[],
-                &mut units,
-                &IntegrationConfig::default(),
-            )
-            .expect("driver terminates");
-            prop_assert_eq!(
+            let report =
+                verify_integration(&u, &context, &[], &mut units, &IntegrationConfig::default())
+                    .expect("driver terminates");
+            assert_eq!(
                 report.verdict.proven(),
                 truth,
                 "driver disagreed with ground truth"
             );
-        }
+        });
+    }
 
-        /// Same, with batched counterexamples — the optimization must never
-        /// change a verdict.
-        #[test]
-        fn batched_driver_matches_truth_on_random_systems(
-            comp in comp_strategy(4),
-            ctx in ctx_strategy(3, 6),
-        ) {
+    /// Same, with batched counterexamples — the optimization must never
+    /// change a verdict.
+    #[test]
+    fn batched_driver_matches_truth_on_random_systems() {
+        cases(48, |rng| {
+            let comp = gen_comp(rng, 4);
+            let ctx = gen_ctx(rng, 3, 6);
             let u = Universe::new();
             let mut component = build_component(&u, &comp);
             let context = build_context(&u, &ctx);
@@ -275,13 +255,10 @@ mod randomized {
                 &context,
                 &[],
                 &mut units,
-                &IntegrationConfig {
-                    batch_counterexamples: 8,
-                    ..IntegrationConfig::default()
-                },
+                &IntegrationConfig::default().with_batch_counterexamples(8),
             )
             .expect("driver terminates");
-            prop_assert_eq!(report.verdict.proven(), truth);
-        }
+            assert_eq!(report.verdict.proven(), truth);
+        });
     }
 }

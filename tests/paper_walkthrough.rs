@@ -82,7 +82,12 @@ fn shuttle_automaton(u: &Universe) -> Automaton {
         .initial("noConvoy::default")
         .state("noConvoy::wait")
         .state("convoy")
-        .transition("noConvoy::default", [], ["convoyProposal"], "noConvoy::wait")
+        .transition(
+            "noConvoy::default",
+            [],
+            ["convoyProposal"],
+            "noConvoy::wait",
+        )
         .transition(
             "noConvoy::wait",
             ["convoyProposalRejected"],

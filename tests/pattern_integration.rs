@@ -60,10 +60,7 @@ fn rear_legacy_faulty(u: &Universe) -> HiddenMealy {
         .unwrap()
 }
 
-fn integrate(
-    u: &Universe,
-    shuttle: &mut HiddenMealy,
-) -> muml_integration::core::IntegrationReport {
+fn integrate(u: &Universe, shuttle: &mut HiddenMealy) -> muml_integration::core::IntegrationReport {
     let pattern = distance_coordination(u);
     let ctx = pattern.context_for("rearRole").expect("role exists");
     // The constraint, phrased over the legacy component's monitored states
@@ -173,7 +170,11 @@ fn port_refinement_of_a_component_statechart() {
         .transition("noConvoy::wait", "convoy", ["rearRole.startConvoy"], [])
         .build()
         .unwrap();
-    let reduced = Component::new("reducedImpl", reduced, &[("DistanceCoordination", "rearRole")]);
+    let reduced = Component::new(
+        "reducedImpl",
+        reduced,
+        &[("DistanceCoordination", "rearRole")],
+    );
     let check = check_port_refinement(&pattern, "rearRole", &reduced).unwrap();
     assert!(
         matches!(
@@ -228,7 +229,10 @@ fn timed_retry_shuttle_is_proven_over_a_lossy_uplink() {
         .map(|(a, b)| (a.as_str(), b.as_str()))
         .collect();
     let lossy_up = PatternBuilder::new(&u, "LossyUplink")
-        .role("rearRole", muml_integration::railcab::rear_role_with_timeout(&u, 6))
+        .role(
+            "rearRole",
+            muml_integration::railcab::rear_role_with_timeout(&u, 6),
+        )
         .role(
             "frontRole",
             muml_integration::railcab::front_role_pattern_rtsc(&u),
