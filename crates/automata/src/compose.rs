@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 
 use crate::automaton::{Automaton, StateData, StateId, Transition};
+use crate::csr::Csr;
 use crate::error::{AutomataError, Result};
 use crate::label::{Guard, Label, LabelFamily};
 use crate::run::{Run, RunKind};
@@ -73,6 +74,12 @@ pub struct Composition {
     pub origin: Vec<Vec<StateId>>,
     /// Work counters of the exploration that built this product.
     pub stats: ComposeStats,
+    /// The guard-erased transition relation of the product in CSR form
+    /// (successors deduplicated, predecessors inverted, stutter loops at
+    /// deadlock states). Built once here so checkers over the product
+    /// ([`Checker::with_csr`](https://docs.rs/muml-logic)) borrow it instead
+    /// of re-deriving the relation the exploration just enumerated.
+    pub csr: Csr,
 }
 
 impl Composition {
@@ -350,12 +357,14 @@ pub fn compose(parts: &[&Automaton], opts: &ComposeOptions) -> Result<Compositio
         initial,
     };
     automaton.validate()?;
+    let csr = Csr::of(&automaton);
     Ok(Composition {
         automaton,
         component_names: parts.iter().map(|p| p.name().to_owned()).collect(),
         interfaces: parts.iter().map(|p| (p.inputs(), p.outputs())).collect(),
         origin,
         stats,
+        csr,
     })
 }
 

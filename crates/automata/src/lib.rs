@@ -51,6 +51,7 @@ mod automaton;
 mod builder;
 mod chaos;
 mod compose;
+mod csr;
 mod determinize;
 mod dot;
 mod error;
@@ -67,6 +68,8 @@ mod universe;
 pub use automaton::{Automaton, StateData, StateId, Transition};
 pub use builder::AutomatonBuilder;
 pub use chaos::{chaotic_automaton, chaotic_closure, S_ALL, S_DELTA};
+pub use csr::Csr;
+
 pub use compose::{
     compose, compose2, project_to_component, ComposeOptions, ComposeStats, Composition,
 };

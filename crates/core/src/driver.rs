@@ -252,6 +252,12 @@ pub struct IntegrationStats {
     /// `(state, subformula)` labelings computed by the model checker,
     /// summed over all verification runs.
     pub checker_labeled_states: u64,
+    /// Satisfaction-set words read or written by the model checker, summed
+    /// over all verification runs.
+    pub checker_words_touched: u64,
+    /// States popped off the checker's unbounded-operator worklists,
+    /// summed over all verification runs.
+    pub checker_worklist_pops: u64,
     /// Concrete labels enumerated during composition (free-signal subset
     /// expansion), summed over all compositions.
     pub expanded_labels: u64,
@@ -417,12 +423,16 @@ pub(crate) fn run_loop(
 
         // …and check φ ∧ ¬δ.
         let check_timer = PhaseTimer::start(Phase::Check);
-        let mut checker = Checker::new(&comp.automaton);
+        // The composition already carries the CSR relation; borrowing it
+        // keeps adjacency construction out of the timed check phase.
+        let mut checker = Checker::with_csr(&comp.automaton, &comp.csr);
         let verdict = check_all_with(&mut checker, &checked)?;
         let check_ns = check_timer.stop(&mut stats.timings);
-        let (fixpoint_iterations, labeled_states) = (checker.iterations, checker.labeled_states);
-        stats.checker_fixpoint_iterations += fixpoint_iterations;
-        stats.checker_labeled_states += labeled_states;
+        let cstats = checker.stats;
+        stats.checker_fixpoint_iterations += cstats.fixpoint_iterations;
+        stats.checker_labeled_states += cstats.labeled_states;
+        stats.checker_words_touched += cstats.words_touched;
+        stats.checker_worklist_pops += cstats.worklist_pops;
         sink.emit(&LoopEvent::ModelChecked {
             iteration: index,
             holds: matches!(verdict, Verdict::Holds),
@@ -430,8 +440,11 @@ pub(crate) fn run_loop(
                 Verdict::Holds => None,
                 Verdict::Violated(c) => Some(c.violated.show(u)),
             },
-            fixpoint_iterations,
-            labeled_states,
+            fixpoint_iterations: cstats.fixpoint_iterations,
+            labeled_states: cstats.labeled_states,
+            words_touched: cstats.words_touched,
+            worklist_pops: cstats.worklist_pops,
+            peak_resident_sets: cstats.peak_resident_sets,
             nanos: check_ns,
         });
         let cex = match verdict {

@@ -364,27 +364,73 @@ impl Formula {
 
     /// Renders the formula with proposition names from `u`.
     pub fn show(&self, u: &Universe) -> String {
+        let mut out = String::with_capacity(64);
+        self.show_into(u, &mut out);
+        out
+    }
+
+    /// [`Formula::show`] into an accumulator — one buffer for the whole
+    /// tree instead of a `String` per node.
+    fn show_into(&self, u: &Universe, out: &mut String) {
+        use fmt::Write;
         use Formula::*;
-        fn bnd(b: &Option<Bound>) -> String {
-            b.map(|b| b.to_string()).unwrap_or_default()
+        fn bnd(out: &mut String, b: &Option<Bound>) {
+            if let Some(b) = b {
+                let _ = write!(out, "{b}");
+            }
+        }
+        fn unary(out: &mut String, u: &Universe, op: &str, b: &Option<Bound>, f: &Formula) {
+            out.push_str(op);
+            bnd(out, b);
+            out.push_str(" (");
+            f.show_into(u, out);
+            out.push(')');
+        }
+        fn binary(out: &mut String, u: &Universe, op: &str, a: &Formula, b: &Formula) {
+            out.push('(');
+            a.show_into(u, out);
+            out.push_str(op);
+            b.show_into(u, out);
+            out.push(')');
+        }
+        fn until(
+            out: &mut String,
+            u: &Universe,
+            q: &str,
+            b: &Option<Bound>,
+            l: &Formula,
+            r: &Formula,
+        ) {
+            out.push_str(q);
+            out.push('[');
+            l.show_into(u, out);
+            out.push_str(" U");
+            bnd(out, b);
+            out.push(' ');
+            r.show_into(u, out);
+            out.push(']');
         }
         match self {
-            True => "true".into(),
-            False => "false".into(),
-            Prop(p) => u.prop_name(*p),
-            Deadlock => "deadlock".into(),
-            Not(f) => format!("!({})", f.show(u)),
-            And(a, b) => format!("({} & {})", a.show(u), b.show(u)),
-            Or(a, b) => format!("({} | {})", a.show(u), b.show(u)),
-            Implies(a, b) => format!("({} -> {})", a.show(u), b.show(u)),
-            Ax(f) => format!("AX ({})", f.show(u)),
-            Ex(f) => format!("EX ({})", f.show(u)),
-            Ag(b, f) => format!("AG{} ({})", bnd(b), f.show(u)),
-            Eg(b, f) => format!("EG{} ({})", bnd(b), f.show(u)),
-            Af(b, f) => format!("AF{} ({})", bnd(b), f.show(u)),
-            Ef(b, f) => format!("EF{} ({})", bnd(b), f.show(u)),
-            Au(b, l, r) => format!("A[{} U{} {}]", l.show(u), bnd(b), r.show(u)),
-            Eu(b, l, r) => format!("E[{} U{} {}]", l.show(u), bnd(b), r.show(u)),
+            True => out.push_str("true"),
+            False => out.push_str("false"),
+            Prop(p) => out.push_str(&u.prop_name(*p)),
+            Deadlock => out.push_str("deadlock"),
+            Not(f) => {
+                out.push_str("!(");
+                f.show_into(u, out);
+                out.push(')');
+            }
+            And(a, b) => binary(out, u, " & ", a, b),
+            Or(a, b) => binary(out, u, " | ", a, b),
+            Implies(a, b) => binary(out, u, " -> ", a, b),
+            Ax(f) => unary(out, u, "AX", &None, f),
+            Ex(f) => unary(out, u, "EX", &None, f),
+            Ag(b, f) => unary(out, u, "AG", b, f),
+            Eg(b, f) => unary(out, u, "EG", b, f),
+            Af(b, f) => unary(out, u, "AF", b, f),
+            Ef(b, f) => unary(out, u, "EF", b, f),
+            Au(b, l, r) => until(out, u, "A", b, l, r),
+            Eu(b, l, r) => until(out, u, "E", b, l, r),
         }
     }
 }

@@ -1,0 +1,307 @@
+//! Bit-packed satisfaction sets.
+//!
+//! Every satisfaction set the checker manipulates is a subset of the state
+//! space, so it is stored as `⌈n/64⌉` machine words instead of a `Vec<bool>`:
+//! boolean connectives become word-wise `&`/`|`/`!`, set equality and
+//! cardinality become word compares and popcounts, and a whole cache line
+//! carries 512 states. The checker reports how many words its operations
+//! touched (see `CheckStats::words_touched`) as a machine-independent work
+//! measure.
+//!
+//! Sets over at most [`2 × 64`](INLINE) states are stored inline (no heap
+//! allocation): the checker creates one set per subformula per product, and
+//! the products the synthesis loop checks are routinely this small, so
+//! avoiding the allocator on that path matters more than the two spare
+//! words cost.
+
+use std::fmt;
+use std::ops::Index;
+
+const BITS: usize = 64;
+
+/// Word counts up to this many are stored inline in the set itself.
+const INLINE: usize = 2;
+
+/// Backing words of a [`BitSet`]: inline for small state spaces, heap
+/// beyond. The kind is a function of the space size alone, so equal-length
+/// sets always agree on it.
+#[derive(Clone)]
+enum Store {
+    Inline([u64; INLINE]),
+    Heap(Vec<u64>),
+}
+
+/// A fixed-capacity set of state indices, packed 64 states per word.
+///
+/// All binary operations require equal lengths (they operate on sets over
+/// the same state space) and keep the unused tail bits of the last word
+/// zero, so `Eq` and [`BitSet::count_ones`] are exact.
+#[derive(Clone)]
+pub struct BitSet {
+    len: usize,
+    store: Store,
+}
+
+impl BitSet {
+    /// The empty set over a space of `len` states.
+    pub fn empty(len: usize) -> BitSet {
+        let n = len.div_ceil(BITS);
+        let store = if n <= INLINE {
+            Store::Inline([0; INLINE])
+        } else {
+            Store::Heap(vec![0; n])
+        };
+        BitSet { len, store }
+    }
+
+    /// The full set over a space of `len` states.
+    pub fn full(len: usize) -> BitSet {
+        let n = len.div_ceil(BITS);
+        let store = if n <= INLINE {
+            Store::Inline([!0u64; INLINE])
+        } else {
+            Store::Heap(vec![!0u64; n])
+        };
+        let mut s = BitSet { len, store };
+        s.mask_tail();
+        s
+    }
+
+    /// Builds a set from a predicate over `0..len`.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> BitSet {
+        let mut s = BitSet::empty(len);
+        for i in 0..len {
+            if f(i) {
+                s.insert(i);
+            }
+        }
+        s
+    }
+
+    /// Number of states in the underlying space (not the cardinality).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the underlying space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of words backing the set.
+    pub fn word_count(&self) -> usize {
+        self.len.div_ceil(BITS)
+    }
+
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match &self.store {
+            Store::Inline(a) => &a[..self.len.div_ceil(BITS)],
+            Store::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        let n = self.len.div_ceil(BITS);
+        match &mut self.store {
+            Store::Inline(a) => &mut a[..n],
+            Store::Heap(v) => v,
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words()[i / BITS] & (1u64 << (i % BITS)) != 0
+    }
+
+    /// Inserts `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words_mut()[i / BITS] |= 1u64 << (i % BITS);
+    }
+
+    /// Removes `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words_mut()[i / BITS] &= !(1u64 << (i % BITS));
+    }
+
+    /// Cardinality, by popcount.
+    pub fn count_ones(&self) -> usize {
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Word-wise intersection: `self &= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
+            *a &= b;
+        }
+    }
+
+    /// Word-wise union: `self |= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
+            *a |= b;
+        }
+    }
+
+    /// Word-wise complement within the state space.
+    pub fn negate(&mut self) {
+        for w in self.words_mut() {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// The complement as a new set.
+    #[must_use]
+    pub fn complement(&self) -> BitSet {
+        let mut s = self.clone();
+        s.negate();
+        s
+    }
+
+    /// Iterates the members in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words().iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let b = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(wi * BITS + b)
+            })
+        })
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % BITS;
+        if tail != 0 {
+            if let Some(last) = self.words_mut().last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl PartialEq for BitSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.words() == other.words()
+    }
+}
+
+impl Eq for BitSet {}
+
+/// Indexing sugar so satisfaction sets read like the `Vec<bool>` they
+/// replaced: `sat[s.index()]`.
+impl Index<usize> for BitSet {
+    type Output = bool;
+
+    fn index(&self, i: usize) -> &bool {
+        if self.get(i) {
+            &true
+        } else {
+            &false
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter_ones()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = BitSet::empty(130);
+        assert!(!s.get(0) && !s.get(129));
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.get(0) && s.get(64) && s.get(129) && !s.get(65));
+        assert_eq!(s.count_ones(), 3);
+        s.remove(64);
+        assert!(!s.get(64));
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn full_and_complement_mask_the_tail() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count_ones(), 70);
+        let e = s.complement();
+        assert_eq!(e, BitSet::empty(70));
+        assert_eq!(e.complement(), s);
+        // an all-zero tail means Eq is exact
+        let mut t = BitSet::empty(70);
+        for i in 0..70 {
+            t.insert(i);
+        }
+        assert_eq!(t, s);
+    }
+
+    #[test]
+    fn word_wise_connectives() {
+        let a = BitSet::from_fn(100, |i| i % 2 == 0);
+        let b = BitSet::from_fn(100, |i| i % 3 == 0);
+        let mut and = a.clone();
+        and.intersect_with(&b);
+        let mut or = a.clone();
+        or.union_with(&b);
+        for i in 0..100 {
+            assert_eq!(and.get(i), i % 6 == 0);
+            assert_eq!(or.get(i), i % 2 == 0 || i % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn inline_heap_boundary() {
+        // 128 states fit the inline store exactly; 129 spill to the heap.
+        // Behaviour must be identical on both sides of the boundary.
+        for len in [63, 64, 65, 127, 128, 129, 192, 193] {
+            let odd = BitSet::from_fn(len, |i| i % 2 == 1);
+            assert_eq!(odd.count_ones(), len / 2);
+            assert_eq!(odd.word_count(), len.div_ceil(64));
+            let even = odd.complement();
+            for i in 0..len {
+                assert_eq!(odd.get(i), i % 2 == 1, "len {len} bit {i}");
+                assert_eq!(even.get(i), i % 2 == 0, "len {len} bit {i}");
+            }
+            assert_eq!(BitSet::full(len).count_ones(), len);
+            let mut both = odd.clone();
+            both.union_with(&even);
+            assert_eq!(both, BitSet::full(len));
+        }
+    }
+
+    #[test]
+    fn index_sugar_matches_get() {
+        let s = BitSet::from_fn(10, |i| i > 6);
+        for i in 0..10 {
+            assert_eq!(s[i], s.get(i));
+        }
+    }
+
+    #[test]
+    fn zero_length_set() {
+        let s = BitSet::empty(0);
+        assert!(s.is_empty());
+        assert_eq!(s.word_count(), 0);
+        assert_eq!(s.complement(), s);
+        assert_eq!(s.count_ones(), 0);
+    }
+}

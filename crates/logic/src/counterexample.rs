@@ -21,6 +21,7 @@
 use muml_automata::{Automaton, Label, Run, StateId};
 
 use crate::ast::{Bound, Formula};
+use crate::bitset::BitSet;
 use crate::checker::{Checker, Mode};
 use crate::error::LogicError;
 
@@ -118,8 +119,8 @@ pub fn check_all(m: &Automaton, fs: &[Formula]) -> Result<Verdict, LogicError> {
 }
 
 /// Like [`check_all`], reusing an existing [`Checker`] — callers that need
-/// the checker's work counters (`iterations`, `labeled_states`) afterwards
-/// construct the checker themselves and pass it in.
+/// the checker's work counters ([`Checker::stats`]) afterwards construct
+/// the checker themselves and pass it in.
 ///
 /// # Errors
 ///
@@ -208,8 +209,7 @@ fn extend_with_negation_witness(
 
         // ¬AG ψ = EF ¬ψ: walk to the nearest state violating ψ, then show ¬ψ.
         Formula::Ag(None, inner) => {
-            let sat_inner = checker.sat(inner);
-            let bad: Vec<bool> = sat_inner.iter().map(|b| !b).collect();
+            let bad = checker.sat(inner).complement();
             let (path_states, path_labels) = bfs_path(checker.automaton(), here, &bad)
                 .expect("AG violated implies a reachable violating state");
             states.extend(path_states.into_iter().skip(1));
@@ -219,14 +219,14 @@ fn extend_with_negation_witness(
 
         // ¬AX ψ: one step to a successor violating ψ.
         Formula::Ax(inner) => {
-            let sat_inner = checker.sat(inner);
+            let iid = checker.sat_id(inner);
             let m = checker.automaton();
             if checker.is_deadlocked(here) {
                 // stutter successor is `here` itself
                 return extend_with_negation_witness(checker, inner, states, labels);
             }
             for t in m.transitions_from(here) {
-                if !sat_inner[t.to.index()] {
+                if !checker.sat_ref(iid)[t.to.index()] {
                     if let Some(l) = t.guard.sample_label() {
                         states.push(t.to);
                         labels.push(l);
@@ -245,27 +245,27 @@ fn extend_with_negation_witness(
         }
 
         // ¬(a ∨ b) = ¬a ∧ ¬b: all disjuncts fail here; at most one may need
-        // a path extension.
+        // a path extension. For Implies(a, b) ≡ ¬a ∨ b the left "disjunct"
+        // is ¬a — same state-locality as a, so only the rare
+        // non-local-left Implies case materializes a negated clone.
         Formula::Or(a, b) | Formula::Implies(a, b) => {
-            // For Implies(a, b) ≡ ¬a ∨ b the "disjuncts" are ¬a and b; ¬a
-            // failing means a holds — state-local as long as a is.
-            let (da, db): (Formula, Formula) = match f {
-                Formula::Or(..) => ((**a).clone(), (**b).clone()),
-                Formula::Implies(..) => ((**a).clone().not(), (**b).clone()),
-                _ => unreachable!(),
-            };
-            match (is_state_local(&da), is_state_local(&db)) {
+            match (is_state_local(a), is_state_local(b)) {
                 (true, true) => Ok(()),
-                (true, false) => extend_with_negation_witness(checker, &db, states, labels),
-                (false, true) => extend_with_negation_witness(checker, &da, states, labels),
+                (true, false) => extend_with_negation_witness(checker, b, states, labels),
+                (false, true) => match f {
+                    Formula::Or(..) => extend_with_negation_witness(checker, a, states, labels),
+                    _ => {
+                        let da = (**a).clone().not();
+                        extend_with_negation_witness(checker, &da, states, labels)
+                    }
+                },
                 (false, false) => Err(unsupported(checker, f)),
             }
         }
 
         // ¬(a ∧ b): some conjunct fails here; witness that one.
         Formula::And(a, b) => {
-            let sa = checker.sat(a);
-            if !sa[here.index()] {
+            if !checker.sat(a)[here.index()] {
                 extend_with_negation_witness(checker, a, states, labels)
             } else {
                 extend_with_negation_witness(checker, b, states, labels)
@@ -297,7 +297,7 @@ fn is_state_local(f: &Formula) -> bool {
 
 /// Shortest path (over real transitions) from `from` to any state in
 /// `targets`, as `(states, labels)` with `states[0] == from`.
-fn bfs_path(m: &Automaton, from: StateId, targets: &[bool]) -> Option<(Vec<StateId>, Vec<Label>)> {
+fn bfs_path(m: &Automaton, from: StateId, targets: &BitSet) -> Option<(Vec<StateId>, Vec<Label>)> {
     use std::collections::VecDeque;
     let n = m.state_count();
     let mut parent: Vec<Option<(StateId, Label)>> = vec![None; n];
@@ -353,8 +353,7 @@ fn window_witness(
     states: &mut Vec<StateId>,
     labels: &mut Vec<Label>,
 ) {
-    let not_goal = Formula::Not(Box::new(goal.clone()));
-    let layers = checker.bounded_layers(b, &not_goal, None, Mode::SomeGlobally);
+    let layers = checker.negated_window_layers(b, goal, Mode::SomeGlobally);
     let mut here = *states.last().expect("nonempty");
     for t in 0..b.hi as usize {
         if checker.is_deadlocked(here) {

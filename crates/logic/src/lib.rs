@@ -15,7 +15,10 @@
 //! * [`parse`] — a concrete syntax, e.g.
 //!   `AG !(rearRole.convoy & frontRole.noConvoy)` (the DistanceCoordination
 //!   pattern constraint) or `AG (!p1 | AF[1,d] p2)` (a maximal delay).
-//! * [`Checker`] — global fixpoint/backward-induction satisfaction sets.
+//! * [`Checker`] — bit-packed satisfaction sets over CSR adjacency with
+//!   worklist fixpoints (see the `checker` module docs for the kernel
+//!   design); [`ReferenceChecker`] keeps the naive sweep kernel as an
+//!   executable specification.
 //! * [`check`] / [`check_all`] — verdicts with finite counterexample *runs*
 //!   for the safety fragment; the runs drive the testing step of the
 //!   synthesis loop.
@@ -23,17 +26,21 @@
 #![warn(missing_docs)]
 
 mod ast;
+mod bitset;
 mod checker;
 mod counterexample;
 mod error;
 mod parser;
+pub mod reference;
 mod witness;
 
 pub use ast::{Bound, Formula};
-pub use checker::Checker;
+pub use bitset::BitSet;
+pub use checker::{CheckStats, Checker};
 pub use counterexample::{
     check, check_all, check_all_with, check_with, deadlock_counterexamples, Counterexample, Verdict,
 };
 pub use error::LogicError;
 pub use parser::{parse, ParseError};
+pub use reference::ReferenceChecker;
 pub use witness::witness;

@@ -19,6 +19,7 @@
 use muml_automata::{Automaton, Label, Run, StateId};
 
 use crate::ast::Formula;
+use crate::bitset::BitSet;
 use crate::checker::Checker;
 use crate::error::LogicError;
 
@@ -82,20 +83,22 @@ fn extend(
         _ if is_propositional(f) => Ok(()),
         Formula::Ef(None, inner) => {
             // BFS to the nearest state satisfying the continuation.
-            let sat_inner = checker.sat(inner);
-            let (path_states, path_labels) = bfs_to(checker.automaton(), here, &sat_inner)
-                .ok_or_else(|| LogicError::UnsupportedCounterexample {
-                    formula: f.show(checker.automaton().universe()),
+            let iid = checker.sat_id(inner);
+            let (path_states, path_labels) =
+                bfs_to(checker.automaton(), here, checker.sat_ref(iid)).ok_or_else(|| {
+                    LogicError::UnsupportedCounterexample {
+                        formula: f.show(checker.automaton().universe()),
+                    }
                 })?;
             states.extend(path_states.into_iter().skip(1));
             labels.extend(path_labels);
             extend(checker, inner, states, labels)
         }
         Formula::Ex(inner) => {
-            let sat_inner = checker.sat(inner);
+            let iid = checker.sat_id(inner);
             let m = checker.automaton();
             for t in m.transitions_from(here) {
-                if sat_inner[t.to.index()] {
+                if checker.sat_ref(iid)[t.to.index()] {
                     if let Some(l) = t.guard.sample_label() {
                         states.push(t.to);
                         labels.push(l);
@@ -109,8 +112,9 @@ fn extend(
         }
         Formula::Eu(None, hold, goal) => {
             // BFS restricted to states satisfying `hold` until `goal`.
-            let sat_goal = checker.sat(goal);
-            let sat_hold = checker.sat(hold);
+            let gid = checker.sat_id(goal);
+            let hid = checker.sat_id(hold);
+            let (sat_goal, sat_hold) = (checker.sat_ref(gid), checker.sat_ref(hid));
             let m = checker.automaton();
             use std::collections::VecDeque;
             let n = m.state_count();
@@ -169,7 +173,7 @@ fn extend(
     }
 }
 
-fn bfs_to(m: &Automaton, from: StateId, targets: &[bool]) -> Option<(Vec<StateId>, Vec<Label>)> {
+fn bfs_to(m: &Automaton, from: StateId, targets: &BitSet) -> Option<(Vec<StateId>, Vec<Label>)> {
     use std::collections::VecDeque;
     let n = m.state_count();
     let mut parent: Vec<Option<(StateId, Label)>> = vec![None; n];

@@ -86,6 +86,14 @@ pub enum LoopEvent {
         fixpoint_iterations: u64,
         /// `(state, subformula)` labelings computed.
         labeled_states: u64,
+        /// `u64` words of satisfaction-set data read or written — the
+        /// kernel's memory-traffic measure.
+        words_touched: u64,
+        /// States popped off the unbounded-operator worklists.
+        worklist_pops: u64,
+        /// Peak satisfaction sets resident in the checker's interned
+        /// subformula table.
+        peak_resident_sets: u64,
         /// Wall-clock nanoseconds spent checking.
         nanos: u64,
     },
@@ -243,6 +251,9 @@ impl LoopEvent {
                 violated,
                 fixpoint_iterations,
                 labeled_states,
+                words_touched,
+                worklist_pops,
+                peak_resident_sets,
                 nanos,
             } => {
                 obj.push(("iteration".into(), Json::from_usize(*iteration)));
@@ -259,6 +270,12 @@ impl LoopEvent {
                     Json::from_u64(*fixpoint_iterations),
                 ));
                 obj.push(("labeled_states".into(), Json::from_u64(*labeled_states)));
+                obj.push(("words_touched".into(), Json::from_u64(*words_touched)));
+                obj.push(("worklist_pops".into(), Json::from_u64(*worklist_pops)));
+                obj.push((
+                    "peak_resident_sets".into(),
+                    Json::from_u64(*peak_resident_sets),
+                ));
                 obj.push(("nanos".into(), Json::from_u64(*nanos)));
             }
             LoopEvent::CounterexampleExtracted {

@@ -48,6 +48,9 @@ pub fn render_event(event: &LoopEvent) -> String {
             violated,
             fixpoint_iterations,
             labeled_states,
+            words_touched,
+            worklist_pops,
+            peak_resident_sets: _,
             nanos,
         } => {
             let verdict = match (holds, violated) {
@@ -57,7 +60,8 @@ pub fn render_event(event: &LoopEvent) -> String {
             };
             format!(
                 "  check: {verdict} ({fixpoint_iterations} fixpoint iterations, \
-                 {labeled_states} states labeled) [{}]",
+                 {labeled_states} states labeled, {words_touched} words, \
+                 {worklist_pops} pops) [{}]",
                 ms(*nanos)
             )
         }

@@ -177,6 +177,9 @@ mod tests {
                 violated: Some("¬δ".into()),
                 fixpoint_iterations: 9,
                 labeled_states: 120,
+                words_touched: 48,
+                worklist_pops: 17,
+                peak_resident_sets: 6,
                 nanos: 999,
             },
             LoopEvent::CounterexampleExtracted {
