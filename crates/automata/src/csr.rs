@@ -206,6 +206,76 @@ mod tests {
     }
 
     #[test]
+    fn empty_automaton_yields_empty_csr() {
+        // The builder refuses zero-state automata (it demands an initial
+        // state), but kernel operations can in principle hand the checker a
+        // vacuous product; the CSR must degrade gracefully rather than
+        // index out of bounds.
+        let u = Universe::new();
+        let m = Automaton {
+            universe: u.clone(),
+            name: "empty".to_owned(),
+            inputs: crate::signal::SignalSet::EMPTY,
+            outputs: crate::signal::SignalSet::EMPTY,
+            states: Vec::new(),
+            adj: Vec::new(),
+            initial: Vec::new(),
+        };
+        let csr = Csr::of(&m);
+        assert_eq!(csr.state_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+    }
+
+    #[test]
+    fn single_state_self_loop_is_not_deadlocked() {
+        let u = Universe::new();
+        let m = AutomatonBuilder::new(&u, "loop")
+            .state("s0")
+            .initial("s0")
+            .transition("s0", [], [], "s0")
+            .build()
+            .unwrap();
+        let csr = Csr::of(&m);
+        assert_eq!(csr.state_count(), 1);
+        assert_eq!(csr.edge_count(), 1);
+        // A *real* self-loop and a stutter loop have the same adjacency but
+        // different deadlock flags.
+        assert!(!csr.is_deadlocked(0));
+        assert_eq!(csr.successors(0), &[0]);
+        assert_eq!(csr.predecessors(0), &[0]);
+        assert_eq!(csr.out_degree(0), 1);
+    }
+
+    #[test]
+    fn successorless_state_keeps_predecessors_valid() {
+        let u = Universe::new();
+        // s1 has no outgoing transitions at all (not even infeasible ones);
+        // its stutter loop must appear in both directions of the relation
+        // and leave every offset slice in bounds.
+        let m = AutomatonBuilder::new(&u, "m")
+            .state("s0")
+            .initial("s0")
+            .state("s1")
+            .state("s2")
+            .transition("s0", [], [], "s1")
+            .transition("s0", [], [], "s2")
+            .transition("s2", [], [], "s0")
+            .build()
+            .unwrap();
+        let csr = Csr::of(&m);
+        assert!(csr.is_deadlocked(1));
+        assert!(!csr.is_deadlocked(0));
+        assert_eq!(csr.successors(1), &[1]);
+        assert_eq!(csr.predecessors(1), &[0, 1]);
+        // s0 is only reachable from s2 (its own edges are outgoing).
+        assert_eq!(csr.predecessors(0), &[2]);
+        let total: usize = (0..csr.state_count())
+            .map(|s| csr.predecessors(s).len())
+            .sum();
+        assert_eq!(total, csr.edge_count());
+    }
+
+    #[test]
     fn empty_family_guards_do_not_create_edges() {
         use crate::automaton::Transition;
         use crate::label::{Guard, LabelFamily};

@@ -8,6 +8,8 @@
 //! repro table_a|table_b|table_c|table_d|table_e|table_f
 //! repro check                # old vs new checker kernel, printed
 //! repro check --json         # also writes BENCH_check.json
+//! repro fleet [--jobs N]     # batch campaign, 1 worker vs N workers
+//! repro fleet --json         # also writes BENCH_fleet.json
 //! repro all
 //! ```
 
@@ -24,7 +26,7 @@ use muml_obs::json::Json;
 use muml_obs::{Collector, LoopEvent, NullSink};
 use muml_railcab::scenario;
 
-const KNOWN: [&str; 19] = [
+const KNOWN: [&str; 20] = [
     "fig1",
     "fig2",
     "fig3",
@@ -44,25 +46,56 @@ const KNOWN: [&str; 19] = [
     "table_e",
     "table_f",
     "check",
+    "fleet",
 ];
 
 fn usage() {
-    eprintln!("usage: repro <artefact> [--json]");
+    eprintln!("usage: repro <artefact> [--json] [--jobs N]");
     eprintln!("  artefacts: {} or `all`", KNOWN.join("|"));
-    eprintln!("  --json is supported for `fig2` (writes BENCH_loop.json)");
-    eprintln!("  and `check` (writes BENCH_check.json)");
+    eprintln!("  --json is supported for `fig2` (writes BENCH_loop.json),");
+    eprintln!("  `check` (writes BENCH_check.json), and `fleet` (writes");
+    eprintln!("  BENCH_fleet.json)");
+    eprintln!("  --jobs N sets the `fleet` worker-pool size (default 4)");
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let what = args
-        .iter()
-        .map(String::as_str)
-        .find(|a| !a.starts_with("--"))
-        .unwrap_or("all");
-    if json && what != "fig2" && what != "check" {
-        eprintln!("--json is only supported for `fig2` and `check`");
+    let mut json = false;
+    let mut workers: Option<usize> = None;
+    let mut what: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--jobs" => {
+                let value = iter.next().and_then(|v| v.parse::<usize>().ok());
+                match value {
+                    Some(n) if n >= 1 => workers = Some(n),
+                    _ => {
+                        eprintln!("--jobs requires a positive integer");
+                        usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`");
+                usage();
+                std::process::exit(2);
+            }
+            artefact => {
+                what.get_or_insert_with(|| artefact.to_owned());
+            }
+        }
+    }
+    let what = what.as_deref().unwrap_or("all");
+    if json && what != "fig2" && what != "check" && what != "fleet" {
+        eprintln!("--json is only supported for `fig2`, `check`, and `fleet`");
+        usage();
+        std::process::exit(2);
+    }
+    if workers.is_some() && what != "fleet" {
+        eprintln!("--jobs is only supported for `fleet`");
         usage();
         std::process::exit(2);
     }
@@ -74,6 +107,7 @@ fn main() {
         match (what, json) {
             ("fig2", true) => run_fig2_json(),
             ("check", _) => run_check(json),
+            ("fleet", _) => run_fleet_cmd(workers.unwrap_or(4), json),
             _ => run(what),
         }
     } else {
@@ -474,6 +508,82 @@ fn run_check(json: bool) {
     }
 }
 
+/// `repro fleet [--jobs N] [--json]`: expand the RailCab variants × faults
+/// campaign, run it serially (1 worker) and pooled (N workers), verify that
+/// both aggregations fingerprint identically, and report the wall-clock
+/// speedup. With `--json`, writes `BENCH_fleet.json` (schema: DESIGN.md
+/// §11).
+fn run_fleet_cmd(workers: usize, json: bool) {
+    use muml_bench::campaign::{railcab_campaign, CampaignOptions};
+    use muml_fleet::{run_fleet, FleetConfig, FleetReport};
+    use muml_obs::NullFleetSink;
+
+    heading(&format!(
+        "Fleet — batch campaign, 1 worker vs {workers} workers"
+    ));
+    let options = CampaignOptions::default();
+    let campaign_size = railcab_campaign(&options).len();
+    println!(
+        "campaign: {campaign_size} jobs (variants × faults), harness latency {:?}",
+        options.latency
+    );
+
+    let run_pool = |n: usize| -> (FleetReport, u64) {
+        let start = Instant::now();
+        let report = run_fleet(
+            railcab_campaign(&options),
+            &FleetConfig::default().with_workers(n),
+            &mut NullFleetSink,
+        );
+        (report, start.elapsed().as_nanos() as u64)
+    };
+    let (serial, serial_ns) = run_pool(1);
+    let (pooled, pooled_ns) = run_pool(workers);
+
+    assert_eq!(
+        serial.fingerprint(),
+        pooled.fingerprint(),
+        "aggregated campaign reports must not depend on the worker count"
+    );
+    let speedup = serial_ns as f64 / pooled_ns.max(1) as f64;
+    print!("{}", pooled.render());
+    println!(
+        "serial {serial_ns} ns, {workers} workers {pooled_ns} ns ({speedup:.1}x), fingerprints match"
+    );
+
+    if json {
+        let run_json = |report: &FleetReport, wall_ns: u64| {
+            Json::Object(vec![
+                ("workers".into(), Json::from_usize(report.workers)),
+                ("wall_ns".into(), Json::from_u64(wall_ns)),
+                ("busy_ns".into(), Json::from_u64(report.busy_nanos())),
+            ])
+        };
+        let doc = Json::Object(vec![
+            ("artefact".into(), Json::Str("fleet".into())),
+            ("jobs".into(), Json::from_usize(campaign_size)),
+            (
+                "latency_us".into(),
+                Json::from_u64(options.latency.as_micros() as u64),
+            ),
+            (
+                "runs".into(),
+                Json::Array(vec![
+                    run_json(&serial, serial_ns),
+                    run_json(&pooled, pooled_ns),
+                ]),
+            ),
+            ("speedup".into(), Json::Float(speedup)),
+            ("fingerprints_match".into(), Json::Bool(true)),
+            ("report".into(), pooled.to_json()),
+        ]);
+        std::fs::write("BENCH_fleet.json", doc.encode() + "\n").expect("write BENCH_fleet.json");
+        println!(
+            "wrote BENCH_fleet.json ({campaign_size} jobs, {speedup:.1}x at {workers} workers)"
+        );
+    }
+}
+
 fn run(what: &str) {
     let u = Universe::new();
     match what {
@@ -638,6 +748,7 @@ fn run(what: &str) {
             }
         }
         "check" => run_check(false),
+        "fleet" => run_fleet_cmd(4, false),
         "table_e" => {
             heading("Table T-E — multi-legacy parallel learning (n = 4, k = 2)");
             let (single, twin) = table_e(4, 2);

@@ -1,0 +1,179 @@
+//! Campaign workload generation: expand the RailCab scenario into a fleet
+//! of integration jobs.
+//!
+//! The campaign matrix is *variants × faults*: every rear-shuttle variant
+//! ([`muml_railcab::shuttle_variants`]) contributes one baseline job plus
+//! one job per seeded fault of its deterministic fault matrix
+//! ([`muml_legacy::fault_matrix`]). Job ids are assigned here, at
+//! generation time, in matrix order — the anchor of the fleet's
+//! determinism argument (DESIGN.md §11): however jobs are later shuffled or
+//! sharded, the aggregated report is keyed and sorted by these ids.
+//!
+//! Each job wraps its component in a
+//! [`LatentComponent`](muml_legacy::LatentComponent) modelling test-rig
+//! round-trip latency, which is what makes the campaign worth sharding:
+//! jobs are harness-bound, so a worker pool overlaps their blocked time
+//! even on a single CPU.
+
+use std::time::Duration;
+
+use muml_automata::Universe;
+use muml_core::{IntegrationConfig, IntegrationSession, LegacyUnit};
+use muml_fleet::{Job, JobSpec};
+use muml_legacy::{fault_matrix, inject, Fault, LatentComponent};
+use muml_railcab::{front_context, shuttle_variants, ShuttleVariant};
+
+/// Scenario label of the RailCab campaign.
+pub const SCENARIO: &str = "railcab-convoy";
+/// Pattern label of the RailCab campaign.
+pub const PATTERN: &str = "DistanceCoordination";
+
+/// Knobs of the campaign generator.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Simulated harness round-trip latency per component step/reset.
+    pub latency: Duration,
+    /// Iteration cap per job.
+    pub max_iterations: usize,
+    /// Per-job wall-clock deadline (`None` = no deadline).
+    pub deadline: Option<Duration>,
+    /// Cap on the number of generated jobs (`None` = full matrix). The cap
+    /// truncates the deterministic enumeration, so capped campaigns are
+    /// prefixes of the full one.
+    pub max_jobs: Option<usize>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            latency: Duration::from_micros(500),
+            max_iterations: 10_000,
+            deadline: Some(Duration::from_secs(60)),
+            max_jobs: None,
+        }
+    }
+}
+
+/// Expands the RailCab scenario into the full variants × faults campaign.
+pub fn railcab_campaign(options: &CampaignOptions) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    // Fault matrices are enumerated against a throwaway universe; faults
+    // carry state/signal *names*, so they re-resolve cleanly against each
+    // job's own universe inside the worker.
+    let u = Universe::new();
+    for variant in shuttle_variants() {
+        push_job(&mut jobs, *variant, None, options);
+        for fault in fault_matrix(&(variant.build)(&u), &u) {
+            push_job(&mut jobs, *variant, Some(fault), options);
+        }
+    }
+    if let Some(cap) = options.max_jobs {
+        jobs.truncate(cap);
+    }
+    jobs
+}
+
+fn push_job(
+    jobs: &mut Vec<Job>,
+    variant: ShuttleVariant,
+    fault: Option<Fault>,
+    options: &CampaignOptions,
+) {
+    let id = jobs.len();
+    let fault_name = fault.as_ref().map(Fault::describe);
+    let name = match &fault_name {
+        Some(f) => format!("{}/{f}", variant.name),
+        None => format!("{}/baseline", variant.name),
+    };
+    let mut spec = JobSpec::new(id, name)
+        .with_scenario(SCENARIO)
+        .with_pattern(PATTERN)
+        .with_variant(variant.name)
+        .with_max_iterations(options.max_iterations);
+    if let Some(f) = &fault_name {
+        spec = spec.with_fault(f.clone());
+    }
+    if let Some(deadline) = options.deadline {
+        spec = spec.with_deadline(deadline);
+    }
+    let latency = options.latency;
+    let max_iterations = options.max_iterations;
+    let build = variant.build;
+    jobs.push(Job::new(spec, move |ctx| {
+        let u = Universe::new();
+        let context = front_context(&u);
+        let mut shuttle = build(&u);
+        if let Some(f) = &fault {
+            inject(&mut shuttle, &u, f)?;
+        }
+        let mut component = LatentComponent::new(shuttle, latency);
+        IntegrationSession::new(&u, &context)
+            .formula(muml_railcab::scenario::pattern_constraint(&u))
+            .unit(LegacyUnit::new(
+                &mut component,
+                muml_railcab::scenario::rear_port_map(&u),
+            ))
+            .config(IntegrationConfig::default().with_max_iterations(max_iterations))
+            .cancel_token(ctx.cancel.clone())
+            .run()
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_enumeration_is_deterministic() {
+        let options = CampaignOptions::default();
+        let a = railcab_campaign(&options);
+        let b = railcab_campaign(&options);
+        assert!(a.len() >= 24, "expected dozens of jobs, got {}", a.len());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.spec, y.spec);
+        }
+        assert_eq!(a[0].spec.name, "correct/baseline");
+        assert!(a.iter().enumerate().all(|(i, j)| j.spec.id == i));
+        // Capped campaigns are prefixes.
+        let capped = railcab_campaign(&CampaignOptions {
+            max_jobs: Some(5),
+            ..options
+        });
+        assert_eq!(capped.len(), 5);
+        assert_eq!(capped[4].spec, a[4].spec);
+    }
+
+    #[test]
+    fn baseline_jobs_reach_the_expected_verdicts() {
+        use muml_fleet::{run_fleet, FleetConfig, JobOutcome};
+        let options = CampaignOptions {
+            latency: Duration::ZERO,
+            max_jobs: None,
+            ..CampaignOptions::default()
+        };
+        let baselines: Vec<Job> = railcab_campaign(&options)
+            .into_iter()
+            .filter(|j| j.spec.fault.is_none())
+            .collect();
+        assert_eq!(baselines.len(), 3);
+        let report = run_fleet(
+            baselines,
+            &FleetConfig::default().with_workers(2),
+            &mut muml_obs::NullFleetSink,
+        );
+        for (result, variant) in report.results.iter().zip(shuttle_variants()) {
+            assert_eq!(result.spec.variant, variant.name);
+            if variant.proven_when_unmodified {
+                assert_eq!(result.outcome, JobOutcome::Proven, "{}", result.spec.name);
+            } else {
+                assert!(
+                    matches!(result.outcome, JobOutcome::RealFault { .. }),
+                    "{}: {:?}",
+                    result.spec.name,
+                    result.outcome
+                );
+            }
+        }
+    }
+}

@@ -4,6 +4,7 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod harness;
 pub mod workload;

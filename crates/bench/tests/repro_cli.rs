@@ -1,0 +1,61 @@
+//! CLI-contract tests for the `repro` binary: exit codes and usage text.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+#[test]
+fn unknown_artefact_exits_2_and_lists_fleet() {
+    let out = repro(&["no-such-artefact"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown artefact"), "{stderr}");
+    // The usage text must enumerate every artefact, fleet included.
+    assert!(stderr.contains("fleet"), "{stderr}");
+    assert!(stderr.contains("check"), "{stderr}");
+    assert!(stderr.contains("--jobs"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    let out = repro(&["fleet", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn jobs_flag_requires_a_positive_integer() {
+    for args in [
+        &["fleet", "--jobs"] as &[&str],
+        &["fleet", "--jobs", "zero-ish"],
+        &["fleet", "--jobs", "0"],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--jobs requires"),
+            "{args:?}"
+        );
+    }
+}
+
+#[test]
+fn jobs_flag_is_fleet_only() {
+    let out = repro(&["fig3", "--jobs", "4"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs is only supported for `fleet`"));
+}
+
+#[test]
+fn json_flag_is_rejected_for_unsupported_artefacts() {
+    let out = repro(&["fig3", "--json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--json is only supported"), "{stderr}");
+    assert!(stderr.contains("fleet"), "{stderr}");
+}

@@ -50,6 +50,7 @@ use muml_legacy::{execute_expected_trace, PortMap, StateObservable};
 use muml_logic::{check_all_with, Checker, Formula, Verdict};
 use muml_obs::{EventSink, LoopEvent, NullSink, Phase, PhaseTimer, PhaseTimings, RunOutcome};
 
+use crate::cancel::CancelToken;
 use crate::error::CoreError;
 use crate::initial::{apply_props, initial_knowledge, StatePropMapper};
 use crate::probe::{probe_frontier, FrontierResult};
@@ -120,6 +121,11 @@ pub struct IntegrationConfig {
     /// values implement the Section-7 improvement of learning from several
     /// counterexamples per check.
     pub batch_counterexamples: usize,
+    /// Cooperative cancellation signal. Polled at iteration boundaries and
+    /// before each counterexample test; once cancelled (explicitly or past
+    /// its deadline) the run ends with [`CoreError::Cancelled`]. `None`
+    /// (the default) runs to a verdict or the iteration cap.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for IntegrationConfig {
@@ -129,6 +135,7 @@ impl Default for IntegrationConfig {
             compose: ComposeOptions::default(),
             chaos_prop: "__chaos__".to_owned(),
             batch_counterexamples: 1,
+            cancel: None,
         }
     }
 }
@@ -159,6 +166,14 @@ impl IntegrationConfig {
     #[must_use]
     pub fn with_batch_counterexamples(mut self, batch: usize) -> Self {
         self.batch_counterexamples = batch;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token (deadline and/or explicit
+    /// shutdown).
+    #[must_use]
+    pub fn with_cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -392,6 +407,7 @@ pub(crate) fn run_loop(
     let mut stats = IntegrationStats::default();
 
     for index in 0..config.max_iterations {
+        check_cancel(config.cancel.as_ref(), index, run_start, sink)?;
         stats.iterations = index + 1;
         sink.emit(&LoopEvent::IterationStarted { iteration: index });
         let knowledge: Vec<(usize, usize, usize)> = learned
@@ -491,6 +507,7 @@ pub(crate) fn run_loop(
         let mut record_head: Option<(String, String)> = None; // (violated, listing)
 
         for cx in &cexs {
+            check_cancel(config.cancel.as_ref(), index, run_start, sink)?;
             let violated_str = cx.violated.show(u);
             let cex_listing = render_listing(&comp, &cx.run, u);
             if record_head.is_none() {
@@ -674,6 +691,30 @@ pub(crate) fn run_loop(
         nanos: run_start.elapsed().as_nanos() as u64,
     });
     Err(CoreError::IterationLimit(config.max_iterations))
+}
+
+/// Polls the cancellation token at a loop boundary; a cancelled run emits
+/// its terminal telemetry event here so every run — including interrupted
+/// ones — ends with exactly one `RunFinished`.
+fn check_cancel(
+    cancel: Option<&CancelToken>,
+    iterations_done: usize,
+    run_start: Instant,
+    sink: &mut dyn EventSink,
+) -> Result<(), CoreError> {
+    match cancel {
+        Some(token) if token.is_cancelled() => {
+            sink.emit(&LoopEvent::RunFinished {
+                iterations: iterations_done,
+                outcome: RunOutcome::Cancelled,
+                nanos: run_start.elapsed().as_nanos() as u64,
+            });
+            Err(CoreError::Cancelled {
+                iterations: iterations_done,
+            })
+        }
+        _ => Ok(()),
+    }
 }
 
 #[cfg(test)]

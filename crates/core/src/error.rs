@@ -34,6 +34,13 @@ pub enum CoreError {
         /// Explanation of the mismatch.
         detail: String,
     },
+    /// The run was cooperatively cancelled — the configured
+    /// [`CancelToken`](crate::CancelToken) was signalled or its deadline
+    /// passed before a verdict was reached.
+    Cancelled {
+        /// Verification iterations completed before cancellation.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -52,6 +59,9 @@ impl fmt::Display for CoreError {
             CoreError::Logic(e) => write!(f, "model checking error: {e}"),
             CoreError::InterfaceMismatch { detail } => {
                 write!(f, "interface mismatch: {detail}")
+            }
+            CoreError::Cancelled { iterations } => {
+                write!(f, "run cancelled after {iterations} iterations")
             }
         }
     }

@@ -72,6 +72,7 @@
 
 #![warn(missing_docs)]
 
+mod cancel;
 mod driver;
 mod error;
 mod initial;
@@ -81,6 +82,7 @@ mod session;
 
 pub use muml_obs as obs;
 
+pub use cancel::CancelToken;
 pub use driver::{
     verify_integration, IntegrationConfig, IntegrationReport, IntegrationStats, IntegrationVerdict,
     IterationOutcome, IterationRecord, LegacyUnit,

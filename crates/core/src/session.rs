@@ -102,6 +102,14 @@ impl<'a> IntegrationSession<'a> {
         self
     }
 
+    /// Attaches a cooperative cancellation token (see
+    /// [`CancelToken`](crate::CancelToken)); the loop polls it at iteration
+    /// boundaries and before each counterexample test.
+    pub fn cancel_token(mut self, cancel: crate::CancelToken) -> Self {
+        self.config.cancel = Some(cancel);
+        self
+    }
+
     /// Attaches an event sink; every [`muml_obs::LoopEvent`] of the run is
     /// reported to it. Without a sink, events are discarded.
     pub fn sink(mut self, sink: &'a mut dyn EventSink) -> Self {

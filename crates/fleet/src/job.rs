@@ -1,0 +1,274 @@
+//! Campaign jobs: the declarative description of one integration run.
+//!
+//! A [`JobSpec`] is plain data — the coordinates of one cell of a campaign
+//! matrix (scenario × pattern × component variant × fault) plus its
+//! resource budget. The executable half is the [`Job`]'s *work closure*,
+//! which builds its own universe, context, and component inside the worker
+//! thread (automata universes are cheap and sessions must not share
+//! mutable state across jobs) and runs an
+//! [`IntegrationSession`](muml_core::IntegrationSession) wired to the
+//! [`JobContext`]'s cancellation token.
+
+use std::time::Duration;
+
+use muml_core::{CancelToken, CoreError, IntegrationReport, IntegrationStats, IntegrationVerdict};
+
+/// The declarative description of one campaign job.
+///
+/// `id` is assigned by the campaign *generator*, not the submitter: report
+/// ordering is by `id`, so shuffling the submission order (or changing the
+/// worker count) cannot change the aggregated report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Stable job id (position in the generated campaign).
+    pub id: usize,
+    /// Display name (`variant/fault` by convention).
+    pub name: String,
+    /// The scenario the job exercises (e.g. `railcab-convoy`).
+    pub scenario: String,
+    /// The coordination pattern whose constraint is checked.
+    pub pattern: String,
+    /// The legacy-component variant under integration.
+    pub variant: String,
+    /// The seeded fault, if any (`None` = baseline run).
+    pub fault: Option<String>,
+    /// Iteration cap handed to the session.
+    pub max_iterations: usize,
+    /// Per-job wall-clock deadline (`None` = no deadline).
+    pub deadline: Option<Duration>,
+}
+
+impl JobSpec {
+    /// A spec with the given coordinates, no fault, a 10 000-iteration cap,
+    /// and no deadline.
+    pub fn new(id: usize, name: impl Into<String>) -> Self {
+        JobSpec {
+            id,
+            name: name.into(),
+            scenario: String::new(),
+            pattern: String::new(),
+            variant: String::new(),
+            fault: None,
+            max_iterations: 10_000,
+            deadline: None,
+        }
+    }
+
+    /// Sets the scenario label.
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: impl Into<String>) -> Self {
+        self.scenario = scenario.into();
+        self
+    }
+
+    /// Sets the pattern label.
+    #[must_use]
+    pub fn with_pattern(mut self, pattern: impl Into<String>) -> Self {
+        self.pattern = pattern.into();
+        self
+    }
+
+    /// Sets the component-variant label.
+    #[must_use]
+    pub fn with_variant(mut self, variant: impl Into<String>) -> Self {
+        self.variant = variant.into();
+        self
+    }
+
+    /// Sets the fault label.
+    #[must_use]
+    pub fn with_fault(mut self, fault: impl Into<String>) -> Self {
+        self.fault = Some(fault.into());
+        self
+    }
+
+    /// Sets the iteration cap.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Per-job execution context handed to the work closure.
+#[derive(Debug, Clone)]
+pub struct JobContext {
+    /// The job's cancellation token — pre-armed with the spec's deadline.
+    /// The closure must thread it into its session
+    /// ([`IntegrationSession::cancel_token`](muml_core::IntegrationSession::cancel_token)
+    /// or [`IntegrationConfig::with_cancel_token`](muml_core::IntegrationConfig::with_cancel_token))
+    /// for the deadline to take effect.
+    pub cancel: CancelToken,
+}
+
+/// The executable work of a job. Runs on a worker thread; everything the
+/// session needs (universe, context automaton, component) is built inside.
+pub type JobWork = Box<dyn FnOnce(&JobContext) -> Result<IntegrationReport, CoreError> + Send>;
+
+/// One schedulable unit: a spec plus its work closure.
+pub struct Job {
+    /// The declarative description.
+    pub spec: JobSpec,
+    /// The work to run.
+    pub work: JobWork,
+}
+
+impl Job {
+    /// Pairs a spec with its work closure.
+    pub fn new(
+        spec: JobSpec,
+        work: impl FnOnce(&JobContext) -> Result<IntegrationReport, CoreError> + Send + 'static,
+    ) -> Self {
+        Job {
+            spec,
+            work: Box::new(work),
+        }
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("spec", &self.spec)
+            .finish_non_exhaustive()
+    }
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The integration was proven correct.
+    Proven,
+    /// A real integration fault was confirmed by testing.
+    RealFault {
+        /// The violated property (rendered).
+        property: String,
+    },
+    /// The job hit its wall-clock deadline and was cancelled.
+    TimedOut,
+    /// The session hit its iteration cap.
+    IterationLimit,
+    /// The session failed (or the work closure panicked).
+    Error {
+        /// The error (or panic) message.
+        message: String,
+    },
+}
+
+impl JobOutcome {
+    /// Stable snake_case name (histogram key, JSON encoding).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobOutcome::Proven => "proven",
+            JobOutcome::RealFault { .. } => "real_fault",
+            JobOutcome::TimedOut => "timed_out",
+            JobOutcome::IterationLimit => "iteration_limit",
+            JobOutcome::Error { .. } => "error",
+        }
+    }
+
+    /// All outcome names, in the fixed histogram order.
+    pub fn names() -> [&'static str; 5] {
+        [
+            "proven",
+            "real_fault",
+            "timed_out",
+            "iteration_limit",
+            "error",
+        ]
+    }
+}
+
+/// The result of one executed job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's spec (report rows are sorted by `spec.id`).
+    pub spec: JobSpec,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// Verification iterations performed.
+    pub iterations: usize,
+    /// The session's statistics rollup (all-default for jobs that errored
+    /// or timed out before producing a report).
+    pub stats: IntegrationStats,
+    /// The worker that executed the job (telemetry; excluded from the
+    /// fingerprint).
+    pub worker: usize,
+    /// Wall-clock nanoseconds the job occupied its worker (telemetry;
+    /// excluded from the fingerprint).
+    pub nanos: u64,
+}
+
+/// Classifies a session result into a [`JobOutcome`] plus its iteration
+/// count and stats rollup.
+pub(crate) fn classify(
+    result: Result<IntegrationReport, CoreError>,
+) -> (JobOutcome, usize, IntegrationStats) {
+    match result {
+        Ok(report) => {
+            let iterations = report.stats.iterations;
+            let outcome = match report.verdict {
+                IntegrationVerdict::Proven => JobOutcome::Proven,
+                IntegrationVerdict::RealFault { property, .. } => {
+                    JobOutcome::RealFault { property }
+                }
+            };
+            (outcome, iterations, report.stats)
+        }
+        Err(CoreError::Cancelled { iterations }) => (
+            JobOutcome::TimedOut,
+            iterations,
+            IntegrationStats::default(),
+        ),
+        Err(CoreError::IterationLimit(n)) => {
+            (JobOutcome::IterationLimit, n, IntegrationStats::default())
+        }
+        Err(e) => (
+            JobOutcome::Error {
+                message: e.to_string(),
+            },
+            0,
+            IntegrationStats::default(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder_chains() {
+        let spec = JobSpec::new(3, "faulty/drop[x]")
+            .with_scenario("railcab-convoy")
+            .with_pattern("DistanceCoordination")
+            .with_variant("faulty")
+            .with_fault("drop[x]")
+            .with_max_iterations(64)
+            .with_deadline(Duration::from_secs(5));
+        assert_eq!(spec.id, 3);
+        assert_eq!(spec.fault.as_deref(), Some("drop[x]"));
+        assert_eq!(spec.max_iterations, 64);
+        assert_eq!(spec.deadline, Some(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn classify_maps_errors() {
+        let (outcome, iterations, _) = classify(Err(CoreError::Cancelled { iterations: 4 }));
+        assert_eq!(outcome, JobOutcome::TimedOut);
+        assert_eq!(iterations, 4);
+        let (outcome, iterations, _) = classify(Err(CoreError::IterationLimit(9)));
+        assert_eq!(outcome, JobOutcome::IterationLimit);
+        assert_eq!(iterations, 9);
+        let (outcome, _, _) = classify(Err(CoreError::InterfaceMismatch { detail: "x".into() }));
+        assert!(matches!(outcome, JobOutcome::Error { .. }));
+        assert_eq!(outcome.name(), "error");
+    }
+}

@@ -1,0 +1,257 @@
+//! The worker pool: bounded submission, shared-receiver dispatch,
+//! cooperative deadlines, and single-threaded event forwarding.
+//!
+//! Topology (see DESIGN.md §11 for the queue-discipline discussion):
+//!
+//! ```text
+//!   coordinator ──sync_channel(queue_bound)──▶ workers (shared receiver)
+//!        ▲                                        │
+//!        └──────────unbounded channel─────────────┘  (Started/Done/stats)
+//! ```
+//!
+//! * The job channel is *bounded*: a full queue blocks submission, so a
+//!   campaign generator producing jobs faster than the pool drains them is
+//!   back-pressured instead of buffering the whole campaign.
+//! * Workers share one receiver behind a mutex and pull as they free up —
+//!   jobs are never pre-assigned, so a slow job on one worker cannot
+//!   strand queued jobs behind it.
+//! * The back-channel is unbounded, so workers never block on the
+//!   coordinator and the bounded queue cannot deadlock.
+//! * The coordinator is the only thread touching the [`FleetSink`]: worker
+//!   messages are forwarded in arrival order, which keeps sinks free of
+//!   locking requirements.
+//!
+//! Each job's work closure runs under `catch_unwind`; a panicking job is
+//! reported as [`JobOutcome::Error`](crate::JobOutcome) and its worker
+//! keeps serving the queue.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use muml_core::CancelToken;
+use muml_obs::{FleetEvent, FleetSink};
+
+use crate::job::{classify, Job, JobContext, JobOutcome, JobResult};
+use crate::report::FleetReport;
+
+/// Worker-pool configuration.
+///
+/// The struct is `#[non_exhaustive]`; construct it with
+/// [`FleetConfig::default`] (one worker, queue bound 8) and refine via the
+/// chainable setters.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct FleetConfig {
+    /// Worker-pool size (clamped to at least 1).
+    pub workers: usize,
+    /// Capacity of the bounded job queue (clamped to at least 1);
+    /// submission blocks while the queue is full.
+    pub queue_bound: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 1,
+            queue_bound: 8,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Sets the worker-pool size.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the job-queue capacity.
+    #[must_use]
+    pub fn with_queue_bound(mut self, queue_bound: usize) -> Self {
+        self.queue_bound = queue_bound;
+        self
+    }
+}
+
+/// Worker → coordinator messages.
+enum Message {
+    Started {
+        job: usize,
+        name: String,
+        worker: usize,
+    },
+    Done(Box<JobResult>),
+    WorkerIdle {
+        worker: usize,
+        jobs: usize,
+        busy_nanos: u64,
+    },
+}
+
+/// Runs `jobs` across the configured worker pool and aggregates the
+/// deterministic [`FleetReport`]. Fleet-level telemetry is forwarded to
+/// `sink` from the coordinator thread.
+pub fn run_fleet(jobs: Vec<Job>, config: &FleetConfig, sink: &mut dyn FleetSink) -> FleetReport {
+    let workers = config.workers.max(1);
+    let queue_bound = config.queue_bound.max(1);
+    let total = jobs.len();
+    let start = Instant::now();
+    sink.emit(&FleetEvent::FleetStarted {
+        jobs: total,
+        workers,
+    });
+
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(queue_bound);
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let (msg_tx, msg_rx) = mpsc::channel::<Message>();
+
+    let mut results: Vec<JobResult> = Vec::with_capacity(total);
+    let mut submitted = 0usize;
+    let mut started = 0usize;
+    let mut finished = 0usize;
+
+    thread::scope(|scope| {
+        for worker in 0..workers {
+            let rx = Arc::clone(&job_rx);
+            let tx = msg_tx.clone();
+            scope.spawn(move || worker_loop(worker, rx, tx));
+        }
+        // The workers hold the only remaining senders; dropping ours makes
+        // the drain loop below terminate when the last worker exits.
+        drop(msg_tx);
+
+        for job in jobs {
+            // Blocks while the queue is full — the backpressure point.
+            job_tx.send(job).expect("workers outlive submission");
+            submitted += 1;
+            for msg in msg_rx.try_iter() {
+                handle(msg, sink, &mut results, &mut started, &mut finished);
+            }
+            sink.emit(&FleetEvent::QueueDepth {
+                pending: submitted - started,
+                finished,
+            });
+        }
+        drop(job_tx); // close the queue: idle workers exit
+
+        for msg in msg_rx.iter() {
+            let wall_nanos = start.elapsed().as_nanos() as u64;
+            match msg {
+                Message::WorkerIdle {
+                    worker,
+                    jobs,
+                    busy_nanos,
+                } => sink.emit(&FleetEvent::WorkerUtilization {
+                    worker,
+                    jobs,
+                    busy_nanos,
+                    wall_nanos,
+                }),
+                other => handle(other, sink, &mut results, &mut started, &mut finished),
+            }
+        }
+    });
+
+    sink.emit(&FleetEvent::FleetFinished {
+        jobs: finished,
+        nanos: start.elapsed().as_nanos() as u64,
+    });
+    FleetReport::new(workers, results, start.elapsed().as_nanos() as u64)
+}
+
+fn handle(
+    msg: Message,
+    sink: &mut dyn FleetSink,
+    results: &mut Vec<JobResult>,
+    started: &mut usize,
+    finished: &mut usize,
+) {
+    match msg {
+        Message::Started { job, name, worker } => {
+            *started += 1;
+            sink.emit(&FleetEvent::JobStarted { job, name, worker });
+        }
+        Message::Done(result) => {
+            let result = *result;
+            *finished += 1;
+            if result.outcome == JobOutcome::TimedOut {
+                sink.emit(&FleetEvent::JobTimedOut {
+                    job: result.spec.id,
+                    worker: result.worker,
+                    nanos: result.nanos,
+                });
+            }
+            sink.emit(&FleetEvent::JobFinished {
+                job: result.spec.id,
+                worker: result.worker,
+                outcome: result.outcome.name().to_owned(),
+                iterations: result.iterations,
+                nanos: result.nanos,
+            });
+            results.push(result);
+        }
+        Message::WorkerIdle { .. } => unreachable!("drained only after queue close"),
+    }
+}
+
+fn worker_loop(worker: usize, rx: Arc<Mutex<mpsc::Receiver<Job>>>, tx: mpsc::Sender<Message>) {
+    let mut jobs = 0usize;
+    let mut busy_nanos = 0u64;
+    loop {
+        // Hold the lock across `recv`: exactly one worker waits on the
+        // channel while the rest queue on the mutex; each job wakes one.
+        let next = {
+            let guard = rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            guard.recv()
+        };
+        let Ok(job) = next else { break };
+        let _ = tx.send(Message::Started {
+            job: job.spec.id,
+            name: job.spec.name.clone(),
+            worker,
+        });
+        let cancel = match job.spec.deadline {
+            Some(deadline) => CancelToken::with_timeout(deadline),
+            None => CancelToken::new(),
+        };
+        let context = JobContext { cancel };
+        let job_start = Instant::now();
+        let Job { spec, work } = job;
+        let outcome = catch_unwind(AssertUnwindSafe(move || work(&context)));
+        let nanos = job_start.elapsed().as_nanos() as u64;
+        let (outcome, iterations, stats) = match outcome {
+            Ok(result) => classify(result),
+            Err(panic) => {
+                let message = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "job panicked".to_owned());
+                (
+                    JobOutcome::Error { message },
+                    0,
+                    muml_core::IntegrationStats::default(),
+                )
+            }
+        };
+        jobs += 1;
+        busy_nanos += nanos;
+        let _ = tx.send(Message::Done(Box::new(JobResult {
+            spec,
+            outcome,
+            iterations,
+            stats,
+            worker,
+            nanos,
+        })));
+    }
+    let _ = tx.send(Message::WorkerIdle {
+        worker,
+        jobs,
+        busy_nanos,
+    });
+}

@@ -40,6 +40,68 @@ pub enum Fault {
     },
 }
 
+impl Fault {
+    /// A short stable slug naming the fault — used by campaign generators
+    /// to derive job names (`drop[idle+go]`, `mute[idle+go]`,
+    /// `redirect[idle+go>run]`).
+    pub fn describe(&self) -> String {
+        match self {
+            Fault::RedirectTarget {
+                state,
+                inputs,
+                new_target,
+            } => format!("redirect[{state}+{}>{new_target}]", inputs.join("+")),
+            Fault::ChangeOutput { state, inputs, .. } => {
+                format!("mute[{state}+{}]", inputs.join("+"))
+            }
+            Fault::DropRule { state, inputs } => format!("drop[{state}+{}]", inputs.join("+")),
+        }
+    }
+}
+
+/// Enumerates a deterministic matrix of seeded faults for `m` — the
+/// campaign axis of the fleet workload generator.
+///
+/// For every rule of `m` (in [`HiddenMealy::rules_sorted`] order) the
+/// matrix contains:
+///
+/// * one [`Fault::DropRule`] removing the rule;
+/// * one [`Fault::ChangeOutput`] muting the rule's outputs (only for rules
+///   that produce outputs — muting an already-silent rule is a no-op);
+/// * one [`Fault::RedirectTarget`] sending the rule to the first declared
+///   state that differs from its real target (skipped for single-state
+///   machines, where no such state exists).
+///
+/// The ordering is a function of the machine alone (state declaration
+/// order, then input bit patterns), so two calls — or two processes —
+/// enumerate identical matrices. Every fault in the matrix injects
+/// successfully into a fresh copy of `m`.
+pub fn fault_matrix(m: &HiddenMealy, u: &Universe) -> Vec<Fault> {
+    let states = m.state_names();
+    let mut faults = Vec::new();
+    for rule in m.rules_sorted(u) {
+        faults.push(Fault::DropRule {
+            state: rule.state.clone(),
+            inputs: rule.inputs.clone(),
+        });
+        if !rule.outputs.is_empty() {
+            faults.push(Fault::ChangeOutput {
+                state: rule.state.clone(),
+                inputs: rule.inputs.clone(),
+                new_outputs: Vec::new(),
+            });
+        }
+        if let Some(new_target) = states.iter().find(|s| **s != rule.target) {
+            faults.push(Fault::RedirectTarget {
+                state: rule.state,
+                inputs: rule.inputs,
+                new_target: new_target.clone(),
+            });
+        }
+    }
+    faults
+}
+
 /// Injects `fault` into `m`.
 ///
 /// # Errors
@@ -175,6 +237,36 @@ mod tests {
         .unwrap();
         assert_eq!(m.step(u.signals(["go"])), SignalSet::EMPTY);
         assert_eq!(m.observable_state(), "idle");
+    }
+
+    #[test]
+    fn fault_matrix_is_deterministic_and_injectable() {
+        let u = Universe::new();
+        let m = machine(&u);
+        let matrix = fault_matrix(&m, &u);
+        // 2 rules: (idle, go)→ack has all 3 fault kinds; (run, ∅) is
+        // silent, so no ChangeOutput for it.
+        assert_eq!(matrix.len(), 5);
+        assert_eq!(
+            matrix.iter().map(Fault::describe).collect::<Vec<_>>(),
+            fault_matrix(&machine(&u), &u)
+                .iter()
+                .map(Fault::describe)
+                .collect::<Vec<_>>()
+        );
+        for fault in &matrix {
+            let mut fresh = machine(&u);
+            inject(&mut fresh, &u, fault).unwrap();
+        }
+    }
+
+    #[test]
+    fn describe_is_compact() {
+        let fault = Fault::DropRule {
+            state: "idle".into(),
+            inputs: vec!["go".into()],
+        };
+        assert_eq!(fault.describe(), "drop[idle+go]");
     }
 
     #[test]

@@ -134,6 +134,46 @@ impl HiddenMealy {
     pub(crate) fn state_index(&self, name: &str) -> Option<usize> {
         self.state_names.iter().position(|n| n == name)
     }
+
+    /// The hidden state names, in declaration order.
+    pub fn state_names(&self) -> &[String] {
+        &self.state_names
+    }
+
+    /// The rule table rendered with signal names, sorted deterministically
+    /// by `(state index, input bits)`. The internal table is a `HashMap`
+    /// with non-deterministic iteration order; every consumer that
+    /// enumerates rules reproducibly — most importantly
+    /// [`fault_matrix`](crate::fault_matrix) — goes through this accessor.
+    pub fn rules_sorted(&self, u: &Universe) -> Vec<MealyRule> {
+        let mut keys: Vec<&(usize, SignalSet)> = self.rules.keys().collect();
+        keys.sort_by_key(|(state, inputs)| (*state, inputs.bits()));
+        keys.into_iter()
+            .map(|key| {
+                let (outputs, target) = &self.rules[key];
+                MealyRule {
+                    state: self.state_names[key.0].clone(),
+                    inputs: key.1.iter().map(|id| u.signal_name(id)).collect(),
+                    outputs: outputs.iter().map(|id| u.signal_name(id)).collect(),
+                    target: self.state_names[*target].clone(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One rendered rule of a [`HiddenMealy`], as returned by
+/// [`HiddenMealy::rules_sorted`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MealyRule {
+    /// Source state name.
+    pub state: String,
+    /// Input signal names (ascending signal-id order).
+    pub inputs: Vec<String>,
+    /// Output signal names (ascending signal-id order).
+    pub outputs: Vec<String>,
+    /// Target state name.
+    pub target: String,
 }
 
 impl LegacyComponent for HiddenMealy {

@@ -26,14 +26,16 @@ mod component;
 mod executor;
 mod faults;
 mod interpreter;
+mod latency;
 mod monitor;
 mod probe;
 mod replay;
 
 pub use component::{LegacyComponent, StateObservable};
 pub use executor::{execute_expected_trace, TestOutcome};
-pub use faults::{inject, Fault};
-pub use interpreter::{DefaultBehavior, HiddenMealy, MealyBuilder};
+pub use faults::{fault_matrix, inject, Fault};
+pub use interpreter::{DefaultBehavior, HiddenMealy, MealyBuilder, MealyRule};
+pub use latency::LatentComponent;
 pub use monitor::{Direction, MonitorEvent, MonitorTrace, PortMap};
 pub use probe::{InstrumentedComponent, ProbeMode, NO_STATE_PROBE};
 pub use replay::{record_live, replay, RecordedStep, Recording, ReplayError, ReplayReport};

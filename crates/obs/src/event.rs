@@ -12,6 +12,9 @@ pub enum RunOutcome {
     /// The iteration cap was hit (should not happen for finite
     /// deterministic components).
     IterationLimit,
+    /// The run was cooperatively cancelled (explicit cancellation or a
+    /// wall-clock deadline) before reaching a verdict.
+    Cancelled,
 }
 
 impl RunOutcome {
@@ -21,6 +24,7 @@ impl RunOutcome {
             RunOutcome::Proven => "proven",
             RunOutcome::RealFault => "real_fault",
             RunOutcome::IterationLimit => "iteration_limit",
+            RunOutcome::Cancelled => "cancelled",
         }
     }
 }

@@ -1,0 +1,362 @@
+//! Fleet-level telemetry for batch-verification campaigns.
+//!
+//! A *fleet* (see the `muml-fleet` crate) shards many independent
+//! integration sessions across a worker pool. The per-session story is told
+//! by [`LoopEvent`](crate::LoopEvent) streams; this module adds the
+//! orchestration layer above it: job lifecycle, queue pressure, and worker
+//! utilization.
+//!
+//! Unlike loop events, fleet events are **timing-shaped**: their order and
+//! payloads depend on scheduling (which worker grabbed which job, how deep
+//! the queue was at each submission). They are telemetry, not part of the
+//! deterministic `FleetReport` — consumers that need determinism read the
+//! report's fingerprint instead.
+
+use std::io;
+
+use crate::json::Json;
+use crate::sink::JsonWriter;
+
+/// One observable step of a batch-verification campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetEvent {
+    /// The fleet started: how many jobs over how many workers.
+    FleetStarted {
+        /// Total jobs in the campaign.
+        jobs: usize,
+        /// Worker-pool size.
+        workers: usize,
+    },
+    /// A worker picked a job off the queue.
+    JobStarted {
+        /// The job's id.
+        job: usize,
+        /// The job's display name.
+        name: String,
+        /// The worker index executing it.
+        worker: usize,
+    },
+    /// A job ran to a verdict (or error).
+    JobFinished {
+        /// The job's id.
+        job: usize,
+        /// The worker index that executed it.
+        worker: usize,
+        /// Stable outcome name (`proven`, `real_fault`, `timed_out`,
+        /// `iteration_limit`, `error`).
+        outcome: String,
+        /// Verification iterations the session performed.
+        iterations: usize,
+        /// Wall-clock nanoseconds the job occupied its worker.
+        nanos: u64,
+    },
+    /// A job hit its wall-clock deadline and was cooperatively cancelled.
+    JobTimedOut {
+        /// The job's id.
+        job: usize,
+        /// The worker index that executed it.
+        worker: usize,
+        /// Wall-clock nanoseconds until cancellation took effect.
+        nanos: u64,
+    },
+    /// Queue pressure after a submission: how many accepted jobs are still
+    /// waiting for a worker, and how many have already finished.
+    QueueDepth {
+        /// Jobs submitted but not yet picked up by a worker.
+        pending: usize,
+        /// Jobs finished so far.
+        finished: usize,
+    },
+    /// One worker's lifetime totals, reported when the queue closes.
+    WorkerUtilization {
+        /// The worker index.
+        worker: usize,
+        /// Jobs this worker executed.
+        jobs: usize,
+        /// Nanoseconds spent executing jobs.
+        busy_nanos: u64,
+        /// Wall-clock nanoseconds from fleet start to this report.
+        wall_nanos: u64,
+    },
+    /// The fleet drained: all jobs accounted for.
+    FleetFinished {
+        /// Total jobs executed.
+        jobs: usize,
+        /// Wall-clock nanoseconds for the whole campaign.
+        nanos: u64,
+    },
+}
+
+impl FleetEvent {
+    /// Stable snake_case tag of the variant (the `event` field of the JSON
+    /// encoding).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FleetEvent::FleetStarted { .. } => "fleet_started",
+            FleetEvent::JobStarted { .. } => "job_started",
+            FleetEvent::JobFinished { .. } => "job_finished",
+            FleetEvent::JobTimedOut { .. } => "job_timed_out",
+            FleetEvent::QueueDepth { .. } => "queue_depth",
+            FleetEvent::WorkerUtilization { .. } => "worker_utilization",
+            FleetEvent::FleetFinished { .. } => "fleet_finished",
+        }
+    }
+
+    /// The job this event belongs to, if any.
+    pub fn job(&self) -> Option<usize> {
+        match self {
+            FleetEvent::JobStarted { job, .. }
+            | FleetEvent::JobFinished { job, .. }
+            | FleetEvent::JobTimedOut { job, .. } => Some(*job),
+            _ => None,
+        }
+    }
+
+    /// The JSON object encoding of the event (field `event` carries
+    /// [`FleetEvent::kind`]; remaining fields mirror the variant's).
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![("event".to_owned(), Json::Str(self.kind().to_owned()))];
+        match self {
+            FleetEvent::FleetStarted { jobs, workers } => {
+                obj.push(("jobs".into(), Json::from_usize(*jobs)));
+                obj.push(("workers".into(), Json::from_usize(*workers)));
+            }
+            FleetEvent::JobStarted { job, name, worker } => {
+                obj.push(("job".into(), Json::from_usize(*job)));
+                obj.push(("name".into(), Json::Str(name.clone())));
+                obj.push(("worker".into(), Json::from_usize(*worker)));
+            }
+            FleetEvent::JobFinished {
+                job,
+                worker,
+                outcome,
+                iterations,
+                nanos,
+            } => {
+                obj.push(("job".into(), Json::from_usize(*job)));
+                obj.push(("worker".into(), Json::from_usize(*worker)));
+                obj.push(("outcome".into(), Json::Str(outcome.clone())));
+                obj.push(("iterations".into(), Json::from_usize(*iterations)));
+                obj.push(("nanos".into(), Json::from_u64(*nanos)));
+            }
+            FleetEvent::JobTimedOut { job, worker, nanos } => {
+                obj.push(("job".into(), Json::from_usize(*job)));
+                obj.push(("worker".into(), Json::from_usize(*worker)));
+                obj.push(("nanos".into(), Json::from_u64(*nanos)));
+            }
+            FleetEvent::QueueDepth { pending, finished } => {
+                obj.push(("pending".into(), Json::from_usize(*pending)));
+                obj.push(("finished".into(), Json::from_usize(*finished)));
+            }
+            FleetEvent::WorkerUtilization {
+                worker,
+                jobs,
+                busy_nanos,
+                wall_nanos,
+            } => {
+                obj.push(("worker".into(), Json::from_usize(*worker)));
+                obj.push(("jobs".into(), Json::from_usize(*jobs)));
+                obj.push(("busy_nanos".into(), Json::from_u64(*busy_nanos)));
+                obj.push(("wall_nanos".into(), Json::from_u64(*wall_nanos)));
+            }
+            FleetEvent::FleetFinished { jobs, nanos } => {
+                obj.push(("jobs".into(), Json::from_usize(*jobs)));
+                obj.push(("nanos".into(), Json::from_u64(*nanos)));
+            }
+        }
+        Json::Object(obj)
+    }
+}
+
+/// A consumer of [`FleetEvent`]s — the orchestration-level counterpart of
+/// [`EventSink`](crate::EventSink). The fleet coordinator owns the sink and
+/// forwards events from all workers on one thread, so implementations need
+/// not be thread-safe.
+pub trait FleetSink {
+    /// Handles one event.
+    fn emit(&mut self, event: &FleetEvent);
+}
+
+/// Discards every fleet event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullFleetSink;
+
+impl FleetSink for NullFleetSink {
+    fn emit(&mut self, _event: &FleetEvent) {}
+}
+
+/// Collects fleet events in memory, in emission order.
+#[derive(Debug, Default, Clone)]
+pub struct FleetCollector {
+    /// The events received so far.
+    pub events: Vec<FleetEvent>,
+}
+
+impl FleetCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        FleetCollector::default()
+    }
+
+    /// The variant tags of all events, in order.
+    pub fn kinds(&self) -> Vec<&'static str> {
+        self.events.iter().map(|e| e.kind()).collect()
+    }
+
+    /// Events belonging to job `id`.
+    pub fn job(&self, id: usize) -> Vec<&FleetEvent> {
+        self.events.iter().filter(|e| e.job() == Some(id)).collect()
+    }
+}
+
+impl FleetSink for FleetCollector {
+    fn emit(&mut self, event: &FleetEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+impl<S: FleetSink + ?Sized> FleetSink for &mut S {
+    fn emit(&mut self, event: &FleetEvent) {
+        (**self).emit(event);
+    }
+}
+
+/// Fleet events share the JSON Lines encoding: one object per line with the
+/// variant tag under `"event"`.
+impl<W: io::Write> FleetSink for JsonWriter<W> {
+    fn emit(&mut self, event: &FleetEvent) {
+        self.emit_json(event.to_json());
+    }
+}
+
+/// Renders one fleet event as a single display line.
+pub fn render_fleet_event(event: &FleetEvent) -> String {
+    let ms = |nanos: u64| format!("{:.2}ms", nanos as f64 / 1.0e6);
+    match event {
+        FleetEvent::FleetStarted { jobs, workers } => {
+            format!("fleet: {jobs} jobs over {workers} workers")
+        }
+        FleetEvent::JobStarted { job, name, worker } => {
+            format!("  job {job} `{name}` started on worker {worker}")
+        }
+        FleetEvent::JobFinished {
+            job,
+            worker,
+            outcome,
+            iterations,
+            nanos,
+        } => format!(
+            "  job {job} finished on worker {worker}: {outcome} after {iterations} iterations [{}]",
+            ms(*nanos)
+        ),
+        FleetEvent::JobTimedOut { job, worker, nanos } => {
+            format!("  job {job} TIMED OUT on worker {worker} [{}]", ms(*nanos))
+        }
+        FleetEvent::QueueDepth { pending, finished } => {
+            format!("  queue: {pending} pending, {finished} finished")
+        }
+        FleetEvent::WorkerUtilization {
+            worker,
+            jobs,
+            busy_nanos,
+            wall_nanos,
+        } => format!(
+            "  worker {worker}: {jobs} jobs, busy {} of {} ({:.0}%)",
+            ms(*busy_nanos),
+            ms(*wall_nanos),
+            100.0 * *busy_nanos as f64 / (*wall_nanos).max(1) as f64
+        ),
+        FleetEvent::FleetFinished { jobs, nanos } => {
+            format!("fleet: drained {jobs} jobs [{}]", ms(*nanos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample_events() -> Vec<FleetEvent> {
+        vec![
+            FleetEvent::FleetStarted {
+                jobs: 2,
+                workers: 4,
+            },
+            FleetEvent::JobStarted {
+                job: 0,
+                name: "railcab/correct".into(),
+                worker: 1,
+            },
+            FleetEvent::QueueDepth {
+                pending: 1,
+                finished: 0,
+            },
+            FleetEvent::JobFinished {
+                job: 0,
+                worker: 1,
+                outcome: "proven".into(),
+                iterations: 7,
+                nanos: 1234,
+            },
+            FleetEvent::JobTimedOut {
+                job: 1,
+                worker: 0,
+                nanos: 999,
+            },
+            FleetEvent::WorkerUtilization {
+                worker: 0,
+                jobs: 1,
+                busy_nanos: 999,
+                wall_nanos: 2000,
+            },
+            FleetEvent::FleetFinished {
+                jobs: 2,
+                nanos: 4321,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_every_variant() {
+        let mut writer = JsonWriter::new(Vec::new());
+        let events = sample_events();
+        for event in &events {
+            FleetSink::emit(&mut writer, event);
+        }
+        let bytes = writer.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), events.len());
+        for (line, event) in lines.iter().zip(&events) {
+            let parsed = parse(line).unwrap();
+            assert_eq!(parsed, event.to_json());
+            assert_eq!(
+                parsed.get("event").and_then(Json::as_str),
+                Some(event.kind())
+            );
+        }
+    }
+
+    #[test]
+    fn collector_indexes_by_job() {
+        let mut collector = FleetCollector::new();
+        for event in &sample_events() {
+            collector.emit(event);
+        }
+        assert_eq!(collector.events.len(), 7);
+        assert_eq!(collector.job(0).len(), 2);
+        assert_eq!(collector.job(1).len(), 1);
+        assert_eq!(collector.kinds()[0], "fleet_started");
+        assert_eq!(*collector.kinds().last().unwrap(), "fleet_finished");
+    }
+
+    #[test]
+    fn renderings_are_single_lines() {
+        for event in &sample_events() {
+            let line = render_fleet_event(event);
+            assert!(!line.contains('\n'), "{line}");
+            assert!(!line.is_empty());
+        }
+    }
+}

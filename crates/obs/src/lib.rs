@@ -26,12 +26,14 @@
 #![warn(missing_docs)]
 
 mod event;
+mod fleet;
 pub mod json;
 mod render;
 mod sink;
 mod timer;
 
 pub use event::{LoopEvent, RunOutcome};
+pub use fleet::{render_fleet_event, FleetCollector, FleetEvent, FleetSink, NullFleetSink};
 pub use render::{render_event, Renderer};
-pub use sink::{Collector, EventSink, JsonWriter, NullSink, Tee};
+pub use sink::{Collector, EventSink, JsonWriter, NullSink, SharedSink, Tee};
 pub use timer::{Phase, PhaseTimer, PhaseTimings};

@@ -125,6 +125,7 @@ pub fn render_event(event: &LoopEvent) -> String {
                 RunOutcome::Proven => "integration proven correct",
                 RunOutcome::RealFault => "real integration fault",
                 RunOutcome::IterationLimit => "iteration limit reached",
+                RunOutcome::Cancelled => "run cancelled (deadline)",
             };
             format!(
                 "result: {verdict} after {iterations} iterations [{}]",

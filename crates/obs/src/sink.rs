@@ -1,6 +1,8 @@
 //! Event consumers.
 
+use std::fmt;
 use std::io;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::event::LoopEvent;
 use crate::render::render_event;
@@ -62,9 +64,14 @@ impl EventSink for Collector {
 /// Writes one JSON object per event, newline-delimited (JSON Lines), to
 /// any [`io::Write`]. Each line parses back with [`crate::json::parse`]
 /// and carries the variant tag under the `"event"` key.
+///
+/// Dropping the writer flushes it (best-effort); use
+/// [`JsonWriter::finish`] to observe write errors and recover the
+/// underlying writer.
 #[derive(Debug)]
 pub struct JsonWriter<W: io::Write> {
-    writer: W,
+    /// `None` only after `finish` moved the writer out.
+    writer: Option<W>,
     error: Option<io::Error>,
 }
 
@@ -72,7 +79,7 @@ impl<W: io::Write> JsonWriter<W> {
     /// Wraps a writer.
     pub fn new(writer: W) -> Self {
         JsonWriter {
-            writer,
+            writer: Some(writer),
             error: None,
         }
     }
@@ -83,20 +90,41 @@ impl<W: io::Write> JsonWriter<W> {
         if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.writer.flush()?;
-        Ok(self.writer)
+        let mut writer = self.writer.take().expect("writer present until finish");
+        writer.flush()?;
+        Ok(writer)
+    }
+
+    /// Writes one pre-encoded JSON value as a line (shared by the loop- and
+    /// fleet-event sink impls).
+    pub(crate) fn emit_json(&mut self, value: crate::json::Json) {
+        if self.error.is_some() {
+            return;
+        }
+        let Some(writer) = self.writer.as_mut() else {
+            return;
+        };
+        let mut line = value.encode();
+        line.push('\n');
+        if let Err(e) = writer.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
     }
 }
 
 impl<W: io::Write> EventSink for JsonWriter<W> {
     fn emit(&mut self, event: &LoopEvent) {
-        if self.error.is_some() {
-            return;
-        }
-        let mut line = event.to_json().encode();
-        line.push('\n');
-        if let Err(e) = self.writer.write_all(line.as_bytes()) {
-            self.error = Some(e);
+        self.emit_json(event.to_json());
+    }
+}
+
+impl<W: io::Write> Drop for JsonWriter<W> {
+    fn drop(&mut self) {
+        // Best-effort: a writer dropped without `finish` (e.g. on an early
+        // return or a panicking worker) must not silently lose buffered
+        // lines.
+        if let Some(writer) = self.writer.as_mut() {
+            let _ = writer.flush();
         }
     }
 }
@@ -141,6 +169,73 @@ impl<A: EventSink, B: EventSink> EventSink for Tee<A, B> {
 impl<S: EventSink + ?Sized> EventSink for &mut S {
     fn emit(&mut self, event: &LoopEvent) {
         (**self).emit(event);
+    }
+}
+
+/// A cloneable, thread-safe handle fanning many producers into one shared
+/// sink (`Arc<Mutex<dyn EventSink + Send>>`).
+///
+/// Fleet workers each run their own [`IntegrationSession`] with its own
+/// `&mut dyn EventSink`; `SharedSink` lets all of them feed one collector
+/// without any worker owning it. Combine with [`Tee`] to additionally keep
+/// a local per-worker stream.
+///
+/// Events from concurrent sessions interleave at event granularity (the
+/// mutex is held per `emit`); use [`LoopEvent::iteration`] together with a
+/// per-job sink if per-session ordering must be reconstructed.
+///
+/// ```
+/// use std::sync::{Arc, Mutex};
+/// use muml_obs::{Collector, EventSink, LoopEvent, SharedSink};
+///
+/// let collector = Arc::new(Mutex::new(Collector::new()));
+/// let mut a = SharedSink::from_arc(collector.clone());
+/// let mut b = a.clone();
+/// a.emit(&LoopEvent::IterationStarted { iteration: 0 });
+/// b.emit(&LoopEvent::IterationStarted { iteration: 1 });
+/// assert_eq!(collector.lock().unwrap().events.len(), 2);
+/// ```
+#[derive(Clone)]
+pub struct SharedSink {
+    inner: Arc<Mutex<dyn EventSink + Send>>,
+}
+
+impl SharedSink {
+    /// Wraps a sink for shared access.
+    pub fn new(sink: impl EventSink + Send + 'static) -> Self {
+        SharedSink {
+            inner: Arc::new(Mutex::new(sink)),
+        }
+    }
+
+    /// Adapts an existing shared sink — the usual way to keep a typed
+    /// handle (e.g. `Arc<Mutex<Collector>>`) on the collecting side while
+    /// handing type-erased clones to producers.
+    pub fn from_arc(inner: Arc<Mutex<dyn EventSink + Send>>) -> Self {
+        SharedSink { inner }
+    }
+
+    /// Runs `f` with the locked sink (e.g. to flush or inspect it).
+    pub fn with<R>(&self, f: impl FnOnce(&mut (dyn EventSink + Send)) -> R) -> R {
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut *guard)
+    }
+}
+
+impl fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedSink").finish_non_exhaustive()
+    }
+}
+
+impl EventSink for SharedSink {
+    fn emit(&mut self, event: &LoopEvent) {
+        // A sink that panicked mid-emit on another thread poisons the lock;
+        // telemetry keeps flowing regardless.
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .emit(event);
     }
 }
 
@@ -259,5 +354,56 @@ mod tests {
             tee.emit(event);
         }
         assert_eq!(tee.0.events, tee.1.events);
+    }
+
+    #[test]
+    fn shared_sink_fans_concurrent_producers_into_one_collector() {
+        let collector = Arc::new(Mutex::new(Collector::new()));
+        let shared = SharedSink::from_arc(collector.clone());
+        let events = sample_events();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let mut sink = shared.clone();
+                let events = &events;
+                scope.spawn(move || {
+                    for event in events {
+                        sink.emit(event);
+                    }
+                });
+            }
+        });
+        assert_eq!(collector.lock().unwrap().events.len(), 4 * events.len());
+        // `with` reaches the sink behind the handle as well.
+        shared.with(|sink| sink.emit(&events[0]));
+        assert_eq!(collector.lock().unwrap().events.len(), 4 * events.len() + 1);
+    }
+
+    #[test]
+    fn json_writer_flushes_on_drop() {
+        use std::io::{BufWriter, Write};
+        // A BufWriter over a shared byte sink: without the Drop flush the
+        // buffered lines would still sit in the BufWriter when it dies.
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let out = Shared::default();
+        {
+            let mut writer = JsonWriter::new(BufWriter::new(out.clone()));
+            for event in &sample_events() {
+                writer.emit(event);
+            }
+            // dropped without `finish`
+        }
+        let bytes = out.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), sample_events().len());
     }
 }

@@ -33,4 +33,4 @@ pub use pattern::{
     distance_coordination, distance_coordination_lossy, front_role_pattern_rtsc, rear_role_rtsc,
     rear_role_with_timeout,
 };
-pub use rear::{correct_shuttle, faulty_shuttle, full_shuttle};
+pub use rear::{correct_shuttle, faulty_shuttle, full_shuttle, shuttle_variants, ShuttleVariant};

@@ -108,11 +108,60 @@ pub fn faulty_shuttle(u: &Universe) -> HiddenMealy {
         .expect("faulty shuttle is well-formed")
 }
 
+/// A named constructor for one rear-shuttle implementation variant.
+///
+/// The constructor is a plain `fn` pointer so a variant table is `Copy`,
+/// `Send`, and buildable in any thread against a thread-local
+/// [`Universe`] — the shape batch-campaign generators need.
+#[derive(Debug, Clone, Copy)]
+pub struct ShuttleVariant {
+    /// Stable variant name (`correct`, `full`, `faulty`).
+    pub name: &'static str,
+    /// Builds the variant against the given universe.
+    pub build: fn(&Universe) -> HiddenMealy,
+    /// Whether the un-tampered variant satisfies the pattern constraint
+    /// (the expected verdict of a fault-free integration run).
+    pub proven_when_unmodified: bool,
+}
+
+/// The rear-shuttle implementation matrix, in stable campaign order.
+pub fn shuttle_variants() -> &'static [ShuttleVariant] {
+    &[
+        ShuttleVariant {
+            name: "correct",
+            build: correct_shuttle,
+            proven_when_unmodified: true,
+        },
+        ShuttleVariant {
+            name: "full",
+            build: full_shuttle,
+            proven_when_unmodified: true,
+        },
+        ShuttleVariant {
+            name: "faulty",
+            build: faulty_shuttle,
+            proven_when_unmodified: false,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use muml_automata::SignalSet;
     use muml_legacy::{LegacyComponent, StateObservable};
+
+    #[test]
+    fn variant_matrix_is_stable_and_buildable() {
+        let names: Vec<&str> = shuttle_variants().iter().map(|v| v.name).collect();
+        assert_eq!(names, ["correct", "full", "faulty"]);
+        let u = Universe::new();
+        for variant in shuttle_variants() {
+            let m = (variant.build)(&u);
+            assert_eq!(m.name(), "shuttle2");
+            assert!(m.state_count() >= 2);
+        }
+    }
 
     #[test]
     fn correct_shuttle_negotiates() {

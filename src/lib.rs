@@ -39,6 +39,7 @@
 //! | [`legacy`] | `muml-legacy` | black-box runtime, monitoring, deterministic replay |
 //! | [`core`] | `muml-core` | **the paper's contribution**: the iterative synthesis loop |
 //! | [`obs`] | `muml-obs` | structured loop telemetry: events, sinks, phase timers |
+//! | [`fleet`] | `muml-fleet` | concurrent batch verification: worker pool, job deadlines, deterministic campaign reports |
 //! | [`inference`] | `muml-inference` | baselines: `L*`, W-method, black-box checking |
 //! | [`railcab`] | `muml-railcab` | the RailCab shuttle-convoy case study |
 //!
@@ -82,6 +83,7 @@
 pub use muml_arch as arch;
 pub use muml_automata as automata;
 pub use muml_core as core;
+pub use muml_fleet as fleet;
 pub use muml_inference as inference;
 pub use muml_legacy as legacy;
 pub use muml_logic as logic;
@@ -99,15 +101,19 @@ pub mod prelude {
         AutomatonBuilder, IncompleteAutomaton, Label, Observation, SignalSet, Universe,
     };
     pub use muml_core::{
-        verify_integration, IntegrationConfig, IntegrationReport, IntegrationSession,
+        verify_integration, CancelToken, IntegrationConfig, IntegrationReport, IntegrationSession,
         IntegrationVerdict, LegacyUnit,
     };
+    pub use muml_fleet::{run_fleet, FleetConfig, FleetReport, Job, JobOutcome, JobSpec};
     pub use muml_legacy::{
         execute_expected_trace, record_live, replay, HiddenMealy, LegacyComponent, MealyBuilder,
         PortMap, StateObservable,
     };
     pub use muml_logic::{check, check_all, parse, Checker, Formula, Verdict};
-    pub use muml_obs::{Collector, EventSink, JsonWriter, LoopEvent, Renderer, RunOutcome};
+    pub use muml_obs::{
+        Collector, EventSink, FleetCollector, FleetEvent, FleetSink, JsonWriter, LoopEvent,
+        NullFleetSink, Renderer, RunOutcome,
+    };
     pub use muml_rtsc::{channel_automaton, flatten, ChannelSpec, CmpOp, RtscBuilder};
 }
 

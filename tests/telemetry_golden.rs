@@ -172,8 +172,7 @@ fn faulty_walkthrough_round_trips_through_json_lines() {
     let (_, sink) = run_faulty();
     let mut writer = JsonWriter::new(Vec::new());
     for e in &sink.events {
-        use muml_integration::obs::EventSink;
-        writer.emit(e);
+        muml_integration::obs::EventSink::emit(&mut writer, e);
     }
     let bytes = writer.finish().unwrap();
     let text = String::from_utf8(bytes).unwrap();
