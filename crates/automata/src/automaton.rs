@@ -26,7 +26,7 @@ impl StateId {
 }
 
 /// Per-state data: a display name and the atomic propositions holding in it.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StateData {
     /// Human-readable name (e.g. `noConvoy::default`).
     pub name: String,

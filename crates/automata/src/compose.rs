@@ -125,11 +125,93 @@ impl Composition {
     }
 }
 
-/// Who sends / receives a signal within a composition.
+/// Who sends / receives a signal within a composition. Shared with the
+/// incremental recomposition path ([`crate::incremental`]), which re-expands
+/// individual product rows under the same constraint system.
 #[derive(Debug, Clone, Copy, Default)]
-struct SignalRole {
+pub(crate) struct SignalRole {
     sender: Option<usize>,
     receiver: Option<usize>,
+}
+
+/// Derives the per-signal sender/receiver roles of a composition: each
+/// signal has at most one sender and one receiver among `parts`.
+pub(crate) fn signal_roles(parts: &[&Automaton]) -> HashMap<SignalId, SignalRole> {
+    let mut roles: HashMap<SignalId, SignalRole> = HashMap::new();
+    for (i, p) in parts.iter().enumerate() {
+        for s in p.inputs().iter() {
+            roles.entry(s).or_default().receiver = Some(i);
+        }
+        for s in p.outputs().iter() {
+            roles.entry(s).or_default().sender = Some(i);
+        }
+    }
+    roles
+}
+
+/// Expands the outgoing transitions of one product state (given as the tuple
+/// of component states) by iterating all transition combinations and solving
+/// the per-signal constraint system for each. `emit` receives each composed
+/// guard together with the target component-state tuple.
+///
+/// This is the per-row kernel shared by [`compose`] (which runs it over the
+/// whole reachable worklist) and the incremental recomposition cache (which
+/// runs it only over invalidated rows).
+///
+/// # Errors
+///
+/// [`AutomataError::FreeSignalOverflow`] as for [`compose`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn expand_tuple(
+    parts: &[&Automaton],
+    tuple: &[StateId],
+    roles: &HashMap<SignalId, SignalRole>,
+    all_inputs: SignalSet,
+    all_outputs: SignalSet,
+    opts: &ComposeOptions,
+    stats: &mut ComposeStats,
+    mut emit: impl FnMut(Guard, &[StateId]),
+) -> Result<()> {
+    let n = parts.len();
+    // Iterate over all transition combinations (one per component).
+    let per_comp: Vec<&[Transition]> = parts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| p.transitions_from(tuple[i]))
+        .collect();
+    if per_comp.iter().any(|ts| ts.is_empty()) {
+        return Ok(()); // some component blocks everything → product deadlock
+    }
+    let mut combo = vec![0usize; n];
+    'combos: loop {
+        let chosen: Vec<&Transition> = combo
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| &per_comp[i][j])
+            .collect();
+        let target: Vec<StateId> = chosen.iter().map(|t| t.to).collect();
+        stats.combos += 1;
+        solve_combo(
+            parts,
+            &chosen,
+            roles,
+            all_inputs,
+            all_outputs,
+            opts,
+            stats,
+            |guard| emit(guard, &target),
+        )?;
+        // advance combination counter
+        for i in 0..n {
+            combo[i] += 1;
+            if combo[i] < per_comp[i].len() {
+                continue 'combos;
+            }
+            combo[i] = 0;
+        }
+        break;
+    }
+    Ok(())
 }
 
 /// Per-signal assignment derived from the guards of one transition
@@ -198,7 +280,6 @@ pub fn compose(parts: &[&Automaton], opts: &ComposeOptions) -> Result<Compositio
         }
     }
 
-    let n = parts.len();
     let all_inputs = parts
         .iter()
         .fold(SignalSet::EMPTY, |acc, p| acc.union(p.inputs()));
@@ -207,15 +288,7 @@ pub fn compose(parts: &[&Automaton], opts: &ComposeOptions) -> Result<Compositio
         .fold(SignalSet::EMPTY, |acc, p| acc.union(p.outputs()));
 
     // Signal roles: each signal has at most one sender and one receiver.
-    let mut roles: HashMap<SignalId, SignalRole> = HashMap::new();
-    for (i, p) in parts.iter().enumerate() {
-        for s in p.inputs().iter() {
-            roles.entry(s).or_default().receiver = Some(i);
-        }
-        for s in p.outputs().iter() {
-            roles.entry(s).or_default().sender = Some(i);
-        }
-    }
+    let roles = signal_roles(parts);
 
     // Product exploration.
     let mut index: HashMap<Vec<StateId>, StateId> = HashMap::new();
@@ -289,57 +362,29 @@ pub fn compose(parts: &[&Automaton], opts: &ComposeOptions) -> Result<Compositio
             });
         }
         let tuple = origin[ps.index()].clone();
-        // Iterate over all transition combinations (one per component).
-        let per_comp: Vec<&[Transition]> = parts
-            .iter()
-            .enumerate()
-            .map(|(i, p)| p.transitions_from(tuple[i]))
-            .collect();
-        if per_comp.iter().any(|ts| ts.is_empty()) {
-            continue; // some component blocks everything → product deadlock
-        }
-        let mut combo = vec![0usize; n];
-        'combos: loop {
-            let chosen: Vec<&Transition> = combo
-                .iter()
-                .enumerate()
-                .map(|(i, &j)| &per_comp[i][j])
-                .collect();
-            stats.combos += 1;
-            solve_combo(
-                parts,
-                &chosen,
-                &roles,
-                all_inputs,
-                all_outputs,
-                opts,
-                &mut stats,
-                |guard| {
-                    let target: Vec<StateId> = chosen.iter().map(|t| t.to).collect();
-                    let tgt = intern(
-                        target,
-                        &mut index,
-                        &mut origin,
-                        &mut states,
-                        &mut adj,
-                        &mut worklist,
-                    );
-                    let tr = Transition { guard, to: tgt };
-                    if !adj[ps.index()].contains(&tr) {
-                        adj[ps.index()].push(tr);
-                    }
-                },
-            )?;
-            // advance combination counter
-            for i in 0..n {
-                combo[i] += 1;
-                if combo[i] < per_comp[i].len() {
-                    continue 'combos;
+        expand_tuple(
+            parts,
+            &tuple,
+            &roles,
+            all_inputs,
+            all_outputs,
+            opts,
+            &mut stats,
+            |guard, target| {
+                let tgt = intern(
+                    target.to_vec(),
+                    &mut index,
+                    &mut origin,
+                    &mut states,
+                    &mut adj,
+                    &mut worklist,
+                );
+                let tr = Transition { guard, to: tgt };
+                if !adj[ps.index()].contains(&tr) {
+                    adj[ps.index()].push(tr);
                 }
-                combo[i] = 0;
-            }
-            break;
-        }
+            },
+        )?;
     }
 
     let name = parts

@@ -65,6 +65,61 @@ impl Observation {
     }
 }
 
+/// The knowledge gained since the last [`IncompleteAutomaton::take_delta`]
+/// call: which states were touched (created, given new transitions or
+/// refusals, or relabelled) and how much was added in absolute terms.
+///
+/// Learning is monotone — Definitions 11/12 only ever *add* states,
+/// transitions and refusals — so a delta fully characterises the difference
+/// between two revisions of the same abstraction. The incremental
+/// recomposition cache ([`crate::CompositionCache`]) uses `dirty` to decide
+/// which product rows to invalidate; telemetry uses the counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LearnDelta {
+    /// States whose local knowledge changed (new state, new outgoing
+    /// transition, new refusal, or new proposition). Deduplicated and sorted
+    /// by [`IncompleteAutomaton::take_delta`].
+    pub dirty: Vec<StateId>,
+    /// Number of states created.
+    pub new_states: usize,
+    /// Number of transitions added to `T`.
+    pub new_transitions: usize,
+    /// Number of refusals added to `T̄`.
+    pub new_refusals: usize,
+    /// Whether the initial-state set `Q` grew. Initial-set changes move the
+    /// product's start frontier, so caches treat them as a full rebuild.
+    pub initial_changed: bool,
+}
+
+impl LearnDelta {
+    /// Whether nothing was learned since the last drain.
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+            && self.new_states == 0
+            && self.new_transitions == 0
+            && self.new_refusals == 0
+            && !self.initial_changed
+    }
+
+    /// Accumulates `other` into `self` (deltas over consecutive windows
+    /// merge into the delta over the union window).
+    pub fn merge(&mut self, other: &LearnDelta) {
+        self.dirty.extend_from_slice(&other.dirty);
+        self.dirty.sort_unstable();
+        self.dirty.dedup();
+        self.new_states += other.new_states;
+        self.new_transitions += other.new_transitions;
+        self.new_refusals += other.new_refusals;
+        self.initial_changed |= other.initial_changed;
+    }
+
+    fn mark(&mut self, s: StateId) {
+        if !self.dirty.contains(&s) {
+            self.dirty.push(s);
+        }
+    }
+}
+
 /// An incomplete automaton (Definition 6).
 ///
 /// States carry names (matching the monitoring instrumentation of the legacy
@@ -84,6 +139,8 @@ pub struct IncompleteAutomaton {
     refused: Vec<Vec<Label>>,
     initial: Vec<StateId>,
     index: HashMap<String, StateId>,
+    /// Knowledge accumulated since the last [`Self::take_delta`].
+    delta: LearnDelta,
 }
 
 impl IncompleteAutomaton {
@@ -108,9 +165,12 @@ impl IncompleteAutomaton {
             refused: Vec::new(),
             initial: Vec::new(),
             index: HashMap::new(),
+            delta: LearnDelta::default(),
         };
         let s0 = m.intern_state(initial_state);
         m.initial.push(s0);
+        // The birth of the abstraction is not an increment over anything.
+        m.delta = LearnDelta::default();
         m
     }
 
@@ -124,7 +184,24 @@ impl IncompleteAutomaton {
         self.transitions.push(Vec::new());
         self.refused.push(Vec::new());
         self.index.insert(name.to_owned(), id);
+        self.delta.new_states += 1;
+        self.delta.mark(id);
         id
+    }
+
+    /// Drains and returns the knowledge accumulated since the previous call
+    /// (or since construction). The returned delta has `dirty` sorted and
+    /// deduplicated.
+    pub fn take_delta(&mut self) -> LearnDelta {
+        let mut d = std::mem::take(&mut self.delta);
+        d.dirty.sort_unstable();
+        d.dirty.dedup();
+        d
+    }
+
+    /// Peeks at the pending (undrained) delta.
+    pub fn pending_delta(&self) -> &LearnDelta {
+        &self.delta
     }
 
     /// The universe this automaton was built against.
@@ -191,7 +268,13 @@ impl IncompleteAutomaton {
     /// constraint's atomic propositions onto monitored legacy states).
     pub fn set_prop(&mut self, state: &str, prop: crate::PropId) {
         let id = self.intern_state(state);
-        self.state_props[id.index()].insert(prop);
+        // Only an actual change dirties the state — the loop re-applies the
+        // same proposition map every iteration and that must stay a no-op
+        // for the incremental cache.
+        if !self.state_props[id.index()].contains(prop) {
+            self.state_props[id.index()].insert(prop);
+            self.delta.mark(id);
+        }
     }
 
     /// The propositions of state `s`.
@@ -277,6 +360,7 @@ impl IncompleteAutomaton {
         let first = self.intern_state(&obs.states[0]);
         if !self.initial.contains(&first) {
             self.initial.push(first);
+            self.delta.initial_changed = true;
         }
         for i in 0..steps {
             let from = self.intern_state(&obs.states[i]);
@@ -284,6 +368,8 @@ impl IncompleteAutomaton {
             let entry = (obs.labels[i], to);
             if !self.transitions[from.index()].contains(&entry) {
                 self.transitions[from.index()].push(entry);
+                self.delta.new_transitions += 1;
+                self.delta.mark(from);
             }
         }
         if obs.blocked {
@@ -294,6 +380,8 @@ impl IncompleteAutomaton {
                 .expect("blocked observations have a label");
             if !self.refused[last.index()].contains(&blocked_label) {
                 self.refused[last.index()].push(blocked_label);
+                self.delta.new_refusals += 1;
+                self.delta.mark(last);
             }
         }
         Ok(())
@@ -521,6 +609,71 @@ mod tests {
         assert_eq!(a.state_count(), 2);
         assert_eq!(a.transition_count(), 1);
         a.validate().unwrap();
+    }
+
+    #[test]
+    fn take_delta_tracks_learned_knowledge() {
+        let (u, mut m) = setup();
+        // Construction itself is not an increment.
+        assert!(m.pending_delta().is_empty());
+        let obs = Observation::regular(
+            vec!["noConvoy".into(), "wait".into(), "convoy".into()],
+            vec![label(&u, &[], &["propose"]), label(&u, &["start"], &[])],
+        );
+        m.learn(&obs).unwrap();
+        let d = m.take_delta();
+        assert_eq!(d.new_states, 2);
+        assert_eq!(d.new_transitions, 2);
+        assert_eq!(d.new_refusals, 0);
+        assert!(!d.initial_changed);
+        // noConvoy gained a transition; wait and convoy are new states.
+        assert_eq!(d.dirty, vec![StateId(0), StateId(1), StateId(2)]);
+        // Draining resets; re-learning the same run is delta-empty.
+        m.learn(&obs).unwrap();
+        assert!(m.take_delta().is_empty());
+        // A refusal dirties exactly the refusing state.
+        m.learn(&Observation::blocked(
+            vec!["convoy".into()],
+            vec![label(&u, &["reject"], &[])],
+        ))
+        .unwrap();
+        let d = m.take_delta();
+        assert_eq!((d.new_states, d.new_transitions, d.new_refusals), (0, 0, 1));
+        assert_eq!(d.dirty, vec![StateId(2)]);
+    }
+
+    #[test]
+    fn set_prop_is_dirty_only_on_change() {
+        let (u, mut m) = setup();
+        let p = u.prop("marked");
+        m.set_prop("noConvoy", p);
+        let d = m.take_delta();
+        assert_eq!(d.dirty, vec![StateId(0)]);
+        assert!(!d.is_empty());
+        // Re-applying the same proposition map must be a no-op.
+        m.set_prop("noConvoy", p);
+        assert!(m.pending_delta().is_empty());
+    }
+
+    #[test]
+    fn delta_merge_accumulates_windows() {
+        let (u, mut m) = setup();
+        m.learn(&Observation::regular(
+            vec!["noConvoy".into(), "wait".into()],
+            vec![label(&u, &[], &["propose"])],
+        ))
+        .unwrap();
+        let mut acc = m.take_delta();
+        m.learn(&Observation::blocked(
+            vec!["wait".into()],
+            vec![label(&u, &["reject"], &[])],
+        ))
+        .unwrap();
+        acc.merge(&m.take_delta());
+        assert_eq!(acc.new_states, 1);
+        assert_eq!(acc.new_transitions, 1);
+        assert_eq!(acc.new_refusals, 1);
+        assert_eq!(acc.dirty, vec![StateId(0), StateId(1)]);
     }
 
     #[test]

@@ -56,6 +56,7 @@ mod determinize;
 mod dot;
 mod error;
 mod incomplete;
+mod incremental;
 mod label;
 mod minimize;
 mod prop;
@@ -76,7 +77,8 @@ pub use compose::{
 pub use determinize::{determinize, determinize_with, DeterminizeOptions};
 pub use dot::to_dot;
 pub use error::{AutomataError, Result};
-pub use incomplete::{IncompleteAutomaton, Observation};
+pub use incomplete::{IncompleteAutomaton, LearnDelta, Observation};
+pub use incremental::{ClosureCache, CompositionCache, RecomposeInfo, RecomposeMode, WarmCarry};
 pub use label::{Guard, Label, LabelFamily};
 pub use minimize::{equivalence_witness, equivalent, minimize};
 pub use prop::{PropId, PropSet, PropSetIter, MAX_PROPS};

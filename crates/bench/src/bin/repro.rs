@@ -10,6 +10,8 @@
 //! repro check --json         # also writes BENCH_check.json
 //! repro fleet [--jobs N]     # batch campaign, 1 worker vs N workers
 //! repro fleet --json         # also writes BENCH_fleet.json
+//! repro incr                 # incremental vs cold recompose+check
+//! repro incr --json          # also writes BENCH_incr.json
 //! repro all
 //! ```
 
@@ -26,7 +28,7 @@ use muml_obs::json::Json;
 use muml_obs::{Collector, LoopEvent, NullSink};
 use muml_railcab::scenario;
 
-const KNOWN: [&str; 20] = [
+const KNOWN: [&str; 21] = [
     "fig1",
     "fig2",
     "fig3",
@@ -47,14 +49,37 @@ const KNOWN: [&str; 20] = [
     "table_f",
     "check",
     "fleet",
+    "incr",
 ];
+
+/// The artefacts that support `--json`, and the file each one writes. Both
+/// the usage text and the `--json` gate in `main` derive from this table,
+/// so a new JSON-emitting subcommand is one entry here plus its dispatch
+/// arm.
+const JSON_SUBCOMMANDS: [(&str, &str); 4] = [
+    ("fig2", "BENCH_loop.json"),
+    ("check", "BENCH_check.json"),
+    ("fleet", "BENCH_fleet.json"),
+    ("incr", "BENCH_incr.json"),
+];
+
+fn json_subcommand_names() -> String {
+    JSON_SUBCOMMANDS
+        .iter()
+        .map(|(name, _)| format!("`{name}`"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
 
 fn usage() {
     eprintln!("usage: repro <artefact> [--json] [--jobs N]");
     eprintln!("  artefacts: {} or `all`", KNOWN.join("|"));
-    eprintln!("  --json is supported for `fig2` (writes BENCH_loop.json),");
-    eprintln!("  `check` (writes BENCH_check.json), and `fleet` (writes");
-    eprintln!("  BENCH_fleet.json)");
+    let supported = JSON_SUBCOMMANDS
+        .iter()
+        .map(|(name, file)| format!("`{name}` (writes {file})"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    eprintln!("  --json is supported for {supported}");
     eprintln!("  --jobs N sets the `fleet` worker-pool size (default 4)");
 }
 
@@ -89,8 +114,8 @@ fn main() {
         }
     }
     let what = what.as_deref().unwrap_or("all");
-    if json && what != "fig2" && what != "check" && what != "fleet" {
-        eprintln!("--json is only supported for `fig2`, `check`, and `fleet`");
+    if json && !JSON_SUBCOMMANDS.iter().any(|(name, _)| *name == what) {
+        eprintln!("--json is only supported for {}", json_subcommand_names());
         usage();
         std::process::exit(2);
     }
@@ -108,6 +133,7 @@ fn main() {
             ("fig2", true) => run_fig2_json(),
             ("check", _) => run_check(json),
             ("fleet", _) => run_fleet_cmd(workers.unwrap_or(4), json),
+            ("incr", _) => run_incr(json),
             _ => run(what),
         }
     } else {
@@ -508,6 +534,266 @@ fn run_check(json: bool) {
     }
 }
 
+/// `repro incr [--json]`: incremental recomposition + warm-started checking
+/// (the `IntegrationConfig::incremental` default) against cold
+/// per-iteration rebuilds, over the RailCab walkthroughs, scalable counter
+/// loops, and the `full`-variant fault campaign at zero harness latency.
+/// Every cold/incremental pair is asserted verdict-and-trace identical —
+/// the differential oracle of DESIGN.md §12 — before any timing is
+/// reported; with `--json` the numbers land in `BENCH_incr.json`.
+fn run_incr(json: bool) {
+    use muml_bench::workload::seed_fault;
+    use muml_core::{verify_integration, IntegrationConfig, LegacyUnit};
+    use muml_legacy::{fault_matrix, inject, Fault, HiddenMealy, PortMap};
+    use muml_railcab::{correct_shuttle, faulty_shuttle, front_context, shuttle_variants};
+
+    struct Row {
+        name: String,
+        iterations: usize,
+        outcome: &'static str,
+        cold_ns: u64,
+        incr_ns: u64,
+        incr_recomposes: usize,
+        warm_states: u64,
+    }
+
+    fn config(incremental: bool) -> IntegrationConfig {
+        IntegrationConfig::default().with_incremental(incremental)
+    }
+
+    fn outcome(report: &IntegrationReport) -> &'static str {
+        if report.verdict.proven() {
+            "proven"
+        } else {
+            "real_fault"
+        }
+    }
+
+    fn railcab_run(
+        build: fn(&Universe) -> HiddenMealy,
+        fault: Option<&Fault>,
+        incremental: bool,
+    ) -> IntegrationReport {
+        let u = Universe::new();
+        let context = front_context(&u);
+        let mut shuttle = build(&u);
+        if let Some(f) = fault {
+            inject(&mut shuttle, &u, f).expect("fault targets an existing rule");
+        }
+        let props = vec![scenario::pattern_constraint(&u)];
+        let mut units = [LegacyUnit::new(&mut shuttle, scenario::rear_port_map(&u))];
+        verify_integration(&u, &context, &props, &mut units, &config(incremental))
+            .expect("walkthrough terminates")
+    }
+
+    fn counter_run(
+        n: usize,
+        k: usize,
+        fault_depth: Option<usize>,
+        incremental: bool,
+    ) -> IntegrationReport {
+        let mut w = counter_workload(n, k);
+        if let Some(d) = fault_depth {
+            seed_fault(&mut w, d);
+        }
+        let mut units = [LegacyUnit::new(
+            &mut w.component,
+            PortMap::with_default("p"),
+        )];
+        verify_integration(
+            &w.universe,
+            &w.context,
+            &[],
+            &mut units,
+            &config(incremental),
+        )
+        .expect("counter loop terminates")
+    }
+
+    /// The differential oracle: the two modes must agree on everything an
+    /// observer can see — verdict, iteration count, per-iteration product
+    /// sizes, violated properties, rendered counterexample traces,
+    /// outcomes, and the learned-model sizes.
+    fn assert_equivalent(name: &str, cold: &IntegrationReport, incr: &IntegrationReport) {
+        assert_eq!(
+            cold.verdict.proven(),
+            incr.verdict.proven(),
+            "{name}: verdicts diverge between cold and incremental"
+        );
+        assert_eq!(
+            cold.stats.iterations, incr.stats.iterations,
+            "{name}: iteration counts diverge"
+        );
+        assert_eq!(
+            cold.iterations.len(),
+            incr.iterations.len(),
+            "{name}: iteration-record counts diverge"
+        );
+        for (a, b) in cold.iterations.iter().zip(&incr.iterations) {
+            let i = a.index;
+            assert_eq!(
+                a.composed_states, b.composed_states,
+                "{name} iteration {i}: product sizes diverge"
+            );
+            assert_eq!(
+                a.violated, b.violated,
+                "{name} iteration {i}: violated properties diverge"
+            );
+            assert_eq!(
+                a.counterexample, b.counterexample,
+                "{name} iteration {i}: counterexample traces diverge"
+            );
+            assert_eq!(
+                a.outcome, b.outcome,
+                "{name} iteration {i}: outcomes diverge"
+            );
+            assert_eq!(
+                a.knowledge, b.knowledge,
+                "{name} iteration {i}: learned knowledge diverges"
+            );
+        }
+        assert_eq!(
+            cold.learned_sizes(),
+            incr.learned_sizes(),
+            "{name}: learned models diverge"
+        );
+    }
+
+    fn measure(rows: &mut Vec<Row>, name: String, mut run: impl FnMut(bool) -> IntegrationReport) {
+        let cold = run(false);
+        let incr = run(true);
+        assert_eq!(
+            cold.stats.recompose_incremental, 0,
+            "{name}: cold mode must never splice"
+        );
+        assert_equivalent(&name, &cold, &incr);
+        // Best of two per mode: the workloads are deterministic and the
+        // phase timings are microsecond-scale, so a single scheduler
+        // preemption can dominate one measurement (same rationale as the
+        // best-of-three in `run_fig2_json`).
+        let loop_ns = |r: &IntegrationReport| r.stats.timings.compose_ns + r.stats.timings.check_ns;
+        let cold_ns = loop_ns(&cold).min(loop_ns(&run(false)));
+        let incr_ns = loop_ns(&incr).min(loop_ns(&run(true)));
+        rows.push(Row {
+            name,
+            iterations: incr.stats.iterations,
+            outcome: outcome(&incr),
+            cold_ns,
+            incr_ns,
+            incr_recomposes: incr.stats.recompose_incremental,
+            warm_states: incr.stats.checker_warm_states,
+        });
+    }
+
+    heading("Incr — incremental recompose + warm-started check vs cold rebuilds");
+    // Warm-up pass: first-touch costs (allocator arenas, lazy binding)
+    // would otherwise land in the first measured workload.
+    let _ = railcab_run(correct_shuttle, None, true);
+
+    let mut rows: Vec<Row> = Vec::new();
+    measure(&mut rows, "fig2/correct".into(), |inc| {
+        railcab_run(correct_shuttle, None, inc)
+    });
+    measure(&mut rows, "fig6/faulty".into(), |inc| {
+        railcab_run(faulty_shuttle, None, inc)
+    });
+    for (n, k) in [(16usize, 14usize), (32, 30), (48, 46)] {
+        measure(&mut rows, format!("counter/n={n},k={k}"), |inc| {
+            counter_run(n, k, None, inc)
+        });
+    }
+    measure(&mut rows, "counter/n=32,fault@24".into(), |inc| {
+        counter_run(32, 30, Some(24), inc)
+    });
+
+    // The `full`-variant fault campaign at zero harness latency: baseline
+    // plus every fault of its deterministic fault matrix.
+    let full = shuttle_variants()
+        .iter()
+        .find(|v| v.name == "full")
+        .expect("full variant exists");
+    let faults = {
+        let u = Universe::new();
+        fault_matrix(&(full.build)(&u), &u)
+    };
+    measure(&mut rows, "campaign/full/baseline".into(), |inc| {
+        railcab_run(full.build, None, inc)
+    });
+    for fault in &faults {
+        measure(
+            &mut rows,
+            format!("campaign/full/{}", fault.describe()),
+            |inc| railcab_run(full.build, Some(fault), inc),
+        );
+    }
+
+    println!(
+        "{:<42} {:>5} {:>10} {:>12} {:>12} {:>8} {:>6} {:>8}",
+        "workload", "iters", "outcome", "cold ns", "incr ns", "speedup", "incr#", "warm"
+    );
+    for r in &rows {
+        let speedup = r.cold_ns as f64 / r.incr_ns.max(1) as f64;
+        println!(
+            "{:<42} {:>5} {:>10} {:>12} {:>12} {speedup:>7.1}x {:>6} {:>8}",
+            r.name, r.iterations, r.outcome, r.cold_ns, r.incr_ns, r.incr_recomposes, r.warm_states
+        );
+    }
+    let total_cold: u64 = rows.iter().map(|r| r.cold_ns).sum();
+    let total_incr: u64 = rows.iter().map(|r| r.incr_ns).sum();
+    let total_speedup = total_cold as f64 / total_incr.max(1) as f64;
+    println!(
+        "total compose+check: cold {total_cold} ns, incremental {total_incr} ns \
+         ({total_speedup:.1}x); all {} cold/incremental pairs verdict-and-trace identical",
+        rows.len()
+    );
+    if total_speedup < 2.0 {
+        println!("warning: overall speedup {total_speedup:.1}x is below the 2.0x target");
+    }
+
+    if json {
+        let workloads: Vec<Json> = rows
+            .iter()
+            .map(|r| {
+                Json::Object(vec![
+                    ("name".into(), Json::Str(r.name.clone())),
+                    ("iterations".into(), Json::from_usize(r.iterations)),
+                    ("outcome".into(), Json::Str(r.outcome.into())),
+                    ("cold_compose_check_ns".into(), Json::from_u64(r.cold_ns)),
+                    ("incr_compose_check_ns".into(), Json::from_u64(r.incr_ns)),
+                    (
+                        "speedup".into(),
+                        Json::Float(r.cold_ns as f64 / r.incr_ns.max(1) as f64),
+                    ),
+                    (
+                        "incremental_recomposes".into(),
+                        Json::from_usize(r.incr_recomposes),
+                    ),
+                    ("checker_warm_states".into(), Json::from_u64(r.warm_states)),
+                ])
+            })
+            .collect();
+        let doc = Json::Object(vec![
+            ("artefact".into(), Json::Str("incr".into())),
+            // Reaching this point means every pair passed the differential
+            // oracle — an assertion failure aborts before the file exists.
+            ("verdicts_match".into(), Json::Bool(true)),
+            ("workloads".into(), Json::Array(workloads)),
+            (
+                "totals".into(),
+                Json::Object(vec![
+                    ("cold_compose_check_ns".into(), Json::from_u64(total_cold)),
+                    ("incr_compose_check_ns".into(), Json::from_u64(total_incr)),
+                    ("speedup".into(), Json::Float(total_speedup)),
+                    ("target".into(), Json::Float(2.0)),
+                    ("target_met".into(), Json::Bool(total_speedup >= 2.0)),
+                ]),
+            ),
+        ]);
+        std::fs::write("BENCH_incr.json", doc.encode() + "\n").expect("write BENCH_incr.json");
+        println!("wrote BENCH_incr.json ({total_speedup:.1}x overall)");
+    }
+}
+
 /// `repro fleet [--jobs N] [--json]`: expand the RailCab variants × faults
 /// campaign, run it serially (1 worker) and pooled (N workers), verify that
 /// both aggregations fingerprint identically, and report the wall-clock
@@ -749,6 +1035,7 @@ fn run(what: &str) {
         }
         "check" => run_check(false),
         "fleet" => run_fleet_cmd(4, false),
+        "incr" => run_incr(false),
         "table_e" => {
             heading("Table T-E — multi-legacy parallel learning (n = 4, k = 2)");
             let (single, twin) = table_e(4, 2);

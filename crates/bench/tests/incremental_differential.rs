@@ -1,0 +1,115 @@
+//! End-to-end differential test for `IntegrationConfig::incremental`:
+//! randomized counter workloads (random size, context restrictiveness, and
+//! optional fault depth) must produce *identical* integration reports —
+//! verdict, iteration count, per-iteration product sizes, violated
+//! properties, rendered counterexample traces, and learned-model sizes —
+//! whether the loop recomposes incrementally or rebuilds cold.
+
+use muml_bench::workload::{counter_workload, seed_fault};
+use muml_core::{verify_integration, IntegrationConfig, IntegrationReport, LegacyUnit};
+use muml_legacy::PortMap;
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn below(&mut self, n: u64) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) % n
+    }
+}
+
+fn run(n: usize, k: usize, fault_depth: Option<usize>, incremental: bool) -> IntegrationReport {
+    let mut w = counter_workload(n, k);
+    if let Some(d) = fault_depth {
+        seed_fault(&mut w, d);
+    }
+    let mut units = [LegacyUnit::new(
+        &mut w.component,
+        PortMap::with_default("p"),
+    )];
+    verify_integration(
+        &w.universe,
+        &w.context,
+        &[],
+        &mut units,
+        &IntegrationConfig::default().with_incremental(incremental),
+    )
+    .expect("counter loop terminates")
+}
+
+fn assert_reports_identical(tag: &str, cold: &IntegrationReport, incr: &IntegrationReport) {
+    assert_eq!(
+        cold.verdict.proven(),
+        incr.verdict.proven(),
+        "{tag}: verdicts diverge"
+    );
+    assert_eq!(
+        cold.stats.iterations, incr.stats.iterations,
+        "{tag}: iteration counts diverge"
+    );
+    assert_eq!(
+        cold.iterations.len(),
+        incr.iterations.len(),
+        "{tag}: iteration-record counts diverge"
+    );
+    for (a, b) in cold.iterations.iter().zip(&incr.iterations) {
+        let i = a.index;
+        assert_eq!(
+            a.composed_states, b.composed_states,
+            "{tag} iteration {i}: product sizes diverge"
+        );
+        assert_eq!(
+            a.violated, b.violated,
+            "{tag} iteration {i}: violated properties diverge"
+        );
+        assert_eq!(
+            a.counterexample, b.counterexample,
+            "{tag} iteration {i}: counterexample traces diverge"
+        );
+        assert_eq!(
+            a.outcome, b.outcome,
+            "{tag} iteration {i}: outcomes diverge"
+        );
+        assert_eq!(
+            a.knowledge, b.knowledge,
+            "{tag} iteration {i}: learned knowledge diverges"
+        );
+    }
+    assert_eq!(
+        cold.learned_sizes(),
+        incr.learned_sizes(),
+        "{tag}: learned models diverge"
+    );
+    // Cold mode must never have taken the splice path.
+    assert_eq!(cold.stats.recompose_incremental, 0, "{tag}");
+}
+
+#[test]
+fn randomized_counter_loops_agree_between_cold_and_incremental() {
+    let mut rng = Lcg(0x6D616368696E65);
+    let mut incremental_splices = 0usize;
+    let mut fault_runs = 0usize;
+    for case in 0..24 {
+        let n = 4 + rng.below(12) as usize; // component size 4..=15
+        let k = 2 + rng.below((n - 3) as u64) as usize; // pushes 2..=n-2
+        let fault_depth = if rng.below(2) == 0 {
+            fault_runs += 1;
+            Some(1 + rng.below((n - 2) as u64) as usize) // depth 1..=n-2
+        } else {
+            None
+        };
+        let tag = format!("case {case}: n={n} k={k} fault={fault_depth:?}");
+        let cold = run(n, k, fault_depth, false);
+        let incr = run(n, k, fault_depth, true);
+        assert_reports_identical(&tag, &cold, &incr);
+        incremental_splices += incr.stats.recompose_incremental;
+    }
+    assert!(
+        incremental_splices > 0,
+        "no run ever took the incremental splice path"
+    );
+    assert!(fault_runs > 0, "the fault matrix was never sampled");
+}

@@ -44,10 +44,11 @@
 use std::time::Instant;
 
 use muml_automata::{
-    chaotic_closure, compose, Automaton, ComposeOptions, IncompleteAutomaton, Label, Universe,
+    Automaton, ComposeOptions, CompositionCache, IncompleteAutomaton, Label, LearnDelta,
+    RecomposeMode, Universe,
 };
 use muml_legacy::{execute_expected_trace, PortMap, StateObservable};
-use muml_logic::{check_all_with, Checker, Formula, Verdict};
+use muml_logic::{check_all_with, CheckSeed, Checker, Formula, Verdict};
 use muml_obs::{EventSink, LoopEvent, NullSink, Phase, PhaseTimer, PhaseTimings, RunOutcome};
 
 use crate::cancel::CancelToken;
@@ -126,6 +127,14 @@ pub struct IntegrationConfig {
     /// its deadline) the run ends with [`CoreError::Cancelled`]. `None`
     /// (the default) runs to a verdict or the iteration cap.
     pub cancel: Option<CancelToken>,
+    /// Reuse work across learn iterations: patch the cached closures and
+    /// product with each iteration's learn delta instead of rebuilding
+    /// them, and warm-start the model checker from the previous
+    /// iteration's satisfaction sets. Verdicts, counterexamples, and
+    /// iteration counts are identical either way (the incremental product
+    /// is bit-identical to a cold rebuild); `false` forces the cold path
+    /// everywhere, e.g. for differential testing.
+    pub incremental: bool,
 }
 
 impl Default for IntegrationConfig {
@@ -136,6 +145,7 @@ impl Default for IntegrationConfig {
             chaos_prop: "__chaos__".to_owned(),
             batch_counterexamples: 1,
             cancel: None,
+            incremental: true,
         }
     }
 }
@@ -174,6 +184,14 @@ impl IntegrationConfig {
     #[must_use]
     pub fn with_cancel_token(mut self, cancel: CancelToken) -> Self {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// Enables or disables incremental recomposition + checker
+    /// warm-starting (on by default).
+    #[must_use]
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
         self
     }
 }
@@ -273,6 +291,19 @@ pub struct IntegrationStats {
     /// States popped off the checker's unbounded-operator worklists,
     /// summed over all verification runs.
     pub checker_worklist_pops: u64,
+    /// Fixpoint memberships the checker carried over from previous
+    /// iterations' seeds instead of re-deriving.
+    pub checker_warm_states: u64,
+    /// Seed satisfaction-set words translated while warm-starting.
+    pub checker_reseeded_words: u64,
+    /// Compose-phase nanoseconds spent in cold (full) rebuilds.
+    pub compose_cold_ns: u64,
+    /// Compose-phase nanoseconds spent splicing incrementally.
+    pub compose_incr_ns: u64,
+    /// Iterations whose product was rebuilt cold.
+    pub recompose_cold: usize,
+    /// Iterations whose product was spliced incrementally.
+    pub recompose_incremental: usize,
     /// Concrete labels enumerated during composition (free-signal subset
     /// expansion), summed over all compositions.
     pub expanded_labels: u64,
@@ -405,6 +436,11 @@ pub(crate) fn run_loop(
 
     let mut iterations = Vec::new();
     let mut stats = IntegrationStats::default();
+    // The composition cache owns the chaotic closures and the product and
+    // splices each iteration's learn delta into them; the seed carries the
+    // previous iteration's satisfaction sets into the next check.
+    let mut cache = CompositionCache::new();
+    let mut prev_seed: Option<CheckSeed> = None;
 
     for index in 0..config.max_iterations {
         check_cancel(config.cancel.as_ref(), index, run_start, sink)?;
@@ -415,16 +451,32 @@ pub(crate) fn run_loop(
             .map(|m| (m.state_count(), m.transition_count(), m.refusal_count()))
             .collect();
 
-        // Compose M_a^c ∥ chaos(M_l^i)…
+        // Compose M_a^c ∥ chaos(M_l^i) — incrementally when the learn
+        // delta permits, cold otherwise. The incremental product is
+        // bit-identical to a cold rebuild, so everything downstream
+        // (checking, counterexamples, projections) is mode-agnostic.
         let compose_timer = PhaseTimer::start(Phase::Compose);
-        let closures: Vec<Automaton> = learned
-            .iter()
-            .map(|m| chaotic_closure(m, Some(chaos)))
-            .collect();
-        let mut parts: Vec<&Automaton> = vec![context];
-        parts.extend(closures.iter());
-        let comp = compose(&parts, &config.compose)?;
+        let deltas: Vec<LearnDelta> = learned.iter_mut().map(|m| m.take_delta()).collect();
+        let (info, carry) = cache.recompose(
+            context,
+            &learned,
+            &deltas,
+            Some(chaos),
+            &config.compose,
+            config.incremental,
+        )?;
+        let comp = cache.composition();
         let compose_ns = compose_timer.stop(&mut stats.timings);
+        match info.mode {
+            RecomposeMode::Cold => {
+                stats.compose_cold_ns += compose_ns;
+                stats.recompose_cold += 1;
+            }
+            RecomposeMode::Incremental => {
+                stats.compose_incr_ns += compose_ns;
+                stats.recompose_incremental += 1;
+            }
+        }
         stats.peak_composed_states = stats.peak_composed_states.max(comp.automaton.state_count());
         stats.expanded_labels += comp.stats.expanded_labels;
         stats.family_guards += comp.stats.family_guards;
@@ -436,19 +488,36 @@ pub(crate) fn run_loop(
             family_guards: comp.stats.family_guards,
             nanos: compose_ns,
         });
+        sink.emit(&LoopEvent::Recomposed {
+            iteration: index,
+            mode: info.mode.as_str().to_owned(),
+            dirty_states: info.dirty_states,
+            reused_states: info.reused_states,
+            spliced_transitions: info.spliced_transitions,
+        });
 
         // …and check φ ∧ ¬δ.
         let check_timer = PhaseTimer::start(Phase::Check);
         // The composition already carries the CSR relation; borrowing it
-        // keeps adjacency construction out of the timed check phase.
-        let mut checker = Checker::with_csr(&comp.automaton, &comp.csr);
+        // keeps adjacency construction out of the timed check phase. When
+        // the recompose spliced, warm-start from the previous iteration's
+        // satisfaction sets restricted to the carried (clean) states.
+        let mut checker = match (prev_seed.take(), &carry) {
+            (Some(seed), Some(carry)) => {
+                Checker::with_csr_seeded(&comp.automaton, &comp.csr, seed, carry)
+            }
+            _ => Checker::with_csr(&comp.automaton, &comp.csr),
+        };
         let verdict = check_all_with(&mut checker, &checked)?;
         let check_ns = check_timer.stop(&mut stats.timings);
         let cstats = checker.stats;
+        prev_seed = Some(checker.into_seed());
         stats.checker_fixpoint_iterations += cstats.fixpoint_iterations;
         stats.checker_labeled_states += cstats.labeled_states;
         stats.checker_words_touched += cstats.words_touched;
         stats.checker_worklist_pops += cstats.worklist_pops;
+        stats.checker_warm_states += cstats.warm_states;
+        stats.checker_reseeded_words += cstats.reseeded_words;
         sink.emit(&LoopEvent::ModelChecked {
             iteration: index,
             holds: matches!(verdict, Verdict::Holds),
@@ -461,6 +530,8 @@ pub(crate) fn run_loop(
             words_touched: cstats.words_touched,
             worklist_pops: cstats.worklist_pops,
             peak_resident_sets: cstats.peak_resident_sets,
+            warm_states: cstats.warm_states,
+            reseeded_words: cstats.reseeded_words,
             nanos: check_ns,
         });
         let cex = match verdict {
@@ -509,7 +580,7 @@ pub(crate) fn run_loop(
         for cx in &cexs {
             check_cancel(config.cancel.as_ref(), index, run_start, sink)?;
             let violated_str = cx.violated.show(u);
-            let cex_listing = render_listing(&comp, &cx.run, u);
+            let cex_listing = render_listing(comp, &cx.run, u);
             if record_head.is_none() {
                 record_head = Some((violated_str.clone(), cex_listing.clone()));
             }
@@ -608,13 +679,20 @@ pub(crate) fn run_loop(
                 });
             }
 
-            // Confirmed *deadlock* trace: probe the frontier.
+            // Confirmed *deadlock* trace: probe the frontier. Snapshot the
+            // per-component knowledge first so probe-learned knowledge is
+            // attributed to this iteration's learn telemetry (instead of
+            // silently widening the next iteration's baseline).
+            let probe_before: Vec<(usize, usize, usize)> = learned
+                .iter()
+                .map(|m| (m.state_count(), m.transition_count(), m.refusal_count()))
+                .collect();
             let probe_timer = PhaseTimer::start(Phase::Probe);
             let frontier = probe_frontier(
                 u,
                 context,
-                &closures,
-                &comp,
+                &cache.closures(),
+                comp,
                 &cx.run,
                 &projections,
                 units,
@@ -632,6 +710,22 @@ pub(crate) fn run_loop(
                         learned: true,
                         nanos: probe_ns,
                     });
+                    for (i, unit) in units.iter().enumerate() {
+                        let after = (
+                            learned[i].state_count(),
+                            learned[i].transition_count(),
+                            learned[i].refusal_count(),
+                        );
+                        if after != probe_before[i] {
+                            sink.emit(&LoopEvent::LearnStep {
+                                iteration: index,
+                                component: unit.component.name().to_owned(),
+                                delta_states: after.0 - probe_before[i].0,
+                                delta_transitions: after.1 - probe_before[i].1,
+                                delta_refusals: after.2 - probe_before[i].2,
+                            });
+                        }
+                    }
                     record_outcome
                         .get_or_insert(IterationOutcome::FrontierLearned { component, probes });
                 }
@@ -727,9 +821,12 @@ mod tests {
             .with_max_iterations(7)
             .with_batch_counterexamples(3)
             .with_chaos_prop("p_prime")
+            .with_incremental(false)
             .with_compose(ComposeOptions::default());
         assert_eq!(c.max_iterations, 7);
         assert_eq!(c.batch_counterexamples, 3);
         assert_eq!(c.chaos_prop, "p_prime");
+        assert!(!c.incremental);
+        assert!(IntegrationConfig::default().incremental);
     }
 }

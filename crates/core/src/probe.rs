@@ -76,7 +76,7 @@ fn optimistic_sibling(closure: &Automaton, s: StateId) -> StateId {
 pub(crate) fn probe_frontier(
     u: &Universe,
     context: &Automaton,
-    closures: &[Automaton],
+    closures: &[&Automaton],
     comp: &Composition,
     dead_run: &Run,
     projections: &[Vec<Label>],
@@ -100,7 +100,7 @@ pub(crate) fn probe_frontier(
         // closures moved to their optimistic states.
         let mut parts: Vec<&Automaton> = vec![context];
         let mut proj_tuple: Vec<StateId> = vec![dead_tuple[0]];
-        for (j, c) in closures.iter().enumerate() {
+        for (j, &c) in closures.iter().enumerate() {
             if j != i {
                 parts.push(c);
                 proj_tuple.push(optimistic_sibling(c, dead_tuple[j + 1]));

@@ -78,6 +78,25 @@ pub enum LoopEvent {
         /// Wall-clock nanoseconds spent composing.
         nanos: u64,
     },
+    /// How the iteration's product was obtained: spliced incrementally
+    /// from the previous iteration's cached product (only the learn
+    /// delta's dirty cone re-explored) or rebuilt cold (see
+    /// `muml_automata::CompositionCache`).
+    Recomposed {
+        /// Iteration index.
+        iteration: usize,
+        /// `"incremental"` or `"cold"`.
+        mode: String,
+        /// Product rows re-explored (dirty rows plus newly discovered
+        /// states; equals the product size on a cold rebuild).
+        dirty_states: usize,
+        /// Product rows reused untouched from the cache (0 on a cold
+        /// rebuild).
+        reused_states: usize,
+        /// Transitions written while re-expanding the dirty rows (the
+        /// full transition count on a cold rebuild).
+        spliced_transitions: usize,
+    },
     /// The model checker ran on the composition (Section 4.1).
     ModelChecked {
         /// Iteration index.
@@ -98,6 +117,11 @@ pub enum LoopEvent {
         /// Peak satisfaction sets resident in the checker's interned
         /// subformula table.
         peak_resident_sets: u64,
+        /// Fixpoint memberships carried over from the previous
+        /// iteration's seed (0 for a cold check).
+        warm_states: u64,
+        /// Seed satisfaction-set words translated while warm-starting.
+        reseeded_words: u64,
         /// Wall-clock nanoseconds spent checking.
         nanos: u64,
     },
@@ -180,6 +204,7 @@ impl LoopEvent {
             LoopEvent::InitialAbstraction { .. } => "initial_abstraction",
             LoopEvent::IterationStarted { .. } => "iteration_started",
             LoopEvent::Composed { .. } => "composed",
+            LoopEvent::Recomposed { .. } => "recomposed",
             LoopEvent::ModelChecked { .. } => "model_checked",
             LoopEvent::CounterexampleExtracted { .. } => "counterexample_extracted",
             LoopEvent::ReplayExecuted { .. } => "replay_executed",
@@ -194,6 +219,7 @@ impl LoopEvent {
         match self {
             LoopEvent::IterationStarted { iteration }
             | LoopEvent::Composed { iteration, .. }
+            | LoopEvent::Recomposed { iteration, .. }
             | LoopEvent::ModelChecked { iteration, .. }
             | LoopEvent::CounterexampleExtracted { iteration, .. }
             | LoopEvent::ReplayExecuted { iteration, .. }
@@ -249,6 +275,22 @@ impl LoopEvent {
                 obj.push(("family_guards".into(), Json::from_u64(*family_guards)));
                 obj.push(("nanos".into(), Json::from_u64(*nanos)));
             }
+            LoopEvent::Recomposed {
+                iteration,
+                mode,
+                dirty_states,
+                reused_states,
+                spliced_transitions,
+            } => {
+                obj.push(("iteration".into(), Json::from_usize(*iteration)));
+                obj.push(("mode".into(), Json::Str(mode.clone())));
+                obj.push(("dirty_states".into(), Json::from_usize(*dirty_states)));
+                obj.push(("reused_states".into(), Json::from_usize(*reused_states)));
+                obj.push((
+                    "spliced_transitions".into(),
+                    Json::from_usize(*spliced_transitions),
+                ));
+            }
             LoopEvent::ModelChecked {
                 iteration,
                 holds,
@@ -258,6 +300,8 @@ impl LoopEvent {
                 words_touched,
                 worklist_pops,
                 peak_resident_sets,
+                warm_states,
+                reseeded_words,
                 nanos,
             } => {
                 obj.push(("iteration".into(), Json::from_usize(*iteration)));
@@ -280,6 +324,8 @@ impl LoopEvent {
                     "peak_resident_sets".into(),
                     Json::from_u64(*peak_resident_sets),
                 ));
+                obj.push(("warm_states".into(), Json::from_u64(*warm_states)));
+                obj.push(("reseeded_words".into(), Json::from_u64(*reseeded_words)));
                 obj.push(("nanos".into(), Json::from_u64(*nanos)));
             }
             LoopEvent::CounterexampleExtracted {

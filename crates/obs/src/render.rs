@@ -42,6 +42,16 @@ pub fn render_event(event: &LoopEvent) -> String {
              ({expanded_labels} labels expanded, {family_guards} family guards) [{}]",
             ms(*nanos)
         ),
+        LoopEvent::Recomposed {
+            iteration: _,
+            mode,
+            dirty_states,
+            reused_states,
+            spliced_transitions,
+        } => format!(
+            "  recompose: {mode} ({dirty_states} dirty, {reused_states} reused, \
+             {spliced_transitions} spliced)"
+        ),
         LoopEvent::ModelChecked {
             iteration: _,
             holds,
@@ -51,6 +61,8 @@ pub fn render_event(event: &LoopEvent) -> String {
             words_touched,
             worklist_pops,
             peak_resident_sets: _,
+            warm_states,
+            reseeded_words: _,
             nanos,
         } => {
             let verdict = match (holds, violated) {
@@ -61,7 +73,7 @@ pub fn render_event(event: &LoopEvent) -> String {
             format!(
                 "  check: {verdict} ({fixpoint_iterations} fixpoint iterations, \
                  {labeled_states} states labeled, {words_touched} words, \
-                 {worklist_pops} pops) [{}]",
+                 {worklist_pops} pops, {warm_states} warm) [{}]",
                 ms(*nanos)
             )
         }

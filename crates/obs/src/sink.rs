@@ -266,6 +266,13 @@ mod tests {
                 family_guards: 2,
                 nanos: 1234,
             },
+            LoopEvent::Recomposed {
+                iteration: 0,
+                mode: "incremental".into(),
+                dirty_states: 3,
+                reused_states: 9,
+                spliced_transitions: 7,
+            },
             LoopEvent::ModelChecked {
                 iteration: 0,
                 holds: false,
@@ -275,6 +282,8 @@ mod tests {
                 words_touched: 48,
                 worklist_pops: 17,
                 peak_resident_sets: 6,
+                warm_states: 5,
+                reseeded_words: 2,
                 nanos: 999,
             },
             LoopEvent::CounterexampleExtracted {
@@ -341,8 +350,8 @@ mod tests {
         for event in &sample_events() {
             collector.emit(event);
         }
-        assert_eq!(collector.events.len(), 10);
-        assert_eq!(collector.iteration(0).len(), 7);
+        assert_eq!(collector.events.len(), 11);
+        assert_eq!(collector.iteration(0).len(), 8);
         assert_eq!(collector.kinds()[0], "run_started");
         assert_eq!(*collector.kinds().last().unwrap(), "run_finished");
     }

@@ -24,6 +24,9 @@ fn faulty_walkthrough_event_sequence_is_pinned() {
     // Iteration 1: the pattern constraint itself is violated and the
     // counterexample is confirmed — a real fault, fast conflict detection
     // (claim C3).
+    // The `learn_step` after `frontier_probed` attributes the probe-learned
+    // knowledge to iteration 0 (it used to surface only as a widened
+    // baseline of iteration 1's learn step).
     assert_eq!(
         sink.kinds(),
         vec![
@@ -31,13 +34,16 @@ fn faulty_walkthrough_event_sequence_is_pinned() {
             "initial_abstraction",
             "iteration_started",
             "composed",
+            "recomposed",
             "model_checked",
             "counterexample_extracted",
             "replay_executed",
             "learn_step",
             "frontier_probed",
+            "learn_step",
             "iteration_started",
             "composed",
+            "recomposed",
             "model_checked",
             "counterexample_extracted",
             "replay_executed",
@@ -125,6 +131,46 @@ fn faulty_walkthrough_event_payloads_match_the_paper_narrative() {
     }
     match cexs[1] {
         LoopEvent::CounterexampleExtracted { deadlock, .. } => assert!(!deadlock),
+        _ => unreachable!(),
+    }
+    // The first recompose is necessarily cold; every recomposed event
+    // accounts for the full product (dirty + reused = composed states).
+    let recomposed: Vec<&LoopEvent> = sink
+        .events
+        .iter()
+        .filter(|e| e.kind() == "recomposed")
+        .collect();
+    assert_eq!(recomposed.len(), 2);
+    match recomposed[0] {
+        LoopEvent::Recomposed {
+            mode,
+            reused_states,
+            ..
+        } => {
+            assert_eq!(mode, "cold");
+            assert_eq!(*reused_states, 0);
+        }
+        _ => unreachable!(),
+    }
+    // The probe-attributed learn step (iteration 0, after the frontier
+    // probe) reports the fresh knowledge with nonzero deltas.
+    let learns: Vec<&LoopEvent> = sink
+        .events
+        .iter()
+        .filter(|e| e.kind() == "learn_step")
+        .collect();
+    assert_eq!(learns.len(), 3);
+    match learns[1] {
+        LoopEvent::LearnStep {
+            iteration,
+            delta_states,
+            delta_transitions,
+            delta_refusals,
+            ..
+        } => {
+            assert_eq!(*iteration, 0);
+            assert!(delta_states + delta_transitions + delta_refusals > 0);
+        }
         _ => unreachable!(),
     }
     // Every replay drives each input three times (live, re-record, replay).
