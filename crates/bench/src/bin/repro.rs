@@ -12,6 +12,8 @@
 //! repro fleet --json         # also writes BENCH_fleet.json
 //! repro incr                 # incremental vs cold recompose+check
 //! repro incr --json          # also writes BENCH_incr.json
+//! repro storm                # flake storm: verdicts under rig fault rates
+//! repro storm --json         # also writes BENCH_storm.json
 //! repro all
 //! ```
 
@@ -28,7 +30,7 @@ use muml_obs::json::Json;
 use muml_obs::{Collector, LoopEvent, NullSink};
 use muml_railcab::scenario;
 
-const KNOWN: [&str; 21] = [
+const KNOWN: [&str; 22] = [
     "fig1",
     "fig2",
     "fig3",
@@ -50,17 +52,19 @@ const KNOWN: [&str; 21] = [
     "check",
     "fleet",
     "incr",
+    "storm",
 ];
 
 /// The artefacts that support `--json`, and the file each one writes. Both
 /// the usage text and the `--json` gate in `main` derive from this table,
 /// so a new JSON-emitting subcommand is one entry here plus its dispatch
 /// arm.
-const JSON_SUBCOMMANDS: [(&str, &str); 4] = [
+const JSON_SUBCOMMANDS: [(&str, &str); 5] = [
     ("fig2", "BENCH_loop.json"),
     ("check", "BENCH_check.json"),
     ("fleet", "BENCH_fleet.json"),
     ("incr", "BENCH_incr.json"),
+    ("storm", "BENCH_storm.json"),
 ];
 
 fn json_subcommand_names() -> String {
@@ -134,6 +138,7 @@ fn main() {
             ("check", _) => run_check(json),
             ("fleet", _) => run_fleet_cmd(workers.unwrap_or(4), json),
             ("incr", _) => run_incr(json),
+            ("storm", _) => run_storm(json),
             _ => run(what),
         }
     } else {
@@ -794,6 +799,36 @@ fn run_incr(json: bool) {
     }
 }
 
+/// `repro storm [--json]`: the flake-storm campaign — every workload's
+/// clean-rig verdict against its verdicts under an `UnreliableRig` at a
+/// sweep of injected fault rates. The soundness assertion (conclusive
+/// flaky verdict == clean verdict; rate 0.0 fully conclusive) runs
+/// *inside* `muml_bench::storm::storm_campaign`; with `--json` the
+/// retry/attempt/quarantine distributions land in `BENCH_storm.json`
+/// (schema: DESIGN.md §13).
+fn run_storm(json: bool) {
+    use muml_bench::storm::{storm_campaign, STORM_RATES};
+
+    heading("Storm — verdict soundness under injected rig faults");
+    let report = storm_campaign(&STORM_RATES);
+    print!("{}", report.render());
+    let conclusive: usize = report.rates.iter().map(|r| r.conclusive).sum();
+    let inconclusive: usize = report.rates.iter().map(|r| r.inconclusive).sum();
+    println!(
+        "all {conclusive} conclusive verdicts match the clean rig; \
+         {inconclusive} runs honestly inconclusive"
+    );
+    if json {
+        let doc = report.to_json();
+        std::fs::write("BENCH_storm.json", doc.encode() + "\n").expect("write BENCH_storm.json");
+        println!(
+            "wrote BENCH_storm.json ({} rates x {} workloads)",
+            report.rates.len(),
+            report.rates.first().map(|r| r.jobs).unwrap_or(0)
+        );
+    }
+}
+
 /// `repro fleet [--jobs N] [--json]`: expand the RailCab variants × faults
 /// campaign, run it serially (1 worker) and pooled (N workers), verify that
 /// both aggregations fingerprint identically, and report the wall-clock
@@ -1036,6 +1071,7 @@ fn run(what: &str) {
         "check" => run_check(false),
         "fleet" => run_fleet_cmd(4, false),
         "incr" => run_incr(false),
+        "storm" => run_storm(false),
         "table_e" => {
             heading("Table T-E — multi-legacy parallel learning (n = 4, k = 2)");
             let (single, twin) = table_e(4, 2);

@@ -59,6 +59,7 @@ pub fn run_ours(w: &CounterWorkload) -> MethodCost {
     let outcome = match &report.verdict {
         IntegrationVerdict::Proven => "proven".to_owned(),
         IntegrationVerdict::RealFault { .. } => "fault".to_owned(),
+        IntegrationVerdict::Inconclusive { .. } => "inconclusive".to_owned(),
     };
     MethodCost {
         method: "ours",
@@ -229,6 +230,7 @@ pub fn table_e(n: usize, k: usize) -> (MethodCost, MethodCost) {
         outcome: match &report.verdict {
             IntegrationVerdict::Proven => "proven".to_owned(),
             IntegrationVerdict::RealFault { .. } => "fault".to_owned(),
+            IntegrationVerdict::Inconclusive { .. } => "inconclusive".to_owned(),
         },
         resets: left.resets() + right.resets(),
         steps: left.total_steps() + right.total_steps(),

@@ -7,4 +7,5 @@
 pub mod campaign;
 pub mod experiments;
 pub mod harness;
+pub mod storm;
 pub mod workload;

@@ -58,4 +58,47 @@ fn json_flag_is_rejected_for_unsupported_artefacts() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("--json is only supported"), "{stderr}");
     assert!(stderr.contains("fleet"), "{stderr}");
+    // `storm` is a JSON-capable artefact and must be advertised as such.
+    assert!(stderr.contains("storm"), "{stderr}");
+}
+
+#[test]
+fn usage_text_lists_storm() {
+    let out = repro(&["no-such-artefact"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("storm"), "{stderr}");
+}
+
+#[test]
+fn storm_rejects_jobs_flag() {
+    let out = repro(&["storm", "--jobs", "4"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs is only supported for `fleet`"));
+}
+
+#[test]
+fn storm_runs_clean_and_writes_the_artefact() {
+    // The full sweep runs in a few seconds; `--json` must exit 0 (the
+    // soundness assertion is built in — a flipped verdict panics) and
+    // write BENCH_storm.json into the working directory.
+    let dir = std::env::temp_dir().join(format!("repro-storm-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["storm", "--json"])
+        .current_dir(&dir)
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("conclusive"), "{stdout}");
+    let artefact = std::fs::read_to_string(dir.join("BENCH_storm.json")).unwrap();
+    assert!(artefact.contains("\"verdicts_sound\":true"), "{artefact}");
+    assert!(artefact.contains("\"artefact\":\"storm\""), "{artefact}");
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -47,7 +47,9 @@ use muml_automata::{
     Automaton, ComposeOptions, CompositionCache, IncompleteAutomaton, Label, LearnDelta,
     RecomposeMode, Universe,
 };
-use muml_legacy::{execute_expected_trace, PortMap, StateObservable};
+use muml_legacy::{
+    execute_with_retry_on, PortMap, RetryPolicy, RetryReport, SimClock, StateObservable,
+};
 use muml_logic::{check_all_with, CheckSeed, Checker, Formula, Verdict};
 use muml_obs::{EventSink, LoopEvent, NullSink, Phase, PhaseTimer, PhaseTimings, RunOutcome};
 
@@ -135,6 +137,17 @@ pub struct IntegrationConfig {
     /// is bit-identical to a cold rebuild); `false` forces the cold path
     /// everywhere, e.g. for differential testing.
     pub incremental: bool,
+    /// Retry policy for counterexample tests and frontier probes. The
+    /// default (`quorum` 1, a few attempts) behaves exactly like single-shot
+    /// execution on a reliable rig; raise the quorum when the rig is known
+    /// to be flaky.
+    pub retry: RetryPolicy,
+    /// How many *stalled* iterations (no knowledge growth, at least one
+    /// quarantined counterexample) to tolerate before ending the run with
+    /// an honest [`IntegrationVerdict::Inconclusive`]. `0` is strict mode:
+    /// the first inconclusive test raises
+    /// [`CoreError::Nondeterministic`] instead of degrading.
+    pub flake_budget: usize,
 }
 
 impl Default for IntegrationConfig {
@@ -146,6 +159,8 @@ impl Default for IntegrationConfig {
             batch_counterexamples: 1,
             cancel: None,
             incremental: true,
+            retry: RetryPolicy::default(),
+            flake_budget: 2,
         }
     }
 }
@@ -194,6 +209,21 @@ impl IntegrationConfig {
         self.incremental = incremental;
         self
     }
+
+    /// Sets the retry policy for counterexample tests and frontier probes.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the flake budget (stalled, quarantine-only iterations tolerated
+    /// before the run ends inconclusive; `0` = strict mode).
+    #[must_use]
+    pub fn with_flake_budget(mut self, flake_budget: usize) -> Self {
+        self.flake_budget = flake_budget;
+        self
+    }
 }
 
 /// How one iteration ended.
@@ -220,6 +250,13 @@ pub enum IterationOutcome {
     /// The counterexample (or probed deadlock) is real — a genuine
     /// integration fault.
     Fault,
+    /// Every counterexample the iteration could test ended inconclusive
+    /// under the unreliable rig and was quarantined; nothing was learned.
+    Quarantined {
+        /// The first component whose test was inconclusive (`"-"` when the
+        /// iteration had only already-quarantined counterexamples left).
+        component: String,
+    },
 }
 
 /// Statistics of one iteration.
@@ -256,12 +293,26 @@ pub enum IntegrationVerdict {
         /// Listing-1.1-style rendering of the counterexample.
         rendered: String,
     },
+    /// The rig was too flaky to reach a verdict: the flake budget was
+    /// exhausted with every remaining counterexample quarantined. An honest
+    /// "cannot tell" — never a fabricated `Proven` or `RealFault`.
+    Inconclusive {
+        /// Counterexamples quarantined over the run.
+        quarantined: usize,
+        /// Total test attempts executed over the run.
+        attempts: usize,
+    },
 }
 
 impl IntegrationVerdict {
     /// `true` for [`IntegrationVerdict::Proven`].
     pub fn proven(&self) -> bool {
         matches!(self, IntegrationVerdict::Proven)
+    }
+
+    /// `true` unless the verdict is [`IntegrationVerdict::Inconclusive`].
+    pub fn conclusive(&self) -> bool {
+        !matches!(self, IntegrationVerdict::Inconclusive { .. })
     }
 }
 
@@ -279,6 +330,21 @@ pub struct IntegrationStats {
     /// Raw component steps across all test phases (live + re-record +
     /// instrumented replay) — the true harness cost.
     pub driven_steps: usize,
+    /// Test attempts executed by the retrying executor (≥
+    /// `tests_executed`; equal on a reliable rig).
+    pub test_attempts: usize,
+    /// Attempts beyond each test's first — the retry overhead.
+    pub test_retries: usize,
+    /// Attempts rejected as suspected rig faults (replay cross-check
+    /// failures plus internally inconsistent outcomes).
+    pub suspected_rig_faults: usize,
+    /// Tests that exhausted their attempt budget without a conclusive
+    /// verdict.
+    pub inconclusive_tests: usize,
+    /// Counterexamples quarantined because their test was inconclusive.
+    pub quarantined_tests: usize,
+    /// Retry backoff charged to the simulated clock, in ticks.
+    pub backoff_ticks: u64,
     /// Fixpoint / backward-induction iterations of the model checker,
     /// summed over all verification runs.
     pub checker_fixpoint_iterations: u64,
@@ -355,7 +421,9 @@ impl IntegrationReport {
 /// # Errors
 ///
 /// * [`CoreError::NotCompositional`] for properties outside the fragment.
-/// * [`CoreError::Replay`] if a component violates determinism.
+/// * [`CoreError::Nondeterministic`] if a component test cannot conclude in
+///   strict mode (`flake_budget == 0`); with a non-zero flake budget the
+///   run degrades to [`IntegrationVerdict::Inconclusive`] instead.
 /// * [`CoreError::IterationLimit`] if the cap is hit (should not happen for
 ///   finite deterministic components).
 /// * Kernel/model-checking failures.
@@ -441,6 +509,13 @@ pub(crate) fn run_loop(
     // previous iteration's satisfaction sets into the next check.
     let mut cache = CompositionCache::new();
     let mut prev_seed: Option<CheckSeed> = None;
+    // Flake tolerance: counterexamples whose test ended inconclusive are
+    // quarantined (keyed by their rendered listing) so the checker is asked
+    // for alternates instead; `stalled` counts consecutive iterations that
+    // quarantined without learning anything, bounded by the flake budget.
+    let mut quarantined: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut stalled = 0usize;
+    let mut clock = SimClock::new();
 
     for index in 0..config.max_iterations {
         check_cancel(config.cancel.as_ref(), index, run_start, sink)?;
@@ -450,6 +525,7 @@ pub(crate) fn run_loop(
             .iter()
             .map(|m| (m.state_count(), m.transition_count(), m.refusal_count()))
             .collect();
+        let knowledge_sum_before: usize = knowledge.iter().map(|k| k.0 + k.1 + k.2).sum();
 
         // Compose M_a^c ∥ chaos(M_l^i) — incrementally when the learn
         // delta permits, cold otherwise. The incremental product is
@@ -561,10 +637,16 @@ pub(crate) fn run_loop(
 
         // Section-7 improvement: for deadlock violations, derive a *batch*
         // of distinct counterexamples (one per reachable deadlock state) so
-        // a single verification run feeds several tests.
+        // a single verification run feeds several tests. With quarantined
+        // traces present we over-fetch so filtering them still leaves a
+        // full batch of untested alternates.
         let batch = config.batch_counterexamples.max(1);
-        let cexs: Vec<muml_logic::Counterexample> = if batch > 1 && cex.violated == deadlock_free {
-            let v = muml_logic::deadlock_counterexamples(&comp.automaton, batch);
+        let primary_head = (cex.violated.show(u), render_listing(comp, &cex.run, u));
+        let mut cexs: Vec<muml_logic::Counterexample> = if cex.violated == deadlock_free
+            && (batch > 1 || !quarantined.is_empty())
+        {
+            let v =
+                muml_logic::deadlock_counterexamples(&comp.automaton, batch + quarantined.len());
             if v.is_empty() {
                 vec![cex]
             } else {
@@ -573,9 +655,20 @@ pub(crate) fn run_loop(
         } else {
             vec![cex]
         };
+        cexs.retain(|cx| !quarantined.contains(&render_listing(comp, &cx.run, u)));
+        cexs.truncate(batch);
 
         let mut record_outcome: Option<IterationOutcome> = None;
         let mut record_head: Option<(String, String)> = None; // (violated, listing)
+        let mut iteration_quarantines = 0usize;
+        if cexs.is_empty() {
+            // Every counterexample the checker can currently produce is
+            // quarantined — nothing left to test this iteration.
+            iteration_quarantines += 1;
+            record_outcome = Some(IterationOutcome::Quarantined {
+                component: "-".to_owned(),
+            });
+        }
 
         for cx in &cexs {
             check_cancel(config.cancel.as_ref(), index, run_start, sink)?;
@@ -592,8 +685,12 @@ pub(crate) fn run_loop(
             });
 
             // Test every component along its projection of the
-            // counterexample.
+            // counterexample, through the flake-tolerant executor. An
+            // inconclusive verdict quarantines the counterexample: its
+            // trace never reaches the learner (a corrupted observation
+            // would poison the Defs. 11/12 soundness argument).
             let mut diverged: Option<(String, usize)> = None;
+            let mut inconclusive: Option<String> = None;
             let mut projections: Vec<Vec<Label>> = Vec::new();
             for (i, unit) in units.iter_mut().enumerate() {
                 let name = unit.component.name().to_owned();
@@ -601,11 +698,30 @@ pub(crate) fn run_loop(
                 let proj = comp.project_run(&cx.run, idx);
                 let expected = proj.labels.clone();
                 let test_timer = PhaseTimer::start(Phase::Test);
-                let outcome = execute_expected_trace(unit.component, &expected, u, &unit.ports)?;
+                let rr = execute_with_retry_on(
+                    unit.component,
+                    &expected,
+                    u,
+                    &unit.ports,
+                    &config.retry,
+                    &mut clock,
+                );
                 let test_ns = test_timer.stop(&mut stats.timings);
-                stats.tests_executed += 1;
+                note_retry(&mut stats, sink, index, &name, &rr);
+                if !rr.verdict.is_conclusive() {
+                    if config.flake_budget == 0 {
+                        // Strict mode: a rig this unreliable (or a
+                        // nondeterministic component) is an error.
+                        return Err(CoreError::Nondeterministic {
+                            component: name,
+                            period: rr.last_replay_period.unwrap_or(0),
+                        });
+                    }
+                    inconclusive = Some(name);
+                    break;
+                }
+                let outcome = rr.outcome.expect("conclusive verdict carries its outcome");
                 stats.test_steps += outcome.observation.labels.len();
-                stats.driven_steps += outcome.driven_steps;
                 sink.emit(&LoopEvent::ReplayExecuted {
                     iteration: index,
                     component: name.clone(),
@@ -639,6 +755,20 @@ pub(crate) fn run_loop(
                     diverged.get_or_insert((name, t));
                 }
                 projections.push(expected);
+            }
+
+            if let Some(component) = inconclusive {
+                quarantined.insert(cex_listing.clone());
+                stats.quarantined_tests += 1;
+                iteration_quarantines += 1;
+                sink.emit(&LoopEvent::Quarantined {
+                    iteration: index,
+                    component: component.clone(),
+                    property: violated_str.clone(),
+                    quarantined_total: quarantined.len(),
+                });
+                record_outcome.get_or_insert(IterationOutcome::Quarantined { component });
+                continue; // ask the checker for an alternate counterexample
             }
 
             if let Some((component, divergence)) = diverged {
@@ -699,6 +829,9 @@ pub(crate) fn run_loop(
                 &mut learned,
                 &mut stats,
                 config,
+                sink,
+                index,
+                &mut clock,
             )?;
             let probe_ns = probe_timer.stop(&mut stats.timings);
             match frontier {
@@ -728,6 +861,31 @@ pub(crate) fn run_loop(
                     }
                     record_outcome
                         .get_or_insert(IterationOutcome::FrontierLearned { component, probes });
+                }
+                FrontierResult::Inconclusive { component, probes } => {
+                    sink.emit(&LoopEvent::FrontierProbed {
+                        iteration: index,
+                        component: component.clone(),
+                        probes,
+                        learned: false,
+                        nanos: probe_ns,
+                    });
+                    if config.flake_budget == 0 {
+                        return Err(CoreError::Nondeterministic {
+                            component,
+                            period: 0,
+                        });
+                    }
+                    quarantined.insert(cex_listing.clone());
+                    stats.quarantined_tests += 1;
+                    iteration_quarantines += 1;
+                    sink.emit(&LoopEvent::Quarantined {
+                        iteration: index,
+                        component: component.clone(),
+                        property: violated_str.clone(),
+                        quarantined_total: quarantined.len(),
+                    });
+                    record_outcome.get_or_insert(IterationOutcome::Quarantined { component });
                 }
                 FrontierResult::RealDeadlock { probes } => {
                     sink.emit(&LoopEvent::FrontierProbed {
@@ -766,7 +924,7 @@ pub(crate) fn run_loop(
 
         // All counterexamples of the batch were processed without a fault;
         // record the iteration and continue with the refined models.
-        let (violated, listing) = record_head.expect("at least one counterexample");
+        let (violated, listing) = record_head.unwrap_or(primary_head);
         iterations.push(IterationRecord {
             index,
             knowledge,
@@ -778,6 +936,37 @@ pub(crate) fn run_loop(
                 probes: 0,
             }),
         });
+
+        // Graceful degradation: an iteration that only quarantined (no
+        // knowledge growth) burns one unit of flake budget; learning
+        // anything resets the counter. An exhausted budget ends the run
+        // with an honest Inconclusive rather than looping forever on a rig
+        // too flaky to test.
+        let knowledge_sum_after: usize = learned
+            .iter()
+            .map(|m| m.state_count() + m.transition_count() + m.refusal_count())
+            .sum();
+        if knowledge_sum_after > knowledge_sum_before {
+            stalled = 0;
+        } else if iteration_quarantines > 0 {
+            stalled += 1;
+            if stalled > config.flake_budget {
+                sink.emit(&LoopEvent::RunFinished {
+                    iterations: stats.iterations,
+                    outcome: RunOutcome::Inconclusive,
+                    nanos: run_start.elapsed().as_nanos() as u64,
+                });
+                return Ok(IntegrationReport {
+                    verdict: IntegrationVerdict::Inconclusive {
+                        quarantined: quarantined.len(),
+                        attempts: stats.test_attempts,
+                    },
+                    iterations,
+                    learned,
+                    stats,
+                });
+            }
+        }
     }
     sink.emit(&LoopEvent::RunFinished {
         iterations: config.max_iterations,
@@ -785,6 +974,45 @@ pub(crate) fn run_loop(
         nanos: run_start.elapsed().as_nanos() as u64,
     });
     Err(CoreError::IterationLimit(config.max_iterations))
+}
+
+/// Books one retried test execution into the stats and emits the
+/// rig-health telemetry (`RigFault` when attempts were rejected,
+/// `TestRetried` when more than one attempt ran). Shared by the
+/// counterexample tests and the frontier probes.
+pub(crate) fn note_retry(
+    stats: &mut IntegrationStats,
+    sink: &mut dyn EventSink,
+    iteration: usize,
+    component: &str,
+    rr: &RetryReport,
+) {
+    stats.tests_executed += 1;
+    stats.test_attempts += rr.attempts;
+    stats.test_retries += rr.attempts.saturating_sub(1);
+    stats.suspected_rig_faults += rr.suspected_rig_faults();
+    stats.backoff_ticks += rr.backoff_ticks;
+    stats.driven_steps += rr.driven_steps;
+    if !rr.verdict.is_conclusive() {
+        stats.inconclusive_tests += 1;
+    }
+    if rr.suspected_rig_faults() > 0 {
+        sink.emit(&LoopEvent::RigFault {
+            iteration,
+            component: component.to_owned(),
+            suspected: rr.suspected_rig_faults(),
+        });
+    }
+    if rr.attempts > 1 {
+        sink.emit(&LoopEvent::TestRetried {
+            iteration,
+            component: component.to_owned(),
+            attempts: rr.attempts,
+            replay_errors: rr.replay_errors,
+            inconsistent: rr.inconsistent_attempts,
+            backoff_ticks: rr.backoff_ticks,
+        });
+    }
 }
 
 /// Polls the cancellation token at a loop boundary; a cancelled run emits

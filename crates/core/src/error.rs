@@ -17,9 +17,18 @@ pub enum CoreError {
     /// termination for finite, deterministic components; hitting the cap
     /// indicates a misconfigured cap or a non-conforming component.
     IterationLimit(usize),
-    /// The legacy component violated the determinism assumption during
-    /// replay.
-    Replay(muml_legacy::ReplayError),
+    /// A component's test execution could not reach a conclusive verdict in
+    /// strict mode (`IntegrationConfig::flake_budget == 0`): the replay
+    /// cross-check kept failing, which on a reliable rig means the
+    /// component violates the determinism assumption. With a non-zero flake
+    /// budget the driver degrades gracefully instead of raising this.
+    Nondeterministic {
+        /// The offending component.
+        component: String,
+        /// The period of the last replay cross-check failure (0 if the
+        /// attempts failed consistency checks without a replay error).
+        period: u64,
+    },
     /// Learning produced an inconsistency (observation contradicts recorded
     /// knowledge) — possible with a nondeterministic component or broken
     /// monitoring.
@@ -53,7 +62,11 @@ impl fmt::Display for CoreError {
             CoreError::IterationLimit(n) => {
                 write!(f, "no verdict after {n} iterations (cap reached)")
             }
-            CoreError::Replay(e) => write!(f, "replay failed: {e}"),
+            CoreError::Nondeterministic { component, period } => write!(
+                f,
+                "component `{component}` violates the determinism assumption: \
+                 replay diverged around period {period} and retries were exhausted"
+            ),
             CoreError::Learning(e) => write!(f, "learning failed: {e}"),
             CoreError::Automata(e) => write!(f, "automata error: {e}"),
             CoreError::Logic(e) => write!(f, "model checking error: {e}"),
@@ -68,12 +81,6 @@ impl fmt::Display for CoreError {
 }
 
 impl std::error::Error for CoreError {}
-
-impl From<muml_legacy::ReplayError> for CoreError {
-    fn from(e: muml_legacy::ReplayError) -> Self {
-        CoreError::Replay(e)
-    }
-}
 
 impl From<muml_automata::AutomataError> for CoreError {
     fn from(e: muml_automata::AutomataError) -> Self {
@@ -101,5 +108,13 @@ mod tests {
         .contains("EF x"));
         let e: CoreError = muml_automata::AutomataError::UniverseMismatch.into();
         assert!(e.to_string().contains("universes"));
+        let e = CoreError::Nondeterministic {
+            component: "shuttle".into(),
+            period: 3,
+        };
+        let text = e.to_string();
+        assert!(text.contains("shuttle"), "{text}");
+        assert!(text.contains("period 3"), "{text}");
+        assert!(text.contains("determinism"), "{text}");
     }
 }

@@ -36,9 +36,10 @@ use muml_automata::{
     compose, Automaton, Composition, Guard, IncompleteAutomaton, Label, Run, SignalSet, StateId,
     Universe, S_ALL, S_DELTA,
 };
-use muml_legacy::execute_expected_trace;
+use muml_legacy::{execute_with_retry_on, SimClock, TestVerdict};
+use muml_obs::EventSink;
 
-use crate::driver::{IntegrationConfig, IntegrationStats, LegacyUnit};
+use crate::driver::{note_retry, IntegrationConfig, IntegrationStats, LegacyUnit};
 use crate::error::CoreError;
 use crate::initial::apply_props;
 
@@ -48,6 +49,15 @@ pub(crate) enum FrontierResult {
     /// New knowledge was learned; the deadlock may be an artefact.
     Progress {
         /// The first component that contributed new knowledge.
+        component: String,
+        /// Total probe executions across all components.
+        probes: usize,
+    },
+    /// Nothing new was learned, but at least one probe (or frontier-state
+    /// read-back) could not reach a conclusive verdict within the retry
+    /// budget — the deadlock question cannot be decided from this round.
+    Inconclusive {
+        /// The first component whose probe stayed inconclusive.
         component: String,
         /// Total probe executions across all components.
         probes: usize,
@@ -84,6 +94,9 @@ pub(crate) fn probe_frontier(
     learned: &mut [IncompleteAutomaton],
     stats: &mut IntegrationStats,
     config: &IntegrationConfig,
+    sink: &mut dyn EventSink,
+    iteration: usize,
+    clock: &mut SimClock,
 ) -> Result<FrontierResult, CoreError> {
     let dead = dead_run.last_state();
     let dead_tuple = &comp.origin[dead.index()];
@@ -92,6 +105,7 @@ pub(crate) fn probe_frontier(
         .map(|m| m.transition_count() + m.refusal_count() + m.state_count())
         .sum();
     let mut first_learner: Option<String> = None;
+    let mut first_inconclusive: Option<String> = None;
     let mut total_probes = 0usize;
 
     for (i, unit) in units.iter_mut().enumerate() {
@@ -124,26 +138,40 @@ pub(crate) fn probe_frontier(
             }
         }
 
+        let name = unit.component.name().to_owned();
         for offered in offers {
             // Drive the confirmed prefix plus one step with the offered
             // input; the expected output ∅ is a guess — the observation
-            // reveals the real response either way.
+            // reveals the real response either way (confirmed and diverged
+            // verdicts are equally informative for a probe).
             let mut expected = projections[i].clone();
             expected.push(Label::new(offered, SignalSet::EMPTY));
             let before = learned[i].transition_count()
                 + learned[i].refusal_count()
                 + learned[i].state_count();
-            let outcome = execute_expected_trace(unit.component, &expected, u, &unit.ports)?;
-            stats.tests_executed += 1;
-            stats.test_steps += outcome.observation.labels.len();
-            stats.driven_steps += outcome.driven_steps;
+            let rr = execute_with_retry_on(
+                unit.component,
+                &expected,
+                u,
+                &unit.ports,
+                &config.retry,
+                clock,
+            );
+            note_retry(stats, sink, iteration, &name, &rr);
             total_probes += 1;
-            let real_response = outcome
-                .observation
-                .labels
-                .last()
-                .map(|l| l.outputs)
-                .unwrap_or(SignalSet::EMPTY);
+            let outcome = match rr.outcome {
+                Some(o) if rr.verdict.is_conclusive() => o,
+                _ => {
+                    // The probe never stabilised: skip learning (never feed
+                    // the learner an unconfirmed observation) and remember
+                    // the component for the verdict below.
+                    if first_inconclusive.is_none() {
+                        first_inconclusive = Some(name.clone());
+                    }
+                    continue;
+                }
+            };
+            stats.test_steps += outcome.observation.labels.len();
             learned[i]
                 .learn(&outcome.observation)
                 .map_err(CoreError::Learning)?;
@@ -155,9 +183,8 @@ pub(crate) fn probe_frontier(
                 + learned[i].refusal_count()
                 + learned[i].state_count();
             if after > before && first_learner.is_none() {
-                first_learner = Some(unit.component.name().to_owned());
+                first_learner = Some(name.clone());
             }
-            let _ = real_response; // response is recorded via learning above
         }
     }
 
@@ -171,13 +198,41 @@ pub(crate) fn probe_frontier(
             probes: total_probes,
         });
     }
+    if let Some(component) = first_inconclusive {
+        // No growth, and at least one probe never stabilised: the
+        // "every relevant response is known" premise of the exact
+        // joint-step check does not hold, so no real-deadlock verdict
+        // may be issued from this round.
+        return Ok(FrontierResult::Inconclusive {
+            component,
+            probes: total_probes,
+        });
+    }
     // Nothing new learned: every relevant response is known, so decide the
-    // joint-step question exactly from the known behaviour.
+    // joint-step question exactly from the known behaviour. The frontier
+    // state is read back through the retrying executor as well — a raw
+    // reset-and-step walk could silently land in the wrong state on a
+    // flaky rig, and the verdict below must be exact.
     let mut frontier_states: Vec<String> = Vec::with_capacity(units.len());
     for (i, unit) in units.iter_mut().enumerate() {
-        unit.component.reset();
-        for l in &projections[i] {
-            unit.component.step(l.inputs);
+        let name = unit.component.name().to_owned();
+        let rr = execute_with_retry_on(
+            unit.component,
+            &projections[i],
+            u,
+            &unit.ports,
+            &config.retry,
+            clock,
+        );
+        note_retry(stats, sink, iteration, &name, &rr);
+        if !matches!(rr.verdict, TestVerdict::Confirmed) {
+            // The previously-confirmed prefix no longer replays cleanly —
+            // on a reliable rig this cannot happen, so treat it as rig
+            // trouble rather than guessing a frontier state.
+            return Ok(FrontierResult::Inconclusive {
+                component: name,
+                probes: total_probes,
+            });
         }
         frontier_states.push(unit.component.observable_state());
     }

@@ -127,6 +127,13 @@ pub fn render_report(report: &IntegrationReport) -> String {
                     rec.violated.as_deref().unwrap_or("?")
                 );
             }
+            IterationOutcome::Quarantined { component } => {
+                let _ = writeln!(
+                    out,
+                    "testing on {} stayed inconclusive despite retries; counterexample quarantined",
+                    component
+                );
+            }
         }
     }
     let _ = writeln!(

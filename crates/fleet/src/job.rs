@@ -36,6 +36,9 @@ pub struct JobSpec {
     pub max_iterations: usize,
     /// Per-job wall-clock deadline (`None` = no deadline).
     pub deadline: Option<Duration>,
+    /// Extra executions granted after a rig-attributed failure
+    /// (`Error`/`Inconclusive` outcomes); `0` = single attempt.
+    pub retries: usize,
 }
 
 impl JobSpec {
@@ -51,6 +54,7 @@ impl JobSpec {
             fault: None,
             max_iterations: 10_000,
             deadline: None,
+            retries: 0,
         }
     }
 
@@ -95,6 +99,13 @@ impl JobSpec {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Grants extra executions after rig-attributed failures.
+    #[must_use]
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
 }
 
 /// Per-job execution context handed to the work closure.
@@ -110,7 +121,9 @@ pub struct JobContext {
 
 /// The executable work of a job. Runs on a worker thread; everything the
 /// session needs (universe, context automaton, component) is built inside.
-pub type JobWork = Box<dyn FnOnce(&JobContext) -> Result<IntegrationReport, CoreError> + Send>;
+/// `Fn` (not `FnOnce`) so the pool can re-run the closure when the spec
+/// grants [`retries`](JobSpec::retries) after a rig-attributed failure.
+pub type JobWork = Box<dyn Fn(&JobContext) -> Result<IntegrationReport, CoreError> + Send>;
 
 /// One schedulable unit: a spec plus its work closure.
 pub struct Job {
@@ -124,7 +137,7 @@ impl Job {
     /// Pairs a spec with its work closure.
     pub fn new(
         spec: JobSpec,
-        work: impl FnOnce(&JobContext) -> Result<IntegrationReport, CoreError> + Send + 'static,
+        work: impl Fn(&JobContext) -> Result<IntegrationReport, CoreError> + Send + 'static,
     ) -> Self {
         Job {
             spec,
@@ -151,10 +164,20 @@ pub enum JobOutcome {
         /// The violated property (rendered).
         property: String,
     },
+    /// The session exhausted its flake budget and honestly declined to
+    /// issue a verdict (see
+    /// [`IntegrationVerdict::Inconclusive`](muml_core::IntegrationVerdict)).
+    Inconclusive {
+        /// Counterexamples the session quarantined before giving up.
+        quarantined: usize,
+    },
     /// The job hit its wall-clock deadline and was cancelled.
     TimedOut,
     /// The session hit its iteration cap.
     IterationLimit,
+    /// The job never ran: its component's circuit breaker had already
+    /// tripped, so the pool short-circuited it.
+    Quarantined,
     /// The session failed (or the work closure panicked).
     Error {
         /// The error (or panic) message.
@@ -168,21 +191,37 @@ impl JobOutcome {
         match self {
             JobOutcome::Proven => "proven",
             JobOutcome::RealFault { .. } => "real_fault",
+            JobOutcome::Inconclusive { .. } => "inconclusive",
             JobOutcome::TimedOut => "timed_out",
             JobOutcome::IterationLimit => "iteration_limit",
+            JobOutcome::Quarantined => "quarantined",
             JobOutcome::Error { .. } => "error",
         }
     }
 
     /// All outcome names, in the fixed histogram order.
-    pub fn names() -> [&'static str; 5] {
+    pub fn names() -> [&'static str; 7] {
         [
             "proven",
             "real_fault",
+            "inconclusive",
             "timed_out",
             "iteration_limit",
+            "quarantined",
             "error",
         ]
+    }
+
+    /// Whether the outcome counts as a rig-attributed failure for the
+    /// retry loop and the per-component circuit breaker: errors and
+    /// inconclusive runs might succeed on a healthier rig, whereas
+    /// proofs, confirmed faults, timeouts, and iteration caps are
+    /// properties of the job itself.
+    pub fn is_rig_failure(&self) -> bool {
+        matches!(
+            self,
+            JobOutcome::Error { .. } | JobOutcome::Inconclusive { .. }
+        )
     }
 }
 
@@ -204,6 +243,21 @@ pub struct JobResult {
     /// Wall-clock nanoseconds the job occupied its worker (telemetry;
     /// excluded from the fingerprint).
     pub nanos: u64,
+    /// Executions the job took (1 = first try; 0 = short-circuited by a
+    /// tripped breaker). Rig-health telemetry; excluded from the
+    /// fingerprint.
+    pub attempts: usize,
+}
+
+/// The circuit-breaker grouping key of a spec: the component variant when
+/// set (campaign cells for the same variant exercise the same legacy rig),
+/// the job name otherwise.
+pub(crate) fn breaker_key(spec: &JobSpec) -> String {
+    if spec.variant.is_empty() {
+        spec.name.clone()
+    } else {
+        spec.variant.clone()
+    }
 }
 
 /// Classifies a session result into a [`JobOutcome`] plus its iteration
@@ -218,6 +272,9 @@ pub(crate) fn classify(
                 IntegrationVerdict::Proven => JobOutcome::Proven,
                 IntegrationVerdict::RealFault { property, .. } => {
                     JobOutcome::RealFault { property }
+                }
+                IntegrationVerdict::Inconclusive { quarantined, .. } => {
+                    JobOutcome::Inconclusive { quarantined }
                 }
             };
             (outcome, iterations, report.stats)
@@ -270,5 +327,48 @@ mod tests {
         let (outcome, _, _) = classify(Err(CoreError::InterfaceMismatch { detail: "x".into() }));
         assert!(matches!(outcome, JobOutcome::Error { .. }));
         assert_eq!(outcome.name(), "error");
+    }
+
+    #[test]
+    fn classify_maps_inconclusive_verdicts() {
+        let report = IntegrationReport {
+            verdict: IntegrationVerdict::Inconclusive {
+                quarantined: 3,
+                attempts: 17,
+            },
+            iterations: Vec::new(),
+            learned: Vec::new(),
+            stats: IntegrationStats::default(),
+        };
+        let (outcome, _, _) = classify(Ok(report));
+        assert_eq!(outcome, JobOutcome::Inconclusive { quarantined: 3 });
+        assert_eq!(outcome.name(), "inconclusive");
+        assert!(outcome.is_rig_failure());
+    }
+
+    #[test]
+    fn classify_names_the_nondeterministic_component() {
+        // A strict-mode session surfaces nondeterminism as a typed error;
+        // the fleet keeps the component name in the outcome message.
+        let (outcome, _, _) = classify(Err(CoreError::Nondeterministic {
+            component: "wobbly-shuttle".into(),
+            period: 5,
+        }));
+        match &outcome {
+            JobOutcome::Error { message } => {
+                assert!(message.contains("wobbly-shuttle"), "{message}");
+                assert!(message.contains("determinism"), "{message}");
+            }
+            other => panic!("expected an error outcome, got {other:?}"),
+        }
+        assert!(outcome.is_rig_failure());
+    }
+
+    #[test]
+    fn breaker_key_prefers_the_variant() {
+        let spec = JobSpec::new(0, "faulty/drop[x]").with_variant("faulty");
+        assert_eq!(breaker_key(&spec), "faulty");
+        let spec = JobSpec::new(1, "anonymous");
+        assert_eq!(breaker_key(&spec), "anonymous");
     }
 }

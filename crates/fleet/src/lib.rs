@@ -110,7 +110,7 @@ mod tests {
         let mut sink = FleetCollector::new();
         let report = run_fleet(vec![job], &FleetConfig::default(), &mut sink);
         assert_eq!(report.results[0].outcome, JobOutcome::TimedOut);
-        assert_eq!(report.histogram()[2], ("timed_out", 1));
+        assert_eq!(report.histogram()[3], ("timed_out", 1));
         let kinds = sink.kinds();
         assert!(kinds.contains(&"job_timed_out"), "{kinds:?}");
     }
@@ -161,6 +161,108 @@ mod tests {
             Some(FleetEvent::FleetFinished { jobs, .. }) => assert_eq!(*jobs, 5),
             other => panic!("unexpected terminal event {other:?}"),
         }
+    }
+
+    #[test]
+    fn retries_rerun_rig_failures_until_success() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&calls);
+        let spec = JobSpec::new(0, "flaky").with_retries(3);
+        let job = Job::new(spec, move |_ctx| {
+            if seen.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(CoreError::InterfaceMismatch {
+                    detail: "transient rig glitch".into(),
+                })
+            } else {
+                Ok(proven_report(1))
+            }
+        });
+        let mut sink = FleetCollector::new();
+        let report = run_fleet(vec![job], &FleetConfig::default(), &mut sink);
+        assert_eq!(report.results[0].outcome, JobOutcome::Proven);
+        assert_eq!(report.results[0].attempts, 3);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(report.total_retries(), 2);
+        let kinds = sink.kinds();
+        assert_eq!(kinds.iter().filter(|k| **k == "job_retried").count(), 2);
+    }
+
+    #[test]
+    fn verdict_outcomes_are_not_retried() {
+        let spec = JobSpec::new(0, "solid").with_retries(5);
+        let job = Job::new(spec, move |_ctx| Ok(proven_report(1)));
+        let report = run_fleet(vec![job], &FleetConfig::default(), &mut NullFleetSink);
+        assert_eq!(report.results[0].attempts, 1);
+    }
+
+    fn failing_job(id: usize, variant: &str) -> Job {
+        let spec = JobSpec::new(id, format!("{variant}/{id}")).with_variant(variant);
+        Job::new(spec, |_ctx| {
+            Err(CoreError::InterfaceMismatch {
+                detail: "rig down".into(),
+            })
+        })
+    }
+
+    #[test]
+    fn breaker_quarantines_the_rest_of_a_failing_component() {
+        let jobs = vec![
+            failing_job(0, "wobbly"),
+            failing_job(1, "wobbly"),
+            failing_job(2, "wobbly"),
+            failing_job(3, "wobbly"),
+            proven_job(4),
+        ];
+        let mut sink = FleetCollector::new();
+        let report = run_fleet(
+            jobs,
+            &FleetConfig::default()
+                .with_workers(2)
+                .with_breaker_threshold(2),
+            &mut sink,
+        );
+        // First two failures trip the breaker; jobs 2 and 3 never run.
+        assert!(matches!(
+            report.results[0].outcome,
+            JobOutcome::Error { .. }
+        ));
+        assert!(matches!(
+            report.results[1].outcome,
+            JobOutcome::Error { .. }
+        ));
+        assert_eq!(report.results[2].outcome, JobOutcome::Quarantined);
+        assert_eq!(report.results[3].outcome, JobOutcome::Quarantined);
+        assert_eq!(report.results[4].outcome, JobOutcome::Proven);
+        assert_eq!(report.results[2].attempts, 0);
+        assert_eq!(report.breaker_trips, vec![("wobbly".to_owned(), 2)]);
+        let kinds = sink.kinds();
+        assert_eq!(kinds.iter().filter(|k| **k == "breaker_tripped").count(), 1);
+        assert_eq!(kinds.iter().filter(|k| **k == "job_quarantined").count(), 2);
+        assert!(report.render().contains("breaker: `wobbly`"));
+    }
+
+    #[test]
+    fn breaker_fingerprint_is_stable_across_worker_counts() {
+        let campaign = || {
+            vec![
+                failing_job(0, "wobbly"),
+                failing_job(1, "wobbly"),
+                failing_job(2, "wobbly"),
+                proven_job(3),
+                proven_job(4),
+            ]
+        };
+        let config = |workers| {
+            FleetConfig::default()
+                .with_workers(workers)
+                .with_breaker_threshold(2)
+        };
+        let serial = run_fleet(campaign(), &config(1), &mut NullFleetSink);
+        let pooled = run_fleet(campaign(), &config(4), &mut NullFleetSink);
+        assert_eq!(serial.fingerprint(), pooled.fingerprint());
+        assert_eq!(serial.quarantined_jobs(), 1);
     }
 
     #[test]

@@ -29,19 +29,19 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use muml_core::CancelToken;
 use muml_obs::{FleetEvent, FleetSink};
 
-use crate::job::{classify, Job, JobContext, JobOutcome, JobResult};
+use crate::job::{breaker_key, classify, Job, JobContext, JobOutcome, JobResult};
 use crate::report::FleetReport;
 
 /// Worker-pool configuration.
 ///
 /// The struct is `#[non_exhaustive]`; construct it with
-/// [`FleetConfig::default`] (one worker, queue bound 8) and refine via the
-/// chainable setters.
+/// [`FleetConfig::default`] (one worker, queue bound 8, no retries or
+/// breaker) and refine via the chainable setters.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct FleetConfig {
@@ -50,6 +50,16 @@ pub struct FleetConfig {
     /// Capacity of the bounded job queue (clamped to at least 1);
     /// submission blocks while the queue is full.
     pub queue_bound: usize,
+    /// Pause between retry attempts of the same job (rig cool-down).
+    pub retry_backoff: Duration,
+    /// Per-component circuit breaker: `Some(k)` trips a component's
+    /// breaker after `k` *consecutive* rig-attributed job failures
+    /// (`error`/`inconclusive`) and short-circuits its remaining jobs to
+    /// [`JobOutcome::Quarantined`]. To keep the fingerprint deterministic,
+    /// enabling the breaker serializes each component's jobs (id order) on
+    /// one worker; different components still run concurrently. `None`
+    /// (default) keeps the fully parallel dispatch with no breaker.
+    pub breaker_threshold: Option<usize>,
 }
 
 impl Default for FleetConfig {
@@ -57,6 +67,8 @@ impl Default for FleetConfig {
         FleetConfig {
             workers: 1,
             queue_bound: 8,
+            retry_backoff: Duration::ZERO,
+            breaker_threshold: None,
         }
     }
 }
@@ -75,6 +87,21 @@ impl FleetConfig {
         self.queue_bound = queue_bound;
         self
     }
+
+    /// Sets the pause between retry attempts of the same job.
+    #[must_use]
+    pub fn with_retry_backoff(mut self, backoff: Duration) -> Self {
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Enables the per-component circuit breaker (see
+    /// [`breaker_threshold`](FleetConfig::breaker_threshold)).
+    #[must_use]
+    pub fn with_breaker_threshold(mut self, threshold: usize) -> Self {
+        self.breaker_threshold = Some(threshold.max(1));
+        self
+    }
 }
 
 /// Worker → coordinator messages.
@@ -83,6 +110,19 @@ enum Message {
         job: usize,
         name: String,
         worker: usize,
+    },
+    Retried {
+        job: usize,
+        worker: usize,
+        attempt: usize,
+    },
+    BreakerTripped {
+        key: String,
+        failures: usize,
+    },
+    Quarantined {
+        job: usize,
+        key: String,
     },
     Done(Box<JobResult>),
     WorkerIdle {
@@ -105,11 +145,32 @@ pub fn run_fleet(jobs: Vec<Job>, config: &FleetConfig, sink: &mut dyn FleetSink)
         workers,
     });
 
-    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(queue_bound);
+    // With the breaker enabled, each component's jobs form one batch that
+    // a single worker runs in id order — the only dispatch under which
+    // "which jobs saw a tripped breaker" is independent of scheduling, so
+    // the fingerprint stays deterministic. Without it, every job is its
+    // own batch and the dispatch is exactly the fully parallel one.
+    let batches: Vec<Vec<Job>> = match config.breaker_threshold {
+        None => jobs.into_iter().map(|j| vec![j]).collect(),
+        Some(_) => {
+            let mut keyed: Vec<(String, Vec<Job>)> = Vec::new();
+            for job in jobs {
+                let key = breaker_key(&job.spec);
+                match keyed.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, group)) => group.push(job),
+                    None => keyed.push((key, vec![job])),
+                }
+            }
+            keyed.into_iter().map(|(_, group)| group).collect()
+        }
+    };
+
+    let (job_tx, job_rx) = mpsc::sync_channel::<Vec<Job>>(queue_bound);
     let job_rx = Arc::new(Mutex::new(job_rx));
     let (msg_tx, msg_rx) = mpsc::channel::<Message>();
 
     let mut results: Vec<JobResult> = Vec::with_capacity(total);
+    let mut breaker_trips: Vec<(String, usize)> = Vec::new();
     let mut submitted = 0usize;
     let mut started = 0usize;
     let mut finished = 0usize;
@@ -118,21 +179,31 @@ pub fn run_fleet(jobs: Vec<Job>, config: &FleetConfig, sink: &mut dyn FleetSink)
         for worker in 0..workers {
             let rx = Arc::clone(&job_rx);
             let tx = msg_tx.clone();
-            scope.spawn(move || worker_loop(worker, rx, tx));
+            let backoff = config.retry_backoff;
+            let threshold = config.breaker_threshold;
+            scope.spawn(move || worker_loop(worker, rx, tx, backoff, threshold));
         }
         // The workers hold the only remaining senders; dropping ours makes
         // the drain loop below terminate when the last worker exits.
         drop(msg_tx);
 
-        for job in jobs {
+        for batch in batches {
+            let size = batch.len();
             // Blocks while the queue is full — the backpressure point.
-            job_tx.send(job).expect("workers outlive submission");
-            submitted += 1;
+            job_tx.send(batch).expect("workers outlive submission");
+            submitted += size;
             for msg in msg_rx.try_iter() {
-                handle(msg, sink, &mut results, &mut started, &mut finished);
+                handle(
+                    msg,
+                    sink,
+                    &mut results,
+                    &mut breaker_trips,
+                    &mut started,
+                    &mut finished,
+                );
             }
             sink.emit(&FleetEvent::QueueDepth {
-                pending: submitted - started,
+                pending: submitted.saturating_sub(started),
                 finished,
             });
         }
@@ -151,7 +222,14 @@ pub fn run_fleet(jobs: Vec<Job>, config: &FleetConfig, sink: &mut dyn FleetSink)
                     busy_nanos,
                     wall_nanos,
                 }),
-                other => handle(other, sink, &mut results, &mut started, &mut finished),
+                other => handle(
+                    other,
+                    sink,
+                    &mut results,
+                    &mut breaker_trips,
+                    &mut started,
+                    &mut finished,
+                ),
             }
         }
     });
@@ -160,13 +238,19 @@ pub fn run_fleet(jobs: Vec<Job>, config: &FleetConfig, sink: &mut dyn FleetSink)
         jobs: finished,
         nanos: start.elapsed().as_nanos() as u64,
     });
-    FleetReport::new(workers, results, start.elapsed().as_nanos() as u64)
+    FleetReport::new(
+        workers,
+        results,
+        breaker_trips,
+        start.elapsed().as_nanos() as u64,
+    )
 }
 
 fn handle(
     msg: Message,
     sink: &mut dyn FleetSink,
     results: &mut Vec<JobResult>,
+    breaker_trips: &mut Vec<(String, usize)>,
     started: &mut usize,
     finished: &mut usize,
 ) {
@@ -174,6 +258,30 @@ fn handle(
         Message::Started { job, name, worker } => {
             *started += 1;
             sink.emit(&FleetEvent::JobStarted { job, name, worker });
+        }
+        Message::Retried {
+            job,
+            worker,
+            attempt,
+        } => {
+            sink.emit(&FleetEvent::JobRetried {
+                job,
+                worker,
+                attempt,
+            });
+        }
+        Message::BreakerTripped { key, failures } => {
+            sink.emit(&FleetEvent::BreakerTripped {
+                key: key.clone(),
+                failures,
+            });
+            breaker_trips.push((key, failures));
+        }
+        Message::Quarantined { job, key } => {
+            // Counts as dispatched for the queue-depth gauge even though
+            // no JobStarted is emitted: the job will never start.
+            *started += 1;
+            sink.emit(&FleetEvent::JobQuarantined { job, key });
         }
         Message::Done(result) => {
             let result = *result;
@@ -198,56 +306,116 @@ fn handle(
     }
 }
 
-fn worker_loop(worker: usize, rx: Arc<Mutex<mpsc::Receiver<Job>>>, tx: mpsc::Sender<Message>) {
+fn worker_loop(
+    worker: usize,
+    rx: Arc<Mutex<mpsc::Receiver<Vec<Job>>>>,
+    tx: mpsc::Sender<Message>,
+    retry_backoff: Duration,
+    breaker_threshold: Option<usize>,
+) {
     let mut jobs = 0usize;
     let mut busy_nanos = 0u64;
     loop {
         // Hold the lock across `recv`: exactly one worker waits on the
-        // channel while the rest queue on the mutex; each job wakes one.
+        // channel while the rest queue on the mutex; each batch wakes one.
         let next = {
             let guard = rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
             guard.recv()
         };
-        let Ok(job) = next else { break };
-        let _ = tx.send(Message::Started {
-            job: job.spec.id,
-            name: job.spec.name.clone(),
-            worker,
-        });
-        let cancel = match job.spec.deadline {
-            Some(deadline) => CancelToken::with_timeout(deadline),
-            None => CancelToken::new(),
-        };
-        let context = JobContext { cancel };
-        let job_start = Instant::now();
-        let Job { spec, work } = job;
-        let outcome = catch_unwind(AssertUnwindSafe(move || work(&context)));
-        let nanos = job_start.elapsed().as_nanos() as u64;
-        let (outcome, iterations, stats) = match outcome {
-            Ok(result) => classify(result),
-            Err(panic) => {
-                let message = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_owned())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "job panicked".to_owned());
-                (
-                    JobOutcome::Error { message },
-                    0,
-                    muml_core::IntegrationStats::default(),
-                )
+        let Ok(batch) = next else { break };
+        // Consecutive rig-attributed failures within the batch (one
+        // component when the breaker groups batches by key).
+        let mut failures = 0usize;
+        let mut tripped = false;
+        for job in batch {
+            let Job { spec, work } = job;
+            if tripped {
+                let _ = tx.send(Message::Quarantined {
+                    job: spec.id,
+                    key: breaker_key(&spec),
+                });
+                let _ = tx.send(Message::Done(Box::new(JobResult {
+                    spec,
+                    outcome: JobOutcome::Quarantined,
+                    iterations: 0,
+                    stats: muml_core::IntegrationStats::default(),
+                    worker,
+                    nanos: 0,
+                    attempts: 0,
+                })));
+                continue;
             }
-        };
-        jobs += 1;
-        busy_nanos += nanos;
-        let _ = tx.send(Message::Done(Box::new(JobResult {
-            spec,
-            outcome,
-            iterations,
-            stats,
-            worker,
-            nanos,
-        })));
+            let _ = tx.send(Message::Started {
+                job: spec.id,
+                name: spec.name.clone(),
+                worker,
+            });
+            let job_start = Instant::now();
+            let mut attempts = 0usize;
+            let (outcome, iterations, stats) = loop {
+                attempts += 1;
+                // The deadline re-arms per attempt: a retry is a fresh run.
+                let cancel = match spec.deadline {
+                    Some(deadline) => CancelToken::with_timeout(deadline),
+                    None => CancelToken::new(),
+                };
+                let context = JobContext { cancel };
+                let run = catch_unwind(AssertUnwindSafe(|| work(&context)));
+                let classified = match run {
+                    Ok(result) => classify(result),
+                    Err(panic) => {
+                        let message = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_owned())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "job panicked".to_owned());
+                        (
+                            JobOutcome::Error { message },
+                            0,
+                            muml_core::IntegrationStats::default(),
+                        )
+                    }
+                };
+                if classified.0.is_rig_failure() && attempts <= spec.retries {
+                    let _ = tx.send(Message::Retried {
+                        job: spec.id,
+                        worker,
+                        attempt: attempts,
+                    });
+                    if !retry_backoff.is_zero() {
+                        thread::sleep(retry_backoff);
+                    }
+                    continue;
+                }
+                break classified;
+            };
+            let nanos = job_start.elapsed().as_nanos() as u64;
+            if let Some(threshold) = breaker_threshold {
+                if outcome.is_rig_failure() {
+                    failures += 1;
+                    if failures >= threshold {
+                        tripped = true;
+                        let _ = tx.send(Message::BreakerTripped {
+                            key: breaker_key(&spec),
+                            failures,
+                        });
+                    }
+                } else {
+                    failures = 0;
+                }
+            }
+            jobs += 1;
+            busy_nanos += nanos;
+            let _ = tx.send(Message::Done(Box::new(JobResult {
+                spec,
+                outcome,
+                iterations,
+                stats,
+                worker,
+                nanos,
+                attempts,
+            })));
+        }
     }
     let _ = tx.send(Message::WorkerIdle {
         worker,

@@ -20,17 +20,29 @@ pub struct FleetReport {
     pub workers: usize,
     /// Per-job results, sorted by `spec.id`.
     pub results: Vec<JobResult>,
+    /// Circuit breakers that tripped during the campaign, sorted by key:
+    /// `(component key, consecutive failures at the trip)`. Health
+    /// telemetry; excluded from the fingerprint (the quarantined job
+    /// *outcomes* it caused are in `results` and fingerprinted there).
+    pub breaker_trips: Vec<(String, usize)>,
     /// Wall-clock nanoseconds for the whole campaign.
     pub wall_nanos: u64,
 }
 
 impl FleetReport {
     /// Builds a report from completion-ordered results (sorts by spec id).
-    pub(crate) fn new(workers: usize, mut results: Vec<JobResult>, wall_nanos: u64) -> Self {
+    pub(crate) fn new(
+        workers: usize,
+        mut results: Vec<JobResult>,
+        mut breaker_trips: Vec<(String, usize)>,
+        wall_nanos: u64,
+    ) -> Self {
         results.sort_by_key(|r| r.spec.id);
+        breaker_trips.sort();
         FleetReport {
             workers,
             results,
+            breaker_trips,
             wall_nanos,
         }
     }
@@ -67,6 +79,27 @@ impl FleetReport {
         self.results.iter().map(|r| r.nanos).sum()
     }
 
+    /// Total job executions, retries included (quarantined jobs count 0).
+    pub fn total_attempts(&self) -> usize {
+        self.results.iter().map(|r| r.attempts).sum()
+    }
+
+    /// Job-level retries across the campaign (attempts beyond the first).
+    pub fn total_retries(&self) -> usize {
+        self.results
+            .iter()
+            .map(|r| r.attempts.saturating_sub(1))
+            .sum()
+    }
+
+    /// Jobs short-circuited by a tripped circuit breaker.
+    pub fn quarantined_jobs(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.outcome == JobOutcome::Quarantined)
+            .count()
+    }
+
     /// The `n` slowest jobs, slowest first (ties broken by spec id).
     pub fn slowest(&self, n: usize) -> Vec<&JobResult> {
         let mut rows: Vec<&JobResult> = self.results.iter().collect();
@@ -95,6 +128,34 @@ impl FleetReport {
                 Json::Array(self.results.iter().map(|r| job_json(r, true)).collect()),
             ),
         ];
+        obj.push((
+            "health".to_owned(),
+            Json::Object(vec![
+                (
+                    "attempts".to_owned(),
+                    Json::from_usize(self.total_attempts()),
+                ),
+                ("retries".to_owned(), Json::from_usize(self.total_retries())),
+                (
+                    "quarantined_jobs".to_owned(),
+                    Json::from_usize(self.quarantined_jobs()),
+                ),
+                (
+                    "breaker_trips".to_owned(),
+                    Json::Array(
+                        self.breaker_trips
+                            .iter()
+                            .map(|(key, failures)| {
+                                Json::Object(vec![
+                                    ("key".to_owned(), Json::Str(key.clone())),
+                                    ("failures".to_owned(), Json::from_usize(*failures)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
         obj.push((
             "slowest".to_owned(),
             Json::Array(
@@ -161,6 +222,19 @@ impl FleetReport {
             self.total_iterations(),
             self.total_driven_steps()
         ));
+        if self.total_retries() > 0 || !self.breaker_trips.is_empty() {
+            out.push_str(&format!(
+                "  rig health: {} attempts ({} retries), {} jobs quarantined\n",
+                self.total_attempts(),
+                self.total_retries(),
+                self.quarantined_jobs(),
+            ));
+            for (key, failures) in &self.breaker_trips {
+                out.push_str(&format!(
+                    "  breaker: `{key}` tripped after {failures} consecutive failures\n"
+                ));
+            }
+        }
         for r in self.slowest(5) {
             out.push_str(&format!(
                 "  slow: job {} `{}` {} ({})\n",
@@ -199,6 +273,13 @@ fn job_json(r: &JobResult, timing: bool) -> Json {
                 _ => Json::Null,
             },
         ),
+        (
+            "quarantined".to_owned(),
+            match &r.outcome {
+                JobOutcome::Inconclusive { quarantined } => Json::from_usize(*quarantined),
+                _ => Json::Null,
+            },
+        ),
         ("iterations".to_owned(), Json::from_usize(r.iterations)),
         (
             "driven_steps".to_owned(),
@@ -208,6 +289,7 @@ fn job_json(r: &JobResult, timing: bool) -> Json {
     if timing {
         obj.push(("worker".to_owned(), Json::from_usize(r.worker)));
         obj.push(("nanos".to_owned(), Json::from_u64(r.nanos)));
+        obj.push(("attempts".to_owned(), Json::from_usize(r.attempts)));
     }
     Json::Object(obj)
 }
@@ -226,6 +308,7 @@ mod tests {
             stats: IntegrationStats::default(),
             worker,
             nanos,
+            attempts: 1,
         }
     }
 
@@ -238,6 +321,7 @@ mod tests {
                 result(0, JobOutcome::TimedOut, 1, 900),
                 result(1, JobOutcome::Proven, 0, 100),
             ],
+            Vec::new(),
             10_000,
         );
         let b = FleetReport::new(
@@ -247,6 +331,7 @@ mod tests {
                 result(1, JobOutcome::Proven, 0, 222),
                 result(2, JobOutcome::Proven, 0, 333),
             ],
+            Vec::new(),
             99_999,
         );
         assert_eq!(
@@ -256,7 +341,7 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_ne!(a.to_json(), b.to_json()); // timing differs
         assert_eq!(a.histogram()[0], ("proven", 2));
-        assert_eq!(a.histogram()[2], ("timed_out", 1));
+        assert_eq!(a.histogram()[3], ("timed_out", 1));
     }
 
     #[test]
@@ -268,11 +353,51 @@ mod tests {
                 result(1, JobOutcome::Proven, 1, 500),
                 result(2, JobOutcome::Proven, 0, 5),
             ],
+            Vec::new(),
             1_000,
         );
         let slow: Vec<usize> = report.slowest(2).iter().map(|r| r.spec.id).collect();
         assert_eq!(slow, [1, 0]);
         assert_eq!(report.busy_nanos(), 555);
         assert!(report.render().contains("slow: job 1"));
+    }
+
+    #[test]
+    fn health_stats_surface_retries_and_breaker_trips() {
+        let mut flaky = result(
+            0,
+            JobOutcome::Error {
+                message: "x".into(),
+            },
+            0,
+            10,
+        );
+        flaky.attempts = 3;
+        let report = FleetReport::new(
+            1,
+            vec![
+                flaky,
+                result(1, JobOutcome::Quarantined, 0, 0),
+                result(2, JobOutcome::Proven, 0, 20),
+            ],
+            vec![("wobbly".to_owned(), 2)],
+            1_000,
+        );
+        assert_eq!(report.total_retries(), 2);
+        assert_eq!(report.quarantined_jobs(), 1);
+        let text = report.render();
+        assert!(
+            text.contains("rig health: 5 attempts (2 retries)"),
+            "{text}"
+        );
+        assert!(text.contains("breaker: `wobbly` tripped after 2"), "{text}");
+        let json = report.to_json().encode();
+        assert!(json.contains("\"breaker_trips\""), "{json}");
+        // Fingerprint ignores attempts and breaker trips but keeps the
+        // quarantined outcome itself.
+        let fp = report.fingerprint();
+        assert!(fp.contains("\"quarantined\""), "{fp}");
+        assert!(!fp.contains("breaker_trips"), "{fp}");
+        assert!(!fp.contains("attempts"), "{fp}");
     }
 }

@@ -269,6 +269,62 @@ mod tests {
         assert_eq!(fault.describe(), "drop[idle+go]");
     }
 
+    /// The campaign generator keys job names on these slugs; pin all three
+    /// formats so a change shows up as a test failure, not as silently
+    /// renamed fleet jobs.
+    #[test]
+    fn describe_slug_formats_are_pinned() {
+        assert_eq!(
+            Fault::DropRule {
+                state: "idle".into(),
+                inputs: vec!["go".into(), "stop".into()],
+            }
+            .describe(),
+            "drop[idle+go+stop]"
+        );
+        assert_eq!(
+            Fault::ChangeOutput {
+                state: "idle".into(),
+                inputs: vec!["go".into()],
+                new_outputs: vec!["nack".into()],
+            }
+            .describe(),
+            "mute[idle+go]"
+        );
+        assert_eq!(
+            Fault::RedirectTarget {
+                state: "idle".into(),
+                inputs: vec!["go".into()],
+                new_target: "run".into(),
+            }
+            .describe(),
+            "redirect[idle+go>run]"
+        );
+        // A silent rule's slug has no trailing separator.
+        assert_eq!(
+            Fault::DropRule {
+                state: "run".into(),
+                inputs: vec![],
+            }
+            .describe(),
+            "drop[run+]"
+        );
+    }
+
+    /// Job names derived from the matrix must be unique — a colliding slug
+    /// would silently merge two fleet jobs.
+    #[test]
+    fn fault_matrix_slugs_are_unique() {
+        let u = Universe::new();
+        let m = machine(&u);
+        let matrix = fault_matrix(&m, &u);
+        let mut slugs: Vec<String> = matrix.iter().map(Fault::describe).collect();
+        let before = slugs.len();
+        slugs.sort();
+        slugs.dedup();
+        assert_eq!(slugs.len(), before, "duplicate fault slugs: {slugs:?}");
+    }
+
     #[test]
     fn unknown_targets_are_errors() {
         let u = Universe::new();

@@ -19,6 +19,13 @@
 //!   counterexample; either *confirm* it (a real fault, Lemma 6) or return
 //!   the observed divergence as learning input (Definitions 11/12).
 //! * [`Fault`] / [`inject`] — seeded faults for deriving broken variants.
+//! * [`UnreliableRig`] / [`RigFaultProfile`] — seeded transient *rig*
+//!   faults (dropped/duplicated outputs, spurious resets, stuck periods,
+//!   probe timeouts) at the harness boundary.
+//! * [`execute_with_retry`] — the flake-tolerant executor: bounded retries
+//!   with exponential backoff on a [`SimClock`] and a verdict quorum,
+//!   classifying each test as `Confirmed`, `Diverged`, or `Inconclusive`
+//!   instead of panicking or lying under an unreliable rig.
 
 #![warn(missing_docs)]
 
@@ -30,6 +37,8 @@ mod latency;
 mod monitor;
 mod probe;
 mod replay;
+mod retry;
+mod rig;
 
 pub use component::{LegacyComponent, StateObservable};
 pub use executor::{execute_expected_trace, TestOutcome};
@@ -39,3 +48,7 @@ pub use latency::LatentComponent;
 pub use monitor::{Direction, MonitorEvent, MonitorTrace, PortMap};
 pub use probe::{InstrumentedComponent, ProbeMode, NO_STATE_PROBE};
 pub use replay::{record_live, replay, RecordedStep, Recording, ReplayError, ReplayReport};
+pub use retry::{
+    execute_with_retry, execute_with_retry_on, RetryPolicy, RetryReport, SimClock, TestVerdict,
+};
+pub use rig::{RigFault, RigFaultProfile, UnreliableRig};

@@ -93,6 +93,20 @@ pub enum ReplayError {
         /// What the replay produced.
         replayed: SignalSet,
     },
+    /// The replayed execution's period counter drifted from the recorded
+    /// one — a period was lost or repeated between record and replay. The
+    /// period probe reads instrumentation memory, so on a reliable rig this
+    /// cannot happen; on an unreliable one it flags a withheld input
+    /// (stuck/timed-out period) that output comparison alone cannot see
+    /// when the component is silent either way.
+    PeriodDrift {
+        /// The 0-based step of the recording at which the drift surfaced.
+        step: usize,
+        /// The period the recording holds for that step.
+        recorded: u64,
+        /// The period the replayed component reported.
+        replayed: u64,
+    },
 }
 
 impl std::fmt::Display for ReplayError {
@@ -101,6 +115,14 @@ impl std::fmt::Display for ReplayError {
             ReplayError::Nondeterministic { period, .. } => write!(
                 f,
                 "replay diverged from the recording at period {period}: the component violates the determinism assumption"
+            ),
+            ReplayError::PeriodDrift {
+                step,
+                recorded,
+                replayed,
+            } => write!(
+                f,
+                "replay period drifted from the recording at step {step} (recorded {recorded}, replayed {replayed}): the component violates the determinism assumption"
             ),
         }
     }
@@ -135,7 +157,7 @@ pub fn replay(
     let mut monitor = MonitorTrace::new();
     let mut states = vec![component.initial_state_name()];
     let mut labels = Vec::new();
-    for step in &recording.steps {
+    for (idx, step) in recording.steps.iter().enumerate() {
         monitor.push(MonitorEvent::CurrentState {
             name: component.observable_state(),
         });
@@ -145,6 +167,17 @@ pub fn replay(
                 period: step.period,
                 recorded: step.outputs,
                 replayed: out,
+            });
+        }
+        // Cross-check the timing probe as well: a silent component makes a
+        // lost period invisible in the outputs, but never in the period
+        // counter (it only advances when the component really stepped).
+        let replayed_period = component.period();
+        if replayed_period != step.period {
+            return Err(ReplayError::PeriodDrift {
+                step: idx,
+                recorded: step.period,
+                replayed: replayed_period,
             });
         }
         for e in ports.message_events(u, out, Direction::Outgoing) {

@@ -15,6 +15,10 @@ pub enum RunOutcome {
     /// The run was cooperatively cancelled (explicit cancellation or a
     /// wall-clock deadline) before reaching a verdict.
     Cancelled,
+    /// The flake budget was exhausted: too many counterexample tests ended
+    /// inconclusive under an unreliable rig, and no verdict could be
+    /// reached honestly.
+    Inconclusive,
 }
 
 impl RunOutcome {
@@ -25,6 +29,7 @@ impl RunOutcome {
             RunOutcome::RealFault => "real_fault",
             RunOutcome::IterationLimit => "iteration_limit",
             RunOutcome::Cancelled => "cancelled",
+            RunOutcome::Inconclusive => "inconclusive",
         }
     }
 }
@@ -184,6 +189,45 @@ pub enum LoopEvent {
         /// Wall-clock nanoseconds spent probing.
         nanos: u64,
     },
+    /// A counterexample test needed more than one attempt under an
+    /// unreliable rig (`muml_legacy::execute_with_retry`).
+    TestRetried {
+        /// Iteration index.
+        iteration: usize,
+        /// The component under test.
+        component: String,
+        /// Attempts executed.
+        attempts: usize,
+        /// Attempts that failed the replay cross-check.
+        replay_errors: usize,
+        /// Attempts whose outcome was internally inconsistent.
+        inconsistent: usize,
+        /// Backoff charged to the simulated clock, in ticks.
+        backoff_ticks: u64,
+    },
+    /// A rig fault is suspected: one or more attempts were rejected by the
+    /// replay cross-check or the internal consistency check.
+    RigFault {
+        /// Iteration index.
+        iteration: usize,
+        /// The component under test.
+        component: String,
+        /// Rejected attempts (replay errors plus inconsistencies).
+        suspected: usize,
+    },
+    /// A counterexample was quarantined: its test ended inconclusive, so
+    /// its trace must not feed the learner; the checker will be asked for
+    /// an alternate counterexample instead.
+    Quarantined {
+        /// Iteration index.
+        iteration: usize,
+        /// The component whose test was inconclusive.
+        component: String,
+        /// The violated property (rendered).
+        property: String,
+        /// Quarantined counterexamples so far, this run.
+        quarantined_total: usize,
+    },
     /// The loop finished.
     RunFinished {
         /// Total verification iterations.
@@ -210,6 +254,9 @@ impl LoopEvent {
             LoopEvent::ReplayExecuted { .. } => "replay_executed",
             LoopEvent::LearnStep { .. } => "learn_step",
             LoopEvent::FrontierProbed { .. } => "frontier_probed",
+            LoopEvent::TestRetried { .. } => "test_retried",
+            LoopEvent::RigFault { .. } => "rig_fault",
+            LoopEvent::Quarantined { .. } => "quarantined",
             LoopEvent::RunFinished { .. } => "run_finished",
         }
     }
@@ -224,7 +271,10 @@ impl LoopEvent {
             | LoopEvent::CounterexampleExtracted { iteration, .. }
             | LoopEvent::ReplayExecuted { iteration, .. }
             | LoopEvent::LearnStep { iteration, .. }
-            | LoopEvent::FrontierProbed { iteration, .. } => Some(*iteration),
+            | LoopEvent::FrontierProbed { iteration, .. }
+            | LoopEvent::TestRetried { iteration, .. }
+            | LoopEvent::RigFault { iteration, .. }
+            | LoopEvent::Quarantined { iteration, .. } => Some(*iteration),
             LoopEvent::RunStarted { .. }
             | LoopEvent::InitialAbstraction { .. }
             | LoopEvent::RunFinished { .. } => None,
@@ -388,6 +438,44 @@ impl LoopEvent {
                 obj.push(("probes".into(), Json::from_usize(*probes)));
                 obj.push(("learned".into(), Json::Bool(*learned)));
                 obj.push(("nanos".into(), Json::from_u64(*nanos)));
+            }
+            LoopEvent::TestRetried {
+                iteration,
+                component,
+                attempts,
+                replay_errors,
+                inconsistent,
+                backoff_ticks,
+            } => {
+                obj.push(("iteration".into(), Json::from_usize(*iteration)));
+                obj.push(("component".into(), Json::Str(component.clone())));
+                obj.push(("attempts".into(), Json::from_usize(*attempts)));
+                obj.push(("replay_errors".into(), Json::from_usize(*replay_errors)));
+                obj.push(("inconsistent".into(), Json::from_usize(*inconsistent)));
+                obj.push(("backoff_ticks".into(), Json::from_u64(*backoff_ticks)));
+            }
+            LoopEvent::RigFault {
+                iteration,
+                component,
+                suspected,
+            } => {
+                obj.push(("iteration".into(), Json::from_usize(*iteration)));
+                obj.push(("component".into(), Json::Str(component.clone())));
+                obj.push(("suspected".into(), Json::from_usize(*suspected)));
+            }
+            LoopEvent::Quarantined {
+                iteration,
+                component,
+                property,
+                quarantined_total,
+            } => {
+                obj.push(("iteration".into(), Json::from_usize(*iteration)));
+                obj.push(("component".into(), Json::Str(component.clone())));
+                obj.push(("property".into(), Json::Str(property.clone())));
+                obj.push((
+                    "quarantined_total".into(),
+                    Json::from_usize(*quarantined_total),
+                ));
             }
             LoopEvent::RunFinished {
                 iterations,

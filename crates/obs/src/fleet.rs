@@ -59,6 +59,32 @@ pub enum FleetEvent {
         /// Wall-clock nanoseconds until cancellation took effect.
         nanos: u64,
     },
+    /// A job's attempt failed retryably (error or inconclusive verdict) and
+    /// the worker is re-running it after backoff.
+    JobRetried {
+        /// The job's id.
+        job: usize,
+        /// The worker index executing it.
+        worker: usize,
+        /// The attempt that just failed (1-based).
+        attempt: usize,
+    },
+    /// A breaker key accumulated too many consecutive failed jobs; its
+    /// remaining jobs will be quarantined instead of executed.
+    BreakerTripped {
+        /// The breaker key (the job's component variant).
+        key: String,
+        /// Consecutive failures that tripped the breaker.
+        failures: usize,
+    },
+    /// A job was quarantined without execution because its breaker key had
+    /// already tripped.
+    JobQuarantined {
+        /// The job's id.
+        job: usize,
+        /// The tripped breaker key.
+        key: String,
+    },
     /// Queue pressure after a submission: how many accepted jobs are still
     /// waiting for a worker, and how many have already finished.
     QueueDepth {
@@ -96,6 +122,9 @@ impl FleetEvent {
             FleetEvent::JobStarted { .. } => "job_started",
             FleetEvent::JobFinished { .. } => "job_finished",
             FleetEvent::JobTimedOut { .. } => "job_timed_out",
+            FleetEvent::JobRetried { .. } => "job_retried",
+            FleetEvent::BreakerTripped { .. } => "breaker_tripped",
+            FleetEvent::JobQuarantined { .. } => "job_quarantined",
             FleetEvent::QueueDepth { .. } => "queue_depth",
             FleetEvent::WorkerUtilization { .. } => "worker_utilization",
             FleetEvent::FleetFinished { .. } => "fleet_finished",
@@ -107,7 +136,9 @@ impl FleetEvent {
         match self {
             FleetEvent::JobStarted { job, .. }
             | FleetEvent::JobFinished { job, .. }
-            | FleetEvent::JobTimedOut { job, .. } => Some(*job),
+            | FleetEvent::JobTimedOut { job, .. }
+            | FleetEvent::JobRetried { job, .. }
+            | FleetEvent::JobQuarantined { job, .. } => Some(*job),
             _ => None,
         }
     }
@@ -143,6 +174,23 @@ impl FleetEvent {
                 obj.push(("job".into(), Json::from_usize(*job)));
                 obj.push(("worker".into(), Json::from_usize(*worker)));
                 obj.push(("nanos".into(), Json::from_u64(*nanos)));
+            }
+            FleetEvent::JobRetried {
+                job,
+                worker,
+                attempt,
+            } => {
+                obj.push(("job".into(), Json::from_usize(*job)));
+                obj.push(("worker".into(), Json::from_usize(*worker)));
+                obj.push(("attempt".into(), Json::from_usize(*attempt)));
+            }
+            FleetEvent::BreakerTripped { key, failures } => {
+                obj.push(("key".into(), Json::Str(key.clone())));
+                obj.push(("failures".into(), Json::from_usize(*failures)));
+            }
+            FleetEvent::JobQuarantined { job, key } => {
+                obj.push(("job".into(), Json::from_usize(*job)));
+                obj.push(("key".into(), Json::Str(key.clone())));
             }
             FleetEvent::QueueDepth { pending, finished } => {
                 obj.push(("pending".into(), Json::from_usize(*pending)));
@@ -252,6 +300,17 @@ pub fn render_fleet_event(event: &FleetEvent) -> String {
         FleetEvent::JobTimedOut { job, worker, nanos } => {
             format!("  job {job} TIMED OUT on worker {worker} [{}]", ms(*nanos))
         }
+        FleetEvent::JobRetried {
+            job,
+            worker,
+            attempt,
+        } => format!("  job {job} attempt {attempt} failed on worker {worker}, retrying"),
+        FleetEvent::BreakerTripped { key, failures } => {
+            format!("  breaker `{key}` TRIPPED after {failures} consecutive failures")
+        }
+        FleetEvent::JobQuarantined { job, key } => {
+            format!("  job {job} quarantined (breaker `{key}` open)")
+        }
         FleetEvent::QueueDepth { pending, finished } => {
             format!("  queue: {pending} pending, {finished} finished")
         }
@@ -304,6 +363,19 @@ mod tests {
                 worker: 0,
                 nanos: 999,
             },
+            FleetEvent::JobRetried {
+                job: 1,
+                worker: 0,
+                attempt: 1,
+            },
+            FleetEvent::BreakerTripped {
+                key: "conflicting".into(),
+                failures: 3,
+            },
+            FleetEvent::JobQuarantined {
+                job: 1,
+                key: "conflicting".into(),
+            },
             FleetEvent::WorkerUtilization {
                 worker: 0,
                 jobs: 1,
@@ -344,9 +416,9 @@ mod tests {
         for event in &sample_events() {
             collector.emit(event);
         }
-        assert_eq!(collector.events.len(), 7);
+        assert_eq!(collector.events.len(), 10);
         assert_eq!(collector.job(0).len(), 2);
-        assert_eq!(collector.job(1).len(), 1);
+        assert_eq!(collector.job(1).len(), 3);
         assert_eq!(collector.kinds()[0], "fleet_started");
         assert_eq!(*collector.kinds().last().unwrap(), "fleet_finished");
     }

@@ -128,6 +128,31 @@ pub fn render_event(event: &LoopEvent) -> String {
             },
             ms(*nanos)
         ),
+        LoopEvent::TestRetried {
+            iteration: _,
+            component,
+            attempts,
+            replay_errors,
+            inconsistent,
+            backoff_ticks,
+        } => format!(
+            "  retry {component}: {attempts} attempts ({replay_errors} replay errors, \
+             {inconsistent} inconsistent, {backoff_ticks} ticks backoff)"
+        ),
+        LoopEvent::RigFault {
+            iteration: _,
+            component,
+            suspected,
+        } => format!("  rig-fault {component}: {suspected} attempt(s) rejected"),
+        LoopEvent::Quarantined {
+            iteration: _,
+            component,
+            property,
+            quarantined_total,
+        } => format!(
+            "  quarantine {component}: inconclusive test for {property} \
+             ({quarantined_total} quarantined total)"
+        ),
         LoopEvent::RunFinished {
             iterations,
             outcome,
@@ -138,6 +163,7 @@ pub fn render_event(event: &LoopEvent) -> String {
                 RunOutcome::RealFault => "real integration fault",
                 RunOutcome::IterationLimit => "iteration limit reached",
                 RunOutcome::Cancelled => "run cancelled (deadline)",
+                RunOutcome::Inconclusive => "inconclusive (flake budget exhausted)",
             };
             format!(
                 "result: {verdict} after {iterations} iterations [{}]",
