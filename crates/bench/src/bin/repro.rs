@@ -14,6 +14,8 @@
 //! repro incr --json          # also writes BENCH_incr.json
 //! repro storm                # flake storm: verdicts under rig fault rates
 //! repro storm --json         # also writes BENCH_storm.json
+//! repro serve [--clients N]  # daemon load test: N concurrent wire clients
+//! repro serve --json         # also writes BENCH_serve.json
 //! repro all
 //! ```
 
@@ -30,7 +32,7 @@ use muml_obs::json::Json;
 use muml_obs::{Collector, LoopEvent, NullSink};
 use muml_railcab::scenario;
 
-const KNOWN: [&str; 22] = [
+const KNOWN: [&str; 23] = [
     "fig1",
     "fig2",
     "fig3",
@@ -53,18 +55,20 @@ const KNOWN: [&str; 22] = [
     "fleet",
     "incr",
     "storm",
+    "serve",
 ];
 
 /// The artefacts that support `--json`, and the file each one writes. Both
 /// the usage text and the `--json` gate in `main` derive from this table,
 /// so a new JSON-emitting subcommand is one entry here plus its dispatch
 /// arm.
-const JSON_SUBCOMMANDS: [(&str, &str); 5] = [
+const JSON_SUBCOMMANDS: [(&str, &str); 6] = [
     ("fig2", "BENCH_loop.json"),
     ("check", "BENCH_check.json"),
     ("fleet", "BENCH_fleet.json"),
     ("incr", "BENCH_incr.json"),
     ("storm", "BENCH_storm.json"),
+    ("serve", "BENCH_serve.json"),
 ];
 
 fn json_subcommand_names() -> String {
@@ -76,7 +80,7 @@ fn json_subcommand_names() -> String {
 }
 
 fn usage() {
-    eprintln!("usage: repro <artefact> [--json] [--jobs N]");
+    eprintln!("usage: repro <artefact> [--json] [--jobs N] [--clients N]");
     eprintln!("  artefacts: {} or `all`", KNOWN.join("|"));
     let supported = JSON_SUBCOMMANDS
         .iter()
@@ -85,12 +89,14 @@ fn usage() {
         .join(", ");
     eprintln!("  --json is supported for {supported}");
     eprintln!("  --jobs N sets the `fleet` worker-pool size (default 4)");
+    eprintln!("  --clients N sets the `serve` concurrent-client count (default 8)");
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
     let mut workers: Option<usize> = None;
+    let mut clients: Option<usize> = None;
     let mut what: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -102,6 +108,17 @@ fn main() {
                     Some(n) if n >= 1 => workers = Some(n),
                     _ => {
                         eprintln!("--jobs requires a positive integer");
+                        usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--clients" => {
+                let value = iter.next().and_then(|v| v.parse::<usize>().ok());
+                match value {
+                    Some(n) if n >= 1 => clients = Some(n),
+                    _ => {
+                        eprintln!("--clients requires a positive integer");
                         usage();
                         std::process::exit(2);
                     }
@@ -128,6 +145,11 @@ fn main() {
         usage();
         std::process::exit(2);
     }
+    if clients.is_some() && what != "serve" {
+        eprintln!("--clients is only supported for `serve`");
+        usage();
+        std::process::exit(2);
+    }
     if what == "all" {
         for k in KNOWN {
             run(k);
@@ -139,6 +161,7 @@ fn main() {
             ("fleet", _) => run_fleet_cmd(workers.unwrap_or(4), json),
             ("incr", _) => run_incr(json),
             ("storm", _) => run_storm(json),
+            ("serve", _) => run_serve_cmd(clients.unwrap_or(8), json),
             _ => run(what),
         }
     } else {
@@ -905,6 +928,191 @@ fn run_fleet_cmd(workers: usize, json: bool) {
     }
 }
 
+/// `repro serve [--clients N] [--json]`: start an in-process `muml-serve`
+/// daemon on a TCP loopback socket and drive it with N concurrent wire
+/// clients, each running its shard of the RailCab campaign closed-loop
+/// (submit, then wait). Reports p50/p99 submit→verdict latency, checks
+/// the wire verdicts against a direct `run_fleet` of the same requests,
+/// then throws a 1000-job burst at a deliberately small admission queue
+/// and counts the typed rejections. With `--json`, writes
+/// `BENCH_serve.json` (schema: DESIGN.md §14).
+fn run_serve_cmd(clients: usize, json: bool) {
+    use muml_bench::campaign::{railcab_requests, CampaignOptions};
+    use muml_fleet::{run_fleet, FleetConfig};
+    use muml_obs::NullFleetSink;
+    use muml_serve::{railcab_registry, Daemon, Priority, ServeClient, ServeConfig, Server};
+
+    heading(&format!("Serve — daemon load test, {clients} wire clients"));
+    let options = CampaignOptions {
+        latency: std::time::Duration::ZERO,
+        ..CampaignOptions::default()
+    };
+    let requests = railcab_requests(&options);
+    println!(
+        "campaign: {} jobs (variants × faults) over {clients} clients",
+        requests.len()
+    );
+
+    // Phase A — latency under concurrent load, verdicts checked against a
+    // direct in-process fleet run of the same requests.
+    let daemon = Daemon::start(
+        ServeConfig::default()
+            .with_workers(4)
+            .with_max_pending(4096),
+        railcab_registry(),
+    );
+    let server = Server::bind(daemon, Some("127.0.0.1:0"), None).expect("bind loopback");
+    let addr = server.tcp_addr().expect("tcp addr").to_string();
+
+    let wall_start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|shard| {
+            // Shard round-robin so every client sees a mix of cheap and
+            // expensive jobs.
+            let mine: Vec<_> = requests
+                .iter()
+                .filter(|r| r.id % clients == shard)
+                .cloned()
+                .collect();
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect_tcp(&addr).expect("connect");
+                let mut verdicts = Vec::new();
+                let mut latencies = Vec::new();
+                for request in &mine {
+                    let start = Instant::now();
+                    let job = client
+                        .submit(request, Priority::Normal)
+                        .expect("campaign submissions are admitted");
+                    let record = client.wait(job).expect("verdict");
+                    latencies.push(start.elapsed().as_nanos() as u64);
+                    verdicts.push(record);
+                }
+                (verdicts, latencies)
+            })
+        })
+        .collect();
+    let mut verdicts = Vec::new();
+    let mut latencies = Vec::new();
+    for handle in handles {
+        let (v, l) = handle.join().expect("client thread");
+        verdicts.extend(v);
+        latencies.extend(l);
+    }
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+    server.stop();
+
+    latencies.sort_unstable();
+    let percentile = |p: usize| latencies[(latencies.len() - 1) * p / 100];
+    let (p50, p99) = (percentile(50), percentile(99));
+    println!(
+        "{} verdicts, p50 {:.2} ms, p99 {:.2} ms",
+        verdicts.len(),
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6
+    );
+
+    // Determinism: the daemon must agree with run_fleet on every request.
+    let registry = railcab_registry();
+    let direct = run_fleet(
+        requests
+            .iter()
+            .map(|r| registry.resolve(r).expect("generated requests resolve"))
+            .collect(),
+        &FleetConfig::default().with_workers(4),
+        &mut NullFleetSink,
+    );
+    verdicts.sort_by_key(|record| record.request.id);
+    assert_eq!(verdicts.len(), direct.results.len());
+    for (wire, local) in verdicts.iter().zip(&direct.results) {
+        assert_eq!(wire.request.id, local.request.id);
+        assert_eq!(
+            wire.outcome,
+            local.outcome.name(),
+            "job {} ({}) disagrees across the wire",
+            wire.request.id,
+            wire.request.name
+        );
+    }
+    println!(
+        "wire verdicts match direct run_fleet on all {} jobs",
+        verdicts.len()
+    );
+
+    // Phase B — a 1000-job burst over a tiny admission queue: overflow
+    // must shed as typed rejections and the daemon must keep serving.
+    let daemon = Daemon::start(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_pending(64)
+            .with_max_pending_per_client(1_000_000),
+        railcab_registry(),
+    );
+    let server = Server::bind(daemon, Some("127.0.0.1:0"), None).expect("bind loopback");
+    let addr = server.tcp_addr().expect("tcp addr").to_string();
+    let mut client = ServeClient::connect_tcp(&addr).expect("connect");
+    let baseline = requests
+        .iter()
+        .find(|r| r.fault.is_none())
+        .expect("campaign has baselines");
+    let mut accepted = Vec::new();
+    let mut rejected = 0usize;
+    for i in 0..1_000 {
+        let request = baseline.clone().with_max_iterations(10_000);
+        let request = muml_fleet::JobRequest {
+            id: 10_000 + i,
+            name: format!("burst-{i}"),
+            ..request
+        };
+        match client.submit(&request, Priority::Low) {
+            Ok(id) => accepted.push(id),
+            Err(muml_serve::ServeError::QueueFull { .. }) => rejected += 1,
+            Err(other) => panic!("burst rejection must be typed queue-full, got {other:?}"),
+        }
+    }
+    for id in &accepted {
+        client.wait(*id).expect("accepted burst jobs complete");
+    }
+    let extra = baseline.clone();
+    let extra_id = client
+        .submit(&extra, Priority::High)
+        .expect("daemon still admits after the burst");
+    let extra_record = client.wait(extra_id).expect("daemon still serves");
+    println!(
+        "burst: 1000 submitted, {} accepted, {rejected} rejected (typed), post-burst job `{}` -> {}",
+        accepted.len(),
+        extra.name,
+        extra_record.outcome
+    );
+    server.stop();
+
+    if json {
+        let doc = Json::Object(vec![
+            ("artefact".into(), Json::Str("serve".into())),
+            ("clients".into(), Json::from_usize(clients)),
+            ("jobs".into(), Json::from_usize(requests.len())),
+            ("wall_ns".into(), Json::from_u64(wall_ns)),
+            ("p50_ns".into(), Json::from_u64(p50)),
+            ("p99_ns".into(), Json::from_u64(p99)),
+            ("verdicts_match_fleet".into(), Json::Bool(true)),
+            (
+                "burst".into(),
+                Json::Object(vec![
+                    ("submitted".into(), Json::from_usize(1_000)),
+                    ("accepted".into(), Json::from_usize(accepted.len())),
+                    ("rejected".into(), Json::from_usize(rejected)),
+                    ("served_after".into(), Json::Bool(true)),
+                ]),
+            ),
+        ]);
+        std::fs::write("BENCH_serve.json", doc.encode() + "\n").expect("write BENCH_serve.json");
+        println!(
+            "wrote BENCH_serve.json ({clients} clients, p50 {:.2} ms, {rejected} burst rejections)",
+            p50 as f64 / 1e6
+        );
+    }
+}
+
 fn run(what: &str) {
     let u = Universe::new();
     match what {
@@ -1072,6 +1280,7 @@ fn run(what: &str) {
         "fleet" => run_fleet_cmd(4, false),
         "incr" => run_incr(false),
         "storm" => run_storm(false),
+        "serve" => run_serve_cmd(8, false),
         "table_e" => {
             heading("Table T-E — multi-legacy parallel learning (n = 4, k = 2)");
             let (single, twin) = table_e(4, 2);

@@ -9,6 +9,14 @@
 //! determinism argument (DESIGN.md §11): however jobs are later shuffled or
 //! sharded, the aggregated report is keyed and sorted by these ids.
 //!
+//! Since the `muml-serve` wire split, generation produces pure-data
+//! [`JobRequest`]s ([`railcab_requests`]): the same values can be shipped
+//! to a daemon over the wire, run in-process, or tabulated as campaign
+//! cells. [`railcab_campaign`] is the in-process convenience that resolves
+//! them through [`muml_serve::railcab_registry`] into executable
+//! [`Job`]s — the identical resolver the daemon uses, so a wire campaign
+//! and a local campaign agree job-for-job.
+//!
 //! Each job wraps its component in a
 //! [`LatentComponent`](muml_legacy::LatentComponent) modelling test-rig
 //! round-trip latency, which is what makes the campaign worth sharding:
@@ -18,15 +26,16 @@
 use std::time::Duration;
 
 use muml_automata::Universe;
-use muml_core::{IntegrationConfig, IntegrationSession, LegacyUnit};
-use muml_fleet::{Job, JobSpec};
-use muml_legacy::{fault_matrix, inject, Fault, LatentComponent};
-use muml_railcab::{front_context, shuttle_variants, ShuttleVariant};
+use muml_fleet::{Job, JobRequest};
+use muml_legacy::{fault_matrix, Fault};
+use muml_railcab::{shuttle_variants, ShuttleVariant};
+use muml_serve::railcab_registry;
 
-/// Scenario label of the RailCab campaign.
-pub const SCENARIO: &str = "railcab-convoy";
+/// Scenario label of the RailCab campaign (the daemon registry's name
+/// for it).
+pub const SCENARIO: &str = muml_serve::RAILCAB_SCENARIO;
 /// Pattern label of the RailCab campaign.
-pub const PATTERN: &str = "DistanceCoordination";
+pub const PATTERN: &str = muml_serve::RAILCAB_PATTERN;
 
 /// Knobs of the campaign generator.
 #[derive(Debug, Clone)]
@@ -54,69 +63,66 @@ impl Default for CampaignOptions {
     }
 }
 
-/// Expands the RailCab scenario into the full variants × faults campaign.
-pub fn railcab_campaign(options: &CampaignOptions) -> Vec<Job> {
-    let mut jobs = Vec::new();
+/// Expands the RailCab scenario into the variants × faults request
+/// matrix — pure data, ready for `run_fleet` (via [`railcab_campaign`])
+/// or a `muml-serve` daemon (verbatim, over the wire).
+pub fn railcab_requests(options: &CampaignOptions) -> Vec<JobRequest> {
+    let mut requests = Vec::new();
     // Fault matrices are enumerated against a throwaway universe; faults
     // carry state/signal *names*, so they re-resolve cleanly against each
     // job's own universe inside the worker.
     let u = Universe::new();
     for variant in shuttle_variants() {
-        push_job(&mut jobs, *variant, None, options);
+        push_request(&mut requests, *variant, None, options);
         for fault in fault_matrix(&(variant.build)(&u), &u) {
-            push_job(&mut jobs, *variant, Some(fault), options);
+            push_request(&mut requests, *variant, Some(&fault), options);
         }
     }
     if let Some(cap) = options.max_jobs {
-        jobs.truncate(cap);
+        requests.truncate(cap);
     }
-    jobs
+    requests
 }
 
-fn push_job(
-    jobs: &mut Vec<Job>,
+/// Expands the RailCab scenario into executable jobs by resolving
+/// [`railcab_requests`] through the daemon's own scenario registry.
+pub fn railcab_campaign(options: &CampaignOptions) -> Vec<Job> {
+    let registry = railcab_registry();
+    railcab_requests(options)
+        .into_iter()
+        .map(|request| {
+            registry
+                .resolve(&request)
+                .expect("generated requests always resolve")
+        })
+        .collect()
+}
+
+fn push_request(
+    requests: &mut Vec<JobRequest>,
     variant: ShuttleVariant,
-    fault: Option<Fault>,
+    fault: Option<&Fault>,
     options: &CampaignOptions,
 ) {
-    let id = jobs.len();
-    let fault_name = fault.as_ref().map(Fault::describe);
+    let id = requests.len();
+    let fault_name = fault.map(Fault::describe);
     let name = match &fault_name {
         Some(f) => format!("{}/{f}", variant.name),
         None => format!("{}/baseline", variant.name),
     };
-    let mut spec = JobSpec::new(id, name)
+    let mut request = JobRequest::new(id, name)
         .with_scenario(SCENARIO)
         .with_pattern(PATTERN)
         .with_variant(variant.name)
-        .with_max_iterations(options.max_iterations);
-    if let Some(f) = &fault_name {
-        spec = spec.with_fault(f.clone());
+        .with_max_iterations(options.max_iterations)
+        .with_latency(options.latency);
+    if let Some(f) = fault_name {
+        request = request.with_fault(f);
     }
     if let Some(deadline) = options.deadline {
-        spec = spec.with_deadline(deadline);
+        request = request.with_deadline(deadline);
     }
-    let latency = options.latency;
-    let max_iterations = options.max_iterations;
-    let build = variant.build;
-    jobs.push(Job::new(spec, move |ctx| {
-        let u = Universe::new();
-        let context = front_context(&u);
-        let mut shuttle = build(&u);
-        if let Some(f) = &fault {
-            inject(&mut shuttle, &u, f)?;
-        }
-        let mut component = LatentComponent::new(shuttle, latency);
-        IntegrationSession::new(&u, &context)
-            .formula(muml_railcab::scenario::pattern_constraint(&u))
-            .unit(LegacyUnit::new(
-                &mut component,
-                muml_railcab::scenario::rear_port_map(&u),
-            ))
-            .config(IntegrationConfig::default().with_max_iterations(max_iterations))
-            .cancel_token(ctx.cancel.clone())
-            .run()
-    }));
+    requests.push(request);
 }
 
 #[cfg(test)]
@@ -126,22 +132,29 @@ mod tests {
     #[test]
     fn campaign_enumeration_is_deterministic() {
         let options = CampaignOptions::default();
-        let a = railcab_campaign(&options);
-        let b = railcab_campaign(&options);
+        let a = railcab_requests(&options);
+        let b = railcab_requests(&options);
         assert!(a.len() >= 24, "expected dozens of jobs, got {}", a.len());
-        assert_eq!(a.len(), b.len());
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.spec, y.spec);
+        assert_eq!(a, b);
+        assert_eq!(a[0].name, "correct/baseline");
+        assert!(a.iter().enumerate().all(|(i, r)| r.id == i));
+        // Requests survive the wire encoding unchanged.
+        for request in &a {
+            assert_eq!(JobRequest::from_json(&request.to_json()).unwrap(), *request);
         }
-        assert_eq!(a[0].spec.name, "correct/baseline");
-        assert!(a.iter().enumerate().all(|(i, j)| j.spec.id == i));
         // Capped campaigns are prefixes.
-        let capped = railcab_campaign(&CampaignOptions {
+        let capped = railcab_requests(&CampaignOptions {
             max_jobs: Some(5),
-            ..options
+            ..options.clone()
         });
         assert_eq!(capped.len(), 5);
-        assert_eq!(capped[4].spec, a[4].spec);
+        assert_eq!(capped[4], a[4]);
+        // Resolution keeps the request intact and covers the matrix.
+        let jobs = railcab_campaign(&options);
+        assert_eq!(jobs.len(), a.len());
+        for (job, request) in jobs.iter().zip(&a) {
+            assert_eq!(job.request, *request);
+        }
     }
 
     #[test]
@@ -152,9 +165,11 @@ mod tests {
             max_jobs: None,
             ..CampaignOptions::default()
         };
-        let baselines: Vec<Job> = railcab_campaign(&options)
+        let registry = railcab_registry();
+        let baselines: Vec<Job> = railcab_requests(&options)
             .into_iter()
-            .filter(|j| j.spec.fault.is_none())
+            .filter(|r| r.fault.is_none())
+            .map(|r| registry.resolve(&r).unwrap())
             .collect();
         assert_eq!(baselines.len(), 3);
         let report = run_fleet(
@@ -163,14 +178,19 @@ mod tests {
             &mut muml_obs::NullFleetSink,
         );
         for (result, variant) in report.results.iter().zip(shuttle_variants()) {
-            assert_eq!(result.spec.variant, variant.name);
+            assert_eq!(result.request.variant, variant.name);
             if variant.proven_when_unmodified {
-                assert_eq!(result.outcome, JobOutcome::Proven, "{}", result.spec.name);
+                assert_eq!(
+                    result.outcome,
+                    JobOutcome::Proven,
+                    "{}",
+                    result.request.name
+                );
             } else {
                 assert!(
                     matches!(result.outcome, JobOutcome::RealFault { .. }),
                     "{}: {:?}",
-                    result.spec.name,
+                    result.request.name,
                     result.outcome
                 );
             }

@@ -78,6 +78,67 @@ fn storm_rejects_jobs_flag() {
 }
 
 #[test]
+fn clients_flag_contract() {
+    // `--clients` is serve-only and must be a positive integer.
+    let out = repro(&["fleet", "--clients", "4"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--clients is only supported for `serve`")
+    );
+    for args in [
+        &["serve", "--clients"] as &[&str],
+        &["serve", "--clients", "many"],
+        &["serve", "--clients", "0"],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--clients requires"),
+            "{args:?}"
+        );
+    }
+    // The usage text advertises both the artefact and its flag.
+    let usage = repro(&["no-such-artefact"]);
+    let stderr = String::from_utf8_lossy(&usage.stderr);
+    assert!(stderr.contains("serve"), "{stderr}");
+    assert!(stderr.contains("--clients"), "{stderr}");
+}
+
+#[test]
+fn serve_runs_clean_and_writes_the_artefact() {
+    // The daemon load test binds a loopback socket, drives it with 8
+    // clients, and must exit 0 (wire-vs-fleet verdict divergence panics)
+    // while writing BENCH_serve.json into the working directory.
+    let dir = std::env::temp_dir().join(format!("repro-serve-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--json"])
+        .current_dir(&dir)
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("wire verdicts match direct run_fleet"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("rejected (typed)"), "{stdout}");
+    let artefact = std::fs::read_to_string(dir.join("BENCH_serve.json")).unwrap();
+    assert!(artefact.contains("\"artefact\":\"serve\""), "{artefact}");
+    assert!(
+        artefact.contains("\"verdicts_match_fleet\":true"),
+        "{artefact}"
+    );
+    assert!(artefact.contains("\"served_after\":true"), "{artefact}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn storm_runs_clean_and_writes_the_artefact() {
     // The full sweep runs in a few seconds; `--json` must exit 0 (the
     // soundness assertion is built in — a flipped verdict panics) and

@@ -55,6 +55,20 @@ impl CancelToken {
         }
     }
 
+    /// A token sharing this token's cancellation flag, with a deadline of
+    /// `timeout` from now. Cancelling either token (or any clone) cancels
+    /// both; the deadline only applies to the returned token. This is how a
+    /// job server arms a per-attempt deadline on a job whose base token a
+    /// client may cancel at any time: the attempt observes whichever fires
+    /// first.
+    #[must_use]
+    pub fn deadline_from_now(&self, timeout: Duration) -> CancelToken {
+        CancelToken {
+            flag: Arc::clone(&self.flag),
+            deadline: Some(Instant::now() + timeout),
+        }
+    }
+
     /// Signals cancellation to this token and every clone sharing its flag.
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::Release);
@@ -88,6 +102,23 @@ mod tests {
         assert!(token.remaining().is_none());
         token.cancel();
         assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_from_now_shares_the_flag() {
+        let base = CancelToken::new();
+        let armed = base.deadline_from_now(Duration::from_secs(3600));
+        assert!(!armed.is_cancelled());
+        assert!(armed.remaining().is_some());
+        // Cancelling the base token cancels the deadline-armed one too.
+        base.cancel();
+        assert!(armed.is_cancelled());
+        // An expired deadline cancels the armed token without touching the
+        // base flag.
+        let base = CancelToken::new();
+        let expired = base.deadline_from_now(Duration::ZERO);
+        assert!(expired.is_cancelled());
+        assert!(!base.is_cancelled());
     }
 
     #[test]

@@ -1,146 +1,64 @@
-//! Campaign jobs: the declarative description of one integration run.
+//! Campaign jobs: a resolved request plus its work closure.
 //!
-//! A [`JobSpec`] is plain data — the coordinates of one cell of a campaign
-//! matrix (scenario × pattern × component variant × fault) plus its
-//! resource budget. The executable half is the [`Job`]'s *work closure*,
-//! which builds its own universe, context, and component inside the worker
-//! thread (automata universes are cheap and sessions must not share
-//! mutable state across jobs) and runs an
-//! [`IntegrationSession`](muml_core::IntegrationSession) wired to the
+//! A [`JobRequest`] (see [`crate::request`]) is plain data — the
+//! coordinates of one cell of a campaign matrix (scenario × pattern ×
+//! component variant × fault) plus its resource budget. The executable
+//! half is the [`Job`]'s *work closure*, which builds its own universe,
+//! context, and component inside the worker thread (automata universes are
+//! cheap and sessions must not share mutable state across jobs) and runs
+//! an [`IntegrationSession`](muml_core::IntegrationSession) wired to the
 //! [`JobContext`]'s cancellation token.
 
-use std::time::Duration;
-
 use muml_core::{CancelToken, CoreError, IntegrationReport, IntegrationStats, IntegrationVerdict};
+use muml_obs::SharedSink;
 
-/// The declarative description of one campaign job.
-///
-/// `id` is assigned by the campaign *generator*, not the submitter: report
-/// ordering is by `id`, so shuffling the submission order (or changing the
-/// worker count) cannot change the aggregated report.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JobSpec {
-    /// Stable job id (position in the generated campaign).
-    pub id: usize,
-    /// Display name (`variant/fault` by convention).
-    pub name: String,
-    /// The scenario the job exercises (e.g. `railcab-convoy`).
-    pub scenario: String,
-    /// The coordination pattern whose constraint is checked.
-    pub pattern: String,
-    /// The legacy-component variant under integration.
-    pub variant: String,
-    /// The seeded fault, if any (`None` = baseline run).
-    pub fault: Option<String>,
-    /// Iteration cap handed to the session.
-    pub max_iterations: usize,
-    /// Per-job wall-clock deadline (`None` = no deadline).
-    pub deadline: Option<Duration>,
-    /// Extra executions granted after a rig-attributed failure
-    /// (`Error`/`Inconclusive` outcomes); `0` = single attempt.
-    pub retries: usize,
-}
+use crate::request::JobRequest;
 
-impl JobSpec {
-    /// A spec with the given coordinates, no fault, a 10 000-iteration cap,
-    /// and no deadline.
-    pub fn new(id: usize, name: impl Into<String>) -> Self {
-        JobSpec {
-            id,
-            name: name.into(),
-            scenario: String::new(),
-            pattern: String::new(),
-            variant: String::new(),
-            fault: None,
-            max_iterations: 10_000,
-            deadline: None,
-            retries: 0,
-        }
-    }
-
-    /// Sets the scenario label.
-    #[must_use]
-    pub fn with_scenario(mut self, scenario: impl Into<String>) -> Self {
-        self.scenario = scenario.into();
-        self
-    }
-
-    /// Sets the pattern label.
-    #[must_use]
-    pub fn with_pattern(mut self, pattern: impl Into<String>) -> Self {
-        self.pattern = pattern.into();
-        self
-    }
-
-    /// Sets the component-variant label.
-    #[must_use]
-    pub fn with_variant(mut self, variant: impl Into<String>) -> Self {
-        self.variant = variant.into();
-        self
-    }
-
-    /// Sets the fault label.
-    #[must_use]
-    pub fn with_fault(mut self, fault: impl Into<String>) -> Self {
-        self.fault = Some(fault.into());
-        self
-    }
-
-    /// Sets the iteration cap.
-    #[must_use]
-    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
-        self.max_iterations = max_iterations;
-        self
-    }
-
-    /// Sets the wall-clock deadline.
-    #[must_use]
-    pub fn with_deadline(mut self, deadline: Duration) -> Self {
-        self.deadline = Some(deadline);
-        self
-    }
-
-    /// Grants extra executions after rig-attributed failures.
-    #[must_use]
-    pub fn with_retries(mut self, retries: usize) -> Self {
-        self.retries = retries;
-        self
-    }
-}
+/// Deprecated name of the wire-stable job schema.
+#[deprecated(
+    since = "0.6.0",
+    note = "renamed to `JobRequest`; the schema is now pure data resolved \
+            through a `JobRegistry`"
+)]
+pub type JobSpec = JobRequest;
 
 /// Per-job execution context handed to the work closure.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct JobContext {
-    /// The job's cancellation token — pre-armed with the spec's deadline.
-    /// The closure must thread it into its session
+    /// The job's cancellation token — pre-armed with the request's
+    /// deadline. The closure must thread it into its session
     /// ([`IntegrationSession::cancel_token`](muml_core::IntegrationSession::cancel_token)
     /// or [`IntegrationConfig::with_cancel_token`](muml_core::IntegrationConfig::with_cancel_token))
     /// for the deadline to take effect.
     pub cancel: CancelToken,
+    /// Where the session's per-iteration loop events should go, when a
+    /// subscriber is listening (`None` = discard). Work closures that run
+    /// an `IntegrationSession` should wire this in as the session sink.
+    pub loop_sink: Option<SharedSink>,
 }
 
 /// The executable work of a job. Runs on a worker thread; everything the
 /// session needs (universe, context automaton, component) is built inside.
-/// `Fn` (not `FnOnce`) so the pool can re-run the closure when the spec
-/// grants [`retries`](JobSpec::retries) after a rig-attributed failure.
+/// `Fn` (not `FnOnce`) so the pool can re-run the closure when the request
+/// grants [`retries`](JobRequest::retries) after a rig-attributed failure.
 pub type JobWork = Box<dyn Fn(&JobContext) -> Result<IntegrationReport, CoreError> + Send>;
 
-/// One schedulable unit: a spec plus its work closure.
+/// One schedulable unit: a request plus its work closure.
 pub struct Job {
     /// The declarative description.
-    pub spec: JobSpec,
+    pub request: JobRequest,
     /// The work to run.
     pub work: JobWork,
 }
 
 impl Job {
-    /// Pairs a spec with its work closure.
+    /// Pairs a request with its work closure.
     pub fn new(
-        spec: JobSpec,
+        request: JobRequest,
         work: impl Fn(&JobContext) -> Result<IntegrationReport, CoreError> + Send + 'static,
     ) -> Self {
         Job {
-            spec,
+            request,
             work: Box::new(work),
         }
     }
@@ -149,7 +67,7 @@ impl Job {
 impl std::fmt::Debug for Job {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Job")
-            .field("spec", &self.spec)
+            .field("request", &self.request)
             .finish_non_exhaustive()
     }
 }
@@ -228,8 +146,8 @@ impl JobOutcome {
 /// The result of one executed job.
 #[derive(Debug, Clone)]
 pub struct JobResult {
-    /// The job's spec (report rows are sorted by `spec.id`).
-    pub spec: JobSpec,
+    /// The job's request (report rows are sorted by `request.id`).
+    pub request: JobRequest,
     /// How the job ended.
     pub outcome: JobOutcome,
     /// Verification iterations performed.
@@ -249,20 +167,21 @@ pub struct JobResult {
     pub attempts: usize,
 }
 
-/// The circuit-breaker grouping key of a spec: the component variant when
-/// set (campaign cells for the same variant exercise the same legacy rig),
-/// the job name otherwise.
-pub(crate) fn breaker_key(spec: &JobSpec) -> String {
-    if spec.variant.is_empty() {
-        spec.name.clone()
+/// The circuit-breaker grouping key of a request: the component variant
+/// when set (campaign cells for the same variant exercise the same legacy
+/// rig), the job name otherwise.
+pub(crate) fn breaker_key(request: &JobRequest) -> String {
+    if request.variant.is_empty() {
+        request.name.clone()
     } else {
-        spec.variant.clone()
+        request.variant.clone()
     }
 }
 
 /// Classifies a session result into a [`JobOutcome`] plus its iteration
-/// count and stats rollup.
-pub(crate) fn classify(
+/// count and stats rollup. Shared by the in-process pool and the
+/// `muml-serve` daemon so the two agree on outcome semantics.
+pub fn classify(
     result: Result<IntegrationReport, CoreError>,
 ) -> (JobOutcome, usize, IntegrationStats) {
     match result {
@@ -300,20 +219,28 @@ pub(crate) fn classify(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
-    fn spec_builder_chains() {
-        let spec = JobSpec::new(3, "faulty/drop[x]")
+    fn request_builder_chains() {
+        let request = JobRequest::new(3, "faulty/drop[x]")
             .with_scenario("railcab-convoy")
             .with_pattern("DistanceCoordination")
             .with_variant("faulty")
             .with_fault("drop[x]")
             .with_max_iterations(64)
             .with_deadline(Duration::from_secs(5));
-        assert_eq!(spec.id, 3);
-        assert_eq!(spec.fault.as_deref(), Some("drop[x]"));
-        assert_eq!(spec.max_iterations, 64);
-        assert_eq!(spec.deadline, Some(Duration::from_secs(5)));
+        assert_eq!(request.id, 3);
+        assert_eq!(request.fault.as_deref(), Some("drop[x]"));
+        assert_eq!(request.max_iterations, 64);
+        assert_eq!(request.deadline, Some(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn deprecated_spec_alias_still_compiles() {
+        #[allow(deprecated)]
+        let spec: JobSpec = JobSpec::new(0, "legacy").with_variant("v");
+        assert_eq!(spec.variant, "v");
     }
 
     #[test]
@@ -366,9 +293,9 @@ mod tests {
 
     #[test]
     fn breaker_key_prefers_the_variant() {
-        let spec = JobSpec::new(0, "faulty/drop[x]").with_variant("faulty");
-        assert_eq!(breaker_key(&spec), "faulty");
-        let spec = JobSpec::new(1, "anonymous");
-        assert_eq!(breaker_key(&spec), "anonymous");
+        let request = JobRequest::new(0, "faulty/drop[x]").with_variant("faulty");
+        assert_eq!(breaker_key(&request), "faulty");
+        let request = JobRequest::new(1, "anonymous");
+        assert_eq!(breaker_key(&request), "anonymous");
     }
 }

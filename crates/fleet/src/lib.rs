@@ -8,10 +8,14 @@
 //! rig). This crate is the campaign layer above
 //! [`muml_core::IntegrationSession`]:
 //!
-//! * [`JobSpec`] / [`Job`] — a declarative campaign cell (scenario ×
+//! * [`JobRequest`] / [`Job`] — a declarative campaign cell (scenario ×
 //!   pattern × variant × fault, plus iteration cap and deadline) paired
 //!   with a work closure that builds and runs its session inside a worker
-//!   thread.
+//!   thread. A `JobRequest` is wire-encodable
+//!   ([`to_json`](JobRequest::to_json) / [`from_json`](JobRequest::from_json))
+//!   and a [`JobRegistry`] resolves it back into a runnable [`Job`]
+//!   server-side, so the same type serves as the `muml-serve` wire schema,
+//!   the fleet input, and the bench-campaign cell.
 //! * [`run_fleet`] / [`FleetConfig`] — a fixed pool of std threads fed by
 //!   a *bounded* queue (submission back-pressures), with per-job
 //!   wall-clock deadlines enforced through the cooperative
@@ -33,10 +37,14 @@
 mod job;
 mod pool;
 mod report;
+pub mod request;
 
-pub use job::{Job, JobContext, JobOutcome, JobResult, JobSpec, JobWork};
+#[allow(deprecated)]
+pub use job::JobSpec;
+pub use job::{classify, Job, JobContext, JobOutcome, JobResult, JobWork};
 pub use pool::{run_fleet, FleetConfig};
 pub use report::FleetReport;
+pub use request::{JobRegistry, JobRequest, JobResolver, ResolveError};
 
 #[cfg(test)]
 mod tests {
@@ -60,7 +68,7 @@ mod tests {
     }
 
     fn proven_job(id: usize) -> Job {
-        Job::new(JobSpec::new(id, format!("job-{id}")), move |_ctx| {
+        Job::new(JobRequest::new(id, format!("job-{id}")), move |_ctx| {
             Ok(proven_report(id + 1))
         })
     }
@@ -72,7 +80,11 @@ mod tests {
         let report = run_fleet(jobs, &FleetConfig::default().with_workers(3), &mut sink);
         assert_eq!(report.results.len(), 20);
         assert_eq!(
-            report.results.iter().map(|r| r.spec.id).collect::<Vec<_>>(),
+            report
+                .results
+                .iter()
+                .map(|r| r.request.id)
+                .collect::<Vec<_>>(),
             (0..20).collect::<Vec<_>>()
         );
         assert_eq!(report.histogram()[0], ("proven", 20));
@@ -99,8 +111,8 @@ mod tests {
 
     #[test]
     fn zero_deadline_times_out_deterministically() {
-        let spec = JobSpec::new(0, "doomed").with_deadline(Duration::ZERO);
-        let job = Job::new(spec, |ctx| {
+        let request = JobRequest::new(0, "doomed").with_deadline(Duration::ZERO);
+        let job = Job::new(request, |ctx| {
             // Mirrors the driver's cancellation points: poll before work.
             if ctx.cancel.is_cancelled() {
                 return Err(CoreError::Cancelled { iterations: 0 });
@@ -118,7 +130,7 @@ mod tests {
     #[test]
     fn panicking_job_is_contained() {
         let jobs = vec![
-            Job::new(JobSpec::new(0, "bomb"), |_ctx| -> Result<_, CoreError> {
+            Job::new(JobRequest::new(0, "bomb"), |_ctx| -> Result<_, CoreError> {
                 panic!("boom: {}", 42)
             }),
             proven_job(1),
@@ -169,8 +181,8 @@ mod tests {
         use std::sync::Arc;
         let calls = Arc::new(AtomicUsize::new(0));
         let seen = Arc::clone(&calls);
-        let spec = JobSpec::new(0, "flaky").with_retries(3);
-        let job = Job::new(spec, move |_ctx| {
+        let request = JobRequest::new(0, "flaky").with_retries(3);
+        let job = Job::new(request, move |_ctx| {
             if seen.fetch_add(1, Ordering::SeqCst) < 2 {
                 Err(CoreError::InterfaceMismatch {
                     detail: "transient rig glitch".into(),
@@ -191,15 +203,15 @@ mod tests {
 
     #[test]
     fn verdict_outcomes_are_not_retried() {
-        let spec = JobSpec::new(0, "solid").with_retries(5);
-        let job = Job::new(spec, move |_ctx| Ok(proven_report(1)));
+        let request = JobRequest::new(0, "solid").with_retries(5);
+        let job = Job::new(request, move |_ctx| Ok(proven_report(1)));
         let report = run_fleet(vec![job], &FleetConfig::default(), &mut NullFleetSink);
         assert_eq!(report.results[0].attempts, 1);
     }
 
     fn failing_job(id: usize, variant: &str) -> Job {
-        let spec = JobSpec::new(id, format!("{variant}/{id}")).with_variant(variant);
-        Job::new(spec, |_ctx| {
+        let request = JobRequest::new(id, format!("{variant}/{id}")).with_variant(variant);
+        Job::new(request, |_ctx| {
             Err(CoreError::InterfaceMismatch {
                 detail: "rig down".into(),
             })
@@ -270,7 +282,7 @@ mod tests {
         // Jobs that sleep (as harness-bound sessions do) should overlap:
         // 8 × 10ms on 4 workers must finish well under the 80ms serial time.
         let sleepy = |id: usize| {
-            Job::new(JobSpec::new(id, format!("sleepy-{id}")), |_ctx| {
+            Job::new(JobRequest::new(id, format!("sleepy-{id}")), |_ctx| {
                 std::thread::sleep(Duration::from_millis(10));
                 Ok(proven_report(1))
             })

@@ -32,7 +32,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use muml_core::CancelToken;
-use muml_obs::{FleetEvent, FleetSink};
+use muml_obs::{FleetEvent, FleetSink, SharedSink};
 
 use crate::job::{breaker_key, classify, Job, JobContext, JobOutcome, JobResult};
 use crate::report::FleetReport;
@@ -60,6 +60,11 @@ pub struct FleetConfig {
     /// one worker; different components still run concurrently. `None`
     /// (default) keeps the fully parallel dispatch with no breaker.
     pub breaker_threshold: Option<usize>,
+    /// Per-iteration loop-event sink handed to every job via
+    /// [`JobContext::loop_sink`](crate::JobContext) (`None` = discard).
+    /// A `muml-serve` daemon plugs a subscriber fan-out in here; the
+    /// in-process CLI normally leaves it unset.
+    pub loop_sink: Option<SharedSink>,
 }
 
 impl Default for FleetConfig {
@@ -69,6 +74,7 @@ impl Default for FleetConfig {
             queue_bound: 8,
             retry_backoff: Duration::ZERO,
             breaker_threshold: None,
+            loop_sink: None,
         }
     }
 }
@@ -100,6 +106,14 @@ impl FleetConfig {
     #[must_use]
     pub fn with_breaker_threshold(mut self, threshold: usize) -> Self {
         self.breaker_threshold = Some(threshold.max(1));
+        self
+    }
+
+    /// Routes per-iteration loop events from every job to `sink` (see
+    /// [`FleetConfig::loop_sink`]).
+    #[must_use]
+    pub fn with_loop_sink(mut self, sink: SharedSink) -> Self {
+        self.loop_sink = Some(sink);
         self
     }
 }
@@ -155,7 +169,7 @@ pub fn run_fleet(jobs: Vec<Job>, config: &FleetConfig, sink: &mut dyn FleetSink)
         Some(_) => {
             let mut keyed: Vec<(String, Vec<Job>)> = Vec::new();
             for job in jobs {
-                let key = breaker_key(&job.spec);
+                let key = breaker_key(&job.request);
                 match keyed.iter_mut().find(|(k, _)| *k == key) {
                     Some((_, group)) => group.push(job),
                     None => keyed.push((key, vec![job])),
@@ -181,7 +195,8 @@ pub fn run_fleet(jobs: Vec<Job>, config: &FleetConfig, sink: &mut dyn FleetSink)
             let tx = msg_tx.clone();
             let backoff = config.retry_backoff;
             let threshold = config.breaker_threshold;
-            scope.spawn(move || worker_loop(worker, rx, tx, backoff, threshold));
+            let loop_sink = config.loop_sink.clone();
+            scope.spawn(move || worker_loop(worker, rx, tx, backoff, threshold, loop_sink));
         }
         // The workers hold the only remaining senders; dropping ours makes
         // the drain loop below terminate when the last worker exits.
@@ -288,13 +303,13 @@ fn handle(
             *finished += 1;
             if result.outcome == JobOutcome::TimedOut {
                 sink.emit(&FleetEvent::JobTimedOut {
-                    job: result.spec.id,
+                    job: result.request.id,
                     worker: result.worker,
                     nanos: result.nanos,
                 });
             }
             sink.emit(&FleetEvent::JobFinished {
-                job: result.spec.id,
+                job: result.request.id,
                 worker: result.worker,
                 outcome: result.outcome.name().to_owned(),
                 iterations: result.iterations,
@@ -312,6 +327,7 @@ fn worker_loop(
     tx: mpsc::Sender<Message>,
     retry_backoff: Duration,
     breaker_threshold: Option<usize>,
+    loop_sink: Option<SharedSink>,
 ) {
     let mut jobs = 0usize;
     let mut busy_nanos = 0u64;
@@ -328,14 +344,14 @@ fn worker_loop(
         let mut failures = 0usize;
         let mut tripped = false;
         for job in batch {
-            let Job { spec, work } = job;
+            let Job { request, work } = job;
             if tripped {
                 let _ = tx.send(Message::Quarantined {
-                    job: spec.id,
-                    key: breaker_key(&spec),
+                    job: request.id,
+                    key: breaker_key(&request),
                 });
                 let _ = tx.send(Message::Done(Box::new(JobResult {
-                    spec,
+                    request,
                     outcome: JobOutcome::Quarantined,
                     iterations: 0,
                     stats: muml_core::IntegrationStats::default(),
@@ -346,8 +362,8 @@ fn worker_loop(
                 continue;
             }
             let _ = tx.send(Message::Started {
-                job: spec.id,
-                name: spec.name.clone(),
+                job: request.id,
+                name: request.name.clone(),
                 worker,
             });
             let job_start = Instant::now();
@@ -355,11 +371,14 @@ fn worker_loop(
             let (outcome, iterations, stats) = loop {
                 attempts += 1;
                 // The deadline re-arms per attempt: a retry is a fresh run.
-                let cancel = match spec.deadline {
+                let cancel = match request.deadline {
                     Some(deadline) => CancelToken::with_timeout(deadline),
                     None => CancelToken::new(),
                 };
-                let context = JobContext { cancel };
+                let context = JobContext {
+                    cancel,
+                    loop_sink: loop_sink.clone(),
+                };
                 let run = catch_unwind(AssertUnwindSafe(|| work(&context)));
                 let classified = match run {
                     Ok(result) => classify(result),
@@ -376,9 +395,9 @@ fn worker_loop(
                         )
                     }
                 };
-                if classified.0.is_rig_failure() && attempts <= spec.retries {
+                if classified.0.is_rig_failure() && attempts <= request.retries {
                     let _ = tx.send(Message::Retried {
-                        job: spec.id,
+                        job: request.id,
                         worker,
                         attempt: attempts,
                     });
@@ -396,7 +415,7 @@ fn worker_loop(
                     if failures >= threshold {
                         tripped = true;
                         let _ = tx.send(Message::BreakerTripped {
-                            key: breaker_key(&spec),
+                            key: breaker_key(&request),
                             failures,
                         });
                     }
@@ -407,7 +426,7 @@ fn worker_loop(
             jobs += 1;
             busy_nanos += nanos;
             let _ = tx.send(Message::Done(Box::new(JobResult {
-                spec,
+                request,
                 outcome,
                 iterations,
                 stats,

@@ -2,7 +2,7 @@
 //!
 //! Job execution is concurrent and completion order is scheduling-shaped,
 //! but the aggregated [`FleetReport`] is *deterministic*: rows are sorted
-//! by the spec id assigned at campaign-generation time, and the
+//! by the request id assigned at campaign-generation time, and the
 //! [`fingerprint`](FleetReport::fingerprint) projects away every
 //! timing-dependent field (durations, worker assignments, the slowest-job
 //! table). Two runs of the same campaign — with different worker counts or
@@ -18,7 +18,7 @@ use crate::job::{JobOutcome, JobResult};
 pub struct FleetReport {
     /// Worker-pool size the campaign ran with.
     pub workers: usize,
-    /// Per-job results, sorted by `spec.id`.
+    /// Per-job results, sorted by `request.id`.
     pub results: Vec<JobResult>,
     /// Circuit breakers that tripped during the campaign, sorted by key:
     /// `(component key, consecutive failures at the trip)`. Health
@@ -30,14 +30,15 @@ pub struct FleetReport {
 }
 
 impl FleetReport {
-    /// Builds a report from completion-ordered results (sorts by spec id).
+    /// Builds a report from completion-ordered results (sorts by request
+    /// id).
     pub(crate) fn new(
         workers: usize,
         mut results: Vec<JobResult>,
         mut breaker_trips: Vec<(String, usize)>,
         wall_nanos: u64,
     ) -> Self {
-        results.sort_by_key(|r| r.spec.id);
+        results.sort_by_key(|r| r.request.id);
         breaker_trips.sort();
         FleetReport {
             workers,
@@ -100,10 +101,10 @@ impl FleetReport {
             .count()
     }
 
-    /// The `n` slowest jobs, slowest first (ties broken by spec id).
+    /// The `n` slowest jobs, slowest first (ties broken by request id).
     pub fn slowest(&self, n: usize) -> Vec<&JobResult> {
         let mut rows: Vec<&JobResult> = self.results.iter().collect();
-        rows.sort_by_key(|r| (std::cmp::Reverse(r.nanos), r.spec.id));
+        rows.sort_by_key(|r| (std::cmp::Reverse(r.nanos), r.request.id));
         rows.truncate(n);
         rows
     }
@@ -163,8 +164,8 @@ impl FleetReport {
                     .into_iter()
                     .map(|r| {
                         Json::Object(vec![
-                            ("job".to_owned(), Json::from_usize(r.spec.id)),
-                            ("name".to_owned(), Json::Str(r.spec.name.clone())),
+                            ("job".to_owned(), Json::from_usize(r.request.id)),
+                            ("name".to_owned(), Json::Str(r.request.name.clone())),
                             ("nanos".to_owned(), Json::from_u64(r.nanos)),
                         ])
                     })
@@ -238,8 +239,8 @@ impl FleetReport {
         for r in self.slowest(5) {
             out.push_str(&format!(
                 "  slow: job {} `{}` {} ({})\n",
-                r.spec.id,
-                r.spec.name,
+                r.request.id,
+                r.request.name,
                 ms(r.nanos),
                 r.outcome.name()
             ));
@@ -253,14 +254,14 @@ impl FleetReport {
 /// fingerprint excludes them.
 fn job_json(r: &JobResult, timing: bool) -> Json {
     let mut obj = vec![
-        ("job".to_owned(), Json::from_usize(r.spec.id)),
-        ("name".to_owned(), Json::Str(r.spec.name.clone())),
-        ("scenario".to_owned(), Json::Str(r.spec.scenario.clone())),
-        ("pattern".to_owned(), Json::Str(r.spec.pattern.clone())),
-        ("variant".to_owned(), Json::Str(r.spec.variant.clone())),
+        ("job".to_owned(), Json::from_usize(r.request.id)),
+        ("name".to_owned(), Json::Str(r.request.name.clone())),
+        ("scenario".to_owned(), Json::Str(r.request.scenario.clone())),
+        ("pattern".to_owned(), Json::Str(r.request.pattern.clone())),
+        ("variant".to_owned(), Json::Str(r.request.variant.clone())),
         (
             "fault".to_owned(),
-            match &r.spec.fault {
+            match &r.request.fault {
                 Some(f) => Json::Str(f.clone()),
                 None => Json::Null,
             },
@@ -297,12 +298,12 @@ fn job_json(r: &JobResult, timing: bool) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::JobSpec;
+    use crate::request::JobRequest;
     use muml_core::IntegrationStats;
 
     fn result(id: usize, outcome: JobOutcome, worker: usize, nanos: u64) -> JobResult {
         JobResult {
-            spec: JobSpec::new(id, format!("job-{id}")),
+            request: JobRequest::new(id, format!("job-{id}")),
             outcome,
             iterations: id + 1,
             stats: IntegrationStats::default(),
@@ -335,7 +336,7 @@ mod tests {
             99_999,
         );
         assert_eq!(
-            a.results.iter().map(|r| r.spec.id).collect::<Vec<_>>(),
+            a.results.iter().map(|r| r.request.id).collect::<Vec<_>>(),
             [0, 1, 2]
         );
         assert_eq!(a.fingerprint(), b.fingerprint());
@@ -356,7 +357,7 @@ mod tests {
             Vec::new(),
             1_000,
         );
-        let slow: Vec<usize> = report.slowest(2).iter().map(|r| r.spec.id).collect();
+        let slow: Vec<usize> = report.slowest(2).iter().map(|r| r.request.id).collect();
         assert_eq!(slow, [1, 0]);
         assert_eq!(report.busy_nanos(), 555);
         assert!(report.render().contains("slow: job 1"));

@@ -84,6 +84,21 @@ impl<W: io::Write> JsonWriter<W> {
         }
     }
 
+    /// Flushes the underlying writer without consuming the sink, surfacing
+    /// the first error recorded while emitting (subsequent calls keep
+    /// returning it). This is the checkpoint operation for long-running
+    /// producers — a daemon can force buffered event lines to disk between
+    /// jobs and keep emitting into the same sink afterwards.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = &self.error {
+            return Err(io::Error::new(e.kind(), e.to_string()));
+        }
+        match self.writer.as_mut() {
+            Some(writer) => writer.flush(),
+            None => Ok(()),
+        }
+    }
+
     /// Flushes and returns the underlying writer, or the first write error
     /// encountered while emitting.
     pub fn finish(mut self) -> io::Result<W> {
@@ -385,6 +400,45 @@ mod tests {
         // `with` reaches the sink behind the handle as well.
         shared.with(|sink| sink.emit(&events[0]));
         assert_eq!(collector.lock().unwrap().events.len(), 4 * events.len() + 1);
+    }
+
+    #[test]
+    fn json_writer_flushes_explicitly_between_events() {
+        use std::io::{BufWriter, Write};
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let out = Shared::default();
+        let mut writer = JsonWriter::new(BufWriter::with_capacity(1 << 16, out.clone()));
+        writer.emit(&LoopEvent::IterationStarted { iteration: 0 });
+        // Buffered: nothing reached the byte sink yet.
+        assert!(out.0.lock().unwrap().is_empty());
+        writer.flush().unwrap();
+        assert_eq!(
+            String::from_utf8(out.0.lock().unwrap().clone())
+                .unwrap()
+                .lines()
+                .count(),
+            1
+        );
+        // The sink survives the checkpoint and keeps emitting.
+        writer.emit(&LoopEvent::IterationStarted { iteration: 1 });
+        writer.flush().unwrap();
+        assert_eq!(
+            String::from_utf8(out.0.lock().unwrap().clone())
+                .unwrap()
+                .lines()
+                .count(),
+            2
+        );
     }
 
     #[test]

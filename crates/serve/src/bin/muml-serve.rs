@@ -1,0 +1,117 @@
+//! The `muml-serve` binary: bind the verification daemon to sockets and
+//! serve until a client asks for shutdown (or the process is killed).
+//!
+//! ```text
+//! muml-serve [--tcp ADDR] [--unix PATH] [--workers N]
+//!            [--max-pending N] [--max-pending-per-client N]
+//! ```
+//!
+//! With no transport flags it binds TCP on `127.0.0.1:0` and prints the
+//! OS-assigned port, so scripts can scrape the address.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use muml_serve::{railcab_registry, Daemon, ServeConfig, Server};
+
+struct Args {
+    tcp: Option<String>,
+    unix: Option<PathBuf>,
+    config: ServeConfig,
+    help: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: muml-serve [--tcp ADDR] [--unix PATH] [--workers N] \
+     [--max-pending N] [--max-pending-per-client N]"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut tcp = None;
+    let mut unix = None;
+    let mut config = ServeConfig::default();
+    let mut iter = argv.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--tcp" => tcp = Some(value("--tcp")?),
+            "--unix" => unix = Some(PathBuf::from(value("--unix")?)),
+            "--workers" => {
+                let n = parse_count("--workers", &value("--workers")?)?;
+                config = config.with_workers(n);
+            }
+            "--max-pending" => {
+                let n = parse_count("--max-pending", &value("--max-pending")?)?;
+                config = config.with_max_pending(n);
+            }
+            "--max-pending-per-client" => {
+                let n = parse_count(
+                    "--max-pending-per-client",
+                    &value("--max-pending-per-client")?,
+                )?;
+                config = config.with_max_pending_per_client(n);
+            }
+            "--help" | "-h" => {
+                return Ok(Args {
+                    tcp,
+                    unix,
+                    config,
+                    help: true,
+                })
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if tcp.is_none() && unix.is_none() {
+        tcp = Some("127.0.0.1:0".to_owned());
+    }
+    Ok(Args {
+        tcp,
+        unix,
+        config,
+        help: false,
+    })
+}
+
+fn parse_count(flag: &str, raw: &str) -> Result<usize, String> {
+    raw.parse::<usize>()
+        .ok()
+        .filter(|n| *n > 0)
+        .ok_or_else(|| format!("{flag} needs a positive integer, got `{raw}`"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let daemon = Daemon::start(args.config, railcab_registry());
+    let server = match Server::bind(daemon, args.tcp.as_deref(), args.unix.as_deref()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("muml-serve: bind failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(addr) = server.tcp_addr() {
+        println!("muml-serve: listening on tcp {addr}");
+    }
+    if let Some(path) = server.unix_path() {
+        println!("muml-serve: listening on unix {}", path.display());
+    }
+    server.wait();
+    println!("muml-serve: shut down");
+    ExitCode::SUCCESS
+}

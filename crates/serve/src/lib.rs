@@ -1,0 +1,51 @@
+//! `muml-serve` — a long-running verification daemon with a wire-stable
+//! job API.
+//!
+//! The in-process fleet (`muml_fleet::run_fleet`) is batch-shaped: build
+//! all jobs, run them, collect a report. This crate turns the same
+//! machinery into a *resident* service for integration campaigns that
+//! arrive over time: a daemon listens on a TCP and/or Unix socket,
+//! clients submit declarative [`JobRequest`](muml_fleet::JobRequest)s
+//! (pure data — the wire schema, the fleet input, and the bench-campaign
+//! cell are one type), and a scenario [`JobRegistry`](muml_fleet::JobRegistry)
+//! re-attaches the executable half server-side.
+//!
+//! The pieces:
+//!
+//! - [`protocol`] — the length-prefixed JSON frame protocol
+//!   (version-tagged requests/replies, [`protocol::VerdictRecord`],
+//!   [`protocol::Priority`] classes).
+//! - [`error`] — [`ServeError`], the one `#[non_exhaustive]`
+//!   wire-encodable error with stable string codes that every failure
+//!   (admission, resolution, session, transport) maps onto.
+//! - [`server`] — the [`Daemon`]: priority scheduling with per-client
+//!   round-robin fairness, non-blocking admission control, worker pool,
+//!   verdict history, live event broadcast.
+//! - [`net`] — the socket front end ([`Server`]).
+//! - [`client`] — the blocking [`ServeClient`] and its
+//!   [`client::EventStream`].
+//! - [`scenarios`] — built-in resolvers (the RailCab convoy campaign).
+//!
+//! A request on the wire is four bytes of big-endian payload length
+//! followed by a JSON object; see `DESIGN.md` §14 for the full grammar,
+//! the admission-control policy, and the fairness invariant.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod error;
+pub mod net;
+pub mod protocol;
+pub mod scenarios;
+pub mod server;
+
+pub use client::{EventStream, ServeClient};
+pub use error::ServeError;
+pub use net::Server;
+pub use protocol::{
+    CancelState, Priority, Request, Response, ServerStats, VerdictRecord, MAX_FRAME_DEFAULT,
+    PROTOCOL_VERSION,
+};
+pub use scenarios::{railcab_registry, RAILCAB_PATTERN, RAILCAB_SCENARIO};
+pub use server::{Daemon, ServeConfig};

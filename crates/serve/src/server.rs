@@ -1,0 +1,1037 @@
+//! The resident verification daemon: priority scheduling, per-client
+//! fairness, admission control, and live event fan-out.
+//!
+//! The [`Daemon`] is transport-agnostic — it exposes an in-process API
+//! (`submit`/`wait`/`cancel`/`history`/`stats`/`subscribe`) that the
+//! socket layer in [`crate::net`] forwards to. Scheduling state lives
+//! under one mutex with two condvars (`work_ready` wakes workers, `done`
+//! wakes waiters); workers are plain std threads that pop jobs, run them
+//! under `catch_unwind` with per-attempt deadline tokens, and record
+//! [`VerdictRecord`]s.
+//!
+//! **Scheduling policy** (DESIGN.md §14): three strict priority classes —
+//! all `High` work before any `Normal` before any `Low` — and, *within* a
+//! class, round-robin over clients: between two consecutive jobs of one
+//! client, every other client with pending work in that class is served
+//! once. A client flooding the queue can therefore delay only its own
+//! jobs.
+//!
+//! **Admission policy**: submission never blocks. A submission is either
+//! accepted (job id) or rejected with a typed reason — daemon-wide
+//! pending cap ([`ServeError::QueueFull`]), per-client cap
+//! ([`ServeError::ClientLimit`]), unresolvable request, or shutdown. The
+//! bounded-queue backpressure of `run_fleet` is replaced by load
+//! *shedding*: a burst of thousands of submissions drains as fast as
+//! rejections can be written, and the daemon keeps serving.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::Instant;
+
+use muml_core::CancelToken;
+use muml_fleet::{classify, Job, JobContext, JobOutcome, JobRegistry, JobRequest};
+use muml_obs::{EventSink, FleetEvent, LoopEvent, SharedSink};
+
+use crate::error::ServeError;
+use crate::protocol::{
+    CancelState, Priority, Response, ServerStats, VerdictRecord, MAX_FRAME_DEFAULT,
+};
+
+/// Daemon configuration.
+///
+/// `#[non_exhaustive]`; construct with [`ServeConfig::default`] and refine
+/// via the chainable setters.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServeConfig {
+    /// Worker-pool size (clamped to at least 1).
+    pub workers: usize,
+    /// Daemon-wide cap on pending (queued + running) jobs; submissions
+    /// beyond it are rejected with [`ServeError::QueueFull`].
+    pub max_pending: usize,
+    /// Per-client cap on pending jobs; submissions beyond it are rejected
+    /// with [`ServeError::ClientLimit`].
+    pub max_pending_per_client: usize,
+    /// Cap on a wire frame's payload size in bytes.
+    pub max_frame: usize,
+    /// How many finished jobs the verdict history retains (older records
+    /// are evicted and their job ids forgotten).
+    pub history_limit: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            max_pending: 256,
+            max_pending_per_client: 64,
+            max_frame: MAX_FRAME_DEFAULT,
+            history_limit: 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the worker-pool size.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the daemon-wide pending-job admission limit.
+    #[must_use]
+    pub fn with_max_pending(mut self, max_pending: usize) -> Self {
+        self.max_pending = max_pending.max(1);
+        self
+    }
+
+    /// Sets the per-client pending-job admission limit.
+    #[must_use]
+    pub fn with_max_pending_per_client(mut self, limit: usize) -> Self {
+        self.max_pending_per_client = limit.max(1);
+        self
+    }
+
+    /// Sets the wire frame-size cap.
+    #[must_use]
+    pub fn with_max_frame(mut self, max_frame: usize) -> Self {
+        self.max_frame = max_frame.max(64);
+        self
+    }
+
+    /// Sets the verdict-history retention.
+    #[must_use]
+    pub fn with_history_limit(mut self, limit: usize) -> Self {
+        self.history_limit = limit.max(1);
+        self
+    }
+}
+
+/// A queued, already-resolved job.
+struct QueuedJob {
+    job: Job,
+    client: u64,
+    cancel: CancelToken,
+}
+
+/// Lifecycle of a submitted job.
+enum JobState {
+    Queued(Box<QueuedJob>),
+    Running {
+        cancel: CancelToken,
+        cancelled_by_client: bool,
+    },
+    Done(Box<VerdictRecord>),
+}
+
+/// One priority class: per-client FIFO queues served round-robin.
+#[derive(Default)]
+struct ClassQueue {
+    clients: Vec<(u64, VecDeque<u64>)>,
+    cursor: usize,
+}
+
+impl ClassQueue {
+    fn push(&mut self, client: u64, job: u64) {
+        match self.clients.iter_mut().find(|(c, _)| *c == client) {
+            Some((_, queue)) => queue.push_back(job),
+            None => {
+                let mut queue = VecDeque::new();
+                queue.push_back(job);
+                self.clients.push((client, queue));
+            }
+        }
+    }
+
+    /// Pops the next job id under the fairness invariant: the cursor
+    /// advances one client per pop, so between two consecutive pops from
+    /// one client every other client with queued work is served.
+    fn pop(&mut self) -> Option<u64> {
+        if self.clients.is_empty() {
+            return None;
+        }
+        self.cursor %= self.clients.len();
+        let (_, queue) = &mut self.clients[self.cursor];
+        let job = queue.pop_front().expect("empty client queues are removed");
+        if queue.is_empty() {
+            // The next client shifts into the cursor slot — no advance.
+            self.clients.remove(self.cursor);
+        } else {
+            self.cursor += 1;
+        }
+        Some(job)
+    }
+
+    fn remove(&mut self, job: u64) -> bool {
+        for index in 0..self.clients.len() {
+            let queue = &mut self.clients[index].1;
+            if let Some(pos) = queue.iter().position(|j| *j == job) {
+                queue.remove(pos);
+                if queue.is_empty() {
+                    self.clients.remove(index);
+                    if self.cursor > index {
+                        self.cursor -= 1;
+                    }
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn len(&self) -> usize {
+        self.clients.iter().map(|(_, q)| q.len()).sum()
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    cancelled: u64,
+}
+
+struct SchedState {
+    next_job: u64,
+    classes: [ClassQueue; 3],
+    jobs: HashMap<u64, JobState>,
+    history: VecDeque<VerdictRecord>,
+    running: usize,
+    per_client: HashMap<u64, usize>,
+    counters: Counters,
+    shutdown: bool,
+    subscribers: Vec<mpsc::Sender<Response>>,
+}
+
+impl SchedState {
+    fn queued(&self) -> usize {
+        self.classes.iter().map(ClassQueue::len).sum()
+    }
+
+    fn pending(&self) -> usize {
+        self.queued() + self.running
+    }
+}
+
+struct DaemonInner {
+    config: ServeConfig,
+    registry: JobRegistry,
+    state: Mutex<SchedState>,
+    work_ready: Condvar,
+    done: Condvar,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl DaemonInner {
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Sends an event to every live subscriber, dropping dead ones.
+    fn broadcast(&self, response: &Response) {
+        let mut state = self.lock();
+        state
+            .subscribers
+            .retain(|tx| tx.send(response.clone()).is_ok());
+    }
+
+    /// Moves a job into `Done`, maintaining history, counters, and
+    /// bookkeeping. Call with the lock held; notifies `done`.
+    fn record_done(&self, state: &mut SchedState, client: u64, record: VerdictRecord) {
+        let job = record.job;
+        state.history.push_back(record.clone());
+        while state.history.len() > self.config.history_limit {
+            if let Some(evicted) = state.history.pop_front() {
+                state.jobs.remove(&evicted.job);
+            }
+        }
+        state.jobs.insert(job, JobState::Done(Box::new(record)));
+        state.counters.completed += 1;
+        if let Some(pending) = state.per_client.get_mut(&client) {
+            *pending = pending.saturating_sub(1);
+            if *pending == 0 {
+                state.per_client.remove(&client);
+            }
+        }
+        self.done.notify_all();
+    }
+}
+
+/// A cloneable handle to a running daemon.
+#[derive(Clone)]
+pub struct Daemon {
+    inner: Arc<DaemonInner>,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("config", &self.inner.config)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Forwards a running job's per-iteration loop events to subscribers.
+struct ForwardSink {
+    inner: Arc<DaemonInner>,
+    job: u64,
+}
+
+impl EventSink for ForwardSink {
+    fn emit(&mut self, event: &LoopEvent) {
+        // Cheap exit when nobody is listening.
+        if self.inner.lock().subscribers.is_empty() {
+            return;
+        }
+        self.inner.broadcast(&Response::Event {
+            stream: "loop".into(),
+            job: self.job,
+            payload: event.to_json(),
+        });
+    }
+}
+
+impl Daemon {
+    /// Starts the daemon's worker pool over the given scenario registry.
+    pub fn start(config: ServeConfig, registry: JobRegistry) -> Daemon {
+        let inner = Arc::new(DaemonInner {
+            config: config.clone(),
+            registry,
+            state: Mutex::new(SchedState {
+                next_job: 1,
+                classes: Default::default(),
+                jobs: HashMap::new(),
+                history: VecDeque::new(),
+                running: 0,
+                per_client: HashMap::new(),
+                counters: Counters::default(),
+                shutdown: false,
+                subscribers: Vec::new(),
+            }),
+            work_ready: Condvar::new(),
+            done: Condvar::new(),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::new();
+        for worker in 0..config.workers.max(1) {
+            let inner = Arc::clone(&inner);
+            handles.push(thread::spawn(move || worker_loop(worker, inner)));
+        }
+        *inner.workers.lock().unwrap_or_else(PoisonError::into_inner) = handles;
+        Daemon { inner }
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.inner.config
+    }
+
+    /// Submits a job on behalf of `client`. Resolution and admission are
+    /// synchronous: the call returns either the assigned job id or a
+    /// typed rejection — it never blocks on queue capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`], [`ServeError::QueueFull`],
+    /// [`ServeError::ClientLimit`], or a resolution error
+    /// ([`ServeError::UnknownScenario`] / [`ServeError::InvalidRequest`]).
+    pub fn submit(
+        &self,
+        client: u64,
+        request: &JobRequest,
+        priority: Priority,
+    ) -> Result<u64, ServeError> {
+        // Resolve outside the scheduler lock — fault matrices are not
+        // free, and a bad request must not stall the scheduler.
+        let resolved = match self.inner.registry.resolve(request) {
+            Ok(job) => job,
+            Err(e) => {
+                self.inner.lock().counters.rejected += 1;
+                return Err(ServeError::from(e));
+            }
+        };
+        let mut state = self.inner.lock();
+        if state.shutdown {
+            state.counters.rejected += 1;
+            return Err(ServeError::ShuttingDown);
+        }
+        let pending = state.pending();
+        if pending >= self.inner.config.max_pending {
+            state.counters.rejected += 1;
+            return Err(ServeError::QueueFull {
+                pending,
+                limit: self.inner.config.max_pending,
+            });
+        }
+        let client_pending = state.per_client.get(&client).copied().unwrap_or(0);
+        if client_pending >= self.inner.config.max_pending_per_client {
+            state.counters.rejected += 1;
+            return Err(ServeError::ClientLimit {
+                pending: client_pending,
+                limit: self.inner.config.max_pending_per_client,
+            });
+        }
+        let id = state.next_job;
+        state.next_job += 1;
+        state.jobs.insert(
+            id,
+            JobState::Queued(Box::new(QueuedJob {
+                job: resolved,
+                client,
+                cancel: CancelToken::new(),
+            })),
+        );
+        state.classes[priority.rank()].push(client, id);
+        *state.per_client.entry(client).or_insert(0) += 1;
+        state.counters.submitted += 1;
+        self.inner.work_ready.notify_one();
+        Ok(id)
+    }
+
+    /// Blocks until the job reaches a verdict and returns its record.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] for ids never assigned or already
+    /// evicted from history.
+    pub fn wait(&self, job: u64) -> Result<VerdictRecord, ServeError> {
+        let mut state = self.inner.lock();
+        loop {
+            match state.jobs.get(&job) {
+                None => return Err(ServeError::UnknownJob { job }),
+                Some(JobState::Done(record)) => return Ok((**record).clone()),
+                Some(_) => {
+                    state = self
+                        .inner
+                        .done
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// Cancels a job: removes it if still queued (recording a
+    /// `cancelled` verdict), signals its [`CancelToken`] if running.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`].
+    pub fn cancel(&self, job: u64) -> Result<CancelState, ServeError> {
+        let mut state = self.inner.lock();
+        match state.jobs.get_mut(&job) {
+            None => Err(ServeError::UnknownJob { job }),
+            Some(JobState::Done(_)) => Ok(CancelState::AlreadyDone),
+            Some(JobState::Running {
+                cancel,
+                cancelled_by_client,
+            }) => {
+                *cancelled_by_client = true;
+                cancel.cancel();
+                state.counters.cancelled += 1;
+                Ok(CancelState::Signalled)
+            }
+            Some(JobState::Queued(_)) => {
+                for class in &mut state.classes {
+                    if class.remove(job) {
+                        break;
+                    }
+                }
+                let queued = match state.jobs.remove(&job) {
+                    Some(JobState::Queued(queued)) => queued,
+                    _ => unreachable!("matched Queued above"),
+                };
+                state.counters.cancelled += 1;
+                let record = VerdictRecord {
+                    job,
+                    request: queued.job.request.clone(),
+                    outcome: "cancelled".into(),
+                    property: None,
+                    iterations: 0,
+                    nanos: 0,
+                    attempts: 0,
+                };
+                self.inner.record_done(&mut state, queued.client, record);
+                drop(state);
+                self.inner.broadcast(&Response::Event {
+                    stream: "fleet".into(),
+                    job,
+                    payload: FleetEvent::JobFinished {
+                        job: job as usize,
+                        worker: 0,
+                        outcome: "cancelled".into(),
+                        iterations: 0,
+                        nanos: 0,
+                    }
+                    .to_json(),
+                });
+                Ok(CancelState::Removed)
+            }
+        }
+    }
+
+    /// The bounded verdict history, oldest first.
+    pub fn history(&self) -> Vec<VerdictRecord> {
+        self.inner.lock().history.iter().cloned().collect()
+    }
+
+    /// Current daemon counters.
+    pub fn stats(&self) -> ServerStats {
+        let state = self.inner.lock();
+        ServerStats {
+            submitted: state.counters.submitted,
+            completed: state.counters.completed,
+            rejected: state.counters.rejected,
+            cancelled: state.counters.cancelled,
+            queued: state.queued(),
+            running: state.running,
+            scenarios: self
+                .inner
+                .registry
+                .scenarios()
+                .into_iter()
+                .map(str::to_owned)
+                .collect(),
+        }
+    }
+
+    /// Registers a live event subscriber. The returned channel yields
+    /// [`Response::Event`] frames until the daemon shuts down (or the
+    /// receiver is dropped).
+    pub fn subscribe(&self) -> mpsc::Receiver<Response> {
+        let (tx, rx) = mpsc::channel();
+        self.inner.lock().subscribers.push(tx);
+        rx
+    }
+
+    /// Initiates shutdown: rejects future submissions, cancels queued
+    /// jobs (recorded as `cancelled`), signals running jobs' tokens, and
+    /// disconnects subscribers. Running jobs finish cooperatively;
+    /// [`Daemon::join`] waits for them.
+    pub fn shutdown(&self) {
+        let mut state = self.inner.lock();
+        if state.shutdown {
+            return;
+        }
+        state.shutdown = true;
+        // Drain every queue, recording cancelled verdicts.
+        let mut drained = Vec::new();
+        for class in &mut state.classes {
+            while let Some(job) = class.pop() {
+                drained.push(job);
+            }
+        }
+        for job in drained {
+            let queued = match state.jobs.remove(&job) {
+                Some(JobState::Queued(queued)) => queued,
+                other => {
+                    if let Some(other) = other {
+                        state.jobs.insert(job, other);
+                    }
+                    continue;
+                }
+            };
+            state.counters.cancelled += 1;
+            let record = VerdictRecord {
+                job,
+                request: queued.job.request.clone(),
+                outcome: "cancelled".into(),
+                property: None,
+                iterations: 0,
+                nanos: 0,
+                attempts: 0,
+            };
+            self.inner.record_done(&mut state, queued.client, record);
+        }
+        // Ask running jobs to stop at their next cancellation point.
+        for job_state in state.jobs.values_mut() {
+            if let JobState::Running {
+                cancel,
+                cancelled_by_client,
+            } = job_state
+            {
+                *cancelled_by_client = true;
+                cancel.cancel();
+            }
+        }
+        state.subscribers.clear();
+        self.inner.work_ready.notify_all();
+        self.inner.done.notify_all();
+    }
+
+    /// Waits for every worker to exit (call after [`Daemon::shutdown`]).
+    pub fn join(&self) {
+        let handles: Vec<_> = self
+            .inner
+            .workers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(worker: usize, inner: Arc<DaemonInner>) {
+    loop {
+        // Pop the next job: highest class first, round-robin within it.
+        let (id, queued) = {
+            let mut state = inner.lock();
+            loop {
+                let popped = state.classes.iter_mut().find_map(ClassQueue::pop);
+                if let Some(id) = popped {
+                    let queued = match state.jobs.remove(&id) {
+                        Some(JobState::Queued(queued)) => queued,
+                        // Cancelled-while-queued jobs are removed from the
+                        // class queues too, so this arm is unreachable —
+                        // but a stale id must not kill the worker.
+                        other => {
+                            if let Some(other) = other {
+                                state.jobs.insert(id, other);
+                            }
+                            continue;
+                        }
+                    };
+                    state.jobs.insert(
+                        id,
+                        JobState::Running {
+                            cancel: queued.cancel.clone(),
+                            cancelled_by_client: false,
+                        },
+                    );
+                    state.running += 1;
+                    break (id, queued);
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = inner
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let QueuedJob {
+            job,
+            client,
+            cancel,
+            ..
+        } = *queued;
+        let request = job.request.clone();
+        inner.broadcast(&Response::Event {
+            stream: "fleet".into(),
+            job: id,
+            payload: FleetEvent::JobStarted {
+                job: request.id,
+                name: request.name.clone(),
+                worker,
+            }
+            .to_json(),
+        });
+        let loop_sink = SharedSink::new(ForwardSink {
+            inner: Arc::clone(&inner),
+            job: id,
+        });
+        let started = Instant::now();
+        let mut attempts = 0usize;
+        let (outcome, iterations, _stats) = loop {
+            attempts += 1;
+            // Per-attempt deadline sharing the client-cancellable flag:
+            // whichever fires first cancels the attempt.
+            let attempt_cancel = match request.deadline {
+                Some(deadline) => cancel.deadline_from_now(deadline),
+                None => cancel.clone(),
+            };
+            let context = JobContext {
+                cancel: attempt_cancel,
+                loop_sink: Some(loop_sink.clone()),
+            };
+            let run = catch_unwind(AssertUnwindSafe(|| (job.work)(&context)));
+            let classified = match run {
+                Ok(result) => classify(result),
+                Err(panic) => {
+                    let message = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "job panicked".to_owned());
+                    (
+                        JobOutcome::Error { message },
+                        0,
+                        muml_core::IntegrationStats::default(),
+                    )
+                }
+            };
+            if classified.0.is_rig_failure()
+                && attempts <= request.retries
+                && !cancel.is_cancelled()
+            {
+                continue;
+            }
+            break classified;
+        };
+        let nanos = started.elapsed().as_nanos() as u64;
+        let mut state = inner.lock();
+        let cancelled_by_client = matches!(
+            state.jobs.get(&id),
+            Some(JobState::Running {
+                cancelled_by_client: true,
+                ..
+            })
+        );
+        // A deadline expiry and a client cancel both surface as a
+        // cooperative stop; only the client-initiated one is `cancelled`.
+        let outcome_name = if cancelled_by_client && outcome == JobOutcome::TimedOut {
+            "cancelled".to_owned()
+        } else {
+            outcome.name().to_owned()
+        };
+        let property = match &outcome {
+            JobOutcome::RealFault { property } => Some(property.clone()),
+            _ => None,
+        };
+        let record = VerdictRecord {
+            job: id,
+            request,
+            outcome: outcome_name.clone(),
+            property,
+            iterations,
+            nanos,
+            attempts,
+        };
+        state.running -= 1;
+        // Deliver the finish event *before* `record_done` wakes waiters:
+        // a client that saw the verdict may immediately shut the daemon
+        // down, and subscribers must not lose the event to that race.
+        let event = Response::Event {
+            stream: "fleet".into(),
+            job: id,
+            payload: FleetEvent::JobFinished {
+                job: record.request.id,
+                worker,
+                outcome: outcome_name,
+                iterations,
+                nanos,
+            }
+            .to_json(),
+        };
+        state
+            .subscribers
+            .retain(|tx| tx.send(event.clone()).is_ok());
+        inner.record_done(&mut state, client, record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muml_core::{CoreError, IntegrationReport, IntegrationStats, IntegrationVerdict};
+    use std::time::Duration;
+
+    /// A registry with a `noop` scenario: `variant == "slow"` sleeps in
+    /// cancellable 1ms steps, everything else proves instantly.
+    fn test_registry() -> JobRegistry {
+        let mut registry = JobRegistry::new();
+        registry.register("noop", |request| {
+            let slow = request.variant == "slow";
+            Ok(Box::new(move |ctx: &JobContext| {
+                if slow {
+                    for _ in 0..5_000 {
+                        if ctx.cancel.is_cancelled() {
+                            return Err(CoreError::Cancelled { iterations: 1 });
+                        }
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                Ok(IntegrationReport {
+                    verdict: IntegrationVerdict::Proven,
+                    iterations: Vec::new(),
+                    learned: Vec::new(),
+                    stats: IntegrationStats::default(),
+                })
+            }))
+        });
+        registry
+    }
+
+    fn noop_request(id: usize) -> JobRequest {
+        JobRequest::new(id, format!("noop-{id}")).with_scenario("noop")
+    }
+
+    fn slow_request(id: usize) -> JobRequest {
+        noop_request(id).with_variant("slow")
+    }
+
+    #[test]
+    fn submit_wait_round_trip() {
+        let daemon = Daemon::start(ServeConfig::default(), test_registry());
+        let job = daemon
+            .submit(1, &noop_request(0), Priority::Normal)
+            .unwrap();
+        let record = daemon.wait(job).unwrap();
+        assert_eq!(record.outcome, "proven");
+        assert_eq!(record.attempts, 1);
+        assert_eq!(daemon.history().len(), 1);
+        let stats = daemon.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn unknown_scenarios_are_rejected_typed() {
+        let daemon = Daemon::start(ServeConfig::default(), test_registry());
+        let err = daemon
+            .submit(1, &noop_request(0).with_scenario("nope"), Priority::Normal)
+            .unwrap_err();
+        assert_eq!(err.code(), "unknown-scenario");
+        assert_eq!(daemon.stats().rejected, 1);
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn admission_control_sheds_bursts_without_hanging() {
+        // One worker pinned by a slow job; tiny queue.
+        let config = ServeConfig::default()
+            .with_workers(1)
+            .with_max_pending(4)
+            .with_max_pending_per_client(100);
+        let daemon = Daemon::start(config, test_registry());
+        let pinned = daemon
+            .submit(1, &slow_request(0), Priority::Normal)
+            .unwrap();
+        // Wait for the worker to pick it up so it occupies the worker, not
+        // a queue slot — the burst accounting below depends on that, and
+        // cancelling it must observe `Signalled`, not `Removed`.
+        while daemon.stats().running == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        let mut accepted = Vec::new();
+        let mut queue_full = 0;
+        for i in 1..200 {
+            match daemon.submit(1, &noop_request(i), Priority::Normal) {
+                Ok(id) => accepted.push(id),
+                Err(ServeError::QueueFull { limit, .. }) => {
+                    assert_eq!(limit, 4);
+                    queue_full += 1;
+                }
+                Err(other) => panic!("unexpected rejection {other:?}"),
+            }
+        }
+        assert!(queue_full > 150, "almost all of the burst must shed");
+        assert_eq!(daemon.stats().rejected, queue_full);
+        // The daemon still serves: cancel the pinned job, drain the rest.
+        assert_eq!(daemon.cancel(pinned).unwrap(), CancelState::Signalled);
+        assert_eq!(daemon.wait(pinned).unwrap().outcome, "cancelled");
+        for id in accepted {
+            assert_eq!(daemon.wait(id).unwrap().outcome, "proven");
+        }
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn per_client_limit_protects_other_clients() {
+        let config = ServeConfig::default()
+            .with_workers(1)
+            .with_max_pending(100)
+            .with_max_pending_per_client(2);
+        let daemon = Daemon::start(config, test_registry());
+        let pinned = daemon
+            .submit(7, &slow_request(0), Priority::Normal)
+            .unwrap();
+        let _second = daemon
+            .submit(7, &noop_request(1), Priority::Normal)
+            .unwrap();
+        let err = daemon
+            .submit(7, &noop_request(2), Priority::Normal)
+            .unwrap_err();
+        assert_eq!(err.code(), "client-limit");
+        // A different client is unaffected.
+        let other = daemon
+            .submit(8, &noop_request(3), Priority::Normal)
+            .unwrap();
+        daemon.cancel(pinned).unwrap();
+        assert_eq!(daemon.wait(other).unwrap().outcome, "proven");
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn priority_classes_run_high_before_low() {
+        // Single worker pinned; queue Low then High; High must finish
+        // first once the worker frees up.
+        let daemon = Daemon::start(ServeConfig::default().with_workers(1), test_registry());
+        let pinned = daemon
+            .submit(1, &slow_request(0), Priority::Normal)
+            .unwrap();
+        let low = daemon.submit(1, &noop_request(1), Priority::Low).unwrap();
+        let high = daemon.submit(1, &noop_request(2), Priority::High).unwrap();
+        daemon.cancel(pinned).unwrap();
+        daemon.wait(low).unwrap();
+        let history: Vec<u64> = daemon.history().iter().map(|r| r.job).collect();
+        let high_pos = history.iter().position(|j| *j == high).unwrap();
+        let low_pos = history.iter().position(|j| *j == low).unwrap();
+        assert!(high_pos < low_pos, "history {history:?}");
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn fairness_interleaves_clients_within_a_class() {
+        // Client 1 floods 4 jobs, then client 2 submits 2. With the
+        // worker pinned, the round-robin must interleave: between two
+        // consecutive client-1 completions, a client-2 job completes
+        // (while client 2 has work queued).
+        let daemon = Daemon::start(ServeConfig::default().with_workers(1), test_registry());
+        let pinned = daemon
+            .submit(9, &slow_request(0), Priority::Normal)
+            .unwrap();
+        let flood: Vec<u64> = (0..4)
+            .map(|i| {
+                daemon
+                    .submit(1, &noop_request(i), Priority::Normal)
+                    .unwrap()
+            })
+            .collect();
+        let pair: Vec<u64> = (4..6)
+            .map(|i| {
+                daemon
+                    .submit(2, &noop_request(i), Priority::Normal)
+                    .unwrap()
+            })
+            .collect();
+        daemon.cancel(pinned).unwrap();
+        for id in flood.iter().chain(&pair) {
+            daemon.wait(*id).unwrap();
+        }
+        let order: Vec<u64> = daemon
+            .history()
+            .iter()
+            .map(|r| r.job)
+            .filter(|j| *j != pinned)
+            .collect();
+        // First four completions alternate between the two clients.
+        let owner = |job: &u64| {
+            if flood.contains(job) {
+                1
+            } else {
+                2
+            }
+        };
+        let owners: Vec<u64> = order.iter().map(owner).collect();
+        assert_eq!(
+            &owners[..4],
+            &[1, 2, 1, 2],
+            "completion order {order:?} (owners {owners:?})"
+        );
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_records_a_cancelled_verdict() {
+        let daemon = Daemon::start(ServeConfig::default().with_workers(1), test_registry());
+        let pinned = daemon
+            .submit(1, &slow_request(0), Priority::Normal)
+            .unwrap();
+        let queued = daemon
+            .submit(1, &noop_request(1), Priority::Normal)
+            .unwrap();
+        assert_eq!(daemon.cancel(queued).unwrap(), CancelState::Removed);
+        let record = daemon.wait(queued).unwrap();
+        assert_eq!(record.outcome, "cancelled");
+        assert_eq!(record.attempts, 0);
+        assert_eq!(daemon.cancel(queued).unwrap(), CancelState::AlreadyDone);
+        assert!(matches!(
+            daemon.cancel(4242).unwrap_err(),
+            ServeError::UnknownJob { job: 4242 }
+        ));
+        daemon.cancel(pinned).unwrap();
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn shutdown_cancels_queued_work_and_stops_workers() {
+        let daemon = Daemon::start(ServeConfig::default().with_workers(1), test_registry());
+        let pinned = daemon
+            .submit(1, &slow_request(0), Priority::Normal)
+            .unwrap();
+        let queued = daemon
+            .submit(1, &noop_request(1), Priority::Normal)
+            .unwrap();
+        daemon.shutdown();
+        daemon.join();
+        assert_eq!(daemon.wait(queued).unwrap().outcome, "cancelled");
+        assert_eq!(daemon.wait(pinned).unwrap().outcome, "cancelled");
+        assert!(matches!(
+            daemon.submit(1, &noop_request(2), Priority::Normal),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn subscribers_see_job_lifecycle_events() {
+        let daemon = Daemon::start(ServeConfig::default(), test_registry());
+        let events = daemon.subscribe();
+        let job = daemon
+            .submit(1, &noop_request(0), Priority::Normal)
+            .unwrap();
+        daemon.wait(job).unwrap();
+        daemon.shutdown();
+        let kinds: Vec<String> = events
+            .iter()
+            .filter_map(|response| match response {
+                Response::Event { payload, .. } => payload
+                    .get("event")
+                    .and_then(muml_obs::json::Json::as_str)
+                    .map(str::to_owned),
+                _ => None,
+            })
+            .collect();
+        assert!(kinds.contains(&"job_started".to_owned()), "{kinds:?}");
+        assert!(kinds.contains(&"job_finished".to_owned()), "{kinds:?}");
+        daemon.join();
+    }
+
+    #[test]
+    fn history_is_bounded_and_evicts_oldest() {
+        let daemon = Daemon::start(
+            ServeConfig::default().with_history_limit(3),
+            test_registry(),
+        );
+        // Wait each job before submitting the next, so a verdict is read
+        // before eviction can forget its id.
+        let ids: Vec<u64> = (0..6)
+            .map(|i| {
+                let id = daemon
+                    .submit(1, &noop_request(i), Priority::Normal)
+                    .unwrap();
+                daemon.wait(id).unwrap();
+                id
+            })
+            .collect();
+        let history = daemon.history();
+        assert_eq!(history.len(), 3);
+        // The earliest jobs were evicted; waiting on them is UnknownJob.
+        let evicted = ids
+            .iter()
+            .find(|id| !history.iter().any(|r| r.job == **id))
+            .unwrap();
+        assert!(matches!(
+            daemon.wait(*evicted),
+            Err(ServeError::UnknownJob { .. })
+        ));
+        daemon.shutdown();
+        daemon.join();
+    }
+}

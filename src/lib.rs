@@ -104,7 +104,11 @@ pub mod prelude {
         verify_integration, CancelToken, IntegrationConfig, IntegrationReport, IntegrationSession,
         IntegrationVerdict, LegacyUnit,
     };
-    pub use muml_fleet::{run_fleet, FleetConfig, FleetReport, Job, JobOutcome, JobSpec};
+    #[allow(deprecated)]
+    pub use muml_fleet::JobSpec;
+    pub use muml_fleet::{
+        run_fleet, FleetConfig, FleetReport, Job, JobOutcome, JobRegistry, JobRequest, ResolveError,
+    };
     pub use muml_legacy::{
         execute_expected_trace, record_live, replay, HiddenMealy, LegacyComponent, MealyBuilder,
         PortMap, StateObservable,

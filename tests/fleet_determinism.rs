@@ -78,7 +78,7 @@ fn shuffled_submission_still_assigns_results_by_job_id() {
         &FleetConfig::default().with_workers(3),
         &mut NullFleetSink,
     );
-    let ids: Vec<usize> = report.results.iter().map(|r| r.spec.id).collect();
+    let ids: Vec<usize> = report.results.iter().map(|r| r.request.id).collect();
     let expected: Vec<usize> = (0..ids.len()).collect();
     assert_eq!(ids, expected, "results must be sorted by generation id");
 }
