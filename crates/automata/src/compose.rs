@@ -246,6 +246,11 @@ pub fn compose2(a: &Automaton, b: &Automaton) -> Result<Composition> {
 
 /// Composes `parts` synchronously (n-way generalization of Definition 3).
 ///
+/// Implemented as a full expansion of the arena-backed on-the-fly product
+/// ([`crate::lazy::LazyProduct`]); the classic HashMap-interned exploration
+/// is retained as [`compose_reference`] and the two are differentially
+/// tested to produce bit-identical results.
+///
 /// # Errors
 ///
 /// * [`AutomataError::UniverseMismatch`] if the parts disagree on the universe.
@@ -256,6 +261,19 @@ pub fn compose2(a: &Automaton, b: &Automaton) -> Result<Composition> {
 /// * [`AutomataError::Limit`] if the reachable product exceeds
 ///   `opts.max_states`.
 pub fn compose(parts: &[&Automaton], opts: &ComposeOptions) -> Result<Composition> {
+    crate::lazy::LazyProduct::new(parts, opts, true)?.into_composition()
+}
+
+/// The classic materializing composition: `HashMap<Vec<StateId>, StateId>`
+/// interner, per-state `Vec<Transition>` rows, full expansion before
+/// returning. Kept as the differential oracle for the arena-backed
+/// [`compose`]; not intended for production callers.
+///
+/// # Errors
+///
+/// Same as [`compose`].
+#[doc(hidden)]
+pub fn compose_reference(parts: &[&Automaton], opts: &ComposeOptions) -> Result<Composition> {
     assert!(!parts.is_empty(), "compose requires at least one automaton");
     let universe = parts[0].universe().clone();
     for p in parts {

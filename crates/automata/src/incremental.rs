@@ -291,8 +291,21 @@ impl CompositionCache {
     /// falls back to a cold rebuild. `0.0` forces every delta-carrying
     /// recompose cold (useful to exercise the fallback in tests); `1.0`
     /// never falls back on dirtiness.
+    ///
+    /// Values outside `[0.0, 1.0]` are clamped into the range; `NaN` is
+    /// ignored and keeps the current threshold (a NaN threshold would make
+    /// the dirty-fraction comparison vacuously false, silently disabling
+    /// the cold-rebuild fallback forever).
     pub fn set_threshold(&mut self, threshold: f64) {
-        self.threshold = threshold;
+        if threshold.is_nan() {
+            return;
+        }
+        self.threshold = threshold.clamp(0.0, 1.0);
+    }
+
+    /// The current dirty-fraction threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
     }
 
     /// Drops the cached product, forcing the next recompose cold.
@@ -907,5 +920,56 @@ mod tests {
         // s_∀ / s_δ stayed frozen at their original positions.
         assert_eq!(patched.state_name(cc.s_all), S_ALL);
         assert_eq!(patched.state_name(cc.s_delta), S_DELTA);
+    }
+
+    #[test]
+    fn set_threshold_rejects_nan_and_clamps() {
+        let mut cache = CompositionCache::new();
+        assert_eq!(cache.threshold(), 0.5);
+        // NaN would make `dirty > threshold * states` vacuously false,
+        // permanently disabling the cold fallback — it must be ignored.
+        cache.set_threshold(f64::NAN);
+        assert_eq!(cache.threshold(), 0.5);
+        cache.set_threshold(-3.0);
+        assert_eq!(cache.threshold(), 0.0);
+        cache.set_threshold(7.5);
+        assert_eq!(cache.threshold(), 1.0);
+        cache.set_threshold(0.25);
+        assert_eq!(cache.threshold(), 0.25);
+        cache.set_threshold(f64::NAN);
+        assert_eq!(cache.threshold(), 0.25);
+    }
+
+    #[test]
+    fn nan_threshold_cannot_disable_cold_fallback() {
+        let u = Universe::new();
+        let mut m = legacy(&u);
+        let ctx = context(&u);
+        let opts = ComposeOptions::default();
+        let mut cache = CompositionCache::new();
+        cache.set_threshold(f64::NAN);
+        cache.set_threshold(0.0); // force-cold still works after a NaN attempt
+        let _ = m.take_delta();
+        let (info, _) = cache
+            .recompose(
+                &ctx,
+                std::slice::from_ref(&m),
+                &[LearnDelta::default()],
+                None,
+                &opts,
+                true,
+            )
+            .unwrap();
+        assert_eq!(info.mode, RecomposeMode::Cold);
+        let ping = Label::new(u.signals(["ping"]), SignalSet::EMPTY);
+        m.learn(&Observation::blocked(vec!["start".into()], vec![ping]))
+            .unwrap();
+        let d = m.take_delta();
+        let (info, _) = cache
+            .recompose(&ctx, std::slice::from_ref(&m), &[d], None, &opts, true)
+            .unwrap();
+        // With threshold 0.0 every dirty recompose must fall back cold.
+        assert_eq!(info.mode, RecomposeMode::Cold);
+        assert_products_identical(cache.composition(), &cold_oracle(&u, &ctx, &m));
     }
 }

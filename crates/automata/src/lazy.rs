@@ -1,0 +1,776 @@
+//! On-the-fly product exploration with arena/struct-of-arrays storage.
+//!
+//! [`compose`](crate::compose::compose) materializes the full reachable
+//! product — per-state `Vec<Transition>` rows, a `HashMap<Vec<StateId>,
+//! StateId>` interner, one heap allocation per product state — before any
+//! consumer sees a single state. [`LazyProduct`] is the same exploration
+//! (it drives the identical [`expand_tuple`] row kernel under the identical
+//! constraint system) split into *per-row* steps over flat storage:
+//!
+//! * one `u32` arena holds every component-state tuple (stride = number of
+//!   components), so a product state is a slice, not a `Vec`;
+//! * expanded rows live in CSR-style blocks (`row_off`/`row_len` into one
+//!   flat target array), with `u32::MAX` marking rows not yet expanded;
+//! * the tuple→id interner is an open-addressed, power-of-two table keyed
+//!   by a packed multiply-xor hash of the tuple, probing the arena
+//!   directly — no per-key allocation, no `Vec<StateId>` clones.
+//!
+//! Consumers that only need reachability (the fused checker in
+//! `muml-logic`) drive [`LazyProduct::expand_row`] from their own frontier
+//! and stop as soon as the verdict is decided — an early-falsified `AG`
+//! never expands the cone behind its witness. Consumers that need the full
+//! automaton call [`LazyProduct::expand_all`] +
+//! [`LazyProduct::into_composition`], which renumbers states into the
+//! canonical discovery order and yields a [`Composition`] bit-identical to
+//! the classic materializing path (this is how [`compose`] itself is
+//! implemented now).
+//!
+//! Storage modes: with `keep_guards` every `(guard, target)` pair is
+//! retained (required for materialization); without it only deduplicated
+//! targets are stored — an order of magnitude less memory at 10^6 states —
+//! and counterexample labels are recovered by re-running the row kernel on
+//! the few rows a witness path actually crosses
+//! ([`LazyProduct::first_label_to`]).
+
+use std::collections::HashMap;
+
+use crate::automaton::{Automaton, StateData, StateId, Transition};
+use crate::compose::{
+    expand_tuple, signal_roles, ComposeOptions, ComposeStats, Composition, SignalRole,
+};
+use crate::csr::Csr;
+use crate::error::{AutomataError, Result};
+use crate::label::{Guard, Label};
+use crate::prop::PropSet;
+use crate::signal::{SignalId, SignalSet};
+
+/// Sentinel in `row_off` marking a state whose outgoing row has not been
+/// expanded yet.
+const UNEXPANDED: u32 = u32::MAX;
+
+/// Open-addressed tuple→id interner over the tuple arena.
+///
+/// Slots store product-state ids; the keys themselves live in the arena
+/// (`arena[id*k .. id*k+k]`), so probing compares flat `u32` slices and
+/// inserting allocates nothing. Capacity is a power of two, grown at 7/8
+/// load by rehashing the ids (the arena is the source of truth).
+#[derive(Debug, Clone)]
+struct TupleInterner {
+    slots: Vec<u32>,
+    mask: usize,
+    len: usize,
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Multiply-xor hash of a packed tuple. The per-element fold mixes with a
+/// 64-bit odd constant (splitmix64's increment) so that tuples differing in
+/// one low coordinate land far apart.
+fn tuple_hash(tuple: &[u32]) -> u64 {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+    for &x in tuple {
+        h ^= u64::from(x).wrapping_add(0x2545_F491_4F6C_DD1D);
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 29;
+    }
+    h
+}
+
+impl TupleInterner {
+    fn with_capacity(cap: usize) -> TupleInterner {
+        let cap = cap.next_power_of_two().max(16);
+        TupleInterner {
+            slots: vec![EMPTY_SLOT; cap],
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    /// Looks up `tuple`, inserting `id` if absent. Returns the resident id.
+    /// `arena` is the packed tuple storage keyed by stride `k`; `tuple` must
+    /// not yet be in the arena when inserting (the caller appends it on
+    /// miss).
+    fn intern(&mut self, tuple: &[u32], id: u32, arena: &[u32], k: usize) -> (u32, bool) {
+        if (self.len + 1) * 8 >= self.slots.len() * 7 {
+            self.grow(arena, k);
+        }
+        let mut i = tuple_hash(tuple) as usize & self.mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == EMPTY_SLOT {
+                self.slots[i] = id;
+                self.len += 1;
+                return (id, true);
+            }
+            let base = slot as usize * k;
+            if &arena[base..base + k] == tuple {
+                return (slot, false);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self, arena: &[u32], k: usize) {
+        let new_cap = self.slots.len() * 2;
+        let mut next = vec![EMPTY_SLOT; new_cap];
+        let mask = new_cap - 1;
+        for &slot in &self.slots {
+            if slot == EMPTY_SLOT {
+                continue;
+            }
+            let base = slot as usize * k;
+            let mut i = tuple_hash(&arena[base..base + k]) as usize & mask;
+            while next[i] != EMPTY_SLOT {
+                i = (i + 1) & mask;
+            }
+            next[i] = slot;
+        }
+        self.slots = next;
+        self.mask = mask;
+    }
+}
+
+/// An on-the-fly synchronous product over flat arena storage. See the
+/// module docs for the storage layout and the bit-identity contract with
+/// [`compose`](crate::compose::compose).
+pub struct LazyProduct<'a> {
+    parts: Vec<&'a Automaton>,
+    opts: ComposeOptions,
+    roles: HashMap<SignalId, SignalRole>,
+    all_inputs: SignalSet,
+    all_outputs: SignalSet,
+    k: usize,
+    keep_guards: bool,
+    /// Packed component-state tuples, stride `k`.
+    arena: Vec<u32>,
+    /// Union of component labellings per product state.
+    props: Vec<PropSet>,
+    /// Offset of each expanded row in `succ` ([`UNEXPANDED`] otherwise).
+    row_off: Vec<u32>,
+    /// Length of each expanded row.
+    row_len: Vec<u32>,
+    /// Flat transition targets: `(guard, target)` pairs in emit order when
+    /// `keep_guards`, first-occurrence-deduplicated targets otherwise.
+    succ: Vec<u32>,
+    /// Parallel guards for `succ` (empty unless `keep_guards`).
+    guards: Vec<Guard>,
+    interner: TupleInterner,
+    /// Discovery-order worklist: every interned state is pushed once;
+    /// [`LazyProduct::expand_all`] drains it LIFO, which is exactly the
+    /// classic compose exploration order.
+    pending: Vec<u32>,
+    initial: Vec<u32>,
+    stats: ComposeStats,
+    expanded_rows: usize,
+}
+
+impl<'a> LazyProduct<'a> {
+    /// Starts a lazy product over `parts`, validating universes and pairwise
+    /// composability and interning the cartesian initial tuples (ids
+    /// `0..initial_count`, same as the classic path).
+    ///
+    /// With `keep_guards` the product retains every composed `(guard,
+    /// target)` pair and can be materialized via
+    /// [`into_composition`](LazyProduct::into_composition); without it only
+    /// deduplicated successor targets are stored.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomataError::UniverseMismatch`] / [`AutomataError::NotComposable`]
+    /// as for [`compose`](crate::compose::compose).
+    pub fn new(
+        parts: &[&'a Automaton],
+        opts: &ComposeOptions,
+        keep_guards: bool,
+    ) -> Result<LazyProduct<'a>> {
+        assert!(!parts.is_empty(), "compose requires at least one automaton");
+        let universe = parts[0].universe();
+        for p in parts {
+            if !p.universe().same_as(universe) {
+                return Err(AutomataError::UniverseMismatch);
+            }
+        }
+        for (i, a) in parts.iter().enumerate() {
+            for b in &parts[i + 1..] {
+                if !a.composable_with(b) {
+                    return Err(AutomataError::NotComposable {
+                        detail: format!(
+                            "`{}` and `{}` share inputs {} / outputs {}",
+                            a.name(),
+                            b.name(),
+                            universe.show_signals(a.inputs().intersection(b.inputs())),
+                            universe.show_signals(a.outputs().intersection(b.outputs())),
+                        ),
+                    });
+                }
+            }
+        }
+        let all_inputs = parts
+            .iter()
+            .fold(SignalSet::EMPTY, |acc, p| acc.union(p.inputs()));
+        let all_outputs = parts
+            .iter()
+            .fold(SignalSet::EMPTY, |acc, p| acc.union(p.outputs()));
+        let roles = signal_roles(parts);
+        let k = parts.len();
+        let mut lp = LazyProduct {
+            parts: parts.to_vec(),
+            opts: opts.clone(),
+            roles,
+            all_inputs,
+            all_outputs,
+            k,
+            keep_guards,
+            arena: Vec::new(),
+            props: Vec::new(),
+            row_off: Vec::new(),
+            row_len: Vec::new(),
+            succ: Vec::new(),
+            guards: Vec::new(),
+            interner: TupleInterner::with_capacity(64),
+            pending: Vec::new(),
+            initial: Vec::new(),
+            stats: ComposeStats::default(),
+            expanded_rows: 0,
+        };
+        // Initial product states: Q'' = Q₁ × … × Qₙ, in cartesian order.
+        let mut initial_tuples: Vec<Vec<u32>> = vec![Vec::new()];
+        for p in parts {
+            let mut next = Vec::new();
+            for tuple in &initial_tuples {
+                for &q in p.initial_states() {
+                    let mut t = tuple.clone();
+                    t.push(q.0);
+                    next.push(t);
+                }
+            }
+            initial_tuples = next;
+        }
+        for t in initial_tuples {
+            let id = lp.intern(&t);
+            lp.initial.push(id);
+        }
+        Ok(lp)
+    }
+
+    /// Interns a tuple, assigning the next id on first sight.
+    fn intern(&mut self, tuple: &[u32]) -> u32 {
+        let candidate = self.props.len() as u32;
+        let (id, fresh) = self.interner.intern(tuple, candidate, &self.arena, self.k);
+        if fresh {
+            self.arena.extend_from_slice(tuple);
+            let props = tuple
+                .iter()
+                .zip(&self.parts)
+                .fold(PropSet::EMPTY, |acc, (&s, p)| {
+                    acc.union(p.props_of(StateId(s)))
+                });
+            self.props.push(props);
+            self.row_off.push(UNEXPANDED);
+            self.row_len.push(0);
+            self.pending.push(id);
+        }
+        id
+    }
+
+    /// Number of product states discovered so far.
+    pub fn state_count(&self) -> usize {
+        self.props.len()
+    }
+
+    /// Number of rows expanded so far (the work the fused checker reports
+    /// as `states_expanded`).
+    pub fn expanded_rows(&self) -> usize {
+        self.expanded_rows
+    }
+
+    /// The initial product states (ids `0..n` in cartesian order).
+    pub fn initial_states(&self) -> &[u32] {
+        &self.initial
+    }
+
+    /// Work counters of the exploration so far.
+    pub fn stats(&self) -> ComposeStats {
+        self.stats
+    }
+
+    /// The composed interface and universe carriers.
+    pub fn universe(&self) -> &crate::universe::Universe {
+        self.parts[0].universe()
+    }
+
+    /// The product name, `a||b||…` as for the classic path.
+    pub fn name(&self) -> String {
+        self.parts
+            .iter()
+            .map(|p| p.name().to_owned())
+            .collect::<Vec<_>>()
+            .join("||")
+    }
+
+    /// The labelling of product state `s` (union of component labellings).
+    pub fn props_of(&self, s: u32) -> PropSet {
+        self.props[s as usize]
+    }
+
+    /// The component-state tuple of product state `s`.
+    pub fn tuple_of(&self, s: u32) -> &[u32] {
+        let base = s as usize * self.k;
+        &self.arena[base..base + self.k]
+    }
+
+    /// Renders product state `s` in the classic `c0||d1` name format.
+    pub fn state_name(&self, s: u32) -> String {
+        self.tuple_of(s)
+            .iter()
+            .zip(&self.parts)
+            .map(|(&cs, p)| p.state_name(StateId(cs)).to_owned())
+            .collect::<Vec<_>>()
+            .join("||")
+    }
+
+    /// Whether row `s` has been expanded.
+    pub fn is_expanded(&self, s: u32) -> bool {
+        self.row_off[s as usize] != UNEXPANDED
+    }
+
+    /// Whether product state `s` deadlocks (no feasible joint transition).
+    /// Requires the row to be expanded.
+    pub fn is_deadlock(&self, s: u32) -> bool {
+        debug_assert!(self.is_expanded(s), "deadlock query on unexpanded row");
+        self.row_len[s as usize] == 0
+    }
+
+    /// The expanded successor targets of `s`, in emit order — `(guard,
+    /// target)` pairs when `keep_guards` (targets may repeat), deduplicated
+    /// first occurrences otherwise. Requires the row to be expanded.
+    pub fn successors(&self, s: u32) -> &[u32] {
+        debug_assert!(self.is_expanded(s), "successor query on unexpanded row");
+        let off = self.row_off[s as usize] as usize;
+        &self.succ[off..off + self.row_len[s as usize] as usize]
+    }
+
+    /// Expands the outgoing row of `s` (no-op when already expanded),
+    /// interning newly discovered target states.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomataError::FreeSignalOverflow`] from the row kernel;
+    /// [`AutomataError::Limit`] when the discovered state count passes
+    /// `max_states`.
+    pub fn expand_row(&mut self, s: u32) -> Result<()> {
+        if self.is_expanded(s) {
+            return Ok(());
+        }
+        if self.state_count() > self.opts.max_states {
+            return Err(AutomataError::Limit {
+                what: "composed state space".into(),
+                max: self.opts.max_states,
+            });
+        }
+        let tuple: Vec<StateId> = self.tuple_of(s).iter().map(|&x| StateId(x)).collect();
+        // Collect the row locally first: the emit closure below interns new
+        // target states, which appends to the same arrays a direct row
+        // write would borrow.
+        let mut row: Vec<(Guard, u32)> = Vec::new();
+        let mut packed: Vec<u32> = Vec::with_capacity(self.k);
+        {
+            let LazyProduct {
+                parts,
+                opts,
+                roles,
+                all_inputs,
+                all_outputs,
+                k,
+                arena,
+                props,
+                row_off,
+                row_len,
+                interner,
+                pending,
+                stats,
+                keep_guards,
+                ..
+            } = self;
+            let keep = *keep_guards;
+            expand_tuple(
+                parts,
+                &tuple,
+                roles,
+                *all_inputs,
+                *all_outputs,
+                opts,
+                stats,
+                |guard, target_tuple| {
+                    // Inline intern over the split-borrowed columns (the
+                    // method form would re-borrow `self`).
+                    packed.clear();
+                    packed.extend(target_tuple.iter().map(|t| t.0));
+                    let candidate = props.len() as u32;
+                    let (id, fresh) = interner.intern(&packed, candidate, arena, *k);
+                    if fresh {
+                        arena.extend_from_slice(&packed);
+                        let p = packed
+                            .iter()
+                            .zip(parts.iter())
+                            .fold(PropSet::EMPTY, |acc, (&cs, part)| {
+                                acc.union(part.props_of(StateId(cs)))
+                            });
+                        props.push(p);
+                        row_off.push(UNEXPANDED);
+                        row_len.push(0);
+                        pending.push(id);
+                    }
+                    if keep {
+                        // Classic dedup: drop exact (guard, target) repeats.
+                        if !row.iter().any(|(g, t)| *t == id && g == &guard) {
+                            row.push((guard, id));
+                        }
+                    } else if !row.iter().any(|(_, t)| *t == id) {
+                        row.push((guard, id));
+                    }
+                },
+            )?;
+        }
+        let off = u32::try_from(self.succ.len()).expect("transition arena exceeds u32 range");
+        assert!(off != UNEXPANDED, "transition arena exceeds u32 range");
+        self.row_off[s as usize] = off;
+        self.row_len[s as usize] = row.len() as u32;
+        if self.keep_guards {
+            self.succ.reserve(row.len());
+            self.guards.reserve(row.len());
+            for (g, t) in row {
+                self.succ.push(t);
+                self.guards.push(g);
+            }
+        } else {
+            self.succ.extend(row.iter().map(|&(_, t)| t));
+        }
+        self.expanded_rows += 1;
+        Ok(())
+    }
+
+    /// Drains the discovery worklist, expanding every reachable row. When no
+    /// row has been expanded out of band, this visits states in exactly the
+    /// classic compose order, so ids equal the classic numbering.
+    ///
+    /// # Errors
+    ///
+    /// See [`LazyProduct::expand_row`].
+    pub fn expand_all(&mut self) -> Result<()> {
+        while let Some(s) = self.pending.pop() {
+            self.expand_row(s)?;
+        }
+        Ok(())
+    }
+
+    /// The sample label of the first composed transition `s → to` in emit
+    /// order — the label [`Guard::sample_label`] would yield on the
+    /// materialized product's row walk. With `keep_guards` this reads the
+    /// stored guard; otherwise it re-runs the row kernel for `s` (cheap: a
+    /// witness path crosses few rows).
+    pub fn first_label_to(&mut self, s: u32, to: u32) -> Option<Label> {
+        if self.keep_guards {
+            let off = self.row_off[s as usize] as usize;
+            let len = self.row_len[s as usize] as usize;
+            return self.succ[off..off + len]
+                .iter()
+                .zip(&self.guards[off..off + len])
+                .find(|(&t, _)| t == to)
+                .and_then(|(_, g)| g.sample_label());
+        }
+        let tuple: Vec<StateId> = self.tuple_of(s).iter().map(|&x| StateId(x)).collect();
+        let target_tuple: Vec<StateId> = self.tuple_of(to).iter().map(|&x| StateId(x)).collect();
+        let mut found: Option<Label> = None;
+        let mut scratch = ComposeStats::default();
+        let _ = expand_tuple(
+            &self.parts,
+            &tuple,
+            &self.roles,
+            self.all_inputs,
+            self.all_outputs,
+            &self.opts,
+            &mut scratch,
+            |guard, tgt| {
+                if found.is_none() && tgt == target_tuple.as_slice() {
+                    found = guard.sample_label();
+                }
+            },
+        );
+        found
+    }
+
+    /// The canonical discovery-order numbering: initial states first (in
+    /// cartesian order), then depth-first off a LIFO stack following each
+    /// row in emit order — the numbering the classic compose assigns. The
+    /// result maps current ids to canonical ids (`None` for states that are
+    /// unreachable under the canonical traversal, which cannot happen once
+    /// [`expand_all`](LazyProduct::expand_all) ran).
+    fn canonical_order(&self) -> Vec<Option<u32>> {
+        let n = self.state_count();
+        let mut order: Vec<Option<u32>> = vec![None; n];
+        let mut next = 0u32;
+        let mut stack: Vec<u32> = Vec::with_capacity(n);
+        for &q in &self.initial {
+            if order[q as usize].is_none() {
+                order[q as usize] = Some(next);
+                next += 1;
+                stack.push(q);
+            }
+        }
+        while let Some(s) = stack.pop() {
+            if !self.is_expanded(s) {
+                continue;
+            }
+            for &t in self.successors(s) {
+                if order[t as usize].is_none() {
+                    order[t as usize] = Some(next);
+                    next += 1;
+                    stack.push(t);
+                }
+            }
+        }
+        order
+    }
+
+    /// Materializes the fully expanded product as a [`Composition`]
+    /// bit-identical to the classic path: canonical renumbering, per-state
+    /// rows, origin tuples, and the CSR relation.
+    ///
+    /// # Errors
+    ///
+    /// Any pending expansion error from
+    /// [`expand_all`](LazyProduct::expand_all); validation errors as for
+    /// [`compose`](crate::compose::compose).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product was built without `keep_guards` (targets alone
+    /// cannot reconstitute the transition relation).
+    pub fn into_composition(mut self) -> Result<Composition> {
+        assert!(
+            self.keep_guards,
+            "into_composition requires a LazyProduct built with keep_guards"
+        );
+        self.expand_all()?;
+        let order = self.canonical_order();
+        let n = self.state_count();
+        let identity = order.iter().enumerate().all(|(i, o)| *o == Some(i as u32));
+        // new id -> old id
+        let mut back: Vec<u32> = vec![0; n];
+        for (old, o) in order.iter().enumerate() {
+            back[o.expect("expand_all left no unreachable state") as usize] = old as u32;
+        }
+        let mut states: Vec<StateData> = Vec::with_capacity(n);
+        let mut adj: Vec<Vec<Transition>> = Vec::with_capacity(n);
+        let mut origin: Vec<Vec<StateId>> = Vec::with_capacity(n);
+        for (new, &mapped) in back.iter().enumerate() {
+            let old = if identity { new as u32 } else { mapped };
+            states.push(StateData {
+                name: self.state_name(old),
+                props: self.props[old as usize],
+            });
+            let off = self.row_off[old as usize] as usize;
+            let len = self.row_len[old as usize] as usize;
+            adj.push(
+                self.succ[off..off + len]
+                    .iter()
+                    .zip(&self.guards[off..off + len])
+                    .map(|(&t, g)| Transition {
+                        guard: g.clone(),
+                        to: StateId(if identity {
+                            t
+                        } else {
+                            order[t as usize].expect("target discovered")
+                        }),
+                    })
+                    .collect(),
+            );
+            origin.push(self.tuple_of(old).iter().map(|&x| StateId(x)).collect());
+        }
+        let initial: Vec<StateId> = self
+            .initial
+            .iter()
+            .map(|&q| {
+                StateId(if identity {
+                    q
+                } else {
+                    order[q as usize].expect("initial discovered")
+                })
+            })
+            .collect();
+        let automaton = Automaton {
+            universe: self.parts[0].universe().clone(),
+            name: self.name(),
+            inputs: self.all_inputs,
+            outputs: self.all_outputs,
+            states,
+            adj,
+            initial,
+        };
+        automaton.validate()?;
+        let csr = Csr::of(&automaton);
+        Ok(Composition {
+            automaton,
+            component_names: self.parts.iter().map(|p| p.name().to_owned()).collect(),
+            interfaces: self
+                .parts
+                .iter()
+                .map(|p| (p.inputs(), p.outputs()))
+                .collect(),
+            origin,
+            stats: self.stats,
+            csr,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AutomatonBuilder;
+    use crate::universe::Universe;
+
+    fn pair(u: &Universe) -> (Automaton, Automaton) {
+        let c = AutomatonBuilder::new(u, "client")
+            .output("req")
+            .input("rsp")
+            .state("idle")
+            .initial("idle")
+            .state("waiting")
+            .transition("idle", [], ["req"], "waiting")
+            .transition("waiting", ["rsp"], [], "idle")
+            .build()
+            .unwrap();
+        let s = AutomatonBuilder::new(u, "server")
+            .input("req")
+            .output("rsp")
+            .state("ready")
+            .initial("ready")
+            .state("busy")
+            .transition("ready", ["req"], [], "busy")
+            .transition("busy", [], ["rsp"], "ready")
+            .build()
+            .unwrap();
+        (c, s)
+    }
+
+    #[test]
+    fn interner_interns_and_grows() {
+        let mut arena: Vec<u32> = Vec::new();
+        let mut it = TupleInterner::with_capacity(4);
+        for i in 0..200u32 {
+            let tuple = [i, i.wrapping_mul(7)];
+            let id = arena.len() as u32 / 2;
+            let (got, fresh) = it.intern(&tuple, id, &arena, 2);
+            assert!(fresh);
+            assert_eq!(got, id);
+            arena.extend_from_slice(&tuple);
+        }
+        for i in 0..200u32 {
+            let tuple = [i, i.wrapping_mul(7)];
+            let (got, fresh) = it.intern(&tuple, 999, &arena, 2);
+            assert!(!fresh);
+            assert_eq!(got, i);
+        }
+    }
+
+    #[test]
+    fn lazy_rows_match_compose_rows() {
+        let u = Universe::new();
+        let (c, s) = pair(&u);
+        let classic = crate::compose::compose2(&c, &s).unwrap();
+        let mut lp = LazyProduct::new(&[&c, &s], &ComposeOptions::default(), true).unwrap();
+        lp.expand_all().unwrap();
+        assert_eq!(lp.state_count(), classic.automaton.state_count());
+        for st in 0..lp.state_count() as u32 {
+            assert_eq!(lp.state_name(st), classic.automaton.state_name(StateId(st)));
+            assert_eq!(lp.props_of(st), classic.automaton.props_of(StateId(st)));
+        }
+    }
+
+    #[test]
+    fn out_of_order_expansion_renumbers_to_classic() {
+        let u = Universe::new();
+        let (c, s) = pair(&u);
+        let classic = crate::compose::compose2(&c, &s).unwrap();
+        let mut lp = LazyProduct::new(&[&c, &s], &ComposeOptions::default(), true).unwrap();
+        // Expand in discovery order (the worklist is LIFO, so touching id 0
+        // first is "out of band"), then materialize.
+        lp.expand_row(0).unwrap();
+        let comp = lp.into_composition().unwrap();
+        assert_eq!(
+            comp.automaton.state_count(),
+            classic.automaton.state_count()
+        );
+        for st in classic.automaton.state_ids() {
+            assert_eq!(
+                comp.automaton.state_name(st),
+                classic.automaton.state_name(st)
+            );
+            assert_eq!(
+                comp.automaton.transitions_from(st),
+                classic.automaton.transitions_from(st)
+            );
+        }
+        assert_eq!(comp.csr, classic.csr);
+        assert_eq!(comp.origin, classic.origin);
+    }
+
+    #[test]
+    fn targets_mode_recovers_labels_by_reexpansion() {
+        let u = Universe::new();
+        let (c, s) = pair(&u);
+        let mut with = LazyProduct::new(&[&c, &s], &ComposeOptions::default(), true).unwrap();
+        with.expand_all().unwrap();
+        let mut without = LazyProduct::new(&[&c, &s], &ComposeOptions::default(), false).unwrap();
+        without.expand_all().unwrap();
+        assert_eq!(with.state_count(), without.state_count());
+        for st in 0..with.state_count() as u32 {
+            let mut seen = Vec::new();
+            for &t in with.successors(st) {
+                if !seen.contains(&t) {
+                    seen.push(t);
+                }
+            }
+            assert_eq!(without.successors(st), seen.as_slice());
+            for &t in &seen {
+                assert_eq!(with.first_label_to(st, t), without.first_label_to(st, t));
+            }
+        }
+    }
+
+    #[test]
+    fn deadlock_rows_are_empty() {
+        let u = Universe::new();
+        let c = pair(&u).0;
+        // server that never answers
+        let s = AutomatonBuilder::new(&u, "server")
+            .input("req")
+            .output("rsp")
+            .state("ready")
+            .initial("ready")
+            .state("stuck")
+            .transition("ready", ["req"], [], "stuck")
+            .build()
+            .unwrap();
+        let mut lp = LazyProduct::new(&[&c, &s], &ComposeOptions::default(), false).unwrap();
+        lp.expand_all().unwrap();
+        let dead = (0..lp.state_count() as u32)
+            .find(|&st| lp.is_deadlock(st))
+            .expect("deadlock state exists");
+        assert_eq!(lp.successors(dead), &[] as &[u32]);
+    }
+
+    #[test]
+    fn state_limit_is_enforced() {
+        let u = Universe::new();
+        let (c, s) = pair(&u);
+        let opts = ComposeOptions {
+            max_states: 1,
+            ..ComposeOptions::default()
+        };
+        let mut lp = LazyProduct::new(&[&c, &s], &opts, true).unwrap();
+        assert!(matches!(lp.expand_all(), Err(AutomataError::Limit { .. })));
+    }
+}

@@ -58,6 +58,7 @@ mod error;
 mod incomplete;
 mod incremental;
 mod label;
+mod lazy;
 mod minimize;
 mod prop;
 mod refine;
@@ -72,7 +73,8 @@ pub use chaos::{chaotic_automaton, chaotic_closure, S_ALL, S_DELTA};
 pub use csr::Csr;
 
 pub use compose::{
-    compose, compose2, project_to_component, ComposeOptions, ComposeStats, Composition,
+    compose, compose2, compose_reference, project_to_component, ComposeOptions, ComposeStats,
+    Composition,
 };
 pub use determinize::{determinize, determinize_with, DeterminizeOptions};
 pub use dot::to_dot;
@@ -80,6 +82,7 @@ pub use error::{AutomataError, Result};
 pub use incomplete::{IncompleteAutomaton, LearnDelta, Observation};
 pub use incremental::{ClosureCache, CompositionCache, RecomposeInfo, RecomposeMode, WarmCarry};
 pub use label::{Guard, Label, LabelFamily};
+pub use lazy::LazyProduct;
 pub use minimize::{equivalence_witness, equivalent, minimize};
 pub use prop::{PropId, PropSet, PropSetIter, MAX_PROPS};
 pub use refine::{refines, refines_with, RefineOptions, RefinementFailure};

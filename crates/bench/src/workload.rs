@@ -170,6 +170,64 @@ pub fn twin_workload(n: usize, k: usize) -> TwinWorkload {
     }
 }
 
+/// A generated ticker-grid workload: `k` independent free-running tickers
+/// whose product has exactly `m^k` reachable states (see
+/// [`ticker_workload`]).
+pub struct TickerWorkload {
+    /// The shared universe.
+    pub universe: Universe,
+    /// The `k` ticker automata, ready to compose.
+    pub parts: Vec<Automaton>,
+    /// Cycle length of each ticker.
+    pub m: usize,
+    /// The full product size, `m^k`.
+    pub product_states: usize,
+}
+
+/// Builds `k` independent `m`-state cycle automata ("tickers"). Each
+/// ticker `i` either stutters in place or advances one step emitting its
+/// private output `tick{i}` — nobody listens to it — so every product step
+/// advances an arbitrary subset of tickers and **all `m^k` phase tuples
+/// are reachable** (with `2^k` successors each). This is the million-state
+/// stress shape for the on-the-fly product checker: dense, deadlock-free,
+/// and with a size known in closed form without expanding anything.
+///
+/// Ticker 0 carries the proposition `bad` on its state `s{bad_depth}`, so
+/// `AG !bad` is falsified by a shortest trace of `bad_depth` steps (and
+/// `EF bad` is witnessed by it) — the early-exit cases — while
+/// `AG !deadlock` holds and forces a full expansion.
+pub fn ticker_workload(k: usize, m: usize, bad_depth: usize) -> TickerWorkload {
+    assert!(k >= 1 && m >= 2, "need at least one 2-state ticker");
+    assert!(bad_depth < m, "bad state must lie on the cycle");
+    let u = Universe::new();
+    let parts: Vec<Automaton> = (0..k)
+        .map(|i| {
+            let tick = format!("tick{i}");
+            let mut b = AutomatonBuilder::new(&u, &format!("t{i}")).output(&tick);
+            for j in 0..m {
+                b = b.state(&format!("s{j}"));
+            }
+            b = b.initial("s0");
+            if i == 0 {
+                b = b.prop(&format!("s{bad_depth}"), "bad");
+            }
+            for j in 0..m {
+                let here = format!("s{j}");
+                let next = format!("s{}", (j + 1) % m);
+                b = b.transition(&here, [], [], &here);
+                b = b.transition(&here, [], [tick.as_str()], &next);
+            }
+            b.build().expect("ticker is well-formed")
+        })
+        .collect();
+    TickerWorkload {
+        universe: u,
+        parts,
+        m,
+        product_states: m.pow(k as u32),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

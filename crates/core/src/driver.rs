@@ -44,13 +44,13 @@
 use std::time::Instant;
 
 use muml_automata::{
-    Automaton, ComposeOptions, CompositionCache, IncompleteAutomaton, Label, LearnDelta,
-    RecomposeMode, Universe,
+    chaotic_closure, Automaton, ComposeOptions, CompositionCache, IncompleteAutomaton, Label,
+    LazyProduct, LearnDelta, RecomposeMode, Universe,
 };
 use muml_legacy::{
     execute_with_retry_on, PortMap, RetryPolicy, RetryReport, SimClock, StateObservable,
 };
-use muml_logic::{check_all_with, CheckSeed, Checker, Formula, Verdict};
+use muml_logic::{check_all_with, fusable, fused_check_all, CheckSeed, Checker, Formula, Verdict};
 use muml_obs::{EventSink, LoopEvent, NullSink, Phase, PhaseTimer, PhaseTimings, RunOutcome};
 
 use crate::cancel::CancelToken;
@@ -148,6 +148,22 @@ pub struct IntegrationConfig {
     /// the first inconclusive test raises
     /// [`CoreError::Nondeterministic`] instead of degrading.
     pub flake_budget: usize,
+    /// Fuse composition and checking: when every checked formula falls in
+    /// the fusable fragment (conjunctions of state-local formulas,
+    /// `AG local` and `EF local`), each iteration first runs the
+    /// on-the-fly product checker — product rows are expanded lazily from
+    /// the arena product while the check runs, so a `Holds` verdict (and
+    /// an early `EF` witness) never materializes the full composition. A
+    /// violated iteration falls back to the materialized path unchanged,
+    /// so verdicts, counterexamples, and iteration counts are identical
+    /// either way. Off by default.
+    pub fused: bool,
+    /// Worklist shards for the model checker's unbounded fixpoint engines
+    /// (see `muml_logic::Checker::set_shards`). `1` (the default) keeps
+    /// the sequential engines; larger values parallelize the two
+    /// least-fixpoint worklists on products above the checker's size
+    /// threshold, with bit-identical verdicts and work counters.
+    pub check_shards: usize,
 }
 
 impl Default for IntegrationConfig {
@@ -161,6 +177,8 @@ impl Default for IntegrationConfig {
             incremental: true,
             retry: RetryPolicy::default(),
             flake_budget: 2,
+            fused: false,
+            check_shards: 1,
         }
     }
 }
@@ -222,6 +240,22 @@ impl IntegrationConfig {
     #[must_use]
     pub fn with_flake_budget(mut self, flake_budget: usize) -> Self {
         self.flake_budget = flake_budget;
+        self
+    }
+
+    /// Enables or disables the fused composition+checking pre-pass (off by
+    /// default).
+    #[must_use]
+    pub fn with_fused(mut self, fused: bool) -> Self {
+        self.fused = fused;
+        self
+    }
+
+    /// Sets the model checker's worklist shard count (clamped to at
+    /// least 1).
+    #[must_use]
+    pub fn with_check_shards(mut self, check_shards: usize) -> Self {
+        self.check_shards = check_shards.max(1);
         self
     }
 }
@@ -527,6 +561,66 @@ pub(crate) fn run_loop(
             .collect();
         let knowledge_sum_before: usize = knowledge.iter().map(|k| k.0 + k.1 + k.2).sum();
 
+        // Fused pre-pass: when every checked formula is in the fusable
+        // fragment, expand the product on the fly from the arena-backed
+        // lazy product while checking it. A `Holds` verdict short-circuits
+        // the iteration without ever materializing the composition (and an
+        // early `EF` witness stops expansion as soon as it is found); any
+        // other outcome falls through to the materialized path below,
+        // which re-derives the identical verdict together with the full
+        // counterexample machinery the learn step needs.
+        if config.fused && checked.iter().all(fusable) {
+            let fused_timer = PhaseTimer::start(Phase::Check);
+            let closures: Vec<Automaton> = learned
+                .iter()
+                .map(|m| chaotic_closure(m, Some(chaos)))
+                .collect();
+            let parts: Vec<&Automaton> = std::iter::once(context).chain(closures.iter()).collect();
+            let lp = LazyProduct::new(&parts, &config.compose, false)?;
+            match fused_check_all(lp, &checked) {
+                Ok(run) => {
+                    let fused_ns = fused_timer.stop(&mut stats.timings);
+                    stats.peak_composed_states =
+                        stats.peak_composed_states.max(run.report.states_discovered);
+                    sink.emit(&LoopEvent::FusedChecked {
+                        iteration: index,
+                        holds: matches!(run.verdict, Verdict::Holds),
+                        states_expanded: run.report.states_expanded,
+                        states_discovered: run.report.states_discovered,
+                        early_exit: run.report.early_exit,
+                        nanos: fused_ns,
+                    });
+                    if matches!(run.verdict, Verdict::Holds) {
+                        iterations.push(IterationRecord {
+                            index,
+                            knowledge,
+                            composed_states: run.report.states_discovered,
+                            violated: None,
+                            counterexample: None,
+                            outcome: IterationOutcome::Proven,
+                        });
+                        sink.emit(&LoopEvent::RunFinished {
+                            iterations: stats.iterations,
+                            outcome: RunOutcome::Proven,
+                            nanos: run_start.elapsed().as_nanos() as u64,
+                        });
+                        return Ok(IntegrationReport {
+                            verdict: IntegrationVerdict::Proven,
+                            iterations,
+                            learned,
+                            stats,
+                        });
+                    }
+                }
+                // Expansion limits and unsupported-counterexample shapes
+                // surface identically from the materialized path below;
+                // falling through keeps the error reporting in one place.
+                Err(_) => {
+                    fused_timer.stop(&mut stats.timings);
+                }
+            }
+        }
+
         // Compose M_a^c ∥ chaos(M_l^i) — incrementally when the learn
         // delta permits, cold otherwise. The incremental product is
         // bit-identical to a cold rebuild, so everything downstream
@@ -584,6 +678,7 @@ pub(crate) fn run_loop(
             }
             _ => Checker::with_csr(&comp.automaton, &comp.csr),
         };
+        checker.set_shards(config.check_shards);
         let verdict = check_all_with(&mut checker, &checked)?;
         let check_ns = check_timer.stop(&mut stats.timings);
         let cstats = checker.stats;

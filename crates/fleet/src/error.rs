@@ -1,0 +1,49 @@
+//! Typed fleet-level failures.
+//!
+//! Per-job failures are [`JobOutcome`](crate::JobOutcome) rows; a
+//! [`FleetError`] is a failure of the *campaign machinery itself* — the
+//! pool could not run the jobs it was given. It is surfaced on
+//! [`FleetReport::error`](crate::FleetReport) rather than returned as a
+//! hard error so that the results of jobs that did complete are never
+//! discarded.
+
+use std::fmt;
+
+/// A campaign-level failure of the worker pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// Every worker thread exited while the coordinator was still
+    /// submitting jobs, so the remainder of the campaign was never run.
+    /// The jobs already completed are still in
+    /// [`FleetReport::results`](crate::FleetReport); the `dropped` jobs are
+    /// absent from the report entirely.
+    WorkersGone {
+        /// Jobs submitted to the pool before the workers disappeared.
+        submitted: usize,
+        /// Jobs that were never handed to a worker.
+        dropped: usize,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::WorkersGone { submitted, dropped } => write!(
+                f,
+                "all workers exited early: {submitted} jobs submitted, {dropped} never ran"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl FleetError {
+    /// The stable wire slug of this error kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FleetError::WorkersGone { .. } => "workers_gone",
+        }
+    }
+}

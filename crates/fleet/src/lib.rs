@@ -34,11 +34,13 @@
 
 #![warn(missing_docs)]
 
+mod error;
 mod job;
 mod pool;
 mod report;
 pub mod request;
 
+pub use error::FleetError;
 #[allow(deprecated)]
 pub use job::JobSpec;
 pub use job::{classify, Job, JobContext, JobOutcome, JobResult, JobWork};

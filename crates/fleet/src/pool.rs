@@ -34,6 +34,7 @@ use std::time::{Duration, Instant};
 use muml_core::CancelToken;
 use muml_obs::{FleetEvent, FleetSink, SharedSink};
 
+use crate::error::FleetError;
 use crate::job::{breaker_key, classify, Job, JobContext, JobOutcome, JobResult};
 use crate::report::FleetReport;
 
@@ -185,6 +186,7 @@ pub fn run_fleet(jobs: Vec<Job>, config: &FleetConfig, sink: &mut dyn FleetSink)
 
     let mut results: Vec<JobResult> = Vec::with_capacity(total);
     let mut breaker_trips: Vec<(String, usize)> = Vec::new();
+    let mut error: Option<FleetError> = None;
     let mut submitted = 0usize;
     let mut started = 0usize;
     let mut finished = 0usize;
@@ -202,10 +204,22 @@ pub fn run_fleet(jobs: Vec<Job>, config: &FleetConfig, sink: &mut dyn FleetSink)
         // the drain loop below terminate when the last worker exits.
         drop(msg_tx);
 
-        for batch in batches {
+        let mut batch_iter = batches.into_iter();
+        loop {
+            let Some(batch) = batch_iter.next() else {
+                break;
+            };
             let size = batch.len();
-            // Blocks while the queue is full — the backpressure point.
-            job_tx.send(batch).expect("workers outlive submission");
+            // Blocks while the queue is full — the backpressure point. A
+            // send error means every worker has already exited (the channel
+            // has no receivers left): record the typed failure and keep the
+            // results of the jobs that did run instead of panicking the
+            // coordinator on top of whatever killed the workers.
+            if let Err(returned) = submit(&job_tx, batch) {
+                let dropped = returned.len() + batch_iter.by_ref().map(|b| b.len()).sum::<usize>();
+                error = Some(FleetError::WorkersGone { submitted, dropped });
+                break;
+            }
             submitted += size;
             for msg in msg_rx.try_iter() {
                 handle(
@@ -258,67 +272,19 @@ pub fn run_fleet(jobs: Vec<Job>, config: &FleetConfig, sink: &mut dyn FleetSink)
         results,
         breaker_trips,
         start.elapsed().as_nanos() as u64,
+        error,
     )
 }
 
-fn handle(
-    msg: Message,
-    sink: &mut dyn FleetSink,
-    results: &mut Vec<JobResult>,
-    breaker_trips: &mut Vec<(String, usize)>,
-    started: &mut usize,
-    finished: &mut usize,
-) {
-    match msg {
-        Message::Started { job, name, worker } => {
-            *started += 1;
-            sink.emit(&FleetEvent::JobStarted { job, name, worker });
-        }
-        Message::Retried {
-            job,
-            worker,
-            attempt,
-        } => {
-            sink.emit(&FleetEvent::JobRetried {
-                job,
-                worker,
-                attempt,
-            });
-        }
-        Message::BreakerTripped { key, failures } => {
-            sink.emit(&FleetEvent::BreakerTripped {
-                key: key.clone(),
-                failures,
-            });
-            breaker_trips.push((key, failures));
-        }
-        Message::Quarantined { job, key } => {
-            // Counts as dispatched for the queue-depth gauge even though
-            // no JobStarted is emitted: the job will never start.
-            *started += 1;
-            sink.emit(&FleetEvent::JobQuarantined { job, key });
-        }
-        Message::Done(result) => {
-            let result = *result;
-            *finished += 1;
-            if result.outcome == JobOutcome::TimedOut {
-                sink.emit(&FleetEvent::JobTimedOut {
-                    job: result.request.id,
-                    worker: result.worker,
-                    nanos: result.nanos,
-                });
-            }
-            sink.emit(&FleetEvent::JobFinished {
-                job: result.request.id,
-                worker: result.worker,
-                outcome: result.outcome.name().to_owned(),
-                iterations: result.iterations,
-                nanos: result.nanos,
-            });
-            results.push(result);
-        }
-        Message::WorkerIdle { .. } => unreachable!("drained only after queue close"),
-    }
+/// Hands one batch to the pool, returning the batch when every worker has
+/// already exited (the job channel has no receivers left). Split out of
+/// [`run_fleet`] so the workers-gone path is unit-testable without having
+/// to kill real worker threads.
+fn submit(
+    job_tx: &mpsc::SyncSender<Vec<Job>>,
+    batch: Vec<Job>,
+) -> std::result::Result<(), Vec<Job>> {
+    job_tx.send(batch).map_err(|mpsc::SendError(b)| b)
 }
 
 fn worker_loop(
@@ -441,4 +407,130 @@ fn worker_loop(
         jobs,
         busy_nanos,
     });
+}
+
+fn handle(
+    msg: Message,
+    sink: &mut dyn FleetSink,
+    results: &mut Vec<JobResult>,
+    breaker_trips: &mut Vec<(String, usize)>,
+    started: &mut usize,
+    finished: &mut usize,
+) {
+    match msg {
+        Message::Started { job, name, worker } => {
+            *started += 1;
+            sink.emit(&FleetEvent::JobStarted { job, name, worker });
+        }
+        Message::Retried {
+            job,
+            worker,
+            attempt,
+        } => {
+            sink.emit(&FleetEvent::JobRetried {
+                job,
+                worker,
+                attempt,
+            });
+        }
+        Message::BreakerTripped { key, failures } => {
+            sink.emit(&FleetEvent::BreakerTripped {
+                key: key.clone(),
+                failures,
+            });
+            breaker_trips.push((key, failures));
+        }
+        Message::Quarantined { job, key } => {
+            // Counts as dispatched for the queue-depth gauge even though
+            // no JobStarted is emitted: the job will never start.
+            *started += 1;
+            sink.emit(&FleetEvent::JobQuarantined { job, key });
+        }
+        Message::Done(result) => {
+            let result = *result;
+            *finished += 1;
+            if result.outcome == JobOutcome::TimedOut {
+                sink.emit(&FleetEvent::JobTimedOut {
+                    job: result.request.id,
+                    worker: result.worker,
+                    nanos: result.nanos,
+                });
+            }
+            sink.emit(&FleetEvent::JobFinished {
+                job: result.request.id,
+                worker: result.worker,
+                outcome: result.outcome.name().to_owned(),
+                iterations: result.iterations,
+                nanos: result.nanos,
+            });
+            results.push(result);
+        }
+        Message::WorkerIdle { .. } => unreachable!("drained only after queue close"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::JobRequest;
+    use muml_core::{IntegrationReport, IntegrationStats, IntegrationVerdict};
+
+    fn job(id: usize) -> Job {
+        Job::new(JobRequest::new(id, format!("job-{id}")), |_ctx| {
+            Ok(IntegrationReport {
+                verdict: IntegrationVerdict::Proven,
+                iterations: Vec::new(),
+                learned: Vec::new(),
+                stats: IntegrationStats::default(),
+            })
+        })
+    }
+
+    #[test]
+    fn submit_returns_the_batch_when_all_workers_exited() {
+        let (tx, rx) = mpsc::sync_channel::<Vec<Job>>(1);
+        drop(rx); // every worker gone: the receiver side no longer exists
+        let returned = submit(&tx, vec![job(0), job(1)]).unwrap_err();
+        assert_eq!(returned.len(), 2);
+        assert_eq!(returned[0].request.id, 0);
+        assert_eq!(returned[1].request.id, 1);
+    }
+
+    #[test]
+    fn submit_delivers_while_a_worker_listens() {
+        let (tx, rx) = mpsc::sync_channel::<Vec<Job>>(1);
+        submit(&tx, vec![job(7)]).unwrap();
+        assert_eq!(rx.recv().unwrap()[0].request.id, 7);
+    }
+
+    #[test]
+    fn workers_gone_accounting_matches_the_pool_loop() {
+        // Replicates the run_fleet submission loop against a dead pool: the
+        // failing batch plus every unsubmitted batch counts as dropped.
+        let batches: Vec<Vec<Job>> = vec![vec![job(0)], vec![job(1), job(2)], vec![job(3)]];
+        let (tx, rx) = mpsc::sync_channel::<Vec<Job>>(8);
+        drop(rx);
+        let mut submitted = 0usize;
+        let mut error = None;
+        let mut batch_iter = batches.into_iter();
+        loop {
+            let Some(batch) = batch_iter.next() else {
+                break;
+            };
+            let size = batch.len();
+            if let Err(returned) = submit(&tx, batch) {
+                let dropped = returned.len() + batch_iter.by_ref().map(|b| b.len()).sum::<usize>();
+                error = Some(FleetError::WorkersGone { submitted, dropped });
+                break;
+            }
+            submitted += size;
+        }
+        assert_eq!(
+            error,
+            Some(FleetError::WorkersGone {
+                submitted: 0,
+                dropped: 4
+            })
+        );
+    }
 }

@@ -11,6 +11,7 @@
 
 use muml_obs::json::Json;
 
+use crate::error::FleetError;
 use crate::job::{JobOutcome, JobResult};
 
 /// The aggregated result of a campaign.
@@ -27,6 +28,13 @@ pub struct FleetReport {
     pub breaker_trips: Vec<(String, usize)>,
     /// Wall-clock nanoseconds for the whole campaign.
     pub wall_nanos: u64,
+    /// Campaign-level failure, if the pool machinery itself broke down
+    /// (e.g. [`FleetError::WorkersGone`] when every worker exited before
+    /// the campaign drained). Excluded from the fingerprint — like
+    /// `breaker_trips`, it describes *how* the campaign ran, not what the
+    /// jobs concluded; the missing job rows it implies are already visible
+    /// in the fingerprinted `results`.
+    pub error: Option<FleetError>,
 }
 
 impl FleetReport {
@@ -37,6 +45,7 @@ impl FleetReport {
         mut results: Vec<JobResult>,
         mut breaker_trips: Vec<(String, usize)>,
         wall_nanos: u64,
+        error: Option<FleetError>,
     ) -> Self {
         results.sort_by_key(|r| r.request.id);
         breaker_trips.sort();
@@ -45,6 +54,7 @@ impl FleetReport {
             results,
             breaker_trips,
             wall_nanos,
+            error,
         }
     }
 
@@ -127,6 +137,16 @@ impl FleetReport {
             (
                 "results".to_owned(),
                 Json::Array(self.results.iter().map(|r| job_json(r, true)).collect()),
+            ),
+            (
+                "error".to_owned(),
+                match &self.error {
+                    Some(e) => Json::Object(vec![
+                        ("kind".to_owned(), Json::Str(e.kind().to_owned())),
+                        ("message".to_owned(), Json::Str(e.to_string())),
+                    ]),
+                    None => Json::Null,
+                },
             ),
         ];
         obj.push((
@@ -223,6 +243,9 @@ impl FleetReport {
             self.total_iterations(),
             self.total_driven_steps()
         ));
+        if let Some(e) = &self.error {
+            out.push_str(&format!("  fleet error: {e}\n"));
+        }
         if self.total_retries() > 0 || !self.breaker_trips.is_empty() {
             out.push_str(&format!(
                 "  rig health: {} attempts ({} retries), {} jobs quarantined\n",
@@ -324,6 +347,7 @@ mod tests {
             ],
             Vec::new(),
             10_000,
+            None,
         );
         let b = FleetReport::new(
             1,
@@ -334,6 +358,7 @@ mod tests {
             ],
             Vec::new(),
             99_999,
+            None,
         );
         assert_eq!(
             a.results.iter().map(|r| r.request.id).collect::<Vec<_>>(),
@@ -356,6 +381,7 @@ mod tests {
             ],
             Vec::new(),
             1_000,
+            None,
         );
         let slow: Vec<usize> = report.slowest(2).iter().map(|r| r.request.id).collect();
         assert_eq!(slow, [1, 0]);
@@ -383,6 +409,7 @@ mod tests {
             ],
             vec![("wobbly".to_owned(), 2)],
             1_000,
+            None,
         );
         assert_eq!(report.total_retries(), 2);
         assert_eq!(report.quarantined_jobs(), 1);
@@ -400,5 +427,42 @@ mod tests {
         assert!(fp.contains("\"quarantined\""), "{fp}");
         assert!(!fp.contains("breaker_trips"), "{fp}");
         assert!(!fp.contains("attempts"), "{fp}");
+    }
+
+    #[test]
+    fn workers_gone_error_surfaces_outside_the_fingerprint() {
+        let failed = FleetReport::new(
+            2,
+            vec![result(0, JobOutcome::Proven, 0, 10)],
+            Vec::new(),
+            1_000,
+            Some(FleetError::WorkersGone {
+                submitted: 1,
+                dropped: 4,
+            }),
+        );
+        let clean = FleetReport::new(
+            2,
+            vec![result(0, JobOutcome::Proven, 0, 10)],
+            Vec::new(),
+            1_000,
+            None,
+        );
+        let text = failed.render();
+        assert!(
+            text.contains("fleet error: all workers exited early: 1 jobs submitted, 4 never ran"),
+            "{text}"
+        );
+        assert!(
+            !clean.render().contains("fleet error"),
+            "{}",
+            clean.render()
+        );
+        let json = failed.to_json().encode();
+        assert!(json.contains("\"workers_gone\""), "{json}");
+        assert!(clean.to_json().encode().contains("\"error\":null"));
+        // The fingerprint describes what the jobs concluded, not how the
+        // campaign machinery fared.
+        assert_eq!(failed.fingerprint(), clean.fingerprint());
     }
 }

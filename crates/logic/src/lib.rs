@@ -30,6 +30,7 @@ mod bitset;
 mod checker;
 mod counterexample;
 mod error;
+mod fused;
 mod parser;
 pub mod reference;
 mod witness;
@@ -41,6 +42,7 @@ pub use counterexample::{
     check, check_all, check_all_with, check_with, deadlock_counterexamples, Counterexample, Verdict,
 };
 pub use error::LogicError;
+pub use fused::{fusable, fused_check_all, FusedProduct, FusedReport, FusedRun};
 pub use parser::{parse, ParseError};
 pub use reference::ReferenceChecker;
 pub use witness::witness;

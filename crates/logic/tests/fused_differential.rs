@@ -1,0 +1,283 @@
+//! Differential tests for the fused (compose-while-checking) path: on every
+//! `(parts, formula)` pair from a random corpus, [`fused_check_all`] over a
+//! [`LazyProduct`] must return the **same verdict, the same counterexample
+//! trace (state names, labels, description), and the same errors** as the
+//! classic pipeline — materialize with [`compose`], then run the bitset
+//! [`Checker`] through [`check_all_with`] — with [`ReferenceChecker`] as a
+//! third, independent vote on the satisfaction verdict.
+
+use muml_automata::{compose, Automaton, AutomatonBuilder, ComposeOptions, LazyProduct, Universe};
+use muml_logic::{
+    check_all_with, fusable, fused_check_all, parse, Checker, Formula, ReferenceChecker, Verdict,
+};
+use muml_testkit::{cases, Rng};
+
+/// Every formula here lies in the fusable fragment (conjunctions of
+/// state-local / `AG local` / `EF local`), so the fused path never falls
+/// back to materialization.
+const FUSABLE_FORMULAS: [&str; 8] = [
+    "AG !p",
+    "AG p",
+    "EF p",
+    "EF !p",
+    "AG !deadlock",
+    "EF deadlock",
+    "AG !p & EF p",
+    "AG (p | deadlock)",
+];
+
+/// Random composable pair over cross-wired 2+2 alphabets, with random `p`
+/// propositions and the possibility of deadlocks (states with no feasible
+/// joint step).
+fn gen_parts(rng: &mut Rng, u: &Universe) -> (Automaton, Automaton) {
+    let a = gen_part(rng, u, "a", ["i0", "i1"], ["o0", "o1"]);
+    let b = gen_part(rng, u, "b", ["o0", "o1"], ["i0", "i1"]);
+    (a, b)
+}
+
+fn gen_part(rng: &mut Rng, u: &Universe, name: &str, ins: [&str; 2], outs: [&str; 2]) -> Automaton {
+    let n = rng.range(1..=5);
+    let mut b = AutomatonBuilder::new(u, name).inputs(ins).outputs(outs);
+    for s in 0..n {
+        let sn = format!("{name}{s}");
+        b = b.state(&sn);
+        if rng.bool() {
+            b = b.prop(&sn, "p");
+        }
+    }
+    b = b.initial(&format!("{name}0"));
+    let n_trans = rng.range(0..=10);
+    for _ in 0..n_trans {
+        let f = rng.below(n);
+        let t = rng.below(n);
+        let a_bits = rng.below(4) as u8;
+        let o_bits = rng.below(4) as u8;
+        let avec: Vec<&str> = ins
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| a_bits & (1 << i) != 0)
+            .map(|(_, s)| *s)
+            .collect();
+        let ovec: Vec<&str> = outs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| o_bits & (1 << i) != 0)
+            .map(|(_, s)| *s)
+            .collect();
+        b = b.transition(&format!("{name}{f}"), avec, ovec, &format!("{name}{t}"));
+    }
+    b.build().expect("random part builds")
+}
+
+/// Runs one formula through both pipelines and asserts full agreement.
+fn assert_fused_matches_classic(parts: &[&Automaton], f: &Formula, reference_vote: bool) {
+    let opts = ComposeOptions::default();
+    let fs = std::slice::from_ref(f);
+    let fused = LazyProduct::new(parts, &opts, false)
+        .map_err(muml_logic::LogicError::from)
+        .and_then(|lp| fused_check_all(lp, fs));
+    let comp = compose(parts, &opts).expect("materialized compose");
+    let classic = {
+        let mut checker = Checker::with_csr(&comp.automaton, &comp.csr);
+        check_all_with(&mut checker, fs)
+    };
+    match (fused, classic) {
+        (Ok(frun), Ok(classic_verdict)) => {
+            assert!(!frun.report.fell_back, "fusable formula fell back: {f:?}");
+            assert_eq!(
+                frun.verdict.holds(),
+                classic_verdict.holds(),
+                "verdicts diverge on {f:?}"
+            );
+            if reference_vote {
+                let mut reference = ReferenceChecker::new(&comp.automaton);
+                assert_eq!(
+                    frun.verdict.holds(),
+                    reference.satisfies(f),
+                    "reference checker disagrees on {f:?}"
+                );
+            }
+            match (&frun.verdict, &classic_verdict) {
+                (Verdict::Holds, Verdict::Holds) => {}
+                (Verdict::Violated(fc), Verdict::Violated(mc)) => {
+                    let fused_names = frun
+                        .counterexample_names()
+                        .expect("violated verdict carries a trace");
+                    let classic_names: Vec<String> = mc
+                        .run
+                        .states
+                        .iter()
+                        .map(|&s| comp.automaton.state_name(s).to_owned())
+                        .collect();
+                    assert_eq!(fused_names, classic_names, "traces diverge on {f:?}");
+                    assert_eq!(fc.run.labels, mc.run.labels, "labels diverge on {f:?}");
+                    assert_eq!(fc.run.kind, mc.run.kind, "run kinds diverge on {f:?}");
+                    assert_eq!(
+                        fc.description, mc.description,
+                        "descriptions diverge on {f:?}"
+                    );
+                }
+                _ => unreachable!("holds() equality already checked"),
+            }
+        }
+        (Err(fe), Err(ce)) => {
+            assert_eq!(format!("{fe}"), format!("{ce}"), "errors diverge on {f:?}");
+        }
+        (fused, classic) => panic!(
+            "one path failed where the other succeeded on {f:?}: fused ok = {}, classic ok = {}",
+            fused.is_ok(),
+            classic.is_ok()
+        ),
+    }
+}
+
+/// The corpus test: every fusable formula, fused vs classic vs reference,
+/// over random cross-wired products.
+#[test]
+fn fused_matches_classic_and_reference_on_corpus() {
+    let u = Universe::new();
+    let formulas: Vec<Formula> = FUSABLE_FORMULAS
+        .iter()
+        .map(|s| parse(&u, s).expect("formula parses"))
+        .collect();
+    for f in &formulas {
+        assert!(fusable(f), "corpus formula not fusable: {f:?}");
+    }
+    cases(200, |rng| {
+        let (a, b) = gen_parts(rng, &u);
+        let parts = [&a, &b];
+        for f in &formulas {
+            assert_fused_matches_classic(&parts, f, true);
+        }
+    });
+}
+
+/// Non-fusable formulas must take the materializing fallback and still
+/// agree with the classic pipeline (verdicts and errors alike).
+#[test]
+fn non_fusable_formulas_fall_back_and_agree() {
+    let u = Universe::new();
+    let formulas: Vec<Formula> = ["AF p", "EG p", "AG EF p", "E[p U deadlock]"]
+        .iter()
+        .map(|s| parse(&u, s).expect("formula parses"))
+        .collect();
+    for f in &formulas {
+        assert!(!fusable(f), "expected non-fusable: {f:?}");
+    }
+    cases(60, |rng| {
+        let (a, b) = gen_parts(rng, &u);
+        let parts = [&a, &b];
+        let opts = ComposeOptions::default();
+        for f in &formulas {
+            let fs = std::slice::from_ref(f);
+            // The fallback materializes, so guards must be retained.
+            let fused = LazyProduct::new(&parts, &opts, true)
+                .map_err(muml_logic::LogicError::from)
+                .and_then(|lp| fused_check_all(lp, fs));
+            let comp = compose(&parts, &opts).expect("materialized compose");
+            let classic = {
+                let mut checker = Checker::with_csr(&comp.automaton, &comp.csr);
+                check_all_with(&mut checker, fs)
+            };
+            match (fused, classic) {
+                (Ok(frun), Ok(cv)) => {
+                    assert!(
+                        frun.report.fell_back,
+                        "non-fusable formula did not fall back"
+                    );
+                    assert!(!frun.report.early_exit);
+                    assert_eq!(
+                        frun.verdict.holds(),
+                        cv.holds(),
+                        "verdicts diverge on {f:?}"
+                    );
+                    if let (Some(fused_names), Verdict::Violated(mc)) =
+                        (frun.counterexample_names(), &cv)
+                    {
+                        let classic_names: Vec<String> = mc
+                            .run
+                            .states
+                            .iter()
+                            .map(|&s| comp.automaton.state_name(s).to_owned())
+                            .collect();
+                        assert_eq!(fused_names, classic_names, "traces diverge on {f:?}");
+                    }
+                }
+                (Err(fe), Err(ce)) => {
+                    assert_eq!(format!("{fe}"), format!("{ce}"), "errors diverge on {f:?}");
+                }
+                (fused, classic) => panic!(
+                    "fallback parity broke on {f:?}: fused ok = {}, classic ok = {}",
+                    fused.is_ok(),
+                    classic.is_ok()
+                ),
+            }
+        }
+    });
+}
+
+/// Deterministic early-exit contract on a long chain: a violation near the
+/// front of a 60-state line must be found without expanding the whole
+/// product, with the verdict (and trace) still equal to the classic path's.
+#[test]
+fn early_exit_stops_before_the_end_of_a_chain() {
+    let u = Universe::new();
+    let mut b = AutomatonBuilder::new(&u, "chain");
+    for s in 0..60 {
+        let name = format!("c{s}");
+        b = b.state(&name);
+        if s == 5 {
+            b = b.prop(&name, "p");
+        }
+    }
+    b = b.initial("c0");
+    for s in 0..59 {
+        b = b.transition(&format!("c{s}"), [], [], &format!("c{}", s + 1));
+    }
+    // Close the cycle so the chain is deadlock-free.
+    b = b.transition("c59", [], [], "c0");
+    let chain = b.build().expect("chain builds");
+    let parts = [&chain];
+    let opts = ComposeOptions::default();
+
+    let ag = parse(&u, "AG !p").expect("parses");
+    let fused = fused_check_all(
+        LazyProduct::new(&parts, &opts, false).expect("lazy product"),
+        std::slice::from_ref(&ag),
+    )
+    .expect("fused check");
+    assert!(!fused.verdict.holds(), "AG !p must be violated");
+    assert!(fused.report.early_exit, "violation at depth 5 of 60 states");
+    assert!(
+        fused.report.states_expanded < 60,
+        "expanded {} of 60",
+        fused.report.states_expanded
+    );
+    assert_fused_matches_classic(&parts, &ag, true);
+
+    let ef = parse(&u, "EF p").expect("parses");
+    let witnessed = fused_check_all(
+        LazyProduct::new(&parts, &opts, false).expect("lazy product"),
+        std::slice::from_ref(&ef),
+    )
+    .expect("fused check");
+    assert!(witnessed.verdict.holds(), "EF p must hold");
+    assert!(
+        witnessed.report.early_exit,
+        "witness at depth 5 of 60 states"
+    );
+    assert!(witnessed.report.states_expanded < 60);
+    assert_fused_matches_classic(&parts, &ef, true);
+
+    // A property that holds everywhere forces full expansion: no early exit.
+    let agd = parse(&u, "AG !deadlock").expect("parses");
+    let full = fused_check_all(
+        LazyProduct::new(&parts, &opts, false).expect("lazy product"),
+        std::slice::from_ref(&agd),
+    )
+    .expect("fused check");
+    assert!(full.verdict.holds());
+    assert!(!full.report.early_exit);
+    assert_eq!(full.report.states_expanded, 60);
+    assert_fused_matches_classic(&parts, &agd, true);
+}
