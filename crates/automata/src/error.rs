@@ -61,6 +61,13 @@ pub enum AutomataError {
         /// The configured maximum.
         max: usize,
     },
+    /// A persisted [`IncompleteSnapshot`](crate::IncompleteSnapshot) is
+    /// internally inconsistent (dangling state index, duplicate state name,
+    /// out-of-range initial state) and cannot be restored.
+    MalformedSnapshot {
+        /// What is wrong with the snapshot.
+        detail: String,
+    },
 }
 
 impl fmt::Display for AutomataError {
@@ -108,6 +115,9 @@ impl fmt::Display for AutomataError {
             }
             AutomataError::Limit { what, max } => {
                 write!(f, "limit exceeded: {what} (max {max})")
+            }
+            AutomataError::MalformedSnapshot { detail } => {
+                write!(f, "malformed incomplete-automaton snapshot: {detail}")
             }
         }
     }

@@ -120,6 +120,66 @@ impl LearnDelta {
     }
 }
 
+/// A plain-data, name-based image of an [`IncompleteAutomaton`], produced
+/// by [`IncompleteAutomaton::to_snapshot`] and restored by
+/// [`IncompleteAutomaton::from_snapshot`].
+///
+/// Everything is expressed in names (state names, signal names, proposition
+/// names) and positional state indices — nothing references a particular
+/// [`Universe`]'s interning order — so snapshots can be persisted and
+/// restored into a fresh universe. Order is significant throughout: it is
+/// what makes a restored abstraction compose bit-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncompleteSnapshot {
+    /// The automaton name.
+    pub name: String,
+    /// Input signal names, in the source automaton's set order.
+    pub inputs: Vec<String>,
+    /// Output signal names, in the source automaton's set order.
+    pub outputs: Vec<String>,
+    /// States in state-id order.
+    pub states: Vec<SnapshotState>,
+    /// Observed transitions `T`, grouped by source state in recording order.
+    pub transitions: Vec<SnapshotTransition>,
+    /// Recorded refusals `T̄`, grouped by state in recording order.
+    pub refusals: Vec<SnapshotRefusal>,
+    /// Indices (into `states`) of the initial states `Q`, in order.
+    pub initial: Vec<usize>,
+}
+
+/// One state of an [`IncompleteSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotState {
+    /// The monitored state name.
+    pub name: String,
+    /// Names of the propositions attached to the state.
+    pub props: Vec<String>,
+}
+
+/// One observed transition of an [`IncompleteSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotTransition {
+    /// Index of the source state.
+    pub from: usize,
+    /// Input signal names of the label.
+    pub inputs: Vec<String>,
+    /// Output signal names of the label.
+    pub outputs: Vec<String>,
+    /// Index of the target state.
+    pub to: usize,
+}
+
+/// One recorded refusal of an [`IncompleteSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotRefusal {
+    /// Index of the refusing state.
+    pub state: usize,
+    /// Input signal names of the refused label.
+    pub inputs: Vec<String>,
+    /// Output signal names of the refused label.
+    pub outputs: Vec<String>,
+}
+
 /// An incomplete automaton (Definition 6).
 ///
 /// States carry names (matching the monitoring instrumentation of the legacy
@@ -427,6 +487,130 @@ impl IncompleteAutomaton {
         true
     }
 
+    /// Captures the full learned knowledge as a plain-data, name-based
+    /// [`IncompleteSnapshot`] suitable for persistence.
+    ///
+    /// States appear in state-id order, transitions and refusals in their
+    /// per-state recording order, so
+    /// [`from_snapshot`](Self::from_snapshot) reconstructs an automaton
+    /// whose products are bit-identical to this one's. Signal and
+    /// proposition ids are rendered to names — snapshots survive universes
+    /// with different interning orders.
+    pub fn to_snapshot(&self) -> IncompleteSnapshot {
+        let names = |set: SignalSet| -> Vec<String> {
+            set.iter().map(|s| self.universe.signal_name(s)).collect()
+        };
+        let states = self
+            .state_names
+            .iter()
+            .zip(&self.state_props)
+            .map(|(n, &p)| SnapshotState {
+                name: n.clone(),
+                props: p.iter().map(|q| self.universe.prop_name(q)).collect(),
+            })
+            .collect();
+        let mut transitions = Vec::with_capacity(self.transition_count());
+        for (from, ts) in self.transitions.iter().enumerate() {
+            for (l, to) in ts {
+                transitions.push(SnapshotTransition {
+                    from,
+                    inputs: names(l.inputs),
+                    outputs: names(l.outputs),
+                    to: to.index(),
+                });
+            }
+        }
+        let mut refusals = Vec::with_capacity(self.refusal_count());
+        for (state, ls) in self.refused.iter().enumerate() {
+            for l in ls {
+                refusals.push(SnapshotRefusal {
+                    state,
+                    inputs: names(l.inputs),
+                    outputs: names(l.outputs),
+                });
+            }
+        }
+        IncompleteSnapshot {
+            name: self.name.clone(),
+            inputs: names(self.inputs),
+            outputs: names(self.outputs),
+            states,
+            transitions,
+            refusals,
+            initial: self.initial.iter().map(|s| s.index()).collect(),
+        }
+    }
+
+    /// Reconstructs an automaton from a snapshot, interning its signal and
+    /// proposition names into `u`.
+    ///
+    /// States are recreated in the exact order the snapshot lists them, and
+    /// the pending [`LearnDelta`] is empty — restoring is a birth, not an
+    /// increment — so a restored abstraction composes bit-identically to
+    /// the one that was snapshotted. (This deliberately bypasses
+    /// [`learn`](Self::learn), which would add every trace head to the
+    /// initial set and renumber states in trace order.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::MalformedSnapshot`] on duplicate state
+    /// names or out-of-range state indices.
+    pub fn from_snapshot(u: &Universe, snap: &IncompleteSnapshot) -> Result<Self> {
+        let set = |names: &[String]| -> SignalSet { names.iter().map(|n| u.signal(n)).collect() };
+        let malformed = |detail: String| AutomataError::MalformedSnapshot { detail };
+        let mut m = IncompleteAutomaton {
+            universe: u.clone(),
+            name: snap.name.clone(),
+            inputs: set(&snap.inputs),
+            outputs: set(&snap.outputs),
+            state_names: Vec::with_capacity(snap.states.len()),
+            state_props: Vec::with_capacity(snap.states.len()),
+            transitions: vec![Vec::new(); snap.states.len()],
+            refused: vec![Vec::new(); snap.states.len()],
+            initial: Vec::new(),
+            index: HashMap::new(),
+            delta: LearnDelta::default(),
+        };
+        for (i, s) in snap.states.iter().enumerate() {
+            let id = StateId(i as u32);
+            if m.index.insert(s.name.clone(), id).is_some() {
+                return Err(malformed(format!("duplicate state name `{}`", s.name)));
+            }
+            m.state_names.push(s.name.clone());
+            let mut props = PropSet::EMPTY;
+            for p in &s.props {
+                props.insert(u.prop(p));
+            }
+            m.state_props.push(props);
+        }
+        let check = |i: usize, what: &str| -> Result<StateId> {
+            if i >= snap.states.len() {
+                return Err(malformed(format!(
+                    "{what} index {i} out of range ({} states)",
+                    snap.states.len()
+                )));
+            }
+            Ok(StateId(i as u32))
+        };
+        for t in &snap.transitions {
+            let from = check(t.from, "transition source")?;
+            let to = check(t.to, "transition target")?;
+            let label = Label::new(set(&t.inputs), set(&t.outputs));
+            m.transitions[from.index()].push((label, to));
+        }
+        for r in &snap.refusals {
+            let state = check(r.state, "refusal")?;
+            m.refused[state.index()].push(Label::new(set(&r.inputs), set(&r.outputs)));
+        }
+        if snap.initial.is_empty() {
+            return Err(malformed("empty initial-state set".to_owned()));
+        }
+        for &i in &snap.initial {
+            m.initial.push(check(i, "initial state")?);
+        }
+        Ok(m)
+    }
+
     /// Converts the *known* part (T only) into a plain [`Automaton`].
     ///
     /// Deadlock runs from `T̄` are not representable in a plain automaton;
@@ -674,6 +858,109 @@ mod tests {
         assert_eq!(acc.new_transitions, 1);
         assert_eq!(acc.new_refusals, 1);
         assert_eq!(acc.dirty, vec![StateId(0), StateId(1)]);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let (u, mut m) = setup();
+        m.learn(&Observation::regular(
+            vec!["noConvoy".into(), "wait".into(), "convoy".into()],
+            vec![label(&u, &[], &["propose"]), label(&u, &["start"], &[])],
+        ))
+        .unwrap();
+        m.learn(&Observation::blocked(
+            vec!["convoy".into()],
+            vec![label(&u, &["reject"], &[])],
+        ))
+        .unwrap();
+        m.set_prop("wait", u.prop("marked"));
+        let snap = m.to_snapshot();
+
+        // Restore into a *fresh* universe with a different interning order.
+        let u2 = Universe::new();
+        u2.signal("unrelated-first");
+        u2.prop("other");
+        let r = IncompleteAutomaton::from_snapshot(&u2, &snap).unwrap();
+        assert_eq!(r.state_count(), m.state_count());
+        assert_eq!(r.transition_count(), m.transition_count());
+        assert_eq!(r.refusal_count(), m.refusal_count());
+        // State ids line up positionally.
+        for s in 0..m.state_count() {
+            let id = StateId(s as u32);
+            assert_eq!(r.state_name(id), m.state_name(id));
+            assert_eq!(
+                r.transitions_from(id).len(),
+                m.transitions_from(id).len(),
+                "state {s}"
+            );
+        }
+        assert_eq!(r.initial_states(), m.initial_states());
+        let wait = r.find_state("wait").unwrap();
+        assert!(r.props_of(wait).contains(u2.prop("marked")));
+        // Restoring is a birth, not an increment.
+        assert!(r.pending_delta().is_empty());
+        // Re-snapshotting the restored automaton is a fixed point.
+        assert_eq!(r.to_snapshot(), snap);
+    }
+
+    #[test]
+    fn from_snapshot_rejects_malformed_data() {
+        let (_, m) = setup();
+        let good = m.to_snapshot();
+        let u = Universe::new();
+
+        let mut bad = good.clone();
+        bad.initial = vec![7];
+        let err = IncompleteAutomaton::from_snapshot(&u, &bad).unwrap_err();
+        assert!(matches!(err, AutomataError::MalformedSnapshot { .. }));
+
+        let mut bad = good.clone();
+        bad.initial.clear();
+        assert!(IncompleteAutomaton::from_snapshot(&u, &bad).is_err());
+
+        let mut bad = good.clone();
+        bad.states.push(SnapshotState {
+            name: "noConvoy".into(),
+            props: vec![],
+        });
+        assert!(IncompleteAutomaton::from_snapshot(&u, &bad).is_err());
+
+        let mut bad = good.clone();
+        bad.transitions.push(SnapshotTransition {
+            from: 0,
+            inputs: vec![],
+            outputs: vec![],
+            to: 99,
+        });
+        assert!(IncompleteAutomaton::from_snapshot(&u, &bad).is_err());
+
+        let mut bad = good;
+        bad.refusals.push(SnapshotRefusal {
+            state: 42,
+            inputs: vec![],
+            outputs: vec![],
+        });
+        assert!(IncompleteAutomaton::from_snapshot(&u, &bad).is_err());
+    }
+
+    #[test]
+    fn restored_automaton_keeps_learning() {
+        let (u, mut m) = setup();
+        m.learn(&Observation::regular(
+            vec!["noConvoy".into(), "wait".into()],
+            vec![label(&u, &[], &["propose"])],
+        ))
+        .unwrap();
+        let mut r = IncompleteAutomaton::from_snapshot(&u, &m.to_snapshot()).unwrap();
+        r.learn(&Observation::blocked(
+            vec!["wait".into()],
+            vec![label(&u, &["reject"], &[])],
+        ))
+        .unwrap();
+        let d = r.take_delta();
+        assert_eq!(d.new_refusals, 1);
+        assert_eq!(d.dirty, vec![StateId(1)]);
+        assert!(r.is_deterministic());
     }
 
     #[test]

@@ -79,7 +79,10 @@ pub use compose::{
 pub use determinize::{determinize, determinize_with, DeterminizeOptions};
 pub use dot::to_dot;
 pub use error::{AutomataError, Result};
-pub use incomplete::{IncompleteAutomaton, LearnDelta, Observation};
+pub use incomplete::{
+    IncompleteAutomaton, IncompleteSnapshot, LearnDelta, Observation, SnapshotRefusal,
+    SnapshotState, SnapshotTransition,
+};
 pub use incremental::{ClosureCache, CompositionCache, RecomposeInfo, RecomposeMode, WarmCarry};
 pub use label::{Guard, Label, LabelFamily};
 pub use lazy::LazyProduct;

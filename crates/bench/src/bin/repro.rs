@@ -16,6 +16,8 @@
 //! repro storm --json         # also writes BENCH_storm.json
 //! repro serve [--clients N]  # daemon load test: N concurrent wire clients
 //! repro serve --json         # also writes BENCH_serve.json
+//! repro warm [--store DIR]   # warm-start: campaign twice against a store
+//! repro warm --json          # also writes BENCH_warm.json
 //! repro all
 //! ```
 
@@ -37,7 +39,7 @@ use muml_obs::json::Json;
 use muml_obs::{Collector, LoopEvent, NullSink};
 use muml_railcab::scenario;
 
-const KNOWN: [&str; 23] = [
+const KNOWN: [&str; 24] = [
     "fig1",
     "fig2",
     "fig3",
@@ -61,19 +63,21 @@ const KNOWN: [&str; 23] = [
     "incr",
     "storm",
     "serve",
+    "warm",
 ];
 
 /// The artefacts that support `--json`, and the file each one writes. Both
 /// the usage text and the `--json` gate in `main` derive from this table,
 /// so a new JSON-emitting subcommand is one entry here plus its dispatch
 /// arm.
-const JSON_SUBCOMMANDS: [(&str, &str); 6] = [
+const JSON_SUBCOMMANDS: [(&str, &str); 7] = [
     ("fig2", "BENCH_loop.json"),
     ("check", "BENCH_check.json"),
     ("fleet", "BENCH_fleet.json"),
     ("incr", "BENCH_incr.json"),
     ("storm", "BENCH_storm.json"),
     ("serve", "BENCH_serve.json"),
+    ("warm", "BENCH_warm.json"),
 ];
 
 fn json_subcommand_names() -> String {
@@ -85,7 +89,7 @@ fn json_subcommand_names() -> String {
 }
 
 fn usage() {
-    eprintln!("usage: repro <artefact> [--json] [--jobs N] [--clients N]");
+    eprintln!("usage: repro <artefact> [--json] [--jobs N] [--clients N] [--store DIR]");
     eprintln!("  artefacts: {} or `all`", KNOWN.join("|"));
     let supported = JSON_SUBCOMMANDS
         .iter()
@@ -95,6 +99,7 @@ fn usage() {
     eprintln!("  --json is supported for {supported}");
     eprintln!("  --jobs N sets the `fleet` worker-pool size (default 4)");
     eprintln!("  --clients N sets the `serve` concurrent-client count (default 8)");
+    eprintln!("  --store DIR sets the `warm` store directory (default: a fresh temp dir)");
 }
 
 fn main() {
@@ -102,6 +107,7 @@ fn main() {
     let mut json = false;
     let mut workers: Option<usize> = None;
     let mut clients: Option<usize> = None;
+    let mut store: Option<std::path::PathBuf> = None;
     let mut what: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -129,6 +135,14 @@ fn main() {
                     }
                 }
             }
+            "--store" => match iter.next() {
+                Some(dir) => store = Some(std::path::PathBuf::from(dir)),
+                None => {
+                    eprintln!("--store requires a directory path");
+                    usage();
+                    std::process::exit(2);
+                }
+            },
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag `{flag}`");
                 usage();
@@ -155,6 +169,11 @@ fn main() {
         usage();
         std::process::exit(2);
     }
+    if store.is_some() && what != "warm" {
+        eprintln!("--store is only supported for `warm`");
+        usage();
+        std::process::exit(2);
+    }
     if what == "all" {
         for k in KNOWN {
             run(k);
@@ -167,6 +186,7 @@ fn main() {
             ("incr", _) => run_incr(json),
             ("storm", _) => run_storm(json),
             ("serve", _) => run_serve_cmd(clients.unwrap_or(8), json),
+            ("warm", _) => run_warm(json, store),
             _ => run(what),
         }
     } else {
@@ -1111,6 +1131,52 @@ fn run_storm(json: bool) {
     }
 }
 
+/// `repro warm [--store DIR] [--json]`: run the RailCab variants × faults
+/// campaign three times — store-disabled, cold against the store, and
+/// seeded from it — and report the rig work the warm start saved. The hard
+/// assertions (all three runs verdict-identical; the seeded run drives at
+/// most half the cold run's rig steps on a fresh store) run *inside*
+/// `muml_bench::warm::warm_campaign`; with `--json` the per-cell numbers
+/// land in `BENCH_warm.json` (schema: DESIGN.md §16). Without `--store`
+/// the store lives in a fresh temp directory that is removed afterwards;
+/// with it, re-invocations exercise the pre-warmed path (the CI
+/// cache-poisoning guard).
+fn run_warm(json: bool, store: Option<std::path::PathBuf>) {
+    use muml_bench::warm::warm_campaign;
+
+    heading("Warm — store-seeded campaign vs cold start");
+    let (dir, ephemeral) = match store {
+        Some(dir) => (dir, false),
+        None => {
+            let dir = std::env::temp_dir().join(format!("muml-repro-warm-{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            (dir, true)
+        }
+    };
+    std::fs::create_dir_all(&dir).expect("create store directory");
+    let report = warm_campaign(&dir);
+    print!("{}", report.render());
+    println!(
+        "verdicts identical across all three runs; store {}",
+        if report.store_prewarmed {
+            "was pre-warmed (step reduction not comparable)"
+        } else {
+            "started cold"
+        }
+    );
+    if json {
+        let doc = report.to_json();
+        std::fs::write("BENCH_warm.json", doc.encode() + "\n").expect("write BENCH_warm.json");
+        println!(
+            "wrote BENCH_warm.json ({} campaign cells)",
+            report.jobs.len()
+        );
+    }
+    if ephemeral {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 /// `repro fleet [--jobs N] [--json]`: expand the RailCab variants × faults
 /// campaign, run it serially (1 worker) and pooled (N workers), verify that
 /// both aggregations fingerprint identically, and report the wall-clock
@@ -1540,6 +1606,7 @@ fn run(what: &str) {
         "incr" => run_incr(false),
         "storm" => run_storm(false),
         "serve" => run_serve_cmd(8, false),
+        "warm" => run_warm(false, None),
         "table_e" => {
             heading("Table T-E — multi-legacy parallel learning (n = 4, k = 2)");
             let (single, twin) = table_e(4, 2);

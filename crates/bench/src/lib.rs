@@ -8,4 +8,5 @@ pub mod campaign;
 pub mod experiments;
 pub mod harness;
 pub mod storm;
+pub mod warm;
 pub mod workload;

@@ -139,6 +139,55 @@ fn serve_runs_clean_and_writes_the_artefact() {
 }
 
 #[test]
+fn store_flag_is_warm_only() {
+    let out = repro(&["fleet", "--store", "/tmp/x"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--store is only supported for `warm`"));
+    let out = repro(&["warm", "--store"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--store requires"));
+}
+
+#[test]
+fn warm_runs_clean_twice_and_writes_the_artefact() {
+    // First run against a persistent store: cold, must show the seeded
+    // run's ≥2× step reduction (the assertion is built in — a regression
+    // panics). Second run against the same store is the cache-poisoning
+    // guard: every cell now seeds from the first run's snapshots, and any
+    // flipped verdict panics inside warm_campaign.
+    let dir = std::env::temp_dir().join(format!("repro-warm-cli-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("store");
+    for (pass, prewarmed) in [("cold", false), ("prewarmed", true)] {
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["warm", "--json", "--store", store.to_str().unwrap()])
+            .current_dir(&dir)
+            .output()
+            .expect("repro binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{pass} pass stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("verdicts identical"), "{pass}: {stdout}");
+        let artefact = std::fs::read_to_string(dir.join("BENCH_warm.json")).unwrap();
+        assert!(artefact.contains("\"artefact\":\"warm\""), "{artefact}");
+        assert!(
+            artefact.contains("\"verdicts_identical\":true"),
+            "{artefact}"
+        );
+        assert!(
+            artefact.contains(&format!("\"store_prewarmed\":{prewarmed}")),
+            "{pass}: {artefact}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn storm_runs_clean_and_writes_the_artefact() {
     // The full sweep runs in a few seconds; `--json` must exit 0 (the
     // soundness assertion is built in — a flipped verdict panics) and

@@ -41,6 +41,8 @@
 //! [`muml_obs::EventSink`] — see [`crate::IntegrationSession`] for the
 //! instrumented entry point; [`verify_integration`] runs with a null sink.
 
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use muml_automata::{
@@ -52,6 +54,7 @@ use muml_legacy::{
 };
 use muml_logic::{check_all_with, fusable, fused_check_all, CheckSeed, Checker, Formula, Verdict};
 use muml_obs::{EventSink, LoopEvent, NullSink, Phase, PhaseTimer, PhaseTimings, RunOutcome};
+use muml_store::{ComponentSignature, DeltaRecord, Snapshot, Store, StoreLookup};
 
 use crate::cancel::CancelToken;
 use crate::error::CoreError;
@@ -68,6 +71,11 @@ pub struct LegacyUnit<'a> {
     pub ports: PortMap,
     /// Maps monitored state names to the atomic propositions they fulfil.
     pub prop_mapper: Box<StatePropMapper<'a>>,
+    /// Content signature of the component's interface + rule set, used to
+    /// key the warm-start store (see [`IntegrationConfig::with_store`]).
+    /// `None` (the default) makes the unit invisible to the store: no
+    /// lookup on entry, no snapshot persisted on exit.
+    pub signature: Option<ComponentSignature>,
 }
 
 impl<'a> LegacyUnit<'a> {
@@ -85,6 +93,7 @@ impl<'a> LegacyUnit<'a> {
                 }
                 props
             }),
+            signature: None,
         }
     }
 
@@ -92,6 +101,14 @@ impl<'a> LegacyUnit<'a> {
     #[must_use]
     pub fn with_mapper(mut self, mapper: impl Fn(&str) -> Vec<String> + 'a) -> Self {
         self.prop_mapper = Box::new(mapper);
+        self
+    }
+
+    /// Attaches the component's content signature, enabling warm-start
+    /// lookups and snapshot persistence when the session carries a store.
+    #[must_use]
+    pub fn with_signature(mut self, signature: ComponentSignature) -> Self {
+        self.signature = Some(signature);
         self
     }
 }
@@ -164,6 +181,14 @@ pub struct IntegrationConfig {
     /// least-fixpoint worklists on products above the checker's size
     /// threshold, with bit-identical verdicts and work counters.
     pub check_shards: usize,
+    /// Content-addressed warm-start store. When set, every unit carrying a
+    /// [`ComponentSignature`] is looked up before iteration 0: a hit seeds
+    /// the learned abstraction from the persisted snapshot instead of the
+    /// chaotic initial one, and the final learned state is persisted back
+    /// on every terminal verdict. Store problems (corrupt files, version
+    /// skew, I/O errors) degrade to a cold start — they never fail the
+    /// run. `None` (the default) keeps the loop fully stateless.
+    pub store: Option<Arc<Store>>,
 }
 
 impl Default for IntegrationConfig {
@@ -179,6 +204,7 @@ impl Default for IntegrationConfig {
             flake_budget: 2,
             fused: false,
             check_shards: 1,
+            store: None,
         }
     }
 }
@@ -256,6 +282,22 @@ impl IntegrationConfig {
     #[must_use]
     pub fn with_check_shards(mut self, check_shards: usize) -> Self {
         self.check_shards = check_shards.max(1);
+        self
+    }
+
+    /// Opens (or creates) the warm-start store rooted at `path` and
+    /// attaches it to the loop.
+    #[must_use]
+    pub fn with_store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store = Some(Arc::new(Store::open(path)));
+        self
+    }
+
+    /// Attaches an already-open store shared with other sessions (e.g. a
+    /// fleet's workers or a resident daemon).
+    #[must_use]
+    pub fn with_shared_store(mut self, store: Arc<Store>) -> Self {
+        self.store = Some(store);
         self
     }
 }
@@ -536,6 +578,81 @@ pub(crate) fn run_loop(
         });
     }
 
+    // Flake tolerance: counterexamples whose test ended inconclusive are
+    // quarantined (keyed by their rendered listing) so the checker is asked
+    // for alternates instead. Declared before the warm-start block because
+    // a store hit re-seeds the quarantine of the previous run.
+    let mut quarantined: std::collections::HashSet<String> = std::collections::HashSet::new();
+    // Warm start (store-backed): replace the chaotic initial abstraction of
+    // every signed unit with its persisted learned model. The seeded model
+    // is observation-conforming by construction (every snapshot is a final
+    // learned state of a previous run against the *same* rule set — the
+    // fingerprint guarantees that), so Lemmas 5–7 apply unchanged: the loop
+    // merely starts from a later point of the same monotone chain. Any
+    // store problem degrades to the cold start above.
+    let mut store_history: Vec<Vec<DeltaRecord>> = vec![Vec::new(); units.len()];
+    if let Some(store) = config.store.as_deref() {
+        for (i, unit) in units.iter().enumerate() {
+            let Some(sig) = unit.signature.as_ref() else {
+                continue;
+            };
+            let name = unit.component.name().to_owned();
+            let seeded = match store.lookup(sig) {
+                StoreLookup::Hit { snapshot } => Some((snapshot, None)),
+                StoreLookup::Invalidated {
+                    snapshot,
+                    touched_states,
+                    ..
+                } => Some((snapshot, Some(touched_states))),
+                StoreLookup::Miss { reason } => {
+                    sink.emit(&LoopEvent::StoreMiss {
+                        component: name.clone(),
+                        reason: reason.describe(),
+                    });
+                    None
+                }
+            };
+            if let Some((snapshot, touched)) = seeded {
+                match IncompleteAutomaton::from_snapshot(u, &snapshot.automaton) {
+                    Ok(mut m) => {
+                        apply_props(u, &mut m, &unit.prop_mapper);
+                        let event = match touched {
+                            None => LoopEvent::StoreHit {
+                                component: name,
+                                fingerprint: sig.fingerprint(),
+                                states: m.state_count(),
+                                transitions: m.transition_count(),
+                                refusals: m.refusal_count(),
+                                quarantined: snapshot.quarantined.len(),
+                            },
+                            Some(touched_states) => LoopEvent::StoreInvalidated {
+                                component: name,
+                                fingerprint: sig.fingerprint(),
+                                touched_states,
+                                states: m.state_count(),
+                                transitions: m.transition_count(),
+                                refusals: m.refusal_count(),
+                            },
+                        };
+                        sink.emit(&event);
+                        quarantined.extend(snapshot.quarantined.iter().cloned());
+                        store_history[i] = snapshot.history;
+                        learned[i] = m;
+                    }
+                    Err(e) => {
+                        sink.emit(&LoopEvent::StoreMiss {
+                            component: name,
+                            reason: format!("restore failed: {e}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Per-unit learn deltas accumulated over the whole run, merged with the
+    // still-pending delta at persistence time to append one history record.
+    let mut run_delta: Vec<LearnDelta> = vec![LearnDelta::default(); units.len()];
+
     let mut iterations = Vec::new();
     let mut stats = IntegrationStats::default();
     // The composition cache owns the chaotic closures and the product and
@@ -543,11 +660,8 @@ pub(crate) fn run_loop(
     // previous iteration's satisfaction sets into the next check.
     let mut cache = CompositionCache::new();
     let mut prev_seed: Option<CheckSeed> = None;
-    // Flake tolerance: counterexamples whose test ended inconclusive are
-    // quarantined (keyed by their rendered listing) so the checker is asked
-    // for alternates instead; `stalled` counts consecutive iterations that
-    // quarantined without learning anything, bounded by the flake budget.
-    let mut quarantined: std::collections::HashSet<String> = std::collections::HashSet::new();
+    // `stalled` counts consecutive iterations that quarantined without
+    // learning anything, bounded by the flake budget.
     let mut stalled = 0usize;
     let mut clock = SimClock::new();
 
@@ -599,6 +713,14 @@ pub(crate) fn run_loop(
                             counterexample: None,
                             outcome: IterationOutcome::Proven,
                         });
+                        persist_learned(
+                            config,
+                            units,
+                            &learned,
+                            &quarantined,
+                            &store_history,
+                            &run_delta,
+                        );
                         sink.emit(&LoopEvent::RunFinished {
                             iterations: stats.iterations,
                             outcome: RunOutcome::Proven,
@@ -627,6 +749,9 @@ pub(crate) fn run_loop(
         // (checking, counterexamples, projections) is mode-agnostic.
         let compose_timer = PhaseTimer::start(Phase::Compose);
         let deltas: Vec<LearnDelta> = learned.iter_mut().map(|m| m.take_delta()).collect();
+        for (acc, d) in run_delta.iter_mut().zip(&deltas) {
+            acc.merge(d);
+        }
         let (info, carry) = cache.recompose(
             context,
             &learned,
@@ -715,6 +840,14 @@ pub(crate) fn run_loop(
                     counterexample: None,
                     outcome: IterationOutcome::Proven,
                 });
+                persist_learned(
+                    config,
+                    units,
+                    &learned,
+                    &quarantined,
+                    &store_history,
+                    &run_delta,
+                );
                 sink.emit(&LoopEvent::RunFinished {
                     iterations: stats.iterations,
                     outcome: RunOutcome::Proven,
@@ -887,6 +1020,14 @@ pub(crate) fn run_loop(
                     counterexample: Some(cex_listing.clone()),
                     outcome: IterationOutcome::Fault,
                 });
+                persist_learned(
+                    config,
+                    units,
+                    &learned,
+                    &quarantined,
+                    &store_history,
+                    &run_delta,
+                );
                 sink.emit(&LoopEvent::RunFinished {
                     iterations: stats.iterations,
                     outcome: RunOutcome::RealFault,
@@ -998,6 +1139,14 @@ pub(crate) fn run_loop(
                         counterexample: Some(cex_listing.clone()),
                         outcome: IterationOutcome::Fault,
                     });
+                    persist_learned(
+                        config,
+                        units,
+                        &learned,
+                        &quarantined,
+                        &store_history,
+                        &run_delta,
+                    );
                     sink.emit(&LoopEvent::RunFinished {
                         iterations: stats.iterations,
                         outcome: RunOutcome::RealFault,
@@ -1046,6 +1195,14 @@ pub(crate) fn run_loop(
         } else if iteration_quarantines > 0 {
             stalled += 1;
             if stalled > config.flake_budget {
+                persist_learned(
+                    config,
+                    units,
+                    &learned,
+                    &quarantined,
+                    &store_history,
+                    &run_delta,
+                );
                 sink.emit(&LoopEvent::RunFinished {
                     iterations: stats.iterations,
                     outcome: RunOutcome::Inconclusive,
@@ -1069,6 +1226,59 @@ pub(crate) fn run_loop(
         nanos: run_start.elapsed().as_nanos() as u64,
     });
     Err(CoreError::IterationLimit(config.max_iterations))
+}
+
+/// Persists every signed unit's final learned model back into the
+/// warm-start store, appending one [`DeltaRecord`] for this run's growth
+/// (the accumulated drained deltas merged with the still-pending one) to
+/// the snapshot's history. Called once per terminal verdict; a run that
+/// learned nothing still refreshes the snapshot (the quarantine list may
+/// have changed). Save failures are deliberately ignored — the store has
+/// cache semantics, and a full disk must not flip a sound verdict into an
+/// error.
+fn persist_learned(
+    config: &IntegrationConfig,
+    units: &[LegacyUnit<'_>],
+    learned: &[IncompleteAutomaton],
+    quarantined: &std::collections::HashSet<String>,
+    store_history: &[Vec<DeltaRecord>],
+    run_delta: &[LearnDelta],
+) {
+    let Some(store) = config.store.as_deref() else {
+        return;
+    };
+    for (i, unit) in units.iter().enumerate() {
+        let Some(sig) = unit.signature.as_ref() else {
+            continue;
+        };
+        let m = &learned[i];
+        let mut delta = run_delta[i].clone();
+        delta.merge(m.pending_delta());
+        let mut history = store_history[i].clone();
+        let record = DeltaRecord {
+            new_states: delta.new_states,
+            new_transitions: delta.new_transitions,
+            new_refusals: delta.new_refusals,
+            initial_changed: delta.initial_changed,
+            dirty: delta
+                .dirty
+                .iter()
+                .map(|s| m.state_name(*s).to_owned())
+                .collect(),
+        };
+        if !record.is_empty() {
+            history.push(record);
+        }
+        let mut quarantined: Vec<String> = quarantined.iter().cloned().collect();
+        quarantined.sort();
+        let snapshot = Snapshot {
+            signature: sig.clone(),
+            automaton: m.to_snapshot(),
+            history,
+            quarantined,
+        };
+        let _ = store.save(&snapshot);
+    }
 }
 
 /// Books one retried test execution into the stats and emits the

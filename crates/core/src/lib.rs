@@ -81,6 +81,7 @@ mod report;
 mod session;
 
 pub use muml_obs as obs;
+pub use muml_store as store;
 
 pub use cancel::CancelToken;
 pub use driver::{

@@ -102,6 +102,17 @@ impl<'a> IntegrationSession<'a> {
         self
     }
 
+    /// Opens (or creates) the content-addressed warm-start store rooted at
+    /// `path` and attaches it to the run: units carrying a
+    /// [`muml_store::ComponentSignature`] (see
+    /// [`LegacyUnit::with_signature`](crate::LegacyUnit::with_signature))
+    /// seed their learned abstraction from a persisted snapshot on a hit
+    /// and persist the final one back on every terminal verdict.
+    pub fn with_store(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.config = self.config.with_store(path);
+        self
+    }
+
     /// Attaches a cooperative cancellation token (see
     /// [`CancelToken`](crate::CancelToken)); the loop polls it at iteration
     /// boundaries and before each counterexample test.

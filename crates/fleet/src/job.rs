@@ -14,14 +14,6 @@ use muml_obs::SharedSink;
 
 use crate::request::JobRequest;
 
-/// Deprecated name of the wire-stable job schema.
-#[deprecated(
-    since = "0.6.0",
-    note = "renamed to `JobRequest`; the schema is now pure data resolved \
-            through a `JobRegistry`"
-)]
-pub type JobSpec = JobRequest;
-
 /// Per-job execution context handed to the work closure.
 #[derive(Debug, Clone, Default)]
 pub struct JobContext {
@@ -35,6 +27,13 @@ pub struct JobContext {
     /// subscriber is listening (`None` = discard). Work closures that run
     /// an `IntegrationSession` should wire this in as the session sink.
     pub loop_sink: Option<SharedSink>,
+    /// The campaign's shared warm-start store, when the pool was given one
+    /// (see [`FleetConfig::with_store`](crate::FleetConfig::with_store)).
+    /// Work closures attach it to their session via
+    /// [`IntegrationConfig::with_shared_store`](muml_core::IntegrationConfig::with_shared_store)
+    /// and sign their units so repeat campaigns seed from persisted
+    /// snapshots.
+    pub store: Option<std::sync::Arc<muml_core::store::Store>>,
 }
 
 /// The executable work of a job. Runs on a worker thread; everything the
@@ -234,13 +233,6 @@ mod tests {
         assert_eq!(request.fault.as_deref(), Some("drop[x]"));
         assert_eq!(request.max_iterations, 64);
         assert_eq!(request.deadline, Some(Duration::from_secs(5)));
-    }
-
-    #[test]
-    fn deprecated_spec_alias_still_compiles() {
-        #[allow(deprecated)]
-        let spec: JobSpec = JobSpec::new(0, "legacy").with_variant("v");
-        assert_eq!(spec.variant, "v");
     }
 
     #[test]

@@ -41,8 +41,6 @@ mod report;
 pub mod request;
 
 pub use error::FleetError;
-#[allow(deprecated)]
-pub use job::JobSpec;
 pub use job::{classify, Job, JobContext, JobOutcome, JobResult, JobWork};
 pub use pool::{run_fleet, FleetConfig};
 pub use report::FleetReport;

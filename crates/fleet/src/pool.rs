@@ -66,6 +66,11 @@ pub struct FleetConfig {
     /// A `muml-serve` daemon plugs a subscriber fan-out in here; the
     /// in-process CLI normally leaves it unset.
     pub loop_sink: Option<SharedSink>,
+    /// Warm-start store shared by every worker via
+    /// [`JobContext::store`](crate::JobContext) (`None` = stateless jobs).
+    /// The store serializes its own file access, so one instance safely
+    /// backs the whole pool — and a co-resident `muml-serve` daemon.
+    pub store: Option<Arc<muml_core::store::Store>>,
 }
 
 impl Default for FleetConfig {
@@ -76,6 +81,7 @@ impl Default for FleetConfig {
             retry_backoff: Duration::ZERO,
             breaker_threshold: None,
             loop_sink: None,
+            store: None,
         }
     }
 }
@@ -115,6 +121,21 @@ impl FleetConfig {
     #[must_use]
     pub fn with_loop_sink(mut self, sink: SharedSink) -> Self {
         self.loop_sink = Some(sink);
+        self
+    }
+
+    /// Opens (or creates) the warm-start store rooted at `path` and shares
+    /// it with every worker (see [`FleetConfig::store`]).
+    #[must_use]
+    pub fn with_store(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.store = Some(Arc::new(muml_core::store::Store::open(path)));
+        self
+    }
+
+    /// Shares an already-open store with every worker.
+    #[must_use]
+    pub fn with_shared_store(mut self, store: Arc<muml_core::store::Store>) -> Self {
+        self.store = Some(store);
         self
     }
 }
@@ -198,7 +219,8 @@ pub fn run_fleet(jobs: Vec<Job>, config: &FleetConfig, sink: &mut dyn FleetSink)
             let backoff = config.retry_backoff;
             let threshold = config.breaker_threshold;
             let loop_sink = config.loop_sink.clone();
-            scope.spawn(move || worker_loop(worker, rx, tx, backoff, threshold, loop_sink));
+            let store = config.store.clone();
+            scope.spawn(move || worker_loop(worker, rx, tx, backoff, threshold, loop_sink, store));
         }
         // The workers hold the only remaining senders; dropping ours makes
         // the drain loop below terminate when the last worker exits.
@@ -294,6 +316,7 @@ fn worker_loop(
     retry_backoff: Duration,
     breaker_threshold: Option<usize>,
     loop_sink: Option<SharedSink>,
+    store: Option<Arc<muml_core::store::Store>>,
 ) {
     let mut jobs = 0usize;
     let mut busy_nanos = 0u64;
@@ -344,6 +367,7 @@ fn worker_loop(
                 let context = JobContext {
                     cancel,
                     loop_sink: loop_sink.clone(),
+                    store: store.clone(),
                 };
                 let run = catch_unwind(AssertUnwindSafe(|| work(&context)));
                 let classified = match run {

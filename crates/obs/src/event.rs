@@ -62,6 +62,48 @@ pub enum LoopEvent {
         /// `|T̄|` — known refusals.
         refusals: usize,
     },
+    /// The persistent model store seeded the initial abstraction: a
+    /// snapshot learned in an earlier run matched the component's
+    /// content-address exactly, replacing the trivial automaton.
+    StoreHit {
+        /// The component.
+        component: String,
+        /// The matching content-address (16 hex digits).
+        fingerprint: String,
+        /// States seeded from the snapshot.
+        states: usize,
+        /// Transitions seeded.
+        transitions: usize,
+        /// Refusals seeded.
+        refusals: usize,
+        /// Quarantined trace listings carried over.
+        quarantined: usize,
+    },
+    /// The persistent model store had nothing usable for the component;
+    /// the run cold-starts from the trivial abstraction.
+    StoreMiss {
+        /// The component.
+        component: String,
+        /// Why (stable slug from `muml-store`'s `MissReason::describe`).
+        reason: String,
+    },
+    /// The component changed since its snapshot was learned: the store
+    /// diffed the rule sets and dropped the dirty cone, seeding only the
+    /// knowledge of untouched states.
+    StoreInvalidated {
+        /// The component.
+        component: String,
+        /// The *new* content-address the patched snapshot was re-keyed to.
+        fingerprint: String,
+        /// States whose learned knowledge was dropped.
+        touched_states: usize,
+        /// States seeded from the patched snapshot.
+        states: usize,
+        /// Transitions seeded (after the drop).
+        transitions: usize,
+        /// Refusals seeded (after the drop).
+        refusals: usize,
+    },
     /// A verification iteration began.
     IterationStarted {
         /// 0-based iteration index.
@@ -269,6 +311,9 @@ impl LoopEvent {
         match self {
             LoopEvent::RunStarted { .. } => "run_started",
             LoopEvent::InitialAbstraction { .. } => "initial_abstraction",
+            LoopEvent::StoreHit { .. } => "store_hit",
+            LoopEvent::StoreMiss { .. } => "store_miss",
+            LoopEvent::StoreInvalidated { .. } => "store_invalidated",
             LoopEvent::IterationStarted { .. } => "iteration_started",
             LoopEvent::Composed { .. } => "composed",
             LoopEvent::Recomposed { .. } => "recomposed",
@@ -302,6 +347,9 @@ impl LoopEvent {
             | LoopEvent::Quarantined { iteration, .. } => Some(*iteration),
             LoopEvent::RunStarted { .. }
             | LoopEvent::InitialAbstraction { .. }
+            | LoopEvent::StoreHit { .. }
+            | LoopEvent::StoreMiss { .. }
+            | LoopEvent::StoreInvalidated { .. }
             | LoopEvent::RunFinished { .. } => None,
         }
     }
@@ -328,6 +376,40 @@ impl LoopEvent {
                 refusals,
             } => {
                 obj.push(("component".into(), Json::Str(component.clone())));
+                obj.push(("states".into(), Json::from_usize(*states)));
+                obj.push(("transitions".into(), Json::from_usize(*transitions)));
+                obj.push(("refusals".into(), Json::from_usize(*refusals)));
+            }
+            LoopEvent::StoreHit {
+                component,
+                fingerprint,
+                states,
+                transitions,
+                refusals,
+                quarantined,
+            } => {
+                obj.push(("component".into(), Json::Str(component.clone())));
+                obj.push(("fingerprint".into(), Json::Str(fingerprint.clone())));
+                obj.push(("states".into(), Json::from_usize(*states)));
+                obj.push(("transitions".into(), Json::from_usize(*transitions)));
+                obj.push(("refusals".into(), Json::from_usize(*refusals)));
+                obj.push(("quarantined".into(), Json::from_usize(*quarantined)));
+            }
+            LoopEvent::StoreMiss { component, reason } => {
+                obj.push(("component".into(), Json::Str(component.clone())));
+                obj.push(("reason".into(), Json::Str(reason.clone())));
+            }
+            LoopEvent::StoreInvalidated {
+                component,
+                fingerprint,
+                touched_states,
+                states,
+                transitions,
+                refusals,
+            } => {
+                obj.push(("component".into(), Json::Str(component.clone())));
+                obj.push(("fingerprint".into(), Json::Str(fingerprint.clone())));
+                obj.push(("touched_states".into(), Json::from_usize(*touched_states)));
                 obj.push(("states".into(), Json::from_usize(*states)));
                 obj.push(("transitions".into(), Json::from_usize(*transitions)));
                 obj.push(("refusals".into(), Json::from_usize(*refusals)));

@@ -29,6 +29,31 @@ pub fn render_event(event: &LoopEvent) -> String {
         } => {
             format!("  init {component}: M_l^0 with |Q|={states} |T|={transitions} |T̄|={refusals}")
         }
+        LoopEvent::StoreHit {
+            component,
+            fingerprint,
+            states,
+            transitions,
+            refusals,
+            quarantined,
+        } => format!(
+            "  store hit {component} [{fingerprint}]: seeded |Q|={states} |T|={transitions} \
+             |T̄|={refusals}, {quarantined} quarantined"
+        ),
+        LoopEvent::StoreMiss { component, reason } => {
+            format!("  store miss {component}: {reason} — cold start")
+        }
+        LoopEvent::StoreInvalidated {
+            component,
+            fingerprint,
+            touched_states,
+            states,
+            transitions,
+            refusals,
+        } => format!(
+            "  store invalidated {component} [{fingerprint}]: {touched_states} touched states \
+             dropped, seeded |Q|={states} |T|={transitions} |T̄|={refusals}"
+        ),
         LoopEvent::IterationStarted { iteration } => format!("iteration {iteration}:"),
         LoopEvent::Composed {
             iteration: _,

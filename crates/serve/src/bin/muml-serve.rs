@@ -4,6 +4,7 @@
 //! ```text
 //! muml-serve [--tcp ADDR] [--unix PATH] [--workers N]
 //!            [--max-pending N] [--max-pending-per-client N]
+//!            [--store DIR]
 //! ```
 //!
 //! With no transport flags it binds TCP on `127.0.0.1:0` and prints the
@@ -23,7 +24,7 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: muml-serve [--tcp ADDR] [--unix PATH] [--workers N] \
-     [--max-pending N] [--max-pending-per-client N]"
+     [--max-pending N] [--max-pending-per-client N] [--store DIR]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -54,6 +55,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     &value("--max-pending-per-client")?,
                 )?;
                 config = config.with_max_pending_per_client(n);
+            }
+            "--store" => {
+                config = config.with_store(PathBuf::from(value("--store")?));
             }
             "--help" | "-h" => {
                 return Ok(Args {

@@ -10,6 +10,7 @@
 //! time.
 
 use muml_automata::Universe;
+use muml_core::store::ComponentSignature;
 use muml_core::{IntegrationConfig, IntegrationSession, LegacyUnit};
 use muml_fleet::{JobRegistry, JobRequest, JobWork, ResolveError};
 use muml_legacy::{fault_matrix, inject, LatentComponent};
@@ -71,15 +72,21 @@ fn resolve_railcab(request: &JobRequest) -> Result<JobWork, ResolveError> {
         if let Some(f) = &fault {
             inject(&mut shuttle, &u, f)?;
         }
+        // Signed *after* fault injection: the fingerprint keys the actual
+        // rule set under test, so each fault cell gets its own snapshot.
+        let signature = ComponentSignature::of_component(&shuttle, &u);
         let mut component = LatentComponent::new(shuttle, latency);
         let mut loop_sink = ctx.loop_sink.clone();
+        let mut config = IntegrationConfig::default().with_max_iterations(max_iterations);
+        let mut unit = LegacyUnit::new(&mut component, muml_railcab::scenario::rear_port_map(&u));
+        if let Some(store) = &ctx.store {
+            config = config.with_shared_store(std::sync::Arc::clone(store));
+            unit = unit.with_signature(signature);
+        }
         let mut session = IntegrationSession::new(&u, &context)
             .formula(muml_railcab::scenario::pattern_constraint(&u))
-            .unit(LegacyUnit::new(
-                &mut component,
-                muml_railcab::scenario::rear_port_map(&u),
-            ))
-            .config(IntegrationConfig::default().with_max_iterations(max_iterations))
+            .unit(unit)
+            .config(config)
             .cancel_token(ctx.cancel.clone());
         if let Some(sink) = loop_sink.as_mut() {
             session = session.sink(sink);

@@ -59,6 +59,11 @@ pub struct ServeConfig {
     /// How many finished jobs the verdict history retains (older records
     /// are evicted and their job ids forgotten).
     pub history_limit: usize,
+    /// Warm-start store shared by every worker (and, through the file
+    /// lock, with any co-resident fleet or daemon on the same directory).
+    /// Handed to work closures via [`JobContext::store`](muml_fleet::JobContext);
+    /// `None` keeps jobs stateless.
+    pub store: Option<Arc<muml_core::store::Store>>,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +74,7 @@ impl Default for ServeConfig {
             max_pending_per_client: 64,
             max_frame: MAX_FRAME_DEFAULT,
             history_limit: 1024,
+            store: None,
         }
     }
 }
@@ -106,6 +112,21 @@ impl ServeConfig {
     #[must_use]
     pub fn with_history_limit(mut self, limit: usize) -> Self {
         self.history_limit = limit.max(1);
+        self
+    }
+
+    /// Opens (or creates) the warm-start store rooted at `path` and shares
+    /// it with every worker (see [`ServeConfig::store`]).
+    #[must_use]
+    pub fn with_store(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.store = Some(Arc::new(muml_core::store::Store::open(path)));
+        self
+    }
+
+    /// Shares an already-open store with every worker.
+    #[must_use]
+    pub fn with_shared_store(mut self, store: Arc<muml_core::store::Store>) -> Self {
+        self.store = Some(store);
         self
     }
 }
@@ -651,6 +672,7 @@ fn worker_loop(worker: usize, inner: Arc<DaemonInner>) {
             let context = JobContext {
                 cancel: attempt_cancel,
                 loop_sink: Some(loop_sink.clone()),
+                store: inner.config.store.clone(),
             };
             let run = catch_unwind(AssertUnwindSafe(|| (job.work)(&context)));
             let classified = match run {

@@ -1,0 +1,390 @@
+//! The versioned on-disk snapshot format.
+//!
+//! A [`Snapshot`] is everything a later session needs to warm-start: the
+//! component signature it was learned against, the learned automaton as a
+//! name-based [`IncompleteSnapshot`], the accumulated learning history, and
+//! the quarantine records of flaky counterexample traces. The encoding is
+//! the workspace's hand-rolled JSON ([`muml_obs::json`]) under a `"v"`
+//! version tag, in the same style as `muml-serve`'s wire frames.
+//!
+//! Decoding is total: anything unexpected — truncation, mangled bytes, an
+//! unknown version — comes back as a typed [`SnapshotError`], which the
+//! store surfaces as a miss rather than an error.
+
+use muml_automata::{IncompleteSnapshot, SnapshotRefusal, SnapshotState, SnapshotTransition};
+use muml_obs::json::{parse, Json};
+
+use crate::signature::{str_array, str_field, str_list, ComponentSignature};
+
+/// The current snapshot schema version. Files tagged with any other value
+/// are treated as misses (never migrated in place).
+pub const SNAPSHOT_VERSION: i64 = 1;
+
+/// One run's worth of learning, appended to the snapshot history each time
+/// a session saves. State ids are rendered to names so the history stays
+/// meaningful across restores.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaRecord {
+    /// States created during the run.
+    pub new_states: usize,
+    /// Transitions added to `T`.
+    pub new_transitions: usize,
+    /// Refusals added to `T̄`.
+    pub new_refusals: usize,
+    /// Whether the initial-state set grew.
+    pub initial_changed: bool,
+    /// Names of the states whose knowledge changed.
+    pub dirty: Vec<String>,
+}
+
+impl DeltaRecord {
+    /// Whether the run learned nothing.
+    pub fn is_empty(&self) -> bool {
+        self.new_states == 0
+            && self.new_transitions == 0
+            && self.new_refusals == 0
+            && !self.initial_changed
+            && self.dirty.is_empty()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("states".into(), Json::from_usize(self.new_states)),
+            ("transitions".into(), Json::from_usize(self.new_transitions)),
+            ("refusals".into(), Json::from_usize(self.new_refusals)),
+            ("initial_changed".into(), Json::Bool(self.initial_changed)),
+            ("dirty".into(), str_array(&self.dirty)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, String> {
+        Ok(DeltaRecord {
+            new_states: usize_field(json, "states")?,
+            new_transitions: usize_field(json, "transitions")?,
+            new_refusals: usize_field(json, "refusals")?,
+            initial_changed: json
+                .get("initial_changed")
+                .and_then(Json::as_bool)
+                .ok_or("missing or non-bool field `initial_changed`")?,
+            dirty: str_list(json, "dirty")?,
+        })
+    }
+}
+
+/// A persisted learned model: the unit of storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The component this model was learned against.
+    pub signature: ComponentSignature,
+    /// The learned automaton, name-based and order-preserving.
+    pub automaton: IncompleteSnapshot,
+    /// Per-run learning history, oldest first.
+    pub history: Vec<DeltaRecord>,
+    /// Rendered listings of quarantined counterexample traces (PR 5's flake
+    /// quarantine), carried across runs so a flaky trace is not re-driven.
+    pub quarantined: Vec<String>,
+}
+
+/// Why a snapshot failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The `"v"` tag held a version this build does not understand.
+    UnknownVersion(i64),
+    /// The bytes were not a well-formed snapshot (parse failure, missing
+    /// field, wrong type, dangling index).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::UnknownVersion(v) => write!(f, "unknown snapshot version {v}"),
+            SnapshotError::Corrupt(detail) => write!(f, "corrupt snapshot: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl Snapshot {
+    /// Encodes the snapshot as versioned JSON text.
+    pub fn encode(&self) -> String {
+        let a = &self.automaton;
+        let states = a
+            .states
+            .iter()
+            .map(|s| {
+                Json::Object(vec![
+                    ("name".into(), Json::Str(s.name.clone())),
+                    ("props".into(), str_array(&s.props)),
+                ])
+            })
+            .collect();
+        let transitions = a
+            .transitions
+            .iter()
+            .map(|t| {
+                Json::Object(vec![
+                    ("from".into(), Json::from_usize(t.from)),
+                    ("ins".into(), str_array(&t.inputs)),
+                    ("outs".into(), str_array(&t.outputs)),
+                    ("to".into(), Json::from_usize(t.to)),
+                ])
+            })
+            .collect();
+        let refusals = a
+            .refusals
+            .iter()
+            .map(|r| {
+                Json::Object(vec![
+                    ("state".into(), Json::from_usize(r.state)),
+                    ("ins".into(), str_array(&r.inputs)),
+                    ("outs".into(), str_array(&r.outputs)),
+                ])
+            })
+            .collect();
+        let automaton = Json::Object(vec![
+            ("name".into(), Json::Str(a.name.clone())),
+            ("inputs".into(), str_array(&a.inputs)),
+            ("outputs".into(), str_array(&a.outputs)),
+            ("states".into(), Json::Array(states)),
+            ("transitions".into(), Json::Array(transitions)),
+            ("refusals".into(), Json::Array(refusals)),
+            (
+                "initial".into(),
+                Json::Array(a.initial.iter().map(|&i| Json::from_usize(i)).collect()),
+            ),
+        ]);
+        Json::Object(vec![
+            ("v".into(), Json::Int(SNAPSHOT_VERSION)),
+            ("signature".into(), self.signature.to_json()),
+            ("automaton".into(), automaton),
+            (
+                "history".into(),
+                Json::Array(self.history.iter().map(DeltaRecord::to_json).collect()),
+            ),
+            ("quarantined".into(), str_array(&self.quarantined)),
+        ])
+        .encode()
+    }
+
+    /// Decodes snapshot text.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::UnknownVersion`] when the version tag is present
+    /// but unsupported, [`SnapshotError::Corrupt`] for everything else.
+    pub fn decode(text: &str) -> Result<Snapshot, SnapshotError> {
+        let corrupt = |detail: String| SnapshotError::Corrupt(detail);
+        let json = parse(text).map_err(|e| corrupt(format!("not JSON: {e}")))?;
+        let version = json
+            .get("v")
+            .and_then(Json::as_int)
+            .ok_or_else(|| corrupt("missing version tag `v`".to_owned()))?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnknownVersion(version));
+        }
+        let signature = json
+            .get("signature")
+            .ok_or_else(|| corrupt("missing `signature`".to_owned()))
+            .and_then(|s| ComponentSignature::from_json(s).map_err(corrupt))?;
+        let automaton = json
+            .get("automaton")
+            .ok_or_else(|| corrupt("missing `automaton`".to_owned()))
+            .and_then(|a| decode_automaton(a).map_err(corrupt))?;
+        let history = match json.get("history") {
+            Some(Json::Array(items)) => items
+                .iter()
+                .map(DeltaRecord::from_json)
+                .collect::<Result<Vec<_>, String>>()
+                .map_err(corrupt)?,
+            _ => return Err(corrupt("missing or non-array `history`".to_owned())),
+        };
+        let quarantined = str_list(&json, "quarantined").map_err(corrupt)?;
+        Ok(Snapshot {
+            signature,
+            automaton,
+            history,
+            quarantined,
+        })
+    }
+}
+
+fn usize_field(json: &Json, key: &str) -> Result<usize, String> {
+    json.get(key)
+        .and_then(Json::as_int)
+        .and_then(|v| usize::try_from(v).ok())
+        .ok_or_else(|| format!("missing or non-natural field `{key}`"))
+}
+
+fn decode_automaton(json: &Json) -> Result<IncompleteSnapshot, String> {
+    let states = match json.get("states") {
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|s| {
+                Ok(SnapshotState {
+                    name: str_field(s, "name")?,
+                    props: str_list(s, "props")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        _ => return Err("missing or non-array `states`".to_owned()),
+    };
+    let transitions = match json.get("transitions") {
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|t| {
+                Ok(SnapshotTransition {
+                    from: usize_field(t, "from")?,
+                    inputs: str_list(t, "ins")?,
+                    outputs: str_list(t, "outs")?,
+                    to: usize_field(t, "to")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        _ => return Err("missing or non-array `transitions`".to_owned()),
+    };
+    let refusals = match json.get("refusals") {
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|r| {
+                Ok(SnapshotRefusal {
+                    state: usize_field(r, "state")?,
+                    inputs: str_list(r, "ins")?,
+                    outputs: str_list(r, "outs")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        _ => return Err("missing or non-array `refusals`".to_owned()),
+    };
+    let initial = match json.get("initial") {
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|i| {
+                i.as_int()
+                    .and_then(|v| usize::try_from(v).ok())
+                    .ok_or_else(|| "non-natural entry in `initial`".to_owned())
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        _ => return Err("missing or non-array `initial`".to_owned()),
+    };
+    Ok(IncompleteSnapshot {
+        name: str_field(json, "name")?,
+        inputs: str_list(json, "inputs")?,
+        outputs: str_list(json, "outputs")?,
+        states,
+        transitions,
+        refusals,
+        initial,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::RuleSignature;
+    use muml_automata::{IncompleteAutomaton, Label, Observation, SignalSet, Universe};
+
+    pub(crate) fn sample() -> Snapshot {
+        let u = Universe::new();
+        let inputs = u.signals(["go", "halt"]);
+        let outputs = u.signals(["ack"]);
+        let mut m = IncompleteAutomaton::trivial(&u, "rear", inputs, outputs, "idle");
+        m.learn(&Observation::regular(
+            vec!["idle".into(), "run".into()],
+            vec![Label::new(u.signals(["go"]), u.signals(["ack"]))],
+        ))
+        .unwrap();
+        m.learn(&Observation::blocked(
+            vec!["run".into()],
+            vec![Label::new(u.signals(["go"]), SignalSet::EMPTY)],
+        ))
+        .unwrap();
+        m.set_prop("run", u.prop("busy"));
+        let signature = ComponentSignature::new(
+            "rear",
+            ["go".into(), "halt".into()],
+            ["ack".into()],
+            "idle",
+            vec![RuleSignature::new(
+                "idle",
+                ["go".to_owned()],
+                ["ack".to_owned()],
+                "run",
+            )],
+        );
+        Snapshot {
+            signature,
+            automaton: m.to_snapshot(),
+            history: vec![DeltaRecord {
+                new_states: 1,
+                new_transitions: 1,
+                new_refusals: 1,
+                initial_changed: false,
+                dirty: vec!["idle".into(), "run".into()],
+            }],
+            quarantined: vec!["trace: idle -go/ack-> run".into()],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let snap = sample();
+        let back = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(back, snap);
+        // The restored automaton must be reconstructible.
+        let u = Universe::new();
+        let m = IncompleteAutomaton::from_snapshot(&u, &back.automaton).unwrap();
+        assert_eq!(m.state_count(), 2);
+        assert_eq!(m.transition_count(), 1);
+        assert_eq!(m.refusal_count(), 1);
+    }
+
+    #[test]
+    fn unknown_version_is_typed() {
+        let text = sample().encode().replacen("\"v\":1", "\"v\":99", 1);
+        assert_eq!(
+            Snapshot::decode(&text),
+            Err(SnapshotError::UnknownVersion(99))
+        );
+    }
+
+    #[test]
+    fn missing_version_is_corrupt() {
+        assert!(matches!(
+            Snapshot::decode("{}"),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let text = sample().encode();
+        for len in 0..text.len() {
+            let prefix = &text[..len];
+            let err = Snapshot::decode(prefix).expect_err("truncated snapshot decoded");
+            assert!(
+                matches!(err, SnapshotError::Corrupt(_)),
+                "prefix of {len} bytes gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mangled_bytes_never_panic() {
+        let text = sample().encode();
+        let bytes = text.as_bytes();
+        // Deterministic fuzz: overwrite each position with hostile bytes.
+        for step in [1usize, 7, 13] {
+            for i in (0..bytes.len()).step_by(step) {
+                let mut mangled = bytes.to_vec();
+                mangled[i] = mangled[i].wrapping_add(0x41);
+                if let Ok(s) = String::from_utf8(mangled) {
+                    // Either it still decodes (the byte landed in free
+                    // text) or it fails with a typed error — never panics.
+                    let _ = Snapshot::decode(&s);
+                }
+            }
+        }
+    }
+}

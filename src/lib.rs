@@ -39,6 +39,7 @@
 //! | [`legacy`] | `muml-legacy` | black-box runtime, monitoring, deterministic replay |
 //! | [`core`] | `muml-core` | **the paper's contribution**: the iterative synthesis loop |
 //! | [`obs`] | `muml-obs` | structured loop telemetry: events, sinks, phase timers |
+//! | [`store`] | `muml-store` | content-addressed warm-start store: fingerprinted snapshots of learned abstractions |
 //! | [`fleet`] | `muml-fleet` | concurrent batch verification: worker pool, job deadlines, deterministic campaign reports |
 //! | [`inference`] | `muml-inference` | baselines: `L*`, W-method, black-box checking |
 //! | [`railcab`] | `muml-railcab` | the RailCab shuttle-convoy case study |
@@ -90,6 +91,7 @@ pub use muml_logic as logic;
 pub use muml_obs as obs;
 pub use muml_railcab as railcab;
 pub use muml_rtsc as rtsc;
+pub use muml_store as store;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -104,8 +106,6 @@ pub mod prelude {
         verify_integration, CancelToken, IntegrationConfig, IntegrationReport, IntegrationSession,
         IntegrationVerdict, LegacyUnit,
     };
-    #[allow(deprecated)]
-    pub use muml_fleet::JobSpec;
     pub use muml_fleet::{
         run_fleet, FleetConfig, FleetReport, Job, JobOutcome, JobRegistry, JobRequest, ResolveError,
     };
