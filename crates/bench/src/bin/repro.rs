@@ -18,6 +18,8 @@
 //! repro serve --json         # also writes BENCH_serve.json
 //! repro warm [--store DIR]   # warm-start: campaign twice against a store
 //! repro warm --json          # also writes BENCH_warm.json
+//! repro probe                # trace cache + parallel probes vs serial
+//! repro probe --json         # also writes BENCH_probe.json
 //! repro all
 //! ```
 
@@ -39,7 +41,7 @@ use muml_obs::json::Json;
 use muml_obs::{Collector, LoopEvent, NullSink};
 use muml_railcab::scenario;
 
-const KNOWN: [&str; 24] = [
+const KNOWN: [&str; 25] = [
     "fig1",
     "fig2",
     "fig3",
@@ -64,13 +66,14 @@ const KNOWN: [&str; 24] = [
     "storm",
     "serve",
     "warm",
+    "probe",
 ];
 
 /// The artefacts that support `--json`, and the file each one writes. Both
 /// the usage text and the `--json` gate in `main` derive from this table,
 /// so a new JSON-emitting subcommand is one entry here plus its dispatch
 /// arm.
-const JSON_SUBCOMMANDS: [(&str, &str); 7] = [
+const JSON_SUBCOMMANDS: [(&str, &str); 8] = [
     ("fig2", "BENCH_loop.json"),
     ("check", "BENCH_check.json"),
     ("fleet", "BENCH_fleet.json"),
@@ -78,6 +81,7 @@ const JSON_SUBCOMMANDS: [(&str, &str); 7] = [
     ("storm", "BENCH_storm.json"),
     ("serve", "BENCH_serve.json"),
     ("warm", "BENCH_warm.json"),
+    ("probe", "BENCH_probe.json"),
 ];
 
 fn json_subcommand_names() -> String {
@@ -187,6 +191,7 @@ fn main() {
             ("storm", _) => run_storm(json),
             ("serve", _) => run_serve_cmd(clients.unwrap_or(8), json),
             ("warm", _) => run_warm(json, store),
+            ("probe", _) => run_probe(json),
             _ => run(what),
         }
     } else {
@@ -1177,6 +1182,26 @@ fn run_warm(json: bool, store: Option<std::path::PathBuf>) {
     }
 }
 
+/// `repro probe [--json]`: run the frontier-heavy counter workloads twice —
+/// trace cache disabled/serial vs cache enabled/parallel — with a simulated
+/// 200 µs-per-step rig. The hard assertions (identical verdicts, identical
+/// learned models, the cached run drives at most half the serial run's rig
+/// steps) run *inside* `muml_bench::probe::probe_campaign`; with `--json`
+/// the per-cell numbers land in `BENCH_probe.json`.
+fn run_probe(json: bool) {
+    use muml_bench::probe::probe_campaign;
+
+    heading("Probe — trace cache + parallel frontier probes vs serial");
+    let report = probe_campaign(std::time::Duration::from_micros(200));
+    print!("{}", report.render());
+    println!("verdicts and learned models identical across both runs");
+    if json {
+        let doc = report.to_json();
+        std::fs::write("BENCH_probe.json", doc.encode() + "\n").expect("write BENCH_probe.json");
+        println!("wrote BENCH_probe.json ({} cells)", report.jobs.len());
+    }
+}
+
 /// `repro fleet [--jobs N] [--json]`: expand the RailCab variants × faults
 /// campaign, run it serially (1 worker) and pooled (N workers), verify that
 /// both aggregations fingerprint identically, and report the wall-clock
@@ -1607,6 +1632,7 @@ fn run(what: &str) {
         "storm" => run_storm(false),
         "serve" => run_serve_cmd(8, false),
         "warm" => run_warm(false, None),
+        "probe" => run_probe(false),
         "table_e" => {
             heading("Table T-E — multi-legacy parallel learning (n = 4, k = 2)");
             let (single, twin) = table_e(4, 2);

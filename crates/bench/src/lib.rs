@@ -7,6 +7,7 @@
 pub mod campaign;
 pub mod experiments;
 pub mod harness;
+pub mod probe;
 pub mod storm;
 pub mod warm;
 pub mod workload;

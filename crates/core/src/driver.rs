@@ -47,10 +47,11 @@ use std::time::Instant;
 
 use muml_automata::{
     chaotic_closure, Automaton, ComposeOptions, CompositionCache, IncompleteAutomaton, Label,
-    LazyProduct, LearnDelta, RecomposeMode, Universe,
+    LazyProduct, LearnDelta, RecomposeMode, SignalSet, Universe,
 };
 use muml_legacy::{
-    execute_with_retry_on, PortMap, RetryPolicy, RetryReport, SimClock, StateObservable,
+    execute_with_retry_pooled, probe_offers_pooled, CacheStats, PortMap, RetryPolicy, RetryReport,
+    SimClock, StateObservable, TraceCache,
 };
 use muml_logic::{check_all_with, fusable, fused_check_all, CheckSeed, Checker, Formula, Verdict};
 use muml_obs::{EventSink, LoopEvent, NullSink, Phase, PhaseTimer, PhaseTimings, RunOutcome};
@@ -189,6 +190,22 @@ pub struct IntegrationConfig {
     /// skew, I/O errors) degrade to a cold start — they never fail the
     /// run. `None` (the default) keeps the loop fully stateless.
     pub store: Option<Arc<Store>>,
+    /// Memoize test executions in a per-component prefix-sharing trace
+    /// cache (`muml_legacy::TraceCache`): repeated counterexample tests
+    /// are synthesized without re-driving the rig, and frontier probes
+    /// resume from a checkpoint at the confirmed prefix instead of
+    /// replaying it. Memoization applies only to deterministic rigs —
+    /// flaky-rig results enter the cache only after quorum confirmation —
+    /// and verdicts are bit-identical either way. On by default; `false`
+    /// forces every test through the uncached serial executor, e.g. for
+    /// differential testing.
+    pub trace_cache: bool,
+    /// Scoped-thread pool width for independent rig executions (parallel
+    /// frontier probes and speculative quorum attempts, on cloned rigs,
+    /// merged in deterministic order). `1` (the default) keeps everything
+    /// on the calling thread; verdicts and learned models are identical
+    /// for any width.
+    pub test_parallelism: usize,
 }
 
 impl Default for IntegrationConfig {
@@ -205,6 +222,8 @@ impl Default for IntegrationConfig {
             fused: false,
             check_shards: 1,
             store: None,
+            trace_cache: true,
+            test_parallelism: 1,
         }
     }
 }
@@ -298,6 +317,21 @@ impl IntegrationConfig {
     #[must_use]
     pub fn with_shared_store(mut self, store: Arc<Store>) -> Self {
         self.store = Some(store);
+        self
+    }
+
+    /// Enables or disables the prefix-sharing trace cache (on by default).
+    #[must_use]
+    pub fn with_trace_cache(mut self, trace_cache: bool) -> Self {
+        self.trace_cache = trace_cache;
+        self
+    }
+
+    /// Sets the scoped-thread pool width for independent rig executions
+    /// (clamped to at least 1; `1` = fully serial).
+    #[must_use]
+    pub fn with_test_parallelism(mut self, test_parallelism: usize) -> Self {
+        self.test_parallelism = test_parallelism.max(1);
         self
     }
 }
@@ -421,6 +455,20 @@ pub struct IntegrationStats {
     pub quarantined_tests: usize,
     /// Retry backoff charged to the simulated clock, in ticks.
     pub backoff_ticks: u64,
+    /// Tests served entirely from the trace cache: the verdict was
+    /// synthesized from memoized responses with zero rig steps.
+    pub trace_cache_hits: usize,
+    /// Tests resumed from a trie checkpoint instead of replaying their
+    /// prefix from a reset.
+    pub trace_cache_resumes: usize,
+    /// Rig steps the uncached serial executor would have driven minus the
+    /// steps actually driven — the trace cache's counterfactual saving.
+    pub trace_cache_saved_steps: usize,
+    /// Counterexample projections skipped by the dedup guard because an
+    /// identical projection already diverged earlier in this run.
+    pub dedup_skipped: usize,
+    /// Batches of rig executions dispatched to the scoped-thread pool.
+    pub parallel_batches: usize,
     /// Fixpoint / backward-induction iterations of the model checker,
     /// summed over all verification runs.
     pub checker_fixpoint_iterations: u64,
@@ -663,7 +711,17 @@ pub(crate) fn run_loop(
     // `stalled` counts consecutive iterations that quarantined without
     // learning anything, bounded by the flake budget.
     let mut stalled = 0usize;
-    let mut clock = SimClock::new();
+    // All test executions (counterexample tests, frontier probes, frontier
+    // read-backs) go through the harness: one trace cache per unit (scoped
+    // to the signature fingerprint + rig token) plus the shared retry
+    // clock and thread-pool width.
+    let mut harness = TestHarness::new(units, config);
+    // Dedup guard: projection tuples whose test already *diverged* this
+    // run, mapped to the recorded divergence. Confirmed traces are never
+    // deduplicated — frontier probing after a confirmed deadlock is
+    // control flow the loop must not skip.
+    let mut tested_diverged: std::collections::HashMap<String, (String, usize)> =
+        std::collections::HashMap::new();
 
     for index in 0..config.max_iterations {
         check_cancel(config.cancel.as_ref(), index, run_start, sink)?;
@@ -917,25 +975,44 @@ pub(crate) fn run_loop(
             // inconclusive verdict quarantines the counterexample: its
             // trace never reaches the learner (a corrupted observation
             // would poison the Defs. 11/12 soundness argument).
+            let projections: Vec<Vec<Label>> = (0..units.len())
+                .map(|i| comp.project_run(&cx.run, i + 1).labels) // component 0 is the context
+                .collect();
+            // Dedup guard: an identical projection tuple that already
+            // diverged this run would re-learn the same observation and
+            // re-derive the same refutation — skip the rig entirely.
+            let dedup_key = format!("{projections:?}");
+            if let Some((component, divergence)) = tested_diverged.get(&dedup_key) {
+                stats.dedup_skipped += 1;
+                sink.emit(&LoopEvent::CexDeduped {
+                    iteration: index,
+                    component: component.clone(),
+                    divergence: *divergence,
+                });
+                record_outcome.get_or_insert(IterationOutcome::Refuted {
+                    component: component.clone(),
+                    divergence: *divergence,
+                });
+                continue;
+            }
             let mut diverged: Option<(String, usize)> = None;
             let mut inconclusive: Option<String> = None;
-            let mut projections: Vec<Vec<Label>> = Vec::new();
             for (i, unit) in units.iter_mut().enumerate() {
                 let name = unit.component.name().to_owned();
-                let idx = i + 1; // component 0 is the context
-                let proj = comp.project_run(&cx.run, idx);
-                let expected = proj.labels.clone();
+                let expected = &projections[i];
                 let test_timer = PhaseTimer::start(Phase::Test);
-                let rr = execute_with_retry_on(
+                let rr = harness.execute(
+                    i,
                     unit.component,
-                    &expected,
+                    expected,
                     u,
                     &unit.ports,
                     &config.retry,
-                    &mut clock,
+                    &mut stats,
+                    sink,
+                    index,
                 );
                 let test_ns = test_timer.stop(&mut stats.timings);
-                note_retry(&mut stats, sink, index, &name, &rr);
                 if !rr.verdict.is_conclusive() {
                     if config.flake_budget == 0 {
                         // Strict mode: a rig this unreliable (or a
@@ -982,7 +1059,6 @@ pub(crate) fn run_loop(
                 if let Some(t) = outcome.divergence {
                     diverged.get_or_insert((name, t));
                 }
-                projections.push(expected);
             }
 
             if let Some(component) = inconclusive {
@@ -1000,6 +1076,7 @@ pub(crate) fn run_loop(
             }
 
             if let Some((component, divergence)) = diverged {
+                tested_diverged.insert(dedup_key, (component.clone(), divergence));
                 record_outcome.get_or_insert(IterationOutcome::Refuted {
                     component,
                     divergence,
@@ -1067,7 +1144,7 @@ pub(crate) fn run_loop(
                 config,
                 sink,
                 index,
-                &mut clock,
+                &mut harness,
             )?;
             let probe_ns = probe_timer.stop(&mut stats.timings);
             match frontier {
@@ -1296,7 +1373,9 @@ pub(crate) fn note_retry(
     stats.test_attempts += rr.attempts;
     stats.test_retries += rr.attempts.saturating_sub(1);
     stats.suspected_rig_faults += rr.suspected_rig_faults();
-    stats.backoff_ticks += rr.backoff_ticks;
+    // Saturate: a pathological backoff schedule can legitimately report
+    // `u64::MAX` ticks per test; the run aggregate must not wrap.
+    stats.backoff_ticks = stats.backoff_ticks.saturating_add(rr.backoff_ticks);
     stats.driven_steps += rr.driven_steps;
     if !rr.verdict.is_conclusive() {
         stats.inconclusive_tests += 1;
@@ -1317,6 +1396,146 @@ pub(crate) fn note_retry(
             inconsistent: rr.inconsistent_attempts,
             backoff_ticks: rr.backoff_ticks,
         });
+    }
+}
+
+/// The shared test-execution front end of the loop: one prefix-sharing
+/// [`TraceCache`] per unit (scoped to the unit's signature fingerprint plus
+/// rig token), the retry [`SimClock`], and the scoped-thread pool width.
+/// Every rig interaction of the run — counterexample tests, frontier probe
+/// batches, frontier read-backs — goes through it, so the cache sees every
+/// executed word and the stats see every cache delta.
+pub(crate) struct TestHarness {
+    caches: Vec<Option<TraceCache>>,
+    baselines: Vec<CacheStats>,
+    clock: SimClock,
+    parallelism: usize,
+}
+
+impl TestHarness {
+    pub(crate) fn new(units: &[LegacyUnit<'_>], config: &IntegrationConfig) -> Self {
+        let caches: Vec<Option<TraceCache>> = units
+            .iter()
+            .map(|unit| {
+                config.trace_cache.then(|| {
+                    let fp = unit
+                        .signature
+                        .as_ref()
+                        .map(|s| s.fingerprint())
+                        .unwrap_or_default();
+                    TraceCache::new(format!("{fp}+{}", unit.component.rig_token()))
+                })
+            })
+            .collect();
+        let baselines = vec![CacheStats::default(); caches.len()];
+        TestHarness {
+            caches,
+            baselines,
+            clock: SimClock::new(),
+            parallelism: config.test_parallelism.max(1),
+        }
+    }
+
+    /// One flake-tolerant test execution for unit `i`, through the cache
+    /// and pool, with retry + cache telemetry booked into `stats`/`sink`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn execute(
+        &mut self,
+        i: usize,
+        component: &mut dyn StateObservable,
+        expected: &[Label],
+        u: &Universe,
+        ports: &PortMap,
+        retry: &RetryPolicy,
+        stats: &mut IntegrationStats,
+        sink: &mut dyn EventSink,
+        iteration: usize,
+    ) -> RetryReport {
+        let name = component.name().to_owned();
+        let rr = execute_with_retry_pooled(
+            component,
+            expected,
+            u,
+            ports,
+            retry,
+            &mut self.clock,
+            self.caches[i].as_mut(),
+            self.parallelism,
+        );
+        note_retry(stats, sink, iteration, &name, &rr);
+        self.book(i, stats, sink, iteration, &name);
+        rr
+    }
+
+    /// The frontier-probe batch for unit `i`: one verdict per offered
+    /// input (in offer order), resumed from the prefix checkpoint and run
+    /// on the pool where sound; semantically identical to one
+    /// [`TestHarness::execute`] per offer.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe(
+        &mut self,
+        i: usize,
+        component: &mut dyn StateObservable,
+        prefix: &[Label],
+        offers: &[SignalSet],
+        u: &Universe,
+        ports: &PortMap,
+        retry: &RetryPolicy,
+        stats: &mut IntegrationStats,
+        sink: &mut dyn EventSink,
+        iteration: usize,
+    ) -> Vec<RetryReport> {
+        let name = component.name().to_owned();
+        let reports = probe_offers_pooled(
+            component,
+            prefix,
+            offers,
+            u,
+            ports,
+            retry,
+            &mut self.clock,
+            self.caches[i].as_mut(),
+            self.parallelism,
+        );
+        for rr in &reports {
+            note_retry(stats, sink, iteration, &name, rr);
+        }
+        self.book(i, stats, sink, iteration, &name);
+        reports
+    }
+
+    /// Books the cache-stat delta since the last call for unit `i` into
+    /// the run stats and emits `TraceCacheUsed` when anything was saved.
+    fn book(
+        &mut self,
+        i: usize,
+        stats: &mut IntegrationStats,
+        sink: &mut dyn EventSink,
+        iteration: usize,
+        component: &str,
+    ) {
+        let Some(cache) = self.caches[i].as_ref() else {
+            return;
+        };
+        let s = cache.stats();
+        let b = self.baselines[i];
+        self.baselines[i] = s;
+        let hits = s.hits - b.hits;
+        let resumes = s.resumes - b.resumes;
+        let saved = s.saved_steps - b.saved_steps;
+        stats.trace_cache_hits += hits;
+        stats.trace_cache_resumes += resumes;
+        stats.trace_cache_saved_steps += saved;
+        stats.parallel_batches += s.parallel_batches - b.parallel_batches;
+        if hits > 0 || resumes > 0 || saved > 0 {
+            sink.emit(&LoopEvent::TraceCacheUsed {
+                iteration,
+                component: component.to_owned(),
+                hits,
+                resumes,
+                saved_steps: saved,
+            });
+        }
     }
 }
 

@@ -36,10 +36,10 @@ use muml_automata::{
     compose, Automaton, Composition, Guard, IncompleteAutomaton, Label, Run, SignalSet, StateId,
     Universe, S_ALL, S_DELTA,
 };
-use muml_legacy::{execute_with_retry_on, SimClock, TestVerdict};
+use muml_legacy::TestVerdict;
 use muml_obs::EventSink;
 
-use crate::driver::{note_retry, IntegrationConfig, IntegrationStats, LegacyUnit};
+use crate::driver::{IntegrationConfig, IntegrationStats, LegacyUnit, TestHarness};
 use crate::error::CoreError;
 use crate::initial::apply_props;
 
@@ -96,7 +96,7 @@ pub(crate) fn probe_frontier(
     config: &IntegrationConfig,
     sink: &mut dyn EventSink,
     iteration: usize,
-    clock: &mut SimClock,
+    harness: &mut TestHarness,
 ) -> Result<FrontierResult, CoreError> {
     let dead = dead_run.last_state();
     let dead_tuple = &comp.origin[dead.index()];
@@ -139,25 +139,30 @@ pub(crate) fn probe_frontier(
         }
 
         let name = unit.component.name().to_owned();
-        for offered in offers {
-            // Drive the confirmed prefix plus one step with the offered
-            // input; the expected output ∅ is a guess — the observation
-            // reveals the real response either way (confirmed and diverged
-            // verdicts are equally informative for a probe).
-            let mut expected = projections[i].clone();
-            expected.push(Label::new(offered, SignalSet::EMPTY));
+        // Drive the confirmed prefix plus one step with each offered input
+        // as one batch: the harness resumes every probe from the shared
+        // prefix checkpoint (and runs independent probes on the pool), with
+        // one report per offer in offer order — semantically one execution
+        // per offer, exactly as the serial loop did. The expected output ∅
+        // is a guess — the observation reveals the real response either way
+        // (confirmed and diverged verdicts are equally informative for a
+        // probe).
+        let reports = harness.probe(
+            i,
+            unit.component,
+            &projections[i],
+            &offers,
+            u,
+            &unit.ports,
+            &config.retry,
+            stats,
+            sink,
+            iteration,
+        );
+        for rr in reports {
             let before = learned[i].transition_count()
                 + learned[i].refusal_count()
                 + learned[i].state_count();
-            let rr = execute_with_retry_on(
-                unit.component,
-                &expected,
-                u,
-                &unit.ports,
-                &config.retry,
-                clock,
-            );
-            note_retry(stats, sink, iteration, &name, &rr);
             total_probes += 1;
             let outcome = match rr.outcome {
                 Some(o) if rr.verdict.is_conclusive() => o,
@@ -216,15 +221,17 @@ pub(crate) fn probe_frontier(
     let mut frontier_states: Vec<String> = Vec::with_capacity(units.len());
     for (i, unit) in units.iter_mut().enumerate() {
         let name = unit.component.name().to_owned();
-        let rr = execute_with_retry_on(
+        let rr = harness.execute(
+            i,
             unit.component,
             &projections[i],
             u,
             &unit.ports,
             &config.retry,
-            clock,
+            stats,
+            sink,
+            iteration,
         );
-        note_retry(stats, sink, iteration, &name, &rr);
         if !matches!(rr.verdict, TestVerdict::Confirmed) {
             // The previously-confirmed prefix no longer replays cleanly —
             // on a reliable rig this cannot happen, so treat it as rig
@@ -234,7 +241,23 @@ pub(crate) fn probe_frontier(
                 probes: total_probes,
             });
         }
-        frontier_states.push(unit.component.observable_state());
+        // The frontier state comes from the confirmed observation, not
+        // from the live component: a cache hit synthesizes the verdict
+        // without re-driving the rig, so the component may be stale.
+        let state = rr
+            .outcome
+            .as_ref()
+            .and_then(|o| o.observation.states.last())
+            .cloned();
+        match state {
+            Some(s) => frontier_states.push(s),
+            None => {
+                return Ok(FrontierResult::Inconclusive {
+                    component: name,
+                    probes: total_probes,
+                })
+            }
+        }
     }
     if joint_step_exists(u, context, dead_tuple[0], learned, &frontier_states, config)? {
         Ok(FrontierResult::Progress {

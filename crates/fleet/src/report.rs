@@ -111,6 +111,27 @@ impl FleetReport {
             .count()
     }
 
+    /// Trace-cache hits (full verdict tuples served without driving the
+    /// rig) across all jobs.
+    pub fn total_cache_hits(&self) -> usize {
+        self.results.iter().map(|r| r.stats.trace_cache_hits).sum()
+    }
+
+    /// Rig steps the trace cache saved across all jobs (the serial
+    /// counterfactual minus the steps actually driven).
+    pub fn total_cache_saved_steps(&self) -> usize {
+        self.results
+            .iter()
+            .map(|r| r.stats.trace_cache_saved_steps)
+            .sum()
+    }
+
+    /// Counterexample tests skipped by the per-run dedup guard across all
+    /// jobs.
+    pub fn total_dedup_skipped(&self) -> usize {
+        self.results.iter().map(|r| r.stats.dedup_skipped).sum()
+    }
+
     /// The `n` slowest jobs, slowest first (ties broken by request id).
     pub fn slowest(&self, n: usize) -> Vec<&JobResult> {
         let mut rows: Vec<&JobResult> = self.results.iter().collect();
@@ -160,6 +181,18 @@ impl FleetReport {
                 (
                     "quarantined_jobs".to_owned(),
                     Json::from_usize(self.quarantined_jobs()),
+                ),
+                (
+                    "trace_cache_hits".to_owned(),
+                    Json::from_usize(self.total_cache_hits()),
+                ),
+                (
+                    "trace_cache_saved_steps".to_owned(),
+                    Json::from_usize(self.total_cache_saved_steps()),
+                ),
+                (
+                    "dedup_skipped".to_owned(),
+                    Json::from_usize(self.total_dedup_skipped()),
                 ),
                 (
                     "breaker_trips".to_owned(),
@@ -243,6 +276,14 @@ impl FleetReport {
             self.total_iterations(),
             self.total_driven_steps()
         ));
+        if self.total_cache_hits() > 0 || self.total_dedup_skipped() > 0 {
+            out.push_str(&format!(
+                "  trace cache: {} hits, {} rig steps saved, {} tests deduped\n",
+                self.total_cache_hits(),
+                self.total_cache_saved_steps(),
+                self.total_dedup_skipped(),
+            ));
+        }
         if let Some(e) = &self.error {
             out.push_str(&format!("  fleet error: {e}\n"));
         }
@@ -427,6 +468,40 @@ mod tests {
         assert!(fp.contains("\"quarantined\""), "{fp}");
         assert!(!fp.contains("breaker_trips"), "{fp}");
         assert!(!fp.contains("attempts"), "{fp}");
+    }
+
+    #[test]
+    fn trace_cache_aggregates_surface_in_health_and_render() {
+        let mut warm = result(0, JobOutcome::Proven, 0, 10);
+        warm.stats.trace_cache_hits = 4;
+        warm.stats.trace_cache_saved_steps = 36;
+        warm.stats.dedup_skipped = 2;
+        let report = FleetReport::new(
+            1,
+            vec![warm, result(1, JobOutcome::Proven, 0, 20)],
+            Vec::new(),
+            1_000,
+            None,
+        );
+        assert_eq!(report.total_cache_hits(), 4);
+        assert_eq!(report.total_cache_saved_steps(), 36);
+        assert_eq!(report.total_dedup_skipped(), 2);
+        let text = report.render();
+        assert!(
+            text.contains("trace cache: 4 hits, 36 rig steps saved, 2 tests deduped"),
+            "{text}"
+        );
+        let json = report.to_json().encode();
+        assert!(json.contains("\"trace_cache_saved_steps\":36"), "{json}");
+        // Cold campaigns stay silent.
+        let cold = FleetReport::new(
+            1,
+            vec![result(0, JobOutcome::Proven, 0, 10)],
+            Vec::new(),
+            1_000,
+            None,
+        );
+        assert!(!cold.render().contains("trace cache"), "{}", cold.render());
     }
 
     #[test]

@@ -61,6 +61,13 @@ pub struct JobRequest {
     /// Simulated harness round-trip latency per component step/reset.
     /// Encoded on the wire in microseconds (`latency_us`).
     pub latency: Duration,
+    /// Whether the session memoizes executed traces in the prefix-sharing
+    /// trace cache (DESIGN.md §17). Defaults to `true`; absent on the wire
+    /// means enabled.
+    pub trace_cache: bool,
+    /// Worker threads for frontier-probe batches and speculative quorum
+    /// attempts (`1` = serial). Absent on the wire means serial.
+    pub test_parallelism: usize,
 }
 
 impl JobRequest {
@@ -78,6 +85,8 @@ impl JobRequest {
             deadline: None,
             retries: 0,
             latency: Duration::ZERO,
+            trace_cache: true,
+            test_parallelism: 1,
         }
     }
 
@@ -137,6 +146,20 @@ impl JobRequest {
         self
     }
 
+    /// Enables or disables the prefix-sharing trace cache.
+    #[must_use]
+    pub fn with_trace_cache(mut self, enabled: bool) -> Self {
+        self.trace_cache = enabled;
+        self
+    }
+
+    /// Sets the test-execution worker count (`1` = serial).
+    #[must_use]
+    pub fn with_test_parallelism(mut self, workers: usize) -> Self {
+        self.test_parallelism = workers;
+        self
+    }
+
     /// The wire encoding: a versioned JSON object with every field
     /// explicit. Durations are integers (`deadline_ms`, `latency_us`) so
     /// the schema stays language-neutral.
@@ -170,6 +193,11 @@ impl JobRequest {
             (
                 "latency_us".into(),
                 Json::from_u64(self.latency.as_micros() as u64),
+            ),
+            ("trace_cache".into(), Json::Bool(self.trace_cache)),
+            (
+                "test_parallelism".into(),
+                Json::from_usize(self.test_parallelism),
             ),
         ])
     }
@@ -220,6 +248,18 @@ impl JobRequest {
             Some(Json::Int(us)) if *us >= 0 => *us as u64,
             Some(_) => return Err(malformed("`latency_us` must be a non-negative integer")),
         };
+        // Tolerant decode, like `latency_us`: requests from clients that
+        // predate the trace cache simply get the defaults.
+        let trace_cache = match json.get("trace_cache") {
+            None | Some(Json::Null) => true,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err(malformed("`trace_cache` must be a boolean")),
+        };
+        let test_parallelism = match json.get("test_parallelism") {
+            None | Some(Json::Null) => 1,
+            Some(Json::Int(n)) if *n >= 1 => *n as usize,
+            Some(_) => return Err(malformed("`test_parallelism` must be a positive integer")),
+        };
         Ok(JobRequest {
             id: usize::try_from(int_field("id")?)
                 .map_err(|_| malformed("`id` must be non-negative"))?,
@@ -234,6 +274,8 @@ impl JobRequest {
             retries: usize::try_from(int_field("retries")?)
                 .map_err(|_| malformed("`retries` must be non-negative"))?,
             latency: Duration::from_micros(latency_us),
+            trace_cache,
+            test_parallelism,
         })
     }
 }
@@ -356,6 +398,8 @@ mod tests {
             .with_deadline(Duration::from_secs(5))
             .with_retries(2)
             .with_latency(Duration::from_micros(500))
+            .with_trace_cache(false)
+            .with_test_parallelism(4)
     }
 
     #[test]
@@ -369,6 +413,18 @@ mod tests {
             JobRequest::from_json(&baseline.to_json()).unwrap(),
             baseline
         );
+        // Requests from clients that predate the trace cache decode to the
+        // defaults: cache on, serial execution.
+        let legacy_fields = match baseline.to_json() {
+            Json::Object(fields) => fields
+                .into_iter()
+                .filter(|(k, _)| k != "trace_cache" && k != "test_parallelism")
+                .collect(),
+            _ => unreachable!(),
+        };
+        let decoded = JobRequest::from_json(&Json::Object(legacy_fields)).unwrap();
+        assert!(decoded.trace_cache);
+        assert_eq!(decoded.test_parallelism, 1);
     }
 
     #[test]

@@ -1,0 +1,1722 @@
+//! Prefix-sharing trace cache with checkpointed resume and a scoped-thread
+//! pool for independent rig executions.
+//!
+//! The integration loop re-drives the rig far more than it has to: a
+//! counterexample trace is tested once per learn iteration it survives, and
+//! a frontier probe replays the *same confirmed prefix* once per offered
+//! input. Against a latency-weighted rig (the RailCab test stand, modelled
+//! by [`LatentComponent`](crate::LatentComponent)) this is the dominant
+//! loop cost. This module removes the redundancy:
+//!
+//! * [`TraceCache`] — a trie over executed input words. Each node memoizes
+//!   the rig's full per-step response (outputs, observable state, period)
+//!   plus an optional *checkpoint*: a clone of the component positioned
+//!   exactly after that step. A repeated test is synthesized from the trie
+//!   with **zero** rig steps; testing `w·a` after `w` resumes from the
+//!   checkpoint at `w` and drives one step instead of `3·(|w|+1)`.
+//! * [`execute_with_retry_pooled`] — a drop-in for
+//!   [`execute_with_retry_on`] that consults the cache and runs speculative
+//!   quorum attempts on cloned rigs in parallel. Verdicts and observations
+//!   are bit-identical to the serial executor.
+//! * [`probe_offers_pooled`] — the frontier-probe batch: `k` one-step
+//!   extensions of a confirmed prefix, resumed from the prefix checkpoint
+//!   and stepped concurrently, merged in offer order.
+//!
+//! **Flake-safety rule** (DESIGN.md §17): memoization and checkpointing
+//! apply only to rigs reporting
+//! [`deterministic_rig`](StateObservable::deterministic_rig). A faulty
+//! [`UnreliableRig`](crate::UnreliableRig) is executed through the serial
+//! retry quorum unchanged — its PRNG must consume one stream, so attempts
+//! may be neither parallelized nor snapshotted — and its results enter the
+//! trie only *after* quorum confirmation (the quorum-agreed observation is
+//! the believed-true component behaviour, so replaying it later is exactly
+//! as sound as the quorum that produced it).
+
+use std::collections::HashMap;
+
+use muml_automata::{Label, Observation, SignalSet, Universe};
+
+use crate::component::StateObservable;
+use crate::executor::{execute_expected_trace, TestOutcome};
+use crate::monitor::{Direction, MonitorEvent, MonitorTrace, PortMap};
+use crate::replay::{RecordedStep, Recording};
+use crate::retry::{
+    execute_with_retry_on, internally_consistent, RetryPolicy, RetryReport, SimClock, TestVerdict,
+};
+
+/// Counters describing what the cache did, cumulatively per instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cache consultations (one per test execution routed through it).
+    pub lookups: usize,
+    /// Full hits: the verdict was synthesized from the trie, zero rig steps.
+    pub hits: usize,
+    /// Partial hits resumed from a trie checkpoint instead of a reset.
+    pub resumes: usize,
+    /// Partial hits positioned by reset-and-replay (no checkpoint
+    /// available); still ~3× cheaper than the uncached three-phase run.
+    pub prefix_replays: usize,
+    /// Rig steps actually driven through the cache layer.
+    pub driven_steps: usize,
+    /// Rig steps the serial uncached executor would have driven minus the
+    /// steps actually driven (the counterfactual saving).
+    pub saved_steps: usize,
+    /// Trie nodes inserted.
+    pub insertions: usize,
+    /// Batches of rig executions dispatched to the scoped-thread pool.
+    pub parallel_batches: usize,
+    /// Individual rig executions that ran on a pooled clone.
+    pub parallel_tasks: usize,
+}
+
+/// One trie node: the rig's memoized response to the step reaching it.
+struct Node {
+    /// Outputs produced by the step into this node.
+    outputs: SignalSet,
+    /// Period counter reported after the step.
+    period: u64,
+    /// Observable state after the step.
+    state: String,
+    /// A component clone positioned exactly after this step; `None` for
+    /// non-clonable components and for quorum-inserted (flaky-rig) entries.
+    checkpoint: Option<Box<dyn StateObservable + Send>>,
+    /// Child nodes by input signal set.
+    children: HashMap<SignalSet, usize>,
+}
+
+/// Whether the component's `deterministic_rig()` claim has been checked
+/// against reality. Single-drive extension (no record/replay cross-check)
+/// is only sound for a rig that really is deterministic — and real legacy
+/// components cannot certify that themselves, so the first execution per
+/// cache always runs through the full serial executor. A clean conclusive
+/// result trusts the claim; any replay error or inconsistency refutes it
+/// permanently, as does a later output mismatch on a cached prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Validation {
+    /// No execution yet: the next one must be the serial executor.
+    Pending,
+    /// The serial executor confirmed deterministic behaviour; single-drive
+    /// extension and checkpoint resume are sound.
+    Trusted,
+    /// The rig contradicted its determinism claim; the cache falls back to
+    /// the nondeterministic-rig rules (serial execution, quorum-confirmed
+    /// data-only entries) forever.
+    Distrusted,
+}
+
+/// A prefix-sharing trie over executed input words, scoped to one component
+/// instance (signature fingerprint + rig seed/fault profile).
+pub struct TraceCache {
+    scope: String,
+    /// Component name, for synthesized [`Recording`]s.
+    component: Option<String>,
+    /// `initial_state_name()` — `Observation.states[0]` of every replay.
+    initial_state: Option<String>,
+    /// `observable_state()` right after a reset — the first `CurrentState`
+    /// monitor event of every replay.
+    root_state: Option<String>,
+    /// Node 0 is the root (the post-reset position).
+    nodes: Vec<Node>,
+    /// Status of the component's determinism claim (see [`Validation`]).
+    validation: Validation,
+    stats: CacheStats,
+}
+
+/// The trie walk outcome for an expected trace, mirroring the live phase of
+/// [`execute_expected_trace`]: stop at the first output divergence.
+enum Walk {
+    /// The executed prefix is fully covered: the node path (one per
+    /// executed step) and the divergence step, if any.
+    Covered {
+        path: Vec<usize>,
+        divergence: Option<usize>,
+    },
+    /// The trie ends (no diverging output seen) after `path`; the live run
+    /// would have to drive the remaining inputs.
+    Miss { path: Vec<usize> },
+}
+
+impl TraceCache {
+    /// An empty cache scoped to `scope` (informational: the signature
+    /// fingerprint plus [`StateObservable::rig_token`] of the component the
+    /// cache is valid for).
+    pub fn new(scope: impl Into<String>) -> Self {
+        TraceCache {
+            scope: scope.into(),
+            component: None,
+            initial_state: None,
+            root_state: None,
+            nodes: Vec::new(),
+            validation: Validation::Pending,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The scope string the cache was created with.
+    pub fn scope(&self) -> &str {
+        &self.scope
+    }
+
+    /// Cumulative activity counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of memoized steps (trie nodes excluding the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+
+    /// Whether the trie holds no memoized steps.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all memoized data (keeps the stats).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.component = None;
+        self.initial_state = None;
+        self.root_state = None;
+    }
+
+    fn ensure_root(
+        &mut self,
+        component_name: &str,
+        initial_state: String,
+        root_state: String,
+        checkpoint: Option<Box<dyn StateObservable + Send>>,
+    ) {
+        if self.nodes.is_empty() {
+            self.nodes.push(Node {
+                outputs: SignalSet::EMPTY,
+                period: 0,
+                state: root_state.clone(),
+                checkpoint,
+                children: HashMap::new(),
+            });
+        } else if self.nodes[0].checkpoint.is_none() {
+            self.nodes[0].checkpoint = checkpoint;
+        }
+        self.component
+            .get_or_insert_with(|| component_name.to_owned());
+        self.initial_state.get_or_insert(initial_state);
+        self.root_state.get_or_insert(root_state);
+    }
+
+    /// Walks the trie along `expected`, stopping — like the live phase —
+    /// at the first output divergence.
+    fn walk(&self, expected: &[Label]) -> Walk {
+        if self.nodes.is_empty() {
+            return Walk::Miss { path: Vec::new() };
+        }
+        let mut at = 0usize;
+        let mut path = Vec::with_capacity(expected.len());
+        for (t, l) in expected.iter().enumerate() {
+            match self.nodes[at].children.get(&l.inputs) {
+                None => return Walk::Miss { path },
+                Some(&child) => {
+                    path.push(child);
+                    if self.nodes[child].outputs != l.outputs {
+                        return Walk::Covered {
+                            path,
+                            divergence: Some(t),
+                        };
+                    }
+                    at = child;
+                }
+            }
+        }
+        Walk::Covered {
+            path,
+            divergence: None,
+        }
+    }
+
+    /// Synthesizes the [`TestOutcome`] the three-phase executor would
+    /// produce for `expected`, if the trie covers the executed prefix.
+    /// Zero rig steps; `driven_steps` of the result is 0.
+    fn synthesize(&self, expected: &[Label], u: &Universe, ports: &PortMap) -> Option<TestOutcome> {
+        let (path, divergence) = match self.walk(expected) {
+            Walk::Covered { path, divergence } => (path, divergence),
+            Walk::Miss { .. } => return None,
+        };
+        let component = self.component.clone()?;
+        let initial = self.initial_state.clone()?;
+        let root = self.root_state.clone()?;
+
+        // Reconstruct exactly what `record_live` + `replay` would emit for
+        // the executed (divergence-inclusive) prefix.
+        let mut states = Vec::with_capacity(path.len() + 1);
+        states.push(initial);
+        let mut labels = Vec::with_capacity(path.len());
+        let mut steps = Vec::with_capacity(path.len());
+        let mut monitor = MonitorTrace::new();
+        let mut pre_state = root;
+        for (t, &n) in path.iter().enumerate() {
+            let node = &self.nodes[n];
+            monitor.push(MonitorEvent::CurrentState {
+                name: pre_state.clone(),
+            });
+            for e in ports.message_events(u, node.outputs, Direction::Outgoing) {
+                monitor.push(e);
+            }
+            for e in ports.message_events(u, expected[t].inputs, Direction::Incoming) {
+                monitor.push(e);
+            }
+            monitor.push(MonitorEvent::Timing { count: node.period });
+            labels.push(Label::new(expected[t].inputs, node.outputs));
+            states.push(node.state.clone());
+            steps.push(RecordedStep {
+                period: node.period,
+                inputs: expected[t].inputs,
+                outputs: node.outputs,
+            });
+            pre_state = node.state.clone();
+        }
+        monitor.push(MonitorEvent::CurrentState { name: pre_state });
+
+        let refusal = divergence.map(|t| {
+            let ref_states = states[..=t].to_vec();
+            let mut ref_labels = labels[..t].to_vec();
+            ref_labels.push(expected[t]);
+            Observation::blocked(ref_states, ref_labels)
+        });
+        Some(TestOutcome {
+            confirmed: divergence.is_none() && path.len() == expected.len(),
+            divergence,
+            observation: Observation::regular(states, labels),
+            refusal,
+            recording: Recording { component, steps },
+            monitor,
+            driven_steps: 0,
+        })
+    }
+
+    /// Extends the trie so it covers the executed prefix of `expected`,
+    /// resuming from the deepest checkpoint (or reset-and-replaying the
+    /// known prefix when no checkpoint exists). Deterministic rigs only.
+    /// Returns the rig steps driven.
+    fn extend(&mut self, component: &mut dyn StateObservable, expected: &[Label]) -> usize {
+        let path = match self.walk(expected) {
+            Walk::Covered { .. } => return 0,
+            Walk::Miss { path } => path,
+        };
+        let miss_at = path.len();
+
+        // First contact: capture the post-reset identity of the component.
+        if self.nodes.is_empty() {
+            component.reset();
+            let checkpoint = component.try_clone_boxed();
+            self.ensure_root(
+                component.name(),
+                component.initial_state_name(),
+                component.observable_state(),
+                checkpoint,
+            );
+        }
+
+        // Deepest node on the path (including the root) with a checkpoint.
+        let mut resume_at = 0usize; // depth
+        let mut resume_node = 0usize;
+        for (depth, &n) in path.iter().enumerate() {
+            if self.nodes[n].checkpoint.is_some() {
+                resume_at = depth + 1;
+                resume_node = n;
+            }
+        }
+        let mut driven = 0usize;
+        let mut driver: Box<dyn StateObservable + Send>;
+        if let Some(snap) = self.nodes[resume_node]
+            .checkpoint
+            .as_ref()
+            .and_then(|c| c.try_clone_boxed())
+        {
+            driver = snap;
+            if resume_at > 0 || miss_at > 0 {
+                self.stats.resumes += 1;
+            }
+        } else {
+            // No usable checkpoint anywhere (non-clonable component):
+            // position by reset-and-replay of the known prefix.
+            match component.try_clone_boxed() {
+                Some(own) => driver = own,
+                None => {
+                    // Drive the original directly — it is reset anyway on
+                    // every test execution.
+                    return self.extend_in_place(component, expected, miss_at);
+                }
+            }
+            driver.reset();
+            resume_at = 0;
+            resume_node = 0;
+            if miss_at > 0 {
+                self.stats.prefix_replays += 1;
+            }
+        }
+        // Replay the cached-but-uncheckpointed part of the prefix, filling
+        // checkpoints as we pass.
+        let mut at = resume_node;
+        for t in resume_at..miss_at {
+            let out = driver.step(expected[t].inputs);
+            driven += 1;
+            let n = path[t];
+            if out != self.nodes[n].outputs {
+                // A deterministic rig never changes its response to the
+                // same word: the determinism claim is refuted. Drop the
+                // poisoned trie and distrust the claim permanently.
+                self.clear();
+                self.validation = Validation::Distrusted;
+                self.stats.driven_steps += driven;
+                return driven;
+            }
+            if self.nodes[n].checkpoint.is_none() {
+                self.nodes[n].checkpoint = driver.try_clone_boxed();
+            }
+            at = n;
+        }
+        // Drive the genuinely new steps, memoizing each.
+        let mut drove_new = false;
+        for l in &expected[miss_at..] {
+            let out = driver.step(l.inputs);
+            driven += 1;
+            drove_new = true;
+            at = self.insert_node(
+                at,
+                l.inputs,
+                out,
+                driver.period(),
+                driver.observable_state(),
+                driver.try_clone_boxed(),
+            );
+            if out != l.outputs {
+                break; // live semantics: stop at the divergence
+            }
+        }
+        self.stats.driven_steps += driven;
+        if drove_new {
+            driven += self.verify_from_reset(component, expected);
+        }
+        driven
+    }
+
+    /// [`TraceCache::extend`] driving the original (non-clonable)
+    /// component: reset, replay the known prefix, continue into new steps.
+    fn extend_in_place(
+        &mut self,
+        component: &mut dyn StateObservable,
+        expected: &[Label],
+        miss_at: usize,
+    ) -> usize {
+        component.reset();
+        let mut driven = 0usize;
+        let mut at = 0usize;
+        if miss_at > 0 {
+            self.stats.prefix_replays += 1;
+        }
+        for (t, l) in expected.iter().enumerate() {
+            let out = component.step(l.inputs);
+            driven += 1;
+            if t < miss_at {
+                let n = self.nodes[at].children[&l.inputs];
+                if out != self.nodes[n].outputs {
+                    // Same determinism refutation as in `extend`.
+                    self.clear();
+                    self.validation = Validation::Distrusted;
+                    self.stats.driven_steps += driven;
+                    return driven;
+                }
+                at = n;
+                continue;
+            }
+            at = self.insert_node(
+                at,
+                l.inputs,
+                out,
+                component.period(),
+                component.observable_state(),
+                component.try_clone_boxed(),
+            );
+            if out != l.outputs {
+                break;
+            }
+        }
+        self.stats.driven_steps += driven;
+        driven + self.verify_from_reset(component, expected)
+    }
+
+    /// One independent from-reset drive of the executed word, comparing
+    /// every output against the trie — the cached analogue of the serial
+    /// executor's record/replay cross-check. Every newly memoized word is
+    /// thus backed by two independent observations (the extension drive and
+    /// this one) before any verdict is synthesized from it; a component
+    /// whose behaviour varies across resets (a false `deterministic_rig()`
+    /// claim) fails the comparison and is distrusted permanently, exactly
+    /// as the serial executor would report it nondeterministic. Missing
+    /// checkpoints along the path are filled in as a side effect. Returns
+    /// the steps driven.
+    fn verify_from_reset(
+        &mut self,
+        component: &mut dyn StateObservable,
+        expected: &[Label],
+    ) -> usize {
+        let path = match self.walk(expected) {
+            Walk::Covered { path, .. } | Walk::Miss { path } => path,
+        };
+        if path.is_empty() {
+            return 0;
+        }
+        let mut clone = component.try_clone_boxed();
+        let driver: &mut dyn StateObservable = match clone.as_deref_mut() {
+            Some(c) => c,
+            // Non-clonable: drive the original — it is reset on every test
+            // execution anyway, and consecutive resets are exactly the
+            // record/replay pattern the serial cross-check relies on.
+            None => component,
+        };
+        driver.reset();
+        let mut driven = 0usize;
+        let mut ok = true;
+        for (t, &n) in path.iter().enumerate() {
+            let out = driver.step(expected[t].inputs);
+            driven += 1;
+            if out != self.nodes[n].outputs {
+                ok = false;
+                break;
+            }
+            if self.nodes[n].checkpoint.is_none() {
+                self.nodes[n].checkpoint = driver.try_clone_boxed();
+            }
+        }
+        self.stats.driven_steps += driven;
+        if !ok {
+            self.clear();
+            self.validation = Validation::Distrusted;
+        }
+        driven
+    }
+
+    fn insert_node(
+        &mut self,
+        parent: usize,
+        inputs: SignalSet,
+        outputs: SignalSet,
+        period: u64,
+        state: String,
+        checkpoint: Option<Box<dyn StateObservable + Send>>,
+    ) -> usize {
+        if let Some(&existing) = self.nodes[parent].children.get(&inputs) {
+            return existing;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            outputs,
+            period,
+            state,
+            checkpoint,
+            children: HashMap::new(),
+        });
+        self.nodes[parent].children.insert(inputs, idx);
+        self.stats.insertions += 1;
+        idx
+    }
+
+    /// Inserts a conclusive outcome produced by the serial executor (the
+    /// quorum-confirmed result of a flaky or distrusted rig, or the
+    /// validation run of a deterministic one): response data only, never
+    /// checkpoints (a faulty rig cannot be snapshotted; a trusted rig's
+    /// checkpoints are filled in by later extensions). On any conflict with
+    /// existing entries the insertion is abandoned — the cache must stay
+    /// internally consistent.
+    fn insert_quorum_confirmed(&mut self, component: &mut dyn StateObservable, o: &TestOutcome) {
+        let labels = &o.observation.labels;
+        if o.recording.steps.len() != labels.len() {
+            return;
+        }
+        self.ensure_root(
+            component.name(),
+            component.initial_state_name(),
+            o.observation.states[0].clone(),
+            None,
+        );
+        let mut at = 0usize;
+        for (i, l) in labels.iter().enumerate() {
+            if let Some(&child) = self.nodes[at].children.get(&l.inputs) {
+                if self.nodes[child].outputs != l.outputs {
+                    return; // conflicting quorum results — keep the first
+                }
+                at = child;
+                continue;
+            }
+            at = self.insert_node(
+                at,
+                l.inputs,
+                l.outputs,
+                o.recording.steps[i].period,
+                o.observation.states[i + 1].clone(),
+                None,
+            );
+        }
+    }
+
+    /// After a conclusive serial run of a *trusted* deterministic rig, the
+    /// component sits exactly at the end of the executed word (the last
+    /// phase of [`execute_expected_trace`] is the replay, which does not
+    /// reset afterwards): snapshot it as the checkpoint of the word's final
+    /// trie node, so the very next extension resumes instead of replaying.
+    fn attach_terminal_checkpoint(
+        &mut self,
+        component: &mut dyn StateObservable,
+        labels: &[Label],
+    ) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        let mut at = 0usize;
+        for l in labels {
+            match self.nodes[at].children.get(&l.inputs) {
+                Some(&n) => at = n,
+                None => return,
+            }
+        }
+        if self.nodes[at].checkpoint.is_none() {
+            self.nodes[at].checkpoint = component.try_clone_boxed();
+        }
+    }
+}
+
+/// Builds the [`RetryReport`] for a synthesized (zero-attempt) outcome.
+fn synthesized_report(outcome: TestOutcome, expected: &[Label], driven: usize) -> RetryReport {
+    debug_assert!(internally_consistent(&outcome, expected));
+    let verdict = match outcome.divergence {
+        None if outcome.confirmed => TestVerdict::Confirmed,
+        None => TestVerdict::Inconclusive,
+        Some(step) => TestVerdict::Diverged { step },
+    };
+    let conclusive = verdict.is_conclusive();
+    RetryReport {
+        verdict,
+        outcome: conclusive.then_some(outcome),
+        attempts: 0,
+        replay_errors: 0,
+        inconsistent_attempts: 0,
+        backoff_ticks: 0,
+        driven_steps: driven,
+        last_replay_period: None,
+    }
+}
+
+/// The rig steps the serial uncached executor would drive for this trace:
+/// three phases per executed input, once per quorum attempt (deterministic
+/// rigs repeat identically until the quorum is met).
+fn serial_counterfactual(executed: usize, policy: &RetryPolicy) -> usize {
+    let attempts = policy.quorum.max(1).min(policy.max_attempts.max(1));
+    executed.saturating_mul(3).saturating_mul(attempts)
+}
+
+/// Runs `tasks` on scoped threads, at most `parallelism` at a time, and
+/// returns the results in task order.
+fn run_pooled<T, F>(tasks: Vec<F>, parallelism: usize, stats: Option<&mut CacheStats>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let width = parallelism.max(1);
+    if width <= 1 || tasks.len() <= 1 {
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+    if let Some(stats) = stats {
+        stats.parallel_batches += 1;
+        stats.parallel_tasks += tasks.len();
+    }
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(tasks.len(), || None);
+    let mut remaining: Vec<(usize, F)> = tasks.into_iter().enumerate().collect();
+    while !remaining.is_empty() {
+        let chunk: Vec<(usize, F)> = remaining.drain(..remaining.len().min(width)).collect();
+        let results: Vec<(usize, T)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunk
+                .into_iter()
+                .map(|(i, f)| scope.spawn(move || (i, f())))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pooled rig execution panicked"))
+                .collect()
+        });
+        for (i, r) in results {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|o| o.expect("pooled task lost"))
+        .collect()
+}
+
+/// Drop-in for [`execute_with_retry_on`] with a trace cache and a
+/// scoped-thread pool. Verdicts, observations, and learned evidence are
+/// bit-identical to the serial uncached executor:
+///
+/// * deterministic rig + cache: the outcome is synthesized from the trie
+///   (full hit: zero steps; partial: resume from the deepest checkpoint);
+/// * deterministic rig, no cache, `parallelism > 1`, quorum > 1: the
+///   speculative quorum attempts run concurrently on cloned rigs and are
+///   merged in attempt order;
+/// * nondeterministic rig: the serial retry loop runs unchanged (fault
+///   PRNG streams must not be forked), and its conclusive outcomes are
+///   inserted into the cache for later full-word hits.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_with_retry_pooled(
+    component: &mut dyn StateObservable,
+    expected: &[Label],
+    u: &Universe,
+    ports: &PortMap,
+    policy: &RetryPolicy,
+    clock: &mut SimClock,
+    mut cache: Option<&mut TraceCache>,
+    parallelism: usize,
+) -> RetryReport {
+    let deterministic = component.deterministic_rig();
+    // Degenerate configuration (quorum can never be met): preserve the
+    // serial executor's behaviour exactly rather than synthesizing a
+    // conclusive verdict the serial path would not reach.
+    let degenerate = policy.quorum.max(1) > policy.max_attempts.max(1);
+
+    if let Some(cache) = cache.as_deref_mut() {
+        cache.stats.lookups += 1;
+        if deterministic && !degenerate && cache.validation == Validation::Trusted {
+            if let Some(outcome) = cache.synthesize(expected, u, ports) {
+                cache.stats.hits += 1;
+                cache.stats.saved_steps +=
+                    serial_counterfactual(outcome.observation.labels.len(), policy);
+                return synthesized_report(outcome, expected, 0);
+            }
+            let driven = cache.extend(component, expected);
+            if cache.validation == Validation::Trusted {
+                let mut outcome = cache
+                    .synthesize(expected, u, ports)
+                    .expect("extend must cover the executed prefix");
+                outcome.driven_steps = driven;
+                cache.stats.saved_steps +=
+                    serial_counterfactual(outcome.observation.labels.len(), policy)
+                        .saturating_sub(driven);
+                let mut report = synthesized_report(outcome, expected, driven);
+                report.attempts = 1;
+                return report;
+            }
+            // The extension refuted the determinism claim mid-replay: the
+            // trie was dropped; fall through to the serial executor.
+        }
+        if !deterministic || cache.validation == Validation::Distrusted {
+            if let Some(outcome) = cache.synthesize(expected, u, ports) {
+                // Every trie entry for a flaky (or distrusted) rig was
+                // quorum-confirmed when it was inserted; replaying the
+                // agreed verdict is as sound as the quorum that produced
+                // it.
+                cache.stats.hits += 1;
+                cache.stats.saved_steps += expected.len().saturating_mul(3);
+                return synthesized_report(outcome, expected, 0);
+            }
+        }
+    }
+
+    // A cache in `Trusted` state returned above, so reaching the executor
+    // with a cache means the claim is pending (the validation run must be
+    // the serial executor verbatim) or refuted (clones must not be used).
+    // The parallel quorum is therefore reserved for cache-less calls.
+    let report = if deterministic
+        && !degenerate
+        && cache.is_none()
+        && parallelism > 1
+        && policy.quorum.max(1) > 1
+    {
+        execute_quorum_parallel(
+            component,
+            expected,
+            u,
+            ports,
+            policy,
+            clock,
+            parallelism,
+            None,
+        )
+    } else {
+        execute_with_retry_on(component, expected, u, ports, policy, clock)
+    };
+
+    if let Some(cache) = cache {
+        if deterministic && !degenerate && cache.validation == Validation::Pending {
+            // The validation run: only a cleanly conclusive result — no
+            // replay errors, no internally inconsistent attempts — is
+            // consistent with the determinism claim.
+            cache.validation = if report.verdict.is_conclusive()
+                && report.replay_errors == 0
+                && report.inconsistent_attempts == 0
+            {
+                Validation::Trusted
+            } else {
+                Validation::Distrusted
+            };
+        }
+        if report.verdict.is_conclusive() {
+            if let Some(outcome) = report.outcome.as_ref() {
+                cache.insert_quorum_confirmed(component, outcome);
+                if deterministic && cache.validation == Validation::Trusted {
+                    cache.attach_terminal_checkpoint(component, &outcome.observation.labels);
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Speculative parallel quorum for deterministic, clonable rigs: the
+/// attempts the serial loop would need (all identical on a deterministic
+/// rig) run concurrently on clones; the merge replays the serial loop's
+/// bookkeeping in attempt order, so the report is bit-identical. If the
+/// speculation falls short (the component lied about determinism), the
+/// serial loop continues on the original — still bit-identical, because a
+/// deterministic rig behaves the same on clone and original.
+#[allow(clippy::too_many_arguments)]
+fn execute_quorum_parallel(
+    component: &mut dyn StateObservable,
+    expected: &[Label],
+    u: &Universe,
+    ports: &PortMap,
+    policy: &RetryPolicy,
+    clock: &mut SimClock,
+    parallelism: usize,
+    stats: Option<&mut CacheStats>,
+) -> RetryReport {
+    let quorum = policy.quorum.max(1);
+    let max_attempts = policy.max_attempts.max(1);
+    let speculate = quorum.min(max_attempts);
+
+    let mut clones = Vec::with_capacity(speculate);
+    for _ in 0..speculate {
+        match component.try_clone_boxed() {
+            Some(c) => clones.push(c),
+            None => return execute_with_retry_on(component, expected, u, ports, policy, clock),
+        }
+    }
+    let tasks: Vec<_> = clones
+        .into_iter()
+        .map(|mut c| {
+            let u = u.clone();
+            let ports = ports.clone();
+            let expected = expected.to_vec();
+            move || execute_expected_trace(&mut *c, &expected, &u, &ports)
+        })
+        .collect();
+    let results = run_pooled(tasks, parallelism, stats);
+
+    // Serial-loop bookkeeping over the speculative results, in order.
+    let mut candidates: Vec<TestOutcome> = Vec::new();
+    let mut report = RetryReport {
+        verdict: TestVerdict::Inconclusive,
+        outcome: None,
+        attempts: 0,
+        replay_errors: 0,
+        inconsistent_attempts: 0,
+        backoff_ticks: 0,
+        driven_steps: 0,
+        last_replay_period: None,
+    };
+    for result in results {
+        report.attempts += 1;
+        let pause = policy.backoff_before(report.attempts);
+        if pause > 0 {
+            clock.advance(pause);
+            report.backoff_ticks = report.backoff_ticks.saturating_add(pause);
+        }
+        match result {
+            Err(e) => {
+                report.replay_errors += 1;
+                report.last_replay_period = Some(match e {
+                    crate::replay::ReplayError::Nondeterministic { period, .. } => period,
+                    crate::replay::ReplayError::PeriodDrift { recorded, .. } => recorded,
+                });
+            }
+            Ok(outcome) => {
+                report.driven_steps += outcome.driven_steps;
+                if !internally_consistent(&outcome, expected) {
+                    report.inconsistent_attempts += 1;
+                    continue;
+                }
+                let agreeing = 1 + candidates
+                    .iter()
+                    .filter(|c| crate::retry::agrees(c, &outcome))
+                    .count();
+                if agreeing >= quorum {
+                    report.verdict = match outcome.divergence {
+                        None => TestVerdict::Confirmed,
+                        Some(step) => TestVerdict::Diverged { step },
+                    };
+                    report.outcome = Some(outcome);
+                    return report;
+                }
+                candidates.push(outcome);
+            }
+        }
+    }
+    // Speculation exhausted without a verdict: continue serially, exactly
+    // where the serial loop would be.
+    while report.attempts < max_attempts {
+        report.attempts += 1;
+        let pause = policy.backoff_before(report.attempts);
+        if pause > 0 {
+            clock.advance(pause);
+            report.backoff_ticks = report.backoff_ticks.saturating_add(pause);
+        }
+        match execute_expected_trace(component, expected, u, ports) {
+            Err(e) => {
+                report.replay_errors += 1;
+                report.last_replay_period = Some(match e {
+                    crate::replay::ReplayError::Nondeterministic { period, .. } => period,
+                    crate::replay::ReplayError::PeriodDrift { recorded, .. } => recorded,
+                });
+            }
+            Ok(outcome) => {
+                report.driven_steps += outcome.driven_steps;
+                if !internally_consistent(&outcome, expected) {
+                    report.inconsistent_attempts += 1;
+                    continue;
+                }
+                let agreeing = 1 + candidates
+                    .iter()
+                    .filter(|c| crate::retry::agrees(c, &outcome))
+                    .count();
+                if agreeing >= quorum {
+                    report.verdict = match outcome.divergence {
+                        None => TestVerdict::Confirmed,
+                        Some(step) => TestVerdict::Diverged { step },
+                    };
+                    report.outcome = Some(outcome);
+                    return report;
+                }
+                candidates.push(outcome);
+            }
+        }
+    }
+    report
+}
+
+/// The frontier-probe batch: for each offered input `a`, the verdict of
+/// testing `prefix·(a/∅)` — semantically identical to calling
+/// [`execute_with_retry_pooled`] per offer in order, but the uncached
+/// offers resume from the checkpoint at the end of `prefix` (one step each
+/// instead of `3·(|w|+1)`) and run concurrently on cloned rigs. Reports
+/// come back in offer order; learned evidence is bit-identical to serial.
+#[allow(clippy::too_many_arguments)]
+pub fn probe_offers_pooled(
+    component: &mut dyn StateObservable,
+    prefix: &[Label],
+    offers: &[SignalSet],
+    u: &Universe,
+    ports: &PortMap,
+    policy: &RetryPolicy,
+    clock: &mut SimClock,
+    mut cache: Option<&mut TraceCache>,
+    parallelism: usize,
+) -> Vec<RetryReport> {
+    let expected: Vec<Vec<Label>> = offers
+        .iter()
+        .map(|&a| {
+            let mut w = prefix.to_vec();
+            w.push(Label::new(a, SignalSet::EMPTY));
+            w
+        })
+        .collect();
+    let deterministic = component.deterministic_rig();
+    let degenerate = policy.quorum.max(1) > policy.max_attempts.max(1);
+
+    // The fast path: deterministic rig, validated claim, with a cache.
+    // Cover the prefix once, then extend each missing offer by a single
+    // checkpointed step plus its verification drive. An unvalidated or
+    // refuted claim goes through the per-offer fallback, whose first
+    // execution validates serially.
+    if deterministic && !degenerate {
+        let trusted = cache
+            .as_deref()
+            .is_some_and(|c| c.validation == Validation::Trusted);
+        if trusted {
+            let cache = cache.as_deref_mut().expect("trusted implies present");
+            // `extra` carries the rig steps the batch drove on behalf of
+            // each offer, so the per-offer reports (which would otherwise
+            // be zero-step cache hits) account for the true rig work.
+            let mut extra = vec![0usize; offers.len()];
+            let prefix_driven = cache.extend(component, prefix);
+            if let Some(e0) = extra.first_mut() {
+                *e0 += prefix_driven;
+            }
+            if cache.validation != Validation::Trusted {
+                // The prefix replay refuted the determinism claim: handle
+                // every offer through the serial fallback below.
+                return per_offer_reports(
+                    component,
+                    &expected,
+                    &extra,
+                    u,
+                    ports,
+                    policy,
+                    clock,
+                    cache,
+                    parallelism,
+                );
+            }
+            let prefix_path = match cache.walk(prefix) {
+                Walk::Covered {
+                    path,
+                    divergence: None,
+                } => path,
+                // The prefix does not replay cleanly (it was confirmed
+                // against different behaviour?) — fall through to the
+                // general per-offer path, which handles divergence.
+                _ => {
+                    return per_offer_reports(
+                        component,
+                        &expected,
+                        &extra,
+                        u,
+                        ports,
+                        policy,
+                        clock,
+                        cache,
+                        parallelism,
+                    );
+                }
+            };
+            let prefix_node = prefix_path.last().copied().unwrap_or(0);
+            // Which offers still need a rig step?
+            let missing: Vec<usize> = (0..offers.len())
+                .filter(|&i| !cache.nodes[prefix_node].children.contains_key(&offers[i]))
+                .collect();
+            if !missing.is_empty() {
+                if let Some(snap) = cache.nodes[prefix_node].checkpoint.as_ref() {
+                    // Each missing offer needs two clones: one positioned
+                    // at the prefix checkpoint (the one-step extension) and
+                    // one driven from reset (the independent verification
+                    // drive — see `verify_from_reset`).
+                    let mut pairs = Vec::with_capacity(missing.len());
+                    let mut ok = true;
+                    for _ in &missing {
+                        match (snap.try_clone_boxed(), component.try_clone_boxed()) {
+                            (Some(c), Some(f)) => pairs.push((c, f)),
+                            _ => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        let word_inputs: Vec<SignalSet> = prefix.iter().map(|l| l.inputs).collect();
+                        let tasks: Vec<_> = missing
+                            .iter()
+                            .zip(pairs)
+                            .map(|(&i, (mut c, mut f))| {
+                                let a = offers[i];
+                                let word = word_inputs.clone();
+                                move || {
+                                    let out = c.step(a);
+                                    let period = c.period();
+                                    let state = c.observable_state();
+                                    let snap = c.try_clone_boxed();
+                                    f.reset();
+                                    let mut verify: Vec<SignalSet> =
+                                        word.iter().map(|&x| f.step(x)).collect();
+                                    verify.push(f.step(a));
+                                    (out, period, state, snap, verify)
+                                }
+                            })
+                            .collect();
+                        let results = run_pooled(tasks, parallelism, Some(&mut cache.stats));
+                        cache.stats.driven_steps += results.len() * (2 + prefix.len());
+                        for (&i, (out, period, state, snap, verify)) in missing.iter().zip(results)
+                        {
+                            extra[i] += 2 + prefix.len();
+                            if cache.validation != Validation::Trusted {
+                                continue; // already distrusted: count steps only
+                            }
+                            // The verification drive must reproduce the
+                            // memoized prefix and the extension's output;
+                            // any disagreement refutes the determinism
+                            // claim (as the serial cross-check would).
+                            let agrees = verify.len() == prefix_path.len() + 1
+                                && prefix_path
+                                    .iter()
+                                    .zip(&verify)
+                                    .all(|(&n, &v)| cache.nodes[n].outputs == v)
+                                && *verify.last().expect("one step per input") == out;
+                            if !agrees {
+                                cache.clear();
+                                cache.validation = Validation::Distrusted;
+                                continue;
+                            }
+                            cache.insert_node(prefix_node, offers[i], out, period, state, snap);
+                        }
+                    }
+                }
+            }
+            // All offers are now either memoized or will be driven lazily
+            // by the per-offer executor (non-clonable or distrusted
+            // fallback).
+            return per_offer_reports(
+                component,
+                &expected,
+                &extra,
+                u,
+                ports,
+                policy,
+                clock,
+                cache,
+                parallelism,
+            );
+        }
+        // No cache, but a clonable deterministic rig: run the offers'
+        // full executions concurrently and merge in offer order. (With a
+        // pending or refuted cache this branch is skipped — validation
+        // must be serial, and a distrusted rig must not be cloned.)
+        if cache.is_none() && parallelism > 1 && component.try_clone_boxed().is_some() {
+            let mut clones = Vec::with_capacity(expected.len());
+            let mut ok = true;
+            for _ in &expected {
+                match component.try_clone_boxed() {
+                    Some(c) => clones.push(c),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                let tasks: Vec<_> = expected
+                    .iter()
+                    .zip(clones)
+                    .map(|(e, mut c)| {
+                        let u = u.clone();
+                        let ports = ports.clone();
+                        let policy = *policy;
+                        let e = e.clone();
+                        move || {
+                            let mut local = SimClock::new();
+                            execute_with_retry_on(&mut *c, &e, &u, &ports, &policy, &mut local)
+                        }
+                    })
+                    .collect();
+                let reports = run_pooled(tasks, parallelism, None);
+                for r in &reports {
+                    // Serial merge order: charge the backoff each offer's
+                    // serial execution would have charged, in offer order.
+                    clock.advance(r.backoff_ticks);
+                }
+                return reports;
+            }
+        }
+    }
+
+    // Serial fallback (nondeterministic rig, degenerate policy, or
+    // non-clonable component): exactly the per-offer serial semantics.
+    expected
+        .iter()
+        .map(|e| {
+            execute_with_retry_pooled(
+                component,
+                e,
+                u,
+                ports,
+                policy,
+                clock,
+                cache.as_deref_mut(),
+                parallelism,
+            )
+        })
+        .collect()
+}
+
+/// Per-offer tail of the probe batch: executes each offer word through the
+/// cached executor (most are now memoized) and folds the batch-driven rig
+/// steps (`extra`) into the matching reports, so driver-level accounting
+/// sees the true rig work instead of zero-step hits. The counterfactual
+/// savings credited to those hits are reduced by the same amount.
+#[allow(clippy::too_many_arguments)]
+fn per_offer_reports(
+    component: &mut dyn StateObservable,
+    expected: &[Vec<Label>],
+    extra: &[usize],
+    u: &Universe,
+    ports: &PortMap,
+    policy: &RetryPolicy,
+    clock: &mut SimClock,
+    cache: &mut TraceCache,
+    parallelism: usize,
+) -> Vec<RetryReport> {
+    expected
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let mut rr = execute_with_retry_pooled(
+                component,
+                e,
+                u,
+                ports,
+                policy,
+                clock,
+                Some(&mut *cache),
+                parallelism,
+            );
+            if extra[i] > 0 {
+                rr.driven_steps += extra[i];
+                if rr.attempts == 0 {
+                    // A synthesized hit claimed the full serial cost as
+                    // saved; the batch actually drove `extra[i]` steps.
+                    cache.stats.saved_steps = cache.stats.saved_steps.saturating_sub(extra[i]);
+                }
+            }
+            rr
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpreter::{HiddenMealy, MealyBuilder};
+    use crate::latency::LatentComponent;
+    use crate::retry::execute_with_retry;
+    use crate::rig::{RigFaultProfile, UnreliableRig};
+
+    fn component(u: &Universe) -> HiddenMealy {
+        MealyBuilder::new(u, "legacy")
+            .input("start")
+            .input("reject")
+            .output("propose")
+            .state("noConvoy")
+            .initial("noConvoy")
+            .state("wait")
+            .state("convoy")
+            .rule("noConvoy", [], ["propose"], "wait")
+            .rule("wait", ["start"], [], "convoy")
+            .rule("wait", ["reject"], [], "noConvoy")
+            .build()
+            .unwrap()
+    }
+
+    fn l(u: &Universe, ins: &[&str], outs: &[&str]) -> Label {
+        Label::new(
+            ins.iter().map(|n| u.signal(n)).collect(),
+            outs.iter().map(|n| u.signal(n)).collect(),
+        )
+    }
+
+    /// Everything the learner consumes must agree; only the driven-step
+    /// accounting may differ.
+    fn assert_equivalent(cached: &RetryReport, serial: &RetryReport) {
+        assert_eq!(cached.verdict, serial.verdict);
+        match (&cached.outcome, &serial.outcome) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.confirmed, b.confirmed);
+                assert_eq!(a.divergence, b.divergence);
+                assert_eq!(a.observation, b.observation);
+                assert_eq!(a.refusal, b.refusal);
+                assert_eq!(a.recording, b.recording);
+                assert_eq!(a.monitor.to_string(), b.monitor.to_string());
+            }
+            _ => panic!("outcome presence differs"),
+        }
+    }
+
+    #[test]
+    fn full_hit_synthesizes_identical_outcome_with_zero_steps() {
+        let u = Universe::new();
+        let ports = PortMap::with_default("rearRole");
+        let policy = RetryPolicy::default();
+        let expected = vec![l(&u, &[], &["propose"]), l(&u, &["start"], &[])];
+
+        let serial = execute_with_retry(&mut component(&u), &expected, &u, &ports, &policy);
+
+        let mut cache = TraceCache::new("test");
+        let mut clock = SimClock::new();
+        let mut c = component(&u);
+        let first = execute_with_retry_pooled(
+            &mut c,
+            &expected,
+            &u,
+            &ports,
+            &policy,
+            &mut clock,
+            Some(&mut cache),
+            1,
+        );
+        assert_equivalent(&first, &serial);
+        assert_eq!(
+            first.driven_steps, serial.driven_steps,
+            "first contact is the serial validation run"
+        );
+
+        let second = execute_with_retry_pooled(
+            &mut c,
+            &expected,
+            &u,
+            &ports,
+            &policy,
+            &mut clock,
+            Some(&mut cache),
+            1,
+        );
+        assert_equivalent(&second, &serial);
+        assert_eq!(second.driven_steps, 0, "repeat is a pure synthesis");
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn divergence_synthesis_matches_serial_including_refusal() {
+        let u = Universe::new();
+        let ports = PortMap::with_default("rearRole");
+        let policy = RetryPolicy::default();
+        let expected = vec![l(&u, &[], &[]), l(&u, &[], &["propose"])];
+
+        let serial = execute_with_retry(&mut component(&u), &expected, &u, &ports, &policy);
+        assert_eq!(serial.verdict, TestVerdict::Diverged { step: 0 });
+
+        let mut cache = TraceCache::new("test");
+        let mut clock = SimClock::new();
+        let mut c = component(&u);
+        for _ in 0..3 {
+            let r = execute_with_retry_pooled(
+                &mut c,
+                &expected,
+                &u,
+                &ports,
+                &policy,
+                &mut clock,
+                Some(&mut cache),
+                1,
+            );
+            assert_equivalent(&r, &serial);
+        }
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn prefix_resume_extends_instead_of_replaying() {
+        let u = Universe::new();
+        let ports = PortMap::with_default("rearRole");
+        let policy = RetryPolicy::default();
+        let w = vec![l(&u, &[], &["propose"])];
+        let wa = vec![l(&u, &[], &["propose"]), l(&u, &["start"], &[])];
+
+        let mut cache = TraceCache::new("test");
+        let mut clock = SimClock::new();
+        let mut c = component(&u);
+        let first = execute_with_retry_pooled(
+            &mut c,
+            &w,
+            &u,
+            &ports,
+            &policy,
+            &mut clock,
+            Some(&mut cache),
+            1,
+        );
+        assert_eq!(first.driven_steps, 3, "first contact validates serially");
+        // Extending w to w·a drives one new step from the checkpoint
+        // captured at the end of the validation run, plus one |w·a|
+        // verification drive from reset — 3 steps against the serial
+        // executor's 3·|w·a| = 6.
+        let ext = execute_with_retry_pooled(
+            &mut c,
+            &wa,
+            &u,
+            &ports,
+            &policy,
+            &mut clock,
+            Some(&mut cache),
+            1,
+        );
+        assert_eq!(ext.driven_steps, 3);
+        assert!(cache.stats().resumes >= 1);
+        let serial = execute_with_retry(&mut component(&u), &wa, &u, &ports, &policy);
+        assert_equivalent(&ext, &serial);
+    }
+
+    #[test]
+    fn empty_trace_is_synthesized_after_first_contact() {
+        let u = Universe::new();
+        let ports = PortMap::with_default("p");
+        let policy = RetryPolicy::default();
+        let mut cache = TraceCache::new("test");
+        let mut clock = SimClock::new();
+        let mut c = component(&u);
+        let serial = execute_with_retry(&mut component(&u), &[], &u, &ports, &policy);
+        let r = execute_with_retry_pooled(
+            &mut c,
+            &[],
+            &u,
+            &ports,
+            &policy,
+            &mut clock,
+            Some(&mut cache),
+            1,
+        );
+        assert_equivalent(&r, &serial);
+        let again = execute_with_retry_pooled(
+            &mut c,
+            &[],
+            &u,
+            &ports,
+            &policy,
+            &mut clock,
+            Some(&mut cache),
+            1,
+        );
+        assert_equivalent(&again, &serial);
+    }
+
+    #[test]
+    fn flaky_rig_skips_cache_until_quorum_then_reuses_the_agreed_verdict() {
+        let u = Universe::new();
+        let ports = PortMap::with_default("rearRole");
+        let policy = RetryPolicy::default().with_max_attempts(24).with_quorum(2);
+        let expected = vec![l(&u, &[], &["propose"]), l(&u, &["start"], &[])];
+        let profile = RigFaultProfile::uniform(0xFEED, 0.1);
+        let mut rig = UnreliableRig::new(component(&u), profile);
+        assert!(!rig.deterministic_rig());
+
+        let mut cache = TraceCache::new("flaky");
+        let mut clock = SimClock::new();
+        let first = execute_with_retry_pooled(
+            &mut rig,
+            &expected,
+            &u,
+            &ports,
+            &policy,
+            &mut clock,
+            Some(&mut cache),
+            4,
+        );
+        if first.verdict.is_conclusive() {
+            assert!(first.attempts >= 1, "flaky path must actually execute");
+            assert!(!cache.is_empty(), "conclusive verdicts are memoized");
+            let second = execute_with_retry_pooled(
+                &mut rig,
+                &expected,
+                &u,
+                &ports,
+                &policy,
+                &mut clock,
+                Some(&mut cache),
+                4,
+            );
+            assert_eq!(second.verdict, first.verdict);
+            assert_eq!(second.attempts, 0, "repeat is served from the cache");
+            assert_eq!(second.driven_steps, 0);
+        } else {
+            assert!(cache.is_empty(), "inconclusive runs must not be cached");
+        }
+    }
+
+    #[test]
+    fn parallel_quorum_matches_serial_bit_for_bit() {
+        let u = Universe::new();
+        let ports = PortMap::with_default("rearRole");
+        let policy = RetryPolicy::default().with_quorum(3).with_max_attempts(6);
+        for expected in [
+            vec![l(&u, &[], &["propose"]), l(&u, &["start"], &[])],
+            vec![l(&u, &[], &[]), l(&u, &[], &["propose"])],
+        ] {
+            let mut serial_clock = SimClock::new();
+            let serial = execute_with_retry_on(
+                &mut component(&u),
+                &expected,
+                &u,
+                &ports,
+                &policy,
+                &mut serial_clock,
+            );
+            let mut par_clock = SimClock::new();
+            let parallel = execute_with_retry_pooled(
+                &mut component(&u),
+                &expected,
+                &u,
+                &ports,
+                &policy,
+                &mut par_clock,
+                None,
+                4,
+            );
+            assert_equivalent(&parallel, &serial);
+            assert_eq!(parallel.attempts, serial.attempts);
+            assert_eq!(parallel.backoff_ticks, serial.backoff_ticks);
+            assert_eq!(parallel.driven_steps, serial.driven_steps);
+            assert_eq!(par_clock.now(), serial_clock.now());
+        }
+    }
+
+    #[test]
+    fn probe_batch_matches_serial_per_offer_verdicts() {
+        let u = Universe::new();
+        let ports = PortMap::with_default("rearRole");
+        let policy = RetryPolicy::default();
+        let prefix = vec![l(&u, &[], &["propose"])];
+        let offers = vec![
+            u.signals(["start"]),
+            u.signals(["reject"]),
+            u.signals(["start", "reject"]),
+        ];
+
+        // Serial reference: one retry execution per offer.
+        let serial: Vec<RetryReport> = offers
+            .iter()
+            .map(|&a| {
+                let mut e = prefix.clone();
+                e.push(Label::new(a, SignalSet::EMPTY));
+                execute_with_retry(&mut component(&u), &e, &u, &ports, &policy)
+            })
+            .collect();
+
+        for parallelism in [1usize, 4] {
+            let mut cache = TraceCache::new("probe");
+            let mut clock = SimClock::new();
+            let mut c = component(&u);
+            let batch = probe_offers_pooled(
+                &mut c,
+                &prefix,
+                &offers,
+                &u,
+                &ports,
+                &policy,
+                &mut clock,
+                Some(&mut cache),
+                parallelism,
+            );
+            assert_eq!(batch.len(), serial.len());
+            for (b, s) in batch.iter().zip(&serial) {
+                assert_equivalent(b, s);
+            }
+            // The first offer is the serial validation run (accounted to
+            // the executor, not the cache); every further offer costs at
+            // most one checkpointed step, one |w|+1 verification drive,
+            // and a one-off prefix replay — bounded by (|w|+2)·k, not the
+            // serial 3·(|w|+1)·k.
+            let driven: usize = cache.stats().driven_steps;
+            assert!(
+                driven <= (prefix.len() + 2) * offers.len(),
+                "cache drove {driven} steps"
+            );
+            // A repeated batch is served entirely from the trie.
+            let again = probe_offers_pooled(
+                &mut c,
+                &prefix,
+                &offers,
+                &u,
+                &ports,
+                &policy,
+                &mut clock,
+                Some(&mut cache),
+                parallelism,
+            );
+            for (b, s) in again.iter().zip(&serial) {
+                assert_equivalent(b, s);
+                assert_eq!(b.driven_steps, 0, "warm probes never touch the rig");
+            }
+            assert_eq!(cache.stats().driven_steps, driven);
+        }
+    }
+
+    #[test]
+    fn probe_batch_without_cache_parallel_matches_serial() {
+        let u = Universe::new();
+        let ports = PortMap::with_default("rearRole");
+        let policy = RetryPolicy::default().with_quorum(2).with_max_attempts(4);
+        let prefix = vec![l(&u, &[], &["propose"])];
+        let offers = vec![u.signals(["start"]), u.signals(["reject"])];
+
+        let mut serial_clock = SimClock::new();
+        let serial: Vec<RetryReport> = offers
+            .iter()
+            .map(|&a| {
+                let mut e = prefix.clone();
+                e.push(Label::new(a, SignalSet::EMPTY));
+                execute_with_retry_on(
+                    &mut component(&u),
+                    &e,
+                    &u,
+                    &ports,
+                    &policy,
+                    &mut serial_clock,
+                )
+            })
+            .collect();
+
+        let mut clock = SimClock::new();
+        let mut c = component(&u);
+        let batch = probe_offers_pooled(
+            &mut c, &prefix, &offers, &u, &ports, &policy, &mut clock, None, 4,
+        );
+        for (b, s) in batch.iter().zip(&serial) {
+            assert_equivalent(b, s);
+            assert_eq!(b.attempts, s.attempts);
+            assert_eq!(b.driven_steps, s.driven_steps);
+        }
+        assert_eq!(clock.now(), serial_clock.now());
+    }
+
+    #[test]
+    fn latent_component_checkpoints_resume_without_replay_sleeps() {
+        let u = Universe::new();
+        let ports = PortMap::with_default("rearRole");
+        let policy = RetryPolicy::default();
+        let mut slow = LatentComponent::new(component(&u), std::time::Duration::from_micros(50));
+        let mut cache = TraceCache::new("latent");
+        let mut clock = SimClock::new();
+        let expected = vec![l(&u, &[], &["propose"]), l(&u, &["start"], &[])];
+        let r = execute_with_retry_pooled(
+            &mut slow,
+            &expected,
+            &u,
+            &ports,
+            &policy,
+            &mut clock,
+            Some(&mut cache),
+            1,
+        );
+        assert_eq!(r.verdict, TestVerdict::Confirmed);
+        assert_eq!(
+            r.driven_steps, 6,
+            "first contact is the serial validation run"
+        );
+        let serial = execute_with_retry(
+            &mut LatentComponent::new(component(&u), std::time::Duration::ZERO),
+            &expected,
+            &u,
+            &ports,
+            &policy,
+        );
+        assert_equivalent(&r, &serial);
+        // Extending the word costs one latency-paying step from the
+        // checkpoint plus one |w·a| verification drive — 4 slow steps, not
+        // the serial executor's 3·|w·a| = 9.
+        let mut wa = expected.clone();
+        wa.push(l(&u, &["start"], &[]));
+        let ext = execute_with_retry_pooled(
+            &mut slow,
+            &wa,
+            &u,
+            &ports,
+            &policy,
+            &mut clock,
+            Some(&mut cache),
+            1,
+        );
+        assert_eq!(ext.driven_steps, 4, "one checkpointed step + verification");
+        let serial_ext = execute_with_retry(
+            &mut LatentComponent::new(component(&u), std::time::Duration::ZERO),
+            &wa,
+            &u,
+            &ports,
+            &policy,
+        );
+        assert_equivalent(&ext, &serial_ext);
+    }
+
+    /// The 200-seed differential suite: prefix-resumed execution must equal
+    /// reset-and-replay on clean rigs for labels, observable states, and
+    /// periods; flaky rigs must agree whenever both paths are conclusive.
+    #[test]
+    fn differential_200_seeds_cached_equals_serial() {
+        let u = Universe::new();
+        let ports = PortMap::with_default("rearRole");
+        let policy = RetryPolicy::default().with_max_attempts(12).with_quorum(2);
+        let a_sets = [
+            SignalSet::EMPTY,
+            u.signals(["start"]),
+            u.signals(["reject"]),
+        ];
+        let out_sets = [SignalSet::EMPTY, u.signals(["propose"])];
+        let mut xs = 0x0123_4567_89AB_CDEF_u64;
+        let mut next = move || {
+            xs ^= xs << 13;
+            xs ^= xs >> 7;
+            xs ^= xs << 17;
+            xs
+        };
+        for seed in 0..200u64 {
+            // A pseudo-random expected trace of length 1..=5, plus its
+            // one-step extension — exercising miss, hit, and resume.
+            let len = (next() % 5 + 1) as usize;
+            let word: Vec<Label> = (0..len)
+                .map(|_| {
+                    Label::new(
+                        a_sets[(next() % 3) as usize],
+                        out_sets[(next() % 2) as usize],
+                    )
+                })
+                .collect();
+            let mut extension = word.clone();
+            extension.push(Label::new(a_sets[(next() % 3) as usize], SignalSet::EMPTY));
+
+            // Clean rig (an UnreliableRig with a clean profile, so the
+            // cache path sees the wrapper, not the bare interpreter).
+            let clean = RigFaultProfile::clean(seed);
+            let mut cache = TraceCache::new("diff-clean");
+            let mut clock = SimClock::new();
+            let mut rig = UnreliableRig::new(component(&u), clean);
+            for expected in [&word, &extension, &word] {
+                let cached = execute_with_retry_pooled(
+                    &mut rig,
+                    expected,
+                    &u,
+                    &ports,
+                    &policy,
+                    &mut clock,
+                    Some(&mut cache),
+                    2,
+                );
+                let serial = execute_with_retry(
+                    &mut UnreliableRig::new(component(&u), clean),
+                    expected,
+                    &u,
+                    &ports,
+                    &policy,
+                );
+                assert_equivalent(&cached, &serial);
+            }
+
+            // Faulty rig: the cache must never corrupt a verdict. Both
+            // paths run their own PRNG history, so compare only when both
+            // are conclusive — then both must agree (with the clean truth).
+            let faulty = RigFaultProfile::uniform(seed.wrapping_mul(0x9E37), 0.1);
+            let mut cache = TraceCache::new("diff-faulty");
+            let mut clock = SimClock::new();
+            let mut rig = UnreliableRig::new(component(&u), faulty);
+            let truth = execute_with_retry(
+                &mut UnreliableRig::new(component(&u), RigFaultProfile::clean(0)),
+                &word,
+                &u,
+                &ports,
+                &policy,
+            );
+            for _ in 0..2 {
+                let r = execute_with_retry_pooled(
+                    &mut rig,
+                    &word,
+                    &u,
+                    &ports,
+                    &policy,
+                    &mut clock,
+                    Some(&mut cache),
+                    2,
+                );
+                if r.verdict.is_conclusive() {
+                    assert_eq!(r.verdict, truth.verdict, "seed {seed}");
+                    assert_eq!(
+                        r.outcome.as_ref().map(|o| &o.observation),
+                        truth.outcome.as_ref().map(|o| &o.observation),
+                        "seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -46,6 +46,34 @@ pub trait StateObservable: LegacyComponent {
     /// The name of the initial state (known from light-weight reverse
     /// engineering; Lemma 4 builds `M_l^0` from it).
     fn initial_state_name(&self) -> String;
+
+    /// Whether the component honours the determinism contract *at the
+    /// harness boundary*: after `reset`, equal input words yield equal
+    /// outputs, observable states, and periods. The trace cache
+    /// ([`crate::TraceCache`]) memoizes — and resumes from checkpoints on —
+    /// deterministic rigs only. The default is `true` (the trait contract);
+    /// an [`UnreliableRig`](crate::UnreliableRig) with a non-clean fault
+    /// profile overrides it.
+    fn deterministic_rig(&self) -> bool {
+        true
+    }
+
+    /// A stable token identifying the rig configuration (fault seed and
+    /// profile) for cache scoping; components without rig state return the
+    /// empty string.
+    fn rig_token(&self) -> String {
+        String::new()
+    }
+
+    /// Clones the component *including its current execution state*, for
+    /// checkpoint/resume and for parallel execution on independent
+    /// instances. `None` (the default) opts out: the component cannot be
+    /// snapshotted — or duplicating it would be unsound, as for a faulty
+    /// rig whose fault PRNG must not be forked (forked streams would replay
+    /// identical faults, defeating the retry quorum).
+    fn try_clone_boxed(&self) -> Option<Box<dyn StateObservable + Send>> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -73,5 +101,29 @@ mod tests {
         assert_eq!(out, u.signals(["b"]));
         assert_eq!(boxed.period(), 1);
         assert_eq!(boxed.observable_state(), "s0");
+    }
+
+    #[test]
+    fn checkpoint_clone_preserves_execution_state() {
+        let u = Universe::new();
+        let mut m = MealyBuilder::new(&u, "legacy")
+            .input("a")
+            .output("b")
+            .state("s0")
+            .initial("s0")
+            .state("s1")
+            .rule("s0", ["a"], ["b"], "s1")
+            .build()
+            .unwrap();
+        assert!(m.deterministic_rig());
+        assert_eq!(m.rig_token(), "");
+        m.step(u.signals(["a"]));
+        let mut snap = m.try_clone_boxed().expect("HiddenMealy is clonable");
+        assert_eq!(snap.observable_state(), "s1");
+        assert_eq!(snap.period(), 1);
+        // The snapshot evolves independently of the original.
+        snap.reset();
+        assert_eq!(snap.observable_state(), "s0");
+        assert_eq!(m.observable_state(), "s1");
     }
 }

@@ -218,6 +218,10 @@ impl StateObservable for HiddenMealy {
     fn initial_state_name(&self) -> String {
         self.state_names[self.initial].clone()
     }
+
+    fn try_clone_boxed(&self) -> Option<Box<dyn StateObservable + Send>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Builder for [`HiddenMealy`].

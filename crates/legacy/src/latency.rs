@@ -107,13 +107,33 @@ impl<C: LegacyComponent> LegacyComponent for LatentComponent<C> {
     }
 }
 
-impl<C: StateObservable> StateObservable for LatentComponent<C> {
+impl<C: StateObservable + Clone + Send + 'static> StateObservable for LatentComponent<C> {
     fn observable_state(&self) -> String {
         self.inner.observable_state()
     }
 
     fn initial_state_name(&self) -> String {
         self.inner.initial_state_name()
+    }
+
+    fn deterministic_rig(&self) -> bool {
+        // Latency changes cost, never behaviour.
+        self.inner.deterministic_rig()
+    }
+
+    fn rig_token(&self) -> String {
+        self.inner.rig_token()
+    }
+
+    fn try_clone_boxed(&self) -> Option<Box<dyn StateObservable + Send>> {
+        // The clone keeps the configured latency: a resumed or parallel
+        // instance pays the same per-step cost as the original (only the
+        // *number* of steps, or their overlap, changes).
+        if self.inner.try_clone_boxed().is_some() {
+            Some(Box::new(self.clone()))
+        } else {
+            None
+        }
     }
 }
 

@@ -26,9 +26,15 @@
 //!   with exponential backoff on a [`SimClock`] and a verdict quorum,
 //!   classifying each test as `Confirmed`, `Diverged`, or `Inconclusive`
 //!   instead of panicking or lying under an unreliable rig.
+//! * [`TraceCache`] / [`execute_with_retry_pooled`] /
+//!   [`probe_offers_pooled`] — the prefix-sharing trace cache with
+//!   checkpointed resume and the scoped-thread pool for independent rig
+//!   executions; verdicts stay bit-identical to the serial executor
+//!   (DESIGN.md §17).
 
 #![warn(missing_docs)]
 
+mod cache;
 mod component;
 mod executor;
 mod faults;
@@ -40,6 +46,7 @@ mod replay;
 mod retry;
 mod rig;
 
+pub use cache::{execute_with_retry_pooled, probe_offers_pooled, CacheStats, TraceCache};
 pub use component::{LegacyComponent, StateObservable};
 pub use executor::{execute_expected_trace, TestOutcome};
 pub use faults::{fault_matrix, inject, Fault};

@@ -209,7 +209,7 @@ impl RetryReport {
 /// by its own replayed observation: confirmations must reproduce the
 /// expected labels exactly, divergences must match the expected prefix and
 /// mismatch exactly at the divergence step.
-fn internally_consistent(outcome: &TestOutcome, expected: &[Label]) -> bool {
+pub(crate) fn internally_consistent(outcome: &TestOutcome, expected: &[Label]) -> bool {
     let labels = &outcome.observation.labels;
     match outcome.divergence {
         None => {
@@ -232,7 +232,7 @@ fn internally_consistent(outcome: &TestOutcome, expected: &[Label]) -> bool {
 
 /// Two consistent attempts agree iff they claim the same verdict with the
 /// same evidence.
-fn agrees(a: &TestOutcome, b: &TestOutcome) -> bool {
+pub(crate) fn agrees(a: &TestOutcome, b: &TestOutcome) -> bool {
     a.confirmed == b.confirmed
         && a.divergence == b.divergence
         && a.observation == b.observation
@@ -270,7 +270,10 @@ pub fn execute_with_retry_on(
         let pause = policy.backoff_before(report.attempts);
         if pause > 0 {
             clock.advance(pause);
-            report.backoff_ticks += pause;
+            // Saturate: with a pathological schedule (base/cap near
+            // `u64::MAX`) the per-attempt pauses individually fit but their
+            // sum wraps in release mode.
+            report.backoff_ticks = report.backoff_ticks.saturating_add(pause);
         }
         match execute_expected_trace(component, expected, u, ports) {
             Err(e) => {
@@ -478,6 +481,35 @@ mod tests {
         // Pauses before attempts 2, 3, 4: 2, 4, 8.
         assert_eq!(r.backoff_ticks, 14);
         assert_eq!(clock.now(), 14);
+    }
+
+    #[test]
+    fn extreme_backoff_schedule_saturates_instead_of_wrapping() {
+        // Regression: `backoff_before` already saturated per pause, but the
+        // *accumulated* ticks (report + clock) wrapped with a schedule whose
+        // pauses are near `u64::MAX`.
+        let p = RetryPolicy::default().with_backoff(u64::MAX, u64::MAX, u64::MAX);
+        assert_eq!(p.backoff_before(2), u64::MAX);
+        assert_eq!(p.backoff_before(100), u64::MAX);
+
+        let mut clock = SimClock::new();
+        clock.advance(u64::MAX);
+        clock.advance(u64::MAX);
+        assert_eq!(clock.now(), u64::MAX);
+
+        let u = Universe::new();
+        let mut c = CoinFlip::new(&u);
+        let ports = PortMap::with_default("p");
+        let expected = vec![l(&u, &[], &["tick"])];
+        let policy =
+            RetryPolicy::default()
+                .with_max_attempts(4)
+                .with_backoff(u64::MAX, u64::MAX, u64::MAX);
+        let mut clock = SimClock::new();
+        let r = execute_with_retry_on(&mut c, &expected, &u, &ports, &policy, &mut clock);
+        // Three pauses of u64::MAX each: both accumulators must saturate.
+        assert_eq!(r.backoff_ticks, u64::MAX);
+        assert_eq!(clock.now(), u64::MAX);
     }
 
     #[test]

@@ -93,6 +93,32 @@ pub struct RigFaultProfile {
 }
 
 impl RigFaultProfile {
+    /// Whether the profile can inject anything at all. A profile with all
+    /// rates zero is behaviourally transparent: the rig never consumes a
+    /// PRNG draw, so the wrapped component stays fully deterministic.
+    pub fn is_clean(&self) -> bool {
+        self.drop_rate <= 0.0
+            && self.duplicate_rate <= 0.0
+            && self.spurious_reset_rate <= 0.0
+            && self.stuck_rate <= 0.0
+            && self.timeout_rate <= 0.0
+    }
+
+    /// A stable token identifying the profile (seed and rates) for trace-
+    /// cache scoping.
+    pub fn token(&self) -> String {
+        format!(
+            "rig:seed={},drop={},dup={},reset={},stuck={}x{},timeout={}",
+            self.seed,
+            self.drop_rate,
+            self.duplicate_rate,
+            self.spurious_reset_rate,
+            self.stuck_rate,
+            self.stuck_periods,
+            self.timeout_rate
+        )
+    }
+
     /// A profile that injects nothing — the wrapped component is exercised
     /// verbatim (useful as a control in differential tests).
     pub fn clean(seed: u64) -> Self {
@@ -331,13 +357,40 @@ impl<C: LegacyComponent> LegacyComponent for UnreliableRig<C> {
     }
 }
 
-impl<C: StateObservable> StateObservable for UnreliableRig<C> {
+impl<C: StateObservable + Clone + Send + 'static> StateObservable for UnreliableRig<C> {
     fn observable_state(&self) -> String {
         self.inner.observable_state()
     }
 
     fn initial_state_name(&self) -> String {
         self.inner.initial_state_name()
+    }
+
+    fn deterministic_rig(&self) -> bool {
+        // A faulty rig is nondeterministic by design: the PRNG survives
+        // resets, so consecutive attempts see different transient faults.
+        self.profile.is_clean() && self.inner.deterministic_rig()
+    }
+
+    fn rig_token(&self) -> String {
+        let inner = self.inner.rig_token();
+        if inner.is_empty() {
+            self.profile.token()
+        } else {
+            format!("{}+{inner}", self.profile.token())
+        }
+    }
+
+    fn try_clone_boxed(&self) -> Option<Box<dyn StateObservable + Send>> {
+        // Forking a faulty rig would duplicate its PRNG: parallel attempts
+        // would replay identical fault draws, which breaks the independence
+        // the retry quorum relies on. Only a clean (never-rolling) rig may
+        // be snapshotted.
+        if self.profile.is_clean() {
+            Some(Box::new(self.clone()))
+        } else {
+            None
+        }
     }
 }
 

@@ -280,6 +280,32 @@ pub enum LoopEvent {
         /// Rejected attempts (replay errors plus inconsistencies).
         suspected: usize,
     },
+    /// The prefix-sharing trace cache served test executions without
+    /// re-driving the rig (`muml_legacy::TraceCache`). Counters are deltas
+    /// since the last report for this component.
+    TraceCacheUsed {
+        /// Iteration index.
+        iteration: usize,
+        /// The component under test.
+        component: String,
+        /// Full hits: verdicts synthesized with zero rig steps.
+        hits: usize,
+        /// Partial hits resumed from a trie checkpoint.
+        resumes: usize,
+        /// Rig steps avoided versus the uncached serial executor.
+        saved_steps: usize,
+    },
+    /// A counterexample projection was skipped because an identical
+    /// projection already diverged earlier in this run (the dedup guard);
+    /// the recorded divergence is reused instead of re-driving the rig.
+    CexDeduped {
+        /// Iteration index.
+        iteration: usize,
+        /// The component that diverged when the projection was first tested.
+        component: String,
+        /// The recorded divergence step.
+        divergence: usize,
+    },
     /// A counterexample was quarantined: its test ended inconclusive, so
     /// its trace must not feed the learner; the checker will be asked for
     /// an alternate counterexample instead.
@@ -325,6 +351,8 @@ impl LoopEvent {
             LoopEvent::FrontierProbed { .. } => "frontier_probed",
             LoopEvent::TestRetried { .. } => "test_retried",
             LoopEvent::RigFault { .. } => "rig_fault",
+            LoopEvent::TraceCacheUsed { .. } => "trace_cache_used",
+            LoopEvent::CexDeduped { .. } => "cex_deduped",
             LoopEvent::Quarantined { .. } => "quarantined",
             LoopEvent::RunFinished { .. } => "run_finished",
         }
@@ -344,6 +372,8 @@ impl LoopEvent {
             | LoopEvent::FrontierProbed { iteration, .. }
             | LoopEvent::TestRetried { iteration, .. }
             | LoopEvent::RigFault { iteration, .. }
+            | LoopEvent::TraceCacheUsed { iteration, .. }
+            | LoopEvent::CexDeduped { iteration, .. }
             | LoopEvent::Quarantined { iteration, .. } => Some(*iteration),
             LoopEvent::RunStarted { .. }
             | LoopEvent::InitialAbstraction { .. }
@@ -587,6 +617,28 @@ impl LoopEvent {
                 obj.push(("iteration".into(), Json::from_usize(*iteration)));
                 obj.push(("component".into(), Json::Str(component.clone())));
                 obj.push(("suspected".into(), Json::from_usize(*suspected)));
+            }
+            LoopEvent::TraceCacheUsed {
+                iteration,
+                component,
+                hits,
+                resumes,
+                saved_steps,
+            } => {
+                obj.push(("iteration".into(), Json::from_usize(*iteration)));
+                obj.push(("component".into(), Json::Str(component.clone())));
+                obj.push(("hits".into(), Json::from_usize(*hits)));
+                obj.push(("resumes".into(), Json::from_usize(*resumes)));
+                obj.push(("saved_steps".into(), Json::from_usize(*saved_steps)));
+            }
+            LoopEvent::CexDeduped {
+                iteration,
+                component,
+                divergence,
+            } => {
+                obj.push(("iteration".into(), Json::from_usize(*iteration)));
+                obj.push(("component".into(), Json::Str(component.clone())));
+                obj.push(("divergence".into(), Json::from_usize(*divergence)));
             }
             LoopEvent::Quarantined {
                 iteration,

@@ -182,6 +182,24 @@ pub fn render_event(event: &LoopEvent) -> String {
             component,
             suspected,
         } => format!("  rig-fault {component}: {suspected} attempt(s) rejected"),
+        LoopEvent::TraceCacheUsed {
+            iteration: _,
+            component,
+            hits,
+            resumes,
+            saved_steps,
+        } => format!(
+            "  trace-cache {component}: {hits} hits, {resumes} resumes, \
+             {saved_steps} rig steps saved"
+        ),
+        LoopEvent::CexDeduped {
+            iteration: _,
+            component,
+            divergence,
+        } => format!(
+            "  dedup {component}: counterexample already diverged at step {divergence}, \
+             test skipped"
+        ),
         LoopEvent::Quarantined {
             iteration: _,
             component,

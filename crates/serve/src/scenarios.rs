@@ -64,6 +64,8 @@ fn resolve_railcab(request: &JobRequest) -> Result<JobWork, ResolveError> {
     };
     let latency = request.latency;
     let max_iterations = request.max_iterations;
+    let trace_cache = request.trace_cache;
+    let test_parallelism = request.test_parallelism;
     let build = variant.build;
     Ok(Box::new(move |ctx| {
         let u = Universe::new();
@@ -77,7 +79,10 @@ fn resolve_railcab(request: &JobRequest) -> Result<JobWork, ResolveError> {
         let signature = ComponentSignature::of_component(&shuttle, &u);
         let mut component = LatentComponent::new(shuttle, latency);
         let mut loop_sink = ctx.loop_sink.clone();
-        let mut config = IntegrationConfig::default().with_max_iterations(max_iterations);
+        let mut config = IntegrationConfig::default()
+            .with_max_iterations(max_iterations)
+            .with_trace_cache(trace_cache)
+            .with_test_parallelism(test_parallelism);
         let mut unit = LegacyUnit::new(&mut component, muml_railcab::scenario::rear_port_map(&u));
         if let Some(store) = &ctx.store {
             config = config.with_shared_store(std::sync::Arc::clone(store));
@@ -120,6 +125,35 @@ mod tests {
             report.verdict,
             muml_core::IntegrationVerdict::Proven
         ));
+    }
+
+    #[test]
+    fn trace_cache_and_parallelism_knobs_thread_through() {
+        let registry = railcab_registry();
+        let uncached = registry
+            .resolve(&baseline("correct").with_trace_cache(false))
+            .unwrap();
+        let uncached_report = (uncached.work)(&JobContext::default()).unwrap();
+        assert!(matches!(
+            uncached_report.verdict,
+            muml_core::IntegrationVerdict::Proven
+        ));
+        assert_eq!(uncached_report.stats.trace_cache_hits, 0);
+
+        let cached = registry
+            .resolve(&baseline("correct").with_test_parallelism(4))
+            .unwrap();
+        let cached_report = (cached.work)(&JobContext::default()).unwrap();
+        assert!(matches!(
+            cached_report.verdict,
+            muml_core::IntegrationVerdict::Proven
+        ));
+        assert!(
+            cached_report.stats.driven_steps <= uncached_report.stats.driven_steps,
+            "cache must not drive more rig steps ({} > {})",
+            cached_report.stats.driven_steps,
+            uncached_report.stats.driven_steps,
+        );
     }
 
     #[test]

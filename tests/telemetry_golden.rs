@@ -27,6 +27,9 @@ fn faulty_walkthrough_event_sequence_is_pinned() {
     // The `learn_step` after `frontier_probed` attributes the probe-learned
     // knowledge to iteration 0 (it used to surface only as a widened
     // baseline of iteration 1's learn step).
+    // The `trace_cache_used` events report the prefix-sharing trace cache:
+    // iteration 0's frontier probes seed the trie, and iteration 1's
+    // counterexample test is answered from it without re-driving the rig.
     assert_eq!(
         sink.kinds(),
         vec![
@@ -39,6 +42,7 @@ fn faulty_walkthrough_event_sequence_is_pinned() {
             "counterexample_extracted",
             "replay_executed",
             "learn_step",
+            "trace_cache_used",
             "frontier_probed",
             "learn_step",
             "iteration_started",
@@ -46,6 +50,7 @@ fn faulty_walkthrough_event_sequence_is_pinned() {
             "recomposed",
             "model_checked",
             "counterexample_extracted",
+            "trace_cache_used",
             "replay_executed",
             "learn_step",
             "run_finished",
@@ -173,17 +178,27 @@ fn faulty_walkthrough_event_payloads_match_the_paper_narrative() {
         }
         _ => unreachable!(),
     }
-    // Every replay drives each input three times (live, re-record, replay).
-    for e in sink.events.iter().filter(|e| e.kind() == "replay_executed") {
-        match e {
+    // A replay drives each input at most three times (live, re-record,
+    // replay); the trace cache may answer a repeat word with fewer — and
+    // iteration 1's counterexample is a full hit with zero driven steps.
+    let replays: Vec<(usize, usize)> = sink
+        .events
+        .iter()
+        .filter_map(|e| match e {
             LoopEvent::ReplayExecuted {
                 steps,
                 driven_steps,
                 ..
-            } => assert_eq!(*driven_steps, steps * 3),
-            _ => unreachable!(),
-        }
+            } => Some((*steps, *driven_steps)),
+            _ => None,
+        })
+        .collect();
+    for &(steps, driven) in &replays {
+        assert!(driven <= steps * 3, "{driven} > {steps}*3");
     }
+    let (steps, driven) = *replays.last().unwrap();
+    assert!(steps > 0);
+    assert_eq!(driven, 0, "iteration 1's test is served from the cache");
     match sink.events.last().unwrap() {
         LoopEvent::RunFinished {
             iterations,
