@@ -41,7 +41,7 @@ use muml_obs::json::Json;
 use muml_obs::{Collector, LoopEvent, NullSink};
 use muml_railcab::scenario;
 
-const KNOWN: [&str; 25] = [
+const KNOWN: [&str; 26] = [
     "fig1",
     "fig2",
     "fig3",
@@ -67,13 +67,14 @@ const KNOWN: [&str; 25] = [
     "serve",
     "warm",
     "probe",
+    "chaos",
 ];
 
 /// The artefacts that support `--json`, and the file each one writes. Both
 /// the usage text and the `--json` gate in `main` derive from this table,
 /// so a new JSON-emitting subcommand is one entry here plus its dispatch
 /// arm.
-const JSON_SUBCOMMANDS: [(&str, &str); 8] = [
+const JSON_SUBCOMMANDS: [(&str, &str); 9] = [
     ("fig2", "BENCH_loop.json"),
     ("check", "BENCH_check.json"),
     ("fleet", "BENCH_fleet.json"),
@@ -82,6 +83,7 @@ const JSON_SUBCOMMANDS: [(&str, &str); 8] = [
     ("serve", "BENCH_serve.json"),
     ("warm", "BENCH_warm.json"),
     ("probe", "BENCH_probe.json"),
+    ("chaos", "BENCH_chaos.json"),
 ];
 
 fn json_subcommand_names() -> String {
@@ -192,6 +194,7 @@ fn main() {
             ("serve", _) => run_serve_cmd(clients.unwrap_or(8), json),
             ("warm", _) => run_warm(json, store),
             ("probe", _) => run_probe(json),
+            ("chaos", _) => run_chaos(json),
             _ => run(what),
         }
     } else {
@@ -1136,6 +1139,32 @@ fn run_storm(json: bool) {
     }
 }
 
+/// `repro chaos [--json]`: the crash-safety campaign — seeded fault
+/// injection across the store, journal, socket, and worker axes, each with
+/// a hard verdict-equality assertion against the clean run (the asserts
+/// run *inside* `muml_bench::chaos::chaos_campaign`; see DESIGN.md §18).
+/// With `--json` the per-axis numbers land in `BENCH_chaos.json`.
+fn run_chaos(json: bool) {
+    use muml_bench::chaos::{chaos_campaign, CHAOS_RATES};
+
+    heading("Chaos — crash safety under injected store/journal/socket/worker faults");
+    let report = chaos_campaign(&CHAOS_RATES);
+    print!("{}", report.render());
+    println!(
+        "all verdicts identical to the clean run across {} store rates, \
+         {} journal cuts, {} hostile clients, {} worker rates",
+        report.store.len(),
+        report.journal.cuts,
+        report.socket.hostile,
+        report.worker.len()
+    );
+    if json {
+        let doc = report.to_json();
+        std::fs::write("BENCH_chaos.json", doc.encode() + "\n").expect("write BENCH_chaos.json");
+        println!("wrote BENCH_chaos.json ({} axes)", 4);
+    }
+}
+
 /// `repro warm [--store DIR] [--json]`: run the RailCab variants × faults
 /// campaign three times — store-disabled, cold against the store, and
 /// seeded from it — and report the rig work the warm start saved. The hard
@@ -1633,6 +1662,7 @@ fn run(what: &str) {
         "serve" => run_serve_cmd(8, false),
         "warm" => run_warm(false, None),
         "probe" => run_probe(false),
+        "chaos" => run_chaos(false),
         "table_e" => {
             heading("Table T-E — multi-legacy parallel learning (n = 4, k = 2)");
             let (single, twin) = table_e(4, 2);

@@ -5,6 +5,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod chaos;
 pub mod experiments;
 pub mod harness;
 pub mod probe;

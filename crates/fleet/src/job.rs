@@ -39,8 +39,20 @@ pub struct JobContext {
 /// The executable work of a job. Runs on a worker thread; everything the
 /// session needs (universe, context automaton, component) is built inside.
 /// `Fn` (not `FnOnce`) so the pool can re-run the closure when the request
-/// grants [`retries`](JobRequest::retries) after a rig-attributed failure.
+/// grants [`retries`](JobRequest::retries) after a rig-attributed failure
+/// — and so the supervisor can re-queue it after a worker crash.
 pub type JobWork = Box<dyn Fn(&JobContext) -> Result<IntegrationReport, CoreError> + Send>;
+
+/// Panic payload that kills the worker thread running the job.
+///
+/// A work closure that calls `std::panic::panic_any(WorkerKill)` does not
+/// get the ordinary panic treatment (an [`JobOutcome::Error`] on a healthy
+/// worker); instead the worker itself is considered dead — the pool's
+/// supervisor respawns a replacement and re-queues the in-flight job under
+/// its crash budget. The chaos campaign uses this to simulate worker
+/// processes being OOM-killed or segfaulting mid-job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerKill;
 
 /// One schedulable unit: a request plus its work closure.
 pub struct Job {
@@ -95,6 +107,12 @@ pub enum JobOutcome {
     /// The job never ran: its component's circuit breaker had already
     /// tripped, so the pool short-circuited it.
     Quarantined,
+    /// The job killed its worker thread more times than the pool's crash
+    /// budget tolerates; the supervisor gave up re-queueing it.
+    Crashed {
+        /// Worker crashes attributed to this job.
+        crashes: usize,
+    },
     /// The session failed (or the work closure panicked).
     Error {
         /// The error (or panic) message.
@@ -112,12 +130,13 @@ impl JobOutcome {
             JobOutcome::TimedOut => "timed_out",
             JobOutcome::IterationLimit => "iteration_limit",
             JobOutcome::Quarantined => "quarantined",
+            JobOutcome::Crashed { .. } => "crashed",
             JobOutcome::Error { .. } => "error",
         }
     }
 
     /// All outcome names, in the fixed histogram order.
-    pub fn names() -> [&'static str; 7] {
+    pub fn names() -> [&'static str; 8] {
         [
             "proven",
             "real_fault",
@@ -125,6 +144,7 @@ impl JobOutcome {
             "timed_out",
             "iteration_limit",
             "quarantined",
+            "crashed",
             "error",
         ]
     }

@@ -41,7 +41,7 @@ mod report;
 pub mod request;
 
 pub use error::FleetError;
-pub use job::{classify, Job, JobContext, JobOutcome, JobResult, JobWork};
+pub use job::{classify, Job, JobContext, JobOutcome, JobResult, JobWork, WorkerKill};
 pub use pool::{run_fleet, FleetConfig};
 pub use report::FleetReport;
 pub use request::{JobRegistry, JobRequest, JobResolver, ResolveError};

@@ -1,5 +1,6 @@
 //! The worker pool: bounded submission, shared-receiver dispatch,
-//! cooperative deadlines, and single-threaded event forwarding.
+//! cooperative deadlines, worker supervision, and single-threaded event
+//! forwarding.
 //!
 //! Topology (see DESIGN.md §11 for the queue-discipline discussion):
 //!
@@ -23,8 +24,16 @@
 //!
 //! Each job's work closure runs under `catch_unwind`; a panicking job is
 //! reported as [`JobOutcome::Error`](crate::JobOutcome) and its worker
-//! keeps serving the queue.
+//! keeps serving the queue. The exception is the
+//! [`WorkerKill`](crate::WorkerKill) panic payload, which kills the worker
+//! itself: the coordinator doubles as a supervisor, respawning a
+//! replacement and re-queueing the in-flight job (plus the untouched rest
+//! of its batch) until the job exhausts its per-job crash budget, at which
+//! point it is reported as a typed
+//! [`JobOutcome::Crashed`](crate::JobOutcome) — the pool never hangs and
+//! never silently shrinks.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -35,14 +44,14 @@ use muml_core::CancelToken;
 use muml_obs::{FleetEvent, FleetSink, SharedSink};
 
 use crate::error::FleetError;
-use crate::job::{breaker_key, classify, Job, JobContext, JobOutcome, JobResult};
+use crate::job::{breaker_key, classify, Job, JobContext, JobOutcome, JobResult, WorkerKill};
 use crate::report::FleetReport;
 
 /// Worker-pool configuration.
 ///
 /// The struct is `#[non_exhaustive]`; construct it with
 /// [`FleetConfig::default`] (one worker, queue bound 8, no retries or
-/// breaker) and refine via the chainable setters.
+/// breaker, crash budget 2) and refine via the chainable setters.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct FleetConfig {
@@ -61,6 +70,11 @@ pub struct FleetConfig {
     /// one worker; different components still run concurrently. `None`
     /// (default) keeps the fully parallel dispatch with no breaker.
     pub breaker_threshold: Option<usize>,
+    /// How many times one job may kill its worker and still be re-queued.
+    /// Crash number `crash_budget + 1` stops re-queueing and reports the
+    /// job as [`JobOutcome::Crashed`]. The *worker* is always respawned —
+    /// the pool never shrinks.
+    pub crash_budget: usize,
     /// Per-iteration loop-event sink handed to every job via
     /// [`JobContext::loop_sink`](crate::JobContext) (`None` = discard).
     /// A `muml-serve` daemon plugs a subscriber fan-out in here; the
@@ -80,6 +94,7 @@ impl Default for FleetConfig {
             queue_bound: 8,
             retry_backoff: Duration::ZERO,
             breaker_threshold: None,
+            crash_budget: 2,
             loop_sink: None,
             store: None,
         }
@@ -113,6 +128,14 @@ impl FleetConfig {
     #[must_use]
     pub fn with_breaker_threshold(mut self, threshold: usize) -> Self {
         self.breaker_threshold = Some(threshold.max(1));
+        self
+    }
+
+    /// Sets the per-job crash budget (see
+    /// [`crash_budget`](FleetConfig::crash_budget)).
+    #[must_use]
+    pub fn with_crash_budget(mut self, budget: usize) -> Self {
+        self.crash_budget = budget;
         self
     }
 
@@ -161,11 +184,28 @@ enum Message {
         key: String,
     },
     Done(Box<JobResult>),
+    /// The worker thread died under a [`WorkerKill`] panic. Carries the
+    /// in-flight job and the untouched remainder of its batch back to the
+    /// supervisor; the sender exits without a `WorkerIdle` report.
+    WorkerCrashed {
+        worker: usize,
+        job: Box<Job>,
+        rest: Vec<Job>,
+    },
     WorkerIdle {
         worker: usize,
         jobs: usize,
         busy_nanos: u64,
     },
+}
+
+/// Coordinator-side aggregation state, threaded through message handling.
+#[derive(Default)]
+struct Progress {
+    results: Vec<JobResult>,
+    breaker_trips: Vec<(String, usize)>,
+    started: usize,
+    finished: usize,
 }
 
 /// Runs `jobs` across the configured worker pool and aggregates the
@@ -205,103 +245,118 @@ pub fn run_fleet(jobs: Vec<Job>, config: &FleetConfig, sink: &mut dyn FleetSink)
     let job_rx = Arc::new(Mutex::new(job_rx));
     let (msg_tx, msg_rx) = mpsc::channel::<Message>();
 
-    let mut results: Vec<JobResult> = Vec::with_capacity(total);
-    let mut breaker_trips: Vec<(String, usize)> = Vec::new();
+    let mut progress = Progress::default();
     let mut error: Option<FleetError> = None;
     let mut submitted = 0usize;
-    let mut started = 0usize;
-    let mut finished = 0usize;
+    // The supervisor keeps its own clones of the channel ends so it can
+    // wire up replacement workers mid-flight.
+    let mut supervisor = Supervisor {
+        job_rx: Arc::clone(&job_rx),
+        msg_tx: msg_tx.clone(),
+        retry_backoff: config.retry_backoff,
+        breaker_threshold: config.breaker_threshold,
+        loop_sink: config.loop_sink.clone(),
+        store: config.store.clone(),
+        crash_budget: config.crash_budget,
+        crash_counts: HashMap::new(),
+        next_worker: workers,
+    };
 
     thread::scope(|scope| {
         for worker in 0..workers {
-            let rx = Arc::clone(&job_rx);
-            let tx = msg_tx.clone();
-            let backoff = config.retry_backoff;
-            let threshold = config.breaker_threshold;
-            let loop_sink = config.loop_sink.clone();
-            let store = config.store.clone();
-            scope.spawn(move || worker_loop(worker, rx, tx, backoff, threshold, loop_sink, store));
+            supervisor.spawn_worker(scope, worker, None);
         }
-        // The workers hold the only remaining senders; dropping ours makes
-        // the drain loop below terminate when the last worker exits.
+        // Workers (and the supervisor, for respawns) hold the remaining
+        // senders; the drain loop below terminates by counting live
+        // workers rather than waiting for channel disconnection.
         drop(msg_tx);
 
         let mut batch_iter = batches.into_iter();
-        loop {
+        'submission: loop {
             let Some(batch) = batch_iter.next() else {
                 break;
             };
             let size = batch.len();
-            // Blocks while the queue is full — the backpressure point. A
-            // send error means every worker has already exited (the channel
-            // has no receivers left): record the typed failure and keep the
-            // results of the jobs that did run instead of panicking the
-            // coordinator on top of whatever killed the workers.
-            if let Err(returned) = submit(&job_tx, batch) {
-                let dropped = returned.len() + batch_iter.by_ref().map(|b| b.len()).sum::<usize>();
-                error = Some(FleetError::WorkersGone { submitted, dropped });
-                break;
+            // The backpressure point: a full queue makes the coordinator
+            // wait — but it must keep pumping messages while it waits, or
+            // a crashed worker would never be respawned and a fully-dead
+            // pool would deadlock the blocked submission.
+            let mut pending = Some(batch);
+            while let Some(batch) = pending.take() {
+                match job_tx.try_send(batch) {
+                    Ok(()) => {}
+                    Err(mpsc::TrySendError::Full(batch)) => {
+                        pending = Some(batch);
+                        for msg in msg_rx.try_iter() {
+                            dispatch(msg, scope, &mut supervisor, sink, &mut progress);
+                        }
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(mpsc::TrySendError::Disconnected(returned)) => {
+                        // Every worker has already exited and the channel
+                        // is gone: record the typed failure and keep the
+                        // results of the jobs that did run.
+                        let dropped =
+                            returned.len() + batch_iter.by_ref().map(|b| b.len()).sum::<usize>();
+                        error = Some(FleetError::WorkersGone { submitted, dropped });
+                        break 'submission;
+                    }
+                }
             }
             submitted += size;
             for msg in msg_rx.try_iter() {
-                handle(
-                    msg,
-                    sink,
-                    &mut results,
-                    &mut breaker_trips,
-                    &mut started,
-                    &mut finished,
-                );
+                dispatch(msg, scope, &mut supervisor, sink, &mut progress);
             }
             sink.emit(&FleetEvent::QueueDepth {
-                pending: submitted.saturating_sub(started),
-                finished,
+                pending: submitted.saturating_sub(progress.started),
+                finished: progress.finished,
             });
         }
         drop(job_tx); // close the queue: idle workers exit
 
-        for msg in msg_rx.iter() {
-            let wall_nanos = start.elapsed().as_nanos() as u64;
+        // Every live worker eventually reports WorkerIdle (its Done
+        // messages precede it in sender order); crashed workers are
+        // replaced one-for-one, so the live count is exactly `workers`.
+        let mut live = workers;
+        while live > 0 {
+            let Ok(msg) = msg_rx.recv() else { break };
             match msg {
                 Message::WorkerIdle {
                     worker,
                     jobs,
                     busy_nanos,
-                } => sink.emit(&FleetEvent::WorkerUtilization {
-                    worker,
-                    jobs,
-                    busy_nanos,
-                    wall_nanos,
-                }),
-                other => handle(
-                    other,
-                    sink,
-                    &mut results,
-                    &mut breaker_trips,
-                    &mut started,
-                    &mut finished,
-                ),
+                } => {
+                    live -= 1;
+                    sink.emit(&FleetEvent::WorkerUtilization {
+                        worker,
+                        jobs,
+                        busy_nanos,
+                        wall_nanos: start.elapsed().as_nanos() as u64,
+                    });
+                }
+                other => dispatch(other, scope, &mut supervisor, sink, &mut progress),
             }
         }
     });
 
     sink.emit(&FleetEvent::FleetFinished {
-        jobs: finished,
+        jobs: progress.finished,
         nanos: start.elapsed().as_nanos() as u64,
     });
     FleetReport::new(
         workers,
-        results,
-        breaker_trips,
+        progress.results,
+        progress.breaker_trips,
         start.elapsed().as_nanos() as u64,
         error,
     )
 }
 
 /// Hands one batch to the pool, returning the batch when every worker has
-/// already exited (the job channel has no receivers left). Split out of
-/// [`run_fleet`] so the workers-gone path is unit-testable without having
-/// to kill real worker threads.
+/// already exited (the job channel has no receivers left). Kept for the
+/// workers-gone unit tests; [`run_fleet`] itself uses a non-blocking pump
+/// so it can respawn crashed workers while back-pressured.
+#[cfg(test)]
 fn submit(
     job_tx: &mpsc::SyncSender<Vec<Job>>,
     batch: Vec<Job>,
@@ -309,17 +364,167 @@ fn submit(
     job_tx.send(batch).map_err(|mpsc::SendError(b)| b)
 }
 
-fn worker_loop(
+/// Routes one worker message: crash messages go to the supervisor (which
+/// may synthesize a `Crashed` result), everything else to [`handle`].
+fn dispatch<'scope, 'env>(
+    msg: Message,
+    scope: &'scope thread::Scope<'scope, 'env>,
+    supervisor: &mut Supervisor,
+    sink: &mut dyn FleetSink,
+    progress: &mut Progress,
+) {
+    match msg {
+        Message::WorkerCrashed { worker, job, rest } => {
+            let (event, synthesized) = supervisor.on_crash(scope, worker, *job, rest);
+            sink.emit(&event);
+            if let Some(done) = synthesized {
+                handle(done, sink, progress);
+            }
+        }
+        other => handle(other, sink, progress),
+    }
+}
+
+/// The supervision half of the coordinator: spawns workers, counts per-job
+/// crashes, and replaces dead workers one-for-one.
+struct Supervisor {
+    job_rx: Arc<Mutex<mpsc::Receiver<Vec<Job>>>>,
+    msg_tx: mpsc::Sender<Message>,
+    retry_backoff: Duration,
+    breaker_threshold: Option<usize>,
+    loop_sink: Option<SharedSink>,
+    store: Option<Arc<muml_core::store::Store>>,
+    crash_budget: usize,
+    crash_counts: HashMap<usize, usize>,
+    next_worker: usize,
+}
+
+impl Supervisor {
+    fn spawn_worker<'scope, 'env>(
+        &self,
+        scope: &'scope thread::Scope<'scope, 'env>,
+        worker: usize,
+        initial: Option<Vec<Job>>,
+    ) {
+        let spawn = WorkerSpawn {
+            worker,
+            initial,
+            rx: Arc::clone(&self.job_rx),
+            tx: self.msg_tx.clone(),
+            retry_backoff: self.retry_backoff,
+            breaker_threshold: self.breaker_threshold,
+            loop_sink: self.loop_sink.clone(),
+            store: self.store.clone(),
+        };
+        scope.spawn(move || worker_loop(spawn));
+    }
+
+    /// Handles one worker death: always respawns a replacement (seeded
+    /// with the untouched rest of the dead worker's batch, preserving the
+    /// breaker's one-component-one-worker id order), re-queues the
+    /// in-flight job while its crash budget lasts, and past the budget
+    /// synthesizes the terminal [`JobOutcome::Crashed`] result instead.
+    fn on_crash<'scope, 'env>(
+        &mut self,
+        scope: &'scope thread::Scope<'scope, 'env>,
+        dead_worker: usize,
+        job: Job,
+        rest: Vec<Job>,
+    ) -> (FleetEvent, Option<Message>) {
+        let id = job.request.id;
+        let crashes = {
+            let count = self.crash_counts.entry(id).or_insert(0);
+            *count += 1;
+            *count
+        };
+        let mut initial = Vec::new();
+        let synthesized = if crashes > self.crash_budget {
+            Some(Message::Done(Box::new(JobResult {
+                request: job.request,
+                outcome: JobOutcome::Crashed { crashes },
+                iterations: 0,
+                stats: muml_core::IntegrationStats::default(),
+                worker: dead_worker,
+                nanos: 0,
+                attempts: crashes,
+            })))
+        } else {
+            initial.push(job);
+            None
+        };
+        initial.extend(rest);
+        let worker = self.next_worker;
+        self.next_worker += 1;
+        let seed = if initial.is_empty() {
+            None
+        } else {
+            Some(initial)
+        };
+        self.spawn_worker(scope, worker, seed);
+        (
+            FleetEvent::WorkerRespawned {
+                worker,
+                job: id,
+                crashes,
+            },
+            synthesized,
+        )
+    }
+}
+
+/// Everything a worker thread needs, bundled so spawns and respawns share
+/// one signature.
+struct WorkerSpawn {
     worker: usize,
+    /// A batch to run before joining the shared queue — the re-queued
+    /// remains of a crashed predecessor.
+    initial: Option<Vec<Job>>,
     rx: Arc<Mutex<mpsc::Receiver<Vec<Job>>>>,
     tx: mpsc::Sender<Message>,
     retry_backoff: Duration,
     breaker_threshold: Option<usize>,
     loop_sink: Option<SharedSink>,
     store: Option<Arc<muml_core::store::Store>>,
-) {
-    let mut jobs = 0usize;
-    let mut busy_nanos = 0u64;
+}
+
+/// A worker's mutable execution state across batches.
+struct WorkerState {
+    worker: usize,
+    tx: mpsc::Sender<Message>,
+    retry_backoff: Duration,
+    breaker_threshold: Option<usize>,
+    loop_sink: Option<SharedSink>,
+    store: Option<Arc<muml_core::store::Store>>,
+    jobs: usize,
+    busy_nanos: u64,
+}
+
+fn worker_loop(spawn: WorkerSpawn) {
+    let WorkerSpawn {
+        worker,
+        initial,
+        rx,
+        tx,
+        retry_backoff,
+        breaker_threshold,
+        loop_sink,
+        store,
+    } = spawn;
+    let mut state = WorkerState {
+        worker,
+        tx,
+        retry_backoff,
+        breaker_threshold,
+        loop_sink,
+        store,
+        jobs: 0,
+        busy_nanos: 0,
+    };
+    if let Some(batch) = initial {
+        if !state.run_batch(batch) {
+            return; // killed: the supervisor has been told, just die
+        }
+    }
     loop {
         // Hold the lock across `recv`: exactly one worker waits on the
         // channel while the rest queue on the mutex; each batch wakes one.
@@ -328,32 +533,50 @@ fn worker_loop(
             guard.recv()
         };
         let Ok(batch) = next else { break };
+        if !state.run_batch(batch) {
+            return;
+        }
+    }
+    let _ = state.tx.send(Message::WorkerIdle {
+        worker: state.worker,
+        jobs: state.jobs,
+        busy_nanos: state.busy_nanos,
+    });
+}
+
+impl WorkerState {
+    /// Runs one batch to completion. Returns `false` if a job killed this
+    /// worker (a [`WorkerKill`] panic escaped a work closure) — the crash
+    /// message, carrying the job and the unprocessed rest of the batch,
+    /// has already been sent and the thread must exit.
+    fn run_batch(&mut self, batch: Vec<Job>) -> bool {
         // Consecutive rig-attributed failures within the batch (one
         // component when the breaker groups batches by key).
         let mut failures = 0usize;
         let mut tripped = false;
-        for job in batch {
+        let mut batch_iter = batch.into_iter();
+        while let Some(job) = batch_iter.next() {
             let Job { request, work } = job;
             if tripped {
-                let _ = tx.send(Message::Quarantined {
+                let _ = self.tx.send(Message::Quarantined {
                     job: request.id,
                     key: breaker_key(&request),
                 });
-                let _ = tx.send(Message::Done(Box::new(JobResult {
+                let _ = self.tx.send(Message::Done(Box::new(JobResult {
                     request,
                     outcome: JobOutcome::Quarantined,
                     iterations: 0,
                     stats: muml_core::IntegrationStats::default(),
-                    worker,
+                    worker: self.worker,
                     nanos: 0,
                     attempts: 0,
                 })));
                 continue;
             }
-            let _ = tx.send(Message::Started {
+            let _ = self.tx.send(Message::Started {
                 job: request.id,
                 name: request.name.clone(),
-                worker,
+                worker: self.worker,
             });
             let job_start = Instant::now();
             let mut attempts = 0usize;
@@ -366,12 +589,24 @@ fn worker_loop(
                 };
                 let context = JobContext {
                     cancel,
-                    loop_sink: loop_sink.clone(),
-                    store: store.clone(),
+                    loop_sink: self.loop_sink.clone(),
+                    store: self.store.clone(),
                 };
                 let run = catch_unwind(AssertUnwindSafe(|| work(&context)));
                 let classified = match run {
                     Ok(result) => classify(result),
+                    Err(panic) if panic.downcast_ref::<WorkerKill>().is_some() => {
+                        // This worker is dead. Hand the in-flight job and
+                        // the untouched rest of the batch back to the
+                        // supervisor and exit without an idle report.
+                        let rest: Vec<Job> = batch_iter.by_ref().collect();
+                        let _ = self.tx.send(Message::WorkerCrashed {
+                            worker: self.worker,
+                            job: Box::new(Job { request, work }),
+                            rest,
+                        });
+                        return false;
+                    }
                     Err(panic) => {
                         let message = panic
                             .downcast_ref::<&str>()
@@ -386,25 +621,25 @@ fn worker_loop(
                     }
                 };
                 if classified.0.is_rig_failure() && attempts <= request.retries {
-                    let _ = tx.send(Message::Retried {
+                    let _ = self.tx.send(Message::Retried {
                         job: request.id,
-                        worker,
+                        worker: self.worker,
                         attempt: attempts,
                     });
-                    if !retry_backoff.is_zero() {
-                        thread::sleep(retry_backoff);
+                    if !self.retry_backoff.is_zero() {
+                        thread::sleep(self.retry_backoff);
                     }
                     continue;
                 }
                 break classified;
             };
             let nanos = job_start.elapsed().as_nanos() as u64;
-            if let Some(threshold) = breaker_threshold {
+            if let Some(threshold) = self.breaker_threshold {
                 if outcome.is_rig_failure() {
                     failures += 1;
                     if failures >= threshold {
                         tripped = true;
-                        let _ = tx.send(Message::BreakerTripped {
+                        let _ = self.tx.send(Message::BreakerTripped {
                             key: breaker_key(&request),
                             failures,
                         });
@@ -413,37 +648,26 @@ fn worker_loop(
                     failures = 0;
                 }
             }
-            jobs += 1;
-            busy_nanos += nanos;
-            let _ = tx.send(Message::Done(Box::new(JobResult {
+            self.jobs += 1;
+            self.busy_nanos += nanos;
+            let _ = self.tx.send(Message::Done(Box::new(JobResult {
                 request,
                 outcome,
                 iterations,
                 stats,
-                worker,
+                worker: self.worker,
                 nanos,
                 attempts,
             })));
         }
+        true
     }
-    let _ = tx.send(Message::WorkerIdle {
-        worker,
-        jobs,
-        busy_nanos,
-    });
 }
 
-fn handle(
-    msg: Message,
-    sink: &mut dyn FleetSink,
-    results: &mut Vec<JobResult>,
-    breaker_trips: &mut Vec<(String, usize)>,
-    started: &mut usize,
-    finished: &mut usize,
-) {
+fn handle(msg: Message, sink: &mut dyn FleetSink, progress: &mut Progress) {
     match msg {
         Message::Started { job, name, worker } => {
-            *started += 1;
+            progress.started += 1;
             sink.emit(&FleetEvent::JobStarted { job, name, worker });
         }
         Message::Retried {
@@ -462,17 +686,17 @@ fn handle(
                 key: key.clone(),
                 failures,
             });
-            breaker_trips.push((key, failures));
+            progress.breaker_trips.push((key, failures));
         }
         Message::Quarantined { job, key } => {
             // Counts as dispatched for the queue-depth gauge even though
             // no JobStarted is emitted: the job will never start.
-            *started += 1;
+            progress.started += 1;
             sink.emit(&FleetEvent::JobQuarantined { job, key });
         }
         Message::Done(result) => {
             let result = *result;
-            *finished += 1;
+            progress.finished += 1;
             if result.outcome == JobOutcome::TimedOut {
                 sink.emit(&FleetEvent::JobTimedOut {
                     job: result.request.id,
@@ -487,8 +711,9 @@ fn handle(
                 iterations: result.iterations,
                 nanos: result.nanos,
             });
-            results.push(result);
+            progress.results.push(result);
         }
+        Message::WorkerCrashed { .. } => unreachable!("routed to the supervisor by dispatch"),
         Message::WorkerIdle { .. } => unreachable!("drained only after queue close"),
     }
 }
@@ -498,9 +723,29 @@ mod tests {
     use super::*;
     use crate::request::JobRequest;
     use muml_core::{IntegrationReport, IntegrationStats, IntegrationVerdict};
+    use muml_obs::FleetCollector;
+    use std::panic::panic_any;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn job(id: usize) -> Job {
         Job::new(JobRequest::new(id, format!("job-{id}")), |_ctx| {
+            Ok(IntegrationReport {
+                verdict: IntegrationVerdict::Proven,
+                iterations: Vec::new(),
+                learned: Vec::new(),
+                stats: IntegrationStats::default(),
+            })
+        })
+    }
+
+    /// A job that kills its worker on the first `crashes` executions and
+    /// then completes normally.
+    fn crashing_job(id: usize, crashes: usize) -> Job {
+        let calls = AtomicUsize::new(0);
+        Job::new(JobRequest::new(id, format!("killer-{id}")), move |_ctx| {
+            if calls.fetch_add(1, Ordering::SeqCst) < crashes {
+                panic_any(WorkerKill);
+            }
             Ok(IntegrationReport {
                 verdict: IntegrationVerdict::Proven,
                 iterations: Vec::new(),
@@ -556,5 +801,115 @@ mod tests {
                 dropped: 4
             })
         );
+    }
+
+    #[test]
+    fn crashed_worker_is_respawned_and_job_requeued() {
+        let jobs = vec![job(0), crashing_job(1, 2), job(2)];
+        let mut sink = FleetCollector::new();
+        let report = run_fleet(
+            jobs,
+            &FleetConfig::default().with_workers(2).with_crash_budget(2),
+            &mut sink,
+        );
+        assert!(report.error.is_none());
+        assert_eq!(report.results.len(), 3);
+        for result in &report.results {
+            assert_eq!(result.outcome, JobOutcome::Proven, "{result:?}");
+        }
+        let kinds = sink.kinds();
+        assert_eq!(
+            kinds.iter().filter(|k| **k == "worker_respawned").count(),
+            2,
+            "{kinds:?}"
+        );
+        // One-for-one replacement: exactly `workers` idle reports.
+        assert_eq!(
+            kinds.iter().filter(|k| **k == "worker_utilization").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn crash_budget_exhaustion_yields_typed_crashed_outcome() {
+        let always = usize::MAX; // never completes
+        let jobs = vec![crashing_job(0, always), job(1)];
+        let mut sink = FleetCollector::new();
+        let report = run_fleet(
+            jobs,
+            &FleetConfig::default().with_workers(1).with_crash_budget(1),
+            &mut sink,
+        );
+        assert!(report.error.is_none());
+        assert_eq!(report.results.len(), 2);
+        assert_eq!(
+            report.results[0].outcome,
+            JobOutcome::Crashed { crashes: 2 },
+            "budget 1 allows one re-queue; the second crash is terminal"
+        );
+        assert_eq!(report.results[0].attempts, 2);
+        assert_eq!(report.results[1].outcome, JobOutcome::Proven);
+        let respawns = sink
+            .kinds()
+            .iter()
+            .filter(|k| **k == "worker_respawned")
+            .count();
+        assert_eq!(respawns, 2);
+    }
+
+    #[test]
+    fn crash_mid_batch_requeues_the_rest_in_order() {
+        // Breaker mode groups one variant's jobs into a single batch on
+        // one worker; a crash on the middle job must not lose the tail.
+        let mut jobs = vec![job(0)];
+        jobs[0].request.variant = "stable".into();
+        let mut killer = crashing_job(1, 1);
+        killer.request.variant = "stable".into();
+        jobs.push(killer);
+        let mut tail = job(2);
+        tail.request.variant = "stable".into();
+        jobs.push(tail);
+        let mut sink = FleetCollector::new();
+        let report = run_fleet(
+            jobs,
+            &FleetConfig::default()
+                .with_workers(2)
+                .with_breaker_threshold(3)
+                .with_crash_budget(2),
+            &mut sink,
+        );
+        assert!(report.error.is_none());
+        assert_eq!(report.results.len(), 3);
+        for result in &report.results {
+            assert_eq!(result.outcome, JobOutcome::Proven, "{result:?}");
+        }
+        assert_eq!(
+            sink.kinds()
+                .iter()
+                .filter(|k| **k == "worker_respawned")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn many_concurrent_crashes_never_hang_the_fleet() {
+        // Every job crashes once on a small pool with a tiny queue: the
+        // submission pump must keep respawning workers under full
+        // backpressure and still drain everything.
+        let jobs: Vec<Job> = (0..12).map(|id| crashing_job(id, 1)).collect();
+        let report = run_fleet(
+            jobs,
+            &FleetConfig::default()
+                .with_workers(2)
+                .with_queue_bound(1)
+                .with_crash_budget(3),
+            &mut muml_obs::NullFleetSink,
+        );
+        assert!(report.error.is_none());
+        assert_eq!(report.results.len(), 12);
+        for result in &report.results {
+            assert_eq!(result.outcome, JobOutcome::Proven, "{result:?}");
+        }
     }
 }

@@ -104,6 +104,36 @@ pub enum FleetEvent {
         /// Wall-clock nanoseconds from fleet start to this report.
         wall_nanos: u64,
     },
+    /// A worker thread died (panic or injected kill) and the supervisor
+    /// replaced it, re-queueing the in-flight job if its crash budget
+    /// allows.
+    WorkerRespawned {
+        /// The replacement worker's index.
+        worker: usize,
+        /// The job that was in flight when the worker died.
+        job: usize,
+        /// How many times this job has now crashed a worker.
+        crashes: usize,
+    },
+    /// A daemon restart replayed its durable job journal.
+    JournalReplayed {
+        /// Total records decoded from the journal.
+        records: usize,
+        /// Jobs whose verdicts were restored from `Finished` records.
+        finished: usize,
+        /// Unfinished jobs re-resolved and re-submitted.
+        resubmitted: usize,
+        /// Bytes of torn tail truncated before replay.
+        truncated_bytes: u64,
+    },
+    /// The store's fault-injecting I/O layer fired (chaos campaigns only).
+    IoFaultInjected {
+        /// The fault class (`torn-write`, `short-read`, `enospc`,
+        /// `rename-fail`, `lock-fail`).
+        op: String,
+        /// The path the fault hit.
+        path: String,
+    },
     /// The fleet drained: all jobs accounted for.
     FleetFinished {
         /// Total jobs executed.
@@ -127,6 +157,9 @@ impl FleetEvent {
             FleetEvent::JobQuarantined { .. } => "job_quarantined",
             FleetEvent::QueueDepth { .. } => "queue_depth",
             FleetEvent::WorkerUtilization { .. } => "worker_utilization",
+            FleetEvent::WorkerRespawned { .. } => "worker_respawned",
+            FleetEvent::JournalReplayed { .. } => "journal_replayed",
+            FleetEvent::IoFaultInjected { .. } => "io_fault_injected",
             FleetEvent::FleetFinished { .. } => "fleet_finished",
         }
     }
@@ -138,7 +171,8 @@ impl FleetEvent {
             | FleetEvent::JobFinished { job, .. }
             | FleetEvent::JobTimedOut { job, .. }
             | FleetEvent::JobRetried { job, .. }
-            | FleetEvent::JobQuarantined { job, .. } => Some(*job),
+            | FleetEvent::JobQuarantined { job, .. }
+            | FleetEvent::WorkerRespawned { job, .. } => Some(*job),
             _ => None,
         }
     }
@@ -206,6 +240,30 @@ impl FleetEvent {
                 obj.push(("jobs".into(), Json::from_usize(*jobs)));
                 obj.push(("busy_nanos".into(), Json::from_u64(*busy_nanos)));
                 obj.push(("wall_nanos".into(), Json::from_u64(*wall_nanos)));
+            }
+            FleetEvent::WorkerRespawned {
+                worker,
+                job,
+                crashes,
+            } => {
+                obj.push(("worker".into(), Json::from_usize(*worker)));
+                obj.push(("job".into(), Json::from_usize(*job)));
+                obj.push(("crashes".into(), Json::from_usize(*crashes)));
+            }
+            FleetEvent::JournalReplayed {
+                records,
+                finished,
+                resubmitted,
+                truncated_bytes,
+            } => {
+                obj.push(("records".into(), Json::from_usize(*records)));
+                obj.push(("finished".into(), Json::from_usize(*finished)));
+                obj.push(("resubmitted".into(), Json::from_usize(*resubmitted)));
+                obj.push(("truncated_bytes".into(), Json::from_u64(*truncated_bytes)));
+            }
+            FleetEvent::IoFaultInjected { op, path } => {
+                obj.push(("op".into(), Json::Str(op.clone())));
+                obj.push(("path".into(), Json::Str(path.clone())));
             }
             FleetEvent::FleetFinished { jobs, nanos } => {
                 obj.push(("jobs".into(), Json::from_usize(*jobs)));
@@ -325,6 +383,23 @@ pub fn render_fleet_event(event: &FleetEvent) -> String {
             ms(*wall_nanos),
             100.0 * *busy_nanos as f64 / (*wall_nanos).max(1) as f64
         ),
+        FleetEvent::WorkerRespawned {
+            worker,
+            job,
+            crashes,
+        } => format!("  worker {worker} RESPAWNED after crash on job {job} (crash {crashes})"),
+        FleetEvent::JournalReplayed {
+            records,
+            finished,
+            resubmitted,
+            truncated_bytes,
+        } => format!(
+            "journal: replayed {records} records ({finished} finished, \
+             {resubmitted} resubmitted, {truncated_bytes}B torn tail truncated)"
+        ),
+        FleetEvent::IoFaultInjected { op, path } => {
+            format!("  io fault `{op}` injected at {path}")
+        }
         FleetEvent::FleetFinished { jobs, nanos } => {
             format!("fleet: drained {jobs} jobs [{}]", ms(*nanos))
         }
@@ -382,6 +457,21 @@ mod tests {
                 busy_nanos: 999,
                 wall_nanos: 2000,
             },
+            FleetEvent::WorkerRespawned {
+                worker: 2,
+                job: 1,
+                crashes: 1,
+            },
+            FleetEvent::JournalReplayed {
+                records: 9,
+                finished: 3,
+                resubmitted: 1,
+                truncated_bytes: 17,
+            },
+            FleetEvent::IoFaultInjected {
+                op: "torn-write".into(),
+                path: "/tmp/store/abc.json".into(),
+            },
             FleetEvent::FleetFinished {
                 jobs: 2,
                 nanos: 4321,
@@ -416,9 +506,9 @@ mod tests {
         for event in &sample_events() {
             collector.emit(event);
         }
-        assert_eq!(collector.events.len(), 10);
+        assert_eq!(collector.events.len(), 13);
         assert_eq!(collector.job(0).len(), 2);
-        assert_eq!(collector.job(1).len(), 3);
+        assert_eq!(collector.job(1).len(), 4);
         assert_eq!(collector.kinds()[0], "fleet_started");
         assert_eq!(*collector.kinds().last().unwrap(), "fleet_finished");
     }

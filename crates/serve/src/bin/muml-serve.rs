@@ -4,7 +4,7 @@
 //! ```text
 //! muml-serve [--tcp ADDR] [--unix PATH] [--workers N]
 //!            [--max-pending N] [--max-pending-per-client N]
-//!            [--store DIR]
+//!            [--store DIR] [--journal FILE]
 //! ```
 //!
 //! With no transport flags it binds TCP on `127.0.0.1:0` and prints the
@@ -24,7 +24,8 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: muml-serve [--tcp ADDR] [--unix PATH] [--workers N] \
-     [--max-pending N] [--max-pending-per-client N] [--store DIR]"
+     [--max-pending N] [--max-pending-per-client N] [--store DIR] \
+     [--journal FILE]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -58,6 +59,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--store" => {
                 config = config.with_store(PathBuf::from(value("--store")?));
+            }
+            "--journal" => {
+                config = config.with_journal(PathBuf::from(value("--journal")?));
             }
             "--help" | "-h" => {
                 return Ok(Args {
@@ -102,6 +106,12 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let daemon = Daemon::start(args.config, railcab_registry());
+    if let Some(replay) = daemon.journal_replay() {
+        println!(
+            "muml-serve: journal replayed {} records ({} finished, {} resubmitted, {} bytes truncated)",
+            replay.records, replay.finished, replay.resubmitted, replay.truncated_bytes
+        );
+    }
     let server = match Server::bind(daemon, args.tcp.as_deref(), args.unix.as_deref()) {
         Ok(server) => server,
         Err(e) => {

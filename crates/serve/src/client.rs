@@ -72,6 +72,11 @@ fn frame_to_serve(error: FrameError) -> ServeError {
         },
         FrameError::Oversized { length, max } => ServeError::OversizedFrame { length, max },
         FrameError::Malformed(detail) => ServeError::Malformed { detail },
+        // The client never arms socket timeouts itself, but a caller may
+        // have set them on the raw socket; map both to transport errors.
+        FrameError::IdleTimeout | FrameError::Stalled => ServeError::Transport {
+            detail: "socket timeout".into(),
+        },
         FrameError::Io(e) => ServeError::from(e),
     }
 }

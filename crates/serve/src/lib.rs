@@ -18,6 +18,10 @@
 //! - [`error`] — [`ServeError`], the one `#[non_exhaustive]`
 //!   wire-encodable error with stable string codes that every failure
 //!   (admission, resolution, session, transport) maps onto.
+//! - [`journal`] — the durable job journal: checksummed, length-prefixed
+//!   `accepted`/`started`/`finished` records with torn-tail recovery, so a
+//!   killed daemon replays its verdict history and re-queues unfinished
+//!   jobs on restart.
 //! - [`server`] — the [`Daemon`]: priority scheduling with per-client
 //!   round-robin fairness, non-blocking admission control, worker pool,
 //!   verdict history, live event broadcast.
@@ -35,6 +39,7 @@
 
 pub mod client;
 pub mod error;
+pub mod journal;
 pub mod net;
 pub mod protocol;
 pub mod scenarios;
@@ -42,10 +47,11 @@ pub mod server;
 
 pub use client::{EventStream, ServeClient};
 pub use error::ServeError;
+pub use journal::{Journal, JournalRecord, JournalReplay, JOURNAL_VERSION};
 pub use net::Server;
 pub use protocol::{
     CancelState, Priority, Request, Response, ServerStats, VerdictRecord, MAX_FRAME_DEFAULT,
     PROTOCOL_VERSION,
 };
 pub use scenarios::{railcab_registry, RAILCAB_PATTERN, RAILCAB_SCENARIO};
-pub use server::{Daemon, ServeConfig};
+pub use server::{Daemon, ReplayStats, ServeConfig};

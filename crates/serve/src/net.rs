@@ -37,6 +37,21 @@ impl Stream {
         }
     }
 
+    /// Arms the per-read/write socket timeouts (slowloris defence — see
+    /// [`crate::ServeConfig::io_timeout`]).
+    fn set_io_timeout(&self, timeout: Option<Duration>) {
+        match self {
+            Stream::Tcp(s) => {
+                let _ = s.set_read_timeout(timeout);
+                let _ = s.set_write_timeout(timeout);
+            }
+            Stream::Unix(s) => {
+                let _ = s.set_read_timeout(timeout);
+                let _ = s.set_write_timeout(timeout);
+            }
+        }
+    }
+
     fn shutdown(&self) {
         let _ = match self {
             Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
@@ -291,19 +306,36 @@ fn accept_loop(inner: Arc<ServerInner>, accept: impl Fn() -> io::Result<Stream>)
 }
 
 fn handle_conn(inner: Arc<ServerInner>, client: u64, mut stream: Stream) {
-    let max_frame = inner.daemon.config().max_frame;
+    serve_conn(&inner, client, &mut stream);
+    // The acceptor holds a clone of this socket (for shutdown-on-stop), so
+    // dropping our handle is not enough — shut the connection down so the
+    // peer observes the disconnect.
+    stream.shutdown();
+}
+
+fn serve_conn(inner: &Arc<ServerInner>, client: u64, stream: &mut Stream) {
+    let config = inner.daemon.config();
+    let max_frame = config.max_frame;
+    let idle_deadline = config.idle_timeout;
+    stream.set_io_timeout(config.io_timeout);
+    // Idle accounting is anchored to the last *complete* frame: partial
+    // bytes trickling in do not reset the clock.
+    let mut last_frame = std::time::Instant::now();
     loop {
         if inner.stopping.load(Ordering::SeqCst) {
             return;
         }
-        let frame = match read_frame(&mut stream, max_frame) {
-            Ok(frame) => frame,
+        let frame = match read_frame(stream, max_frame) {
+            Ok(frame) => {
+                last_frame = std::time::Instant::now();
+                frame
+            }
             // Recoverable: the stream is still in sync, answer typed.
             Err(FrameError::Oversized { length, max }) => {
                 let reply = Response::Rejected {
                     error: ServeError::OversizedFrame { length, max },
                 };
-                if write_frame(&mut stream, &reply.to_json()).is_err() {
+                if write_frame(stream, &reply.to_json()).is_err() {
                     return;
                 }
                 continue;
@@ -312,19 +344,32 @@ fn handle_conn(inner: Arc<ServerInner>, client: u64, mut stream: Stream) {
                 let reply = Response::Rejected {
                     error: ServeError::Malformed { detail },
                 };
-                if write_frame(&mut stream, &reply.to_json()).is_err() {
+                if write_frame(stream, &reply.to_json()).is_err() {
                     return;
                 }
                 continue;
             }
-            // Fatal for this connection only.
-            Err(FrameError::Closed | FrameError::Truncated | FrameError::Io(_)) => return,
+            // A timeout at a frame boundary: the stream is in sync, so
+            // only the idle deadline (when configured) ends the
+            // connection.
+            Err(FrameError::IdleTimeout) => match idle_deadline {
+                Some(deadline) if last_frame.elapsed() >= deadline => return,
+                _ => continue,
+            },
+            // Fatal for this connection only: a peer that stalled
+            // mid-frame (slowloris) can never resynchronize.
+            Err(
+                FrameError::Closed
+                | FrameError::Truncated
+                | FrameError::Stalled
+                | FrameError::Io(_),
+            ) => return,
         };
         let request = match Request::from_json(&frame) {
             Ok(request) => request,
             Err(error) => {
                 let reply = Response::Rejected { error };
-                if write_frame(&mut stream, &reply.to_json()).is_err() {
+                if write_frame(stream, &reply.to_json()).is_err() {
                     return;
                 }
                 continue;
@@ -336,7 +381,7 @@ fn handle_conn(inner: Arc<ServerInner>, client: u64, mut stream: Stream) {
                     Ok(job) => Response::Accepted { job },
                     Err(error) => Response::Rejected { error },
                 };
-                if write_frame(&mut stream, &reply.to_json()).is_err() {
+                if write_frame(stream, &reply.to_json()).is_err() {
                     return;
                 }
             }
@@ -345,7 +390,7 @@ fn handle_conn(inner: Arc<ServerInner>, client: u64, mut stream: Stream) {
                     Ok(record) => Response::Verdict(record),
                     Err(error) => Response::Rejected { error },
                 };
-                if write_frame(&mut stream, &reply.to_json()).is_err() {
+                if write_frame(stream, &reply.to_json()).is_err() {
                     return;
                 }
             }
@@ -354,7 +399,7 @@ fn handle_conn(inner: Arc<ServerInner>, client: u64, mut stream: Stream) {
                     Ok(state) => Response::Cancelled { job, state },
                     Err(error) => Response::Rejected { error },
                 };
-                if write_frame(&mut stream, &reply.to_json()).is_err() {
+                if write_frame(stream, &reply.to_json()).is_err() {
                     return;
                 }
             }
@@ -362,19 +407,19 @@ fn handle_conn(inner: Arc<ServerInner>, client: u64, mut stream: Stream) {
                 let reply = Response::History {
                     entries: inner.daemon.history(),
                 };
-                if write_frame(&mut stream, &reply.to_json()).is_err() {
+                if write_frame(stream, &reply.to_json()).is_err() {
                     return;
                 }
             }
             Request::Stats => {
                 let reply = Response::Stats(inner.daemon.stats());
-                if write_frame(&mut stream, &reply.to_json()).is_err() {
+                if write_frame(stream, &reply.to_json()).is_err() {
                     return;
                 }
             }
             Request::Subscribe => {
                 let events = inner.daemon.subscribe();
-                if write_frame(&mut stream, &Response::Subscribed.to_json()).is_err() {
+                if write_frame(stream, &Response::Subscribed.to_json()).is_err() {
                     return;
                 }
                 // The connection becomes an event pump until it drops,
@@ -382,7 +427,7 @@ fn handle_conn(inner: Arc<ServerInner>, client: u64, mut stream: Stream) {
                 loop {
                     match events.recv_timeout(Duration::from_millis(100)) {
                         Ok(event) => {
-                            if write_frame(&mut stream, &event.to_json()).is_err() {
+                            if write_frame(stream, &event.to_json()).is_err() {
                                 return;
                             }
                         }
@@ -397,7 +442,7 @@ fn handle_conn(inner: Arc<ServerInner>, client: u64, mut stream: Stream) {
             }
             Request::Shutdown => {
                 inner.daemon.shutdown();
-                let _ = write_frame(&mut stream, &Response::ShuttingDown.to_json());
+                let _ = write_frame(stream, &Response::ShuttingDown.to_json());
                 // Wake `Server::wait` and close everything; joining is
                 // the waiter's job (we're one of the joined threads).
                 inner.begin_stop();

@@ -49,6 +49,14 @@ pub enum FrameError {
     },
     /// The payload was not valid JSON. The stream is still usable.
     Malformed(String),
+    /// A read timed out at a frame boundary — no byte of the next frame
+    /// had arrived. The stream is still in sync; the caller decides
+    /// whether the connection's idle deadline has passed.
+    IdleTimeout,
+    /// A read timed out *mid-frame*: the peer sent a partial header or
+    /// payload and then stopped (the slowloris pattern). The stream can
+    /// never get back in sync — fatal for the connection.
+    Stalled,
     /// An underlying I/O failure.
     Io(io::Error),
 }
@@ -62,6 +70,8 @@ impl std::fmt::Display for FrameError {
                 write!(f, "oversized frame: {length} bytes (cap {max})")
             }
             FrameError::Malformed(detail) => write!(f, "malformed frame: {detail}"),
+            FrameError::IdleTimeout => write!(f, "idle timeout between frames"),
+            FrameError::Stalled => write!(f, "peer stalled mid-frame"),
             FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
         }
     }
@@ -91,6 +101,8 @@ pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Json, FrameError> {
         ReadOutcome::Full => {}
         ReadOutcome::CleanEof => return Err(FrameError::Closed),
         ReadOutcome::PartialEof => return Err(FrameError::Truncated),
+        ReadOutcome::TimedOut { partial: false } => return Err(FrameError::IdleTimeout),
+        ReadOutcome::TimedOut { partial: true } => return Err(FrameError::Stalled),
         ReadOutcome::Failed(e) => return Err(FrameError::Io(e)),
     }
     let length = u32::from_be_bytes(header) as usize;
@@ -100,6 +112,7 @@ pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Json, FrameError> {
         let mut sink = io::sink();
         match io::copy(&mut r.take(remaining), &mut sink) {
             Ok(copied) => remaining -= copied,
+            Err(e) if is_timeout(&e) => return Err(FrameError::Stalled),
             Err(e) => return Err(FrameError::Io(e)),
         }
         if remaining > 0 {
@@ -111,6 +124,7 @@ pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Json, FrameError> {
     match read_exact_or_eof(r, &mut payload) {
         ReadOutcome::Full => {}
         ReadOutcome::CleanEof | ReadOutcome::PartialEof => return Err(FrameError::Truncated),
+        ReadOutcome::TimedOut { .. } => return Err(FrameError::Stalled),
         ReadOutcome::Failed(e) => return Err(FrameError::Io(e)),
     }
     let text = String::from_utf8(payload)
@@ -123,10 +137,22 @@ enum ReadOutcome {
     Full,
     CleanEof,
     PartialEof,
+    TimedOut { partial: bool },
     Failed(io::Error),
 }
 
-/// `read_exact` distinguishing EOF-before-anything from EOF-mid-buffer.
+/// Whether an I/O error is a socket read/write timeout. Blocking sockets
+/// report an expired `set_read_timeout` as `WouldBlock` on Unix and
+/// `TimedOut` on Windows; treat both as the same event.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// `read_exact` distinguishing EOF-before-anything from EOF-mid-buffer,
+/// and timeout-before-anything from timeout-mid-buffer.
 fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> ReadOutcome {
     let mut filled = 0;
     while filled < buf.len() {
@@ -140,6 +166,11 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> ReadOutcome {
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                return ReadOutcome::TimedOut {
+                    partial: filled > 0,
+                }
+            }
             Err(e) => return ReadOutcome::Failed(e),
         }
     }

@@ -35,6 +35,7 @@ use muml_fleet::{classify, Job, JobContext, JobOutcome, JobRegistry, JobRequest}
 use muml_obs::{EventSink, FleetEvent, LoopEvent, SharedSink};
 
 use crate::error::ServeError;
+use crate::journal::{Journal, JournalRecord};
 use crate::protocol::{
     CancelState, Priority, Response, ServerStats, VerdictRecord, MAX_FRAME_DEFAULT,
 };
@@ -64,6 +65,25 @@ pub struct ServeConfig {
     /// Handed to work closures via [`JobContext::store`](muml_fleet::JobContext);
     /// `None` keeps jobs stateless.
     pub store: Option<Arc<muml_core::store::Store>>,
+    /// Path of the durable job journal (see [`crate::journal`]). When set,
+    /// every admission and every verdict is fsynced to this file before
+    /// the corresponding reply/wakeup, and [`Daemon::start`] replays it:
+    /// the pre-crash verdict history is rebuilt bit-identically and
+    /// accepted-but-unfinished jobs are re-enqueued under their original
+    /// ids. `None` keeps the daemon stateless across restarts.
+    pub journal: Option<std::path::PathBuf>,
+    /// Per-read/write socket timeout. A peer that stalls *mid-frame* for
+    /// longer than this (the slowloris pattern: a few header bytes, then
+    /// silence) is disconnected — it can never get back in sync. A
+    /// timeout at a frame *boundary* is not fatal by itself; see
+    /// [`ServeConfig::idle_timeout`]. `None` disables socket timeouts.
+    pub io_timeout: Option<std::time::Duration>,
+    /// How long a connection may sit idle *between* complete frames
+    /// before the server disconnects it. Only enforced when
+    /// [`ServeConfig::io_timeout`] is also set (the read timeout is what
+    /// wakes the reader to check the deadline). `None` allows idle
+    /// connections to linger forever.
+    pub idle_timeout: Option<std::time::Duration>,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +95,9 @@ impl Default for ServeConfig {
             max_frame: MAX_FRAME_DEFAULT,
             history_limit: 1024,
             store: None,
+            journal: None,
+            io_timeout: Some(std::time::Duration::from_secs(30)),
+            idle_timeout: None,
         }
     }
 }
@@ -129,6 +152,43 @@ impl ServeConfig {
         self.store = Some(store);
         self
     }
+
+    /// Journals admissions and verdicts to `path` and replays it on start
+    /// (see [`ServeConfig::journal`]).
+    #[must_use]
+    pub fn with_journal(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Sets the per-read/write socket timeout (see
+    /// [`ServeConfig::io_timeout`]).
+    #[must_use]
+    pub fn with_io_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.io_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the idle-connection deadline (see
+    /// [`ServeConfig::idle_timeout`]).
+    #[must_use]
+    pub fn with_idle_timeout(mut self, deadline: std::time::Duration) -> Self {
+        self.idle_timeout = Some(deadline);
+        self
+    }
+}
+
+/// What replaying the journal on [`Daemon::start`] recovered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Intact records replayed.
+    pub records: usize,
+    /// Verdicts restored into the history.
+    pub finished: usize,
+    /// Accepted-but-unfinished jobs re-enqueued under their original ids.
+    pub resubmitted: usize,
+    /// Torn-tail bytes truncated from the journal file.
+    pub truncated_bytes: u64,
 }
 
 /// A queued, already-resolved job.
@@ -245,11 +305,26 @@ struct DaemonInner {
     work_ready: Condvar,
     done: Condvar,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    journal: Option<Mutex<Journal>>,
+    replay: Option<ReplayStats>,
 }
 
 impl DaemonInner {
     fn lock(&self) -> MutexGuard<'_, SchedState> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Best-effort journal append: a full disk must not take the daemon
+    /// down with it (the chaos campaign asserts verdict *soundness* under
+    /// journal faults, not durability — a lost record only weakens what a
+    /// later replay can recover).
+    fn journal_append(&self, record: &JournalRecord) {
+        if let Some(journal) = &self.journal {
+            let _ = journal
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .append(record);
+        }
     }
 
     /// Sends an event to every live subscriber, dropping dead ones.
@@ -264,6 +339,11 @@ impl DaemonInner {
     /// bookkeeping. Call with the lock held; notifies `done`.
     fn record_done(&self, state: &mut SchedState, client: u64, record: VerdictRecord) {
         let job = record.job;
+        // The verdict hits stable storage before any waiter can observe
+        // it: a crash after the wakeup must still replay this record.
+        self.journal_append(&JournalRecord::Finished {
+            record: record.clone(),
+        });
         state.history.push_back(record.clone());
         while state.history.len() > self.config.history_limit {
             if let Some(evicted) = state.history.pop_front() {
@@ -318,24 +398,59 @@ impl EventSink for ForwardSink {
 
 impl Daemon {
     /// Starts the daemon's worker pool over the given scenario registry.
+    ///
+    /// When [`ServeConfig::journal`] is set, the journal is opened and
+    /// replayed *before* any worker thread spawns: finished records
+    /// rebuild the verdict history exactly as recorded (same order, same
+    /// `nanos`), and accepted-but-unfinished jobs are re-resolved through
+    /// the registry and re-enqueued under their original ids and
+    /// priorities. A journal that cannot be opened disables journalling
+    /// for this run (the daemon still serves) — robustness never turns
+    /// into refusal to start.
     pub fn start(config: ServeConfig, registry: JobRegistry) -> Daemon {
+        let mut state = SchedState {
+            next_job: 1,
+            classes: Default::default(),
+            jobs: HashMap::new(),
+            history: VecDeque::new(),
+            running: 0,
+            per_client: HashMap::new(),
+            counters: Counters::default(),
+            shutdown: false,
+            subscribers: Vec::new(),
+        };
+        let mut journal = None;
+        let mut replay_stats = None;
+        if let Some(path) = &config.journal {
+            match Journal::open(path) {
+                Ok((mut opened, replay)) => {
+                    let stats = replay_daemon_state(
+                        &mut state,
+                        &mut opened,
+                        &registry,
+                        &replay,
+                        config.history_limit,
+                    );
+                    journal = Some(Mutex::new(opened));
+                    replay_stats = Some(stats);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "muml-serve: journal {} unusable ({e}); continuing without journal",
+                        path.display()
+                    );
+                }
+            }
+        }
         let inner = Arc::new(DaemonInner {
             config: config.clone(),
             registry,
-            state: Mutex::new(SchedState {
-                next_job: 1,
-                classes: Default::default(),
-                jobs: HashMap::new(),
-                history: VecDeque::new(),
-                running: 0,
-                per_client: HashMap::new(),
-                counters: Counters::default(),
-                shutdown: false,
-                subscribers: Vec::new(),
-            }),
+            state: Mutex::new(state),
             work_ready: Condvar::new(),
             done: Condvar::new(),
             workers: Mutex::new(Vec::new()),
+            journal,
+            replay: replay_stats,
         });
         let mut handles = Vec::new();
         for worker in 0..config.workers.max(1) {
@@ -349,6 +464,12 @@ impl Daemon {
     /// The daemon's configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.inner.config
+    }
+
+    /// What the journal replay recovered at start (`None` when no journal
+    /// is configured or it could not be opened).
+    pub fn journal_replay(&self) -> Option<ReplayStats> {
+        self.inner.replay
     }
 
     /// Submits a job on behalf of `client`. Resolution and admission are
@@ -409,6 +530,15 @@ impl Daemon {
         state.classes[priority.rank()].push(client, id);
         *state.per_client.entry(client).or_insert(0) += 1;
         state.counters.submitted += 1;
+        drop(state);
+        // Journal the admission before the id escapes to the client: a
+        // crash after this reply must replay (and re-run) the job.
+        self.inner.journal_append(&JournalRecord::Accepted {
+            job: id,
+            client,
+            priority,
+            request: request.clone(),
+        });
         self.inner.work_ready.notify_one();
         Ok(id)
     }
@@ -599,6 +729,90 @@ impl Daemon {
     }
 }
 
+/// Rebuilds the scheduler state from a journal replay: finished records
+/// restore the history verbatim (order, `nanos`, everything — the
+/// recovery invariant is *bit-identical* history), unfinished accepted
+/// records re-resolve and re-enqueue under their original ids. A job
+/// whose scenario no longer resolves gets a terminal `error` verdict,
+/// journalled so the next restart does not retry it.
+fn replay_daemon_state(
+    state: &mut SchedState,
+    journal: &mut Journal,
+    registry: &JobRegistry,
+    replay: &crate::journal::JournalReplay,
+    history_limit: usize,
+) -> ReplayStats {
+    let mut stats = ReplayStats {
+        records: replay.records.len(),
+        truncated_bytes: replay.truncated_bytes,
+        ..ReplayStats::default()
+    };
+    for record in replay.finished() {
+        state.history.push_back(record.clone());
+        while state.history.len() > history_limit {
+            if let Some(evicted) = state.history.pop_front() {
+                state.jobs.remove(&evicted.job);
+            }
+        }
+        state
+            .jobs
+            .insert(record.job, JobState::Done(Box::new(record.clone())));
+        state.counters.completed += 1;
+        stats.finished += 1;
+    }
+    for record in replay.unfinished() {
+        let JournalRecord::Accepted {
+            job,
+            client,
+            priority,
+            request,
+        } = record
+        else {
+            continue;
+        };
+        match registry.resolve(request) {
+            Ok(resolved) => {
+                state.jobs.insert(
+                    *job,
+                    JobState::Queued(Box::new(QueuedJob {
+                        job: resolved,
+                        client: *client,
+                        cancel: CancelToken::new(),
+                    })),
+                );
+                state.classes[priority.rank()].push(*client, *job);
+                *state.per_client.entry(*client).or_insert(0) += 1;
+                stats.resubmitted += 1;
+            }
+            Err(e) => {
+                let verdict = VerdictRecord {
+                    job: *job,
+                    request: request.clone(),
+                    outcome: "error".into(),
+                    property: None,
+                    iterations: 0,
+                    nanos: 0,
+                    attempts: 0,
+                };
+                let _ = journal.append(&JournalRecord::Finished {
+                    record: verdict.clone(),
+                });
+                state.history.push_back(verdict.clone());
+                state.jobs.insert(*job, JobState::Done(Box::new(verdict)));
+                state.counters.completed += 1;
+                eprintln!("muml-serve: journalled job {job} no longer resolves: {e:?}");
+            }
+        }
+    }
+    state.counters.submitted = replay
+        .records
+        .iter()
+        .filter(|r| matches!(r, JournalRecord::Accepted { .. }))
+        .count() as u64;
+    state.next_job = replay.max_job_id() + 1;
+    stats
+}
+
 fn worker_loop(worker: usize, inner: Arc<DaemonInner>) {
     loop {
         // Pop the next job: highest class first, round-robin within it.
@@ -645,6 +859,7 @@ fn worker_loop(worker: usize, inner: Arc<DaemonInner>) {
             ..
         } = *queued;
         let request = job.request.clone();
+        inner.journal_append(&JournalRecord::Started { job: id });
         inner.broadcast(&Response::Event {
             stream: "fleet".into(),
             job: id,
@@ -1022,6 +1237,123 @@ mod tests {
             .collect();
         assert!(kinds.contains(&"job_started".to_owned()), "{kinds:?}");
         assert!(kinds.contains(&"job_finished".to_owned()), "{kinds:?}");
+        daemon.join();
+    }
+
+    fn journal_tmp(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "muml-serve-journal-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join("serve.journal")
+    }
+
+    #[test]
+    fn restart_replays_history_bit_identically() {
+        let path = journal_tmp("history");
+        let first_history = {
+            let daemon = Daemon::start(ServeConfig::default().with_journal(&path), test_registry());
+            assert_eq!(daemon.journal_replay(), Some(ReplayStats::default()));
+            for i in 0..5 {
+                let id = daemon
+                    .submit(1, &noop_request(i), Priority::Normal)
+                    .unwrap();
+                daemon.wait(id).unwrap();
+            }
+            let history = daemon.history();
+            daemon.shutdown();
+            daemon.join();
+            history
+        };
+        // A fresh daemon on the same journal rebuilds the identical
+        // history — same order, same nanos, same attempt counts.
+        let daemon = Daemon::start(ServeConfig::default().with_journal(&path), test_registry());
+        let replay = daemon.journal_replay().expect("journal configured");
+        assert_eq!(replay.finished, 5);
+        assert_eq!(replay.resubmitted, 0);
+        assert_eq!(replay.truncated_bytes, 0);
+        assert_eq!(daemon.history(), first_history);
+        // The id counter resumes above every replayed id.
+        let next = daemon
+            .submit(1, &noop_request(9), Priority::Normal)
+            .unwrap();
+        assert!(next > first_history.iter().map(|r| r.job).max().unwrap());
+        daemon.wait(next).unwrap();
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn restart_requeues_unfinished_jobs_under_original_ids() {
+        let path = journal_tmp("requeue");
+        // Build a journal by hand: one finished job, one accepted-only.
+        let (accepted_id, finished_record) = {
+            let daemon = Daemon::start(ServeConfig::default().with_journal(&path), test_registry());
+            let done = daemon
+                .submit(1, &noop_request(0), Priority::Normal)
+                .unwrap();
+            let record = daemon.wait(done).unwrap();
+            daemon.shutdown();
+            daemon.join();
+            // Simulate a crash mid-flight: append an accepted record the
+            // dead daemon never finished.
+            let (mut journal, _) = crate::journal::Journal::open(&path).unwrap();
+            journal
+                .append(&JournalRecord::Accepted {
+                    job: 42,
+                    client: 3,
+                    priority: Priority::High,
+                    request: noop_request(7),
+                })
+                .unwrap();
+            (42u64, record)
+        };
+        let daemon = Daemon::start(ServeConfig::default().with_journal(&path), test_registry());
+        let replay = daemon.journal_replay().expect("journal configured");
+        assert_eq!(replay.finished, 1);
+        assert_eq!(replay.resubmitted, 1);
+        // The resubmitted job runs to a verdict under its original id.
+        let record = daemon.wait(accepted_id).unwrap();
+        assert_eq!(record.outcome, "proven");
+        assert_eq!(record.request.id, 7);
+        // The pre-crash verdict is still first in the history.
+        assert_eq!(daemon.history()[0], finished_record);
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    #[test]
+    fn torn_journal_tail_recovers_the_intact_prefix() {
+        let path = journal_tmp("torn");
+        {
+            let daemon = Daemon::start(ServeConfig::default().with_journal(&path), test_registry());
+            for i in 0..3 {
+                let id = daemon
+                    .submit(1, &noop_request(i), Priority::Normal)
+                    .unwrap();
+                daemon.wait(id).unwrap();
+            }
+            daemon.shutdown();
+            daemon.join();
+        }
+        // Tear the tail mid-frame, as a crash during an append would.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let daemon = Daemon::start(ServeConfig::default().with_journal(&path), test_registry());
+        let replay = daemon.journal_replay().expect("journal configured");
+        assert!(replay.truncated_bytes > 0);
+        // The torn record was the last `finished`; its `accepted` record
+        // survives, so the job re-runs rather than being lost.
+        assert_eq!(replay.finished, 2);
+        assert_eq!(replay.resubmitted, 1);
+        while daemon.history().len() < 3 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        daemon.shutdown();
         daemon.join();
     }
 

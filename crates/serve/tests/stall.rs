@@ -1,0 +1,117 @@
+//! Slowloris and idle-connection defence over real TCP sockets.
+//!
+//! A hostile (or dying) client that sends a few header bytes and then
+//! stalls must be disconnected once the per-read timeout fires — without
+//! affecting well-behaved clients on the same server. An idle-but-synced
+//! connection is governed separately by the idle deadline.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use muml_core::{IntegrationReport, IntegrationStats, IntegrationVerdict};
+use muml_fleet::{JobContext, JobRegistry, JobRequest};
+use muml_serve::{Daemon, Priority, ServeClient, ServeConfig, Server};
+
+fn test_registry() -> JobRegistry {
+    let mut registry = JobRegistry::new();
+    registry.register("noop", |_request| {
+        Ok(Box::new(move |_ctx: &JobContext| {
+            Ok(IntegrationReport {
+                verdict: IntegrationVerdict::Proven,
+                iterations: Vec::new(),
+                learned: Vec::new(),
+                stats: IntegrationStats::default(),
+            })
+        }))
+    });
+    registry
+}
+
+fn start_tcp(config: ServeConfig) -> (Server, String) {
+    let daemon = Daemon::start(config, test_registry());
+    let server = Server::bind(daemon, Some("127.0.0.1:0"), None).expect("bind");
+    let addr = server.tcp_addr().expect("tcp addr").to_string();
+    (server, addr)
+}
+
+/// Blocks until the server closes `stream` (read returns EOF or reset),
+/// panicking if that takes longer than `limit`.
+fn assert_disconnected_within(stream: &mut TcpStream, limit: Duration) {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let started = Instant::now();
+    let mut buf = [0u8; 16];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return, // clean close
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => return,
+            Ok(_) => panic!("server sent unexpected bytes to a stalled client"),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => panic!("unexpected read error: {e}"),
+        }
+        assert!(
+            started.elapsed() < limit,
+            "server kept the dead connection open past {limit:?}"
+        );
+    }
+}
+
+#[test]
+fn mid_frame_staller_is_disconnected_while_others_are_served() {
+    let (server, addr) =
+        start_tcp(ServeConfig::default().with_io_timeout(Duration::from_millis(100)));
+    // The slowloris: two bytes of a frame header, then silence.
+    let mut staller = TcpStream::connect(&addr).unwrap();
+    staller.write_all(&[0x00, 0x00]).unwrap();
+    staller.flush().unwrap();
+    // A well-behaved client is completely unaffected.
+    let mut client = ServeClient::connect_tcp(&addr).unwrap();
+    let job = client
+        .submit(
+            &JobRequest::new(0, "noop-0").with_scenario("noop"),
+            Priority::Normal,
+        )
+        .unwrap();
+    assert_eq!(client.wait(job).unwrap().outcome, "proven");
+    // The staller is cut off once its read timeout classifies the stall
+    // as mid-frame (fatal), well before any multi-second grace.
+    assert_disconnected_within(&mut staller, Duration::from_secs(5));
+    server.stop();
+}
+
+#[test]
+fn idle_connection_is_reaped_at_the_deadline() {
+    let (server, addr) = start_tcp(
+        ServeConfig::default()
+            .with_io_timeout(Duration::from_millis(50))
+            .with_idle_timeout(Duration::from_millis(150)),
+    );
+    // Never sends a byte: in sync, but idle past the deadline.
+    let mut idler = TcpStream::connect(&addr).unwrap();
+    assert_disconnected_within(&mut idler, Duration::from_secs(5));
+    server.stop();
+}
+
+#[test]
+fn active_clients_outlive_the_idle_deadline() {
+    let (server, addr) = start_tcp(
+        ServeConfig::default()
+            .with_io_timeout(Duration::from_millis(50))
+            .with_idle_timeout(Duration::from_millis(200)),
+    );
+    let mut client = ServeClient::connect_tcp(&addr).unwrap();
+    // Keep the connection mildly active for several deadline periods:
+    // each completed frame re-anchors the idle clock.
+    let started = Instant::now();
+    while started.elapsed() < Duration::from_millis(700) {
+        client.stats().expect("active connection must stay open");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    server.stop();
+}

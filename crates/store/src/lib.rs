@@ -22,13 +22,20 @@
 //!   *changed*, coarse file locking for cross-process sharing, and atomic
 //!   rename-on-write. Loading never fails hard: every problem degrades to a
 //!   typed [`MissReason`] and the session cold-starts.
+//! * [`StoreIo`] — the I/O seam beneath the store. [`RealIo`] carries the
+//!   fsync discipline (temp-file `sync_data` + parent-directory sync around
+//!   the rename) that makes writes crash-durable; [`FaultyIo`] is the seeded
+//!   fault injector (`repro chaos`) that drives the degradation ladder with
+//!   torn writes, short reads, `ENOSPC`, rename and flock failures.
 
 #![warn(missing_docs)]
 
+mod io;
 mod signature;
 mod snapshot;
 mod store;
 
+pub use io::{FaultKind, FaultProfile, FaultyIo, InjectedFault, RealIo, StoreIo};
 pub use signature::{ComponentSignature, RuleSignature};
 pub use snapshot::{DeltaRecord, Snapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use store::{MissReason, Store, StoreError, StoreLookup};

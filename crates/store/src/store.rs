@@ -16,12 +16,13 @@
 //! an atomic rename, so readers never observe a half-written snapshot —
 //! at worst they miss and cold-start.
 
-use std::fs::{self, File};
+use std::fs::File;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use muml_obs::json::{parse, Json};
 
+use crate::io::{RealIo, StoreIo};
 use crate::signature::ComponentSignature;
 use crate::snapshot::{Snapshot, SnapshotError};
 
@@ -117,6 +118,7 @@ impl std::error::Error for StoreError {}
 pub struct Store {
     dir: PathBuf,
     lock: Mutex<()>,
+    io: Arc<dyn StoreIo>,
 }
 
 const INDEX_VERSION: i64 = 1;
@@ -126,9 +128,18 @@ impl Store {
     /// surface as typed misses at lookup time and as [`StoreError`] at
     /// save time.
     pub fn open(dir: impl Into<PathBuf>) -> Store {
+        Store::open_with_io(dir, Arc::new(RealIo))
+    }
+
+    /// Opens the store with an explicit [`StoreIo`] implementation. This
+    /// is the fault-injection seam: pass an `Arc<FaultyIo>` (keeping a
+    /// clone of the handle) to drive the Hit/Invalidated/Miss degradation
+    /// ladder under a deterministic fault schedule.
+    pub fn open_with_io(dir: impl Into<PathBuf>, io: Arc<dyn StoreIo>) -> Store {
         Store {
             dir: dir.into(),
             lock: Mutex::new(()),
+            io,
         }
     }
 
@@ -144,17 +155,13 @@ impl Store {
     /// Takes the advisory file lock (blocking). Held for the duration of
     /// one lookup/save; released when the returned handle drops.
     fn file_lock(&self) -> Result<File, String> {
-        fs::create_dir_all(&self.dir).map_err(|e| format!("create {}: {e}", self.dir.display()))?;
+        self.io
+            .create_dir_all(&self.dir)
+            .map_err(|e| format!("create {}: {e}", self.dir.display()))?;
         let lock_path = self.dir.join(".lock");
-        let file = File::options()
-            .create(true)
-            .truncate(false)
-            .write(true)
-            .open(&lock_path)
-            .map_err(|e| format!("open {}: {e}", lock_path.display()))?;
-        file.lock()
-            .map_err(|e| format!("lock {}: {e}", lock_path.display()))?;
-        Ok(file)
+        self.io
+            .lock_exclusive(&lock_path)
+            .map_err(|e| format!("lock {}: {e}", lock_path.display()))
     }
 
     /// Looks up the snapshot for `sig`, falling back to dirty-cone
@@ -181,7 +188,7 @@ impl Store {
     /// Reads and validates the snapshot file for one fingerprint.
     fn read_snapshot(&self, fingerprint: &str) -> Result<Snapshot, MissReason> {
         let path = self.snapshot_path(fingerprint);
-        let text = fs::read_to_string(&path).map_err(|e| match e.kind() {
+        let text = self.io.read_to_string(&path).map_err(|e| match e.kind() {
             std::io::ErrorKind::NotFound => MissReason::NotFound,
             // Non-UTF-8 bytes are data corruption, not an I/O failure.
             std::io::ErrorKind::InvalidData => MissReason::Corrupt("not UTF-8".to_owned()),
@@ -233,7 +240,10 @@ impl Store {
     }
 
     /// Temp-file + rename in the store directory (same filesystem, so the
-    /// rename is atomic on every platform we target).
+    /// rename is atomic on every platform we target), with the full
+    /// durability discipline: the temp file's data is synced before the
+    /// rename and the directory is synced after it, so a crash at any
+    /// point leaves either the old contents or the complete new ones.
     fn write_atomic(&self, path: &Path, text: &str) -> Result<(), StoreError> {
         let err = |detail: String| StoreError { detail };
         let stem = path
@@ -241,15 +251,23 @@ impl Store {
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_default();
         let tmp = self.dir.join(format!(".tmp-{}-{stem}", std::process::id()));
-        fs::write(&tmp, text).map_err(|e| err(format!("write {}: {e}", tmp.display())))?;
-        fs::rename(&tmp, path).map_err(|e| err(format!("rename to {}: {e}", path.display())))
+        self.io
+            .write_durable(&tmp, text)
+            .map_err(|e| err(format!("write {}: {e}", tmp.display())))?;
+        if let Err(e) = self.io.rename(&tmp, path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(err(format!("rename to {}: {e}", path.display())));
+        }
+        self.io
+            .sync_dir(&self.dir)
+            .map_err(|e| err(format!("sync dir {}: {e}", self.dir.display())))
     }
 
     /// Reads the component index, tolerating absence and corruption (a
     /// broken index only disables previous-version salvage).
     fn read_index(&self) -> ComponentIndex {
         let path = self.dir.join("index.json");
-        let text = match fs::read_to_string(&path) {
+        let text = match self.io.read_to_string(&path) {
             Ok(t) => t,
             Err(_) => return ComponentIndex::default(),
         };
@@ -670,5 +688,119 @@ mod tests {
         }
         assert!(matches!(store.lookup(&sig), StoreLookup::Hit { .. }));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Two *separate* `Store` instances on one directory have separate
+    /// in-process mutexes, so only the advisory flock serializes them —
+    /// the cross-process sharing story (`muml-serve` + CLI runs) in
+    /// single-process clothing.
+    #[test]
+    fn separate_instances_serialize_via_flock() {
+        let dir = tmpdir("flock");
+        let sig = base_signature();
+        let snap = learned_snapshot(&sig);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let dir = dir.clone();
+                let snap = snap.clone();
+                std::thread::spawn(move || {
+                    let store = Store::open(&dir);
+                    for _ in 0..12 {
+                        store.save(&snap).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // A fresh reader parses a complete snapshot: no interleaved or
+        // half-renamed writes survived the race.
+        match Store::open(&dir).lookup(&sig) {
+            StoreLookup::Hit { snapshot } => assert_eq!(snapshot, snap),
+            other => panic!("expected hit after racing writers, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_temp_files() {
+        let dir = tmpdir("tmpless");
+        let store = Store::open(&dir);
+        let snap = learned_snapshot(&base_signature());
+        store.save(&snap).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(".tmp-"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The systematic ladder exercise: under a sweep of seeded fault
+    /// rates, every lookup must come back as Hit, Invalidated, or a typed
+    /// Miss — never a panic, never a frankenstein snapshot. A Hit must be
+    /// byte-identical to something that was actually saved.
+    #[test]
+    fn fault_injection_sweep_degrades_but_never_lies() {
+        use crate::io::{FaultProfile, FaultyIo};
+
+        for (case, rate) in [0.05_f64, 0.15, 0.35].iter().enumerate() {
+            let dir = tmpdir("chaos");
+            let faulty = Arc::new(FaultyIo::new(
+                0x9E37_79B9_7F4A_7C15 ^ ((case as u64) << 16),
+                FaultProfile::uniform(*rate),
+            ));
+            let store = Store::open_with_io(&dir, Arc::clone(&faulty) as Arc<dyn StoreIo>);
+            let sig = base_signature();
+            let snap = learned_snapshot(&sig);
+            let changed = ComponentSignature::new(
+                "rear",
+                ["go".into(), "halt".into()],
+                ["ack".into()],
+                "idle",
+                vec![
+                    rule("idle", &["go"], &["ack"], "run"),
+                    rule("run", &["halt"], &["ack"], "idle"),
+                ],
+            );
+            let mut hits = 0_usize;
+            for round in 0..60 {
+                // Saves may fail (ENOSPC, rename, lock): degradation, not
+                // corruption. Torn writes *succeed* and must be caught by
+                // the lookup ladder as Corrupt misses.
+                let _ = store.save(&snap);
+                match store.lookup(&sig) {
+                    StoreLookup::Hit { snapshot } => {
+                        assert_eq!(snapshot, snap, "hit diverged in round {round}");
+                        hits += 1;
+                    }
+                    StoreLookup::Invalidated { .. } => {
+                        panic!("exact-fingerprint lookup cannot invalidate")
+                    }
+                    StoreLookup::Miss { .. } => {}
+                }
+                // The changed component exercises salvage: any of the
+                // three outcomes is legal under faults, panics are not.
+                match store.lookup(&changed) {
+                    StoreLookup::Hit { .. } => panic!("changed rules cannot be an exact hit"),
+                    StoreLookup::Invalidated { snapshot, .. } => {
+                        assert_eq!(snapshot.signature, changed);
+                    }
+                    StoreLookup::Miss { .. } => {}
+                }
+            }
+            assert!(
+                faulty.injected_count() > 0,
+                "rate {rate} injected nothing over 60 rounds"
+            );
+            assert!(hits > 0, "rate {rate} never produced a single hit");
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 }
